@@ -1,0 +1,609 @@
+//! A Callahan–Subhlok-style static guaranteed-ordering analysis (paper
+//! Section 4, reference [1]).
+//!
+//! Callahan and Subhlok analyze loop-free parallel programs *statically*:
+//! which statement instances are guaranteed to execute in a given order in
+//! **every** execution of the program (they prove that question co-NP-hard
+//! too, and give a data-flow framework computing a sound subset). This
+//! module is that framework adapted to `eo-lang`'s AST:
+//!
+//! For every static statement `s`, compute `prec(s)` — the set of
+//! statements guaranteed to have *executed and completed* before `s`, in
+//! every execution in which `s` executes. The transfer rules are exactly
+//! the intuitive ones:
+//!
+//! * sequence: `prec(sᵢ₊₁) ⊇ prec(sᵢ) ∪ {sᵢ}`;
+//! * conditional: the continuation inherits the test plus the
+//!   *intersection* of what the two branches guarantee (a statement inside
+//!   one branch is not guaranteed to the continuation unless both branches
+//!   contain it — with our tree-shaped blocks, only the test survives the
+//!   meet, plus everything before it);
+//! * fork: the target's first statement inherits `{fork} ∪ prec(fork)`;
+//! * join: inherits every statement on *all* paths through each joined
+//!   process, plus whatever the target's entry already inherited;
+//! * `Wait(v)`: whichever `Post(v)` fired, that post and its own
+//!   guarantees happened — so the wait inherits the **intersection** over
+//!   all `Post(v)` statements `p` of `{p} ∪ prec(p)`. (Clears are handled
+//!   conservatively: if the variable has any `Clear`, the wait inherits
+//!   nothing from posts — a cleared flag may have been re-posted by any of
+//!   them. C&S target the Clear-free language, and so does the precise
+//!   rule here.)
+//! * semaphores: no static rule (C&S's language has none); `P`/`V` behave
+//!   like opaque statements. Sound, maximally incomplete — the HMW
+//!   *dynamic* analysis is the semaphore story.
+//!
+//! The sets grow monotonically under these rules, so iterating to a
+//! fixpoint terminates; the result is sound with respect to *every*
+//! execution of the program, which the tests check against the exact
+//! engine on each observable trace (static claims must be contained in
+//! every trace's dependence-ignoring MHB — all-executions guarantees are
+//! in particular same-events guarantees).
+
+use eo_lang::{ProcRef, Program, Stmt, StmtKind};
+use eo_relations::{BitSet, Relation};
+
+/// A static statement instance (one AST node), densely numbered across
+/// the whole program.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct StmtId(pub u32);
+
+impl StmtId {
+    /// Dense index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One flattened statement: where it lives and what it is.
+#[derive(Clone, Debug)]
+pub struct StaticStmt {
+    /// The owning process definition.
+    pub process: ProcRef,
+    /// Mnemonic of the statement kind (diagnostics).
+    pub kind: &'static str,
+    /// The statement's label, if any.
+    pub label: Option<String>,
+}
+
+/// The result of the static analysis.
+pub struct StaticOrderings {
+    stmts: Vec<StaticStmt>,
+    /// `guaranteed.contains(a, b)` ⇔ statement `a` completes before `b`
+    /// begins in every execution in which `b` executes.
+    guaranteed: Relation,
+    rounds: usize,
+}
+
+struct Flattener<'p> {
+    stmts: Vec<StaticStmt>,
+    /// Per statement: the block-structure node (for the walker).
+    nodes: Vec<Node<'p>>,
+    /// Per process def: ids of its top-level block, in order.
+    bodies: Vec<Vec<usize>>,
+}
+
+struct Node<'p> {
+    stmt: &'p Stmt,
+    then_ids: Vec<usize>,
+    else_ids: Vec<usize>,
+}
+
+impl<'p> Flattener<'p> {
+    fn run(program: &'p Program) -> Flattener<'p> {
+        let mut f = Flattener {
+            stmts: Vec::new(),
+            nodes: Vec::new(),
+            bodies: Vec::new(),
+        };
+        for (pi, def) in program.processes.iter().enumerate() {
+            let ids = f.block(ProcRef(pi as u32), &def.body);
+            f.bodies.push(ids);
+        }
+        f
+    }
+
+    fn block(&mut self, p: ProcRef, stmts: &'p [Stmt]) -> Vec<usize> {
+        stmts.iter().map(|s| self.stmt(p, s)).collect()
+    }
+
+    fn stmt(&mut self, p: ProcRef, stmt: &'p Stmt) -> usize {
+        let id = self.stmts.len();
+        let kind = match &stmt.kind {
+            StmtKind::Skip => "skip",
+            StmtKind::Compute { .. } => "compute",
+            StmtKind::Assign { .. } => "assign",
+            StmtKind::SemP(_) => "P",
+            StmtKind::SemV(_) => "V",
+            StmtKind::Post(_) => "Post",
+            StmtKind::Wait(_) => "Wait",
+            StmtKind::Clear(_) => "Clear",
+            StmtKind::Fork(_) => "fork",
+            StmtKind::Join(_) => "join",
+            StmtKind::If { .. } => "if",
+        };
+        self.stmts.push(StaticStmt {
+            process: p,
+            kind,
+            label: stmt.label.clone(),
+        });
+        self.nodes.push(Node {
+            stmt,
+            then_ids: Vec::new(),
+            else_ids: Vec::new(),
+        });
+        if let StmtKind::If {
+            then_branch,
+            else_branch,
+            ..
+        } = &stmt.kind
+        {
+            let then_ids = self.block(p, then_branch);
+            let else_ids = self.block(p, else_branch);
+            self.nodes[id].then_ids = then_ids;
+            self.nodes[id].else_ids = else_ids;
+        }
+        id
+    }
+}
+
+impl StaticOrderings {
+    /// Runs the data-flow fixpoint on `program`.
+    ///
+    /// # Panics
+    /// Panics if the program fails static validation.
+    pub fn analyze(program: &Program) -> StaticOrderings {
+        program.validate().expect("analyze requires a valid program");
+        let flat = Flattener::run(program);
+        let n = flat.stmts.len();
+
+        // Posts per event variable, and whether the variable has Clears.
+        let n_ev = program.event_vars.len();
+        let mut posts: Vec<Vec<usize>> = vec![Vec::new(); n_ev];
+        let mut has_clear = vec![false; n_ev];
+        let initially_set: Vec<bool> =
+            program.event_vars.iter().map(|v| v.initially_set).collect();
+        for (id, node) in flat.nodes.iter().enumerate() {
+            match node.stmt.kind {
+                StmtKind::Post(v) => posts[v.index()].push(id),
+                StmtKind::Clear(v) => has_clear[v.index()] = true,
+                _ => {}
+            }
+        }
+
+        // Fork site per definition (validation guarantees at most one).
+        let mut fork_site: Vec<Option<usize>> = vec![None; program.processes.len()];
+        for (id, node) in flat.nodes.iter().enumerate() {
+            if let StmtKind::Fork(targets) = &node.stmt.kind {
+                for t in targets {
+                    fork_site[t.index()] = Some(id);
+                }
+            }
+        }
+
+        let mut prec: Vec<BitSet> = (0..n).map(|_| BitSet::new(n)).collect();
+        let mut rounds = 0;
+        loop {
+            rounds += 1;
+            let mut changed = false;
+
+            for (pi, def) in program.processes.iter().enumerate() {
+                // Entry set of this definition.
+                let mut flow_in = BitSet::new(n);
+                if !def.root {
+                    if let Some(fork) = fork_site[pi] {
+                        flow_in.union_with(&prec[fork]);
+                        flow_in.insert(fork);
+                    }
+                }
+                let body = flat.bodies[pi].clone();
+                changed |= walk_block(
+                    &flat,
+                    &body,
+                    flow_in,
+                    &mut prec,
+                    &posts,
+                    &has_clear,
+                    &initially_set,
+                    &flat.bodies,
+                )
+                .1;
+            }
+
+            if !changed {
+                break;
+            }
+        }
+
+        // Materialize the relation: a guaranteed-before b ⇔ a ∈ prec(b).
+        // Note the relation may contain cycles: a statement on a prec-cycle
+        // (e.g. a process that Waits on a flag only it Posts later) can
+        // never execute in ANY run, so its "guaranteed before" claims are
+        // vacuously true — the per-execution reading is "in every execution
+        // in which b executes", and there are none.
+        let mut guaranteed = Relation::new(n);
+        for b in 0..n {
+            for a in prec[b].iter() {
+                guaranteed.insert(a, b);
+            }
+        }
+
+        StaticOrderings {
+            stmts: flat.stmts,
+            guaranteed,
+            rounds,
+        }
+    }
+
+    /// Number of static statements.
+    pub fn n_stmts(&self) -> usize {
+        self.stmts.len()
+    }
+
+    /// The flattened statement table.
+    pub fn stmts(&self) -> &[StaticStmt] {
+        &self.stmts
+    }
+
+    /// Is `a` guaranteed to complete before `b` begins in every execution
+    /// in which `b` executes?
+    pub fn guaranteed_before(&self, a: StmtId, b: StmtId) -> bool {
+        self.guaranteed.contains(a.index(), b.index())
+    }
+
+    /// The full guaranteed-ordering relation over statement ids.
+    pub fn relation(&self) -> &Relation {
+        &self.guaranteed
+    }
+
+    /// Fixpoint rounds taken.
+    pub fn rounds(&self) -> usize {
+        self.rounds
+    }
+
+    /// The first statement carrying `label`.
+    pub fn stmt_labeled(&self, label: &str) -> Option<StmtId> {
+        self.stmts
+            .iter()
+            .position(|s| s.label.as_deref() == Some(label))
+            .map(|i| StmtId(i as u32))
+    }
+}
+
+/// Walks a block with the given inflow; returns (outflow-of-block,
+/// changed) where outflow = statements guaranteed executed-and-completed
+/// after the block runs, for callers sequencing behind it.
+#[allow(clippy::too_many_arguments)]
+fn walk_block(
+    flat: &Flattener<'_>,
+    ids: &[usize],
+    mut flow: BitSet,
+    prec: &mut [BitSet],
+    posts: &[Vec<usize>],
+    has_clear: &[bool],
+    initially_set: &[bool],
+    bodies: &[Vec<usize>],
+) -> (BitSet, bool) {
+    let mut changed = false;
+    for &id in ids {
+        // This statement inherits the inflow…
+        changed |= prec[id].union_with(&flow);
+
+        // …plus statement-specific sources.
+        match &flat.nodes[id].stmt.kind {
+            StmtKind::Wait(v) => {
+                let vi = v.index();
+                // The post-meet rule is sound only when a Post is the ONLY
+                // way the flag can be set: no Clears (a cleared flag may be
+                // re-posted by anyone) and not initially set (the wait may
+                // fire off the initial flag with no post at all).
+                if !has_clear[vi] && !initially_set[vi] && !posts[vi].is_empty() {
+                    // Whichever post fired: intersection over candidates.
+                    let mut meet: Option<BitSet> = None;
+                    for &p in &posts[vi] {
+                        let mut contrib = prec[p].clone();
+                        contrib.insert(p);
+                        match &mut meet {
+                            None => meet = Some(contrib),
+                            Some(m) => {
+                                m.intersect_with(&contrib);
+                            }
+                        }
+                    }
+                    if let Some(m) = meet {
+                        changed |= prec[id].union_with(&m);
+                    }
+                }
+            }
+            StmtKind::Join(targets) => {
+                for t in targets {
+                    // Everything on all paths through the target, plus its
+                    // entry inflow, precedes the join.
+                    let body = &bodies[t.index()];
+                    let all_paths = guaranteed_through(flat, body);
+                    changed |= prec[id].union_with(&all_paths);
+                    if let Some(&first) = body.first() {
+                        let entry = prec[first].clone();
+                        changed |= prec[id].union_with(&entry);
+                    }
+                }
+            }
+            StmtKind::If { .. } => {
+                // Branches flow from the test.
+                let mut branch_in = prec[id].clone();
+                branch_in.insert(id);
+                let node = &flat.nodes[id];
+                let (then_ids, else_ids) = (node.then_ids.clone(), node.else_ids.clone());
+                let (then_out, c1) = walk_block(
+                    flat, &then_ids, branch_in.clone(), prec, posts, has_clear, initially_set, bodies,
+                );
+                let (else_out, c2) = walk_block(
+                    flat, &else_ids, branch_in, prec, posts, has_clear, initially_set, bodies,
+                );
+                changed |= c1 | c2;
+                // Continuation: test + inflow + meet of branch outflows.
+                let mut meet = then_out;
+                meet.intersect_with(&else_out);
+                flow = prec[id].clone();
+                flow.insert(id);
+                flow.union_with(&meet);
+                continue;
+            }
+            _ => {}
+        }
+
+        // Default sequencing: the next statement sees this one completed.
+        flow = prec[id].clone();
+        flow.insert(id);
+    }
+    (flow, changed)
+}
+
+/// Statements on *all* paths through `ids` (a block): every non-If
+/// statement, plus recursively each If's test and the meet of its
+/// branches.
+fn guaranteed_through(flat: &Flattener<'_>, ids: &[usize]) -> BitSet {
+    let n = flat.stmts.len();
+    let mut out = BitSet::new(n);
+    for &id in ids {
+        out.insert(id);
+        if let StmtKind::If { .. } = flat.nodes[id].stmt.kind {
+            let node = &flat.nodes[id];
+            let mut meet = guaranteed_through(flat, &node.then_ids);
+            meet.intersect_with(&guaranteed_through(flat, &node.else_ids));
+            out.union_with(&meet);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eo_lang::ProgramBuilder;
+
+    #[test]
+    fn straight_line_order() {
+        let mut b = ProgramBuilder::new();
+        let p = b.process("p");
+        b.compute(p, "a").compute(p, "b").compute(p, "c");
+        let so = StaticOrderings::analyze(&b.build());
+        let (a, b_, c) = (
+            so.stmt_labeled("a").unwrap(),
+            so.stmt_labeled("b").unwrap(),
+            so.stmt_labeled("c").unwrap(),
+        );
+        assert!(so.guaranteed_before(a, b_));
+        assert!(so.guaranteed_before(a, c), "transitive through sequencing");
+        assert!(!so.guaranteed_before(c, a));
+    }
+
+    #[test]
+    fn parallel_processes_unordered() {
+        let mut b = ProgramBuilder::new();
+        let p0 = b.process("p0");
+        let p1 = b.process("p1");
+        b.compute(p0, "a");
+        b.compute(p1, "b");
+        let so = StaticOrderings::analyze(&b.build());
+        let (a, b_) = (so.stmt_labeled("a").unwrap(), so.stmt_labeled("b").unwrap());
+        assert!(!so.guaranteed_before(a, b_));
+        assert!(!so.guaranteed_before(b_, a));
+    }
+
+    #[test]
+    fn fork_and_join_order_across_processes() {
+        let mut b = ProgramBuilder::new();
+        let main = b.process("main");
+        let w = b.subprocess("w");
+        b.compute(main, "pre");
+        b.compute(w, "work");
+        b.fork(main, &[w]);
+        b.join(main, &[w]);
+        b.compute(main, "post");
+        let so = StaticOrderings::analyze(&b.build());
+        let pre = so.stmt_labeled("pre").unwrap();
+        let work = so.stmt_labeled("work").unwrap();
+        let post = so.stmt_labeled("post").unwrap();
+        assert!(so.guaranteed_before(pre, work), "fork carries prec into the child");
+        assert!(so.guaranteed_before(work, post), "join carries the child back");
+    }
+
+    #[test]
+    fn single_post_orders_the_wait() {
+        let mut b = ProgramBuilder::new();
+        let ev = b.event_var("ev");
+        let p0 = b.process("poster");
+        b.compute(p0, "before_post");
+        b.post(p0, ev);
+        let p1 = b.process("waiter");
+        b.wait(p1, ev);
+        b.compute(p1, "after_wait");
+        let so = StaticOrderings::analyze(&b.build());
+        let before = so.stmt_labeled("before_post").unwrap();
+        let after = so.stmt_labeled("after_wait").unwrap();
+        assert!(so.guaranteed_before(before, after));
+    }
+
+    #[test]
+    fn two_posts_guarantee_only_their_meet() {
+        // Two posters with a common prologue statement each… the wait can
+        // only rely on the intersection, which is empty across different
+        // processes.
+        let mut b = ProgramBuilder::new();
+        let ev = b.event_var("ev");
+        let p0 = b.process("poster0");
+        b.compute(p0, "pre0");
+        b.post(p0, ev);
+        let p1 = b.process("poster1");
+        b.compute(p1, "pre1");
+        b.post(p1, ev);
+        let p2 = b.process("waiter");
+        b.wait(p2, ev);
+        b.compute(p2, "after");
+        let so = StaticOrderings::analyze(&b.build());
+        let after = so.stmt_labeled("after").unwrap();
+        assert!(!so.guaranteed_before(so.stmt_labeled("pre0").unwrap(), after));
+        assert!(!so.guaranteed_before(so.stmt_labeled("pre1").unwrap(), after));
+    }
+
+    #[test]
+    fn clears_disable_the_wait_rule() {
+        let mut b = ProgramBuilder::new();
+        let ev = b.event_var("ev");
+        let p0 = b.process("poster");
+        b.compute(p0, "pre");
+        b.post(p0, ev);
+        let p1 = b.process("clearer");
+        b.clear(p1, ev);
+        let p2 = b.process("waiter");
+        b.wait(p2, ev);
+        b.compute(p2, "after");
+        let so = StaticOrderings::analyze(&b.build());
+        assert!(
+            !so.guaranteed_before(
+                so.stmt_labeled("pre").unwrap(),
+                so.stmt_labeled("after").unwrap()
+            ),
+            "with a Clear around, the post inference is withdrawn"
+        );
+    }
+
+    #[test]
+    fn branch_meet_keeps_only_the_test() {
+        let mut b = ProgramBuilder::new();
+        let x = b.variable("x");
+        let p = b.process("p");
+        b.if_eq_labeled(
+            p,
+            x,
+            0,
+            "test",
+            |t| {
+                t.compute_here("then_work");
+            },
+            |e| {
+                e.compute_here("else_work");
+            },
+        );
+        b.compute(p, "after");
+        let so = StaticOrderings::analyze(&b.build());
+        let after = so.stmt_labeled("after").unwrap();
+        assert!(so.guaranteed_before(so.stmt_labeled("test").unwrap(), after));
+        assert!(
+            !so.guaranteed_before(so.stmt_labeled("then_work").unwrap(), after),
+            "a branch statement is not guaranteed to the continuation"
+        );
+        assert!(!so.guaranteed_before(so.stmt_labeled("else_work").unwrap(), after));
+    }
+
+    #[test]
+    fn post_on_all_paths_via_both_branches_is_not_claimed() {
+        // Both branches post, so the wait IS always triggered — but by
+        // *different statements*; the meet keeps only their common prec
+        // (the test). Sound, though incomplete.
+        let mut b = ProgramBuilder::new();
+        let x = b.variable("x");
+        let ev = b.event_var("ev");
+        let p0 = b.process("poster");
+        b.compute(p0, "pre");
+        b.if_eq_labeled(
+            p0,
+            x,
+            0,
+            "test",
+            |t| {
+                t.post_here(ev);
+            },
+            |e| {
+                e.post_here(ev);
+            },
+        );
+        let p1 = b.process("waiter");
+        b.wait(p1, ev);
+        b.compute(p1, "after");
+        let so = StaticOrderings::analyze(&b.build());
+        let after = so.stmt_labeled("after").unwrap();
+        assert!(so.guaranteed_before(so.stmt_labeled("pre").unwrap(), after));
+        assert!(so.guaranteed_before(so.stmt_labeled("test").unwrap(), after));
+    }
+
+    #[test]
+    fn semaphores_contribute_nothing_statically() {
+        let mut b = ProgramBuilder::new();
+        let s = b.semaphore("s");
+        let p0 = b.process("p0");
+        b.compute(p0, "a");
+        b.sem_v(p0, s);
+        let p1 = b.process("p1");
+        b.sem_p(p1, s);
+        b.compute(p1, "b");
+        let so = StaticOrderings::analyze(&b.build());
+        assert!(
+            !so.guaranteed_before(so.stmt_labeled("a").unwrap(), so.stmt_labeled("b").unwrap()),
+            "C&S's language has no semaphores; the static rule stays silent"
+        );
+    }
+
+    #[test]
+    fn static_claims_hold_on_every_observed_trace() {
+        // Soundness against the exact engine: run the program under many
+        // schedulers; for each trace, every static claim between executed
+        // labeled statements must be contained in the trace's exact
+        // dependence-ignoring MHB.
+        use eo_engine::{ExactEngine, FeasibilityMode};
+        let mut b = ProgramBuilder::new();
+        let ev = b.event_var("ev");
+        let main = b.process("main");
+        let w = b.subprocess("w");
+        b.compute(main, "m0");
+        b.fork(main, &[w]);
+        b.compute(w, "w0");
+        b.post(w, ev);
+        b.wait(main, ev);
+        b.join(main, &[w]);
+        b.compute(main, "m1");
+        let program = b.build();
+        let so = StaticOrderings::analyze(&program);
+
+        for seed in 0..6 {
+            let trace =
+                eo_lang::run_to_trace(&program, &mut eo_lang::Scheduler::random(seed)).unwrap();
+            let exec = trace.to_execution().unwrap();
+            let engine = ExactEngine::with_mode(&exec, FeasibilityMode::IgnoreDependences);
+            for (a, bb) in so.relation().pairs() {
+                let (la, lb) = (&so.stmts()[a].label, &so.stmts()[bb].label);
+                if let (Some(la), Some(lb)) = (la, lb) {
+                    if let (Some(ea), Some(eb)) =
+                        (exec.event_labeled(la), exec.event_labeled(lb))
+                    {
+                        assert!(
+                            engine.mhb(ea, eb),
+                            "static claim {la}->{lb} must hold dynamically (seed {seed})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,272 @@
+//! The Emrath–Ghosh–Padua task graph (paper Section 4, reference [2]).
+//!
+//! EGP compute "guaranteed run-time orderings" for executions using
+//! fork/join and Post/Wait/Clear. Their graph contains:
+//!
+//! * **Machine edges** — consecutive events of one process;
+//! * **Task Start / Task End edges** — fork → first event of each created
+//!   task, last event of each task → the join that awaits it;
+//! * **Synchronization edges** — for each Wait, the Posts that *might have
+//!   triggered it* are identified: Post `p` is a candidate unless there is
+//!   a path Wait → `p` (the Wait preceded it) or a path `p` → Wait passing
+//!   through a Clear of the same variable (the posting was wiped before
+//!   the Wait could see it). An edge is then drawn from each **closest
+//!   common ancestor** of the candidate set to the Wait — whichever
+//!   candidate actually fired, everything above all of them is safely
+//!   ordered before the Wait.
+//!
+//! Adding a synchronization edge can disqualify candidates of other Waits,
+//! so the construction iterates to a fixpoint (the original paper applies
+//! passes similarly).
+//!
+//! Two deliberate, documented differences from the 1989 description:
+//!
+//! 1. nodes cover *all* events, not only synchronization events —
+//!    computation events just sit inside the machine-edge chains and
+//!    create no new paths between sync nodes, so reachability between
+//!    sync events is unchanged and the output relation is directly
+//!    comparable with the exact engine's;
+//! 2. Waits on event variables that are *initially set* get no
+//!    synchronization edge (the initial state may have triggered them) —
+//!    the sound choice.
+//!
+//! The method ignores shared-data dependences entirely; the paper's
+//! Figure 1 (experiment E1) shows an ordering it therefore misses, and
+//! `must_miss_figure1` in this module's tests pins that exact behaviour.
+
+use eo_model::{EvVarId, EventId, Op, ProgramExecution};
+use eo_relations::{Digraph, Relation};
+
+/// The EGP guaranteed-ordering graph for one execution.
+pub struct TaskGraph {
+    graph: Digraph,
+    reach: Relation,
+    sync_edges: Vec<(EventId, EventId)>,
+    passes: usize,
+}
+
+impl TaskGraph {
+    /// Builds the task graph for `exec` and closes it to a fixpoint.
+    pub fn build(exec: &ProgramExecution) -> TaskGraph {
+        let trace = exec.trace();
+        let n = exec.n_events();
+        let mut graph = Digraph::new(n);
+
+        // Machine edges + Task Start/End edges — these are exactly the
+        // dependence-free base edges of the model.
+        let no_d = Relation::new(n);
+        for (a, b) in eo_model::induce::base_edges(trace, &no_d).pairs() {
+            graph.add_edge(a, b);
+        }
+
+        // Collect the Post/Wait/Clear population per event variable.
+        let mut posts: Vec<Vec<EventId>> = vec![Vec::new(); trace.event_vars.len()];
+        let mut waits: Vec<(EventId, EvVarId)> = Vec::new();
+        let mut clears: Vec<Vec<EventId>> = vec![Vec::new(); trace.event_vars.len()];
+        for e in &trace.events {
+            match e.op {
+                Op::Post(v) => posts[v.index()].push(e.id),
+                Op::Wait(v) => waits.push((e.id, v)),
+                Op::Clear(v) => clears[v.index()].push(e.id),
+                _ => {}
+            }
+        }
+
+        let mut sync_edges = Vec::new();
+        let mut passes = 0;
+        loop {
+            passes += 1;
+            let mut added = false;
+            for &(w, v) in &waits {
+                if trace.event_vars[v.index()].initially_set {
+                    continue; // the initial flag may have triggered it
+                }
+                let candidates: Vec<usize> = posts[v.index()]
+                    .iter()
+                    .map(|p| p.index())
+                    .filter(|&p| !graph.has_path(w.index(), p))
+                    .filter(|&p| {
+                        // Disqualified if some Clear provably sits between.
+                        !clears[v.index()].iter().any(|c| {
+                            graph.has_path(p, c.index()) && graph.has_path(c.index(), w.index())
+                        })
+                    })
+                    .collect();
+                if candidates.is_empty() {
+                    continue;
+                }
+                for cca in graph.closest_common_ancestors(&candidates) {
+                    if cca != w.index() && !graph.has_path(cca, w.index()) {
+                        graph.add_edge(cca, w.index());
+                        sync_edges.push((EventId::new(cca), w));
+                        added = true;
+                    }
+                }
+            }
+            if !added {
+                break;
+            }
+        }
+
+        let reach = graph.reachability();
+        TaskGraph {
+            graph,
+            reach,
+            sync_edges,
+            passes,
+        }
+    }
+
+    /// EGP's answer to "is `a` guaranteed to execute before `b`?": a path
+    /// in the task graph.
+    pub fn guaranteed_before(&self, a: EventId, b: EventId) -> bool {
+        self.reach.contains(a.index(), b.index())
+    }
+
+    /// The full guaranteed-ordering relation (reachability matrix).
+    pub fn relation(&self) -> &Relation {
+        &self.reach
+    }
+
+    /// The underlying graph (for rendering).
+    pub fn graph(&self) -> &Digraph {
+        &self.graph
+    }
+
+    /// The synchronization edges the construction added, in insertion
+    /// order.
+    pub fn sync_edges(&self) -> &[(EventId, EventId)] {
+        &self.sync_edges
+    }
+
+    /// Fixpoint passes taken.
+    pub fn passes(&self) -> usize {
+        self.passes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eo_model::fixtures;
+
+    #[test]
+    fn machine_and_fork_edges_are_present() {
+        let (trace, ids) = fixtures::fork_join_diamond();
+        let exec = trace.to_execution().unwrap();
+        let tg = TaskGraph::build(&exec);
+        assert!(tg.guaranteed_before(ids.fork, ids.left));
+        assert!(tg.guaranteed_before(ids.left, ids.join));
+        assert!(tg.guaranteed_before(ids.pre, ids.post));
+        assert!(!tg.guaranteed_before(ids.left, ids.right));
+    }
+
+    #[test]
+    fn single_candidate_post_gets_a_direct_edge() {
+        // poster: Post(v); waiter: Wait(v) — one candidate, CCA = itself.
+        let mut tb = eo_model::TraceBuilder::new();
+        let p0 = tb.process("poster");
+        let p1 = tb.process("waiter");
+        let v = tb.event_var("v", false);
+        let post = tb.push(p0, Op::Post(v));
+        let wait = tb.push(p1, Op::Wait(v));
+        let exec = tb.build().unwrap().to_execution().unwrap();
+        let tg = TaskGraph::build(&exec);
+        assert!(tg.guaranteed_before(post, wait));
+        assert_eq!(tg.sync_edges(), &[(post, wait)]);
+    }
+
+    #[test]
+    fn figure1_no_path_between_posts_but_cca_edge_to_wait() {
+        let (trace, ids) = fixtures::figure1();
+        let exec = trace.to_execution().unwrap();
+        let tg = TaskGraph::build(&exec);
+        // The task graph shows NO ordering between the two Posts — the gap
+        // the paper's Section 4 describes (the data dependence that forces
+        // post_left before post_right is invisible to EGP).
+        assert!(!tg.guaranteed_before(ids.post_left, ids.post_right));
+        assert!(!tg.guaranteed_before(ids.post_right, ids.post_left));
+        // But the fork — the closest common ancestor of both candidate
+        // Posts, the source of Figure 1b's "solid line" — is ordered
+        // before the Wait. (In this fixture the Wait is the forked task's
+        // first event, so the ordering is already carried by the Task
+        // Start edge and no separate synchronization edge is needed.)
+        assert!(tg.guaranteed_before(ids.fork, ids.wait));
+    }
+
+    #[test]
+    fn cleared_post_is_disqualified() {
+        // post1 → clear (same process), then post2 on another process,
+        // wait on a third that is sync-ordered after the clear. post1
+        // cannot have triggered the wait, so the edge comes from post2.
+        let mut tb = eo_model::TraceBuilder::new();
+        let p0 = tb.process("post-then-clear");
+        let p1 = tb.process("poster2");
+        let p2 = tb.process("waiter");
+        let v = tb.event_var("v", false);
+        let u = tb.event_var("u", false);
+        let _post1 = tb.push(p0, Op::Post(v));
+        let _clear = tb.push(p0, Op::Clear(v));
+        let hand = tb.push(p0, Op::Post(u));
+        let gate = tb.push(p2, Op::Wait(u)); // orders clear before the wait region
+        let post2 = tb.push(p1, Op::Post(v));
+        let wait = tb.push(p2, Op::Wait(v));
+        let exec = tb.build().unwrap().to_execution().unwrap();
+        let tg = TaskGraph::build(&exec);
+        let _ = (hand, gate);
+        assert!(
+            tg.guaranteed_before(post2, wait),
+            "post2 is the only live candidate"
+        );
+    }
+
+    #[test]
+    fn initially_set_waits_get_no_sync_edge() {
+        let mut tb = eo_model::TraceBuilder::new();
+        let p0 = tb.process("poster");
+        let p1 = tb.process("waiter");
+        let v = tb.event_var("v", true);
+        let post = tb.push(p0, Op::Post(v));
+        let wait = tb.push(p1, Op::Wait(v));
+        let exec = tb.build().unwrap().to_execution().unwrap();
+        let tg = TaskGraph::build(&exec);
+        assert!(!tg.guaranteed_before(post, wait));
+        assert!(tg.sync_edges().is_empty());
+    }
+
+    #[test]
+    fn soundness_against_exact_engine_on_event_fixtures() {
+        // Every ordering the task graph claims must hold in the exact
+        // dependence-ignoring MHB (EGP's own feasibility notion), hence
+        // also in the dependence-preserving MHB.
+        for trace in [
+            fixtures::figure1().0,
+            fixtures::fork_join_diamond().0,
+            fixtures::post_wait_clear_chain().0,
+        ] {
+            let exec = trace.to_execution().unwrap();
+            let tg = TaskGraph::build(&exec);
+            let relaxed = eo_engine::ExactEngine::with_mode(
+                &exec,
+                eo_engine::FeasibilityMode::IgnoreDependences,
+            );
+            for (a, b) in tg.relation().pairs() {
+                assert!(
+                    relaxed.mhb(EventId::new(a), EventId::new(b)),
+                    "EGP claimed unsound ordering e{a}->e{b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn semaphore_ops_are_ignored() {
+        let (trace, ids) = fixtures::sem_handshake();
+        let exec = trace.to_execution().unwrap();
+        let tg = TaskGraph::build(&exec);
+        // EGP handles event-style synchronization only: the V→P ordering
+        // is invisible (incomplete, but sound — it claims nothing).
+        assert!(!tg.guaranteed_before(ids.v, ids.p));
+        assert!(tg.sync_edges().is_empty());
+    }
+}

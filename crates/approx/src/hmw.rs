@@ -1,0 +1,341 @@
+//! Helmbold–McDowell–Wang safe orderings for semaphore traces (paper
+//! Section 4, reference [5]).
+//!
+//! HMW analyze traces of programs that synchronize with counting
+//! semaphores, where the V-to-P pairing is *anonymous*: the trace shows
+//! which V's and P's executed, but any V's token may have served any P in
+//! another execution. Their three phases, as the paper recounts them:
+//!
+//! 1. order the i-th V before the i-th P of each semaphore (the observed
+//!    pairing) — **unsafe**: a different execution may pair differently;
+//! 2. replace that by orderings that hold under *every* pairing —
+//!    **safe but overly conservative**;
+//! 3. **sharpen** by noting that only some P events can actually execute
+//!    after certain V events, adding further safe orderings.
+//!
+//! This module implements the safe computation as a counting fixpoint
+//! (the argument behind phases 2–3):
+//!
+//! > Let `R` be the safe relation so far (initially program order and
+//! > fork/join edges, closed). For a P event `p` on semaphore `s`, let
+//! > `k = 1 + |{P' on s : p' →R p}|` — in every execution at least `k`
+//! > tokens are consumed by the time `p` completes, so at least
+//! > `k − initial(s)` V events complete before `p` begins. The V events
+//! > that *can* complete before `p` begins are `C = {v : ¬(p →R v)}`.
+//! > If `|C|` equals the required count, **every** member of `C` must
+//! > precede `p`: add all edges `v → p` and re-close.
+//!
+//! Each round either adds an edge or terminates, so the fixpoint is
+//! polynomial. Soundness is checked in tests against the exact engine
+//! (the result must be contained in MHB under the dependence-ignoring
+//! feasibility HMW assume — and hence in the paper's MHB as well); the
+//! paper's point, proved by Theorem 1 and measured by experiment E7, is
+//! that the containment is *strict*: safe orderings are only a subset of
+//! MHB.
+//!
+//! [`unsafe_phase1`] exposes the observed-pairing relation so the unsafety
+//! can be demonstrated (tests construct an execution where it claims an
+//! ordering the exact engine refutes).
+
+use eo_model::{EventId, Op, ProgramExecution, SemId};
+use eo_relations::Relation;
+
+/// The safe (guaranteed) orderings of a semaphore trace, per HMW.
+pub struct SafeOrderings {
+    relation: Relation,
+    rounds: usize,
+    edges_added: usize,
+}
+
+impl SafeOrderings {
+    /// Runs the counting fixpoint on `exec`.
+    pub fn compute(exec: &ProgramExecution) -> SafeOrderings {
+        let trace = exec.trace();
+        let n = exec.n_events();
+
+        // Base: program order + fork/join, NO dependences (HMW's notion of
+        // feasibility ignores shared data), closed.
+        let no_d = Relation::new(n);
+        let mut rel = eo_model::induce::base_edges(trace, &no_d);
+        rel.close_transitively();
+
+        // Per-semaphore populations.
+        let n_sems = trace.semaphores.len();
+        let mut vs: Vec<Vec<EventId>> = vec![Vec::new(); n_sems];
+        let mut ps: Vec<Vec<EventId>> = vec![Vec::new(); n_sems];
+        for e in &trace.events {
+            match e.op {
+                Op::SemV(s) => vs[s.index()].push(e.id),
+                Op::SemP(s) => ps[s.index()].push(e.id),
+                _ => {}
+            }
+        }
+
+        let mut rounds = 0;
+        let mut edges_added = 0;
+        loop {
+            rounds += 1;
+            let mut changed = false;
+            for s in 0..n_sems {
+                let initial = trace.semaphores[s].initial as usize;
+                for &p in &ps[s] {
+                    // Tokens consumed by the time p completes.
+                    let k = 1 + ps[s]
+                        .iter()
+                        .filter(|&&q| q != p && rel.contains(q.index(), p.index()))
+                        .count();
+                    let needed = k.saturating_sub(initial);
+                    if needed == 0 {
+                        continue;
+                    }
+                    let candidates: Vec<EventId> = vs[s]
+                        .iter()
+                        .copied()
+                        .filter(|&v| !rel.contains(p.index(), v.index()))
+                        .collect();
+                    debug_assert!(
+                        candidates.len() >= needed,
+                        "{} candidate V's for a P needing {needed} on {}",
+                        candidates.len(),
+                        SemId::new(s)
+                    );
+                    if candidates.len() == needed {
+                        for v in candidates {
+                            if rel.insert(v.index(), p.index()) {
+                                changed = true;
+                                edges_added += 1;
+                            }
+                        }
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+            rel.close_transitively();
+        }
+
+        SafeOrderings {
+            relation: rel,
+            rounds,
+            edges_added,
+        }
+    }
+
+    /// HMW's answer to "is `a` guaranteed before `b`?".
+    pub fn guaranteed_before(&self, a: EventId, b: EventId) -> bool {
+        self.relation.contains(a.index(), b.index())
+    }
+
+    /// The full safe-ordering relation (transitively closed).
+    pub fn relation(&self) -> &Relation {
+        &self.relation
+    }
+
+    /// Fixpoint rounds taken.
+    pub fn rounds(&self) -> usize {
+        self.rounds
+    }
+
+    /// Semaphore edges added beyond program order and fork/join.
+    pub fn edges_added(&self) -> usize {
+        self.edges_added
+    }
+}
+
+/// HMW's **phase 1** relation: program order, fork/join, and the observed
+/// pairing — the i-th V on each semaphore ordered before the i-th
+/// *completed* P. Closed transitively.
+///
+/// Unsafe: another execution with the same events may pair differently;
+/// the test suite exhibits a claimed ordering the exact engine refutes.
+pub fn unsafe_phase1(exec: &ProgramExecution) -> Relation {
+    let trace = exec.trace();
+    let n = exec.n_events();
+    let no_d = Relation::new(n);
+    let mut rel = eo_model::induce::base_edges(trace, &no_d);
+
+    let n_sems = trace.semaphores.len();
+    let mut vs: Vec<Vec<EventId>> = vec![Vec::new(); n_sems];
+    let mut ps: Vec<Vec<EventId>> = vec![Vec::new(); n_sems];
+    for e in &trace.events {
+        match e.op {
+            Op::SemV(s) => vs[s.index()].push(e.id),
+            Op::SemP(s) => ps[s.index()].push(e.id),
+            _ => {}
+        }
+    }
+    for s in 0..n_sems {
+        let initial = trace.semaphores[s].initial as usize;
+        for (i, &p) in ps[s].iter().enumerate() {
+            // The i-th P (0-based) consumes the (i - initial)-th V's token
+            // under the FIFO reading; initial tokens pair with nothing.
+            if i >= initial {
+                if let Some(&v) = vs[s].get(i - initial) {
+                    rel.insert(v.index(), p.index());
+                }
+            }
+        }
+    }
+    rel.close_transitively();
+    rel
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eo_engine::{ExactEngine, FeasibilityMode};
+    use eo_model::fixtures;
+    use eo_model::{Op, TraceBuilder};
+
+    #[test]
+    fn handshake_is_found_safe() {
+        let (trace, ids) = fixtures::sem_handshake();
+        let exec = trace.to_execution().unwrap();
+        let safe = SafeOrderings::compute(&exec);
+        assert!(safe.guaranteed_before(ids.v, ids.p), "1 V, 1 P: forced");
+        assert!(safe.guaranteed_before(ids.v, ids.after_p));
+        assert!(!safe.guaranteed_before(ids.after_v, ids.p));
+        assert_eq!(safe.edges_added(), 1);
+    }
+
+    #[test]
+    fn two_v_two_p_forces_nothing_pairwise() {
+        // V,V on separate processes; P,P on two more: any V may serve any
+        // P, and each P needs ≥1 token with 2 candidates — no single V is
+        // forced before a given P... but both P's completing needs both
+        // V's: the SECOND P (k=2) has needed=2 = |C| only once one P is
+        // ordered. With nothing ordered among P's, no edges at all.
+        let mut tb = TraceBuilder::new();
+        let a = tb.process("va");
+        let b = tb.process("vb");
+        let c = tb.process("pc");
+        let d = tb.process("pd");
+        let s = tb.semaphore("s", 0);
+        let v1 = tb.push(a, Op::SemV(s));
+        let v2 = tb.push(b, Op::SemV(s));
+        let p1 = tb.push(c, Op::SemP(s));
+        let p2 = tb.push(d, Op::SemP(s));
+        let exec = tb.build().unwrap().to_execution().unwrap();
+        let safe = SafeOrderings::compute(&exec);
+        for &v in &[v1, v2] {
+            for &p in &[p1, p2] {
+                assert!(!safe.guaranteed_before(v, p), "{v}->{p} is not guaranteed");
+            }
+        }
+        // The exact engine agrees: each P has some execution where a given
+        // V follows it.
+        let engine = ExactEngine::new(&exec);
+        assert!(!engine.mhb(v1, p1));
+    }
+
+    #[test]
+    fn chained_p_sharpens_the_count() {
+        // One process does P;P (so the second P is always the 2nd token
+        // consumer); two V's exist. Both V's must precede the second P.
+        let mut tb = TraceBuilder::new();
+        let va = tb.process("va");
+        let vb = tb.process("vb");
+        let pp = tb.process("pp");
+        let s = tb.semaphore("s", 0);
+        let v1 = tb.push(va, Op::SemV(s));
+        let v2 = tb.push(vb, Op::SemV(s));
+        let p1 = tb.push(pp, Op::SemP(s));
+        let p2 = tb.push(pp, Op::SemP(s));
+        let exec = tb.build().unwrap().to_execution().unwrap();
+        let safe = SafeOrderings::compute(&exec);
+        assert!(safe.guaranteed_before(v1, p2));
+        assert!(safe.guaranteed_before(v2, p2));
+        assert!(!safe.guaranteed_before(v1, p1), "p1 could use v2's token");
+        // Cross-check with the exact engine.
+        let engine = ExactEngine::new(&exec);
+        assert!(engine.mhb(v1, p2) && engine.mhb(v2, p2));
+        assert!(!engine.mhb(v1, p1));
+        let _ = p1;
+    }
+
+    #[test]
+    fn initial_tokens_reduce_the_requirement() {
+        let mut tb = TraceBuilder::new();
+        let pv = tb.process("v");
+        let pq = tb.process("p");
+        let s = tb.semaphore("s", 1);
+        let v = tb.push(pv, Op::SemV(s));
+        let q = tb.push(pq, Op::SemP(s));
+        let exec = tb.build().unwrap().to_execution().unwrap();
+        let safe = SafeOrderings::compute(&exec);
+        assert!(
+            !safe.guaranteed_before(v, q),
+            "the initial token can serve the P"
+        );
+    }
+
+    #[test]
+    fn safe_orderings_are_sound_wrt_exact_mhb() {
+        use eo_lang::generator::{generate_trace, WorkloadSpec};
+        for seed in 0..6 {
+            let trace = generate_trace(&WorkloadSpec::small_semaphore(seed), 50);
+            let exec = trace.to_execution().unwrap();
+            let safe = SafeOrderings::compute(&exec);
+            let relaxed = ExactEngine::with_mode(&exec, FeasibilityMode::IgnoreDependences);
+            for (a, b) in safe.relation().pairs() {
+                assert!(
+                    relaxed.mhb(EventId::new(a), EventId::new(b)),
+                    "seed {seed}: HMW claimed unsound ordering e{a}->e{b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn phase1_is_unsafe() {
+        // Two V's from different processes, one P: the observed order
+        // pairs the first V with the P, but the other execution pairs the
+        // other V — phase 1's claim is refuted by the exact engine.
+        let mut tb = TraceBuilder::new();
+        let a = tb.process("va");
+        let b = tb.process("vb");
+        let c = tb.process("pc");
+        let s = tb.semaphore("s", 0);
+        let v1 = tb.push(a, Op::SemV(s));
+        let _v2 = tb.push(b, Op::SemV(s));
+        let p = tb.push(c, Op::SemP(s));
+        let exec = tb.build().unwrap().to_execution().unwrap();
+
+        let phase1 = unsafe_phase1(&exec);
+        assert!(
+            phase1.contains(v1.index(), p.index()),
+            "phase 1 trusts the observed pairing"
+        );
+        let engine = ExactEngine::new(&exec);
+        assert!(
+            !engine.mhb(v1, p),
+            "…but v2's token could serve the P: the claim is unsafe"
+        );
+    }
+
+    #[test]
+    fn phase1_respects_initial_tokens() {
+        let mut tb = TraceBuilder::new();
+        let pv = tb.process("v");
+        let pq = tb.process("p");
+        let s = tb.semaphore("s", 1);
+        let v = tb.push(pv, Op::SemV(s));
+        let q1 = tb.push(pq, Op::SemP(s));
+        let q2 = tb.push(pq, Op::SemP(s));
+        let exec = tb.build().unwrap().to_execution().unwrap();
+        let phase1 = unsafe_phase1(&exec);
+        assert!(!phase1.contains(v.index(), q1.index()), "initial token serves q1");
+        assert!(phase1.contains(v.index(), q2.index()));
+    }
+
+    #[test]
+    fn fixpoint_terminates_quickly_on_fixtures() {
+        let (trace, _a, _b) = fixtures::crossing();
+        let exec = trace.to_execution().unwrap();
+        let safe = SafeOrderings::compute(&exec);
+        assert!(safe.rounds() <= 4);
+        // Crossing: each semaphore has one V and one P — both forced.
+        assert_eq!(safe.edges_added(), 2);
+    }
+}

@@ -1,0 +1,63 @@
+//! Polynomial-time baselines from the paper's related work (Section 4).
+//!
+//! The paper's theorems say exact event-ordering analysis is intractable;
+//! its Section 4 reviews what the polynomial methods of the day actually
+//! compute, and where they fall short. This crate implements all three so
+//! the shortfalls can be *measured* against the exact engine:
+//!
+//! * [`egp`] — the **Emrath–Ghosh–Padua task graph** for fork/join +
+//!   Post/Wait/Clear programs: guaranteed orderings as graph paths, with
+//!   synchronization edges drawn from the closest common ancestor of each
+//!   Wait's candidate Posts. Sound but incomplete — and famously blind to
+//!   orderings enforced by shared-data dependences (the paper's Figure 1,
+//!   reproduced in `eo_model::fixtures::figure1` and experiment E1).
+//! * [`hmw`] — the **Helmbold–McDowell–Wang safe orderings** for
+//!   counting-semaphore traces: a three-phase computation whose result is
+//!   guaranteed to hold in *every* execution performing the same events
+//!   (a subset of the paper's MHB). The unsafe phase-1 relation (i-th V
+//!   before i-th P) is exposed separately to demonstrate why pairing by
+//!   observation is not a guarantee.
+//! * [`vc`] — classic **vector-clock happened-before** over the observed
+//!   synchronization pairing: what a practical dynamic analyzer computes.
+//!   Fast, but *unsafe* in the paper's sense: other feasible executions
+//!   may pair the operations differently.
+//!
+//! * [`cs`] — a **Callahan–Subhlok-style static framework**: guaranteed
+//!   orderings over *all* executions of a *program* (not one trace),
+//!   computed by a data-flow fixpoint on the AST — the fourth related-work
+//!   method the paper discusses, and the one whose own co-NP-hardness
+//!   result the paper's Theorem 1 strengthens to the per-execution
+//!   setting.
+//!
+//! All baselines intentionally ignore shared-data dependences — that is
+//! how the original methods are defined (the paper's Section 5.3 notion of
+//! feasibility), and exactly why Figure 1 defeats them.
+//!
+//! ```
+//! use eo_approx::{SafeOrderings, TaskGraph, VectorClockHb};
+//! use eo_model::fixtures;
+//!
+//! let (trace, ids) = fixtures::figure1();
+//! let exec = trace.to_execution().unwrap();
+//! // The task graph sees no ordering between the two Posts…
+//! let tg = TaskGraph::build(&exec);
+//! assert!(!tg.guaranteed_before(ids.post_left, ids.post_right));
+//! // …and neither do the clocks — the Figure 1 gap.
+//! let vc = VectorClockHb::compute(&exec);
+//! assert!(vc.concurrent(ids.post_left, ids.post_right));
+//! let hmw = SafeOrderings::compute(&exec);
+//! assert!(!hmw.guaranteed_before(ids.post_left, ids.post_right));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cs;
+pub mod egp;
+pub mod hmw;
+pub mod vc;
+
+pub use cs::StaticOrderings;
+pub use egp::TaskGraph;
+pub use hmw::SafeOrderings;
+pub use vc::VectorClockHb;

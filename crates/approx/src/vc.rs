@@ -1,0 +1,214 @@
+//! Vector-clock happened-before over the observed pairing.
+//!
+//! This is what a practical dynamic analyzer (TSan-style) computes from
+//! one trace: one clock per process, ticked at every event, merged at the
+//! synchronization points *as they were observed to pair* — each `P`
+//! merges the clock of the `V` whose token it consumed (FIFO), each
+//! `Wait` merges the clock of the `Post` that set the flag it saw,
+//! fork/join merge parent/child clocks.
+//!
+//! The result is a genuine partial order on the events of *this*
+//! execution — but as a predictor of orderings across **all** feasible
+//! executions it is unsafe (another execution may pair differently) *and*
+//! incomplete (it ignores the orderings that shared-data dependences
+//! force, as in Figure 1). Experiment E7 quantifies both failure modes
+//! against the exact engine.
+
+use eo_model::{EventId, Op, ProgramExecution};
+use eo_relations::{ClockOrdering, Relation, VectorClock};
+
+/// The vector-clock happened-before analysis of one observed execution.
+pub struct VectorClockHb {
+    clocks: Vec<VectorClock>,
+    relation: Relation,
+}
+
+impl VectorClockHb {
+    /// Runs the clock algorithm along the observed order of `exec`.
+    pub fn compute(exec: &ProgramExecution) -> VectorClockHb {
+        let trace = exec.trace();
+        let n = exec.n_events();
+        let n_procs = trace.processes.len();
+
+        let mut proc_clock: Vec<VectorClock> = (0..n_procs).map(|_| VectorClock::new(n_procs)).collect();
+        // FIFO token clocks per semaphore (initial tokens carry the zero
+        // clock, i.e. merge nothing).
+        let mut sem_tokens: Vec<std::collections::VecDeque<Option<VectorClock>>> = trace
+            .semaphores
+            .iter()
+            .map(|s| (0..s.initial).map(|_| None).collect())
+            .collect();
+        // Clock of the live Post per event variable.
+        let mut ev_clock: Vec<Option<VectorClock>> = vec![None; trace.event_vars.len()];
+        let mut event_clock: Vec<VectorClock> = Vec::with_capacity(n);
+
+        for e in &trace.events {
+            let pi = e.process.index();
+            match &e.op {
+                Op::SemP(s) => {
+                    if let Some(Some(token)) = sem_tokens[s.index()].pop_front() {
+                        proc_clock[pi].merge(&token);
+                    }
+                }
+                Op::Wait(v) => {
+                    if let Some(post) = &ev_clock[v.index()] {
+                        proc_clock[pi].merge(&post.clone());
+                    }
+                }
+                Op::Join(children) => {
+                    for c in children {
+                        let child = proc_clock[c.index()].clone();
+                        proc_clock[pi].merge(&child);
+                    }
+                }
+                _ => {}
+            }
+
+            proc_clock[pi].tick(pi);
+            let now = proc_clock[pi].clone();
+
+            match &e.op {
+                Op::SemV(s) => sem_tokens[s.index()].push_back(Some(now.clone())),
+                Op::Post(v) => ev_clock[v.index()] = Some(now.clone()),
+                Op::Clear(v) => ev_clock[v.index()] = None,
+                Op::Fork(children) => {
+                    for c in children {
+                        let inherited = now.clone();
+                        proc_clock[c.index()] = inherited;
+                    }
+                }
+                _ => {}
+            }
+            event_clock.push(now);
+        }
+
+        let mut relation = Relation::new(n);
+        for a in 0..n {
+            for b in 0..n {
+                if a != b && event_clock[a].compare(&event_clock[b]) == ClockOrdering::Before {
+                    relation.insert(a, b);
+                }
+            }
+        }
+        VectorClockHb {
+            clocks: event_clock,
+            relation,
+        }
+    }
+
+    /// The clock stamped on each event.
+    pub fn clock_of(&self, e: EventId) -> &VectorClock {
+        &self.clocks[e.index()]
+    }
+
+    /// `a` happened before `b` according to the observed-pairing clocks.
+    pub fn happened_before(&self, a: EventId, b: EventId) -> bool {
+        self.relation.contains(a.index(), b.index())
+    }
+
+    /// `a` and `b` are concurrent according to the clocks.
+    pub fn concurrent(&self, a: EventId, b: EventId) -> bool {
+        self.relation.unordered(a.index(), b.index())
+    }
+
+    /// The full clock-derived happened-before relation.
+    pub fn relation(&self) -> &Relation {
+        &self.relation
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eo_engine::ExactEngine;
+    use eo_model::fixtures;
+    use eo_model::{Op, TraceBuilder};
+
+    #[test]
+    fn program_order_is_captured() {
+        let mut tb = TraceBuilder::new();
+        let p = tb.process("p");
+        let a = tb.compute(p, "a");
+        let b = tb.compute(p, "b");
+        let exec = tb.build().unwrap().to_execution().unwrap();
+        let vc = VectorClockHb::compute(&exec);
+        assert!(vc.happened_before(a, b));
+        assert!(!vc.happened_before(b, a));
+    }
+
+    #[test]
+    fn handshake_merges_through_the_token() {
+        let (trace, ids) = fixtures::sem_handshake();
+        let exec = trace.to_execution().unwrap();
+        let vc = VectorClockHb::compute(&exec);
+        assert!(vc.happened_before(ids.v, ids.p));
+        assert!(vc.happened_before(ids.v, ids.after_p));
+        assert!(vc.concurrent(ids.after_v, ids.after_p));
+    }
+
+    #[test]
+    fn post_wait_merges() {
+        let (trace, ids) = fixtures::figure1();
+        let exec = trace.to_execution().unwrap();
+        let vc = VectorClockHb::compute(&exec);
+        // The observed trigger was post_right (latest before the wait).
+        assert!(vc.happened_before(ids.post_right, ids.wait));
+        // But the dependence-forced ordering between the Posts is
+        // invisible to clocks: they are reported concurrent — the Figure 1
+        // failure mode.
+        assert!(vc.concurrent(ids.post_left, ids.post_right));
+        let exact = ExactEngine::new(&exec);
+        assert!(exact.mhb(ids.post_left, ids.post_right), "exact sees the ordering");
+    }
+
+    #[test]
+    fn fork_join_clock_flow() {
+        let (trace, ids) = fixtures::fork_join_diamond();
+        let exec = trace.to_execution().unwrap();
+        let vc = VectorClockHb::compute(&exec);
+        assert!(vc.happened_before(ids.fork, ids.left));
+        assert!(vc.happened_before(ids.left, ids.join));
+        assert!(vc.happened_before(ids.pre, ids.post));
+        assert!(vc.concurrent(ids.left, ids.right));
+    }
+
+    #[test]
+    fn observed_pairing_makes_clocks_unsafe() {
+        // Two V's (different processes), one P: clocks pair the P with the
+        // FIFO-first V and claim v1 → p, which the exact engine refutes.
+        let mut tb = TraceBuilder::new();
+        let a = tb.process("va");
+        let b = tb.process("vb");
+        let c = tb.process("pc");
+        let s = tb.semaphore("s", 0);
+        let v1 = tb.push(a, Op::SemV(s));
+        let _v2 = tb.push(b, Op::SemV(s));
+        let p = tb.push(c, Op::SemP(s));
+        let exec = tb.build().unwrap().to_execution().unwrap();
+        let vc = VectorClockHb::compute(&exec);
+        assert!(vc.happened_before(v1, p), "clocks trust the observed pairing");
+        let exact = ExactEngine::new(&exec);
+        assert!(!exact.mhb(v1, p), "the ordering is not guaranteed");
+    }
+
+    #[test]
+    fn clocks_agree_with_induced_t_on_sync_free_traces() {
+        let (trace, x, y) = fixtures::independent_pair();
+        let exec = trace.to_execution().unwrap();
+        let vc = VectorClockHb::compute(&exec);
+        assert!(vc.concurrent(x, y));
+    }
+
+    #[test]
+    fn initial_tokens_merge_nothing() {
+        let mut tb = TraceBuilder::new();
+        let pv = tb.process("v");
+        let pq = tb.process("p");
+        let s = tb.semaphore("s", 1);
+        let v = tb.push(pv, Op::SemV(s));
+        let q = tb.push(pq, Op::SemP(s));
+        let exec = tb.build().unwrap().to_execution().unwrap();
+        let vc = VectorClockHb::compute(&exec);
+        assert!(vc.concurrent(v, q), "the P consumed the initial token");
+    }
+}

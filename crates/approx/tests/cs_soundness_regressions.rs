@@ -1,0 +1,56 @@
+//! Regression tests for two soundness holes the adversarial review found
+//! in the static (Callahan–Subhlok-style) analysis.
+
+use eo_approx::StaticOrderings;
+use eo_engine::{ExactEngine, FeasibilityMode};
+use eo_lang::ProgramBuilder;
+
+/// A process that Waits on a flag only it Posts later can never execute;
+/// the analysis must not panic on the resulting vacuous prec-cycle.
+#[test]
+fn self_wait_post_cycle_does_not_panic() {
+    let mut b = ProgramBuilder::new();
+    let ev = b.event_var("ev");
+    let p = b.process("p");
+    b.wait(p, ev);
+    b.post(p, ev);
+    let program = b.build();
+    let so = StaticOrderings::analyze(&program);
+    assert_eq!(so.n_stmts(), 2);
+}
+
+/// An initially-set event variable means a Wait may fire with no Post at
+/// all — the post-meet rule must be withdrawn, otherwise the static claim
+/// `pre → after` is refuted by the execution where the waiter runs first.
+#[test]
+fn initially_set_wait_inherits_nothing_from_posts() {
+    let mut b = ProgramBuilder::new();
+    let ev = b.event_var_init("ev", true);
+    let p0 = b.process("poster");
+    b.compute(p0, "pre");
+    b.post(p0, ev);
+    let p1 = b.process("waiter");
+    b.wait(p1, ev);
+    b.compute(p1, "after");
+    let program = b.build();
+
+    let so = StaticOrderings::analyze(&program);
+    let pre = so.stmt_labeled("pre").unwrap();
+    let after = so.stmt_labeled("after").unwrap();
+    assert!(
+        !so.guaranteed_before(pre, after),
+        "the initial flag can trigger the wait without any post"
+    );
+
+    // The dynamic refutation that motivated the fix: the waiter can run
+    // entirely before the poster.
+    let trace = eo_lang::run_to_trace(&program, &mut eo_lang::Scheduler::priority(vec![1, 0]))
+        .unwrap();
+    let exec = trace.to_execution().unwrap();
+    let engine = ExactEngine::with_mode(&exec, FeasibilityMode::IgnoreDependences);
+    let (ea, eb) = (
+        exec.event_labeled("pre").unwrap(),
+        exec.event_labeled("after").unwrap(),
+    );
+    assert!(!engine.mhb(ea, eb), "no execution-level guarantee exists");
+}

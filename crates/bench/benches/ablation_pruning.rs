@@ -1,0 +1,42 @@
+//! Ablation (DESIGN.md §5): sleep-set class enumeration vs naive
+//! interleaving enumeration — identical F(P), very different work.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eo_engine::enumerate::{enumerate_classes, enumerate_naive};
+use eo_engine::{FeasibilityMode, SearchCtx};
+use eo_model::fixtures;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let gallery = vec![
+        ("diamond", fixtures::fork_join_diamond().0),
+        ("crossing", fixtures::crossing().0),
+        ("figure1", fixtures::figure1().0),
+    ];
+    let mut g = c.benchmark_group("ablation_pruning");
+    for (label, trace) in gallery {
+        let exec = trace.to_execution().unwrap();
+        g.bench_with_input(BenchmarkId::new("sleep_sets", label), &exec, |b, exec| {
+            b.iter(|| {
+                let ctx = SearchCtx::new(black_box(exec), FeasibilityMode::PreserveDependences);
+                enumerate_classes(&ctx, 1 << 22).schedules_explored
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("naive", label), &exec, |b, exec| {
+            b.iter(|| {
+                let ctx = SearchCtx::new(black_box(exec), FeasibilityMode::PreserveDependences);
+                enumerate_naive(&ctx, 1 << 22).schedules_explored
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = common::fast_criterion();
+    targets = bench
+}
+criterion_main!(benches);

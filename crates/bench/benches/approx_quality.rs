@@ -1,0 +1,43 @@
+//! E7 — cost of the precision measurement itself: building each baseline
+//! relation on the standard workloads (the precision numbers are printed
+//! by the `report` binary; this bench times the contenders).
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eo_lang::generator::{generate_trace, WorkloadSpec};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let trace = generate_trace(&WorkloadSpec::small_semaphore(11), 100);
+    let sem_exec = trace.to_execution().unwrap();
+    let mut espec = WorkloadSpec::small_events(11);
+    espec.clears = false;
+    let etrace = generate_trace(&espec, 100);
+    let ev_exec = etrace.to_execution().unwrap();
+
+    let mut g = c.benchmark_group("e7_baselines");
+    g.bench_function("hmw_on_semaphores", |b| {
+        b.iter(|| eo_approx::SafeOrderings::compute(black_box(&sem_exec)))
+    });
+    g.bench_function("hmw_phase1_on_semaphores", |b| {
+        b.iter(|| eo_approx::hmw::unsafe_phase1(black_box(&sem_exec)))
+    });
+    g.bench_function("egp_on_events", |b| {
+        b.iter(|| eo_approx::TaskGraph::build(black_box(&ev_exec)))
+    });
+    g.bench_function("vc_on_semaphores", |b| {
+        b.iter(|| eo_approx::VectorClockHb::compute(black_box(&sem_exec)))
+    });
+    g.bench_function("vc_on_events", |b| {
+        b.iter(|| eo_approx::VectorClockHb::compute(black_box(&ev_exec)))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = common::fast_criterion();
+    targets = bench
+}
+criterion_main!(benches);

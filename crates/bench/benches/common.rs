@@ -1,0 +1,13 @@
+//! Shared criterion configuration: small samples, short measurement
+//! windows — the points being made are orders-of-magnitude separations,
+//! not 1% regressions.
+use criterion::Criterion;
+use std::time::Duration;
+
+#[allow(dead_code)]
+pub fn fast_criterion() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+}

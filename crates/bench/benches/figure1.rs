@@ -1,0 +1,39 @@
+//! E1 — Figure 1: cost of each analysis on the paper's example, and the
+//! headline query (exact MHB between the two Posts).
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eo_engine::ExactEngine;
+use eo_model::fixtures;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let (trace, ids) = fixtures::figure1();
+    let exec = trace.to_execution().unwrap();
+    let mut g = c.benchmark_group("e1_figure1");
+
+    g.bench_function("egp_task_graph_build", |b| {
+        b.iter(|| eo_approx::TaskGraph::build(black_box(&exec)))
+    });
+    g.bench_function("vector_clocks", |b| {
+        b.iter(|| eo_approx::VectorClockHb::compute(black_box(&exec)))
+    });
+    g.bench_function("exact_mhb_posts", |b| {
+        b.iter(|| {
+            let engine = ExactEngine::new(black_box(&exec));
+            engine.mhb(ids.post_left, ids.post_right)
+        })
+    });
+    g.bench_function("exact_full_summary", |b| {
+        b.iter(|| ExactEngine::new(black_box(&exec)).summary())
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = common::fast_criterion();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! E9 — exhaustive (feasible) race detection vs vector clocks.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eo_lang::generator::{generate_trace, WorkloadSpec};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e9_races");
+    for seed in [2u64, 5] {
+        let mut spec = WorkloadSpec::small_semaphore(seed);
+        spec.variables = 3;
+        spec.write_fraction = 0.5;
+        let trace = generate_trace(&spec, 100);
+        let exec = trace.to_execution().unwrap();
+        g.bench_with_input(BenchmarkId::new("exact", seed), &exec, |b, exec| {
+            b.iter(|| eo_race::exact_races(black_box(exec)))
+        });
+        g.bench_with_input(BenchmarkId::new("vector_clock", seed), &exec, |b, exec| {
+            b.iter(|| eo_race::vc_races(black_box(exec)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = common::fast_criterion();
+    targets = bench
+}
+criterion_main!(benches);

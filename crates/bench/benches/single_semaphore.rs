@@ -1,0 +1,31 @@
+//! E8 — the single-counting-semaphore corollary: ordering queries on the
+//! sequencing reduction vs the subset-DP oracle.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eo_reductions::single_semaphore::SingleSemaphoreReduction;
+use eo_reductions::SequencingInstance;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e8_single_semaphore");
+    for jobs in [3usize, 4, 5] {
+        let inst = SequencingInstance::random(jobs, 2, 0.3, 2, 5);
+        let red = SingleSemaphoreReduction::build(&inst);
+        g.bench_with_input(BenchmarkId::new("engine_chb", jobs), &red, |b, red| {
+            b.iter(|| black_box(red.witness_b_before_a().is_some()))
+        });
+        g.bench_with_input(BenchmarkId::new("subset_dp", jobs), &inst, |b, inst| {
+            b.iter(|| black_box(inst.feasible()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = common::fast_criterion();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! E2 — Table 1: full six-relation summaries over the fixture gallery.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eo_engine::ExactEngine;
+use eo_model::fixtures;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let gallery = vec![
+        ("independent_pair", fixtures::independent_pair().0),
+        ("sem_handshake", fixtures::sem_handshake().0),
+        ("fork_join_diamond", fixtures::fork_join_diamond().0),
+        ("crossing", fixtures::crossing().0),
+        ("figure1", fixtures::figure1().0),
+        ("post_wait_clear", fixtures::post_wait_clear_chain().0),
+    ];
+    let mut g = c.benchmark_group("e2_table1_summary");
+    for (name, trace) in gallery {
+        let exec = trace.to_execution().unwrap();
+        g.bench_function(name, |b| {
+            b.iter(|| ExactEngine::new(black_box(&exec)).summary())
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = common::fast_criterion();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! E3 — Theorem 1: deciding `a MHB b` on the semaphore reduction. The
+//! co-NP-hard direction: unsatisfiable inputs force the engine to exhaust
+//! the first-pass schedule space, and the cost climbs with formula size —
+//! compare against the DPLL solver on the same formulas.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eo_reductions::semaphore::SemaphoreReduction;
+use eo_sat::{Formula, Solver};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e3_theorem1_mhb");
+
+    // The guaranteed-unsat family: (x∨x∨x)∧(¬x∨¬x∨¬x) padded with
+    // satisfiable clauses raises the event count while staying unsat.
+    for pad in [0usize, 1, 2] {
+        let mut f = Formula::unsat_tiny();
+        for k in 0..pad {
+            let v = eo_sat::Var((k % 3) as u32);
+            f.clauses.push(eo_sat::Clause(vec![
+                eo_sat::Lit::pos(v),
+                eo_sat::Lit::neg(v),
+                eo_sat::Lit::pos(eo_sat::Var(((k + 1) % 3) as u32)),
+            ]));
+        }
+        let red = SemaphoreReduction::build(&f);
+        g.bench_with_input(BenchmarkId::new("engine_mhb_unsat", pad), &red, |b, red| {
+            b.iter(|| black_box(red.decide_mhb()))
+        });
+        g.bench_with_input(BenchmarkId::new("dpll_unsat", pad), &f, |b, f| {
+            b.iter(|| Solver::satisfiable(black_box(f)))
+        });
+    }
+
+    // Satisfiable random formulas: MHB is refuted by one witness, fast.
+    let f = Formula::trivially_sat(3, 3);
+    let red = SemaphoreReduction::build(&f);
+    g.bench_function("engine_mhb_sat_3v3c", |b| {
+        b.iter(|| black_box(red.decide_mhb()))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = common::fast_criterion();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! E5 — Theorems 3–4: the event-style (Post/Wait/Clear) reduction. Same
+//! two questions as E3/E4 on the Clear-based mutual-exclusion encoding.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eo_reductions::event_style::EventReduction;
+use eo_sat::Formula;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e5_theorem34_events");
+
+    let unsat = EventReduction::build(&Formula::unsat_tiny());
+    g.bench_function("engine_mhb_unsat_tiny", |b| {
+        b.iter(|| black_box(unsat.decide_mhb()))
+    });
+    g.bench_function("engine_chb_unsat_tiny", |b| {
+        b.iter(|| black_box(unsat.witness_b_before_a().is_none()))
+    });
+
+    let sat = EventReduction::build(&Formula::trivially_sat(3, 2));
+    g.bench_function("engine_mhb_sat_3v2c", |b| {
+        b.iter(|| black_box(sat.decide_mhb()))
+    });
+    g.bench_function("engine_chb_sat_3v2c", |b| {
+        b.iter(|| black_box(sat.witness_b_before_a().is_some()))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = common::fast_criterion();
+    targets = bench
+}
+criterion_main!(benches);

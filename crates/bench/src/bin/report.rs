@@ -1,0 +1,319 @@
+//! Regenerates every experiment table (E1–E9 + ablations) and prints them
+//! in the form recorded in EXPERIMENTS.md.
+//!
+//! ```text
+//! cargo run --release -p eo-bench --bin report            # all experiments
+//! cargo run --release -p eo-bench --bin report -- e3 e7   # a subset
+//! ```
+
+use eo_bench::table::render;
+use eo_bench::*;
+use eo_lang::generator::SyncStyle;
+use eo_model::fixtures;
+use std::time::Duration;
+
+fn ms(d: Duration) -> String {
+    format!("{:.3}", d.as_secs_f64() * 1e3)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let want = |name: &str| args.is_empty() || args.iter().any(|a| a == name);
+
+    if want("e1") {
+        let r = e1_figure1();
+        println!("== E1: Figure 1 — who sees the forced ordering between the two Posts? ==");
+        let rows = vec![
+            vec!["EGP task graph".into(), r.egp_orders_posts.to_string()],
+            vec!["HMW safe orderings".into(), r.hmw_orders_posts.to_string()],
+            vec!["vector clocks".into(), r.vc_orders_posts.to_string()],
+            vec!["exact MHB (preserve →D)".into(), r.exact_mhb_posts.to_string()],
+            vec!["exact MHB (ignore →D, §5.3)".into(), r.exact_mhb_posts_ignoring_d.to_string()],
+            vec!["EGP fork→Wait (solid line)".into(), r.egp_fork_before_wait.to_string()],
+            vec!["C&S static (on the program)".into(), r.cs_orders_posts.to_string()],
+        ];
+        println!("{}", render(&["analysis", "orders the Posts?"], &rows));
+    }
+
+    if want("e2") {
+        println!("== E2: Table 1 relations materialized on the fixture gallery (ordered-pair counts) ==");
+        let rows: Vec<Vec<String>> = e2_table1()
+            .into_iter()
+            .map(|r| {
+                vec![
+                    r.fixture.into(),
+                    r.events.to_string(),
+                    r.classes.to_string(),
+                    r.mhb.to_string(),
+                    r.chb.to_string(),
+                    r.mcw.to_string(),
+                    r.ccw.to_string(),
+                    r.mow.to_string(),
+                    r.cow.to_string(),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            render(
+                &["fixture", "|E|", "|F|", "MHB", "CHB", "MCW", "CCW", "MOW", "COW"],
+                &rows
+            )
+        );
+    }
+
+    for (tag, kind, title) in [
+        ("e3", ReductionKind::Semaphore, "E3/E4: Theorems 1–2 (semaphores) — a MHB b ⇔ unsat, b CHB a ⇔ sat"),
+        ("e5", ReductionKind::EventStyle, "E5: Theorems 3–4 (Post/Wait/Clear) — same claims"),
+    ] {
+        if want(tag) {
+            println!("== {title} ==");
+            let rows: Vec<Vec<String>> = theorem_sweep(kind, &[(3, 2), (3, 3), (4, 4)], 3)
+                .into_iter()
+                .map(|r| {
+                    vec![
+                        format!("{}v/{}c", r.n_vars, r.n_clauses),
+                        r.seed.to_string(),
+                        r.events.to_string(),
+                        r.sat.to_string(),
+                        r.mhb_ab.to_string(),
+                        r.chb_ba.to_string(),
+                        r.consistent.to_string(),
+                        ms(r.mhb_time),
+                        ms(r.chb_time),
+                        ms(r.dpll_time),
+                    ]
+                })
+                .collect();
+            println!(
+                "{}",
+                render(
+                    &[
+                        "size", "seed", "|E|", "sat", "aMHBb", "bCHBa", "ok", "mhb_ms",
+                        "chb_ms", "dpll_ms"
+                    ],
+                    &rows
+                )
+            );
+        }
+    }
+
+    if want("e6") {
+        println!("== E6: exact (exponential) vs polynomial analyses, semaphore workloads ==");
+        let mut rows = Vec::new();
+        for (procs, epp) in [(2usize, 4usize), (3, 4), (4, 4), (5, 4), (6, 4), (7, 4)] {
+            let r = e6_point(procs, epp, 7);
+            rows.push(vec![
+                r.processes.to_string(),
+                r.events.to_string(),
+                r.states.to_string(),
+                r.classes.map_or("> budget".into(), |c| c.to_string()),
+                ms(r.space_time),
+                r.classes_time.map_or("—".into(), ms),
+                ms(r.hmw_time),
+                ms(r.vc_time),
+            ]);
+        }
+        println!(
+            "{}",
+            render(
+                &["procs", "|E|", "states", "|F|", "space_ms", "classes_ms", "hmw_ms", "vc_ms"],
+                &rows
+            )
+        );
+    }
+
+    if want("e7") {
+        println!("== E7: baseline precision vs exact MHB (dependence-ignoring ground truth) ==");
+        let mut rows = Vec::new();
+        for style in [SyncStyle::Semaphores, SyncStyle::Events] {
+            for r in e7_quality(style, 8) {
+                let completeness = if r.exact_mhb_pairs == 0 {
+                    "n/a".to_string()
+                } else {
+                    format!("{:.1}%", 100.0 * r.baseline_found as f64 / r.exact_mhb_pairs as f64)
+                };
+                rows.push(vec![
+                    r.style.into(),
+                    r.baseline.into(),
+                    r.traces.to_string(),
+                    r.exact_mhb_pairs.to_string(),
+                    r.baseline_found.to_string(),
+                    completeness,
+                    r.baseline_unsound.to_string(),
+                ]);
+            }
+        }
+        println!(
+            "{}",
+            render(
+                &["workload", "baseline", "traces", "exact_pairs", "found", "completeness", "unsound"],
+                &rows
+            )
+        );
+    }
+
+    if want("e8") {
+        println!("== E8: single counting semaphore — sequencing feasibility ⇔ b CHB a ==");
+        let mut rows = Vec::new();
+        for jobs in [3usize, 4, 5] {
+            for seed in 0..3u64 {
+                let r = e8_point(jobs, seed);
+                rows.push(vec![
+                    r.jobs.to_string(),
+                    r.seed.to_string(),
+                    r.feasible.to_string(),
+                    r.consistent.to_string(),
+                    ms(r.engine_time),
+                    ms(r.dp_time),
+                ]);
+            }
+        }
+        println!(
+            "{}",
+            render(&["jobs", "seed", "feasible", "ok", "engine_ms", "dp_ms"], &rows)
+        );
+    }
+
+    if want("e9") {
+        println!("== E9: exhaustive vs vector-clock race detection ==");
+        println!("(rows 'pitfall-k': k decoy V's hide the feasible race from the clocks)");
+        let mut rows = Vec::new();
+        for decoys in [1usize, 2, 4] {
+            let r = e9_pitfall(decoys);
+            rows.push(vec![
+                format!("pitfall-{decoys}"),
+                r.events.to_string(),
+                r.candidates.to_string(),
+                r.exact_races.to_string(),
+                r.vc_races.to_string(),
+                r.missed_by_vc.to_string(),
+                r.spurious_in_vc.to_string(),
+                ms(r.exact_time),
+                ms(r.vc_time),
+            ]);
+        }
+        for seed in 0..8u64 {
+            let r = e9_point(seed);
+            rows.push(vec![
+                format!("random-{}", r.seed),
+                r.events.to_string(),
+                r.candidates.to_string(),
+                r.exact_races.to_string(),
+                r.vc_races.to_string(),
+                r.missed_by_vc.to_string(),
+                r.spurious_in_vc.to_string(),
+                ms(r.exact_time),
+                ms(r.vc_time),
+            ]);
+        }
+        println!(
+            "{}",
+            render(
+                &["workload", "|E|", "cands", "exact", "vc", "missed", "spurious", "exact_ms", "vc_ms"],
+                &rows
+            )
+        );
+    }
+
+    if want("e10") {
+        println!("== E10: the open problem probed — event workloads with vs without Clear ==");
+        let mut rows = Vec::new();
+        for clears in [false, true] {
+            let r = e10_no_clear(clears, 8);
+            let completeness = if r.exact_mhb_pairs == 0 {
+                "n/a".to_string()
+            } else {
+                format!("{:.1}%", 100.0 * r.egp_found as f64 / r.exact_mhb_pairs as f64)
+            };
+            rows.push(vec![
+                if clears { "with Clear" } else { "no Clear" }.into(),
+                r.traces.to_string(),
+                r.exact_mhb_pairs.to_string(),
+                r.egp_found.to_string(),
+                completeness,
+                r.total_classes.to_string(),
+                r.deadlockable.to_string(),
+            ]);
+        }
+        println!(
+            "{}",
+            render(
+                &["family", "traces", "exact_pairs", "egp_found", "egp_compl", "Σ|F|", "deadlockable"],
+                &rows
+            )
+        );
+        let adv = e10_adversarial();
+        println!(
+            "adversarial instance (Theorem 3 program, unsat formula): \
+             exact a MHB b = {}, EGP = {}, clocks = {}\n",
+            adv.exact_mhb, adv.egp_mhb, adv.vc_mhb
+        );
+    }
+
+    if want("ablation") {
+        println!("== Ablation: sleep-set pruning, and parallel cut-lattice exploration ==");
+        let gallery = vec![
+            ("diamond", fixtures::fork_join_diamond().0),
+            ("crossing", fixtures::crossing().0),
+            ("figure1", fixtures::figure1().0),
+        ];
+        let mut prows = Vec::new();
+        for (label, trace) in gallery {
+            let exec = trace.to_execution().unwrap();
+            let p = ablation_pruning(label, &exec);
+            prows.push(vec![
+                p.label.clone(),
+                p.classes.to_string(),
+                p.pruned_schedules.to_string(),
+                p.naive_schedules.to_string(),
+                ms(p.pruned_time),
+                ms(p.naive_time),
+            ]);
+        }
+        // Pruning also on a generated workload (bigger gap).
+        {
+            let mut spec = eo_lang::generator::WorkloadSpec::small_semaphore(3);
+            spec.processes = 4;
+            spec.events_per_process = 3;
+            let exec = eo_lang::generator::generate_trace(&spec, 100)
+                .to_execution()
+                .unwrap();
+            let p = ablation_pruning("workload-4x3", &exec);
+            prows.push(vec![
+                p.label.clone(),
+                p.classes.to_string(),
+                p.pruned_schedules.to_string(),
+                p.naive_schedules.to_string(),
+                ms(p.pruned_time),
+                ms(p.naive_time),
+            ]);
+        }
+        // Parallel exploration needs real frontiers: generated workloads.
+        let mut qrows = Vec::new();
+        for procs in [7usize, 8, 9] {
+            let mut spec = eo_lang::generator::WorkloadSpec::small_semaphore(7);
+            spec.processes = procs;
+            spec.events_per_process = 5;
+            spec.semaphores = (procs / 2).max(1);
+            let exec = eo_lang::generator::generate_trace(&spec, 100)
+                .to_execution()
+                .unwrap();
+            let q = ablation_parallel(&format!("workload-{procs}x5"), &exec);
+            qrows.push(vec![
+                q.label.clone(),
+                q.states.to_string(),
+                ms(q.seq_time),
+                ms(q.par_time),
+            ]);
+        }
+        println!(
+            "{}",
+            render(
+                &["input", "|F|", "pruned_scheds", "naive_scheds", "pruned_ms", "naive_ms"],
+                &prows
+            )
+        );
+        println!("{}", render(&["input", "states", "seq_ms", "par_ms"], &qrows));
+    }
+}

@@ -1,0 +1,19 @@
+//! The experiment harness: one function per experiment of DESIGN.md's
+//! index (E1–E9), shared between the `report` binary (which prints the
+//! tables recorded in EXPERIMENTS.md) and the criterion benches (which
+//! time the same computations).
+//!
+//! The paper has no empirical section — its "results" are Table 1, Figure
+//! 1, and four theorems — so each experiment here is the *executable*
+//! counterpart of one of those artifacts: E1 reproduces the Figure 1 gap,
+//! E2 materializes Table 1 on concrete executions, E3–E5 and E8 exercise
+//! the reductions, and E6/E7/E9 measure the exponential-vs-polynomial
+//! trade-off the theorems predict.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod table;
+
+pub use experiments::*;

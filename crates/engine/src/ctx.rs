@@ -1,0 +1,206 @@
+//! The search context: synchronization machine + dependence gating.
+
+use eo_model::{EventId, Machine, MachState, ProcessId, ProgramExecution};
+use eo_relations::Relation;
+
+/// Which feasibility notion the engine uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FeasibilityMode {
+    /// The paper's F(P): alternate executions must preserve the observed
+    /// shared-data dependences (condition F3). Default.
+    PreserveDependences,
+    /// The Section 5.3 variant: all executions performing the same events
+    /// are feasible, regardless of the original dependences. (The related
+    /// work — EGP, HMW — computes orderings under this notion; the
+    /// intractability results hold here too since the reduction programs
+    /// have no dependences at all.)
+    IgnoreDependences,
+}
+
+/// Everything a schedule-space search needs about one program execution:
+/// the synchronization [`Machine`] and, per event, the list of →D
+/// predecessors that must have executed first (empty in
+/// [`FeasibilityMode::IgnoreDependences`]).
+pub struct SearchCtx<'a> {
+    exec: &'a ProgramExecution,
+    machine: Machine<'a>,
+    mode: FeasibilityMode,
+    /// `dep_preds[e]` = events that must precede `e` by →D.
+    dep_preds: Vec<Vec<EventId>>,
+}
+
+impl<'a> SearchCtx<'a> {
+    /// Builds a context for `exec` under `mode`.
+    pub fn new(exec: &'a ProgramExecution, mode: FeasibilityMode) -> Self {
+        let n = exec.n_events();
+        let mut dep_preds = vec![Vec::new(); n];
+        if mode == FeasibilityMode::PreserveDependences {
+            for (a, b) in exec.d().pairs() {
+                dep_preds[b].push(EventId::new(a));
+            }
+        }
+        SearchCtx {
+            exec,
+            machine: Machine::new(exec.trace()),
+            mode,
+            dep_preds,
+        }
+    }
+
+    /// The execution being analyzed.
+    #[inline]
+    pub fn exec(&self) -> &'a ProgramExecution {
+        self.exec
+    }
+
+    /// The underlying synchronization machine.
+    #[inline]
+    pub fn machine(&self) -> &Machine<'a> {
+        &self.machine
+    }
+
+    /// The feasibility mode in force.
+    #[inline]
+    pub fn mode(&self) -> FeasibilityMode {
+        self.mode
+    }
+
+    /// Number of events.
+    #[inline]
+    pub fn n_events(&self) -> usize {
+        self.exec.n_events()
+    }
+
+    /// The dependence relation in force: the execution's →D, or the empty
+    /// relation when dependences are ignored.
+    pub fn effective_d(&self) -> Relation {
+        match self.mode {
+            FeasibilityMode::PreserveDependences => self.exec.d().clone(),
+            FeasibilityMode::IgnoreDependences => Relation::new(self.n_events()),
+        }
+    }
+
+    /// True iff all →D predecessors of `e` have executed at `st`.
+    #[inline]
+    pub fn deps_satisfied(&self, st: &MachState, e: EventId) -> bool {
+        self.dep_preds[e.index()]
+            .iter()
+            .all(|&p| self.machine.executed(st, p))
+    }
+
+    /// The events executable at `st` under full feasibility (machine
+    /// semantics **and** dependence gating), as (process, event) pairs
+    /// sorted by process id.
+    pub fn co_enabled(&self, st: &MachState) -> Vec<(ProcessId, EventId)> {
+        self.machine
+            .enabled_events(st)
+            .into_iter()
+            .filter(|&(_, e)| self.deps_satisfied(st, e))
+            .collect()
+    }
+
+    /// The initial search state.
+    pub fn initial_state(&self) -> MachState {
+        self.machine.initial_state()
+    }
+
+    /// Executes the next event of `p` (which must be co-enabled).
+    pub fn step(&self, st: &mut MachState, p: ProcessId) -> EventId {
+        let e = self.machine.step(st, p);
+        debug_assert!(
+            self.dep_preds[e.index()]
+                .iter()
+                .all(|&q| self.machine.executed(st, q)),
+            "stepped an event whose dependences were unsatisfied"
+        );
+        e
+    }
+
+    /// True iff every event has executed.
+    #[inline]
+    pub fn is_complete(&self, st: &MachState) -> bool {
+        self.machine.is_complete(st)
+    }
+
+    /// The induced partial order →T′ of a complete schedule under this
+    /// context's feasibility mode.
+    pub fn induced_order(&self, order: &[EventId]) -> Relation {
+        let d = self.effective_d();
+        eo_model::induce::induced_order(self.exec.trace(), &d, order)
+    }
+
+    /// Static symmetric dependence between two events, for Mazurkiewicz
+    /// class pruning: same process, a shared-variable conflict, the same
+    /// semaphore, or the same event variable. (Fork/join orderings need no
+    /// entry here: a fork and its descendants' events are never
+    /// co-enabled, so they can never be commuted by the search.)
+    pub fn statically_dependent(&self, e1: EventId, e2: EventId) -> bool {
+        let a = self.exec.event(e1);
+        let b = self.exec.event(e2);
+        if a.process == b.process {
+            return true;
+        }
+        if a.conflicts_with(b) {
+            return true;
+        }
+        match (a.op.semaphore(), b.op.semaphore()) {
+            (Some(s1), Some(s2)) if s1 == s2 => return true,
+            _ => {}
+        }
+        matches!((a.op.event_var(), b.op.event_var()), (Some(v1), Some(v2)) if v1 == v2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eo_model::fixtures;
+
+    #[test]
+    fn dependence_gating_blocks_reordering() {
+        let (trace, inc0, inc1) = fixtures::shared_counter_race();
+        let exec = trace.to_execution().unwrap();
+        let ctx = SearchCtx::new(&exec, FeasibilityMode::PreserveDependences);
+        let st = ctx.initial_state();
+        let enabled: Vec<EventId> = ctx.co_enabled(&st).into_iter().map(|(_, e)| e).collect();
+        assert_eq!(enabled, vec![inc0], "inc1 is gated by inc0 →D inc1");
+        assert!(!ctx.deps_satisfied(&st, inc1));
+    }
+
+    #[test]
+    fn ignore_mode_drops_the_gate() {
+        let (trace, inc0, inc1) = fixtures::shared_counter_race();
+        let exec = trace.to_execution().unwrap();
+        let ctx = SearchCtx::new(&exec, FeasibilityMode::IgnoreDependences);
+        let st = ctx.initial_state();
+        let enabled: Vec<EventId> = ctx.co_enabled(&st).into_iter().map(|(_, e)| e).collect();
+        assert_eq!(enabled, vec![inc0, inc1], "both increments are schedulable");
+        assert_eq!(ctx.effective_d().pair_count(), 0);
+    }
+
+    #[test]
+    fn static_dependence_classification() {
+        let (trace, ids) = fixtures::sem_handshake();
+        let exec = trace.to_execution().unwrap();
+        let ctx = SearchCtx::new(&exec, FeasibilityMode::PreserveDependences);
+        assert!(ctx.statically_dependent(ids.v, ids.p), "same semaphore");
+        assert!(ctx.statically_dependent(ids.v, ids.after_v), "same process");
+        assert!(
+            !ctx.statically_dependent(ids.after_v, ids.after_p),
+            "different processes, no conflict, no common sync object"
+        );
+    }
+
+    #[test]
+    fn step_advances_completion() {
+        let (trace, a, b) = fixtures::independent_pair();
+        let exec = trace.to_execution().unwrap();
+        let ctx = SearchCtx::new(&exec, FeasibilityMode::PreserveDependences);
+        let mut st = ctx.initial_state();
+        assert!(!ctx.is_complete(&st));
+        let got_a = ctx.step(&mut st, exec.event(a).process);
+        assert_eq!(got_a, a);
+        ctx.step(&mut st, exec.event(b).process);
+        assert!(ctx.is_complete(&st));
+    }
+}

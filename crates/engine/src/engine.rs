@@ -1,0 +1,234 @@
+//! The user-facing engine facade.
+
+use crate::ctx::{FeasibilityMode, SearchCtx};
+use crate::enumerate::{enumerate_classes, EnumerationResult};
+use crate::queries;
+use crate::statespace::explore_statespace;
+use crate::summary::OrderingSummary;
+use eo_model::{EventId, ProgramExecution};
+
+/// Resource bounds for the exact analyses. The problems are NP-/co-NP-hard
+/// (that is the paper's theorem), so honest engines carry explicit budgets
+/// instead of silently running forever.
+#[derive(Clone, Copy, Debug)]
+pub struct Limits {
+    /// Maximum distinct machine states the cut-lattice pass may visit.
+    pub max_states: usize,
+    /// Maximum complete schedules the class enumeration may record.
+    pub max_schedules: usize,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Limits {
+            max_states: 1 << 22,
+            max_schedules: 1 << 20,
+        }
+    }
+}
+
+/// Why an exact analysis could not finish within its budget.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EngineError {
+    /// The cut lattice outgrew [`Limits::max_states`].
+    StateSpaceExceeded {
+        /// The configured bound.
+        limit: usize,
+    },
+    /// The class enumeration outgrew [`Limits::max_schedules`].
+    ScheduleBudgetExceeded {
+        /// The configured bound.
+        limit: usize,
+    },
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::StateSpaceExceeded { limit } => {
+                write!(f, "state space exceeded the {limit}-state budget")
+            }
+            EngineError::ScheduleBudgetExceeded { limit } => {
+                write!(f, "schedule enumeration exceeded the {limit}-schedule budget")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// Exact computation of the six Table-1 ordering relations for one
+/// program execution.
+///
+/// ```
+/// use eo_engine::ExactEngine;
+/// use eo_model::fixtures;
+///
+/// let (trace, ids) = fixtures::sem_handshake();
+/// let exec = trace.to_execution().unwrap();
+/// let engine = ExactEngine::new(&exec);
+/// assert!(engine.mhb(ids.v, ids.p));          // V must precede P
+/// assert!(!engine.chb(ids.p, ids.v));         // P can never precede V
+/// assert!(engine.ccw(ids.after_v, ids.after_p)); // the tails can overlap
+/// ```
+pub struct ExactEngine<'a> {
+    ctx: SearchCtx<'a>,
+    limits: Limits,
+}
+
+impl<'a> ExactEngine<'a> {
+    /// Engine over the paper's F(P) (dependence-preserving feasibility).
+    pub fn new(exec: &'a ProgramExecution) -> Self {
+        Self::with_mode(exec, FeasibilityMode::PreserveDependences)
+    }
+
+    /// Engine with an explicit feasibility mode (Section 5.3's
+    /// dependence-ignoring variant is [`FeasibilityMode::IgnoreDependences`]).
+    pub fn with_mode(exec: &'a ProgramExecution, mode: FeasibilityMode) -> Self {
+        ExactEngine {
+            ctx: SearchCtx::new(exec, mode),
+            limits: Limits::default(),
+        }
+    }
+
+    /// Replaces the resource budget.
+    pub fn with_limits(mut self, limits: Limits) -> Self {
+        self.limits = limits;
+        self
+    }
+
+    /// The underlying search context (for direct use of the lower-level
+    /// APIs).
+    pub fn ctx(&self) -> &SearchCtx<'a> {
+        &self.ctx
+    }
+
+    /// Computes the full six-relation summary, or reports the exceeded
+    /// budget.
+    pub fn try_summary(&self) -> Result<OrderingSummary, EngineError> {
+        let space = explore_statespace(&self.ctx, self.limits.max_states)?;
+        let classes = enumerate_classes(&self.ctx, self.limits.max_schedules);
+        if classes.truncated {
+            return Err(EngineError::ScheduleBudgetExceeded {
+                limit: self.limits.max_schedules,
+            });
+        }
+        let summary = OrderingSummary::from_parts(&space, &classes);
+        debug_assert_eq!(summary.check_identities(), Ok(()));
+        Ok(summary)
+    }
+
+    /// Computes the full summary.
+    ///
+    /// # Panics
+    /// Panics if the budget is exceeded; use
+    /// [`try_summary`](Self::try_summary) when the input may be
+    /// adversarial.
+    pub fn summary(&self) -> OrderingSummary {
+        match self.try_summary() {
+            Ok(s) => s,
+            Err(e) => panic!("exact summary did not fit the budget: {e}"),
+        }
+    }
+
+    /// Enumerates F(P) (the distinct induced partial orders).
+    pub fn feasible_set(&self) -> Result<EnumerationResult, EngineError> {
+        let r = enumerate_classes(&self.ctx, self.limits.max_schedules);
+        if r.truncated {
+            return Err(EngineError::ScheduleBudgetExceeded {
+                limit: self.limits.max_schedules,
+            });
+        }
+        Ok(r)
+    }
+
+    /// Decides `a MHB b` by early-exit witness search (no full summary).
+    pub fn mhb(&self, a: EventId, b: EventId) -> bool {
+        queries::must_happen_before(&self.ctx, a, b)
+    }
+
+    /// Decides `a CHB b` by early-exit witness search.
+    pub fn chb(&self, a: EventId, b: EventId) -> bool {
+        queries::could_happen_before(&self.ctx, a, b)
+    }
+
+    /// Decides operational `a CCW b` by early-exit witness search.
+    pub fn ccw(&self, a: EventId, b: EventId) -> bool {
+        queries::could_be_concurrent(&self.ctx, a, b)
+    }
+
+    /// A feasible schedule running `first` strictly before `second`, if
+    /// one exists (the NP witness of Theorem 2).
+    pub fn witness_before(&self, first: EventId, second: EventId) -> Option<Vec<EventId>> {
+        queries::witness_before(&self.ctx, first, second)
+    }
+
+    /// A feasible schedule prefix reaching a state where both events are
+    /// ready, if one exists.
+    pub fn witness_overlap(&self, a: EventId, b: EventId) -> Option<Vec<EventId>> {
+        queries::witness_overlap(&self.ctx, a, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eo_model::fixtures;
+
+    #[test]
+    fn facade_summary_matches_point_queries() {
+        let (trace, _ids) = fixtures::sem_handshake();
+        let exec = trace.to_execution().unwrap();
+        let engine = ExactEngine::new(&exec);
+        let summary = engine.summary();
+        for a in 0..exec.n_events() {
+            for b in 0..exec.n_events() {
+                if a == b {
+                    continue;
+                }
+                let (ea, eb) = (EventId::new(a), EventId::new(b));
+                assert_eq!(engine.mhb(ea, eb), summary.mhb(ea, eb), "mhb({a},{b})");
+                assert_eq!(engine.chb(ea, eb), summary.chb(ea, eb), "chb({a},{b})");
+                assert_eq!(engine.ccw(ea, eb), summary.ccw(ea, eb), "ccw({a},{b})");
+            }
+        }
+    }
+
+    #[test]
+    fn budget_errors_are_reported() {
+        let (trace, _ids) = fixtures::fork_join_diamond();
+        let exec = trace.to_execution().unwrap();
+        let tiny = ExactEngine::new(&exec).with_limits(Limits {
+            max_states: 2,
+            max_schedules: 1 << 20,
+        });
+        assert!(matches!(
+            tiny.try_summary(),
+            Err(EngineError::StateSpaceExceeded { limit: 2 })
+        ));
+
+        // The clear chain has many schedule classes; a budget of 1 truncates.
+        let (trace2, _ids) = fixtures::post_wait_clear_chain();
+        let exec2 = trace2.to_execution().unwrap();
+        let tiny2 = ExactEngine::new(&exec2).with_limits(Limits {
+            max_states: 1 << 20,
+            max_schedules: 1,
+        });
+        assert!(matches!(
+            tiny2.try_summary(),
+            Err(EngineError::ScheduleBudgetExceeded { limit: 1 })
+        ));
+    }
+
+    #[test]
+    fn ignore_mode_changes_answers() {
+        let (trace, inc0, inc1) = fixtures::shared_counter_race();
+        let exec = trace.to_execution().unwrap();
+        let strict = ExactEngine::new(&exec);
+        assert!(strict.mhb(inc0, inc1));
+        assert!(!strict.ccw(inc0, inc1));
+        let relaxed = ExactEngine::with_mode(&exec, FeasibilityMode::IgnoreDependences);
+        assert!(!relaxed.mhb(inc0, inc1));
+        assert!(relaxed.ccw(inc0, inc1));
+    }
+}

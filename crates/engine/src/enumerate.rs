@@ -1,0 +1,264 @@
+//! Enumeration of the feasible-execution set F(P).
+//!
+//! Every complete feasible schedule induces a partial order →T′; the set
+//! of *distinct* induced orders is the paper's F(P). Two enumerators are
+//! provided:
+//!
+//! * [`enumerate_classes`] — depth-first search over schedules pruned with
+//!   **sleep sets** (Godefroid): after exploring event `e` from a state,
+//!   `e` is put to sleep for the sibling branches and stays asleep along
+//!   them until a statically *dependent* event executes. Schedules that
+//!   differ only by commuting independent events are explored once. The
+//!   static dependence used ([`SearchCtx::statically_dependent`]) also
+//!   fixes the order of all same-semaphore and same-event-variable
+//!   operations within a class, so the canonical induced-order extraction
+//!   of [`eo_model::induce`] is class-invariant.
+//! * [`enumerate_naive`] — the same search with no pruning: every
+//!   interleaving. Used as the ground-truth oracle in tests and as the
+//!   ablation baseline (DESIGN.md §5); both must produce the same set of
+//!   induced orders.
+//!
+//! Both deduplicate induced orders by hashing the closed relation matrix,
+//! so the result is F(P) itself (up to the documented canonical
+//! extraction), not a multiset of schedules.
+
+use crate::ctx::SearchCtx;
+use eo_model::EventId;
+use eo_relations::fxhash::FxHashSet;
+use eo_relations::{BitSet, Relation};
+
+/// The outcome of enumerating F(P).
+#[derive(Clone, Debug)]
+pub struct EnumerationResult {
+    /// The distinct induced partial orders — the elements of F(P).
+    pub orders: Vec<Relation>,
+    /// Complete schedules visited (≥ `orders.len()`; equality means the
+    /// pruning was perfect for this input).
+    pub schedules_explored: usize,
+    /// True iff the search stopped at the schedule budget; the relation
+    /// summary refuses to quantify over a truncated set.
+    pub truncated: bool,
+}
+
+struct Enumerator<'c, 'a> {
+    ctx: &'c SearchCtx<'a>,
+    max_schedules: usize,
+    use_sleep: bool,
+    schedule: Vec<EventId>,
+    seen: FxHashSet<Relation>,
+    orders: Vec<Relation>,
+    schedules_explored: usize,
+    truncated: bool,
+}
+
+impl Enumerator<'_, '_> {
+    fn record(&mut self) {
+        // Truncation means "there was more to record than the budget
+        // allowed": trip it only when an (N+1)-th schedule shows up, so an
+        // enumeration that finishes at exactly the budget is complete.
+        if self.schedules_explored >= self.max_schedules {
+            self.truncated = true;
+            return;
+        }
+        self.schedules_explored += 1;
+        let order = self.ctx.induced_order(&self.schedule);
+        if self.seen.insert(order.clone()) {
+            self.orders.push(order);
+        }
+    }
+
+    fn explore(&mut self, st: &eo_model::MachState, sleep: &BitSet) {
+        if self.truncated {
+            return;
+        }
+        if self.ctx.is_complete(st) {
+            self.record();
+            return;
+        }
+        let enabled = self.ctx.co_enabled(st);
+        let mut local_sleep = sleep.clone();
+        for (p, e) in enabled {
+            if self.use_sleep && local_sleep.contains(e.index()) {
+                continue;
+            }
+            let mut st2 = st.clone();
+            self.ctx.step(&mut st2, p);
+            // Events stay asleep only while independent of what executes.
+            let mut child_sleep = BitSet::new(local_sleep.capacity());
+            if self.use_sleep {
+                for s in local_sleep.iter() {
+                    if !self.ctx.statically_dependent(EventId::new(s), e) {
+                        child_sleep.insert(s);
+                    }
+                }
+            }
+            self.schedule.push(e);
+            self.explore(&st2, &child_sleep);
+            self.schedule.pop();
+            if self.truncated {
+                return;
+            }
+            if self.use_sleep {
+                local_sleep.insert(e.index());
+            }
+        }
+    }
+}
+
+fn run(ctx: &SearchCtx<'_>, max_schedules: usize, use_sleep: bool) -> EnumerationResult {
+    let n = ctx.n_events();
+    let mut en = Enumerator {
+        ctx,
+        max_schedules,
+        use_sleep,
+        schedule: Vec::with_capacity(n),
+        seen: FxHashSet::default(),
+        orders: Vec::new(),
+        schedules_explored: 0,
+        truncated: false,
+    };
+    let st = ctx.initial_state();
+    let sleep = BitSet::new(n);
+    en.explore(&st, &sleep);
+    EnumerationResult {
+        orders: en.orders,
+        schedules_explored: en.schedules_explored,
+        truncated: en.truncated,
+    }
+}
+
+/// Sleep-set pruned enumeration: visits (roughly) one schedule per
+/// Mazurkiewicz class.
+pub fn enumerate_classes(ctx: &SearchCtx<'_>, max_schedules: usize) -> EnumerationResult {
+    run(ctx, max_schedules, true)
+}
+
+/// Unpruned enumeration of every interleaving — the oracle/ablation
+/// variant. Factorially expensive; keep inputs tiny.
+pub fn enumerate_naive(ctx: &SearchCtx<'_>, max_schedules: usize) -> EnumerationResult {
+    run(ctx, max_schedules, false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctx::FeasibilityMode;
+    use eo_model::fixtures;
+
+    fn classes(trace: &eo_model::Trace) -> EnumerationResult {
+        let exec = trace.to_execution().unwrap();
+        let ctx = SearchCtx::new(&exec, FeasibilityMode::PreserveDependences);
+        let r = enumerate_classes(&ctx, 1 << 20);
+        assert!(!r.truncated);
+        // Cross-check against the unpruned oracle: identical F(P).
+        let naive = enumerate_naive(&ctx, 1 << 20);
+        let mut a: Vec<_> = r.orders.clone();
+        let mut b: Vec<_> = naive.orders.clone();
+        a.sort_by_key(|r| r.pairs().collect::<Vec<_>>());
+        b.sort_by_key(|r| r.pairs().collect::<Vec<_>>());
+        assert_eq!(a, b, "sleep-set pruning must not change F(P)");
+        assert!(r.schedules_explored <= naive.schedules_explored);
+        r
+    }
+
+    #[test]
+    fn independent_pair_has_one_induced_order() {
+        // Both schedules induce the same (empty) order: F(P) has a single
+        // element in which the two events are concurrent.
+        let (trace, a, b) = fixtures::independent_pair();
+        let r = classes(&trace);
+        assert_eq!(r.orders.len(), 1);
+        assert!(r.orders[0].unordered(a.index(), b.index()));
+        assert_eq!(
+            r.schedules_explored, 1,
+            "sleep sets visit the commuting pair once"
+        );
+    }
+
+    #[test]
+    fn handshake_has_one_class() {
+        let (trace, ids) = fixtures::sem_handshake();
+        let r = classes(&trace);
+        assert_eq!(r.orders.len(), 1, "V→P is forced; the tails commute");
+        assert!(r.orders[0].contains(ids.v.index(), ids.p.index()));
+    }
+
+    #[test]
+    fn crossing_orders() {
+        // V(s)/V(t) can be issued in either order, but with all
+        // same-semaphore ops dependent each V is ordered only against its
+        // own P; both schedules induce the same order.
+        let (trace, a, b) = fixtures::crossing();
+        let r = classes(&trace);
+        assert!(!r.orders.is_empty());
+        for o in &r.orders {
+            assert!(o.unordered(a.index(), b.index()), "tails concurrent in all of F(P)");
+        }
+    }
+
+    #[test]
+    fn figure1_posts_ordered_in_every_class() {
+        let (trace, ids) = fixtures::figure1();
+        let r = classes(&trace);
+        for o in &r.orders {
+            assert!(
+                o.contains(ids.post_left.index(), ids.post_right.index()),
+                "the data dependence forces the Posts in every feasible execution"
+            );
+        }
+    }
+
+    #[test]
+    fn race_pair_single_order_with_dependences() {
+        let (trace, inc0, inc1) = fixtures::shared_counter_race();
+        let r = classes(&trace);
+        assert_eq!(r.orders.len(), 1);
+        assert!(r.orders[0].contains(inc0.index(), inc1.index()));
+
+        // Ignoring dependences, nothing forces the increments: F collapses
+        // to a single induced order in which the pair is unordered (the
+        // race is visible as concurrency, not as two orderings).
+        let exec = trace.to_execution().unwrap();
+        let ctx = SearchCtx::new(&exec, FeasibilityMode::IgnoreDependences);
+        let relaxed = enumerate_classes(&ctx, 1 << 20);
+        assert_eq!(relaxed.orders.len(), 1);
+        assert!(relaxed.orders[0].unordered(inc0.index(), inc1.index()));
+    }
+
+    #[test]
+    fn truncation_reports_only_when_something_was_cut() {
+        let (trace, _ids) = fixtures::fork_join_diamond();
+        let exec = trace.to_execution().unwrap();
+        let ctx = SearchCtx::new(&exec, FeasibilityMode::PreserveDependences);
+        // Sleep sets explore exactly one schedule here: a budget of 1 is
+        // sufficient and must NOT be reported as truncation.
+        let pruned = enumerate_classes(&ctx, 1);
+        assert!(!pruned.truncated, "complete-at-budget is not truncated");
+        assert_eq!(pruned.schedules_explored, 1);
+        // The naive enumerator wants 2 schedules: budget 1 really cuts.
+        let naive = enumerate_naive(&ctx, 1);
+        assert!(naive.truncated);
+        assert_eq!(naive.schedules_explored, 1);
+    }
+
+    #[test]
+    fn deadlocked_branches_contribute_nothing() {
+        let (trace, ids) = fixtures::post_wait_clear_chain();
+        let r = classes(&trace);
+        // Every recorded order is a complete execution: wait1 after post1.
+        for o in &r.orders {
+            assert!(o.contains(ids[0].index(), ids[1].index()));
+        }
+    }
+
+    #[test]
+    fn sleep_sets_prune_diamond_substantially() {
+        let (trace, _ids) = fixtures::fork_join_diamond();
+        let exec = trace.to_execution().unwrap();
+        let ctx = SearchCtx::new(&exec, FeasibilityMode::PreserveDependences);
+        let pruned = enumerate_classes(&ctx, 1 << 20);
+        let naive = enumerate_naive(&ctx, 1 << 20);
+        assert!(pruned.schedules_explored < naive.schedules_explored);
+        assert_eq!(pruned.orders.len(), naive.orders.len());
+    }
+}

@@ -1,0 +1,335 @@
+//! Parallel cut-lattice exploration.
+//!
+//! The sequential explorer in [`crate::statespace`] interleaves three
+//! kinds of work: stepping the machine out of each state (CPU-bound,
+//! embarrassingly parallel), hash-consing successor states into the global
+//! index (memory-bound, hard to parallelize without sharded tables), and
+//! the pairwise-fact accumulation over completable states (CPU-bound,
+//! parallel by node range). This module parallelizes the first and third
+//! on a **persistent worker pool** — workers are spawned once for the
+//! whole exploration and fed per-level tasks through crossbeam channels,
+//! so no thread is created per BFS level — while the hash-consing merge
+//! stays sequential on the coordinating thread.
+//!
+//! The result is bit-for-bit identical to the sequential explorer's
+//! (tests assert this). Whether it is *faster* depends on how much of the
+//! input's cost is machine-stepping versus hashing: the ablation bench
+//! (DESIGN.md §5) reports both sides honestly, and on small executions the
+//! sequential explorer wins — parallelism only pays once the per-level
+//! frontiers are thousands of states wide.
+
+use crate::ctx::SearchCtx;
+use crate::engine::EngineError;
+use crate::statespace::{accumulate_range, propagate_completability, Node, StateSpaceResult};
+use crossbeam::channel;
+use eo_model::{EventId, MachState, ProcessId};
+use eo_relations::fxhash::FxHashMap;
+use eo_relations::Relation;
+
+/// Work items sent to the pool.
+enum Task {
+    /// Expand these states (cloned out of the node table): step every
+    /// enabled process once.
+    Expand {
+        /// Position of this chunk in the level's task list.
+        slot: usize,
+        items: Vec<(usize, MachState, Vec<ProcessId>)>,
+    },
+    /// Compute `co_enabled` for these fresh states.
+    Enable {
+        slot: usize,
+        items: Vec<MachState>,
+    },
+}
+
+/// Worker results, tagged by slot so the coordinator can reassemble
+/// deterministically.
+enum TaskResult {
+    Expanded {
+        slot: usize,
+        succs: Vec<(usize, MachState)>,
+    },
+    Enabled {
+        slot: usize,
+        enabled: Vec<Vec<(ProcessId, EventId)>>,
+    },
+}
+
+/// Parallel variant of [`crate::explore_statespace`]. `threads = 0` means
+/// "use the available parallelism".
+pub fn explore_statespace_parallel(
+    ctx: &SearchCtx<'_>,
+    max_states: usize,
+    threads: usize,
+) -> Result<StateSpaceResult, EngineError> {
+    let threads = if threads == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        threads.max(1)
+    };
+
+    let (task_tx, task_rx) = channel::unbounded::<Task>();
+    let (res_tx, res_rx) = channel::unbounded::<TaskResult>();
+
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..threads {
+            let task_rx = task_rx.clone();
+            let res_tx = res_tx.clone();
+            scope.spawn(move |_| {
+                for task in task_rx.iter() {
+                    match task {
+                        Task::Expand { slot, items } => {
+                            let mut succs = Vec::new();
+                            for (parent, state, procs) in items {
+                                for p in procs {
+                                    let mut st2 = state.clone();
+                                    ctx.step(&mut st2, p);
+                                    succs.push((parent, st2));
+                                }
+                            }
+                            let _ = res_tx.send(TaskResult::Expanded { slot, succs });
+                        }
+                        Task::Enable { slot, items } => {
+                            let enabled =
+                                items.iter().map(|st| ctx.co_enabled(st)).collect();
+                            let _ = res_tx.send(TaskResult::Enabled { slot, enabled });
+                        }
+                    }
+                }
+            });
+        }
+        drop(res_tx); // workers hold the remaining clones
+
+        let out = drive(ctx, max_states, threads, &task_tx, &res_rx);
+        drop(task_tx); // hang up so workers exit
+        out
+    })
+    .expect("crossbeam scope failed")
+}
+
+/// The coordinating thread: level-synchronous BFS with the heavy phases
+/// fanned out to the pool.
+fn drive(
+    ctx: &SearchCtx<'_>,
+    max_states: usize,
+    threads: usize,
+    task_tx: &channel::Sender<Task>,
+    res_rx: &channel::Receiver<TaskResult>,
+) -> Result<StateSpaceResult, EngineError> {
+    let mut index: FxHashMap<MachState, usize> = FxHashMap::default();
+    let mut nodes: Vec<Node> = Vec::new();
+
+    let init = ctx.initial_state();
+    index.insert(init.clone(), 0);
+    nodes.push(Node {
+        enabled: ctx.co_enabled(&init),
+        state: init,
+        succs: Vec::new(),
+        completable: false,
+    });
+
+    let mut frontier: Vec<usize> = vec![0];
+    while !frontier.is_empty() {
+        // Phase 1 (pool): successors of every frontier node. Task items
+        // carry owned state clones so workers never borrow the node table.
+        let chunk = frontier.len().div_ceil(threads).max(1);
+        let mut slots = 0;
+        for (slot, ids) in frontier.chunks(chunk).enumerate() {
+            let items = ids
+                .iter()
+                .map(|&i| {
+                    let node = &nodes[i];
+                    let procs = node.enabled.iter().map(|&(p, _)| p).collect();
+                    (i, node.state.clone(), procs)
+                })
+                .collect();
+            task_tx.send(Task::Expand { slot, items }).expect("pool alive");
+            slots += 1;
+        }
+        let mut batches: Vec<Vec<(usize, MachState)>> = (0..slots).map(|_| Vec::new()).collect();
+        for _ in 0..slots {
+            match res_rx.recv().expect("pool alive") {
+                TaskResult::Expanded { slot, succs } => batches[slot] = succs,
+                TaskResult::Enabled { .. } => unreachable!("no enable tasks in flight"),
+            }
+        }
+
+        // Phase 2 (sequential): hash-cons successor states.
+        let new_start = nodes.len();
+        let mut next_frontier: Vec<usize> = Vec::new();
+        for batch in batches {
+            for (parent, st) in batch {
+                let id = match index.get(&st) {
+                    Some(&id) => id,
+                    None => {
+                        if nodes.len() >= max_states {
+                            return Err(EngineError::StateSpaceExceeded { limit: max_states });
+                        }
+                        let id = nodes.len();
+                        index.insert(st.clone(), id);
+                        nodes.push(Node {
+                            state: st,
+                            enabled: Vec::new(), // filled in phase 3
+                            succs: Vec::new(),
+                            completable: false,
+                        });
+                        next_frontier.push(id);
+                        id
+                    }
+                };
+                nodes[parent].succs.push(id);
+            }
+        }
+
+        // Phase 3 (pool): enabledness of the fresh nodes.
+        let fresh = nodes.len() - new_start;
+        if fresh > 0 {
+            let chunk = fresh.div_ceil(threads).max(1);
+            let mut slots = 0;
+            let mut cursor = new_start;
+            while cursor < nodes.len() {
+                let hi = (cursor + chunk).min(nodes.len());
+                let items = nodes[cursor..hi].iter().map(|n| n.state.clone()).collect();
+                task_tx
+                    .send(Task::Enable { slot: slots, items })
+                    .expect("pool alive");
+                slots += 1;
+                cursor = hi;
+            }
+            let mut per_slot: Vec<Vec<Vec<(ProcessId, EventId)>>> =
+                (0..slots).map(|_| Vec::new()).collect();
+            for _ in 0..slots {
+                match res_rx.recv().expect("pool alive") {
+                    TaskResult::Enabled { slot, enabled } => per_slot[slot] = enabled,
+                    TaskResult::Expanded { .. } => unreachable!("no expand tasks in flight"),
+                }
+            }
+            let mut write = new_start;
+            for slot in per_slot {
+                for enabled in slot {
+                    nodes[write].enabled = enabled;
+                    write += 1;
+                }
+            }
+            debug_assert_eq!(write, nodes.len());
+        }
+
+        frontier = next_frontier;
+    }
+
+    // Phase 4: completability (sequential linear pass), then pairwise
+    // accumulation fanned out by node range and merged by relation union.
+    let deadlock_reachable = propagate_completability(ctx, &mut nodes);
+    let (chb, overlap, completable_states) = if nodes.len() < 4 * threads {
+        accumulate_range(ctx, &nodes, &index, 0, nodes.len())
+    } else {
+        let chunk = nodes.len().div_ceil(threads);
+        let nodes_ref = &nodes;
+        let index_ref = &index;
+        let partials: Vec<_> = crossbeam::thread::scope(|s| {
+            let handles: Vec<_> = (0..threads)
+                .map(|t| {
+                    let lo = t * chunk;
+                    let hi = ((t + 1) * chunk).min(nodes_ref.len());
+                    s.spawn(move |_| accumulate_range(ctx, nodes_ref, index_ref, lo, hi))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .collect()
+        })
+        .expect("crossbeam scope failed");
+        let n = ctx.n_events();
+        let mut chb = Relation::new(n);
+        let mut overlap = Relation::new(n);
+        let mut completable = 0;
+        for (c, o, k) in partials {
+            chb.union_with(&c);
+            overlap.union_with(&o);
+            completable += k;
+        }
+        (chb, overlap, completable)
+    };
+
+    Ok(StateSpaceResult {
+        chb,
+        overlap,
+        states: nodes.len(),
+        completable_states,
+        deadlock_reachable,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctx::FeasibilityMode;
+    use crate::statespace::explore_statespace;
+    use eo_model::fixtures;
+
+    fn both(trace: &eo_model::Trace) -> (StateSpaceResult, StateSpaceResult) {
+        let exec = trace.to_execution().unwrap();
+        let ctx = SearchCtx::new(&exec, FeasibilityMode::PreserveDependences);
+        let seq = explore_statespace(&ctx, 1 << 20).unwrap();
+        let par = explore_statespace_parallel(&ctx, 1 << 20, 4).unwrap();
+        (seq, par)
+    }
+
+    fn assert_same(seq: &StateSpaceResult, par: &StateSpaceResult) {
+        assert_eq!(seq.chb, par.chb);
+        assert_eq!(seq.overlap, par.overlap);
+        assert_eq!(seq.states, par.states);
+        assert_eq!(seq.completable_states, par.completable_states);
+        assert_eq!(seq.deadlock_reachable, par.deadlock_reachable);
+    }
+
+    #[test]
+    fn parallel_matches_sequential_on_fixtures() {
+        for trace in [
+            fixtures::independent_pair().0,
+            fixtures::sem_handshake().0,
+            fixtures::fork_join_diamond().0,
+            fixtures::figure1().0,
+            fixtures::post_wait_clear_chain().0,
+            fixtures::crossing().0,
+        ] {
+            let (seq, par) = both(&trace);
+            assert_same(&seq, &par);
+        }
+    }
+
+    #[test]
+    fn parallel_matches_on_a_generated_workload() {
+        use eo_lang::generator::{generate_trace, WorkloadSpec};
+        let mut spec = WorkloadSpec::small_semaphore(5);
+        spec.processes = 4;
+        spec.events_per_process = 4;
+        let exec = generate_trace(&spec, 50).to_execution().unwrap();
+        let ctx = SearchCtx::new(&exec, FeasibilityMode::PreserveDependences);
+        let seq = explore_statespace(&ctx, 1 << 22).unwrap();
+        let par = explore_statespace_parallel(&ctx, 1 << 22, 3).unwrap();
+        assert_same(&seq, &par);
+    }
+
+    #[test]
+    fn zero_threads_means_auto() {
+        let (trace, _) = fixtures::sem_handshake();
+        let exec = trace.to_execution().unwrap();
+        let ctx = SearchCtx::new(&exec, FeasibilityMode::PreserveDependences);
+        let auto = explore_statespace_parallel(&ctx, 1 << 20, 0).unwrap();
+        let seq = explore_statespace(&ctx, 1 << 20).unwrap();
+        assert_eq!(auto.chb, seq.chb);
+    }
+
+    #[test]
+    fn state_budget_is_enforced() {
+        let (trace, _) = fixtures::fork_join_diamond();
+        let exec = trace.to_execution().unwrap();
+        let ctx = SearchCtx::new(&exec, FeasibilityMode::PreserveDependences);
+        assert!(matches!(
+            explore_statespace_parallel(&ctx, 3, 2),
+            Err(EngineError::StateSpaceExceeded { limit: 3 })
+        ));
+    }
+}

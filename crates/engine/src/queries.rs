@@ -1,0 +1,307 @@
+//! Targeted witness queries with early exit.
+//!
+//! Deciding a *single* relation instance (e.g. "could `b` have happened
+//! before `a`?" — the NP-hard question of Theorem 2) does not require
+//! materializing all of F(P): a depth-first search over the cut lattice
+//! can stop at the first witness. These queries power the theorem
+//! benchmarks and give the engine its decision-procedure face:
+//! satisfiability of the reduced formula is literally read off
+//! [`witness_before`]'s answer.
+//!
+//! All searches memoize on [`MachState`]; the executed-set of a state is a
+//! function of the state, so plain state memoization is sound.
+
+use crate::ctx::SearchCtx;
+use eo_model::{EventId, MachState};
+use eo_relations::fxhash::FxHashSet;
+
+/// Returns a complete feasible schedule, if one exists, from `st` onward
+/// (appending to nothing — the returned suffix starts at `st`). Memoizes
+/// failures in `dead`.
+fn complete_from(
+    ctx: &SearchCtx<'_>,
+    st: &MachState,
+    dead: &mut FxHashSet<MachState>,
+) -> Option<Vec<EventId>> {
+    if ctx.is_complete(st) {
+        return Some(Vec::new());
+    }
+    if dead.contains(st) {
+        return None;
+    }
+    for (p, e) in ctx.co_enabled(st) {
+        let mut st2 = st.clone();
+        ctx.step(&mut st2, p);
+        if let Some(mut rest) = complete_from(ctx, &st2, dead) {
+            rest.insert(0, e);
+            return Some(rest);
+        }
+    }
+    dead.insert(st.clone());
+    None
+}
+
+/// Searches for a complete feasible schedule in which `first` executes
+/// strictly before `second`, returning it as a witness. `None` means no
+/// feasible execution orders them that way — i.e. `second` MHB `first`
+/// (when `first ≠ second`).
+pub fn witness_before(
+    ctx: &SearchCtx<'_>,
+    first: EventId,
+    second: EventId,
+) -> Option<Vec<EventId>> {
+    assert_ne!(first, second, "witness_before needs two distinct events");
+    let mut visited: FxHashSet<MachState> = FxHashSet::default();
+    let mut dead: FxHashSet<MachState> = FxHashSet::default();
+    let mut prefix: Vec<EventId> = Vec::new();
+
+    return dfs(
+        ctx,
+        &ctx.initial_state(),
+        first,
+        second,
+        &mut visited,
+        &mut dead,
+        &mut prefix,
+    )
+    .then_some(prefix);
+
+    fn dfs(
+        ctx: &SearchCtx<'_>,
+        st: &MachState,
+        first: EventId,
+        second: EventId,
+        visited: &mut FxHashSet<MachState>,
+        dead: &mut FxHashSet<MachState>,
+        prefix: &mut Vec<EventId>,
+    ) -> bool {
+        let machine = ctx.machine();
+        let first_done = machine.executed(st, first);
+        let second_done = machine.executed(st, second);
+        if second_done && !first_done {
+            return false; // this path already ordered them the wrong way
+        }
+        if first_done && !second_done {
+            // Any completion now places `first` before `second`.
+            if let Some(rest) = complete_from(ctx, st, dead) {
+                prefix.extend(rest);
+                return true;
+            }
+            return false;
+        }
+        // Neither executed yet (both-done is unreachable: paths pass
+        // through a one-done state first, handled above).
+        if !visited.insert(st.clone()) {
+            return false;
+        }
+        for (p, e) in ctx.co_enabled(st) {
+            let mut st2 = st.clone();
+            ctx.step(&mut st2, p);
+            prefix.push(e);
+            if dfs(ctx, &st2, first, second, visited, dead, prefix) {
+                return true;
+            }
+            prefix.pop();
+        }
+        false
+    }
+}
+
+/// Decides `a MHB b` by witness search: true iff **no** feasible schedule
+/// runs `b` before `a`.
+pub fn must_happen_before(ctx: &SearchCtx<'_>, a: EventId, b: EventId) -> bool {
+    a != b && witness_before(ctx, b, a).is_none()
+}
+
+/// Decides `a CHB b` by witness search: true iff some feasible schedule
+/// runs `a` before `b`.
+pub fn could_happen_before(ctx: &SearchCtx<'_>, a: EventId, b: EventId) -> bool {
+    a != b && witness_before(ctx, a, b).is_some()
+}
+
+/// Searches for a feasible execution in which `a` and `b` are
+/// simultaneously ready to execute (and running both keeps completion
+/// reachable). Returns the schedule prefix up to that state.
+///
+/// This decides the operational could-be-concurrent relation; `None`
+/// means the pair is must-ordered in the operational sense.
+pub fn witness_overlap(ctx: &SearchCtx<'_>, a: EventId, b: EventId) -> Option<Vec<EventId>> {
+    assert_ne!(a, b, "witness_overlap needs two distinct events");
+    let mut visited: FxHashSet<MachState> = FxHashSet::default();
+    let mut dead: FxHashSet<MachState> = FxHashSet::default();
+    let mut prefix: Vec<EventId> = Vec::new();
+    return dfs(ctx, &ctx.initial_state(), a, b, &mut visited, &mut dead, &mut prefix)
+        .then_some(prefix);
+
+    fn both_fire_completably(
+        ctx: &SearchCtx<'_>,
+        st: &MachState,
+        x: EventId,
+        y: EventId,
+        dead: &mut FxHashSet<MachState>,
+    ) -> bool {
+        let enabled = ctx.co_enabled(st);
+        let proc_of = |e: EventId| enabled.iter().find(|&&(_, ev)| ev == e).map(|&(p, _)| p);
+        let (Some(px), Some(py)) = (proc_of(x), proc_of(y)) else {
+            return false;
+        };
+        let mut st2 = st.clone();
+        ctx.step(&mut st2, px);
+        if ctx.co_enabled(&st2).iter().any(|&(p, _)| p == py) {
+            ctx.step(&mut st2, py);
+            if complete_from(ctx, &st2, dead).is_some() {
+                return true;
+            }
+        }
+        false
+    }
+
+    fn dfs(
+        ctx: &SearchCtx<'_>,
+        st: &MachState,
+        a: EventId,
+        b: EventId,
+        visited: &mut FxHashSet<MachState>,
+        dead: &mut FxHashSet<MachState>,
+        prefix: &mut Vec<EventId>,
+    ) -> bool {
+        let machine = ctx.machine();
+        if machine.executed(st, a) || machine.executed(st, b) {
+            return false; // overlap must be witnessed before either runs
+        }
+        if !visited.insert(st.clone()) {
+            return false;
+        }
+        if both_fire_completably(ctx, st, a, b, dead)
+            || both_fire_completably(ctx, st, b, a, dead)
+        {
+            return true;
+        }
+        for (p, e) in ctx.co_enabled(st) {
+            let mut st2 = st.clone();
+            ctx.step(&mut st2, p);
+            prefix.push(e);
+            if dfs(ctx, &st2, a, b, visited, dead, prefix) {
+                return true;
+            }
+            prefix.pop();
+        }
+        false
+    }
+}
+
+/// Decides operational `a CCW b` by witness search.
+pub fn could_be_concurrent(ctx: &SearchCtx<'_>, a: EventId, b: EventId) -> bool {
+    a != b && witness_overlap(ctx, a, b).is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctx::FeasibilityMode;
+    use crate::statespace::explore_statespace;
+    use eo_model::fixtures;
+
+    fn ctx_of(exec: &eo_model::ProgramExecution) -> SearchCtx<'_> {
+        SearchCtx::new(exec, FeasibilityMode::PreserveDependences)
+    }
+
+    #[test]
+    fn witness_is_a_valid_schedule() {
+        let (trace, a, b) = fixtures::independent_pair();
+        let exec = trace.to_execution().unwrap();
+        let ctx = ctx_of(&exec);
+        let w = witness_before(&ctx, b, a).expect("b can go first");
+        assert_eq!(w.len(), exec.n_events());
+        assert!(ctx.machine().replay(&w).is_ok(), "witness replays cleanly");
+        let pos = |e: EventId| w.iter().position(|&x| x == e).unwrap();
+        assert!(pos(b) < pos(a));
+    }
+
+    #[test]
+    fn handshake_mhb_via_witness() {
+        let (trace, ids) = fixtures::sem_handshake();
+        let exec = trace.to_execution().unwrap();
+        let ctx = ctx_of(&exec);
+        assert!(must_happen_before(&ctx, ids.v, ids.p));
+        assert!(!must_happen_before(&ctx, ids.after_v, ids.after_p));
+        assert!(could_happen_before(&ctx, ids.after_p, ids.after_v));
+    }
+
+    #[test]
+    fn figure1_mhb_via_witness() {
+        let (trace, ids) = fixtures::figure1();
+        let exec = trace.to_execution().unwrap();
+        let ctx = ctx_of(&exec);
+        assert!(must_happen_before(&ctx, ids.post_left, ids.post_right));
+        assert!(witness_before(&ctx, ids.post_right, ids.post_left).is_none());
+    }
+
+    #[test]
+    fn overlap_witness_prefix_replays() {
+        let (trace, ids) = fixtures::fork_join_diamond();
+        let exec = trace.to_execution().unwrap();
+        let ctx = ctx_of(&exec);
+        let prefix = witness_overlap(&ctx, ids.left, ids.right).expect("workers overlap");
+        // The prefix must be a valid partial schedule: replay it step by
+        // step on the machine.
+        let mut st = ctx.initial_state();
+        for &e in &prefix {
+            let p = exec.event(e).process;
+            assert!(ctx.co_enabled(&st).iter().any(|&(_, ev)| ev == e));
+            ctx.step(&mut st, p);
+        }
+        // At the witness state both events are co-enabled.
+        let enabled: Vec<EventId> = ctx.co_enabled(&st).iter().map(|&(_, e)| e).collect();
+        assert!(enabled.contains(&ids.left) && enabled.contains(&ids.right));
+    }
+
+    #[test]
+    fn no_overlap_for_forced_pairs() {
+        let (trace, ids) = fixtures::sem_handshake();
+        let exec = trace.to_execution().unwrap();
+        let ctx = ctx_of(&exec);
+        assert!(!could_be_concurrent(&ctx, ids.v, ids.p));
+        assert!(could_be_concurrent(&ctx, ids.after_v, ids.after_p));
+    }
+
+    #[test]
+    fn queries_agree_with_statespace_on_fixtures() {
+        for (trace, _x, _y) in [fixtures::independent_pair(), fixtures::shared_counter_race()] {
+            let exec = trace.to_execution().unwrap();
+            let ctx = ctx_of(&exec);
+            let space = explore_statespace(&ctx, 1 << 20).unwrap();
+            let n = exec.n_events();
+            for a in 0..n {
+                for b in 0..n {
+                    if a == b {
+                        continue;
+                    }
+                    let (ea, eb) = (EventId::new(a), EventId::new(b));
+                    assert_eq!(
+                        could_happen_before(&ctx, ea, eb),
+                        space.chb.contains(a, b),
+                        "chb({a},{b})"
+                    );
+                    assert_eq!(
+                        could_be_concurrent(&ctx, ea, eb),
+                        space.overlap.contains(a, b),
+                        "overlap({a},{b})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn clear_deadlock_paths_do_not_fool_witness_search() {
+        let (trace, ids) = fixtures::post_wait_clear_chain();
+        let exec = trace.to_execution().unwrap();
+        let ctx = ctx_of(&exec);
+        let post1 = ids[0];
+        let wait1 = ids[1];
+        // Running the wait before its post is impossible in a *complete*
+        // execution.
+        assert!(must_happen_before(&ctx, post1, wait1));
+    }
+}

@@ -1,0 +1,393 @@
+//! Deciding could-have-happened-before by SAT — the reduction run in
+//! reverse.
+//!
+//! Theorems 1–4 map SAT *to* ordering queries; this module maps an
+//! ordering query *back* to SAT and hands it to the in-repo DPLL solver,
+//! giving the workspace a third, independent decision procedure for CHB
+//! (besides the cut-lattice pass and the early-exit witness search). The
+//! three are cross-validated against each other in the property suites.
+//!
+//! ## The encoding
+//!
+//! A feasible execution is a total order of E respecting the
+//! synchronization semantics and →D. One Boolean variable per unordered
+//! event pair (`x_{a,b}` ⇔ "a executes before b", with `x_{b,a} = ¬x_{a,b}`
+//! by sign convention) plus:
+//!
+//! * **totality + transitivity** — `x_{i,j} ∧ x_{j,k} → x_{i,k}` for all
+//!   distinct triples. A transitive tournament is exactly a strict total
+//!   order, so any model *is* a schedule;
+//! * **base constraints** — unit clauses for program order, fork/join
+//!   edges, and (in dependence-preserving mode) every →D pair;
+//! * **semaphore tokens** — a matching variable `m_{t,p}` for every P
+//!   event `p` and every token source `t` (a V event or one of the
+//!   semaphore's initial tokens): each P claims at least one source, each
+//!   source serves at most one P, and claiming a V implies executing after
+//!   it. Any such matching makes every prefix token-sound (each executed
+//!   P's source is already executed and sources are distinct), and any
+//!   valid schedule admits one (FIFO), so the constraint is exact;
+//! * **event-variable causality** — a trigger variable `t_{p,w}` for every
+//!   Wait `w` and candidate Post `p` (plus an "initially set" trigger when
+//!   the flag starts true): some trigger holds; a triggering Post precedes
+//!   the Wait; and every Clear of the variable is ordered outside the
+//!   (trigger, Wait) window — before the trigger or after the Wait.
+//!
+//! The query `first CHB second` is one more unit clause. Satisfiable ⇔
+//! some feasible schedule runs `first` strictly before `second`; the model
+//! even decodes back into that schedule ([`decode_schedule`]).
+//!
+//! The encoding is cubic in |E| (the transitivity clauses), so this
+//! backend is for modest traces — which is fine: it exists for
+//! cross-validation and for exhibiting the SAT⇄ordering equivalence, not
+//! for scale.
+
+use crate::ctx::SearchCtx;
+use eo_model::{EventId, Op};
+use eo_sat::{Clause, Formula, Lit, Solver, Var};
+
+/// The variable bookkeeping of one encoding.
+pub struct OrderEncoding {
+    n: usize,
+    /// `pair_var[idx(a,b)]` for a < b; `x_{a,b}` positive means a-before-b.
+    pair_base: usize,
+    n_vars: usize,
+    clauses: Vec<Clause>,
+}
+
+impl OrderEncoding {
+    /// Builds the feasibility encoding for `ctx`'s execution (without any
+    /// query clause).
+    pub fn build(ctx: &SearchCtx<'_>) -> OrderEncoding {
+        let n = ctx.n_events();
+        let trace = ctx.exec().trace();
+
+        let mut enc = OrderEncoding {
+            n,
+            pair_base: 0,
+            n_vars: n * n.saturating_sub(1) / 2,
+            clauses: Vec::new(),
+        };
+
+        // Totality is implicit (x or ¬x); transitivity over all distinct
+        // ordered triples.
+        for i in 0..n {
+            for j in 0..n {
+                if j == i {
+                    continue;
+                }
+                for k in 0..n {
+                    if k == i || k == j {
+                        continue;
+                    }
+                    // x_ij ∧ x_jk → x_ik
+                    enc.clauses.push(Clause(vec![
+                        enc.before(i, j).negated(),
+                        enc.before(j, k).negated(),
+                        enc.before(i, k),
+                    ]));
+                }
+            }
+        }
+
+        // Base constraints: program order, fork/join, dependences (per the
+        // context's feasibility mode).
+        let d = ctx.effective_d();
+        for (a, b) in eo_model::induce::base_edges(trace, &d).pairs() {
+            let lit = enc.before(a, b);
+            enc.clauses.push(Clause(vec![lit]));
+        }
+
+        // Semaphore token matching.
+        for s in 0..trace.semaphores.len() {
+            let vs: Vec<usize> = trace
+                .events
+                .iter()
+                .filter(|e| e.op == Op::SemV(eo_model::SemId::new(s)))
+                .map(|e| e.id.index())
+                .collect();
+            let ps: Vec<usize> = trace
+                .events
+                .iter()
+                .filter(|e| e.op == Op::SemP(eo_model::SemId::new(s)))
+                .map(|e| e.id.index())
+                .collect();
+            if ps.is_empty() {
+                continue;
+            }
+            let initial = trace.semaphores[s].initial as usize;
+            // Token sources: every V, plus `initial` anonymous tokens.
+            let n_sources = vs.len() + initial;
+            let m_base = enc.n_vars;
+            enc.n_vars += n_sources * ps.len();
+            let m = |src: usize, pi: usize| Var((m_base + src * ps.len() + pi) as u32);
+
+            for (pi, &p) in ps.iter().enumerate() {
+                // At least one source per P.
+                enc.clauses
+                    .push(Clause((0..n_sources).map(|t| Lit::pos(m(t, pi))).collect()));
+                // Claiming a V implies running after it.
+                for (vi, &v) in vs.iter().enumerate() {
+                    enc.clauses
+                        .push(Clause(vec![Lit::neg(m(vi, pi)), enc.before(v, p)]));
+                }
+            }
+            // Each source serves at most one P.
+            for t in 0..n_sources {
+                for pi in 0..ps.len() {
+                    for pj in (pi + 1)..ps.len() {
+                        enc.clauses
+                            .push(Clause(vec![Lit::neg(m(t, pi)), Lit::neg(m(t, pj))]));
+                    }
+                }
+            }
+        }
+
+        // Event-variable causality.
+        for u in 0..trace.event_vars.len() {
+            let uid = eo_model::EvVarId::new(u);
+            let posts: Vec<usize> = trace
+                .events
+                .iter()
+                .filter(|e| e.op == Op::Post(uid))
+                .map(|e| e.id.index())
+                .collect();
+            let waits: Vec<usize> = trace
+                .events
+                .iter()
+                .filter(|e| e.op == Op::Wait(uid))
+                .map(|e| e.id.index())
+                .collect();
+            let clears: Vec<usize> = trace
+                .events
+                .iter()
+                .filter(|e| e.op == Op::Clear(uid))
+                .map(|e| e.id.index())
+                .collect();
+            let initially = trace.event_vars[u].initially_set;
+
+            for &w in &waits {
+                let n_triggers = posts.len() + usize::from(initially);
+                let t_base = enc.n_vars;
+                enc.n_vars += n_triggers;
+                let t = |k: usize| Var((t_base + k) as u32);
+
+                // Some trigger explains the Wait.
+                enc.clauses
+                    .push(Clause((0..n_triggers).map(|k| Lit::pos(t(k))).collect()));
+                for (k, &p) in posts.iter().enumerate() {
+                    // Triggering post precedes the wait…
+                    enc.clauses
+                        .push(Clause(vec![Lit::neg(t(k)), enc.before(p, w)]));
+                    // …and no Clear sits between: each is before the post
+                    // or after the wait.
+                    for &c in &clears {
+                        enc.clauses.push(Clause(vec![
+                            Lit::neg(t(k)),
+                            enc.before(c, p),
+                            enc.before(w, c),
+                        ]));
+                    }
+                }
+                if initially {
+                    let k = posts.len();
+                    // The initial flag triggered it: every Clear is after
+                    // the wait.
+                    for &c in &clears {
+                        enc.clauses
+                            .push(Clause(vec![Lit::neg(t(k)), enc.before(w, c)]));
+                    }
+                }
+            }
+        }
+
+        enc
+    }
+
+    /// The literal asserting "a executes before b".
+    ///
+    /// # Panics
+    /// Panics if `a == b`.
+    pub fn before(&self, a: usize, b: usize) -> Lit {
+        assert_ne!(a, b, "no order literal for a pair of equal events");
+        if a < b {
+            Lit::pos(Var((self.pair_base + pair_index(self.n, a, b)) as u32))
+        } else {
+            Lit::neg(Var((self.pair_base + pair_index(self.n, b, a)) as u32))
+        }
+    }
+
+    /// The encoding as a formula, with `extra` clauses (the query)
+    /// appended.
+    pub fn to_formula(&self, extra: Vec<Clause>) -> Formula {
+        let mut clauses = self.clauses.clone();
+        clauses.extend(extra);
+        Formula::new(self.n_vars, clauses)
+    }
+
+    /// Number of clauses in the feasibility core (diagnostics).
+    pub fn core_clause_count(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// Reads the schedule out of a model: events sorted by how many other
+    /// events they precede.
+    pub fn decode_schedule(&self, model: &[bool]) -> Vec<EventId> {
+        let before = |a: usize, b: usize| {
+            let lit = self.before(a, b);
+            lit.satisfied_by(model[lit.var.index()])
+        };
+        let mut order: Vec<usize> = (0..self.n).collect();
+        order.sort_by_key(|&e| {
+            (0..self.n)
+                .filter(|&o| o != e && before(o, e))
+                .count()
+        });
+        order.into_iter().map(EventId::new).collect()
+    }
+}
+
+#[inline]
+fn pair_index(n: usize, a: usize, b: usize) -> usize {
+    debug_assert!(a < b && b < n);
+    // Row-major upper triangle: offset of row a + (b - a - 1).
+    a * n - a * (a + 1) / 2 + (b - a - 1)
+}
+
+/// Decides `first CHB second` by SAT, returning the witness schedule on
+/// success. Exact for any trace the encoding covers (all of them — every
+/// operation kind is constrained above).
+pub fn chb_via_sat(ctx: &SearchCtx<'_>, first: EventId, second: EventId) -> Option<Vec<EventId>> {
+    assert_ne!(first, second);
+    let enc = OrderEncoding::build(ctx);
+    let query = Clause(vec![enc.before(first.index(), second.index())]);
+    let formula = enc.to_formula(vec![query]);
+    Solver::new(formula).solve().map(|model| enc.decode_schedule(&model))
+}
+
+/// Decides `a MHB b` by SAT: no feasible schedule runs `b` before `a`.
+pub fn mhb_via_sat(ctx: &SearchCtx<'_>, a: EventId, b: EventId) -> bool {
+    a != b && chb_via_sat(ctx, b, a).is_none()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctx::FeasibilityMode;
+    use crate::queries;
+    use eo_model::fixtures;
+
+    fn ctx_of(exec: &eo_model::ProgramExecution) -> SearchCtx<'_> {
+        SearchCtx::new(exec, FeasibilityMode::PreserveDependences)
+    }
+
+    #[test]
+    fn pair_index_is_a_bijection() {
+        let n = 7;
+        let mut seen = std::collections::HashSet::new();
+        for a in 0..n {
+            for b in (a + 1)..n {
+                assert!(seen.insert(pair_index(n, a, b)));
+            }
+        }
+        assert_eq!(seen.len(), n * (n - 1) / 2);
+        assert_eq!(seen.iter().max(), Some(&(n * (n - 1) / 2 - 1)));
+    }
+
+    #[test]
+    fn handshake_sat_backend() {
+        let (trace, ids) = fixtures::sem_handshake();
+        let exec = trace.to_execution().unwrap();
+        let ctx = ctx_of(&exec);
+        assert!(mhb_via_sat(&ctx, ids.v, ids.p));
+        assert!(chb_via_sat(&ctx, ids.p, ids.v).is_none());
+        let witness = chb_via_sat(&ctx, ids.after_p, ids.after_v).expect("tails reorder");
+        assert!(ctx.machine().replay(&witness).is_ok(), "decoded schedule replays");
+    }
+
+    #[test]
+    fn figure1_sat_backend_sees_the_dependence() {
+        let (trace, ids) = fixtures::figure1();
+        let exec = trace.to_execution().unwrap();
+        let ctx = ctx_of(&exec);
+        assert!(mhb_via_sat(&ctx, ids.post_left, ids.post_right));
+        let relaxed = SearchCtx::new(&exec, FeasibilityMode::IgnoreDependences);
+        assert!(!mhb_via_sat(&relaxed, ids.post_left, ids.post_right));
+    }
+
+    #[test]
+    fn clear_chain_deadlock_branches_are_not_models() {
+        let (trace, ids) = fixtures::post_wait_clear_chain();
+        let exec = trace.to_execution().unwrap();
+        let ctx = ctx_of(&exec);
+        // wait1 before post1 is infeasible; the SAT backend must agree
+        // even though the machine can deadlock down those branches.
+        assert!(chb_via_sat(&ctx, ids[1], ids[0]).is_none());
+        assert!(mhb_via_sat(&ctx, ids[0], ids[1]));
+    }
+
+    #[test]
+    fn sat_backend_agrees_with_witness_search_on_fixtures() {
+        for trace in [
+            fixtures::independent_pair().0,
+            fixtures::sem_handshake().0,
+            fixtures::fork_join_diamond().0,
+            fixtures::crossing().0,
+            fixtures::figure1().0,
+            fixtures::post_wait_clear_chain().0,
+            fixtures::shared_counter_race().0,
+        ] {
+            let exec = trace.to_execution().unwrap();
+            let ctx = ctx_of(&exec);
+            let n = exec.n_events();
+            for a in 0..n {
+                for b in 0..n {
+                    if a == b {
+                        continue;
+                    }
+                    let (ea, eb) = (EventId::new(a), EventId::new(b));
+                    assert_eq!(
+                        chb_via_sat(&ctx, ea, eb).is_some(),
+                        queries::could_happen_before(&ctx, ea, eb),
+                        "chb({a},{b}) disagrees"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn decoded_witnesses_order_the_pair() {
+        let (trace, a, b) = fixtures::crossing();
+        let exec = trace.to_execution().unwrap();
+        let ctx = ctx_of(&exec);
+        let w = chb_via_sat(&ctx, b, a).expect("either order feasible");
+        let pos = |e: EventId| w.iter().position(|&x| x == e).unwrap();
+        assert!(pos(b) < pos(a));
+        assert!(ctx.machine().replay(&w).is_ok());
+    }
+
+    #[test]
+    fn initial_tokens_are_anonymous_sources() {
+        let mut tb = eo_model::TraceBuilder::new();
+        let p0 = tb.process("p0");
+        let p1 = tb.process("p1");
+        let s = tb.semaphore("s", 1);
+        let q = tb.push(p0, Op::SemP(s));
+        let v = tb.push(p1, Op::SemV(s));
+        let exec = tb.build().unwrap().to_execution().unwrap();
+        let ctx = ctx_of(&exec);
+        // The P may precede the V (initial token) or follow it.
+        assert!(chb_via_sat(&ctx, q, v).is_some());
+        assert!(chb_via_sat(&ctx, v, q).is_some());
+    }
+
+    #[test]
+    fn encoding_size_is_reported() {
+        let (trace, _) = fixtures::sem_handshake();
+        let exec = trace.to_execution().unwrap();
+        let ctx = ctx_of(&exec);
+        let enc = OrderEncoding::build(&ctx);
+        // 4 events: 4·3·2 = 24 transitivity clauses + base + sync.
+        assert!(enc.core_clause_count() >= 24);
+    }
+}

@@ -1,0 +1,382 @@
+//! Memoized exploration of the cut lattice.
+//!
+//! A *state* is how far each process has progressed plus the current
+//! synchronization state (semaphore counters are determined by the
+//! progress vector; event-variable flags are not — see
+//! [`eo_model::machine::MachState`]). Distinct schedules reaching the same
+//! state have identical futures, so the schedule space folds into a DAG of
+//! states layered by executed-event count. One exploration of this DAG
+//! answers, for **every** pair of events at once:
+//!
+//! * **`chb(a, b)`** — does some feasible schedule run `a` strictly before
+//!   `b`? (`a` executed, `b` pending, in some completable state.) This is
+//!   the could-have-happened-before relation, and its complement gives
+//!   must-have-happened-before: `MHB(a,b) ⇔ a ≠ b ∧ ¬chb(b,a)`.
+//! * **`overlap(a, b)`** — is there a completable state where `a` and `b`
+//!   are *both* ready to execute (and executing both, in some order, stays
+//!   completable)? This is the operational could-be-concurrent relation.
+//!
+//! "Completable" matters: with `Clear` operations (or `join` on processes
+//! whose fork sits in an untaken branch) the machine can deadlock, and a
+//! state inside a deadlocked branch witnesses nothing — feasible program
+//! executions perform *all* of E (condition F1).
+
+use crate::ctx::SearchCtx;
+use crate::engine::EngineError;
+use eo_model::{EventId, MachState, ProcessId};
+use eo_relations::fxhash::FxHashMap;
+use eo_relations::{BitSet, Relation};
+
+/// Everything one pass over the cut lattice proves.
+#[derive(Clone, Debug)]
+pub struct StateSpaceResult {
+    /// `chb.contains(a, b)` ⇔ some feasible schedule executes `a` strictly
+    /// before `b`.
+    pub chb: Relation,
+    /// Symmetric: `overlap.contains(a, b)` ⇔ the two events can be
+    /// simultaneously enabled in a completable state.
+    pub overlap: Relation,
+    /// Total states visited (including non-completable ones).
+    pub states: usize,
+    /// States from which a complete schedule is still reachable.
+    pub completable_states: usize,
+    /// Whether any reachable state is a deadlock (live events, none
+    /// executable).
+    pub deadlock_reachable: bool,
+}
+
+pub(crate) struct Node {
+    pub(crate) state: MachState,
+    pub(crate) enabled: Vec<(ProcessId, EventId)>,
+    pub(crate) succs: Vec<usize>,
+    pub(crate) completable: bool,
+}
+
+/// Explores the full reachable state space of `ctx`, bounded by
+/// `max_states`.
+///
+/// Errors with [`EngineError::StateSpaceExceeded`] when the bound is hit —
+/// the honest outcome the paper predicts for adversarial inputs.
+pub fn explore_statespace(
+    ctx: &SearchCtx<'_>,
+    max_states: usize,
+) -> Result<StateSpaceResult, EngineError> {
+    let mut index: FxHashMap<MachState, usize> = FxHashMap::default();
+    let mut nodes: Vec<Node> = Vec::new();
+
+    let init = ctx.initial_state();
+    index.insert(init.clone(), 0);
+    nodes.push(Node {
+        enabled: ctx.co_enabled(&init),
+        state: init,
+        succs: Vec::new(),
+        completable: false,
+    });
+
+    // Expand breadth-agnostically: every node is expanded exactly once.
+    let mut cursor = 0;
+    while cursor < nodes.len() {
+        let (state, enabled) = {
+            let node = &nodes[cursor];
+            (node.state.clone(), node.enabled.clone())
+        };
+        for (p, _e) in enabled {
+            let mut st2 = state.clone();
+            ctx.step(&mut st2, p);
+            let id = match index.get(&st2) {
+                Some(&id) => id,
+                None => {
+                    if nodes.len() >= max_states {
+                        return Err(EngineError::StateSpaceExceeded { limit: max_states });
+                    }
+                    let id = nodes.len();
+                    index.insert(st2.clone(), id);
+                    nodes.push(Node {
+                        enabled: ctx.co_enabled(&st2),
+                        state: st2,
+                        succs: Vec::new(),
+                        completable: false,
+                    });
+                    id
+                }
+            };
+            nodes[cursor].succs.push(id);
+        }
+        cursor += 1;
+    }
+
+    Ok(finalize(ctx, &mut nodes, &index))
+}
+
+/// Completability back-propagation plus pairwise-fact accumulation over an
+/// already-built state graph. Shared by the sequential and parallel
+/// explorers (the parallel one runs [`accumulate_range`] on chunks).
+pub(crate) fn finalize(
+    ctx: &SearchCtx<'_>,
+    nodes: &mut [Node],
+    index: &FxHashMap<MachState, usize>,
+) -> StateSpaceResult {
+    let deadlock_reachable = propagate_completability(ctx, nodes);
+    let (chb, overlap, completable_states) = accumulate_range(ctx, nodes, index, 0, nodes.len());
+    StateSpaceResult {
+        chb,
+        overlap,
+        states: nodes.len(),
+        completable_states,
+        deadlock_reachable,
+    }
+}
+
+/// Marks every node from which a complete schedule is reachable; returns
+/// whether any reachable state is a deadlock.
+///
+/// The state DAG is layered by executed count, so processing nodes in
+/// decreasing layer order sees successors first.
+pub(crate) fn propagate_completability(ctx: &SearchCtx<'_>, nodes: &mut [Node]) -> bool {
+    let mut order: Vec<usize> = (0..nodes.len()).collect();
+    order.sort_unstable_by_key(|&i| std::cmp::Reverse(nodes[i].state.executed_count()));
+    let mut deadlock_reachable = false;
+    for i in order {
+        let node = &nodes[i];
+        let completable = if ctx.is_complete(&node.state) {
+            true
+        } else {
+            if node.enabled.is_empty() {
+                deadlock_reachable = true;
+            }
+            node.succs.iter().any(|&s| nodes[s].completable)
+        };
+        nodes[i].completable = completable;
+    }
+    debug_assert!(
+        nodes[0].completable,
+        "the observed execution is itself feasible, so the initial state must be completable"
+    );
+    deadlock_reachable
+}
+
+/// Accumulates the pairwise facts (`chb`, `overlap`) over the completable
+/// states in `lo..hi`. Partial results from disjoint ranges merge by
+/// relation union — that is how the parallel explorer fans this out.
+pub(crate) fn accumulate_range(
+    ctx: &SearchCtx<'_>,
+    nodes: &[Node],
+    index: &FxHashMap<MachState, usize>,
+    lo: usize,
+    hi: usize,
+) -> (Relation, Relation, usize) {
+    let n = ctx.n_events();
+    let machine = ctx.machine();
+    let mut chb = Relation::new(n);
+    let mut overlap = Relation::new(n);
+    let mut completable_states = 0;
+    for i in lo..hi {
+        if !nodes[i].completable {
+            continue;
+        }
+        completable_states += 1;
+
+        // a executed, b pending ⇒ chb(a, b).
+        let mut executed = BitSet::new(n);
+        for e in 0..n {
+            if machine.executed(&nodes[i].state, EventId::new(e)) {
+                executed.insert(e);
+            }
+        }
+        let mut pending = BitSet::full(n);
+        pending.difference_with(&executed);
+        for a in executed.iter() {
+            chb.row_mut(a).union_with(&pending);
+        }
+
+        // Simultaneously enabled pairs that can both fire and stay
+        // completable ⇒ overlap.
+        let enabled = &nodes[i].enabled;
+        for x in 0..enabled.len() {
+            for y in (x + 1)..enabled.len() {
+                let (p1, e1) = enabled[x];
+                let (p2, e2) = enabled[y];
+                if overlap.contains(e1.index(), e2.index()) {
+                    continue;
+                }
+                if pair_fires_completably(ctx, nodes, index, i, p1, p2)
+                    || pair_fires_completably(ctx, nodes, index, i, p2, p1)
+                {
+                    overlap.insert(e1.index(), e2.index());
+                    overlap.insert(e2.index(), e1.index());
+                }
+            }
+        }
+    }
+    (chb, overlap, completable_states)
+}
+
+/// From node `i`, can `first` then `second` fire back-to-back and leave a
+/// completable state?
+fn pair_fires_completably(
+    ctx: &SearchCtx<'_>,
+    nodes: &[Node],
+    index: &FxHashMap<MachState, usize>,
+    i: usize,
+    first: ProcessId,
+    second: ProcessId,
+) -> bool {
+    let mut st = nodes[i].state.clone();
+    ctx.step(&mut st, first);
+    if !ctx
+        .co_enabled(&st)
+        .iter()
+        .any(|&(p, _)| p == second)
+    {
+        return false;
+    }
+    ctx.step(&mut st, second);
+    let id = index[&st]; // reachable by construction
+    nodes[id].completable
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctx::FeasibilityMode;
+    use eo_model::fixtures;
+    use eo_model::ProgramExecution;
+
+    fn space(exec: &ProgramExecution, mode: FeasibilityMode) -> StateSpaceResult {
+        let ctx = SearchCtx::new(exec, mode);
+        explore_statespace(&ctx, 1 << 20).unwrap()
+    }
+
+    #[test]
+    fn independent_pair_can_go_either_way() {
+        let (trace, a, b) = fixtures::independent_pair();
+        let exec = trace.to_execution().unwrap();
+        let r = space(&exec, FeasibilityMode::PreserveDependences);
+        assert!(r.chb.contains(a.index(), b.index()));
+        assert!(r.chb.contains(b.index(), a.index()));
+        assert!(r.overlap.contains(a.index(), b.index()));
+        assert!(!r.deadlock_reachable);
+        // States: (0,0),(1,0),(0,1),(1,1).
+        assert_eq!(r.states, 4);
+        assert_eq!(r.completable_states, 4);
+    }
+
+    #[test]
+    fn handshake_forces_v_before_p() {
+        let (trace, ids) = fixtures::sem_handshake();
+        let exec = trace.to_execution().unwrap();
+        let r = space(&exec, FeasibilityMode::PreserveDependences);
+        assert!(r.chb.contains(ids.v.index(), ids.p.index()));
+        assert!(
+            !r.chb.contains(ids.p.index(), ids.v.index()),
+            "no feasible schedule runs the P first"
+        );
+        assert!(!r.overlap.contains(ids.v.index(), ids.p.index()));
+        // The tails may interleave freely.
+        assert!(r.overlap.contains(ids.after_v.index(), ids.after_p.index()));
+    }
+
+    #[test]
+    fn dependences_pin_the_race_order() {
+        let (trace, inc0, inc1) = fixtures::shared_counter_race();
+        let exec = trace.to_execution().unwrap();
+
+        let strict = space(&exec, FeasibilityMode::PreserveDependences);
+        assert!(strict.chb.contains(inc0.index(), inc1.index()));
+        assert!(!strict.chb.contains(inc1.index(), inc0.index()));
+        assert!(!strict.overlap.contains(inc0.index(), inc1.index()));
+
+        let relaxed = space(&exec, FeasibilityMode::IgnoreDependences);
+        assert!(relaxed.chb.contains(inc1.index(), inc0.index()), "reorderable now");
+        assert!(relaxed.overlap.contains(inc0.index(), inc1.index()), "the race shows");
+    }
+
+    #[test]
+    fn diamond_workers_overlap() {
+        let (trace, ids) = fixtures::fork_join_diamond();
+        let exec = trace.to_execution().unwrap();
+        let r = space(&exec, FeasibilityMode::PreserveDependences);
+        assert!(r.overlap.contains(ids.left.index(), ids.right.index()));
+        assert!(!r.chb.contains(ids.join.index(), ids.left.index()));
+        assert!(r.chb.contains(ids.fork.index(), ids.join.index()));
+        assert!(
+            !r.chb.contains(ids.post.index(), ids.pre.index()),
+            "post-join tail can never precede the pre-fork head"
+        );
+    }
+
+    #[test]
+    fn figure1_posts_are_ordered_in_every_feasible_execution() {
+        let (trace, ids) = fixtures::figure1();
+        let exec = trace.to_execution().unwrap();
+        let r = space(&exec, FeasibilityMode::PreserveDependences);
+        // MHB(post_left, post_right): no schedule runs post_right first.
+        assert!(!r.chb.contains(ids.post_right.index(), ids.post_left.index()));
+        assert!(r.chb.contains(ids.post_left.index(), ids.post_right.index()));
+        assert!(!r.overlap.contains(ids.post_left.index(), ids.post_right.index()));
+        // Ignoring dependences (the EGP/HMW notion), the order dissolves.
+        let relaxed = space(&exec, FeasibilityMode::IgnoreDependences);
+        assert!(relaxed.chb.contains(ids.post_right.index(), ids.post_left.index()));
+    }
+
+    #[test]
+    fn crossing_tails_overlap() {
+        let (trace, a, b) = fixtures::crossing();
+        let exec = trace.to_execution().unwrap();
+        let r = space(&exec, FeasibilityMode::PreserveDependences);
+        assert!(r.overlap.contains(a.index(), b.index()));
+        assert!(r.chb.contains(a.index(), b.index()));
+        assert!(r.chb.contains(b.index(), a.index()));
+    }
+
+    #[test]
+    fn clear_deadlock_branches_are_discounted() {
+        // Post; Wait; Clear (three processes). Schedules that run the
+        // Clear before the Wait deadlock; the Wait must still be ordered
+        // after the Post in every *feasible* (complete) execution.
+        let (trace, ids) = fixtures::post_wait_clear_chain();
+        let exec = trace.to_execution().unwrap();
+        let r = space(&exec, FeasibilityMode::PreserveDependences);
+        assert!(r.deadlock_reachable, "clear-first branches deadlock");
+        let post1 = ids[0];
+        let wait1 = ids[1];
+        assert!(!r.chb.contains(wait1.index(), post1.index()));
+    }
+
+    #[test]
+    fn state_bound_is_honored() {
+        let (trace, _ids) = fixtures::fork_join_diamond();
+        let exec = trace.to_execution().unwrap();
+        let ctx = SearchCtx::new(&exec, FeasibilityMode::PreserveDependences);
+        match explore_statespace(&ctx, 3) {
+            Err(EngineError::StateSpaceExceeded { limit }) => assert_eq!(limit, 3),
+            other => panic!("expected StateSpaceExceeded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn semaphore_contention_is_not_overlap() {
+        // One token shared by two critical P's (the first holder V's it
+        // back): the P's can never run concurrently, though either may go
+        // first.
+        let mut tb = eo_model::TraceBuilder::new();
+        let p0 = tb.process("p0");
+        let p1 = tb.process("p1");
+        let s = tb.semaphore("s", 1);
+        let q0 = tb.push(p0, eo_model::Op::SemP(s));
+        tb.push(p0, eo_model::Op::SemV(s));
+        let q1 = tb.push(p1, eo_model::Op::SemP(s));
+        let trace = tb.build().unwrap();
+        let exec = trace.to_execution().unwrap();
+        let r = space(&exec, FeasibilityMode::PreserveDependences);
+        assert!(
+            !r.overlap.contains(q0.index(), q1.index()),
+            "one token cannot serve two concurrent P's"
+        );
+        assert!(r.chb.contains(q0.index(), q1.index()));
+        // q1 grabbing the initial token first starves q0 (its V comes
+        // after), so that branch deadlocks and witnesses nothing.
+        assert!(!r.chb.contains(q1.index(), q0.index()));
+        assert!(r.deadlock_reachable);
+    }
+}

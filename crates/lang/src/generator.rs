@@ -1,0 +1,500 @@
+//! Random workload generation.
+//!
+//! The paper has no empirical section, so the scaling and precision
+//! experiments (E6, E7, E9 in DESIGN.md) need synthetic workloads whose
+//! *shape* matches the programs the paper talks about: a handful of
+//! processes mixing computation on shared variables with semaphore or
+//! event-style synchronization. This module generates such programs from a
+//! seeded [`WorkloadSpec`] and, because random synchronization can
+//! deadlock, provides [`generate_trace`] which regenerates/reschedules
+//! until an execution completes.
+
+use crate::ast::Program;
+use crate::builder::ProgramBuilder;
+use crate::interp::{run_with_random_retries, RunError};
+use crate::scheduler::Scheduler;
+use eo_model::Trace;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Which synchronization style a generated workload uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SyncStyle {
+    /// Counting semaphores (`P`/`V`).
+    Semaphores,
+    /// Event variables (`Post`/`Wait`, plus `Clear` when
+    /// [`WorkloadSpec::clears`] is true).
+    Events,
+}
+
+/// Parameters of a random workload.
+#[derive(Clone, Debug)]
+pub struct WorkloadSpec {
+    /// Number of root processes.
+    pub processes: usize,
+    /// Statements per process.
+    pub events_per_process: usize,
+    /// Number of semaphores (used when `style` is `Semaphores`).
+    pub semaphores: usize,
+    /// Number of event variables (used when `style` is `Events`).
+    pub event_vars: usize,
+    /// Number of shared variables.
+    pub variables: usize,
+    /// Fraction of statements that are synchronization operations
+    /// (0.0–1.0); the rest are computations with random accesses.
+    pub sync_density: f64,
+    /// Probability that a computation's access is a write.
+    pub write_fraction: f64,
+    /// Whether event workloads may emit `Clear` (the op that makes the
+    /// could-have analysis hard; see Theorems 3–4).
+    pub clears: bool,
+    /// Synchronization style.
+    pub style: SyncStyle,
+    /// RNG seed; equal specs generate equal programs.
+    pub seed: u64,
+}
+
+impl WorkloadSpec {
+    /// A small semaphore workload — the default starting point the benches
+    /// scale up from.
+    pub fn small_semaphore(seed: u64) -> Self {
+        WorkloadSpec {
+            processes: 3,
+            events_per_process: 4,
+            semaphores: 2,
+            event_vars: 0,
+            variables: 2,
+            sync_density: 0.5,
+            write_fraction: 0.4,
+            clears: false,
+            style: SyncStyle::Semaphores,
+            seed,
+        }
+    }
+
+    /// A small event-style workload.
+    pub fn small_events(seed: u64) -> Self {
+        WorkloadSpec {
+            processes: 3,
+            events_per_process: 4,
+            semaphores: 0,
+            event_vars: 2,
+            variables: 2,
+            sync_density: 0.5,
+            write_fraction: 0.4,
+            clears: true,
+            style: SyncStyle::Events,
+            seed,
+        }
+    }
+}
+
+/// Generates a random program from the spec. The program is statically
+/// valid but may deadlock under some (or all) schedules — pair with
+/// [`generate_trace`] when an observed execution is needed.
+pub fn random_program(spec: &WorkloadSpec) -> Program {
+    let mut rng = SmallRng::seed_from_u64(spec.seed);
+    let mut b = ProgramBuilder::new();
+
+    let sems: Vec<_> = (0..spec.semaphores)
+        .map(|i| b.semaphore(&format!("s{i}")))
+        .collect();
+    let evs: Vec<_> = (0..spec.event_vars)
+        .map(|i| b.event_var(&format!("ev{i}")))
+        .collect();
+    let vars: Vec<_> = (0..spec.variables)
+        .map(|i| b.variable(&format!("x{i}")))
+        .collect();
+    let procs: Vec<_> = (0..spec.processes)
+        .map(|i| b.process(&format!("p{i}")))
+        .collect();
+
+    // Guarantee a V for every P (and a Post for every Wait) *somewhere*:
+    // emit sync ops in matched pairs assigned to random processes and
+    // positions. Unpaired acquires could never complete in any schedule.
+    let mut slots: Vec<Vec<Slot>> = (0..spec.processes).map(|_| Vec::new()).collect();
+    let total = spec.processes * spec.events_per_process;
+    let sync_budget = ((total as f64) * spec.sync_density) as usize;
+    let mut emitted = 0;
+    while emitted + 2 <= sync_budget {
+        match spec.style {
+            SyncStyle::Semaphores if !sems.is_empty() => {
+                let s = sems[rng.gen_range(0..sems.len())];
+                slots[rng.gen_range(0..spec.processes)].push(Slot::V(s));
+                slots[rng.gen_range(0..spec.processes)].push(Slot::P(s));
+                emitted += 2;
+            }
+            SyncStyle::Events if !evs.is_empty() => {
+                let v = evs[rng.gen_range(0..evs.len())];
+                slots[rng.gen_range(0..spec.processes)].push(Slot::Post(v));
+                slots[rng.gen_range(0..spec.processes)].push(Slot::Wait(v));
+                emitted += 2;
+                if spec.clears && rng.gen_bool(0.25) && emitted < sync_budget {
+                    slots[rng.gen_range(0..spec.processes)].push(Slot::Clear(v));
+                    emitted += 1;
+                }
+            }
+            _ => break,
+        }
+    }
+
+    // Fill the rest with computations carrying random accesses.
+    for (pi, proc_slots) in slots.iter_mut().enumerate() {
+        while proc_slots.len() < spec.events_per_process {
+            let mut reads = Vec::new();
+            let mut writes = Vec::new();
+            if !vars.is_empty() {
+                let v = vars[rng.gen_range(0..vars.len())];
+                if rng.gen_bool(spec.write_fraction) {
+                    writes.push(v);
+                } else {
+                    reads.push(v);
+                }
+            }
+            proc_slots.push(Slot::Compute {
+                reads,
+                writes,
+                label: format!("c{pi}_{}", proc_slots.len()),
+            });
+        }
+        // Shuffle within the process so sync ops land at random positions.
+        for i in (1..proc_slots.len()).rev() {
+            proc_slots.swap(i, rng.gen_range(0..=i));
+        }
+    }
+
+    for (pi, proc_slots) in slots.into_iter().enumerate() {
+        let p = procs[pi];
+        for slot in proc_slots {
+            match slot {
+                Slot::V(s) => {
+                    b.sem_v(p, s);
+                }
+                Slot::P(s) => {
+                    b.sem_p(p, s);
+                }
+                Slot::Post(v) => {
+                    b.post(p, v);
+                }
+                Slot::Wait(v) => {
+                    b.wait(p, v);
+                }
+                Slot::Clear(v) => {
+                    b.clear(p, v);
+                }
+                Slot::Compute { reads, writes, label } => {
+                    b.compute_rw(p, &reads, &writes, &label);
+                }
+            }
+        }
+    }
+    b.build()
+}
+
+enum Slot {
+    V(eo_model::SemId),
+    P(eo_model::SemId),
+    Post(eo_model::EvVarId),
+    Wait(eo_model::EvVarId),
+    Clear(eo_model::EvVarId),
+    Compute {
+        reads: Vec<eo_model::VarId>,
+        writes: Vec<eo_model::VarId>,
+        label: String,
+    },
+}
+
+/// Generates a workload *trace*: repeatedly generates a program from the
+/// spec (bumping the seed) and schedules it with random retries until one
+/// execution completes.
+///
+/// # Panics
+/// Panics if no completing execution is found within `max_regenerations`
+/// program variants × 32 schedule seeds each — with the matched-pair
+/// generation above this practically never happens for sane specs, and a
+/// panic flags a spec that cannot produce the promised workload.
+pub fn generate_trace(spec: &WorkloadSpec, max_regenerations: u32) -> Trace {
+    let mut spec = spec.clone();
+    for _ in 0..max_regenerations {
+        let program = random_program(&spec);
+        match run_with_random_retries(&program, spec.seed, 32) {
+            Ok((trace, _seed)) => return trace,
+            Err(RunError::Invalid(e)) => unreachable!("generator built invalid program: {e}"),
+            Err(RunError::Deadlock { .. }) => {
+                spec.seed = spec.seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            }
+        }
+    }
+    panic!("no completing execution found for workload spec {spec:?}");
+}
+
+/// A deterministic fork/join tree workload: `fanout^depth` leaf processes
+/// each doing one computation on a distinct variable, with perfectly
+/// nested fork/join. Always completes under any scheduler.
+pub fn fork_join_tree(depth: u32, fanout: usize) -> Program {
+    let mut b = ProgramBuilder::new();
+    let root = b.process("root");
+    build_node(&mut b, root, "r", depth, fanout);
+    return b.build();
+
+    fn build_node(
+        b: &mut ProgramBuilder,
+        p: crate::ast::ProcRef,
+        name: &str,
+        depth: u32,
+        fanout: usize,
+    ) {
+        if depth == 0 {
+            let v = b.variable(&format!("leaf_{name}"));
+            b.compute_rw(p, &[], &[v], &format!("work_{name}"));
+            return;
+        }
+        let kids: Vec<_> = (0..fanout)
+            .map(|i| b.subprocess(&format!("{name}.{i}")))
+            .collect();
+        for (i, &k) in kids.iter().enumerate() {
+            build_node(b, k, &format!("{name}.{i}"), depth - 1, fanout);
+        }
+        b.fork(p, &kids);
+        b.join(p, &kids);
+    }
+}
+
+/// The paper's Figure 1 fragment as a *program* (with the live
+/// conditional — unlike `eo_model::fixtures::figure1`, which is the
+/// observed trace): `main` initializes X and forks three tasks; t1 posts
+/// then writes `X := 1`; t2 tests X and posts on the then-branch, waits on
+/// the else-branch; t3 waits. Running it under different schedulers shows
+/// both branch outcomes — the reason feasibility must preserve →D.
+pub fn figure1_program() -> Program {
+    let mut b = ProgramBuilder::new();
+    let x = b.variable("X");
+    let ev = b.event_var("ev");
+    let main = b.process("main");
+    let t1 = b.subprocess("t1");
+    let t2 = b.subprocess("t2");
+    let t3 = b.subprocess("t3");
+
+    b.assign(main, x, 0);
+    b.fork(main, &[t1, t2, t3]);
+
+    b.labeled(t1, crate::ast::StmtKind::Post(ev), "post_left");
+    b.assign(t1, x, 1);
+
+    b.if_eq_labeled(
+        t2,
+        x,
+        1,
+        "if_x",
+        |then| {
+            then.post_here(ev);
+        },
+        |els| {
+            els.wait_here(ev);
+        },
+    );
+
+    b.labeled(t3, crate::ast::StmtKind::Wait(ev), "wait");
+    b.build()
+}
+
+/// A software-pipeline workload: `stages` worker processes connected by
+/// handshake semaphores, each pushing `items` work items downstream. Stage
+/// `k` performs, per item, a computation on its private variable followed
+/// by a `V` on its output semaphore; stage `k+1` `P`s before consuming.
+/// Deadlock-free under every scheduler (tokens only flow forward).
+pub fn pipeline_program(stages: usize, items: usize) -> Program {
+    assert!(stages >= 1 && items >= 1);
+    let mut b = ProgramBuilder::new();
+    let links: Vec<_> = (0..stages.saturating_sub(1))
+        .map(|k| b.semaphore(&format!("link{k}")))
+        .collect();
+    let vars: Vec<_> = (0..stages)
+        .map(|k| b.variable(&format!("buf{k}")))
+        .collect();
+    for k in 0..stages {
+        let p = b.process(&format!("stage{k}"));
+        for i in 0..items {
+            if k > 0 {
+                b.sem_p(p, links[k - 1]);
+            }
+            b.compute_rw(p, &[], &[vars[k]], &format!("s{k}_item{i}"));
+            if k + 1 < stages {
+                b.sem_v(p, links[k]);
+            }
+        }
+    }
+    b.build()
+}
+
+/// A barrier-phase workload: `threads` forked workers run `phases` rounds,
+/// with a full fork/join barrier between rounds (the coordinator re-forks
+/// a fresh worker generation per phase, which is how barrier-style
+/// episodes look in a fork/join-only vocabulary). Each worker touches a
+/// phase-shared variable, so cross-phase orderings are dependence-forced.
+pub fn barrier_program(threads: usize, phases: usize) -> Program {
+    assert!(threads >= 1 && phases >= 1);
+    let mut b = ProgramBuilder::new();
+    let main = b.process("main");
+    let shared: Vec<_> = (0..phases)
+        .map(|ph| b.variable(&format!("phase{ph}")))
+        .collect();
+    for ph in 0..phases {
+        let workers: Vec<_> = (0..threads)
+            .map(|t| b.subprocess(&format!("w{ph}_{t}")))
+            .collect();
+        for (t, &w) in workers.iter().enumerate() {
+            b.compute_rw(w, &[], &[shared[ph]], &format!("work_p{ph}_t{t}"));
+        }
+        b.fork(main, &workers);
+        b.join(main, &workers);
+        b.compute(main, &format!("barrier{ph}"));
+    }
+    b.build()
+}
+
+/// Convenience: run a (deadlock-free) program deterministically and return
+/// the trace, panicking on deadlock. For programs that can deadlock, use
+/// [`run_with_random_retries`] directly.
+pub fn run_deterministic(program: &Program) -> Trace {
+    crate::interp::run_to_trace(program, &mut Scheduler::deterministic())
+        .expect("program deadlocked under the deterministic scheduler")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_program_is_reproducible() {
+        let spec = WorkloadSpec::small_semaphore(7);
+        assert_eq!(random_program(&spec), random_program(&spec));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = random_program(&WorkloadSpec::small_semaphore(1));
+        let b = random_program(&WorkloadSpec::small_semaphore(2));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn semaphore_workload_produces_trace() {
+        let t = generate_trace(&WorkloadSpec::small_semaphore(11), 50);
+        assert!(t.n_events() > 0);
+        assert!(t.validate().is_ok());
+        assert!(t.semaphores.len() == 2);
+    }
+
+    #[test]
+    fn event_workload_produces_trace() {
+        let t = generate_trace(&WorkloadSpec::small_events(13), 50);
+        assert!(t.validate().is_ok());
+        assert!(t.events.iter().any(|e| matches!(e.op, eo_model::Op::Post(_))));
+    }
+
+    #[test]
+    fn event_workload_without_clears_has_none() {
+        let mut spec = WorkloadSpec::small_events(5);
+        spec.clears = false;
+        let prog = random_program(&spec);
+        let has_clear = prog.processes.iter().any(|p| {
+            p.body
+                .iter()
+                .any(|s| matches!(s.kind, crate::ast::StmtKind::Clear(_)))
+        });
+        assert!(!has_clear);
+    }
+
+    #[test]
+    fn fork_join_tree_shape() {
+        let prog = fork_join_tree(2, 2);
+        // 1 root + 2 + 4 = 7 processes.
+        assert_eq!(prog.processes.len(), 7);
+        let t = run_deterministic(&prog);
+        assert!(t.validate().is_ok());
+        // 4 leaves × 1 work event + 3 inner × (fork+join) = 10 events.
+        assert_eq!(t.n_events(), 10);
+    }
+
+    #[test]
+    fn fork_join_tree_completes_under_random_scheduling() {
+        let prog = fork_join_tree(2, 3);
+        for seed in 0..5 {
+            let t =
+                crate::interp::run_to_trace(&prog, &mut Scheduler::random(seed)).unwrap();
+            assert_eq!(t.n_events(), 9 + 8); // 9 leaves + 4 inner × 2
+        }
+    }
+
+    #[test]
+    fn figure1_program_takes_both_branches_under_different_schedules() {
+        let prog = figure1_program();
+        let mut then_seen = false;
+        let mut else_seen = false;
+        for seed in 0..40 {
+            if let Ok(t) = crate::interp::run_to_trace(&prog, &mut Scheduler::random(seed)) {
+                // Then-branch execution has two Posts of ev; else-branch
+                // has two Waits (t2's + t3's).
+                let posts = t
+                    .events
+                    .iter()
+                    .filter(|e| matches!(e.op, eo_model::Op::Post(_)))
+                    .count();
+                match posts {
+                    2 => then_seen = true,
+                    1 => else_seen = true,
+                    _ => panic!("unexpected post count {posts}"),
+                }
+            }
+        }
+        assert!(then_seen, "some schedule sees X=1");
+        assert!(else_seen, "some schedule sees X=0 — different events entirely");
+    }
+
+    #[test]
+    fn pipeline_completes_under_any_scheduler() {
+        let prog = pipeline_program(3, 2);
+        for seed in 0..5 {
+            let t = crate::interp::run_to_trace(&prog, &mut Scheduler::random(seed)).unwrap();
+            // 3 stages × 2 items of work + 2·2 V's + 2·2 P's.
+            assert_eq!(t.n_events(), 6 + 4 + 4);
+        }
+    }
+
+    #[test]
+    fn pipeline_single_stage_has_no_semaphores() {
+        let prog = pipeline_program(1, 3);
+        assert!(prog.semaphores.is_empty());
+        let t = run_deterministic(&prog);
+        assert_eq!(t.n_events(), 3);
+    }
+
+    #[test]
+    fn barrier_phases_have_expected_shape() {
+        let prog = barrier_program(2, 3);
+        // 1 main + 2 workers × 3 phases.
+        assert_eq!(prog.processes.len(), 1 + 6);
+        let t = run_deterministic(&prog);
+        // per phase: fork + 2 work + join + barrier = 5 events.
+        assert_eq!(t.n_events(), 15);
+        assert!(t.validate().is_ok());
+    }
+
+    #[test]
+    fn barrier_workers_share_a_variable_per_phase() {
+        let prog = barrier_program(2, 1);
+        let t = run_deterministic(&prog);
+        let exec = t.to_execution().unwrap();
+        // The two workers of one phase conflict (write-write).
+        assert_eq!(exec.d().pair_count(), 1);
+    }
+
+    #[test]
+    fn sync_density_zero_means_no_sync_ops() {
+        let mut spec = WorkloadSpec::small_semaphore(3);
+        spec.sync_density = 0.0;
+        let t = generate_trace(&spec, 10);
+        assert!(t.events.iter().all(|e| matches!(e.op, eo_model::Op::Compute)));
+    }
+}

@@ -1,0 +1,485 @@
+//! The sequentially consistent interleaving interpreter.
+//!
+//! [`run_to_trace`] executes a [`Program`] one statement at a time: at each
+//! step it collects the processes whose next statement can execute, asks
+//! the [`Scheduler`] to pick one, executes that statement atomically, and
+//! records the corresponding event. The result is an observed
+//! [`Trace`] — exactly the object the paper's analyses take as input.
+//!
+//! Sequential consistency is by construction: there is a single global
+//! interleaving, and every read sees the latest write in it. Statement
+//! granularity matches the paper's event granularity (each event is "an
+//! execution instance of a set of consecutively executed statements"; we
+//! use the finest version, one statement per event, which loses no
+//! generality).
+//!
+//! The trace only contains what actually happened: processes that were
+//! never forked (e.g. a fork in an untaken branch) do not appear, and
+//! untaken branches contribute no events. That is the point of the paper's
+//! Figure 1 — re-executions that *change* a branch decision perform
+//! different events, which is why feasibility is defined by preserving the
+//! shared-data dependences.
+
+use crate::ast::{ProcRef, Program, Stmt, StmtKind};
+use crate::scheduler::Scheduler;
+use eo_model::trace::{EvVarDecl, ProcessDecl, SemDecl, VarDecl};
+use eo_model::{Event, EventId, Op, ProcessId, Trace};
+
+/// Why a run failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RunError {
+    /// The program failed static validation.
+    Invalid(crate::ast::ProgramError),
+    /// Execution reached a state where live processes remain but none can
+    /// execute (possible with `Wait` after `Clear`, `P` with no matching
+    /// `V`, or `join` on a never-forked process).
+    Deadlock {
+        /// Events executed before the deadlock.
+        executed: usize,
+    },
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::Invalid(e) => write!(f, "invalid program: {e}"),
+            RunError::Deadlock { executed } => {
+                write!(f, "deadlock after {executed} events")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+/// A frame of a process's continuation: a block and the index of the next
+/// statement within it.
+struct Frame<'p> {
+    block: &'p [Stmt],
+    next: usize,
+}
+
+/// A live runtime process.
+struct ProcState<'p> {
+    def: ProcRef,
+    frames: Vec<Frame<'p>>,
+}
+
+impl<'p> ProcState<'p> {
+    fn current(&mut self) -> Option<&'p Stmt> {
+        loop {
+            let frame = self.frames.last_mut()?;
+            if frame.next < frame.block.len() {
+                return Some(&frame.block[frame.next]);
+            }
+            self.frames.pop();
+        }
+    }
+
+}
+
+/// Runs `program` under `scheduler` and returns the observed trace.
+///
+/// The returned trace always validates (it is valid by construction — a
+/// debug assertion confirms this).
+pub fn run_to_trace(program: &Program, scheduler: &mut Scheduler) -> Result<Trace, RunError> {
+    program.validate().map_err(RunError::Invalid)?;
+
+    let n_defs = program.processes.len();
+    // def -> runtime trace ProcessId, once instantiated.
+    let mut instance: Vec<Option<ProcessId>> = vec![None; n_defs];
+    let mut procs: Vec<ProcState<'_>> = Vec::new();
+    let mut decls: Vec<ProcessDecl> = Vec::new();
+
+    for (di, def) in program.processes.iter().enumerate() {
+        if def.root {
+            instance[di] = Some(ProcessId::new(procs.len()));
+            procs.push(ProcState {
+                def: ProcRef(di as u32),
+                frames: vec![Frame {
+                    block: &def.body,
+                    next: 0,
+                }],
+            });
+            decls.push(ProcessDecl {
+                name: def.name.clone(),
+                created_by: None,
+            });
+        }
+    }
+
+    let mut store: Vec<i64> = vec![0; program.variables.len()];
+    let mut sem: Vec<u32> = program.semaphores.iter().map(|s| s.initial).collect();
+    let mut flag: Vec<bool> = program.event_vars.iter().map(|v| v.initially_set).collect();
+    let mut events: Vec<Event> = Vec::with_capacity(program.max_events());
+
+    loop {
+        // Collect enabled processes (sorted by runtime id by construction).
+        let mut enabled: Vec<(ProcessId, ProcRef)> = Vec::new();
+        let mut anyone_live = false;
+        for pi in 0..procs.len() {
+            let (def, stmt) = {
+                let p = &mut procs[pi];
+                match p.current() {
+                    Some(s) => (p.def, s),
+                    None => continue,
+                }
+            };
+            anyone_live = true;
+            let ok = match &stmt.kind {
+                StmtKind::SemP(s) => sem[s.index()] > 0,
+                StmtKind::Wait(v) => flag[v.index()],
+                StmtKind::Join(targets) => targets.iter().all(|t| match instance[t.index()] {
+                    Some(pid) => procs[pid.index()].frames.iter().all(|f| f.next >= f.block.len()),
+                    None => false,
+                }),
+                _ => true,
+            };
+            if ok {
+                enabled.push((ProcessId::new(pi), def));
+            }
+        }
+
+        if !anyone_live {
+            break;
+        }
+        if enabled.is_empty() {
+            return Err(RunError::Deadlock {
+                executed: events.len(),
+            });
+        }
+
+        let (pid, _) = enabled[scheduler.pick(&enabled)];
+        let stmt = procs[pid.index()].current().expect("enabled implies live");
+        // Advance the instruction pointer before executing (forked children
+        // must not confuse the current frame bookkeeping).
+        {
+            let frame = procs[pid.index()].frames.last_mut().expect("live");
+            frame.next += 1;
+        }
+
+        let eid = EventId::new(events.len());
+        let mut reads: Vec<eo_model::VarId> = Vec::new();
+        let mut writes: Vec<eo_model::VarId> = Vec::new();
+        let op = match &stmt.kind {
+            StmtKind::Skip => Op::Compute,
+            StmtKind::Compute { reads: r, writes: w } => {
+                reads = r.clone();
+                writes = w.clone();
+                Op::Compute
+            }
+            StmtKind::Assign { var, value } => {
+                store[var.index()] = *value;
+                writes.push(*var);
+                Op::Compute
+            }
+            StmtKind::SemP(s) => {
+                sem[s.index()] -= 1;
+                Op::SemP(*s)
+            }
+            StmtKind::SemV(s) => {
+                sem[s.index()] += 1;
+                Op::SemV(*s)
+            }
+            StmtKind::Post(v) => {
+                flag[v.index()] = true;
+                Op::Post(*v)
+            }
+            StmtKind::Wait(v) => Op::Wait(*v),
+            StmtKind::Clear(v) => {
+                flag[v.index()] = false;
+                Op::Clear(*v)
+            }
+            StmtKind::Fork(targets) => {
+                let mut children = Vec::with_capacity(targets.len());
+                for &t in targets {
+                    let child = ProcessId::new(procs.len());
+                    instance[t.index()] = Some(child);
+                    procs.push(ProcState {
+                        def: t,
+                        frames: vec![Frame {
+                            block: &program.processes[t.index()].body,
+                            next: 0,
+                        }],
+                    });
+                    decls.push(ProcessDecl {
+                        name: program.processes[t.index()].name.clone(),
+                        created_by: Some(eid),
+                    });
+                    children.push(child);
+                }
+                Op::Fork(children)
+            }
+            StmtKind::Join(targets) => Op::Join(
+                targets
+                    .iter()
+                    .map(|t| instance[t.index()].expect("join enabled implies forked"))
+                    .collect(),
+            ),
+            StmtKind::If {
+                var,
+                equals,
+                then_branch,
+                else_branch,
+            } => {
+                reads.push(*var);
+                let branch: &[Stmt] = if store[var.index()] == *equals {
+                    then_branch
+                } else {
+                    else_branch
+                };
+                if !branch.is_empty() {
+                    procs[pid.index()].frames.push(Frame {
+                        block: branch,
+                        next: 0,
+                    });
+                }
+                Op::Compute
+            }
+        };
+
+        events.push(Event {
+            id: eid,
+            process: pid,
+            op,
+            reads,
+            writes,
+            label: stmt.label.clone(),
+        });
+    }
+
+    let trace = Trace {
+        events,
+        processes: decls,
+        semaphores: program
+            .semaphores
+            .iter()
+            .map(|s| SemDecl {
+                name: s.name.clone(),
+                initial: s.initial,
+            })
+            .collect(),
+        event_vars: program
+            .event_vars
+            .iter()
+            .map(|v| EvVarDecl {
+                name: v.name.clone(),
+                initially_set: v.initially_set,
+            })
+            .collect(),
+        variables: program
+            .variables
+            .iter()
+            .map(|name| VarDecl { name: name.clone() })
+            .collect(),
+    };
+    debug_assert!(trace.validate().is_ok(), "interpreter emitted an invalid trace");
+    Ok(trace)
+}
+
+/// Runs `program` under up to `attempts` random seeds (starting at
+/// `first_seed`) until a run completes, returning the trace and the seed
+/// that produced it. Programs whose schedules can deadlock (the Theorem 3
+/// gadgets) use this to find a completing observed execution.
+pub fn run_with_random_retries(
+    program: &Program,
+    first_seed: u64,
+    attempts: u32,
+) -> Result<(Trace, u64), RunError> {
+    let mut last = RunError::Deadlock { executed: 0 };
+    for k in 0..attempts {
+        let seed = first_seed + k as u64;
+        match run_to_trace(program, &mut Scheduler::random(seed)) {
+            Ok(t) => return Ok((t, seed)),
+            Err(e @ RunError::Invalid(_)) => return Err(e),
+            Err(e) => last = e,
+        }
+    }
+    Err(last)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+
+    #[test]
+    fn straight_line_program_runs() {
+        let mut b = ProgramBuilder::new();
+        let p = b.process("p");
+        b.compute(p, "one");
+        b.compute(p, "two");
+        let prog = b.build();
+        let t = run_to_trace(&prog, &mut Scheduler::deterministic()).unwrap();
+        assert_eq!(t.n_events(), 2);
+        assert_eq!(t.event_labeled("one"), Some(EventId(0)));
+    }
+
+    #[test]
+    fn semaphore_blocks_until_v() {
+        let mut b = ProgramBuilder::new();
+        let s = b.semaphore("s");
+        let waiter = b.process("waiter"); // lower pid, but blocked at first
+        b.sem_p(waiter, s);
+        b.compute(waiter, "after_p");
+        let signaler = b.process("signaler");
+        b.compute(signaler, "pre_v");
+        b.sem_v(signaler, s);
+        let prog = b.build();
+        let t = run_to_trace(&prog, &mut Scheduler::deterministic()).unwrap();
+        // Deterministic scheduling: waiter is pid 0 but blocked, so the
+        // signaler's events come first.
+        let labels: Vec<Option<&str>> = t.events.iter().map(|e| e.label.as_deref()).collect();
+        assert_eq!(labels, vec![Some("pre_v"), None, None, Some("after_p")]);
+        assert!(t.validate().is_ok());
+    }
+
+    #[test]
+    fn deadlock_is_reported() {
+        let mut b = ProgramBuilder::new();
+        let s = b.semaphore("s");
+        let p = b.process("p");
+        b.sem_p(p, s); // no V anywhere
+        let prog = b.build();
+        assert_eq!(
+            run_to_trace(&prog, &mut Scheduler::deterministic()),
+            Err(RunError::Deadlock { executed: 0 })
+        );
+    }
+
+    #[test]
+    fn branch_reads_latest_write() {
+        let mut b = ProgramBuilder::new();
+        let x = b.variable("x");
+        let ev = b.event_var("done");
+        let writer = b.process("writer");
+        b.assign(writer, x, 1);
+        b.post(writer, ev);
+        let reader = b.process("reader");
+        b.wait(reader, ev);
+        b.if_eq(
+            reader,
+            x,
+            1,
+            |then| {
+                then.compute_here("then_taken");
+            },
+            |els| {
+                els.compute_here("else_taken");
+            },
+        );
+        let prog = b.build();
+        let t = run_to_trace(&prog, &mut Scheduler::deterministic()).unwrap();
+        assert!(t.event_labeled("then_taken").is_some());
+        assert!(t.event_labeled("else_taken").is_none());
+    }
+
+    #[test]
+    fn untaken_branch_with_fork_leaves_child_out_of_trace() {
+        let mut b = ProgramBuilder::new();
+        let x = b.variable("x");
+        let main = b.process("main");
+        let ghost = b.subprocess("ghost");
+        b.compute(ghost, "ghost_work");
+        // x is 0, so the equals-1 branch (which forks) is not taken.
+        b.if_eq(
+            main,
+            x,
+            1,
+            |then| {
+                then.fork_here(&[ghost]);
+            },
+            |_els| {},
+        );
+        let prog = b.build();
+        let t = run_to_trace(&prog, &mut Scheduler::deterministic()).unwrap();
+        assert_eq!(t.processes.len(), 1, "ghost never existed");
+        assert_eq!(t.n_events(), 1, "just the if test");
+        assert!(t.validate().is_ok());
+    }
+
+    #[test]
+    fn fork_join_round_trip() {
+        let mut b = ProgramBuilder::new();
+        let main = b.process("main");
+        let w1 = b.subprocess("w1");
+        let w2 = b.subprocess("w2");
+        b.compute(w1, "work1");
+        b.compute(w2, "work2");
+        b.fork(main, &[w1, w2]);
+        b.join(main, &[w1, w2]);
+        b.compute(main, "after_join");
+        let prog = b.build();
+        let t = run_to_trace(&prog, &mut Scheduler::round_robin()).unwrap();
+        assert_eq!(t.n_events(), 5);
+        let after = t.event_labeled("after_join").unwrap();
+        assert_eq!(after.index(), 4, "join target completes before the tail");
+        assert!(t.validate().is_ok());
+    }
+
+    #[test]
+    fn join_on_never_forked_process_deadlocks() {
+        let mut b = ProgramBuilder::new();
+        let x = b.variable("x");
+        let main = b.process("main");
+        let child = b.subprocess("child");
+        b.compute(child, "unreachable");
+        b.if_eq(
+            main,
+            x,
+            1, // false: x starts 0
+            |then| {
+                then.fork_here(&[child]);
+            },
+            |_els| {},
+        );
+        b.join(main, &[child]);
+        let prog = b.build();
+        assert!(matches!(
+            run_to_trace(&prog, &mut Scheduler::deterministic()),
+            Err(RunError::Deadlock { .. })
+        ));
+    }
+
+    #[test]
+    fn random_seeds_produce_different_interleavings() {
+        let mut b = ProgramBuilder::new();
+        let p0 = b.process("p0");
+        let p1 = b.process("p1");
+        for i in 0..4 {
+            b.compute(p0, &format!("a{i}"));
+            b.compute(p1, &format!("b{i}"));
+        }
+        let prog = b.build();
+        let t1 = run_to_trace(&prog, &mut Scheduler::random(1)).unwrap();
+        let t2 = run_to_trace(&prog, &mut Scheduler::random(2)).unwrap();
+        // Same events...
+        assert_eq!(t1.n_events(), t2.n_events());
+        // ...but (with these seeds) a different observed order.
+        let order = |t: &Trace| {
+            t.events
+                .iter()
+                .map(|e| e.label.clone().unwrap())
+                .collect::<Vec<_>>()
+        };
+        assert_ne!(order(&t1), order(&t2));
+    }
+
+    #[test]
+    fn retries_find_a_completing_schedule() {
+        // Deterministic order deadlocks (clearer runs before poster kills
+        // the waiter) only for some schedules; retries should find a
+        // completing one.
+        let mut b = ProgramBuilder::new();
+        let ev = b.event_var("ev");
+        let clearer = b.process("clearer");
+        b.clear(clearer, ev);
+        let poster = b.process("poster");
+        b.post(poster, ev);
+        let waiter = b.process("waiter");
+        b.wait(waiter, ev);
+        let prog = b.build();
+        let (t, _seed) = run_with_random_retries(&prog, 0, 64).unwrap();
+        assert_eq!(t.n_events(), 3);
+    }
+}

@@ -1,0 +1,55 @@
+//! A small concurrent language and its sequentially consistent
+//! interpreter.
+//!
+//! The paper studies *executions* of shared-memory parallel programs that
+//! use fork/join plus counting semaphores or Post/Wait/Clear event
+//! synchronization. This crate is the substrate that produces such
+//! executions: a program AST ([`ast`]), an interleaving interpreter
+//! ([`interp`]) that runs a program under a pluggable [`Scheduler`] on a
+//! sequentially consistent memory, and emits the observed [`Trace`]
+//! (`eo-model`'s type) that all analyses consume.
+//!
+//! The language is deliberately exactly as expressive as the paper needs:
+//!
+//! * processes are static definitions; root processes exist from the
+//!   start, others are created by `fork` and awaited by `join`;
+//! * shared variables hold integers (initially 0), written by `assign`,
+//!   inspected by `if var = const then … else …`;
+//! * synchronization is `P`/`V` on counting semaphores and
+//!   `Post`/`Wait`/`Clear` on event variables;
+//! * abstract `compute` statements declare read/write sets without values
+//!   (for workload generation where only the conflict structure matters).
+//!
+//! There are no loops: the paper's model is about *finite executions*, and
+//! every construction in the paper (and reduction in `eo-reductions`) is
+//! loop-free. Bounded repetition is expressed by unrolling at build time.
+//!
+//! ```
+//! use eo_lang::{run_to_trace, ProgramBuilder, Scheduler};
+//!
+//! let mut b = ProgramBuilder::new();
+//! let s = b.semaphore("s");
+//! let p0 = b.process("p0");
+//! b.sem_v(p0, s);
+//! let p1 = b.process("p1");
+//! b.sem_p(p1, s);
+//! let trace = run_to_trace(&b.build(), &mut Scheduler::deterministic()).unwrap();
+//! assert_eq!(trace.n_events(), 2);
+//! assert!(trace.validate().is_ok());
+//! ```
+//!
+//! [`Trace`]: eo_model::Trace
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod builder;
+pub mod generator;
+pub mod interp;
+pub mod scheduler;
+
+pub use ast::{ProcDef, ProcRef, Program, Stmt, StmtKind};
+pub use builder::ProgramBuilder;
+pub use interp::{run_to_trace, RunError};
+pub use scheduler::Scheduler;

@@ -1,0 +1,170 @@
+//! Schedulers: how the interpreter picks among enabled processes.
+//!
+//! A sequentially consistent execution is one interleaving of the
+//! processes' statements; the scheduler *is* the nondeterminism. Different
+//! schedulers make different executions observable:
+//!
+//! * [`Scheduler::deterministic`] — always the lowest-numbered enabled
+//!   process; reproducible, used by examples and the reductions (their
+//!   process layout is arranged so this completes);
+//! * [`Scheduler::round_robin`] — cycles fairly; a different deterministic
+//!   interleaving;
+//! * [`Scheduler::random`] — seeded uniform choice; running the same
+//!   program under different seeds is how the test suites exhibit the
+//!   "same events, different orderings" phenomenon the paper opens with;
+//! * [`Scheduler::priority`] — per-definition priorities, for steering an
+//!   execution into a particular shape (the Theorem 2 witness schedules).
+
+use crate::ast::ProcRef;
+use eo_model::ProcessId;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Picks the next process to run among the enabled ones.
+pub struct Scheduler {
+    strategy: Strategy,
+}
+
+enum Strategy {
+    Deterministic,
+    RoundRobin { next: usize },
+    Random(SmallRng),
+    Priority(Vec<u32>),
+}
+
+impl Scheduler {
+    /// Lowest-numbered enabled runtime process first.
+    pub fn deterministic() -> Self {
+        Scheduler {
+            strategy: Strategy::Deterministic,
+        }
+    }
+
+    /// Fair cycling over runtime process ids.
+    pub fn round_robin() -> Self {
+        Scheduler {
+            strategy: Strategy::RoundRobin { next: 0 },
+        }
+    }
+
+    /// Seeded uniform choice among enabled processes.
+    pub fn random(seed: u64) -> Self {
+        Scheduler {
+            strategy: Strategy::Random(SmallRng::seed_from_u64(seed)),
+        }
+    }
+
+    /// Per-*definition* priorities: the enabled process whose definition
+    /// has the smallest priority value runs (ties: lowest runtime id).
+    /// Definitions beyond the vector's length get priority `u32::MAX`.
+    pub fn priority(per_def: Vec<u32>) -> Self {
+        Scheduler {
+            strategy: Strategy::Priority(per_def),
+        }
+    }
+
+    /// Chooses an entry of `enabled` (pairs of runtime process and its
+    /// definition). `enabled` is nonempty and sorted by runtime id.
+    ///
+    /// # Panics
+    /// Panics if `enabled` is empty (the interpreter reports deadlock
+    /// before asking).
+    pub fn pick(&mut self, enabled: &[(ProcessId, ProcRef)]) -> usize {
+        assert!(!enabled.is_empty(), "scheduler asked with nothing enabled");
+        match &mut self.strategy {
+            Strategy::Deterministic => 0,
+            Strategy::RoundRobin { next } => {
+                let chosen = enabled
+                    .iter()
+                    .position(|(p, _)| p.index() >= *next)
+                    .unwrap_or(0);
+                *next = enabled[chosen].0.index() + 1;
+                chosen
+            }
+            Strategy::Random(rng) => rng.gen_range(0..enabled.len()),
+            Strategy::Priority(per_def) => {
+                let prio = |r: ProcRef| per_def.get(r.index()).copied().unwrap_or(u32::MAX);
+                enabled
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, (p, d))| (prio(*d), p.index()))
+                    .map(|(i, _)| i)
+                    .expect("nonempty")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn enabled(ids: &[u32]) -> Vec<(ProcessId, ProcRef)> {
+        ids.iter().map(|&i| (ProcessId(i), ProcRef(i))).collect()
+    }
+
+    #[test]
+    fn deterministic_picks_first() {
+        let mut s = Scheduler::deterministic();
+        assert_eq!(s.pick(&enabled(&[2, 5, 7])), 0);
+        assert_eq!(s.pick(&enabled(&[2, 5, 7])), 0, "stateless");
+    }
+
+    #[test]
+    fn round_robin_cycles() {
+        let mut s = Scheduler::round_robin();
+        let e = enabled(&[0, 1, 2]);
+        assert_eq!(s.pick(&e), 0);
+        assert_eq!(s.pick(&e), 1);
+        assert_eq!(s.pick(&e), 2);
+        assert_eq!(s.pick(&e), 0, "wraps around");
+    }
+
+    #[test]
+    fn round_robin_skips_disabled() {
+        let mut s = Scheduler::round_robin();
+        assert_eq!(s.pick(&enabled(&[0, 3])), 0);
+        // next = 1; 3 is the first enabled id >= 1.
+        assert_eq!(s.pick(&enabled(&[0, 3])), 1);
+    }
+
+    #[test]
+    fn random_is_reproducible_per_seed() {
+        let e = enabled(&[0, 1, 2, 3, 4]);
+        let picks = |seed| {
+            let mut s = Scheduler::random(seed);
+            (0..10).map(|_| s.pick(&e)).collect::<Vec<_>>()
+        };
+        assert_eq!(picks(42), picks(42));
+        assert_ne!(picks(42), picks(43), "different seeds diverge (w.h.p.)");
+    }
+
+    #[test]
+    fn random_stays_in_bounds() {
+        let mut s = Scheduler::random(7);
+        let e = enabled(&[0, 1]);
+        for _ in 0..100 {
+            assert!(s.pick(&e) < 2);
+        }
+    }
+
+    #[test]
+    fn priority_prefers_low_values() {
+        let mut s = Scheduler::priority(vec![9, 1, 5]);
+        let e = enabled(&[0, 1, 2]);
+        assert_eq!(s.pick(&e), 1, "definition 1 has priority 1");
+    }
+
+    #[test]
+    fn priority_defaults_to_max_beyond_vector() {
+        let mut s = Scheduler::priority(vec![5]);
+        let e = enabled(&[0, 1]);
+        assert_eq!(s.pick(&e), 0, "def 1 defaults to MAX, def 0 wins");
+    }
+
+    #[test]
+    #[should_panic(expected = "nothing enabled")]
+    fn empty_enabled_panics() {
+        Scheduler::deterministic().pick(&[]);
+    }
+}

@@ -1,0 +1,141 @@
+//! Property tests for the interpreter: every emitted trace is valid,
+//! deterministic per seed, and bounded by the program's static shape.
+
+use eo_lang::generator::{random_program, WorkloadSpec};
+use eo_lang::{run_to_trace, RunError, Scheduler};
+use proptest::prelude::*;
+
+fn spec() -> impl Strategy<Value = WorkloadSpec> {
+    (2usize..=4, 2usize..=5, 0u64..5000, prop::bool::ANY, 0.0f64..=1.0).prop_map(
+        |(procs, epp, seed, sem, density)| {
+            let mut s = if sem {
+                WorkloadSpec::small_semaphore(seed)
+            } else {
+                WorkloadSpec::small_events(seed)
+            };
+            s.processes = procs;
+            s.events_per_process = epp;
+            s.sync_density = density;
+            s
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Whatever the interpreter emits validates as a sequentially
+    /// consistent trace — for every scheduler.
+    #[test]
+    fn emitted_traces_validate(spec in spec(), sched_seed in 0u64..100) {
+        let program = random_program(&spec);
+        for mut sched in [
+            Scheduler::deterministic(),
+            Scheduler::round_robin(),
+            Scheduler::random(sched_seed),
+        ] {
+            match run_to_trace(&program, &mut sched) {
+                Ok(trace) => {
+                    prop_assert!(trace.validate().is_ok());
+                    prop_assert!(trace.n_events() <= program.max_events());
+                }
+                Err(RunError::Deadlock { .. }) => {} // legal outcome
+                Err(e @ RunError::Invalid(_)) => {
+                    prop_assert!(false, "generator built an invalid program: {e}");
+                }
+            }
+        }
+    }
+
+    /// Reruns with the same scheduler seed are bit-identical.
+    #[test]
+    fn runs_are_deterministic_per_seed(spec in spec(), sched_seed in 0u64..100) {
+        let program = random_program(&spec);
+        let a = run_to_trace(&program, &mut Scheduler::random(sched_seed));
+        let b = run_to_trace(&program, &mut Scheduler::random(sched_seed));
+        prop_assert_eq!(a, b);
+    }
+
+    /// Every event's label/op comes from the program: the event count per
+    /// process equals the statements executed, and no process exceeds its
+    /// static statement count.
+    #[test]
+    fn per_process_counts_are_bounded(spec in spec()) {
+        let program = random_program(&spec);
+        if let Ok(trace) = run_to_trace(&program, &mut Scheduler::deterministic()) {
+            for (pi, events) in trace.per_process().iter().enumerate() {
+                let decl = &trace.processes[pi];
+                let def = program
+                    .processes
+                    .iter()
+                    .find(|d| d.name == decl.name)
+                    .expect("every runtime process comes from a definition");
+                // No conditionals in generated workloads: counts match
+                // exactly.
+                prop_assert_eq!(events.len(), def.body.len());
+            }
+        }
+    }
+
+    /// All schedulers execute the same multiset of operations when they
+    /// complete (same program ⇒ same events, only order differs) — the
+    /// paper's premise "the same events, different orderings".
+    #[test]
+    fn completed_runs_perform_identical_events(spec in spec(), s1 in 0u64..50, s2 in 50u64..100) {
+        let program = random_program(&spec);
+        let r1 = run_to_trace(&program, &mut Scheduler::random(s1));
+        let r2 = run_to_trace(&program, &mut Scheduler::random(s2));
+        if let (Ok(t1), Ok(t2)) = (r1, r2) {
+            let key = |t: &eo_model::Trace| {
+                let mut v: Vec<String> = t
+                    .events
+                    .iter()
+                    .map(|e| {
+                        format!(
+                            "{}|{:?}|{:?}|{:?}|{:?}",
+                            t.processes[e.process.index()].name, e.op, e.reads, e.writes, e.label
+                        )
+                    })
+                    .collect();
+                v.sort();
+                v
+            };
+            prop_assert_eq!(key(&t1), key(&t2));
+        }
+    }
+}
+
+/// Conditionals make event sets *observation-dependent* — the
+/// counterexample to the property above when shared data steers control
+/// flow, i.e. precisely the situation the paper's feasibility condition
+/// F3 (preserve →D) exists to handle.
+#[test]
+fn branching_programs_can_perform_different_events() {
+    use eo_lang::ProgramBuilder;
+    let mut b = ProgramBuilder::new();
+    let x = b.variable("x");
+    let writer = b.process("writer");
+    b.assign(writer, x, 1);
+    let reader = b.process("reader");
+    b.if_eq(
+        reader,
+        x,
+        1,
+        |then| {
+            then.compute_here("saw_one");
+        },
+        |els| {
+            els.compute_here("saw_zero");
+        },
+    );
+    let program = b.build();
+
+    // Deterministic: writer (pid 0) first → reader sees 1.
+    let t1 = run_to_trace(&program, &mut Scheduler::deterministic()).unwrap();
+    assert!(t1.event_labeled("saw_one").is_some());
+
+    // Priority the reader first → it sees 0: different events entirely.
+    let t2 = run_to_trace(&program, &mut Scheduler::priority(vec![1, 0])).unwrap();
+    assert!(t2.event_labeled("saw_zero").is_some());
+    assert!(t2.event_labeled("saw_one").is_none());
+}

@@ -1,0 +1,169 @@
+//! Events and the operations they instantiate.
+
+use crate::ids::{EvVarId, EventId, ProcessId, SemId, VarId};
+use serde::{Deserialize, Serialize};
+
+/// The operation an event is an instance of.
+///
+/// The paper distinguishes *synchronization events* (instances of
+/// synchronization operations) from *computation events* (instances of
+/// ordinary statements). The synchronization vocabulary is exactly the
+/// paper's: fork/join plus either counting semaphores (`P`, `V`) or
+/// event-style synchronization (`Post`, `Wait`, `Clear`). Nothing stops a
+/// trace from mixing both styles; the theorems are proved for each style
+/// separately, and the reductions in `eo-reductions` construct
+/// single-style programs.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Op {
+    /// A computation event: an instance of a group of consecutively
+    /// executed non-synchronization statements of one process. Its shared
+    /// accesses live in [`Event::reads`] / [`Event::writes`].
+    Compute,
+    /// `P(s)`: acquire — blocks until the semaphore's counter is positive,
+    /// then decrements it.
+    SemP(SemId),
+    /// `V(s)`: release — increments the semaphore's counter.
+    SemV(SemId),
+    /// `Post(v)`: sets the event variable's flag.
+    Post(EvVarId),
+    /// `Wait(v)`: blocks until the event variable's flag is set. Does not
+    /// consume the flag.
+    Wait(EvVarId),
+    /// `Clear(v)`: resets the event variable's flag.
+    Clear(EvVarId),
+    /// `fork`: creates the listed processes; each child's first event can
+    /// only execute after this event.
+    Fork(Vec<ProcessId>),
+    /// `join`: blocks until every listed process has executed all of its
+    /// events.
+    Join(Vec<ProcessId>),
+}
+
+impl Op {
+    /// True iff this is a synchronization operation (everything except
+    /// [`Op::Compute`]).
+    pub fn is_sync(&self) -> bool {
+        !matches!(self, Op::Compute)
+    }
+
+    /// The semaphore this operation touches, if any.
+    pub fn semaphore(&self) -> Option<SemId> {
+        match *self {
+            Op::SemP(s) | Op::SemV(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The event variable this operation touches, if any.
+    pub fn event_var(&self) -> Option<EvVarId> {
+        match *self {
+            Op::Post(v) | Op::Wait(v) | Op::Clear(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// A short human-readable mnemonic (`"P"`, `"V"`, `"Post"`, …).
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            Op::Compute => "compute",
+            Op::SemP(_) => "P",
+            Op::SemV(_) => "V",
+            Op::Post(_) => "Post",
+            Op::Wait(_) => "Wait",
+            Op::Clear(_) => "Clear",
+            Op::Fork(_) => "fork",
+            Op::Join(_) => "join",
+        }
+    }
+}
+
+/// One event of a program execution.
+///
+/// `id.index()` is the event's position in the observed total order of the
+/// owning [`crate::Trace`]; relation matrices across the workspace are
+/// indexed by it.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Event {
+    /// Identity = observed position.
+    pub id: EventId,
+    /// The process that executed this event.
+    pub process: ProcessId,
+    /// The operation this event is an instance of.
+    pub op: Op,
+    /// Shared variables read by this event.
+    pub reads: Vec<VarId>,
+    /// Shared variables written by this event.
+    pub writes: Vec<VarId>,
+    /// Optional human-readable label (the reductions label their decision
+    /// endpoints `"a"` and `"b"`, matching the paper's proofs).
+    pub label: Option<String>,
+}
+
+impl Event {
+    /// True iff `self` and `other` access a common shared variable with at
+    /// least one of the two accesses being a write — the conflict test
+    /// underlying the →D relation.
+    pub fn conflicts_with(&self, other: &Event) -> bool {
+        let hits = |xs: &[VarId], ys: &[VarId]| xs.iter().any(|x| ys.contains(x));
+        hits(&self.writes, &other.writes)
+            || hits(&self.writes, &other.reads)
+            || hits(&self.reads, &other.writes)
+    }
+
+    /// True iff the event touches shared data at all.
+    pub fn accesses_shared_data(&self) -> bool {
+        !self.reads.is_empty() || !self.writes.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(id: usize, reads: Vec<u32>, writes: Vec<u32>) -> Event {
+        Event {
+            id: EventId::new(id),
+            process: ProcessId::new(0),
+            op: Op::Compute,
+            reads: reads.into_iter().map(VarId).collect(),
+            writes: writes.into_iter().map(VarId).collect(),
+            label: None,
+        }
+    }
+
+    #[test]
+    fn conflict_requires_a_write() {
+        let r1 = ev(0, vec![0], vec![]);
+        let r2 = ev(1, vec![0], vec![]);
+        let w = ev(2, vec![], vec![0]);
+        assert!(!r1.conflicts_with(&r2), "read-read is not a conflict");
+        assert!(r1.conflicts_with(&w), "read-write conflicts");
+        assert!(w.conflicts_with(&r1), "conflict is symmetric");
+        assert!(w.conflicts_with(&w.clone()), "write-write conflicts");
+    }
+
+    #[test]
+    fn conflict_requires_common_variable() {
+        let w0 = ev(0, vec![], vec![0]);
+        let w1 = ev(1, vec![], vec![1]);
+        assert!(!w0.conflicts_with(&w1));
+    }
+
+    #[test]
+    fn op_classification() {
+        assert!(!Op::Compute.is_sync());
+        assert!(Op::SemP(SemId(0)).is_sync());
+        assert!(Op::Fork(vec![]).is_sync());
+        assert_eq!(Op::SemV(SemId(3)).semaphore(), Some(SemId(3)));
+        assert_eq!(Op::SemV(SemId(3)).event_var(), None);
+        assert_eq!(Op::Wait(EvVarId(1)).event_var(), Some(EvVarId(1)));
+        assert_eq!(Op::Post(EvVarId(0)).mnemonic(), "Post");
+    }
+
+    #[test]
+    fn accesses_shared_data_checks_both_sets() {
+        assert!(ev(0, vec![1], vec![]).accesses_shared_data());
+        assert!(ev(0, vec![], vec![1]).accesses_shared_data());
+        assert!(!ev(0, vec![], vec![]).accesses_shared_data());
+    }
+}

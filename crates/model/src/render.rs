@@ -1,0 +1,166 @@
+//! Human-readable rendering of traces, executions, and event relations.
+//!
+//! Used by the examples and the `eo` CLI; nothing here affects analysis
+//! results. All functions return `String` so they are trivially testable.
+
+use crate::event::Op;
+use crate::execution::ProgramExecution;
+use crate::ids::EventId;
+use crate::trace::Trace;
+use eo_relations::{closure, Relation};
+
+/// One line per event: id, process, operation, accesses, label.
+pub fn render_trace(trace: &Trace) -> String {
+    let mut out = String::new();
+    for e in &trace.events {
+        let proc_name = &trace.processes[e.process.index()].name;
+        let op = describe_op(trace, &e.op);
+        let mut accesses = String::new();
+        if !e.reads.is_empty() {
+            accesses.push_str(" reads{");
+            accesses.push_str(
+                &e.reads
+                    .iter()
+                    .map(|v| trace.variables[v.index()].name.clone())
+                    .collect::<Vec<_>>()
+                    .join(","),
+            );
+            accesses.push('}');
+        }
+        if !e.writes.is_empty() {
+            accesses.push_str(" writes{");
+            accesses.push_str(
+                &e.writes
+                    .iter()
+                    .map(|v| trace.variables[v.index()].name.clone())
+                    .collect::<Vec<_>>()
+                    .join(","),
+            );
+            accesses.push('}');
+        }
+        let label = e
+            .label
+            .as_deref()
+            .map(|l| format!("  [{l}]"))
+            .unwrap_or_default();
+        out.push_str(&format!("{:>4}  {:<12} {}{}{}\n", e.id.to_string(), proc_name, op, accesses, label));
+    }
+    out
+}
+
+/// Describes one operation with declared object names.
+pub fn describe_op(trace: &Trace, op: &Op) -> String {
+    match op {
+        Op::Compute => "compute".to_string(),
+        Op::SemP(s) => format!("P({})", trace.semaphores[s.index()].name),
+        Op::SemV(s) => format!("V({})", trace.semaphores[s.index()].name),
+        Op::Post(v) => format!("Post({})", trace.event_vars[v.index()].name),
+        Op::Wait(v) => format!("Wait({})", trace.event_vars[v.index()].name),
+        Op::Clear(v) => format!("Clear({})", trace.event_vars[v.index()].name),
+        Op::Fork(kids) => format!(
+            "fork{{{}}}",
+            kids.iter()
+                .map(|p| trace.processes[p.index()].name.clone())
+                .collect::<Vec<_>>()
+                .join(",")
+        ),
+        Op::Join(kids) => format!(
+            "join{{{}}}",
+            kids.iter()
+                .map(|p| trace.processes[p.index()].name.clone())
+                .collect::<Vec<_>>()
+                .join(",")
+        ),
+    }
+}
+
+/// A short display name for an event: its label if present, else
+/// `id:mnemonic`.
+pub fn event_name(exec: &ProgramExecution, e: EventId) -> String {
+    let ev = exec.event(e);
+    ev.label
+        .clone()
+        .unwrap_or_else(|| format!("{}:{}", ev.id, ev.op.mnemonic()))
+}
+
+/// Renders a relation over events as `x -> y` lines using event names.
+/// When the relation is a closed DAG, pass `reduce = true` to print its
+/// transitive reduction instead (far more readable).
+pub fn render_relation(exec: &ProgramExecution, rel: &Relation, reduce: bool) -> String {
+    let shown = if reduce && rel.is_acyclic() {
+        closure::transitive_reduction_dag(&rel.transitive_closure())
+    } else {
+        rel.clone()
+    };
+    let mut out = String::new();
+    for (a, b) in shown.pairs() {
+        out.push_str(&format!(
+            "{} -> {}\n",
+            event_name(exec, EventId::new(a)),
+            event_name(exec, EventId::new(b))
+        ));
+    }
+    out
+}
+
+/// Renders an n×n boolean matrix of the relation with event ids as
+/// headers (rows = sources). Best for small executions.
+pub fn render_matrix(rel: &Relation) -> String {
+    let n = rel.len();
+    let mut out = String::from("      ");
+    for b in 0..n {
+        out.push_str(&format!("{b:>3}"));
+    }
+    out.push('\n');
+    for a in 0..n {
+        out.push_str(&format!("{a:>4}  "));
+        for b in 0..n {
+            out.push_str(if rel.contains(a, b) { "  ■" } else { "  ·" });
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures;
+
+    #[test]
+    fn trace_rendering_mentions_everything() {
+        let (trace, _ids) = fixtures::figure1();
+        let text = render_trace(&trace);
+        assert!(text.contains("fork{t1,t2,t3}"));
+        assert!(text.contains("Post(ev)"));
+        assert!(text.contains("writes{X}"));
+        assert!(text.contains("[post_left]"));
+        assert_eq!(text.lines().count(), trace.n_events());
+    }
+
+    #[test]
+    fn event_names_prefer_labels() {
+        let (trace, ids) = fixtures::figure1();
+        let exec = trace.to_execution().unwrap();
+        assert_eq!(event_name(&exec, ids.post_left), "post_left");
+        assert_eq!(event_name(&exec, ids.fork), format!("{}:fork", ids.fork));
+    }
+
+    #[test]
+    fn relation_rendering_reduces_when_asked() {
+        let (trace, _) = fixtures::sem_handshake();
+        let exec = trace.to_execution().unwrap();
+        let full = render_relation(&exec, exec.t(), false);
+        let reduced = render_relation(&exec, exec.t(), true);
+        assert!(reduced.lines().count() <= full.lines().count());
+        assert!(reduced.contains("->"));
+    }
+
+    #[test]
+    fn matrix_rendering_shape() {
+        let (trace, _a, _b) = fixtures::independent_pair();
+        let exec = trace.to_execution().unwrap();
+        let m = render_matrix(exec.t());
+        assert_eq!(m.lines().count(), exec.n_events() + 1);
+    }
+}

@@ -1,0 +1,624 @@
+//! Observed execution traces.
+//!
+//! A [`Trace`] records one execution of a shared-memory parallel program on
+//! a sequentially consistent machine: the declarations of every process,
+//! semaphore, event variable and shared variable, plus the events in the
+//! total order in which they were observed to execute. The trace is the
+//! raw material from which [`crate::ProgramExecution`] derives the paper's
+//! ⟨E, →T, →D⟩ triple.
+//!
+//! Traces can be produced three ways, all converging on the same type:
+//! by the `eo-lang` interpreter (running a program), by [`TraceBuilder`]
+//! (hand construction, in tests and reductions), or by deserializing the
+//! JSON form ([`Trace::from_json`]).
+
+use crate::event::{Event, Op};
+use crate::ids::{EvVarId, EventId, ProcessId, SemId, VarId};
+use crate::machine::{Machine, ReplayError};
+use serde::{Deserialize, Serialize};
+
+/// Declaration of one process.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProcessDecl {
+    /// Human-readable name (diagnostics only; need not be unique).
+    pub name: String,
+    /// The fork event that created this process, or `None` for a root
+    /// process that exists from the start of the execution.
+    pub created_by: Option<EventId>,
+}
+
+/// Declaration of one counting semaphore.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SemDecl {
+    /// Human-readable name.
+    pub name: String,
+    /// Initial counter value. The paper's constructions assume 0; the
+    /// single-semaphore reduction uses a nonzero budget.
+    pub initial: u32,
+}
+
+/// Declaration of one event variable.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EvVarDecl {
+    /// Human-readable name.
+    pub name: String,
+    /// Whether the flag starts set.
+    pub initially_set: bool,
+}
+
+/// Declaration of one shared variable.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VarDecl {
+    /// Human-readable name.
+    pub name: String,
+}
+
+/// A validated-on-demand observed execution.
+///
+/// Field invariants (checked by [`Trace::validate`], which every consumer
+/// calls before deriving anything):
+///
+/// * `events[i].id.index() == i` — ids are observed positions;
+/// * every id mentioned anywhere is in range of its declaration table;
+/// * fork events and `created_by` back-pointers agree;
+/// * the observed order replays cleanly through the synchronization
+///   [`Machine`] — i.e. some sequentially consistent execution really
+///   could have produced this log.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Trace {
+    /// Events in observed execution order.
+    pub events: Vec<Event>,
+    /// Process declarations, indexed by [`ProcessId`].
+    pub processes: Vec<ProcessDecl>,
+    /// Semaphore declarations, indexed by [`SemId`].
+    pub semaphores: Vec<SemDecl>,
+    /// Event-variable declarations, indexed by [`EvVarId`].
+    pub event_vars: Vec<EvVarDecl>,
+    /// Shared-variable declarations, indexed by [`VarId`].
+    pub variables: Vec<VarDecl>,
+}
+
+/// Why a trace failed validation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TraceError {
+    /// `events[i].id != i`.
+    NonDenseEventId {
+        /// Position in the event vector.
+        position: usize,
+        /// The id found there.
+        found: EventId,
+    },
+    /// An event references a process/semaphore/event-variable/shared
+    /// variable that is not declared.
+    DanglingReference {
+        /// The offending event.
+        event: EventId,
+        /// What kind of id dangled.
+        what: &'static str,
+    },
+    /// A process's `created_by` points at an event that is not a fork
+    /// listing that process.
+    CreatorMismatch {
+        /// The process with the bad back-pointer.
+        process: ProcessId,
+    },
+    /// A fork lists a child whose `created_by` is not that fork (including
+    /// children claimed by two forks, and forks listing themselves).
+    ForkChildMismatch {
+        /// The fork event.
+        fork: EventId,
+        /// The offending child.
+        child: ProcessId,
+    },
+    /// The observed order cannot be replayed on a sequentially consistent
+    /// machine.
+    NotSchedulable(ReplayError),
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::NonDenseEventId { position, found } => {
+                write!(f, "event at position {position} has id {found}")
+            }
+            TraceError::DanglingReference { event, what } => {
+                write!(f, "event {event} references an undeclared {what}")
+            }
+            TraceError::CreatorMismatch { process } => {
+                write!(f, "process {process}'s created_by is not a fork listing it")
+            }
+            TraceError::ForkChildMismatch { fork, child } => {
+                write!(f, "fork {fork} lists child {child} whose created_by disagrees")
+            }
+            TraceError::NotSchedulable(e) => write!(f, "observed order is not schedulable: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+impl Trace {
+    /// Number of events.
+    #[inline]
+    pub fn n_events(&self) -> usize {
+        self.events.len()
+    }
+
+    /// The event with the given id.
+    ///
+    /// # Panics
+    /// Panics if the id is out of range.
+    #[inline]
+    pub fn event(&self, id: EventId) -> &Event {
+        &self.events[id.index()]
+    }
+
+    /// The observed schedule: every event id in observed order. (Ids *are*
+    /// positions, so this is simply `0..n`.)
+    pub fn observed_order(&self) -> Vec<EventId> {
+        (0..self.n_events()).map(EventId::new).collect()
+    }
+
+    /// Per-process event lists in program order, indexed by [`ProcessId`].
+    pub fn per_process(&self) -> Vec<Vec<EventId>> {
+        let mut out = vec![Vec::new(); self.processes.len()];
+        for e in &self.events {
+            out[e.process.index()].push(e.id);
+        }
+        out
+    }
+
+    /// The first event (if any) with the given label.
+    pub fn event_labeled(&self, label: &str) -> Option<EventId> {
+        self.events
+            .iter()
+            .find(|e| e.label.as_deref() == Some(label))
+            .map(|e| e.id)
+    }
+
+    /// Full structural + replay validation; see the type-level docs for the
+    /// invariant list.
+    pub fn validate(&self) -> Result<(), TraceError> {
+        self.validate_structure()?;
+        let machine = Machine::new(self);
+        machine
+            .replay(&self.observed_order())
+            .map_err(TraceError::NotSchedulable)?;
+        Ok(())
+    }
+
+    fn validate_structure(&self) -> Result<(), TraceError> {
+        for (i, e) in self.events.iter().enumerate() {
+            if e.id.index() != i {
+                return Err(TraceError::NonDenseEventId {
+                    position: i,
+                    found: e.id,
+                });
+            }
+            if e.process.index() >= self.processes.len() {
+                return Err(TraceError::DanglingReference {
+                    event: e.id,
+                    what: "process",
+                });
+            }
+            if let Some(s) = e.op.semaphore() {
+                if s.index() >= self.semaphores.len() {
+                    return Err(TraceError::DanglingReference {
+                        event: e.id,
+                        what: "semaphore",
+                    });
+                }
+            }
+            if let Some(v) = e.op.event_var() {
+                if v.index() >= self.event_vars.len() {
+                    return Err(TraceError::DanglingReference {
+                        event: e.id,
+                        what: "event variable",
+                    });
+                }
+            }
+            if let Op::Fork(children) | Op::Join(children) = &e.op {
+                if children.iter().any(|c| c.index() >= self.processes.len()) {
+                    return Err(TraceError::DanglingReference {
+                        event: e.id,
+                        what: "process",
+                    });
+                }
+            }
+            for v in e.reads.iter().chain(&e.writes) {
+                if v.index() >= self.variables.len() {
+                    return Err(TraceError::DanglingReference {
+                        event: e.id,
+                        what: "shared variable",
+                    });
+                }
+            }
+        }
+
+        // created_by back-pointers point at forks that list the process.
+        for (pi, p) in self.processes.iter().enumerate() {
+            if let Some(creator) = p.created_by {
+                let ok = creator.index() < self.events.len()
+                    && matches!(
+                        &self.events[creator.index()].op,
+                        Op::Fork(children) if children.contains(&ProcessId::new(pi))
+                    );
+                if !ok {
+                    return Err(TraceError::CreatorMismatch {
+                        process: ProcessId::new(pi),
+                    });
+                }
+            }
+        }
+
+        // Forks list children that point back (no double-claims, no
+        // self-forks).
+        for e in &self.events {
+            if let Op::Fork(children) = &e.op {
+                for &c in children {
+                    let claimed = self.processes[c.index()].created_by == Some(e.id);
+                    if !claimed || c == e.process {
+                        return Err(TraceError::ForkChildMismatch { fork: e.id, child: c });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Serializes the trace as pretty JSON (the on-disk trace format).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("trace serialization cannot fail")
+    }
+
+    /// Deserializes a trace from JSON and validates it.
+    pub fn from_json(json: &str) -> Result<Trace, Box<dyn std::error::Error>> {
+        let t: Trace = serde_json::from_str(json)?;
+        t.validate()?;
+        Ok(t)
+    }
+}
+
+/// Incremental construction of hand-built traces.
+///
+/// Events are appended in *observed order* — the builder is literally
+/// writing down the schedule. `build()` validates the result, so a
+/// mis-ordered hand trace (e.g. a `P` before any `V`) is caught
+/// immediately.
+///
+/// ```
+/// use eo_model::{Op, TraceBuilder};
+///
+/// let mut tb = TraceBuilder::new();
+/// let p0 = tb.process("producer");
+/// let p1 = tb.process("consumer");
+/// let s = tb.semaphore("full", 0);
+/// tb.push(p0, Op::SemV(s));
+/// tb.push(p1, Op::SemP(s));
+/// let trace = tb.build().unwrap();
+/// assert_eq!(trace.n_events(), 2);
+/// ```
+#[derive(Default)]
+pub struct TraceBuilder {
+    events: Vec<Event>,
+    processes: Vec<ProcessDecl>,
+    semaphores: Vec<SemDecl>,
+    event_vars: Vec<EvVarDecl>,
+    variables: Vec<VarDecl>,
+}
+
+impl TraceBuilder {
+    /// A fresh, empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares a root process.
+    pub fn process(&mut self, name: &str) -> ProcessId {
+        let id = ProcessId::new(self.processes.len());
+        self.processes.push(ProcessDecl {
+            name: name.to_string(),
+            created_by: None,
+        });
+        id
+    }
+
+    /// Declares a counting semaphore with the given initial value.
+    pub fn semaphore(&mut self, name: &str, initial: u32) -> SemId {
+        let id = SemId::new(self.semaphores.len());
+        self.semaphores.push(SemDecl {
+            name: name.to_string(),
+            initial,
+        });
+        id
+    }
+
+    /// Declares an event variable (initially clear unless stated).
+    pub fn event_var(&mut self, name: &str, initially_set: bool) -> EvVarId {
+        let id = EvVarId::new(self.event_vars.len());
+        self.event_vars.push(EvVarDecl {
+            name: name.to_string(),
+            initially_set,
+        });
+        id
+    }
+
+    /// Declares a shared variable.
+    pub fn variable(&mut self, name: &str) -> VarId {
+        let id = VarId::new(self.variables.len());
+        self.variables.push(VarDecl {
+            name: name.to_string(),
+        });
+        id
+    }
+
+    /// Appends an event with no shared accesses and no label.
+    pub fn push(&mut self, process: ProcessId, op: Op) -> EventId {
+        self.push_full(process, op, &[], &[], None)
+    }
+
+    /// Appends an event with full detail.
+    pub fn push_full(
+        &mut self,
+        process: ProcessId,
+        op: Op,
+        reads: &[VarId],
+        writes: &[VarId],
+        label: Option<&str>,
+    ) -> EventId {
+        let id = EventId::new(self.events.len());
+        self.events.push(Event {
+            id,
+            process,
+            op,
+            reads: reads.to_vec(),
+            writes: writes.to_vec(),
+            label: label.map(str::to_string),
+        });
+        id
+    }
+
+    /// Appends a labeled computation event with no shared accesses.
+    pub fn compute(&mut self, process: ProcessId, label: &str) -> EventId {
+        self.push_full(process, Op::Compute, &[], &[], Some(label))
+    }
+
+    /// Appends a computation event reading one shared variable.
+    pub fn read(&mut self, process: ProcessId, var: VarId, label: &str) -> EventId {
+        self.push_full(process, Op::Compute, &[var], &[], Some(label))
+    }
+
+    /// Appends a computation event writing one shared variable.
+    pub fn write(&mut self, process: ProcessId, var: VarId, label: &str) -> EventId {
+        self.push_full(process, Op::Compute, &[], &[var], Some(label))
+    }
+
+    /// Appends a fork event and declares its children, returning
+    /// `(fork_event, child_ids)`.
+    pub fn fork(&mut self, process: ProcessId, child_names: &[&str]) -> (EventId, Vec<ProcessId>) {
+        let fork_id = EventId::new(self.events.len());
+        let children: Vec<ProcessId> = child_names
+            .iter()
+            .map(|name| {
+                let id = ProcessId::new(self.processes.len());
+                self.processes.push(ProcessDecl {
+                    name: name.to_string(),
+                    created_by: Some(fork_id),
+                });
+                id
+            })
+            .collect();
+        self.events.push(Event {
+            id: fork_id,
+            process,
+            op: Op::Fork(children.clone()),
+            reads: Vec::new(),
+            writes: Vec::new(),
+            label: None,
+        });
+        (fork_id, children)
+    }
+
+    /// Appends a join event waiting for the listed processes.
+    pub fn join(&mut self, process: ProcessId, children: &[ProcessId]) -> EventId {
+        self.push(process, Op::Join(children.to_vec()))
+    }
+
+    /// Finishes and validates the trace.
+    pub fn build(self) -> Result<Trace, TraceError> {
+        let t = Trace {
+            events: self.events,
+            processes: self.processes,
+            semaphores: self.semaphores,
+            event_vars: self.event_vars,
+            variables: self.variables,
+        };
+        t.validate()?;
+        Ok(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_produces_valid_semaphore_trace() {
+        let mut tb = TraceBuilder::new();
+        let p0 = tb.process("p0");
+        let p1 = tb.process("p1");
+        let s = tb.semaphore("s", 0);
+        tb.push(p0, Op::SemV(s));
+        tb.push(p1, Op::SemP(s));
+        let t = tb.build().unwrap();
+        assert_eq!(t.n_events(), 2);
+        assert_eq!(t.per_process(), vec![vec![EventId(0)], vec![EventId(1)]]);
+    }
+
+    #[test]
+    fn p_before_v_is_rejected() {
+        let mut tb = TraceBuilder::new();
+        let p0 = tb.process("p0");
+        let p1 = tb.process("p1");
+        let s = tb.semaphore("s", 0);
+        tb.push(p1, Op::SemP(s));
+        tb.push(p0, Op::SemV(s));
+        assert!(matches!(tb.build(), Err(TraceError::NotSchedulable(_))));
+    }
+
+    #[test]
+    fn initial_semaphore_tokens_allow_leading_p() {
+        let mut tb = TraceBuilder::new();
+        let p = tb.process("p");
+        let s = tb.semaphore("s", 1);
+        tb.push(p, Op::SemP(s));
+        assert!(tb.build().is_ok());
+    }
+
+    #[test]
+    fn wait_before_post_is_rejected() {
+        let mut tb = TraceBuilder::new();
+        let p0 = tb.process("p0");
+        let p1 = tb.process("p1");
+        let v = tb.event_var("v", false);
+        tb.push(p1, Op::Wait(v));
+        tb.push(p0, Op::Post(v));
+        assert!(matches!(tb.build(), Err(TraceError::NotSchedulable(_))));
+    }
+
+    #[test]
+    fn initially_set_event_var_allows_leading_wait() {
+        let mut tb = TraceBuilder::new();
+        let p = tb.process("p");
+        let v = tb.event_var("v", true);
+        tb.push(p, Op::Wait(v));
+        assert!(tb.build().is_ok());
+    }
+
+    #[test]
+    fn wait_after_clear_is_rejected() {
+        let mut tb = TraceBuilder::new();
+        let p = tb.process("p");
+        let v = tb.event_var("v", false);
+        tb.push(p, Op::Post(v));
+        tb.push(p, Op::Clear(v));
+        tb.push(p, Op::Wait(v));
+        assert!(matches!(tb.build(), Err(TraceError::NotSchedulable(_))));
+    }
+
+    #[test]
+    fn fork_orders_child_events() {
+        let mut tb = TraceBuilder::new();
+        let main = tb.process("main");
+        let (_f, kids) = tb.fork(main, &["child"]);
+        tb.compute(kids[0], "work");
+        tb.join(main, &kids);
+        let t = tb.build().unwrap();
+        assert_eq!(t.n_events(), 3);
+    }
+
+    #[test]
+    fn child_event_before_fork_is_rejected() {
+        // Build manually so the child's event precedes the fork in the
+        // observed order.
+        let mut tb = TraceBuilder::new();
+        let main = tb.process("main");
+        let (fork_id, kids) = tb.fork(main, &["child"]);
+        tb.compute(kids[0], "work");
+        let mut t = Trace {
+            events: tb.events,
+            processes: tb.processes,
+            semaphores: tb.semaphores,
+            event_vars: tb.event_vars,
+            variables: tb.variables,
+        };
+        t.events.swap(0, 1);
+        // Fix ids to stay dense after the swap.
+        for (i, e) in t.events.iter_mut().enumerate() {
+            e.id = EventId::new(i);
+        }
+        // After renumbering, created_by must track the fork's new position.
+        let _ = fork_id;
+        t.processes[1].created_by = Some(EventId::new(1));
+        assert!(matches!(t.validate(), Err(TraceError::NotSchedulable(_))));
+    }
+
+    #[test]
+    fn join_before_child_finishes_is_rejected() {
+        let mut tb = TraceBuilder::new();
+        let main = tb.process("main");
+        let (_f, kids) = tb.fork(main, &["child"]);
+        tb.join(main, &kids); // join while child still has an event pending
+        tb.compute(kids[0], "late-work");
+        assert!(matches!(tb.build(), Err(TraceError::NotSchedulable(_))));
+    }
+
+    #[test]
+    fn non_dense_ids_are_rejected() {
+        let mut tb = TraceBuilder::new();
+        let p = tb.process("p");
+        tb.compute(p, "x");
+        let mut t = Trace {
+            events: tb.events,
+            processes: tb.processes,
+            semaphores: tb.semaphores,
+            event_vars: tb.event_vars,
+            variables: tb.variables,
+        };
+        t.events[0].id = EventId::new(5);
+        assert!(matches!(t.validate(), Err(TraceError::NonDenseEventId { .. })));
+    }
+
+    #[test]
+    fn dangling_semaphore_is_rejected() {
+        let mut tb = TraceBuilder::new();
+        let p = tb.process("p");
+        tb.push(p, Op::SemV(SemId::new(9)));
+        assert!(matches!(
+            tb.build(),
+            Err(TraceError::DanglingReference { what: "semaphore", .. })
+        ));
+    }
+
+    #[test]
+    fn creator_mismatch_is_rejected() {
+        let mut tb = TraceBuilder::new();
+        let p = tb.process("p");
+        tb.compute(p, "x");
+        let mut t = Trace {
+            events: tb.events,
+            processes: tb.processes,
+            semaphores: tb.semaphores,
+            event_vars: tb.event_vars,
+            variables: tb.variables,
+        };
+        // Claim p was created by its own compute event (not a fork).
+        t.processes[0].created_by = Some(EventId::new(0));
+        assert!(matches!(t.validate(), Err(TraceError::CreatorMismatch { .. })));
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let mut tb = TraceBuilder::new();
+        let p0 = tb.process("p0");
+        let x = tb.variable("x");
+        tb.write(p0, x, "init");
+        let (_f, kids) = tb.fork(p0, &["worker"]);
+        tb.read(kids[0], x, "use");
+        tb.join(p0, &kids);
+        let t = tb.build().unwrap();
+        let back = Trace::from_json(&t.to_json()).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn event_labeled_finds_first_match() {
+        let mut tb = TraceBuilder::new();
+        let p = tb.process("p");
+        let first = tb.compute(p, "dup");
+        tb.compute(p, "dup");
+        let t = tb.build().unwrap();
+        assert_eq!(t.event_labeled("dup"), Some(first));
+        assert_eq!(t.event_labeled("absent"), None);
+    }
+}

@@ -1,0 +1,203 @@
+//! Property tests tying the three pillars of the model together: the
+//! synchronization machine (what can run), trace validation (what ran),
+//! and induced orders (what was forced).
+
+use eo_model::{induce, EventId, Machine, Op, Trace, TraceBuilder};
+use eo_relations::{closure, Relation};
+use proptest::prelude::*;
+
+/// Builds a random but *valid-by-construction* trace: a pool of
+/// processes, matched V/P and Post/Wait pairs placed so the observed
+/// order (which is the insertion order) replays. The trick: keep a
+/// running machine state and only append operations that are enabled.
+fn arbitrary_trace() -> impl Strategy<Value = Trace> {
+    (
+        2usize..=4,                              // processes
+        2usize..=3,                              // sync objects of each kind
+        prop::collection::vec((0u8..6, 0usize..4, 0usize..3), 4..20),
+        prop::bool::ANY,                         // include shared variable accesses
+    )
+        .prop_map(|(n_procs, n_sync, script, with_vars)| {
+            let mut tb = TraceBuilder::new();
+            let procs: Vec<_> = (0..n_procs).map(|i| tb.process(&format!("p{i}"))).collect();
+            let sems: Vec<_> = (0..n_sync).map(|i| tb.semaphore(&format!("s{i}"), 0)).collect();
+            let evs: Vec<_> = (0..n_sync).map(|i| tb.event_var(&format!("v{i}"), false)).collect();
+            let var = with_vars.then(|| tb.variable("x"));
+
+            // Shadow synchronization state so we only emit enabled ops.
+            let mut sem_count = vec![0u32; n_sync];
+            let mut flag = vec![false; n_sync];
+
+            for (op_kind, pi, oi) in script {
+                let p = procs[pi % n_procs];
+                let o = oi % n_sync;
+                match op_kind {
+                    0 => {
+                        tb.push(p, Op::SemV(sems[o]));
+                        sem_count[o] += 1;
+                    }
+                    1 if sem_count[o] > 0 => {
+                        tb.push(p, Op::SemP(sems[o]));
+                        sem_count[o] -= 1;
+                    }
+                    2 => {
+                        tb.push(p, Op::Post(evs[o]));
+                        flag[o] = true;
+                    }
+                    3 if flag[o] => {
+                        tb.push(p, Op::Wait(evs[o]));
+                    }
+                    4 => {
+                        tb.push(p, Op::Clear(evs[o]));
+                        flag[o] = false;
+                    }
+                    _ => {
+                        if let Some(x) = var {
+                            if op_kind % 2 == 0 {
+                                tb.write(p, x, "w");
+                            } else {
+                                tb.read(p, x, "r");
+                            }
+                        } else {
+                            tb.compute(p, "c");
+                        }
+                    }
+                }
+            }
+            tb.build().expect("construction keeps the trace valid")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The generator's output always validates (sanity of the strategy
+    /// itself).
+    #[test]
+    fn generated_traces_validate(trace in arbitrary_trace()) {
+        prop_assert!(trace.validate().is_ok());
+    }
+
+    /// The observed schedule replays, and every *linear extension of the
+    /// induced order* replays too — the key soundness property of
+    /// `induce`: the forcing edges are sufficient to keep any reordering
+    /// legal.
+    #[test]
+    fn linear_extensions_of_induced_order_replay(trace in arbitrary_trace()) {
+        prop_assume!(trace.n_events() <= 9); // extensions grow factorially
+        let exec = trace.to_execution().unwrap();
+        let machine = Machine::new(&trace);
+        let order = exec.t();
+        prop_assume!(order.is_acyclic());
+        for ext in closure::linear_extensions(order).into_iter().take(40) {
+            let schedule: Vec<EventId> = ext.into_iter().map(EventId::new).collect();
+            prop_assert!(
+                machine.replay(&schedule).is_ok(),
+                "extension of the induced order must be a valid schedule"
+            );
+        }
+    }
+
+    /// The induced order is a strict partial order containing the base
+    /// constraints.
+    #[test]
+    fn induced_order_is_partial_order_over_base(trace in arbitrary_trace()) {
+        let exec = trace.to_execution().unwrap();
+        let t = exec.t();
+        prop_assert!(t.is_strict_partial_order());
+        let base = exec.base_edges().transitive_closure();
+        for (a, b) in base.pairs() {
+            prop_assert!(t.contains(a, b), "base edge {a}->{b} must be induced");
+        }
+    }
+
+    /// →D is consistent with the observed order and only relates
+    /// conflicting events.
+    #[test]
+    fn dependences_follow_observation(trace in arbitrary_trace()) {
+        let exec = trace.to_execution().unwrap();
+        for (a, b) in exec.d().pairs() {
+            prop_assert!(a < b, "→D must follow the observed total order");
+            let (ea, eb) = (&exec.events()[a], &exec.events()[b]);
+            prop_assert!(ea.conflicts_with(eb));
+        }
+    }
+
+    /// Machine state is exactly reproducible: replaying the observed
+    /// order step by step reaches completion with every event executed
+    /// once.
+    #[test]
+    fn replay_executes_each_event_once(trace in arbitrary_trace()) {
+        let machine = Machine::new(&trace);
+        let mut st = machine.initial_state();
+        for e in &trace.events {
+            prop_assert!(!machine.executed(&st, e.id));
+            machine.step(&mut st, e.process);
+            prop_assert!(machine.executed(&st, e.id));
+        }
+        prop_assert!(machine.is_complete(&st));
+    }
+
+    /// JSON round trip preserves everything.
+    #[test]
+    fn json_round_trip(trace in arbitrary_trace()) {
+        let back = Trace::from_json(&trace.to_json()).unwrap();
+        prop_assert_eq!(trace, back);
+    }
+
+    /// Induced edges are a subset of their own closure, and closing is
+    /// stable (guards against edge families escaping the closure).
+    #[test]
+    fn induced_edges_close_cleanly(trace in arbitrary_trace()) {
+        let exec = trace.to_execution().unwrap();
+        let edges = induce::induced_edges(&trace, exec.d(), &trace.observed_order());
+        let closed = induce::induced_order(&trace, exec.d(), &trace.observed_order());
+        for (a, b) in edges.pairs() {
+            prop_assert!(closed.contains(a, b));
+        }
+        prop_assert_eq!(&closed, exec.t());
+    }
+}
+
+/// Deterministic cross-check: for a trace whose events all commute, the
+/// induced order is empty and *every* permutation replays.
+#[test]
+fn fully_commuting_trace_has_empty_induced_order() {
+    let mut tb = TraceBuilder::new();
+    let p0 = tb.process("p0");
+    let p1 = tb.process("p1");
+    let p2 = tb.process("p2");
+    let a = tb.compute(p0, "a");
+    let b = tb.compute(p1, "b");
+    let c = tb.compute(p2, "c");
+    let trace = tb.build().unwrap();
+    let exec = trace.to_execution().unwrap();
+    assert_eq!(exec.t().pair_count(), 0);
+
+    let machine = Machine::new(&trace);
+    let perms: [[EventId; 3]; 6] = [
+        [a, b, c],
+        [a, c, b],
+        [b, a, c],
+        [b, c, a],
+        [c, a, b],
+        [c, b, a],
+    ];
+    for perm in perms {
+        assert!(machine.replay(&perm).is_ok());
+    }
+}
+
+/// A relation-closure sanity anchor: the handshake's induced order is
+/// precisely program order plus the V→P pairing plus transitivity.
+#[test]
+fn handshake_induced_order_is_exactly_expected() {
+    let (trace, ids) = eo_model::fixtures::sem_handshake();
+    let exec = trace.to_execution().unwrap();
+    let mut expected = Relation::new(4);
+    expected.insert(ids.v.index(), ids.after_v.index()); // program order p0
+    expected.insert(ids.p.index(), ids.after_p.index()); // program order p1
+    expected.insert(ids.v.index(), ids.p.index()); // pairing
+    let expected = expected.transitive_closure();
+    assert_eq!(exec.t(), &expected);
+}

@@ -1,0 +1,291 @@
+//! Data-race detection — the paper's closing implication, made runnable.
+//!
+//! The conclusion of the paper: "exhaustively detecting all data races
+//! potentially exhibited by a given program execution is an intractable
+//! problem", because a race is a *could-be-concurrent* pair of conflicting
+//! accesses, and computing could-be-concurrent is NP-hard. This crate
+//! implements both sides of that trade-off:
+//!
+//! * [`exact_races`] — the exhaustive detector: a conflicting pair (two
+//!   events touching a common shared variable, at least one writing) is a
+//!   **feasible race** iff the exact engine says the pair could have been
+//!   simultaneously ready in some alternate execution performing the same
+//!   events. Following the paper's Section 5.3 (and the race literature
+//!   it spawned), the re-execution space here *ignores* the observed
+//!   shared-data dependences — preserving →D would order every
+//!   conflicting pair by construction and no race could ever surface;
+//! * [`vc_races`] — the polynomial approximation a practical detector
+//!   uses: conflicting pairs whose vector clocks (over the observed
+//!   synchronization pairing) are incomparable. Fast, but both unsound
+//!   and incomplete against the exact answer; [`compare`] quantifies the
+//!   gap, and experiment E9 sweeps it over workload families.
+
+//! ```
+//! use eo_model::fixtures;
+//!
+//! let (trace, inc0, inc1) = fixtures::shared_counter_race();
+//! let exec = trace.to_execution().unwrap();
+//! let races = eo_race::exact_races(&exec);
+//! assert_eq!(races, vec![eo_race::Race { first: inc0, second: inc1 }]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use eo_approx::VectorClockHb;
+use eo_engine::{queries, FeasibilityMode, SearchCtx};
+use eo_model::{EventId, ProgramExecution};
+
+/// A (potential) data race: an unordered conflicting pair. Stored with
+/// `first < second` (observed order).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Race {
+    /// The conflicting event observed earlier.
+    pub first: EventId,
+    /// The conflicting event observed later.
+    pub second: EventId,
+}
+
+/// All conflicting pairs of the execution, in observed order — the
+/// candidate set every detector filters.
+pub fn conflicting_pairs(exec: &ProgramExecution) -> Vec<Race> {
+    exec.dependence_pairs()
+        .into_iter()
+        .map(|(a, b)| Race { first: a, second: b })
+        .collect()
+}
+
+/// The exhaustive detector: conflicting pairs that could have executed
+/// concurrently in some alternate execution of the same events (the
+/// dependence-ignoring feasibility of the paper's Section 5.3).
+///
+/// Worst-case exponential — that is the theorem.
+pub fn exact_races(exec: &ProgramExecution) -> Vec<Race> {
+    let ctx = SearchCtx::new(exec, FeasibilityMode::IgnoreDependences);
+    conflicting_pairs(exec)
+        .into_iter()
+        .filter(|r| queries::could_be_concurrent(&ctx, r.first, r.second))
+        .collect()
+}
+
+/// The vector-clock detector: conflicting pairs whose observed-pairing
+/// clocks are incomparable.
+pub fn vc_races(exec: &ProgramExecution) -> Vec<Race> {
+    let vc = VectorClockHb::compute(exec);
+    conflicting_pairs(exec)
+        .into_iter()
+        .filter(|r| vc.concurrent(r.first, r.second))
+        .collect()
+}
+
+/// The *safe* polynomial filter: conflicting pairs **not** ordered by the
+/// Helmbold–McDowell–Wang safe orderings in either direction. Because HMW
+/// orderings hold in every execution with the same events, every feasible
+/// race survives this filter — it over-approximates [`exact_races`]
+/// (never misses, may overreport), the dual failure mode to the
+/// vector-clock detector's. Tests assert the containment.
+pub fn hmw_candidate_races(exec: &ProgramExecution) -> Vec<Race> {
+    let safe = eo_approx::SafeOrderings::compute(exec);
+    conflicting_pairs(exec)
+        .into_iter()
+        .filter(|r| {
+            !safe.guaranteed_before(r.first, r.second)
+                && !safe.guaranteed_before(r.second, r.first)
+        })
+        .collect()
+}
+
+/// Side-by-side outcome of the two detectors on one execution.
+#[derive(Clone, Debug, Default)]
+pub struct RaceComparison {
+    /// Conflicting pairs considered.
+    pub candidates: usize,
+    /// Races both detectors agree on.
+    pub agreed: Vec<Race>,
+    /// Real (feasible) races the clock detector missed — *false
+    /// negatives* of the approximation.
+    pub missed_by_vc: Vec<Race>,
+    /// Clock-reported pairs the exact detector refutes — *false
+    /// positives* of the approximation.
+    pub spurious_in_vc: Vec<Race>,
+}
+
+impl RaceComparison {
+    /// True iff the approximation matched the exact answer on this input.
+    pub fn exact_match(&self) -> bool {
+        self.missed_by_vc.is_empty() && self.spurious_in_vc.is_empty()
+    }
+}
+
+/// Runs both detectors and aligns their answers.
+pub fn compare(exec: &ProgramExecution) -> RaceComparison {
+    let exact: Vec<Race> = exact_races(exec);
+    let vc: Vec<Race> = vc_races(exec);
+    let mut cmp = RaceComparison {
+        candidates: conflicting_pairs(exec).len(),
+        ..Default::default()
+    };
+    for r in &exact {
+        if vc.contains(r) {
+            cmp.agreed.push(*r);
+        } else {
+            cmp.missed_by_vc.push(*r);
+        }
+    }
+    for r in &vc {
+        if !exact.contains(r) {
+            cmp.spurious_in_vc.push(*r);
+        }
+    }
+    cmp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eo_lang::ProgramBuilder;
+    use eo_model::fixtures;
+
+    #[test]
+    fn unsynchronized_conflict_is_a_race_for_both() {
+        let (trace, inc0, inc1) = fixtures::shared_counter_race();
+        let exec = trace.to_execution().unwrap();
+        let expected = vec![Race { first: inc0, second: inc1 }];
+        assert_eq!(exact_races(&exec), expected);
+        assert_eq!(vc_races(&exec), expected);
+        assert!(compare(&exec).exact_match());
+    }
+
+    #[test]
+    fn semaphore_ordering_suppresses_the_race() {
+        // writer: write x; V(s)        reader: P(s); read x
+        let mut b = ProgramBuilder::new();
+        let s = b.semaphore("s");
+        let x = b.variable("x");
+        let w = b.process("writer");
+        b.compute_rw(w, &[], &[x], "write");
+        b.sem_v(w, s);
+        let r = b.process("reader");
+        b.sem_p(r, s);
+        b.compute_rw(r, &[x], &[], "read");
+        let prog = b.build();
+        let trace = eo_lang::generator::run_deterministic(&prog);
+        let exec = trace.to_execution().unwrap();
+        assert!(exact_races(&exec).is_empty(), "the V→P edge orders the pair");
+        assert!(vc_races(&exec).is_empty());
+    }
+
+    #[test]
+    fn observed_pairing_hides_a_feasible_race_from_clocks() {
+        // Two V's, one P guarding the reader's access; the writer V's
+        // after its write. The observed run pairs the reader's P with the
+        // *writer's* V, so clocks order write→read; but the other V could
+        // have served the P, making the race feasible — the exact detector
+        // finds what the clock detector misses.
+        let mut b = ProgramBuilder::new();
+        let s = b.semaphore("s");
+        let x = b.variable("x");
+        let w = b.process("writer");
+        b.compute_rw(w, &[], &[x], "write");
+        b.sem_v(w, s);
+        let other = b.process("other_v");
+        b.sem_v(other, s);
+        let r = b.process("reader");
+        b.sem_p(r, s);
+        b.compute_rw(r, &[x], &[], "read");
+        let prog = b.build();
+        let trace =
+            eo_lang::run_to_trace(&prog, &mut eo_lang::Scheduler::deterministic()).unwrap();
+        let exec = trace.to_execution().unwrap();
+
+        let cmp = compare(&exec);
+        assert_eq!(cmp.candidates, 1);
+        assert_eq!(cmp.missed_by_vc.len(), 1, "clocks miss the feasible race");
+        assert!(cmp.spurious_in_vc.is_empty());
+        assert!(!cmp.exact_match());
+    }
+
+    #[test]
+    fn fork_join_concurrent_writes_race() {
+        let mut b = ProgramBuilder::new();
+        let x = b.variable("x");
+        let main = b.process("main");
+        let c1 = b.subprocess("w1");
+        let c2 = b.subprocess("w2");
+        b.compute_rw(c1, &[], &[x], "w1");
+        b.compute_rw(c2, &[], &[x], "w2");
+        b.fork(main, &[c1, c2]);
+        b.join(main, &[c1, c2]);
+        let prog = b.build();
+        let trace = eo_lang::generator::run_deterministic(&prog);
+        let exec = trace.to_execution().unwrap();
+        assert_eq!(exact_races(&exec).len(), 1);
+        assert_eq!(vc_races(&exec).len(), 1);
+    }
+
+    #[test]
+    fn read_read_is_never_a_candidate() {
+        let mut b = ProgramBuilder::new();
+        let x = b.variable("x");
+        let p0 = b.process("p0");
+        let p1 = b.process("p1");
+        b.compute_rw(p0, &[x], &[], "r0");
+        b.compute_rw(p1, &[x], &[], "r1");
+        let prog = b.build();
+        let trace = eo_lang::generator::run_deterministic(&prog);
+        let exec = trace.to_execution().unwrap();
+        assert!(conflicting_pairs(&exec).is_empty());
+    }
+
+    #[test]
+    fn hmw_filter_never_misses_a_feasible_race() {
+        use eo_lang::generator::{generate_trace, WorkloadSpec};
+        for seed in 0..6 {
+            let mut spec = WorkloadSpec::small_semaphore(seed);
+            spec.variables = 3;
+            spec.write_fraction = 0.5;
+            let trace = generate_trace(&spec, 50);
+            let exec = trace.to_execution().unwrap();
+            let exact = exact_races(&exec);
+            let candidates = hmw_candidate_races(&exec);
+            for r in &exact {
+                assert!(
+                    candidates.contains(r),
+                    "seed {seed}: HMW filter dropped feasible race {r:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn hmw_filter_excludes_handshake_ordered_pairs() {
+        let mut b = ProgramBuilder::new();
+        let s = b.semaphore("s");
+        let x = b.variable("x");
+        let w = b.process("writer");
+        b.compute_rw(w, &[], &[x], "write");
+        b.sem_v(w, s);
+        let r = b.process("reader");
+        b.sem_p(r, s);
+        b.compute_rw(r, &[x], &[], "read");
+        let prog = b.build();
+        let exec = eo_lang::generator::run_deterministic(&prog).to_execution().unwrap();
+        assert!(hmw_candidate_races(&exec).is_empty(), "the 1V/1P handshake is safe");
+    }
+
+    #[test]
+    fn comparison_counts_are_consistent_on_random_workloads() {
+        use eo_lang::generator::{generate_trace, WorkloadSpec};
+        for seed in 0..5 {
+            let trace = generate_trace(&WorkloadSpec::small_semaphore(seed), 50);
+            let exec = trace.to_execution().unwrap();
+            let cmp = compare(&exec);
+            assert_eq!(
+                cmp.agreed.len() + cmp.missed_by_vc.len(),
+                exact_races(&exec).len(),
+                "seed {seed}"
+            );
+            assert!(cmp.candidates >= cmp.agreed.len() + cmp.missed_by_vc.len());
+        }
+    }
+}

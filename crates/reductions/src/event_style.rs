@@ -1,0 +1,274 @@
+//! Theorems 3–4: the event-style (Post/Wait/Clear) reduction from
+//! 3CNFSAT.
+//!
+//! The counting-semaphore construction of Theorem 1 hinges on `P(A_i)`
+//! admitting exactly one winner. With event variables the same effect
+//! needs *two-process mutual exclusion built from `Clear`* — the paper's
+//! per-variable gadget:
+//!
+//! ```text
+//! var_i:  Post(A_i); Post(B_i); fork {side1_i, side2_i}; join
+//! side1_i: Clear(A_i); Wait(B_i); Post(X_i)
+//! side2_i: Clear(B_i); Wait(A_i); Post(X̄_i)
+//! ```
+//!
+//! Before the second pass, `A_i`/`B_i` are each posted once; a cyclic-wait
+//! argument (each side clears the *other's* flag before waiting on its
+//! own) shows at most one of `Post(X_i)`, `Post(X̄_i)` can execute — the
+//! truth-value guess. Clause processes are `Wait(L); Post(C_j)`, and the
+//! endpoints mirror Theorem 1's:
+//!
+//! ```text
+//! proc_a: a: skip; Post(A_1); Post(B_1); …; Post(A_n); Post(B_n)
+//! proc_b: Wait(C_1); …; Wait(C_m); b: skip
+//! ```
+//!
+//! Unlike the semaphore program, *this one can deadlock* (the paper says
+//! so explicitly): e.g. if both sides clear first, or if a side's `Clear`
+//! eats the second-pass `Post`. Feasible program executions are the
+//! complete schedules only, and the observed run must be one — the
+//! builder uses a priority scheduler (gadget sides run eagerly, `proc_a`
+//! runs only when nothing else can) which provably completes: sides
+//! resolve each gadget immediately, and the deferred second pass re-posts
+//! every flag after all `Clear`s have already happened.
+//!
+//! Claims checked by [`verify`]: `a MHB b ⇔ B unsatisfiable` (Theorem 3),
+//! `b CHB a ⇔ B satisfiable` (Theorem 4).
+
+use crate::ReductionCheck;
+use eo_lang::{run_to_trace, Program, ProgramBuilder, Scheduler};
+use eo_model::{EventId, ProgramExecution};
+use eo_sat::{Formula, Solver};
+
+/// The built Theorem 3/4 reduction.
+pub struct EventReduction {
+    /// The constructed program.
+    pub program: Program,
+    /// An observed *complete* execution (found by the priority schedule).
+    pub exec: ProgramExecution,
+    /// The `a: skip` event.
+    pub a: EventId,
+    /// The `b: skip` event.
+    pub b: EventId,
+    formula: Formula,
+}
+
+impl EventReduction {
+    /// Builds the Theorem 3/4 program for `formula` and runs it to a
+    /// complete observed execution.
+    ///
+    /// # Panics
+    /// Panics if the formula is not 3CNF.
+    pub fn build(formula: &Formula) -> EventReduction {
+        assert!(formula.is_3cnf(), "the reduction consumes 3CNF formulas");
+        let n = formula.n_vars;
+        let m = formula.clauses.len();
+        let mut b = ProgramBuilder::new();
+
+        let a_flag: Vec<_> = (0..n).map(|i| b.event_var(&format!("A{i}"))).collect();
+        let b_flag: Vec<_> = (0..n).map(|i| b.event_var(&format!("B{i}"))).collect();
+        let lit_pos: Vec<_> = (0..n).map(|i| b.event_var(&format!("X{i}"))).collect();
+        let lit_neg: Vec<_> = (0..n).map(|i| b.event_var(&format!("notX{i}"))).collect();
+        let clause_flag: Vec<_> = (0..m).map(|j| b.event_var(&format!("C{j}"))).collect();
+
+        // Scheduler priorities per *definition*: sides run most eagerly,
+        // proc_a only when everything else is blocked.
+        let mut priorities: Vec<u32> = Vec::new();
+
+        for i in 0..n {
+            let v = b.process(&format!("var_{i}"));
+            priorities.push(1);
+            let s1 = b.subprocess(&format!("side1_{i}"));
+            priorities.push(0);
+            let s2 = b.subprocess(&format!("side2_{i}"));
+            priorities.push(0);
+
+            b.post(v, a_flag[i]);
+            b.post(v, b_flag[i]);
+            b.fork(v, &[s1, s2]);
+            b.join(v, &[s1, s2]);
+
+            b.clear(s1, a_flag[i]);
+            b.wait(s1, b_flag[i]);
+            b.labeled(s1, eo_lang::StmtKind::Post(lit_pos[i]), &format!("Post_X{i}"));
+
+            b.clear(s2, b_flag[i]);
+            b.wait(s2, a_flag[i]);
+            b.labeled(s2, eo_lang::StmtKind::Post(lit_neg[i]), &format!("Post_notX{i}"));
+        }
+
+        for (j, clause) in formula.clauses.iter().enumerate() {
+            for (k, lit) in clause.0.iter().enumerate() {
+                let p = b.process(&format!("clause_{j}_{k}"));
+                priorities.push(2);
+                let flag = if lit.positive {
+                    lit_pos[lit.var.index()]
+                } else {
+                    lit_neg[lit.var.index()]
+                };
+                b.wait(p, flag);
+                b.post(p, clause_flag[j]);
+            }
+        }
+
+        let pa = b.process("proc_a");
+        priorities.push(4);
+        b.compute(pa, "a");
+        for i in 0..n {
+            b.post(pa, a_flag[i]);
+            b.post(pa, b_flag[i]);
+        }
+
+        let pb = b.process("proc_b");
+        priorities.push(3);
+        for &c in clause_flag.iter().take(m) {
+            b.wait(pb, c);
+        }
+        b.compute(pb, "b");
+
+        let program = b.build();
+        let trace = run_to_trace(&program, &mut Scheduler::priority(priorities))
+            .expect("the priority schedule completes the Theorem 3 program");
+        let exec = trace.to_execution().expect("interpreter traces are valid");
+        let a = exec.event_labeled("a").expect("endpoint a exists");
+        let b_ev = exec.event_labeled("b").expect("endpoint b exists");
+
+        EventReduction {
+            program,
+            exec,
+            a,
+            b: b_ev,
+            formula: formula.clone(),
+        }
+    }
+
+    /// The encoded formula.
+    pub fn formula(&self) -> &Formula {
+        &self.formula
+    }
+
+    /// Decides `a MHB b` (Theorem 3's co-NP-hard question).
+    pub fn decide_mhb(&self) -> bool {
+        eo_engine::ExactEngine::new(&self.exec).mhb(self.a, self.b)
+    }
+
+    /// Witness for `b CHB a` (Theorem 4's NP-hard question).
+    pub fn witness_b_before_a(&self) -> Option<Vec<EventId>> {
+        eo_engine::ExactEngine::new(&self.exec).witness_before(self.b, self.a)
+    }
+
+    /// Reads a truth assignment off a witness schedule: variable `i` is
+    /// true iff `Post(X_i)` executes before `a`.
+    pub fn extract_assignment(&self, witness: &[EventId]) -> Vec<bool> {
+        let pos_of_a = witness
+            .iter()
+            .position(|&e| e == self.a)
+            .unwrap_or(witness.len());
+        (0..self.formula.n_vars)
+            .map(|i| {
+                self.exec
+                    .event_labeled(&format!("Post_X{i}"))
+                    .and_then(|e| witness.iter().position(|&x| x == e))
+                    .is_some_and(|p| p < pos_of_a)
+            })
+            .collect()
+    }
+}
+
+/// End-to-end check of Theorems 3 and 4 on one formula.
+pub fn verify(formula: &Formula) -> ReductionCheck {
+    let red = EventReduction::build(formula);
+    let sat = Solver::satisfiable(formula);
+    ReductionCheck {
+        sat,
+        mhb_ab: red.decide_mhb(),
+        chb_ba: red.witness_b_before_a().is_some(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_counts_match_the_paper() {
+        let f = Formula::random_3cnf(3, 3, 1);
+        let red = EventReduction::build(&f);
+        let (n, m) = (3, 3);
+        assert_eq!(red.program.processes.len(), 3 * n + 3 * m + 2);
+        assert_eq!(red.program.event_vars.len(), 4 * n + m);
+        assert_eq!(red.exec.d().pair_count(), 0, "no shared variables");
+    }
+
+    #[test]
+    fn observed_execution_is_complete() {
+        let f = Formula::random_3cnf(3, 3, 5);
+        let red = EventReduction::build(&f);
+        // Every process's events appear, including both sides' posts.
+        for i in 0..3 {
+            assert!(red.exec.event_labeled(&format!("Post_X{i}")).is_some());
+            assert!(red.exec.event_labeled(&format!("Post_notX{i}")).is_some());
+        }
+    }
+
+    #[test]
+    fn unsat_formula_forces_a_before_b() {
+        let f = Formula::unsat_tiny();
+        let check = verify(&f);
+        assert!(!check.sat);
+        assert!(check.mhb_ab, "Theorem 3");
+        assert!(!check.chb_ba, "Theorem 4 contrapositive");
+        assert!(check.consistent());
+    }
+
+    #[test]
+    fn sat_formula_frees_b() {
+        let f = Formula::trivially_sat(3, 2);
+        let check = verify(&f);
+        assert!(check.sat && check.chb_ba && !check.mhb_ab);
+        assert!(check.consistent());
+    }
+
+    #[test]
+    fn theorem_claims_hold_on_random_formulas() {
+        for seed in 0..6 {
+            let f = Formula::random_3cnf(3, 3, seed);
+            let check = verify(&f);
+            assert!(check.consistent(), "seed {seed}: {check:?} on {}", f.display());
+        }
+    }
+
+    #[test]
+    fn witness_round_trips_to_a_satisfying_assignment() {
+        for seed in [1, 4] {
+            let f = Formula::random_3cnf(3, 3, seed);
+            if !Solver::satisfiable(&f) {
+                continue;
+            }
+            let red = EventReduction::build(&f);
+            let witness = red.witness_b_before_a().expect("sat ⇒ witness");
+            let assignment = red.extract_assignment(&witness);
+            assert!(
+                f.satisfied_by(&assignment),
+                "seed {seed}: assignment from witness must satisfy {}",
+                f.display()
+            );
+        }
+    }
+
+    #[test]
+    fn gadget_deadlocks_exist_under_bad_schedules() {
+        // The paper notes the construction can deadlock; random schedules
+        // find such runs (e.g. both sides clear first and the second-pass
+        // reposts get eaten).
+        let f = Formula::random_3cnf(3, 3, 2);
+        let red = EventReduction::build(&f);
+        let mut deadlocked = 0;
+        for seed in 0..20 {
+            if run_to_trace(&red.program, &mut Scheduler::random(seed)).is_err() {
+                deadlocked += 1;
+            }
+        }
+        assert!(deadlocked > 0, "some random schedule should deadlock");
+    }
+}

@@ -1,0 +1,361 @@
+//! Theorems 1–2: the counting-semaphore reduction from 3CNFSAT.
+//!
+//! From a formula B with `n` variables and `m` clauses the paper builds a
+//! program of `3n + 3m + 2` processes over `3n + m + 1` semaphores (all
+//! initially 0):
+//!
+//! * per variable `X_i` — semaphores `A_i`, `X_i`, `X̄_i` and three
+//!   processes:
+//!
+//!   ```text
+//!   true_i:  P(A_i); V(X_i) … V(X_i)      (one V per occurrence of  X_i)
+//!   false_i: P(A_i); V(X̄_i) … V(X̄_i)     (one V per occurrence of ¬X_i)
+//!   gate_i:  V(A_i); P(Pass2); V(A_i)
+//!   ```
+//!
+//!   `gate_i` releases a single `A_i` token before the second pass, so
+//!   exactly one of `true_i`/`false_i` can run during the first pass —
+//!   the nondeterministic *guess* of `X_i`'s truth value. The second
+//!   `V(A_i)`, unlocked by `Pass2`, exists only to let the loser run
+//!   eventually (no execution deadlocks);
+//!
+//! * per clause `C_j` — semaphore `C_j` and three processes, one per
+//!   literal `L` of the clause: `P(L); V(C_j)` — the clause semaphore is
+//!   signaled iff some literal of the clause received a first-pass token;
+//!
+//! * the two endpoint processes:
+//!
+//!   ```text
+//!   proc_a: a: skip; V(Pass2) × n
+//!   proc_b: P(C_1); …; P(C_m); b: skip
+//!   ```
+//!
+//! The program has no conditionals and no shared variables: every
+//! execution performs the same events and exhibits no shared-data
+//! dependences, so F(P) ranges over *all* schedules. The paper's claims,
+//! which [`verify`] checks against the DPLL solver:
+//!
+//! * **Theorem 1**: `a MHB b` ⇔ B is unsatisfiable (if some clause can
+//!   never be satisfied by the first-pass guess, `b` always waits for the
+//!   second pass, which follows `a`);
+//! * **Theorem 2**: `b CHB a` ⇔ B is satisfiable (a satisfying guess lets
+//!   every clause signal during the first pass, freeing `b` before `a`) —
+//!   and the engine's witness schedule *is* a satisfying assignment,
+//!   which [`extract_assignment`] reads back off.
+
+use crate::ReductionCheck;
+use eo_lang::{run_to_trace, Program, ProgramBuilder, Scheduler};
+use eo_model::{EventId, Op, ProgramExecution};
+use eo_sat::{Formula, Lit, Solver, Var};
+
+/// The built reduction: program, observed execution, endpoints, and the
+/// bookkeeping needed to read assignments back out of witness schedules.
+pub struct SemaphoreReduction {
+    /// The constructed program (inspectable).
+    pub program: Program,
+    /// The observed execution (deterministic schedule; the program is
+    /// deadlock-free under every scheduler).
+    pub exec: ProgramExecution,
+    /// The `a: skip` event.
+    pub a: EventId,
+    /// The `b: skip` event.
+    pub b: EventId,
+    /// For each variable: the `V(X_i)` events (true side) — used to read
+    /// assignments out of witness schedules.
+    true_side_events: Vec<Vec<EventId>>,
+    formula: Formula,
+}
+
+impl SemaphoreReduction {
+    /// Builds the Theorem 1/2 program for `formula` and runs it once.
+    ///
+    /// # Panics
+    /// Panics if the formula is not in 3CNF (the construction is defined
+    /// for 3CNFSAT; wider clauses would change the process counts).
+    pub fn build(formula: &Formula) -> SemaphoreReduction {
+        assert!(formula.is_3cnf(), "the reduction consumes 3CNF formulas");
+        let n = formula.n_vars;
+        let m = formula.clauses.len();
+        let mut b = ProgramBuilder::new();
+
+        // Semaphores.
+        let pass2 = b.semaphore("Pass2");
+        let a_gate: Vec<_> = (0..n).map(|i| b.semaphore(&format!("A{i}"))).collect();
+        let lit_pos: Vec<_> = (0..n).map(|i| b.semaphore(&format!("X{i}"))).collect();
+        let lit_neg: Vec<_> = (0..n).map(|i| b.semaphore(&format!("notX{i}"))).collect();
+        let clause_sem: Vec<_> = (0..m).map(|j| b.semaphore(&format!("C{j}"))).collect();
+
+        // Variable processes.
+        for i in 0..n {
+            let occ_pos = formula.occurrences(Lit::pos(Var(i as u32)));
+            let occ_neg = formula.occurrences(Lit::neg(Var(i as u32)));
+
+            let t = b.process(&format!("true_{i}"));
+            b.sem_p(t, a_gate[i]);
+            for k in 0..occ_pos {
+                b.labeled(t, eo_lang::StmtKind::SemV(lit_pos[i]), &format!("V_X{i}_{k}"));
+            }
+
+            let f = b.process(&format!("false_{i}"));
+            b.sem_p(f, a_gate[i]);
+            for k in 0..occ_neg {
+                b.labeled(f, eo_lang::StmtKind::SemV(lit_neg[i]), &format!("V_notX{i}_{k}"));
+            }
+
+            let g = b.process(&format!("gate_{i}"));
+            b.sem_v(g, a_gate[i]);
+            b.sem_p(g, pass2);
+            b.sem_v(g, a_gate[i]);
+        }
+
+        // Clause processes: one per literal occurrence.
+        for (j, clause) in formula.clauses.iter().enumerate() {
+            for (k, lit) in clause.0.iter().enumerate() {
+                let p = b.process(&format!("clause_{j}_{k}"));
+                let sem = if lit.positive {
+                    lit_pos[lit.var.index()]
+                } else {
+                    lit_neg[lit.var.index()]
+                };
+                b.sem_p(p, sem);
+                b.sem_v(p, clause_sem[j]);
+            }
+        }
+
+        // Endpoints.
+        let pa = b.process("proc_a");
+        b.compute(pa, "a");
+        for _ in 0..n {
+            b.sem_v(pa, pass2);
+        }
+        let pb = b.process("proc_b");
+        for &c in clause_sem.iter().take(m) {
+            b.sem_p(pb, c);
+        }
+        b.compute(pb, "b");
+
+        let program = b.build();
+        let trace = run_to_trace(&program, &mut Scheduler::deterministic())
+            .expect("the Theorem 1 program is deadlock-free under every scheduler");
+        let exec = trace.to_execution().expect("interpreter traces are valid");
+
+        let a = exec.event_labeled("a").expect("endpoint a exists");
+        let b_ev = exec.event_labeled("b").expect("endpoint b exists");
+        let true_side_events = (0..n)
+            .map(|i| {
+                exec.events()
+                    .iter()
+                    .filter(|e| {
+                        e.label
+                            .as_deref()
+                            .is_some_and(|l| l.starts_with(&format!("V_X{i}_")))
+                    })
+                    .map(|e| e.id)
+                    .collect()
+            })
+            .collect();
+
+        SemaphoreReduction {
+            program,
+            exec,
+            a,
+            b: b_ev,
+            true_side_events,
+            formula: formula.clone(),
+        }
+    }
+
+    /// The formula this reduction encodes.
+    pub fn formula(&self) -> &Formula {
+        &self.formula
+    }
+
+    /// Decides `a MHB b` with the exact engine (the co-NP-hard question of
+    /// Theorem 1).
+    pub fn decide_mhb(&self) -> bool {
+        eo_engine::ExactEngine::new(&self.exec).mhb(self.a, self.b)
+    }
+
+    /// Decides `b CHB a` with the exact engine (the NP-hard question of
+    /// Theorem 2), returning the witness schedule if one exists.
+    pub fn witness_b_before_a(&self) -> Option<Vec<EventId>> {
+        eo_engine::ExactEngine::new(&self.exec).witness_before(self.b, self.a)
+    }
+
+    /// Reads a truth assignment off a witness schedule: variable `i` is
+    /// true iff some first-pass `V(X_i)` executes before `a` in the
+    /// witness. On witnesses produced by [`witness_b_before_a`] for a
+    /// satisfiable formula, the result satisfies the formula (tests assert
+    /// this — the NP-witness round trip).
+    pub fn extract_assignment(&self, witness: &[EventId]) -> Vec<bool> {
+        let pos_of_a = witness
+            .iter()
+            .position(|&e| e == self.a)
+            .unwrap_or(witness.len());
+        self.true_side_events
+            .iter()
+            .map(|evs| {
+                evs.iter().any(|e| {
+                    witness.iter().position(|&x| x == *e).is_some_and(|p| p < pos_of_a)
+                })
+            })
+            .collect()
+    }
+
+    /// Decides `a CCW b` — the "analogous reduction" the paper invokes for
+    /// the concurrent-with relations: `a` (the first event of `proc_a`) is
+    /// enabled from the start, so `a` and `b` can be simultaneously ready
+    /// iff `b` can become ready during the first pass, i.e. iff B is
+    /// satisfiable. Hence deciding CCW decides SAT (NP-hardness), and
+    /// deciding MOW = ¬CCW decides UNSAT (co-NP-hardness).
+    pub fn decide_ccw(&self) -> bool {
+        eo_engine::ExactEngine::new(&self.exec).ccw(self.a, self.b)
+    }
+
+    /// Maximum value any semaphore counter reaches in the observed
+    /// execution — relevant to the paper's remark that the construction
+    /// never exploits counting beyond small bounds.
+    pub fn max_semaphore_count(&self) -> u32 {
+        let trace = self.exec.trace();
+        let mut count = vec![0i64; trace.semaphores.len()];
+        let mut max = 0i64;
+        for e in &trace.events {
+            match e.op {
+                Op::SemV(s) => {
+                    count[s.index()] += 1;
+                    max = max.max(count[s.index()]);
+                }
+                Op::SemP(s) => count[s.index()] -= 1,
+                _ => {}
+            }
+        }
+        max as u32
+    }
+}
+
+/// End-to-end check of Theorems 1 and 2 on one formula: SAT by DPLL vs.
+/// the two ordering queries.
+pub fn verify(formula: &Formula) -> ReductionCheck {
+    let red = SemaphoreReduction::build(formula);
+    let sat = Solver::satisfiable(formula);
+    ReductionCheck {
+        sat,
+        mhb_ab: red.decide_mhb(),
+        chb_ba: red.witness_b_before_a().is_some(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eo_sat::Clause;
+
+    #[test]
+    fn construction_counts_match_the_paper() {
+        let f = Formula::random_3cnf(3, 4, 1);
+        let red = SemaphoreReduction::build(&f);
+        let (n, m) = (3, 4);
+        assert_eq!(red.program.processes.len(), 3 * n + 3 * m + 2);
+        assert_eq!(red.program.semaphores.len(), 3 * n + m + 1);
+        // No conditionals, no shared variables: every execution performs
+        // the same events and there are no dependences.
+        assert_eq!(red.exec.d().pair_count(), 0);
+    }
+
+    #[test]
+    fn runs_to_completion_under_many_schedulers() {
+        let f = Formula::random_3cnf(3, 3, 2);
+        let red = SemaphoreReduction::build(&f);
+        for seed in 0..5 {
+            let t = run_to_trace(&red.program, &mut Scheduler::random(seed)).unwrap();
+            assert_eq!(t.n_events(), red.exec.n_events(), "same events every run");
+        }
+    }
+
+    #[test]
+    fn unsat_formula_forces_a_before_b() {
+        let f = Formula::unsat_tiny();
+        let check = verify(&f);
+        assert!(!check.sat);
+        assert!(check.mhb_ab, "Theorem 1: a MHB b for unsatisfiable B");
+        assert!(!check.chb_ba, "Theorem 2 contrapositive");
+        assert!(check.consistent());
+    }
+
+    #[test]
+    fn sat_formula_frees_b() {
+        let f = Formula::trivially_sat(3, 2);
+        let check = verify(&f);
+        assert!(check.sat);
+        assert!(!check.mhb_ab);
+        assert!(check.chb_ba);
+        assert!(check.consistent());
+    }
+
+    #[test]
+    fn theorem_claims_hold_on_random_formulas() {
+        for seed in 0..8 {
+            let f = Formula::random_3cnf(3, 3, seed);
+            let check = verify(&f);
+            assert!(check.consistent(), "seed {seed}: {check:?} on {}", f.display());
+        }
+    }
+
+    #[test]
+    fn witness_round_trips_to_a_satisfying_assignment() {
+        for seed in [0, 3, 5] {
+            let f = Formula::random_3cnf(3, 3, seed);
+            if !Solver::satisfiable(&f) {
+                continue;
+            }
+            let red = SemaphoreReduction::build(&f);
+            let witness = red.witness_b_before_a().expect("sat ⇒ witness");
+            assert!(red.exec.trace().validate().is_ok());
+            let assignment = red.extract_assignment(&witness);
+            assert!(
+                f.satisfied_by(&assignment),
+                "seed {seed}: extracted assignment must satisfy {}",
+                f.display()
+            );
+        }
+    }
+
+    #[test]
+    fn single_clause_contradiction() {
+        // (x0 ∨ x0̄?) — use a crafted pair of opposing forced clauses:
+        // (x0 ∨ x1 ∨ x2) restricted by unit-like structure is still SAT;
+        // instead check a tiny formula where only one literal column is
+        // used: (x0 ∨ x0… ) is malformed 3CNF; use distinct vars.
+        let f = Formula::new(
+            3,
+            vec![Clause(vec![
+                Lit::pos(Var(0)),
+                Lit::pos(Var(1)),
+                Lit::pos(Var(2)),
+            ])],
+        );
+        let check = verify(&f);
+        assert!(check.sat && check.chb_ba && !check.mhb_ab);
+    }
+
+    #[test]
+    fn concurrency_relations_also_decide_sat() {
+        // The paper: "programs can be constructed such that the
+        // non-satisfiability of B can be determined from the MCW or MOW
+        // relations" — on this construction, a CCW b ⇔ sat and
+        // a MOW b ⇔ unsat.
+        let sat = SemaphoreReduction::build(&Formula::trivially_sat(3, 2));
+        assert!(sat.decide_ccw(), "satisfiable ⇒ a and b can be concurrent");
+        let unsat = SemaphoreReduction::build(&Formula::unsat_tiny());
+        assert!(!unsat.decide_ccw(), "unsatisfiable ⇒ never concurrent (MOW)");
+    }
+
+    #[test]
+    fn counting_stays_small() {
+        let f = Formula::random_3cnf(3, 4, 7);
+        let red = SemaphoreReduction::build(&f);
+        // Literal semaphores accumulate at most their occurrence count;
+        // for 4 clauses over 3 variables that stays tiny.
+        assert!(red.max_semaphore_count() <= 12);
+    }
+}

@@ -1,0 +1,350 @@
+//! The single-counting-semaphore corollary.
+//!
+//! The paper remarks that the intractability results "can be shown to hold
+//! for a program execution that uses a single counting semaphore by a
+//! reduction from the problem of sequencing to minimize maximum cumulative
+//! cost" (Garey & Johnson problem **SS7**, NP-complete). The paper gives
+//! no construction; this module supplies a concrete one and verifies it
+//! exhaustively on small instances.
+//!
+//! **The source problem.** An instance is a set of jobs with integer
+//! costs, a precedence partial order, and a budget `K`; the question is
+//! whether some linear extension keeps every prefix-sum of costs ≤ `K`.
+//!
+//! **The mapping.** One counting semaphore `S`, initialized to `K` tokens.
+//! A job of cost `c > 0` becomes a process performing `c × P(S)` (it
+//! consumes budget permanently); a job of cost `c < 0` becomes `|c| ×
+//! V(S)` (it releases budget). Precedence `i ≺ j` is enforced by starting
+//! job `j`'s process with `join` on its predecessors — fork/join-style
+//! ordering, the one non-semaphore primitive the paper's model already
+//! has. Two endpoint processes mirror the Theorem 1 layout:
+//!
+//! ```text
+//! proc_a:  a: skip
+//! relief:  join(proc_a); V(S) × (total positive cost)
+//! proc_b:  join(all jobs); b: skip
+//! ```
+//!
+//! The relief process guarantees every schedule can complete (so an
+//! observed execution always exists), but only *after* `a` — so
+//! `b` can precede `a` iff the jobs can be sequenced within the original
+//! budget `K`:
+//!
+//! * **`b CHB a` ⇔ the sequencing instance is feasible** (NP-hardness of
+//!   the could-have relations with one semaphore);
+//! * **`a MHB b` ⇔ the instance is infeasible** (co-NP-hardness of the
+//!   must-have relations).
+//!
+//! Job atomicity is not a gap: a job's ops all have the same sign, so any
+//! valid interleaved schedule can be rearranged job-atomically by
+//! completion order without raising any prefix sum (partial contributions
+//! of unfinished jobs only *consume* budget, never extend it).
+//!
+//! The exact feasibility solver ([`SequencingInstance::feasible`]) is a
+//! reachable-subset dynamic program over job sets, independent of the
+//! ordering machinery — the cross-check oracle.
+
+use crate::ReductionCheck;
+use eo_lang::{run_to_trace, Program, ProgramBuilder, Scheduler};
+use eo_model::{EventId, ProgramExecution};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A sequencing-to-minimize-maximum-cumulative-cost instance.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SequencingInstance {
+    /// Per-job cost (positive consumes budget, negative releases it).
+    pub costs: Vec<i32>,
+    /// Precedence edges `(i, j)`: job `i` must complete before job `j`
+    /// starts.
+    pub precedence: Vec<(usize, usize)>,
+    /// The budget: every prefix-sum must stay ≤ `K`.
+    pub budget: u32,
+}
+
+impl SequencingInstance {
+    /// Builds and sanity-checks an instance.
+    ///
+    /// # Panics
+    /// Panics if a precedence endpoint is out of range, the precedence
+    /// relation is cyclic, or there are more than 20 jobs (the exact
+    /// solver is a subset DP).
+    pub fn new(costs: Vec<i32>, precedence: Vec<(usize, usize)>, budget: u32) -> Self {
+        let n = costs.len();
+        assert!(n <= 20, "subset-DP solver handles at most 20 jobs");
+        for &(i, j) in &precedence {
+            assert!(i < n && j < n && i != j, "bad precedence edge ({i},{j})");
+        }
+        let inst = SequencingInstance {
+            costs,
+            precedence,
+            budget,
+        };
+        assert!(inst.is_acyclic(), "precedence must be a partial order");
+        inst
+    }
+
+    fn is_acyclic(&self) -> bool {
+        let n = self.costs.len();
+        let rel = eo_relations::Relation::from_edges(
+            n,
+            self.precedence.iter().map(|&(i, j)| (i, j)),
+        );
+        rel.is_acyclic()
+    }
+
+    /// Number of jobs.
+    pub fn n_jobs(&self) -> usize {
+        self.costs.len()
+    }
+
+    /// Exact feasibility by subset DP: a job set `S` is *reachable* if the
+    /// jobs in it can form a valid schedule prefix. Feasible iff the full
+    /// set is reachable.
+    pub fn feasible(&self) -> bool {
+        let n = self.costs.len();
+        if n == 0 {
+            return true;
+        }
+        let mut preds_mask = vec![0u32; n];
+        for &(i, j) in &self.precedence {
+            preds_mask[j] |= 1 << i;
+        }
+        // Prefix sums are determined by the set, so reachability is a
+        // plain BFS over subsets.
+        let full: u32 = if n == 32 { u32::MAX } else { (1 << n) - 1 };
+        let mut reachable = vec![false; 1 << n];
+        reachable[0] = true;
+        // Iterate masks ascending: S∖{j} < S numerically, so predecessors
+        // are always decided first.
+        #[allow(clippy::needless_range_loop)] // j is a job id, not just an index
+        for mask in 1..=full {
+            let sum_without = |m: u32| -> i64 {
+                (0..n)
+                    .filter(|&k| m & (1 << k) != 0)
+                    .map(|k| self.costs[k] as i64)
+                    .sum()
+            };
+            for j in 0..n {
+                let bit = 1 << j;
+                if mask & bit == 0 {
+                    continue;
+                }
+                let prev = mask & !bit;
+                if !reachable[prev as usize] {
+                    continue;
+                }
+                if preds_mask[j] & prev != preds_mask[j] {
+                    continue; // a predecessor is missing
+                }
+                // The maximum cumulative cost while running job j from
+                // prefix `prev` is reached at j's completion (same-sign
+                // ops), i.e. sum(prev) + cost(j) for positive costs, and
+                // sum(prev) for negative ones.
+                let peak = sum_without(prev) + (self.costs[j].max(0)) as i64;
+                if peak <= self.budget as i64 {
+                    reachable[mask as usize] = true;
+                    break;
+                }
+            }
+        }
+        reachable[full as usize]
+    }
+
+    /// A random instance: `n` jobs with costs in `-max_cost..=max_cost`
+    /// (zero-cost jobs allowed), a random forward DAG with edge
+    /// probability `edge_p`, and the given budget.
+    pub fn random(n: usize, max_cost: i32, edge_p: f64, budget: u32, seed: u64) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let costs = (0..n)
+            .map(|_| rng.gen_range(-max_cost..=max_cost))
+            .collect();
+        let mut precedence = Vec::new();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if rng.gen_bool(edge_p) {
+                    precedence.push((i, j));
+                }
+            }
+        }
+        SequencingInstance::new(costs, precedence, budget)
+    }
+}
+
+/// The built single-semaphore reduction.
+pub struct SingleSemaphoreReduction {
+    /// The constructed program: one semaphore, fork/join-free roots with
+    /// `join`-encoded precedence.
+    pub program: Program,
+    /// The observed execution.
+    pub exec: ProgramExecution,
+    /// The `a: skip` event.
+    pub a: EventId,
+    /// The `b: skip` event.
+    pub b: EventId,
+    instance: SequencingInstance,
+}
+
+impl SingleSemaphoreReduction {
+    /// Builds the program for `instance` and runs it (the relief process
+    /// makes some schedule always complete; the deterministic scheduler
+    /// finds one because relief tokens are unlimited once `a` runs).
+    pub fn build(instance: &SequencingInstance) -> SingleSemaphoreReduction {
+        let n = instance.n_jobs();
+        let mut b = ProgramBuilder::new();
+        let s = b.semaphore_init("S", instance.budget);
+
+        let jobs: Vec<_> = (0..n).map(|i| b.process(&format!("job_{i}"))).collect();
+        // proc_a must exist before relief joins it.
+        let pa = b.process("proc_a");
+        b.compute(pa, "a");
+
+        let relief = b.process("relief");
+        b.join(relief, &[pa]);
+        let relief_tokens: i64 = instance.costs.iter().map(|&c| c.max(0) as i64).sum();
+        for _ in 0..relief_tokens {
+            b.sem_v(relief, s);
+        }
+
+        for i in 0..n {
+            let preds: Vec<_> = instance
+                .precedence
+                .iter()
+                .filter(|&&(_, j)| j == i)
+                .map(|&(p, _)| jobs[p])
+                .collect();
+            if !preds.is_empty() {
+                b.join(jobs[i], &preds);
+            }
+            let c = instance.costs[i];
+            for _ in 0..c.max(0) {
+                b.sem_p(jobs[i], s);
+            }
+            for _ in 0..(-c).max(0) {
+                b.sem_v(jobs[i], s);
+            }
+            if c == 0 {
+                b.compute(jobs[i], &format!("job_{i}_noop"));
+            }
+        }
+
+        let pb = b.process("proc_b");
+        b.join(pb, &jobs);
+        b.compute(pb, "b");
+
+        let program = b.build();
+        // Deterministic scheduling completes: jobs run while budget
+        // allows; once stuck, proc_a then relief unlock everything.
+        let trace = run_to_trace(&program, &mut Scheduler::deterministic())
+            .expect("relief makes the program deadlock-free");
+        let exec = trace.to_execution().expect("interpreter traces are valid");
+        let a = exec.event_labeled("a").expect("endpoint a");
+        let b_ev = exec.event_labeled("b").expect("endpoint b");
+        SingleSemaphoreReduction {
+            program,
+            exec,
+            a,
+            b: b_ev,
+            instance: instance.clone(),
+        }
+    }
+
+    /// The encoded instance.
+    pub fn instance(&self) -> &SequencingInstance {
+        &self.instance
+    }
+
+    /// Decides `a MHB b` with the exact engine.
+    pub fn decide_mhb(&self) -> bool {
+        eo_engine::ExactEngine::new(&self.exec).mhb(self.a, self.b)
+    }
+
+    /// Witness for `b CHB a` — a complete schedule sequencing all jobs
+    /// within the original budget before `a` runs.
+    pub fn witness_b_before_a(&self) -> Option<Vec<EventId>> {
+        eo_engine::ExactEngine::new(&self.exec).witness_before(self.b, self.a)
+    }
+}
+
+/// End-to-end check on one instance: subset-DP feasibility vs. the two
+/// ordering queries.
+pub fn verify(instance: &SequencingInstance) -> ReductionCheck {
+    let red = SingleSemaphoreReduction::build(instance);
+    ReductionCheck {
+        sat: instance.feasible(),
+        mhb_ab: red.decide_mhb(),
+        chb_ba: red.witness_b_before_a().is_some(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trivial_instances() {
+        assert!(SequencingInstance::new(vec![], vec![], 0).feasible());
+        assert!(SequencingInstance::new(vec![1], vec![], 1).feasible());
+        assert!(!SequencingInstance::new(vec![2], vec![], 1).feasible());
+        assert!(SequencingInstance::new(vec![-1, 2], vec![], 1).feasible(), "release first");
+        assert!(
+            !SequencingInstance::new(vec![-1, 2], vec![(1, 0)], 1).feasible(),
+            "precedence forbids releasing first"
+        );
+    }
+
+    #[test]
+    fn zero_cost_jobs_are_neutral() {
+        assert!(SequencingInstance::new(vec![0, 0, 1], vec![(0, 1), (1, 2)], 1).feasible());
+    }
+
+    #[test]
+    #[should_panic(expected = "partial order")]
+    fn cyclic_precedence_is_rejected() {
+        SequencingInstance::new(vec![1, 1], vec![(0, 1), (1, 0)], 5);
+    }
+
+    #[test]
+    fn reduction_uses_exactly_one_semaphore() {
+        let inst = SequencingInstance::new(vec![1, -1, 2], vec![(0, 1)], 2);
+        let red = SingleSemaphoreReduction::build(&inst);
+        assert_eq!(red.program.semaphores.len(), 1);
+        assert!(red.program.event_vars.is_empty());
+    }
+
+    #[test]
+    fn feasible_instance_lets_b_precede_a() {
+        let inst = SequencingInstance::new(vec![1, -1, 1], vec![(0, 1)], 1);
+        let check = verify(&inst);
+        assert!(check.sat);
+        assert!(check.chb_ba && !check.mhb_ab);
+        assert!(check.consistent());
+    }
+
+    #[test]
+    fn infeasible_instance_forces_a_first() {
+        // Two +1 jobs, budget 1, and a precedence chain forcing both taken
+        // before the release.
+        let inst = SequencingInstance::new(vec![1, 1, -2], vec![(0, 2), (1, 2)], 1);
+        let check = verify(&inst);
+        assert!(!check.sat);
+        assert!(check.mhb_ab && !check.chb_ba);
+        assert!(check.consistent());
+    }
+
+    #[test]
+    fn random_instances_agree_with_the_dp() {
+        for seed in 0..10 {
+            let inst = SequencingInstance::random(4, 2, 0.3, 2, seed);
+            let check = verify(&inst);
+            assert!(check.consistent(), "seed {seed}: {check:?} on {inst:?}");
+        }
+    }
+
+    #[test]
+    fn budget_zero_with_only_releases_is_feasible() {
+        let inst = SequencingInstance::new(vec![-1, -2], vec![], 0);
+        let check = verify(&inst);
+        assert!(check.sat && check.chb_ba);
+    }
+}

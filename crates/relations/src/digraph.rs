@@ -1,0 +1,264 @@
+//! An adjacency-list directed graph with the queries the task-graph
+//! baseline needs.
+//!
+//! The Emrath–Ghosh–Padua method (paper Section 4) builds a *task graph*
+//! whose nodes are synchronization events; deciding "guaranteed ordering"
+//! is a path query, and adding synchronization edges requires finding the
+//! *closest common ancestors* of a set of Post nodes. [`Digraph`] provides
+//! exactly those operations, plus the reachability matrix used when a
+//! baseline's whole output must be compared against the exact engine.
+
+use crate::bitset::BitSet;
+use crate::relation::Relation;
+
+/// A directed graph over nodes `0..n`, adjacency-list form.
+///
+/// Duplicate edges are permitted on insertion but collapse in the derived
+/// [`Relation`]s; the graph may be cyclic (the baselines' construction
+/// never produces cycles, but intermediate states are not forced to be
+/// acyclic).
+#[derive(Clone, Debug)]
+pub struct Digraph {
+    succ: Vec<Vec<usize>>,
+    pred: Vec<Vec<usize>>,
+}
+
+impl Digraph {
+    /// Creates an edgeless graph over `0..n`.
+    pub fn new(n: usize) -> Self {
+        Digraph {
+            succ: vec![Vec::new(); n],
+            pred: vec![Vec::new(); n],
+        }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.succ.len()
+    }
+
+    /// True iff the graph has zero nodes.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.succ.is_empty()
+    }
+
+    /// Adds the edge `a → b` (idempotent: duplicates are skipped).
+    ///
+    /// # Panics
+    /// Panics if either endpoint is out of range.
+    pub fn add_edge(&mut self, a: usize, b: usize) {
+        assert!(a < self.len() && b < self.len(), "edge endpoint out of range");
+        if !self.succ[a].contains(&b) {
+            self.succ[a].push(b);
+            self.pred[b].push(a);
+        }
+    }
+
+    /// The direct successors of `a`.
+    #[inline]
+    pub fn successors(&self, a: usize) -> &[usize] {
+        &self.succ[a]
+    }
+
+    /// The direct predecessors of `a`.
+    #[inline]
+    pub fn predecessors(&self, a: usize) -> &[usize] {
+        &self.pred[a]
+    }
+
+    /// Total number of (deduplicated) edges.
+    pub fn edge_count(&self) -> usize {
+        self.succ.iter().map(Vec::len).sum()
+    }
+
+    /// True iff a nonempty directed path runs from `a` to `b`.
+    pub fn has_path(&self, a: usize, b: usize) -> bool {
+        let mut seen = BitSet::new(self.len());
+        let mut stack = vec![a];
+        // `a` itself is only a valid destination via a real cycle, so do
+        // not mark it seen until it is re-reached.
+        while let Some(x) = stack.pop() {
+            for &y in &self.succ[x] {
+                if y == b {
+                    return true;
+                }
+                if seen.insert(y) {
+                    stack.push(y);
+                }
+            }
+        }
+        false
+    }
+
+    /// All nodes reachable from `a` by a nonempty path.
+    pub fn descendants(&self, a: usize) -> BitSet {
+        self.reach_from(a, Direction::Forward)
+    }
+
+    /// All nodes that reach `a` by a nonempty path (the ancestors of `a`).
+    pub fn ancestors(&self, a: usize) -> BitSet {
+        self.reach_from(a, Direction::Backward)
+    }
+
+    fn reach_from(&self, a: usize, dir: Direction) -> BitSet {
+        let adj = match dir {
+            Direction::Forward => &self.succ,
+            Direction::Backward => &self.pred,
+        };
+        let mut seen = BitSet::new(self.len());
+        let mut stack: Vec<usize> = adj[a].clone();
+        for &x in &adj[a] {
+            seen.insert(x);
+        }
+        while let Some(x) = stack.pop() {
+            for &y in &adj[x] {
+                if seen.insert(y) {
+                    stack.push(y);
+                }
+            }
+        }
+        seen
+    }
+
+    /// The *common ancestors* of a nonempty node set: nodes with a path to
+    /// every node in `nodes`. A node in `nodes` counts as an ancestor of
+    /// itself for this query (the EGP construction draws the edge from the
+    /// closest common ancestor of the candidate Posts, and a Post that is
+    /// itself an ancestor of all others must be eligible).
+    pub fn common_ancestors(&self, nodes: &[usize]) -> BitSet {
+        assert!(!nodes.is_empty(), "common_ancestors of an empty set");
+        let mut acc: Option<BitSet> = None;
+        for &v in nodes {
+            let mut anc = self.ancestors(v);
+            anc.insert(v); // reflexive for this query
+            match &mut acc {
+                None => acc = Some(anc),
+                Some(a) => {
+                    a.intersect_with(&anc);
+                }
+            }
+        }
+        acc.unwrap()
+    }
+
+    /// The *closest* common ancestors: common ancestors that are not a
+    /// (strict) ancestor of another common ancestor. For a tree this is the
+    /// usual unique LCA; in a DAG there may be several.
+    pub fn closest_common_ancestors(&self, nodes: &[usize]) -> Vec<usize> {
+        let common = self.common_ancestors(nodes);
+        common
+            .iter()
+            .filter(|&c| {
+                // c is closest iff no other common ancestor is a descendant
+                // of c.
+                let desc = self.descendants(c);
+                !common.iter().any(|other| other != c && desc.contains(other))
+            })
+            .collect()
+    }
+
+    /// The edge relation as a [`Relation`] (deduplicated).
+    pub fn edge_relation(&self) -> Relation {
+        let mut r = Relation::new(self.len());
+        for (a, succs) in self.succ.iter().enumerate() {
+            for &b in succs {
+                r.insert(a, b);
+            }
+        }
+        r
+    }
+
+    /// The reachability relation: `(a, b)` present iff a nonempty path runs
+    /// from `a` to `b`.
+    pub fn reachability(&self) -> Relation {
+        self.edge_relation().transitive_closure()
+    }
+}
+
+enum Direction {
+    Forward,
+    Backward,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 0 → 1 → 3, 0 → 2 → 3, 2 → 4
+    fn dag() -> Digraph {
+        let mut g = Digraph::new(5);
+        g.add_edge(0, 1);
+        g.add_edge(0, 2);
+        g.add_edge(1, 3);
+        g.add_edge(2, 3);
+        g.add_edge(2, 4);
+        g
+    }
+
+    #[test]
+    fn paths() {
+        let g = dag();
+        assert!(g.has_path(0, 3));
+        assert!(g.has_path(0, 4));
+        assert!(!g.has_path(1, 4));
+        assert!(!g.has_path(3, 0));
+        assert!(!g.has_path(0, 0), "no cycle through 0");
+    }
+
+    #[test]
+    fn self_path_requires_cycle() {
+        let mut g = Digraph::new(2);
+        g.add_edge(0, 1);
+        assert!(!g.has_path(0, 0));
+        g.add_edge(1, 0);
+        assert!(g.has_path(0, 0));
+    }
+
+    #[test]
+    fn duplicate_edges_collapse() {
+        let mut g = Digraph::new(2);
+        g.add_edge(0, 1);
+        g.add_edge(0, 1);
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.predecessors(1), &[0]);
+    }
+
+    #[test]
+    fn ancestors_descendants() {
+        let g = dag();
+        assert_eq!(g.ancestors(3).iter().collect::<Vec<_>>(), vec![0, 1, 2]);
+        assert_eq!(g.descendants(0).iter().collect::<Vec<_>>(), vec![1, 2, 3, 4]);
+        assert!(g.ancestors(0).is_empty());
+    }
+
+    #[test]
+    fn common_ancestors_of_siblings() {
+        let g = dag();
+        let common = g.common_ancestors(&[3, 4]);
+        assert_eq!(common.iter().collect::<Vec<_>>(), vec![0, 2]);
+        assert_eq!(g.closest_common_ancestors(&[3, 4]), vec![2]);
+    }
+
+    #[test]
+    fn common_ancestor_includes_member_that_dominates() {
+        // 0 → 1; ancestors common to {0, 1} should include 0 itself.
+        let mut g = Digraph::new(2);
+        g.add_edge(0, 1);
+        assert_eq!(g.closest_common_ancestors(&[0, 1]), vec![0]);
+    }
+
+    #[test]
+    fn closest_common_ancestor_of_single_node_is_itself() {
+        let g = dag();
+        assert_eq!(g.closest_common_ancestors(&[3]), vec![3]);
+    }
+
+    #[test]
+    fn reachability_matches_relation_closure() {
+        let g = dag();
+        let direct = g.edge_relation();
+        assert_eq!(g.reachability(), direct.transitive_closure());
+    }
+}

@@ -1,0 +1,124 @@
+//! A small Fx-style hasher and map/set aliases.
+//!
+//! The engine keys hash maps by dense integer state vectors (explored
+//! schedule prefixes) millions of times per query; SipHash is a measurable
+//! tax there. Following the Rust perf-book guidance we use the Firefox
+//! `FxHasher` multiplication-and-rotate scheme, implemented in-repo (≈30
+//! lines) rather than adding a `rustc-hash` dependency.
+//!
+//! Not DoS-resistant — all keys are internally generated, never
+//! attacker-controlled.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// A `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+/// A `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, BuildHasherDefault<FxHasher>>;
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The Fx multiply-rotate hasher (as used by rustc and Firefox).
+#[derive(Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(chunk.try_into().unwrap()));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_and_set_work() {
+        let mut m: FxHashMap<Vec<u16>, u32> = FxHashMap::default();
+        m.insert(vec![1, 2, 3], 7);
+        m.insert(vec![1, 2, 4], 8);
+        assert_eq!(m.get(&vec![1, 2, 3]), Some(&7));
+        assert_eq!(m.len(), 2);
+
+        let mut s: FxHashSet<u64> = FxHashSet::default();
+        assert!(s.insert(42));
+        assert!(!s.insert(42));
+    }
+
+    #[test]
+    fn hashing_is_deterministic() {
+        let mut h1 = FxHasher::default();
+        let mut h2 = FxHasher::default();
+        h1.write(b"hello world, this is more than eight bytes");
+        h2.write(b"hello world, this is more than eight bytes");
+        assert_eq!(h1.finish(), h2.finish());
+    }
+
+    #[test]
+    fn different_inputs_usually_differ() {
+        let mut h1 = FxHasher::default();
+        let mut h2 = FxHasher::default();
+        h1.write_u64(1);
+        h2.write_u64(2);
+        assert_ne!(h1.finish(), h2.finish());
+    }
+
+    #[test]
+    fn tail_bytes_affect_hash() {
+        let mut h1 = FxHasher::default();
+        let mut h2 = FxHasher::default();
+        h1.write(b"123456789"); // 8-byte chunk + 1 tail byte
+        h2.write(b"12345678x");
+        assert_ne!(h1.finish(), h2.finish());
+    }
+}

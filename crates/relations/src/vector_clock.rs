@@ -1,0 +1,178 @@
+//! Vector clocks.
+//!
+//! The classic polynomial-time device for tracking a happened-before
+//! relation online: one logical clock per process, merged at observed
+//! synchronization points. The paper's Section 4 critique applies to this
+//! style of analysis — a vector-clock happened-before computed from one
+//! observed pairing is *unsafe* in the paper's sense (another feasible
+//! execution may pair the operations differently) — and `eo-approx` uses
+//! this module to implement that baseline so E7 can quantify the unsafety.
+
+use serde::{Deserialize, Serialize};
+
+/// Relationship between two vector timestamps.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ClockOrdering {
+    /// `a` happened before `b` (componentwise ≤, with at least one <).
+    Before,
+    /// `b` happened before `a`.
+    After,
+    /// Identical timestamps.
+    Equal,
+    /// Incomparable: neither happened before the other.
+    Concurrent,
+}
+
+/// A vector clock over a fixed number of processes.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct VectorClock {
+    entries: Vec<u64>,
+}
+
+impl VectorClock {
+    /// The zero clock for `n` processes.
+    pub fn new(n: usize) -> Self {
+        VectorClock { entries: vec![0; n] }
+    }
+
+    /// Number of process components.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True iff the clock has zero components.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The component for process `p`.
+    #[inline]
+    pub fn get(&self, p: usize) -> u64 {
+        self.entries[p]
+    }
+
+    /// Increments process `p`'s own component (a local step).
+    #[inline]
+    pub fn tick(&mut self, p: usize) {
+        self.entries[p] += 1;
+    }
+
+    /// Componentwise maximum: `self ← max(self, other)` (a receive/merge
+    /// step).
+    ///
+    /// # Panics
+    /// Panics if lengths differ.
+    pub fn merge(&mut self, other: &VectorClock) {
+        assert_eq!(self.entries.len(), other.entries.len(), "clock arity mismatch");
+        for (a, b) in self.entries.iter_mut().zip(&other.entries) {
+            *a = (*a).max(*b);
+        }
+    }
+
+    /// Compares two timestamps.
+    ///
+    /// # Panics
+    /// Panics if lengths differ.
+    pub fn compare(&self, other: &VectorClock) -> ClockOrdering {
+        assert_eq!(self.entries.len(), other.entries.len(), "clock arity mismatch");
+        let mut le = true;
+        let mut ge = true;
+        for (a, b) in self.entries.iter().zip(&other.entries) {
+            le &= a <= b;
+            ge &= a >= b;
+        }
+        match (le, ge) {
+            (true, true) => ClockOrdering::Equal,
+            (true, false) => ClockOrdering::Before,
+            (false, true) => ClockOrdering::After,
+            (false, false) => ClockOrdering::Concurrent,
+        }
+    }
+
+    /// True iff `self` happened strictly before `other`.
+    pub fn happened_before(&self, other: &VectorClock) -> bool {
+        self.compare(other) == ClockOrdering::Before
+    }
+
+    /// True iff the two timestamps are incomparable.
+    pub fn concurrent_with(&self, other: &VectorClock) -> bool {
+        self.compare(other) == ClockOrdering::Concurrent
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_clocks_are_equal() {
+        let a = VectorClock::new(3);
+        let b = VectorClock::new(3);
+        assert_eq!(a.compare(&b), ClockOrdering::Equal);
+    }
+
+    #[test]
+    fn tick_orders_same_process() {
+        let mut a = VectorClock::new(2);
+        a.tick(0);
+        let mut b = a.clone();
+        b.tick(0);
+        assert_eq!(a.compare(&b), ClockOrdering::Before);
+        assert_eq!(b.compare(&a), ClockOrdering::After);
+        assert!(a.happened_before(&b));
+    }
+
+    #[test]
+    fn independent_ticks_are_concurrent() {
+        let mut a = VectorClock::new(2);
+        let mut b = VectorClock::new(2);
+        a.tick(0);
+        b.tick(1);
+        assert_eq!(a.compare(&b), ClockOrdering::Concurrent);
+        assert!(a.concurrent_with(&b));
+    }
+
+    #[test]
+    fn merge_creates_ordering() {
+        let mut sender = VectorClock::new(2);
+        sender.tick(0); // send event on process 0
+        let mut receiver = VectorClock::new(2);
+        receiver.tick(1);
+        receiver.merge(&sender);
+        receiver.tick(1); // receive event on process 1
+        assert!(sender.happened_before(&receiver));
+    }
+
+    #[test]
+    fn merge_is_componentwise_max() {
+        let mut a = VectorClock::new(3);
+        a.tick(0);
+        a.tick(0);
+        a.tick(2);
+        let mut b = VectorClock::new(3);
+        b.tick(1);
+        b.tick(2);
+        b.tick(2);
+        a.merge(&b);
+        assert_eq!(a.get(0), 2);
+        assert_eq!(a.get(1), 1);
+        assert_eq!(a.get(2), 2);
+    }
+
+    #[test]
+    fn transitivity_of_happened_before() {
+        // a -> b (same process), b merged into c on another process.
+        let mut a = VectorClock::new(2);
+        a.tick(0);
+        let mut b = a.clone();
+        b.tick(0);
+        let mut c = VectorClock::new(2);
+        c.merge(&b);
+        c.tick(1);
+        assert!(a.happened_before(&b));
+        assert!(b.happened_before(&c));
+        assert!(a.happened_before(&c));
+    }
+}

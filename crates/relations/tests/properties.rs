@@ -1,0 +1,168 @@
+//! Property tests for the relation algebra: the algebraic laws every
+//! upstream computation silently relies on.
+
+use eo_relations::{closure, BitSet, Relation};
+use proptest::prelude::*;
+
+/// Strategy: a random relation over `n` indices with the given edge
+/// probability (encoded as a set of pairs).
+fn relation(n: usize) -> impl Strategy<Value = Relation> {
+    prop::collection::vec((0..n, 0..n), 0..=(n * n / 2)).prop_map(move |edges| {
+        Relation::from_edges(n, edges)
+    })
+}
+
+/// Strategy: a random DAG (edges only forward).
+fn dag(n: usize) -> impl Strategy<Value = Relation> {
+    prop::collection::vec((0..n, 0..n), 0..=(n * n / 2)).prop_map(move |edges| {
+        Relation::from_edges(
+            n,
+            edges
+                .into_iter()
+                .filter(|&(a, b)| a < b),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn closure_is_idempotent(r in relation(7)) {
+        let once = r.transitive_closure();
+        prop_assert_eq!(once.transitive_closure(), once);
+    }
+
+    #[test]
+    fn closure_is_monotone(r in relation(6), extra in (0usize..6, 0usize..6)) {
+        let small = r.transitive_closure();
+        let mut bigger = r.clone();
+        bigger.insert(extra.0, extra.1);
+        let big = bigger.transitive_closure();
+        for (a, b) in small.pairs() {
+            prop_assert!(big.contains(a, b), "closure must grow monotonically");
+        }
+    }
+
+    #[test]
+    fn closure_contains_input(r in relation(7)) {
+        let c = r.transitive_closure();
+        for (a, b) in r.pairs() {
+            prop_assert!(c.contains(a, b));
+        }
+    }
+
+    #[test]
+    fn warshall_equals_dfs_on_dags(r in dag(8)) {
+        let w = r.transitive_closure();
+        let d = closure::dfs_closure(&r).expect("forward edges form a DAG");
+        prop_assert_eq!(w, d);
+    }
+
+    #[test]
+    fn closure_is_transitive(r in relation(6)) {
+        let c = r.transitive_closure();
+        for (a, b) in c.pairs() {
+            for x in c.row(b).iter() {
+                prop_assert!(c.contains(a, x), "{}→{}→{} must close", a, b, x);
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_involution(r in relation(7)) {
+        prop_assert_eq!(r.transpose().transpose(), r);
+    }
+
+    #[test]
+    fn transpose_commutes_with_closure(r in relation(6)) {
+        prop_assert_eq!(
+            r.transpose().transitive_closure(),
+            r.transitive_closure().transpose()
+        );
+    }
+
+    #[test]
+    fn compose_is_associative(a in relation(5), b in relation(5), c in relation(5)) {
+        prop_assert_eq!(a.compose(&b).compose(&c), a.compose(&b.compose(&c)));
+    }
+
+    #[test]
+    fn union_is_commutative_and_idempotent(a in relation(6), b in relation(6)) {
+        let mut ab = a.clone();
+        ab.union_with(&b);
+        let mut ba = b.clone();
+        ba.union_with(&a);
+        prop_assert_eq!(&ab, &ba);
+        let mut twice = ab.clone();
+        twice.union_with(&b);
+        prop_assert_eq!(twice, ab);
+    }
+
+    #[test]
+    fn reduction_restores_closure(r in dag(7)) {
+        let c = r.transitive_closure();
+        let red = closure::transitive_reduction_dag(&c);
+        prop_assert_eq!(red.transitive_closure(), c.clone());
+        prop_assert!(red.pair_count() <= c.pair_count());
+    }
+
+    #[test]
+    fn topological_order_respects_edges(r in dag(8)) {
+        let order = closure::topological_order(&r).expect("DAG");
+        let mut pos = [0usize; 8];
+        for (i, &v) in order.iter().enumerate() {
+            pos[v] = i;
+        }
+        for (a, b) in r.pairs() {
+            prop_assert!(pos[a] < pos[b]);
+        }
+    }
+
+    #[test]
+    fn every_linear_extension_respects_the_order(r in dag(5)) {
+        let c = r.transitive_closure();
+        for ext in closure::linear_extensions(&c) {
+            let mut pos = [0usize; 5];
+            for (i, &v) in ext.iter().enumerate() {
+                pos[v] = i;
+            }
+            for (a, b) in c.pairs() {
+                prop_assert!(pos[a] < pos[b]);
+            }
+        }
+    }
+
+    #[test]
+    fn bitset_union_intersection_laws(xs in prop::collection::vec(0usize..64, 0..20),
+                                      ys in prop::collection::vec(0usize..64, 0..20)) {
+        let mut a = BitSet::new(64);
+        for x in &xs { a.insert(*x); }
+        let mut b = BitSet::new(64);
+        for y in &ys { b.insert(*y); }
+
+        let mut union = a.clone();
+        union.union_with(&b);
+        let mut inter = a.clone();
+        inter.intersect_with(&b);
+
+        // |A∪B| + |A∩B| = |A| + |B|
+        prop_assert_eq!(union.count() + inter.count(), a.count() + b.count());
+        prop_assert!(inter.is_subset(&a) && inter.is_subset(&b));
+        prop_assert!(a.is_subset(&union) && b.is_subset(&union));
+    }
+
+    #[test]
+    fn unordered_pairs_complement_ordered(r in dag(6)) {
+        let c = r.transitive_closure();
+        let unordered = c.unordered_pairs().len();
+        let ordered: usize = (0..6)
+            .flat_map(|a| (a + 1)..6)
+            .count();
+        let actually_ordered = (0..6)
+            .flat_map(|a| ((a + 1)..6).map(move |b| (a, b)))
+            .filter(|&(a, b)| c.contains(a, b) || c.contains(b, a))
+            .count();
+        prop_assert_eq!(unordered + actually_ordered, ordered);
+    }
+}

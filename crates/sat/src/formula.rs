@@ -1,0 +1,396 @@
+//! Literals, clauses, and 3CNF formulas.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A propositional variable, densely numbered from 0.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Var(pub u32);
+
+impl Var {
+    /// Dense index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for Var {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// A literal: a variable or its negation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Lit {
+    /// The variable.
+    pub var: Var,
+    /// `true` for the positive literal `x`, `false` for `¬x`.
+    pub positive: bool,
+}
+
+impl Lit {
+    /// The positive literal of `v`.
+    pub fn pos(v: Var) -> Lit {
+        Lit { var: v, positive: true }
+    }
+
+    /// The negative literal of `v`.
+    pub fn neg(v: Var) -> Lit {
+        Lit { var: v, positive: false }
+    }
+
+    /// The complementary literal.
+    pub fn negated(self) -> Lit {
+        Lit {
+            var: self.var,
+            positive: !self.positive,
+        }
+    }
+
+    /// Whether the literal is satisfied by assigning `value` to its
+    /// variable.
+    #[inline]
+    pub fn satisfied_by(self, value: bool) -> bool {
+        self.positive == value
+    }
+}
+
+impl std::fmt::Display for Lit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.positive {
+            write!(f, "{}", self.var)
+        } else {
+            write!(f, "¬{}", self.var)
+        }
+    }
+}
+
+/// A disjunction of literals. The paper's reductions consume exactly-3
+/// clauses; the solver handles any width.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Clause(pub Vec<Lit>);
+
+impl Clause {
+    /// True iff some literal is satisfied by the (total) assignment.
+    pub fn satisfied_by(&self, assignment: &[bool]) -> bool {
+        self.0
+            .iter()
+            .any(|l| l.satisfied_by(assignment[l.var.index()]))
+    }
+}
+
+impl std::fmt::Display for Clause {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "(")?;
+        for (i, l) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ∨ ")?;
+            }
+            write!(f, "{l}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// A CNF formula over variables `0..n_vars`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Formula {
+    /// Number of variables (all clauses reference only `0..n_vars`).
+    pub n_vars: usize,
+    /// The conjunction of clauses.
+    pub clauses: Vec<Clause>,
+}
+
+impl Formula {
+    /// Builds a formula, checking that every literal is in range and that
+    /// the clause list is nonempty of nonempty clauses.
+    ///
+    /// # Panics
+    /// Panics on out-of-range literals or empty clauses — formula
+    /// construction sites are all internal.
+    pub fn new(n_vars: usize, clauses: Vec<Clause>) -> Formula {
+        for c in &clauses {
+            assert!(!c.0.is_empty(), "empty clause (trivially unsat) not allowed here");
+            for l in &c.0 {
+                assert!(l.var.index() < n_vars, "literal {l} out of range");
+            }
+        }
+        Formula { n_vars, clauses }
+    }
+
+    /// True iff every clause is exactly three literals wide (the 3CNFSAT
+    /// form the reductions require).
+    pub fn is_3cnf(&self) -> bool {
+        self.clauses.iter().all(|c| c.0.len() == 3)
+    }
+
+    /// Evaluates the formula under a total assignment.
+    ///
+    /// # Panics
+    /// Panics if `assignment.len() != n_vars`.
+    pub fn satisfied_by(&self, assignment: &[bool]) -> bool {
+        assert_eq!(assignment.len(), self.n_vars, "assignment arity mismatch");
+        self.clauses.iter().all(|c| c.satisfied_by(assignment))
+    }
+
+    /// Number of occurrences of each variable (for diagnostics and the
+    /// reduction's per-literal `V` replication counts).
+    pub fn occurrences(&self, lit: Lit) -> usize {
+        self.clauses
+            .iter()
+            .map(|c| c.0.iter().filter(|&&l| l == lit).count())
+            .sum()
+    }
+
+    /// A uniformly random 3CNF formula with `n_vars` variables and
+    /// `n_clauses` clauses (three distinct variables per clause; random
+    /// polarities). Reproducible from the seed.
+    ///
+    /// # Panics
+    /// Panics if `n_vars < 3`.
+    pub fn random_3cnf(n_vars: usize, n_clauses: usize, seed: u64) -> Formula {
+        assert!(n_vars >= 3, "3CNF needs at least 3 variables");
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let clauses = (0..n_clauses)
+            .map(|_| {
+                let mut vars = Vec::with_capacity(3);
+                while vars.len() < 3 {
+                    let v = Var(rng.gen_range(0..n_vars as u32));
+                    if !vars.contains(&v) {
+                        vars.push(v);
+                    }
+                }
+                Clause(
+                    vars.into_iter()
+                        .map(|v| {
+                            if rng.gen_bool(0.5) {
+                                Lit::pos(v)
+                            } else {
+                                Lit::neg(v)
+                            }
+                        })
+                        .collect(),
+                )
+            })
+            .collect();
+        Formula::new(n_vars, clauses)
+    }
+
+    /// A trivially satisfiable 3CNF: each clause contains `x0` positively.
+    pub fn trivially_sat(n_vars: usize, n_clauses: usize) -> Formula {
+        assert!(n_vars >= 3);
+        let clauses = (0..n_clauses)
+            .map(|i| {
+                let b = Var(1 + (i as u32) % (n_vars as u32 - 2));
+                Clause(vec![Lit::pos(Var(0)), Lit::pos(b), Lit::neg(Var(b.0 + 1))])
+            })
+            .collect();
+        Formula::new(n_vars, clauses)
+    }
+
+    /// The smallest unsatisfiable 3CNF expressible with repeated literals:
+    /// `(x0 ∨ x0 ∨ x0) ∧ (¬x0 ∨ ¬x0 ∨ ¬x0)`. Three variables are declared
+    /// to honor the 3CNF convention; x1/x2 are unconstrained.
+    ///
+    /// The reduction test suites use this instead of [`unsat_eight`]
+    /// because the hard direction of the theorems (proving `a MHB b`)
+    /// requires the engine to *exhaust* the first-pass schedule space,
+    /// which grows exponentially with the clause count — the paper's
+    /// point, but not something a unit test should pay for.
+    ///
+    /// [`unsat_eight`]: Formula::unsat_eight
+    pub fn unsat_tiny() -> Formula {
+        let x0 = Lit::pos(Var(0));
+        let nx0 = Lit::neg(Var(0));
+        Formula::new(
+            3,
+            vec![Clause(vec![x0, x0, x0]), Clause(vec![nx0, nx0, nx0])],
+        )
+    }
+
+    /// A small canonical **unsatisfiable** 3CNF over 3 variables: all
+    /// eight polarity combinations of (x0, x1, x2) — every assignment
+    /// falsifies exactly one clause.
+    pub fn unsat_eight() -> Formula {
+        let mut clauses = Vec::with_capacity(8);
+        for mask in 0..8u8 {
+            let lit = |i: u32| {
+                if mask & (1 << i) != 0 {
+                    Lit::pos(Var(i))
+                } else {
+                    Lit::neg(Var(i))
+                }
+            };
+            clauses.push(Clause(vec![lit(0), lit(1), lit(2)]));
+        }
+        Formula::new(3, clauses)
+    }
+
+    /// Compact single-line text form, e.g. `"(x0 ∨ ¬x1 ∨ x2) ∧ (…)"`.
+    pub fn display(&self) -> String {
+        self.clauses
+            .iter()
+            .map(|c| c.to_string())
+            .collect::<Vec<_>>()
+            .join(" ∧ ")
+    }
+
+    /// DIMACS CNF text form (for interchange with external tools).
+    pub fn to_dimacs(&self) -> String {
+        let mut out = format!("p cnf {} {}\n", self.n_vars, self.clauses.len());
+        for c in &self.clauses {
+            for l in &c.0 {
+                let v = l.var.0 as i64 + 1;
+                out.push_str(&format!("{} ", if l.positive { v } else { -v }));
+            }
+            out.push_str("0\n");
+        }
+        out
+    }
+
+    /// Parses the DIMACS CNF text form produced by
+    /// [`to_dimacs`](Self::to_dimacs) (comments allowed).
+    pub fn from_dimacs(text: &str) -> Result<Formula, String> {
+        let mut n_vars = None;
+        let mut clauses = Vec::new();
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('c') {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("p cnf") {
+                let mut parts = rest.split_whitespace();
+                let nv: usize = parts
+                    .next()
+                    .ok_or("missing var count")?
+                    .parse()
+                    .map_err(|e| format!("bad var count: {e}"))?;
+                n_vars = Some(nv);
+                continue;
+            }
+            let mut lits = Vec::new();
+            for tok in line.split_whitespace() {
+                let x: i64 = tok.parse().map_err(|e| format!("bad literal {tok}: {e}"))?;
+                if x == 0 {
+                    break;
+                }
+                let var = Var((x.unsigned_abs() - 1) as u32);
+                lits.push(if x > 0 { Lit::pos(var) } else { Lit::neg(var) });
+            }
+            if !lits.is_empty() {
+                clauses.push(Clause(lits));
+            }
+        }
+        let n_vars = n_vars.ok_or("missing problem line")?;
+        for c in &clauses {
+            for l in &c.0 {
+                if l.var.index() >= n_vars {
+                    return Err(format!("literal {l} out of range"));
+                }
+            }
+        }
+        Ok(Formula { n_vars, clauses })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_semantics() {
+        let l = Lit::pos(Var(0));
+        assert!(l.satisfied_by(true));
+        assert!(!l.satisfied_by(false));
+        assert!(l.negated().satisfied_by(false));
+        assert_eq!(l.negated().negated(), l);
+    }
+
+    #[test]
+    fn clause_evaluation() {
+        let c = Clause(vec![Lit::pos(Var(0)), Lit::neg(Var(1))]);
+        assert!(c.satisfied_by(&[true, true]));
+        assert!(c.satisfied_by(&[false, false]));
+        assert!(!c.satisfied_by(&[false, true]));
+    }
+
+    #[test]
+    fn unsat_eight_is_unsat_by_evaluation() {
+        let f = Formula::unsat_eight();
+        assert!(f.is_3cnf());
+        for mask in 0..8u8 {
+            let assignment: Vec<bool> = (0..3).map(|i| mask & (1 << i) != 0).collect();
+            assert!(!f.satisfied_by(&assignment), "mask {mask}");
+        }
+    }
+
+    #[test]
+    fn trivially_sat_is_sat() {
+        let f = Formula::trivially_sat(4, 6);
+        assert!(f.is_3cnf());
+        let mut assignment = vec![false; 4];
+        assignment[0] = true;
+        assert!(f.satisfied_by(&assignment));
+    }
+
+    #[test]
+    fn random_3cnf_shape_and_reproducibility() {
+        let f = Formula::random_3cnf(5, 10, 42);
+        assert!(f.is_3cnf());
+        assert_eq!(f.clauses.len(), 10);
+        assert_eq!(f, Formula::random_3cnf(5, 10, 42));
+        assert_ne!(f, Formula::random_3cnf(5, 10, 43));
+        // Distinct variables within each clause.
+        for c in &f.clauses {
+            let mut vars: Vec<_> = c.0.iter().map(|l| l.var).collect();
+            vars.sort();
+            vars.dedup();
+            assert_eq!(vars.len(), 3);
+        }
+    }
+
+    #[test]
+    fn occurrences_counts_polarity_sensitively() {
+        let f = Formula::new(
+            3,
+            vec![
+                Clause(vec![Lit::pos(Var(0)), Lit::pos(Var(1)), Lit::pos(Var(2))]),
+                Clause(vec![Lit::pos(Var(0)), Lit::neg(Var(0)), Lit::pos(Var(1))]),
+            ],
+        );
+        assert_eq!(f.occurrences(Lit::pos(Var(0))), 2);
+        assert_eq!(f.occurrences(Lit::neg(Var(0))), 1);
+        assert_eq!(f.occurrences(Lit::neg(Var(2))), 0);
+    }
+
+    #[test]
+    fn dimacs_round_trip() {
+        let f = Formula::random_3cnf(6, 12, 3);
+        let text = f.to_dimacs();
+        let back = Formula::from_dimacs(&text).unwrap();
+        assert_eq!(f, back);
+    }
+
+    #[test]
+    fn dimacs_rejects_garbage() {
+        assert!(Formula::from_dimacs("nonsense").is_err());
+        assert!(Formula::from_dimacs("p cnf 1 1\n5 0\n").is_err(), "literal out of range");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn formula_new_checks_ranges() {
+        Formula::new(1, vec![Clause(vec![Lit::pos(Var(3))])]);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let f = Formula::new(
+            3,
+            vec![Clause(vec![Lit::pos(Var(0)), Lit::neg(Var(1)), Lit::pos(Var(2))])],
+        );
+        assert_eq!(f.display(), "(x0 ∨ ¬x1 ∨ x2)");
+    }
+}

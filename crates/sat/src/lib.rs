@@ -1,0 +1,36 @@
+//! 3CNF formulas and a DPLL satisfiability solver.
+//!
+//! The paper's Theorems 1–4 reduce **3CNFSAT** to event-ordering
+//! questions: a Boolean formula B is unsatisfiable iff `a MHB b` in the
+//! constructed program (and satisfiable iff `b CHB a`). To *verify* those
+//! reductions mechanically, the workspace needs an independent SAT
+//! decision procedure — this crate.
+//!
+//! * [`formula`] — literals, clauses, 3CNF formulas, assignment
+//!   evaluation, random and structured instance generators, and a compact
+//!   DIMACS-style text form;
+//! * [`solver`] — a DPLL solver (unit propagation, pure-literal
+//!   elimination, most-occurring-variable branching) plus a brute-force
+//!   oracle used to test the solver itself.
+//!
+//! Everything is deliberately self-contained: no third-party solver, so
+//! the reduction checks rest only on code proven by this repo's own tests.
+//!
+//! ```
+//! use eo_sat::{Formula, Solver};
+//!
+//! let f = Formula::random_3cnf(5, 10, 42);
+//! match Solver::new(f.clone()).solve() {
+//!     Some(model) => assert!(f.satisfied_by(&model)),
+//!     None => assert!(eo_sat::brute_force_satisfiable(&f).is_none()),
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod formula;
+pub mod solver;
+
+pub use formula::{Clause, Formula, Lit, Var};
+pub use solver::{brute_force_satisfiable, Solver};

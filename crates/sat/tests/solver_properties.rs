@@ -1,0 +1,101 @@
+//! Property tests for the DPLL solver: agreement with brute force, model
+//! validity, and invariance under formula transformations.
+
+use eo_sat::{brute_force_satisfiable, Clause, Formula, Lit, Solver, Var};
+use proptest::prelude::*;
+
+fn lit(n_vars: u32) -> impl Strategy<Value = Lit> {
+    (0..n_vars, prop::bool::ANY).prop_map(|(v, pos)| {
+        if pos {
+            Lit::pos(Var(v))
+        } else {
+            Lit::neg(Var(v))
+        }
+    })
+}
+
+fn formula(n_vars: u32, max_clauses: usize) -> impl Strategy<Value = Formula> {
+    prop::collection::vec(prop::collection::vec(lit(n_vars), 1..=3).prop_map(Clause), 1..=max_clauses)
+        .prop_map(move |clauses| Formula::new(n_vars as usize, clauses))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// DPLL agrees with exhaustive enumeration.
+    #[test]
+    fn dpll_matches_brute_force(f in formula(6, 14)) {
+        prop_assert_eq!(
+            Solver::satisfiable(&f),
+            brute_force_satisfiable(&f).is_some(),
+            "{}", f.display()
+        );
+    }
+
+    /// When DPLL says SAT, its model satisfies the formula.
+    #[test]
+    fn models_are_models(f in formula(7, 16)) {
+        if let Some(model) = Solver::new(f.clone()).solve() {
+            prop_assert!(f.satisfied_by(&model));
+            prop_assert_eq!(model.len(), f.n_vars);
+        }
+    }
+
+    /// Satisfiability is invariant under clause duplication.
+    #[test]
+    fn duplication_invariance(f in formula(5, 8)) {
+        let mut doubled = f.clone();
+        doubled.clauses.extend(f.clauses.clone());
+        prop_assert_eq!(Solver::satisfiable(&f), Solver::satisfiable(&doubled));
+    }
+
+    /// Satisfiability is invariant under clause reordering.
+    #[test]
+    fn permutation_invariance(f in formula(5, 8)) {
+        let mut reversed = f.clone();
+        reversed.clauses.reverse();
+        prop_assert_eq!(Solver::satisfiable(&f), Solver::satisfiable(&reversed));
+    }
+
+    /// Adding a tautological clause never changes satisfiability.
+    #[test]
+    fn tautology_invariance(f in formula(5, 8)) {
+        let mut with_taut = f.clone();
+        with_taut
+            .clauses
+            .push(Clause(vec![Lit::pos(Var(0)), Lit::neg(Var(0)), Lit::pos(Var(1))]));
+        prop_assert_eq!(Solver::satisfiable(&f), Solver::satisfiable(&with_taut));
+    }
+
+    /// Appending the global negation of a found model makes the solver
+    /// find a *different* model or report UNSAT — i.e. the solver is not
+    /// hard-wired to one assignment.
+    #[test]
+    fn blocking_clause_forces_progress(f in formula(4, 6)) {
+        if let Some(model) = Solver::new(f.clone()).solve() {
+            let blocking = Clause(
+                model
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &v)| {
+                        let var = Var(i as u32);
+                        if v { Lit::neg(var) } else { Lit::pos(var) }
+                    })
+                    .collect(),
+            );
+            let mut blocked = f.clone();
+            blocked.clauses.push(blocking);
+            if let Some(second) = Solver::new(blocked.clone()).solve() {
+                prop_assert_ne!(second.clone(), model);
+                prop_assert!(blocked.satisfied_by(&second));
+            }
+        }
+    }
+
+    /// DIMACS round trip preserves satisfiability (and the formula).
+    #[test]
+    fn dimacs_round_trip(f in formula(6, 10)) {
+        let back = Formula::from_dimacs(&f.to_dimacs()).unwrap();
+        prop_assert_eq!(&back, &f);
+    }
+}

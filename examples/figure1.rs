@@ -1,0 +1,85 @@
+//! The paper's Figure 1, end to end: the program fragment whose
+//! shared-data dependence forces an ordering every polynomial analysis of
+//! the day missed.
+//!
+//! ```text
+//! cargo run --example figure1
+//! ```
+
+use eo_approx::{TaskGraph, VectorClockHb};
+use eo_engine::{ExactEngine, FeasibilityMode};
+use eo_model::fixtures;
+use eo_relations::closure;
+
+fn main() {
+    let (trace, ids) = fixtures::figure1();
+    println!("Figure 1 program (observed execution where task 1 runs first):\n");
+    println!("  main: X := 0; fork {{t1, t2, t3}}");
+    println!("  t1:   Post(ev); X := 1");
+    println!("  t2:   if X = 1 then Post(ev)   <- then-branch observed");
+    println!("  t3:   Wait(ev)\n");
+
+    let exec = trace.to_execution().expect("fixture is valid");
+    println!(
+        "shared-data dependences (→D): {:?}\n",
+        exec.dependence_pairs()
+    );
+
+    // --- The EGP task graph (Figure 1b) ------------------------------
+    let tg = TaskGraph::build(&exec);
+    println!("EGP task graph:");
+    println!(
+        "  path post_left → post_right? {}",
+        tg.guaranteed_before(ids.post_left, ids.post_right)
+    );
+    println!(
+        "  path post_right → post_left? {}",
+        tg.guaranteed_before(ids.post_right, ids.post_left)
+    );
+    println!(
+        "  fork → Wait (the figure's solid line)? {}",
+        tg.guaranteed_before(ids.fork, ids.wait)
+    );
+
+    // --- Vector clocks ------------------------------------------------
+    let vc = VectorClockHb::compute(&exec);
+    println!(
+        "\nvector clocks: posts concurrent? {}",
+        vc.concurrent(ids.post_left, ids.post_right)
+    );
+
+    // --- The exact engine ----------------------------------------------
+    let exact = ExactEngine::new(&exec);
+    println!(
+        "\nexact engine (dependences preserved): post_left MHB post_right? {}",
+        exact.mhb(ids.post_left, ids.post_right)
+    );
+    let relaxed = ExactEngine::with_mode(&exec, FeasibilityMode::IgnoreDependences);
+    println!(
+        "exact engine (dependences ignored):   post_left MHB post_right? {}",
+        relaxed.mhb(ids.post_left, ids.post_right)
+    );
+
+    // Show one feasible execution's induced order, reduced for reading.
+    let feasible = exact.ctx();
+    let order = feasible.induced_order(&exec.trace().observed_order());
+    let reduced = closure::transitive_reduction_dag(&order);
+    println!("\ninduced order of the observed execution (transitive reduction):");
+    for (a, b) in reduced.pairs() {
+        let name = |i: usize| {
+            let e = exec.event(eo_model::EventId::new(i));
+            e.label.clone().unwrap_or_else(|| format!("{}:{}", e.id, e.op.mnemonic()))
+        };
+        println!("  {} -> {}", name(a), name(b));
+    }
+
+    println!(
+        "\nConclusion (paper, Section 4): the two Posts cannot execute in either \
+         order — the dependence X:=1 → if-X=1 forces post_left first — yet the \
+         task graph shows no path between them. Any method that ignores \
+         shared-data dependences must miss such orderings."
+    );
+
+    assert!(!tg.guaranteed_before(ids.post_left, ids.post_right));
+    assert!(exact.mhb(ids.post_left, ids.post_right));
+}

@@ -1,0 +1,87 @@
+//! # event-ordering
+//!
+//! An executable reproduction of:
+//!
+//! > Robert H. B. Netzer and Barton P. Miller,
+//! > *On the Complexity of Event Ordering for Shared-Memory Parallel
+//! > Program Executions*, Proc. 1990 International Conference on Parallel
+//! > Processing (UW–Madison TR 908).
+//!
+//! The paper models an execution of a shared-memory parallel program as a
+//! triple ⟨E, →T, →D⟩ — events, temporal ordering, and shared-data
+//! dependences — defines the set F(P) of *feasible* alternate executions,
+//! and proves that the six ordering relations of its Table 1 (must-have /
+//! could-have × happened-before / concurrent-with / ordered-with) are
+//! co-NP-hard / NP-hard to compute. This workspace turns every object in
+//! that story into running code:
+//!
+//! * [`model`] — the formal execution model (events, traces, ⟨E, →T, →D⟩);
+//! * [`lang`] — a small concurrent language (fork/join, counting
+//!   semaphores, Post/Wait/Clear) with a sequentially consistent
+//!   interpreter that *generates* executions;
+//! * [`relations`] — binary-relation algebra, graphs, vector clocks;
+//! * [`engine`] — the exact (exponential) computation of all six ordering
+//!   relations by enumerating feasible executions, plus targeted witness
+//!   queries;
+//! * [`approx`] — the polynomial baselines the paper critiques
+//!   (Emrath–Ghosh–Padua task graphs, Helmbold–McDowell–Wang safe
+//!   orderings, vector clocks);
+//! * [`sat`] — 3CNF formulas and a DPLL solver;
+//! * [`reductions`] — the Theorem 1–4 program constructions mapping 3CNFSAT
+//!   to ordering queries, and the single-semaphore reduction;
+//! * [`race`] — exact vs. approximate data-race detection (the paper's
+//!   closing implication).
+//!
+//! See `DESIGN.md` for the system inventory and the experiment index, and
+//! `EXPERIMENTS.md` for measured results.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use event_ordering::prelude::*;
+//!
+//! // Two processes synchronising through a semaphore:
+//! //   p0: V(s); compute          p1: P(s); compute
+//! let mut b = ProgramBuilder::new();
+//! let s = b.semaphore("s");
+//! let p0 = b.process("p0");
+//! b.sem_v(p0, s);
+//! b.compute(p0, "after-v");
+//! let p1 = b.process("p1");
+//! b.sem_p(p1, s);
+//! b.compute(p1, "after-p");
+//! let program = b.build();
+//!
+//! // Run it once to observe an execution, then ask the exact engine
+//! // which orderings *must* hold in every feasible re-execution.
+//! let trace = run_to_trace(&program, &mut Scheduler::deterministic()).unwrap();
+//! let exec = trace.to_execution().unwrap();
+//! let summary = ExactEngine::new(&exec).summary();
+//! let a_id = exec.event_labeled("after-v").unwrap();
+//! let c_id = exec.event_labeled("after-p").unwrap();
+//! // V(s) must precede P(s), so `a` need not precede `c` … but P waits on
+//! // V, hence "after-p" can never precede "after-v"'s own V. The summary
+//! // answers all six Table-1 relations:
+//! assert!(summary.chb(a_id, c_id) || summary.ccw(a_id, c_id));
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use eo_approx as approx;
+pub use eo_engine as engine;
+pub use eo_lang as lang;
+pub use eo_model as model;
+pub use eo_race as race;
+pub use eo_reductions as reductions;
+pub use eo_relations as relations;
+pub use eo_sat as sat;
+
+/// The most commonly used items, re-exported flat.
+pub mod prelude {
+    pub use eo_approx::{egp::TaskGraph, hmw::SafeOrderings, vc::VectorClockHb};
+    pub use eo_engine::{ExactEngine, OrderingSummary};
+    pub use eo_lang::{run_to_trace, Program, ProgramBuilder, Scheduler};
+    pub use eo_model::{Event, EventId, Op, ProgramExecution, Trace};
+    pub use eo_relations::{BitSet, Relation, VectorClock};
+    pub use eo_sat::{Formula, Solver};
+}

@@ -1,0 +1,169 @@
+//! Cross-crate integration: program → interpreter → model → engine →
+//! baselines, exercised end to end on curated scenarios.
+
+use event_ordering::prelude::*;
+use eo_engine::FeasibilityMode;
+use eo_lang::generator;
+use eo_model::fixtures;
+
+/// A two-stage pipeline with a handoff in the middle: the stages of each
+/// item are ordered; stages of different items overlap.
+#[test]
+fn pipeline_program_orderings() {
+    let mut b = ProgramBuilder::new();
+    let hand = b.semaphore("handoff");
+    let stage1 = b.process("stage1");
+    b.compute(stage1, "s1_item");
+    b.sem_v(stage1, hand);
+    b.compute(stage1, "s1_next");
+    let stage2 = b.process("stage2");
+    b.sem_p(stage2, hand);
+    b.compute(stage2, "s2_item");
+    let program = b.build();
+
+    let trace = run_to_trace(&program, &mut Scheduler::round_robin()).unwrap();
+    let exec = trace.to_execution().unwrap();
+    let summary = ExactEngine::new(&exec).summary();
+    summary.check_identities().unwrap();
+
+    let ev = |l: &str| exec.event_labeled(l).unwrap();
+    assert!(summary.mhb(ev("s1_item"), ev("s2_item")), "handoff orders the stages");
+    assert!(summary.ccw(ev("s1_next"), ev("s2_item")), "next item overlaps stage 2");
+}
+
+/// The full analysis stack agrees on the fixture gallery: every baseline
+/// claim is contained in the exact dependence-ignoring MHB, which is
+/// contained in the dependence-preserving MHB.
+#[test]
+fn baseline_exact_containment_chain() {
+    for trace in [
+        fixtures::independent_pair().0,
+        fixtures::sem_handshake().0,
+        fixtures::fork_join_diamond().0,
+        fixtures::figure1().0,
+        fixtures::crossing().0,
+    ] {
+        let exec = trace.to_execution().unwrap();
+        let strict = ExactEngine::new(&exec).summary().mhb_relation();
+        let relaxed = ExactEngine::with_mode(&exec, FeasibilityMode::IgnoreDependences)
+            .summary()
+            .mhb_relation();
+        let egp = eo_approx::TaskGraph::build(&exec);
+        let hmw = eo_approx::SafeOrderings::compute(&exec);
+
+        for (a, b) in relaxed.pairs() {
+            assert!(strict.contains(a, b), "ignore-D MHB ⊆ preserve-D MHB");
+        }
+        for (a, b) in egp.relation().pairs() {
+            assert!(relaxed.contains(a, b), "EGP ⊆ ignore-D MHB");
+        }
+        for (a, b) in hmw.relation().pairs() {
+            assert!(relaxed.contains(a, b), "HMW ⊆ ignore-D MHB");
+        }
+    }
+}
+
+/// Different schedulers produce different observed orders of the same
+/// events, and the engine's answers are schedule-independent (F(P) only
+/// depends on E and →D — and →D here is empty).
+#[test]
+fn engine_answers_are_observation_independent() {
+    let mut b = ProgramBuilder::new();
+    let s = b.semaphore("s");
+    let p0 = b.process("p0");
+    b.compute(p0, "x0");
+    b.sem_v(p0, s);
+    let p1 = b.process("p1");
+    b.sem_p(p1, s);
+    b.compute(p1, "x1");
+    let p2 = b.process("p2");
+    b.compute(p2, "x2");
+    let program = b.build();
+
+    let mut relations = Vec::new();
+    for mut sched in [
+        Scheduler::deterministic(),
+        Scheduler::round_robin(),
+        Scheduler::random(1),
+        Scheduler::random(9),
+    ] {
+        let trace = run_to_trace(&program, &mut sched).unwrap();
+        let exec = trace.to_execution().unwrap();
+        // Relabel-independent comparison: query by label.
+        let ev = |l: &str| exec.event_labeled(l).unwrap();
+        let summary = ExactEngine::new(&exec).summary();
+        relations.push((
+            summary.mhb(ev("x0"), ev("x1")),
+            summary.ccw(ev("x0"), ev("x2")),
+            summary.ccw(ev("x1"), ev("x2")),
+            summary.class_count(),
+        ));
+    }
+    for w in relations.windows(2) {
+        assert_eq!(w[0], w[1], "same program, same answers, any observation");
+    }
+}
+
+/// Generated workloads survive the full stack: validate, serialize,
+/// deserialize, analyze.
+#[test]
+fn generated_workloads_run_the_full_stack() {
+    for seed in 0..4 {
+        let spec = generator::WorkloadSpec::small_semaphore(seed);
+        let trace = generator::generate_trace(&spec, 50);
+        let json = trace.to_json();
+        let back = Trace::from_json(&json).unwrap();
+        assert_eq!(trace, back);
+
+        let exec = back.to_execution().unwrap();
+        let summary = ExactEngine::new(&exec).summary();
+        summary.check_identities().unwrap();
+        let _ = eo_race::compare(&exec);
+    }
+}
+
+/// The facade prelude exposes a working surface (mirrors the crate-level
+/// doctest).
+#[test]
+fn prelude_surface() {
+    let mut b = ProgramBuilder::new();
+    let s = b.semaphore("s");
+    let p0 = b.process("p0");
+    b.sem_v(p0, s);
+    b.compute(p0, "after-v");
+    let p1 = b.process("p1");
+    b.sem_p(p1, s);
+    b.compute(p1, "after-p");
+    let program = b.build();
+
+    let trace = run_to_trace(&program, &mut Scheduler::deterministic()).unwrap();
+    let exec = trace.to_execution().unwrap();
+    let summary = ExactEngine::new(&exec).summary();
+    let a_id = exec.event_labeled("after-v").unwrap();
+    let c_id = exec.event_labeled("after-p").unwrap();
+    assert!(summary.chb(a_id, c_id) || summary.ccw(a_id, c_id));
+}
+
+/// Fork/join trees of increasing depth stay green through the engine.
+#[test]
+fn fork_join_trees_scale_through_the_engine() {
+    for depth in 1..=2u32 {
+        let program = generator::fork_join_tree(depth, 2);
+        let trace = generator::run_deterministic(&program);
+        let exec = trace.to_execution().unwrap();
+        let summary = ExactEngine::new(&exec).summary();
+        summary.check_identities().unwrap();
+        // Leaves at the same depth are pairwise must-concurrent.
+        let leaves: Vec<_> = exec
+            .events()
+            .iter()
+            .filter(|e| e.label.as_deref().is_some_and(|l| l.starts_with("work_")))
+            .map(|e| e.id)
+            .collect();
+        for (i, &x) in leaves.iter().enumerate() {
+            for &y in &leaves[i + 1..] {
+                assert!(summary.mcw(x, y), "leaves {x} and {y} are concurrent");
+            }
+        }
+    }
+}

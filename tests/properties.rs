@@ -1,0 +1,203 @@
+//! Property-based tests over randomly generated workloads: the engine's
+//! internal identities, equivalence of its independent algorithms, and
+//! soundness of every polynomial baseline.
+
+use eo_engine::{
+    enumerate::{enumerate_classes, enumerate_naive},
+    explore_statespace,
+    parallel::explore_statespace_parallel,
+    queries, ExactEngine, FeasibilityMode, SearchCtx,
+};
+use eo_lang::generator::{generate_trace, SyncStyle, WorkloadSpec};
+use eo_model::{EventId, ProgramExecution};
+use proptest::prelude::*;
+
+/// Strategy: a small workload spec (kept tiny — every property runs the
+/// exponential engine).
+fn small_spec() -> impl Strategy<Value = WorkloadSpec> {
+    (
+        2usize..=3,          // processes
+        2usize..=4,          // events per process
+        1usize..=2,          // sync objects
+        0u64..1000,          // seed
+        prop::bool::ANY,     // style
+        0.0f64..=0.8,        // sync density
+    )
+        .prop_map(|(procs, epp, syncs, seed, sem_style, density)| {
+            let mut spec = if sem_style {
+                WorkloadSpec::small_semaphore(seed)
+            } else {
+                let mut s = WorkloadSpec::small_events(seed);
+                s.clears = false; // keep F(P) exploration well-behaved in size
+                s
+            };
+            spec.processes = procs;
+            spec.events_per_process = epp;
+            match spec.style {
+                SyncStyle::Semaphores => spec.semaphores = syncs,
+                SyncStyle::Events => spec.event_vars = syncs,
+            }
+            spec.sync_density = density;
+            spec
+        })
+}
+
+fn exec_of(spec: &WorkloadSpec) -> ProgramExecution {
+    generate_trace(spec, 100).to_execution().expect("generated traces are valid")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The summary's internal identity set holds on arbitrary workloads.
+    #[test]
+    fn summary_identities(spec in small_spec()) {
+        let exec = exec_of(&spec);
+        let summary = ExactEngine::new(&exec).summary();
+        prop_assert_eq!(summary.check_identities(), Ok(()));
+    }
+
+    /// Two independent engines — the cut-lattice statespace pass and the
+    /// early-exit witness queries — agree on CHB and overlap for every
+    /// pair.
+    #[test]
+    fn statespace_agrees_with_witness_queries(spec in small_spec()) {
+        let exec = exec_of(&spec);
+        let ctx = SearchCtx::new(&exec, FeasibilityMode::PreserveDependences);
+        let space = explore_statespace(&ctx, 1 << 22).unwrap();
+        let n = exec.n_events();
+        for a in 0..n {
+            for b in (a + 1)..n {
+                let (ea, eb) = (EventId::new(a), EventId::new(b));
+                prop_assert_eq!(
+                    space.chb.contains(a, b),
+                    queries::could_happen_before(&ctx, ea, eb),
+                    "chb({},{})", a, b
+                );
+                prop_assert_eq!(
+                    space.overlap.contains(a, b),
+                    queries::could_be_concurrent(&ctx, ea, eb),
+                    "overlap({},{})", a, b
+                );
+            }
+        }
+    }
+
+    /// Sleep-set pruning never changes F(P), only the work done.
+    #[test]
+    fn pruned_enumeration_equals_naive(spec in small_spec()) {
+        let exec = exec_of(&spec);
+        let ctx = SearchCtx::new(&exec, FeasibilityMode::PreserveDependences);
+        let pruned = enumerate_classes(&ctx, 1 << 20);
+        let naive = enumerate_naive(&ctx, 1 << 20);
+        prop_assume!(!pruned.truncated && !naive.truncated);
+        let mut a = pruned.orders.clone();
+        let mut b = naive.orders.clone();
+        a.sort_by_key(|r| r.pairs().collect::<Vec<_>>());
+        b.sort_by_key(|r| r.pairs().collect::<Vec<_>>());
+        prop_assert_eq!(a, b);
+        prop_assert!(pruned.schedules_explored <= naive.schedules_explored);
+    }
+
+    /// The parallel explorer is bit-identical to the sequential one.
+    #[test]
+    fn parallel_statespace_matches_sequential(spec in small_spec()) {
+        let exec = exec_of(&spec);
+        let ctx = SearchCtx::new(&exec, FeasibilityMode::PreserveDependences);
+        let seq = explore_statespace(&ctx, 1 << 22).unwrap();
+        let par = explore_statespace_parallel(&ctx, 1 << 22, 3).unwrap();
+        prop_assert_eq!(seq.chb, par.chb);
+        prop_assert_eq!(seq.overlap, par.overlap);
+        prop_assert_eq!(seq.states, par.states);
+    }
+
+    /// The SAT-encoding backend (third independent engine) agrees with
+    /// the witness search on CHB for every pair.
+    #[test]
+    fn sat_backend_agrees_with_witness_search(spec in small_spec()) {
+        let exec = exec_of(&spec);
+        prop_assume!(exec.n_events() <= 12); // the encoding is cubic
+        let ctx = SearchCtx::new(&exec, FeasibilityMode::PreserveDependences);
+        for a in 0..exec.n_events() {
+            for b in 0..exec.n_events() {
+                if a == b {
+                    continue;
+                }
+                let (ea, eb) = (EventId::new(a), EventId::new(b));
+                prop_assert_eq!(
+                    eo_engine::sat_backend::chb_via_sat(&ctx, ea, eb).is_some(),
+                    queries::could_happen_before(&ctx, ea, eb),
+                    "sat-vs-search chb({},{})", a, b
+                );
+            }
+        }
+    }
+
+    /// Every baseline's claims are contained in exact MHB under the
+    /// baseline's own (dependence-ignoring) feasibility.
+    #[test]
+    fn baselines_are_sound(spec in small_spec()) {
+        let exec = exec_of(&spec);
+        let relaxed = ExactEngine::with_mode(&exec, FeasibilityMode::IgnoreDependences);
+        let exact = relaxed.summary().mhb_relation();
+        for (a, b) in eo_approx::TaskGraph::build(&exec).relation().pairs() {
+            prop_assert!(exact.contains(a, b), "EGP claimed e{}->e{}", a, b);
+        }
+        for (a, b) in eo_approx::SafeOrderings::compute(&exec).relation().pairs() {
+            prop_assert!(exact.contains(a, b), "HMW claimed e{}->e{}", a, b);
+        }
+    }
+
+    /// Witness schedules replay as valid executions and order the pair as
+    /// requested.
+    #[test]
+    fn witnesses_replay(spec in small_spec()) {
+        let exec = exec_of(&spec);
+        let ctx = SearchCtx::new(&exec, FeasibilityMode::PreserveDependences);
+        let n = exec.n_events();
+        prop_assume!(n >= 2);
+        let (a, b) = (EventId::new(0), EventId::new(n - 1));
+        if let Some(w) = queries::witness_before(&ctx, b, a) {
+            prop_assert!(ctx.machine().replay(&w).is_ok());
+            let pos = |e: EventId| w.iter().position(|&x| x == e).unwrap();
+            prop_assert!(pos(b) < pos(a));
+        }
+    }
+
+    /// MHB is transitively closed and antisymmetric (it is the
+    /// intersection of partial orders).
+    #[test]
+    fn mhb_is_a_partial_order(spec in small_spec()) {
+        let exec = exec_of(&spec);
+        let mhb = ExactEngine::new(&exec).summary().mhb_relation();
+        prop_assert!(mhb.is_strict_partial_order());
+    }
+
+    /// The observed execution's →T is always a member of the feasible
+    /// set.
+    #[test]
+    fn observed_order_is_feasible(spec in small_spec()) {
+        let exec = exec_of(&spec);
+        let ctx = SearchCtx::new(&exec, FeasibilityMode::PreserveDependences);
+        let classes = enumerate_classes(&ctx, 1 << 20);
+        prop_assume!(!classes.truncated);
+        prop_assert!(
+            classes.orders.contains(exec.t()),
+            "the observed induced order must appear in F(P)"
+        );
+    }
+
+    /// Exact races (ignore-D concurrency on conflicting pairs) are always
+    /// a subset of the conflict candidates, and the comparison's counts
+    /// are conserved.
+    #[test]
+    fn race_counts_conserved(spec in small_spec()) {
+        let exec = exec_of(&spec);
+        let cmp = eo_race::compare(&exec);
+        let exact = eo_race::exact_races(&exec).len();
+        let vc = eo_race::vc_races(&exec).len();
+        prop_assert_eq!(cmp.agreed.len() + cmp.missed_by_vc.len(), exact);
+        prop_assert_eq!(cmp.agreed.len() + cmp.spurious_in_vc.len(), vc);
+        prop_assert!(exact <= cmp.candidates);
+    }
+}

@@ -1,0 +1,144 @@
+//! Property-based end-to-end verification of all four theorems and the
+//! single-semaphore corollary: the ordering engine must agree with the
+//! combinatorial oracles on every generated instance.
+
+use eo_reductions::{event_style, semaphore, single_semaphore, SequencingInstance};
+use eo_sat::{Clause, Formula, Lit, Var};
+use proptest::prelude::*;
+
+/// Strategy: small 3CNF formulas (3 variables, 1–3 clauses, arbitrary
+/// literals — repeats allowed, which is how tiny unsatisfiable formulas
+/// arise).
+fn small_formula() -> impl Strategy<Value = Formula> {
+    let lit = (0u32..3, prop::bool::ANY).prop_map(|(v, pos)| {
+        if pos {
+            Lit::pos(Var(v))
+        } else {
+            Lit::neg(Var(v))
+        }
+    });
+    let clause = prop::collection::vec(lit, 3).prop_map(Clause);
+    prop::collection::vec(clause, 1..=3).prop_map(|clauses| Formula::new(3, clauses))
+}
+
+/// Strategy: small sequencing instances (3–4 jobs, small costs, sparse
+/// precedence, small budget).
+fn small_instance() -> impl Strategy<Value = SequencingInstance> {
+    (
+        prop::collection::vec(-2i32..=2, 3..=4),
+        prop::collection::vec(prop::bool::ANY, 6),
+        0u32..=2,
+    )
+        .prop_map(|(costs, edge_bits, budget)| {
+            let n = costs.len();
+            let mut precedence = Vec::new();
+            let mut k = 0;
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    if k < edge_bits.len() && edge_bits[k] {
+                        precedence.push((i, j));
+                    }
+                    k += 1;
+                }
+            }
+            SequencingInstance::new(costs, precedence, budget)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Theorems 1–2 hold for every generated formula.
+    #[test]
+    fn semaphore_reduction_matches_dpll(f in small_formula()) {
+        let check = semaphore::verify(&f);
+        prop_assert!(check.consistent(), "{:?} on {}", check, f.display());
+    }
+
+    /// Theorems 3–4 hold for every generated formula.
+    #[test]
+    fn event_reduction_matches_dpll(f in small_formula()) {
+        let check = event_style::verify(&f);
+        prop_assert!(check.consistent(), "{:?} on {}", check, f.display());
+    }
+
+    /// Both reductions agree with each other (they encode the same
+    /// formula).
+    #[test]
+    fn reductions_agree_pairwise(f in small_formula()) {
+        let sem = semaphore::verify(&f);
+        let ev = event_style::verify(&f);
+        prop_assert_eq!(sem.mhb_ab, ev.mhb_ab);
+        prop_assert_eq!(sem.chb_ba, ev.chb_ba);
+    }
+
+    /// The single-semaphore reduction matches the subset-DP oracle.
+    #[test]
+    fn single_semaphore_matches_dp(inst in small_instance()) {
+        let check = single_semaphore::verify(&inst);
+        prop_assert!(check.consistent(), "{:?} on {:?}", check, inst);
+    }
+
+    /// Witness schedules from satisfiable formulas decode to satisfying
+    /// assignments (the NP-certificate round trip), for both encodings.
+    #[test]
+    fn witness_assignments_satisfy(f in small_formula()) {
+        let sem = semaphore::SemaphoreReduction::build(&f);
+        if let Some(w) = sem.witness_b_before_a() {
+            prop_assert!(f.satisfied_by(&sem.extract_assignment(&w)));
+        }
+        let ev = event_style::EventReduction::build(&f);
+        if let Some(w) = ev.witness_b_before_a() {
+            prop_assert!(f.satisfied_by(&ev.extract_assignment(&w)));
+        }
+    }
+}
+
+/// The DP oracle itself, cross-checked against explicit enumeration of
+/// all job permutations on small instances.
+#[test]
+fn dp_matches_permutation_enumeration() {
+    fn brute(inst: &SequencingInstance) -> bool {
+        let n = inst.n_jobs();
+        let mut perm: Vec<usize> = (0..n).collect();
+        permute(&mut perm, 0, inst)
+    }
+    fn permute(perm: &mut Vec<usize>, k: usize, inst: &SequencingInstance) -> bool {
+        if k == perm.len() {
+            // Check precedence and prefix sums.
+            let pos: Vec<usize> = {
+                let mut p = vec![0; perm.len()];
+                for (i, &v) in perm.iter().enumerate() {
+                    p[v] = i;
+                }
+                p
+            };
+            if inst.precedence.iter().any(|&(i, j)| pos[i] > pos[j]) {
+                return false;
+            }
+            let mut sum = 0i64;
+            for &j in perm.iter() {
+                let peak = sum + inst.costs[j].max(0) as i64;
+                if peak > inst.budget as i64 {
+                    return false;
+                }
+                sum += inst.costs[j] as i64;
+            }
+            return true;
+        }
+        for i in k..perm.len() {
+            perm.swap(k, i);
+            if permute(perm, k + 1, inst) {
+                perm.swap(k, i);
+                return true;
+            }
+            perm.swap(k, i);
+        }
+        false
+    }
+
+    for seed in 0..40 {
+        let inst = SequencingInstance::random(4, 2, 0.4, 1, seed);
+        assert_eq!(inst.feasible(), brute(&inst), "seed {seed}: {inst:?}");
+    }
+}
