@@ -38,28 +38,23 @@
 //! engine on each observable trace (static claims must be contained in
 //! every trace's dependence-ignoring MHB — all-executions guarantees are
 //! in particular same-events guarantees).
+//!
+//! Statements are numbered by `eo-lang`'s shared [`StmtMap`] flattening,
+//! so [`StmtId`]s produced here interoperate directly with the anchored
+//! interpreter runs (`eo_lang::run_to_trace_anchored`) and the `eo-lint`
+//! diagnostics built on the same numbering.
 
-use eo_lang::{ProcRef, Program, Stmt, StmtKind};
+use eo_lang::stmt::StmtMap;
+use eo_lang::{Program, StmtKind};
 use eo_relations::{BitSet, Relation};
 
-/// A static statement instance (one AST node), densely numbered across
-/// the whole program.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub struct StmtId(pub u32);
-
-impl StmtId {
-    /// Dense index.
-    #[inline]
-    pub fn index(self) -> usize {
-        self.0 as usize
-    }
-}
+pub use eo_lang::stmt::StmtId;
 
 /// One flattened statement: where it lives and what it is.
 #[derive(Clone, Debug)]
 pub struct StaticStmt {
     /// The owning process definition.
-    pub process: ProcRef,
+    pub process: eo_lang::ProcRef,
     /// Mnemonic of the statement kind (diagnostics).
     pub kind: &'static str,
     /// The statement's label, if any.
@@ -72,79 +67,13 @@ pub struct StaticOrderings {
     /// `guaranteed.contains(a, b)` ⇔ statement `a` completes before `b`
     /// begins in every execution in which `b` executes.
     guaranteed: Relation,
+    /// `entry.contains(a, b)` ⇔ statement `a` completes before control
+    /// *reaches* `b` — the inflow of the fixpoint, without `b`'s own
+    /// Wait/Join contributions. Unlike [`StaticOrderings::guaranteed_before`],
+    /// this holds even in executions where `b` blocks forever at its
+    /// statement, which is what deadlock reasoning needs.
+    entry: Relation,
     rounds: usize,
-}
-
-struct Flattener<'p> {
-    stmts: Vec<StaticStmt>,
-    /// Per statement: the block-structure node (for the walker).
-    nodes: Vec<Node<'p>>,
-    /// Per process def: ids of its top-level block, in order.
-    bodies: Vec<Vec<usize>>,
-}
-
-struct Node<'p> {
-    stmt: &'p Stmt,
-    then_ids: Vec<usize>,
-    else_ids: Vec<usize>,
-}
-
-impl<'p> Flattener<'p> {
-    fn run(program: &'p Program) -> Flattener<'p> {
-        let mut f = Flattener {
-            stmts: Vec::new(),
-            nodes: Vec::new(),
-            bodies: Vec::new(),
-        };
-        for (pi, def) in program.processes.iter().enumerate() {
-            let ids = f.block(ProcRef(pi as u32), &def.body);
-            f.bodies.push(ids);
-        }
-        f
-    }
-
-    fn block(&mut self, p: ProcRef, stmts: &'p [Stmt]) -> Vec<usize> {
-        stmts.iter().map(|s| self.stmt(p, s)).collect()
-    }
-
-    fn stmt(&mut self, p: ProcRef, stmt: &'p Stmt) -> usize {
-        let id = self.stmts.len();
-        let kind = match &stmt.kind {
-            StmtKind::Skip => "skip",
-            StmtKind::Compute { .. } => "compute",
-            StmtKind::Assign { .. } => "assign",
-            StmtKind::SemP(_) => "P",
-            StmtKind::SemV(_) => "V",
-            StmtKind::Post(_) => "Post",
-            StmtKind::Wait(_) => "Wait",
-            StmtKind::Clear(_) => "Clear",
-            StmtKind::Fork(_) => "fork",
-            StmtKind::Join(_) => "join",
-            StmtKind::If { .. } => "if",
-        };
-        self.stmts.push(StaticStmt {
-            process: p,
-            kind,
-            label: stmt.label.clone(),
-        });
-        self.nodes.push(Node {
-            stmt,
-            then_ids: Vec::new(),
-            else_ids: Vec::new(),
-        });
-        if let StmtKind::If {
-            then_branch,
-            else_branch,
-            ..
-        } = &stmt.kind
-        {
-            let then_ids = self.block(p, then_branch);
-            let else_ids = self.block(p, else_branch);
-            self.nodes[id].then_ids = then_ids;
-            self.nodes[id].else_ids = else_ids;
-        }
-        id
-    }
 }
 
 impl StaticOrderings {
@@ -153,18 +82,19 @@ impl StaticOrderings {
     /// # Panics
     /// Panics if the program fails static validation.
     pub fn analyze(program: &Program) -> StaticOrderings {
-        program.validate().expect("analyze requires a valid program");
-        let flat = Flattener::run(program);
-        let n = flat.stmts.len();
+        program
+            .validate()
+            .expect("analyze requires a valid program");
+        let map = StmtMap::build(program);
+        let n = map.len();
 
         // Posts per event variable, and whether the variable has Clears.
         let n_ev = program.event_vars.len();
-        let mut posts: Vec<Vec<usize>> = vec![Vec::new(); n_ev];
+        let mut posts: Vec<Vec<StmtId>> = vec![Vec::new(); n_ev];
         let mut has_clear = vec![false; n_ev];
-        let initially_set: Vec<bool> =
-            program.event_vars.iter().map(|v| v.initially_set).collect();
-        for (id, node) in flat.nodes.iter().enumerate() {
-            match node.stmt.kind {
+        let initially_set: Vec<bool> = program.event_vars.iter().map(|v| v.initially_set).collect();
+        for id in map.ids() {
+            match map.kind(id) {
                 StmtKind::Post(v) => posts[v.index()].push(id),
                 StmtKind::Clear(v) => has_clear[v.index()] = true,
                 _ => {}
@@ -172,9 +102,9 @@ impl StaticOrderings {
         }
 
         // Fork site per definition (validation guarantees at most one).
-        let mut fork_site: Vec<Option<usize>> = vec![None; program.processes.len()];
-        for (id, node) in flat.nodes.iter().enumerate() {
-            if let StmtKind::Fork(targets) = &node.stmt.kind {
+        let mut fork_site: Vec<Option<StmtId>> = vec![None; program.processes.len()];
+        for id in map.ids() {
+            if let StmtKind::Fork(targets) = map.kind(id) {
                 for t in targets {
                     fork_site[t.index()] = Some(id);
                 }
@@ -182,6 +112,7 @@ impl StaticOrderings {
         }
 
         let mut prec: Vec<BitSet> = (0..n).map(|_| BitSet::new(n)).collect();
+        let mut entries: Vec<BitSet> = (0..n).map(|_| BitSet::new(n)).collect();
         let mut rounds = 0;
         loop {
             rounds += 1;
@@ -192,20 +123,20 @@ impl StaticOrderings {
                 let mut flow_in = BitSet::new(n);
                 if !def.root {
                     if let Some(fork) = fork_site[pi] {
-                        flow_in.union_with(&prec[fork]);
-                        flow_in.insert(fork);
+                        flow_in.union_with(&prec[fork.index()]);
+                        flow_in.insert(fork.index());
                     }
                 }
-                let body = flat.bodies[pi].clone();
+                let body = map.body(eo_lang::ProcRef(pi as u32));
                 changed |= walk_block(
-                    &flat,
-                    &body,
+                    &map,
+                    body,
                     flow_in,
                     &mut prec,
+                    &mut entries,
                     &posts,
                     &has_clear,
                     &initially_set,
-                    &flat.bodies,
                 )
                 .1;
             }
@@ -222,15 +153,31 @@ impl StaticOrderings {
         // vacuously true — the per-execution reading is "in every execution
         // in which b executes", and there are none.
         let mut guaranteed = Relation::new(n);
-        for b in 0..n {
-            for a in prec[b].iter() {
+        for (b, preds) in prec.iter().enumerate() {
+            for a in preds.iter() {
                 guaranteed.insert(a, b);
             }
         }
+        let mut entry = Relation::new(n);
+        for (b, preds) in entries.iter().enumerate() {
+            for a in preds.iter() {
+                entry.insert(a, b);
+            }
+        }
+
+        let stmts = map
+            .ids()
+            .map(|id| StaticStmt {
+                process: map.process(id),
+                kind: map.kind_name(id),
+                label: map.node(id).label.clone(),
+            })
+            .collect();
 
         StaticOrderings {
-            stmts: flat.stmts,
+            stmts,
             guaranteed,
+            entry,
             rounds,
         }
     }
@@ -249,6 +196,32 @@ impl StaticOrderings {
     /// in which `b` executes?
     pub fn guaranteed_before(&self, a: StmtId, b: StmtId) -> bool {
         self.guaranteed.contains(a.index(), b.index())
+    }
+
+    /// Is `a` guaranteed to complete before control *reaches* `b`, in
+    /// every execution in which `b` is reached?
+    ///
+    /// Strictly weaker evidence than [`StaticOrderings::guaranteed_before`]
+    /// but it holds even when `b` is a blocking statement that never
+    /// fires: `guaranteed_before(a, b)` is conditioned on `b` *executing*
+    /// (a `Wait`'s prec set includes the very posts it waits for), while
+    /// this is conditioned only on control arriving at `b`. Deadlock
+    /// reasoning must use this form — "the supplier already ran when the
+    /// process got stuck here" — or it would assume away the stuck state.
+    pub fn completes_before_reaching(&self, a: StmtId, b: StmtId) -> bool {
+        self.entry.contains(a.index(), b.index())
+    }
+
+    /// Are `a` and `b` guaranteed-ordered in *some* direction?
+    ///
+    /// This is the race-pruning query: if two conflicting events anchor
+    /// to statements ordered either way, they cannot execute concurrently
+    /// in any execution in which both run, so the pair can be discarded
+    /// without consulting an exact engine. (Statements on a prec-cycle
+    /// are vacuously ordered — they never execute — but events observed
+    /// in an actual trace did execute, so their anchors are cycle-free.)
+    pub fn ordered_either_way(&self, a: StmtId, b: StmtId) -> bool {
+        self.guaranteed_before(a, b) || self.guaranteed_before(b, a)
     }
 
     /// The full guaranteed-ordering relation over statement ids.
@@ -275,22 +248,26 @@ impl StaticOrderings {
 /// after the block runs, for callers sequencing behind it.
 #[allow(clippy::too_many_arguments)]
 fn walk_block(
-    flat: &Flattener<'_>,
-    ids: &[usize],
+    map: &StmtMap<'_>,
+    ids: &[StmtId],
     mut flow: BitSet,
     prec: &mut [BitSet],
-    posts: &[Vec<usize>],
+    entries: &mut [BitSet],
+    posts: &[Vec<StmtId>],
     has_clear: &[bool],
     initially_set: &[bool],
-    bodies: &[Vec<usize>],
 ) -> (BitSet, bool) {
     let mut changed = false;
     for &id in ids {
-        // This statement inherits the inflow…
-        changed |= prec[id].union_with(&flow);
+        // This statement inherits the inflow — recorded twice: the raw
+        // inflow is the *entry* set (complete before control arrives),
+        // then prec additionally absorbs statement-specific sources
+        // (complete before the statement finishes).
+        entries[id.index()].union_with(&flow);
+        changed |= prec[id.index()].union_with(&flow);
 
         // …plus statement-specific sources.
-        match &flat.nodes[id].stmt.kind {
+        match map.kind(id) {
             StmtKind::Wait(v) => {
                 let vi = v.index();
                 // The post-meet rule is sound only when a Post is the ONLY
@@ -301,8 +278,8 @@ fn walk_block(
                     // Whichever post fired: intersection over candidates.
                     let mut meet: Option<BitSet> = None;
                     for &p in &posts[vi] {
-                        let mut contrib = prec[p].clone();
-                        contrib.insert(p);
+                        let mut contrib = prec[p.index()].clone();
+                        contrib.insert(p.index());
                         match &mut meet {
                             None => meet = Some(contrib),
                             Some(m) => {
@@ -311,7 +288,7 @@ fn walk_block(
                         }
                     }
                     if let Some(m) = meet {
-                        changed |= prec[id].union_with(&m);
+                        changed |= prec[id.index()].union_with(&m);
                     }
                 }
             }
@@ -319,33 +296,45 @@ fn walk_block(
                 for t in targets {
                     // Everything on all paths through the target, plus its
                     // entry inflow, precedes the join.
-                    let body = &bodies[t.index()];
-                    let all_paths = guaranteed_through(flat, body);
-                    changed |= prec[id].union_with(&all_paths);
+                    let body = map.body(*t);
+                    let all_paths = guaranteed_through(map, body);
+                    changed |= prec[id.index()].union_with(&all_paths);
                     if let Some(&first) = body.first() {
-                        let entry = prec[first].clone();
-                        changed |= prec[id].union_with(&entry);
+                        let entry = prec[first.index()].clone();
+                        changed |= prec[id.index()].union_with(&entry);
                     }
                 }
             }
             StmtKind::If { .. } => {
                 // Branches flow from the test.
-                let mut branch_in = prec[id].clone();
-                branch_in.insert(id);
-                let node = &flat.nodes[id];
-                let (then_ids, else_ids) = (node.then_ids.clone(), node.else_ids.clone());
+                let mut branch_in = prec[id.index()].clone();
+                branch_in.insert(id.index());
                 let (then_out, c1) = walk_block(
-                    flat, &then_ids, branch_in.clone(), prec, posts, has_clear, initially_set, bodies,
+                    map,
+                    map.then_branch(id),
+                    branch_in.clone(),
+                    prec,
+                    entries,
+                    posts,
+                    has_clear,
+                    initially_set,
                 );
                 let (else_out, c2) = walk_block(
-                    flat, &else_ids, branch_in, prec, posts, has_clear, initially_set, bodies,
+                    map,
+                    map.else_branch(id),
+                    branch_in,
+                    prec,
+                    entries,
+                    posts,
+                    has_clear,
+                    initially_set,
                 );
                 changed |= c1 | c2;
                 // Continuation: test + inflow + meet of branch outflows.
                 let mut meet = then_out;
                 meet.intersect_with(&else_out);
-                flow = prec[id].clone();
-                flow.insert(id);
+                flow = prec[id.index()].clone();
+                flow.insert(id.index());
                 flow.union_with(&meet);
                 continue;
             }
@@ -353,8 +342,8 @@ fn walk_block(
         }
 
         // Default sequencing: the next statement sees this one completed.
-        flow = prec[id].clone();
-        flow.insert(id);
+        flow = prec[id.index()].clone();
+        flow.insert(id.index());
     }
     (flow, changed)
 }
@@ -362,15 +351,14 @@ fn walk_block(
 /// Statements on *all* paths through `ids` (a block): every non-If
 /// statement, plus recursively each If's test and the meet of its
 /// branches.
-fn guaranteed_through(flat: &Flattener<'_>, ids: &[usize]) -> BitSet {
-    let n = flat.stmts.len();
+fn guaranteed_through(map: &StmtMap<'_>, ids: &[StmtId]) -> BitSet {
+    let n = map.len();
     let mut out = BitSet::new(n);
     for &id in ids {
-        out.insert(id);
-        if let StmtKind::If { .. } = flat.nodes[id].stmt.kind {
-            let node = &flat.nodes[id];
-            let mut meet = guaranteed_through(flat, &node.then_ids);
-            meet.intersect_with(&guaranteed_through(flat, &node.else_ids));
+        out.insert(id.index());
+        if let StmtKind::If { .. } = map.kind(id) {
+            let mut meet = guaranteed_through(map, map.then_branch(id));
+            meet.intersect_with(&guaranteed_through(map, map.else_branch(id)));
             out.union_with(&meet);
         }
     }
@@ -396,6 +384,7 @@ mod tests {
         assert!(so.guaranteed_before(a, b_));
         assert!(so.guaranteed_before(a, c), "transitive through sequencing");
         assert!(!so.guaranteed_before(c, a));
+        assert!(so.ordered_either_way(c, a), "ordered, just the other way");
     }
 
     #[test]
@@ -409,6 +398,7 @@ mod tests {
         let (a, b_) = (so.stmt_labeled("a").unwrap(), so.stmt_labeled("b").unwrap());
         assert!(!so.guaranteed_before(a, b_));
         assert!(!so.guaranteed_before(b_, a));
+        assert!(!so.ordered_either_way(a, b_));
     }
 
     #[test]
@@ -425,8 +415,14 @@ mod tests {
         let pre = so.stmt_labeled("pre").unwrap();
         let work = so.stmt_labeled("work").unwrap();
         let post = so.stmt_labeled("post").unwrap();
-        assert!(so.guaranteed_before(pre, work), "fork carries prec into the child");
-        assert!(so.guaranteed_before(work, post), "join carries the child back");
+        assert!(
+            so.guaranteed_before(pre, work),
+            "fork carries prec into the child"
+        );
+        assert!(
+            so.guaranteed_before(work, post),
+            "join carries the child back"
+        );
     }
 
     #[test]
@@ -566,6 +562,67 @@ mod tests {
     }
 
     #[test]
+    fn entry_sets_exclude_the_waited_for_posts() {
+        // prec(Wait) contains the post (it fired before the wait
+        // *completed*), but entry(Wait) must not — in a run where the wait
+        // blocks forever, the post may never have happened. A mutual-wait
+        // deadlock is exactly the program where the difference matters.
+        let mut b = ProgramBuilder::new();
+        let u = b.event_var("u");
+        let v = b.event_var("v");
+        let p0 = b.process("p0");
+        b.labeled(p0, eo_lang::StmtKind::Wait(u), "wait_u");
+        b.labeled(p0, eo_lang::StmtKind::Post(v), "post_v");
+        let p1 = b.process("p1");
+        b.labeled(p1, eo_lang::StmtKind::Wait(v), "wait_v");
+        b.labeled(p1, eo_lang::StmtKind::Post(u), "post_u");
+        let so = StaticOrderings::analyze(&b.build());
+        let wait_v = so.stmt_labeled("wait_v").unwrap();
+        let post_v = so.stmt_labeled("post_v").unwrap();
+        assert!(
+            so.guaranteed_before(post_v, wait_v),
+            "prec-level claim holds (vacuously — wait_v never completes)"
+        );
+        assert!(
+            !so.completes_before_reaching(post_v, wait_v),
+            "entry-level claim must NOT hold: p1 reaches wait_v unconditionally"
+        );
+        // Sequencing within a process does reach the entry set.
+        let wait_u = so.stmt_labeled("wait_u").unwrap();
+        assert!(so.completes_before_reaching(wait_u, post_v));
+    }
+
+    #[test]
+    fn numbering_agrees_with_the_shared_stmt_map() {
+        // StaticOrderings and StmtMap must number statements identically —
+        // anchored interpreter runs rely on it.
+        let mut b = ProgramBuilder::new();
+        let x = b.variable("x");
+        let p = b.process("p");
+        b.compute(p, "a");
+        b.if_eq_labeled(
+            p,
+            x,
+            0,
+            "t",
+            |t| {
+                t.compute_here("then");
+            },
+            |e| {
+                e.compute_here("else");
+            },
+        );
+        b.compute(p, "z");
+        let prog = b.build();
+        let so = StaticOrderings::analyze(&prog);
+        let map = StmtMap::build(&prog);
+        assert_eq!(so.n_stmts(), map.len());
+        for label in ["a", "t", "then", "else", "z"] {
+            assert_eq!(so.stmt_labeled(label), map.labeled(label), "label {label}");
+        }
+    }
+
+    #[test]
     fn static_claims_hold_on_every_observed_trace() {
         // Soundness against the exact engine: run the program under many
         // schedulers; for each trace, every static claim between executed
@@ -594,9 +651,7 @@ mod tests {
             for (a, bb) in so.relation().pairs() {
                 let (la, lb) = (&so.stmts()[a].label, &so.stmts()[bb].label);
                 if let (Some(la), Some(lb)) = (la, lb) {
-                    if let (Some(ea), Some(eb)) =
-                        (exec.event_labeled(la), exec.event_labeled(lb))
-                    {
+                    if let (Some(ea), Some(eb)) = (exec.event_labeled(la), exec.event_labeled(lb)) {
                         assert!(
                             engine.mhb(ea, eb),
                             "static claim {la}->{lb} must hold dynamically (seed {seed})"

@@ -325,7 +325,10 @@ mod tests {
         let q2 = tb.push(pq, Op::SemP(s));
         let exec = tb.build().unwrap().to_execution().unwrap();
         let phase1 = unsafe_phase1(&exec);
-        assert!(!phase1.contains(v.index(), q1.index()), "initial token serves q1");
+        assert!(
+            !phase1.contains(v.index(), q1.index()),
+            "initial token serves q1"
+        );
         assert!(phase1.contains(v.index(), q2.index()));
     }
 

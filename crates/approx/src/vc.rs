@@ -30,7 +30,8 @@ impl VectorClockHb {
         let n = exec.n_events();
         let n_procs = trace.processes.len();
 
-        let mut proc_clock: Vec<VectorClock> = (0..n_procs).map(|_| VectorClock::new(n_procs)).collect();
+        let mut proc_clock: Vec<VectorClock> =
+            (0..n_procs).map(|_| VectorClock::new(n_procs)).collect();
         // FIFO token clocks per semaphore (initial tokens carry the zero
         // clock, i.e. merge nothing).
         let mut sem_tokens: Vec<std::collections::VecDeque<Option<VectorClock>>> = trace
@@ -158,7 +159,10 @@ mod tests {
         // failure mode.
         assert!(vc.concurrent(ids.post_left, ids.post_right));
         let exact = ExactEngine::new(&exec);
-        assert!(exact.mhb(ids.post_left, ids.post_right), "exact sees the ordering");
+        assert!(
+            exact.mhb(ids.post_left, ids.post_right),
+            "exact sees the ordering"
+        );
     }
 
     #[test]
@@ -186,7 +190,10 @@ mod tests {
         let p = tb.push(c, Op::SemP(s));
         let exec = tb.build().unwrap().to_execution().unwrap();
         let vc = VectorClockHb::compute(&exec);
-        assert!(vc.happened_before(v1, p), "clocks trust the observed pairing");
+        assert!(
+            vc.happened_before(v1, p),
+            "clocks trust the observed pairing"
+        );
         let exact = ExactEngine::new(&exec);
         assert!(!exact.mhb(v1, p), "the ordering is not guaranteed");
     }

@@ -44,8 +44,8 @@ fn initially_set_wait_inherits_nothing_from_posts() {
 
     // The dynamic refutation that motivated the fix: the waiter can run
     // entirely before the poster.
-    let trace = eo_lang::run_to_trace(&program, &mut eo_lang::Scheduler::priority(vec![1, 0]))
-        .unwrap();
+    let trace =
+        eo_lang::run_to_trace(&program, &mut eo_lang::Scheduler::priority(vec![1, 0])).unwrap();
     let exec = trace.to_execution().unwrap();
     let engine = ExactEngine::with_mode(&exec, FeasibilityMode::IgnoreDependences);
     let (ea, eb) = (

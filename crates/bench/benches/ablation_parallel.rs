@@ -32,7 +32,9 @@ fn bench(c: &mut Criterion) {
                 b.iter(|| {
                     let ctx =
                         SearchCtx::new(black_box(&exec), FeasibilityMode::PreserveDependences);
-                    explore_statespace_parallel(&ctx, 1 << 24, threads).unwrap().states
+                    explore_statespace_parallel(&ctx, 1 << 24, threads)
+                        .unwrap()
+                        .states
                 })
             },
         );

@@ -1,0 +1,86 @@
+//! E11 — ablation: exact race detection with and without the static
+//! (Callahan–Subhlok) pruning pre-pass.
+//!
+//! Both sides return the identical race set (asserted before timing); the
+//! question is how much of the exponential could-be-concurrent work the
+//! linear static pass discharges. The harness prints the pruning counts
+//! per workload so EXPERIMENTS.md can record them alongside the timings.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eo_approx::cs::StaticOrderings;
+use eo_lang::generator::{figure1_program, random_program, WorkloadSpec};
+use eo_lang::{run_to_trace_anchored, AnchoredRun, Scheduler};
+use std::hint::black_box;
+
+fn anchored(program: &eo_lang::Program) -> Option<AnchoredRun> {
+    (0..50).find_map(|seed| run_to_trace_anchored(program, &mut Scheduler::random(seed)).ok())
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e11_race_pruning");
+
+    // Figure 1 plus the first few E9-style semaphore workloads that
+    // complete under some schedule and expose conflicting pairs (random
+    // sync placement can produce programs that deadlock everywhere).
+    let mut workloads: Vec<(String, eo_lang::Program)> =
+        vec![("figure1".to_string(), figure1_program())];
+    for seed in 0..20u64 {
+        if workloads.len() >= 3 {
+            break;
+        }
+        let mut spec = WorkloadSpec::small_semaphore(seed);
+        spec.variables = 3;
+        spec.write_fraction = 0.5;
+        spec.processes = 4;
+        spec.events_per_process = 6;
+        let program = random_program(&spec);
+        let usable = anchored(&program)
+            .is_some_and(|run| run.trace.to_execution().unwrap().dependence_pairs().len() >= 2);
+        if usable {
+            workloads.push((format!("sem_{seed}"), program));
+        }
+    }
+
+    for (name, program) in &workloads {
+        let run = anchored(program).expect("workloads were pre-screened");
+        let exec = run.trace.to_execution().unwrap();
+        let so = StaticOrderings::analyze(program);
+
+        let pruned = eo_race::pruned_exact_races(&exec, &so, &run.stmt_of);
+        assert_eq!(
+            pruned.races,
+            eo_race::exact_races(&exec),
+            "{name}: pruning must not change the answer"
+        );
+        println!(
+            "{name}: {} candidates, {} pruned statically, {} engine queries",
+            pruned.candidates, pruned.pruned, pruned.engine_queries
+        );
+
+        g.bench_with_input(BenchmarkId::new("unpruned", name), &exec, |b, exec| {
+            b.iter(|| eo_race::exact_races(black_box(exec)))
+        });
+        g.bench_with_input(
+            BenchmarkId::new("pruned", name),
+            &(&exec, &so, &run.stmt_of),
+            |b, (exec, so, stmt_of)| {
+                b.iter(|| eo_race::pruned_exact_races(black_box(exec), so, stmt_of))
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("static_analysis_only", name),
+            program,
+            |b, program| b.iter(|| StaticOrderings::analyze(black_box(program))),
+        );
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = common::fast_criterion();
+    targets = bench
+}
+criterion_main!(benches);

@@ -20,18 +20,24 @@ fn bench(c: &mut Criterion) {
         let exec = trace.to_execution().unwrap();
         g.throughput(Throughput::Elements(exec.n_events() as u64));
 
-        g.bench_with_input(BenchmarkId::new("exact_statespace", procs), &exec, |b, exec| {
-            b.iter(|| {
-                let ctx = SearchCtx::new(black_box(exec), FeasibilityMode::PreserveDependences);
-                explore_statespace(&ctx, 1 << 24).unwrap().states
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::new("exact_statespace", procs),
+            &exec,
+            |b, exec| {
+                b.iter(|| {
+                    let ctx = SearchCtx::new(black_box(exec), FeasibilityMode::PreserveDependences);
+                    explore_statespace(&ctx, 1 << 24).unwrap().states
+                })
+            },
+        );
         g.bench_with_input(BenchmarkId::new("hmw_safe", procs), &exec, |b, exec| {
             b.iter(|| eo_approx::SafeOrderings::compute(black_box(exec)))
         });
-        g.bench_with_input(BenchmarkId::new("vector_clocks", procs), &exec, |b, exec| {
-            b.iter(|| eo_approx::VectorClockHb::compute(black_box(exec)))
-        });
+        g.bench_with_input(
+            BenchmarkId::new("vector_clocks", procs),
+            &exec,
+            |b, exec| b.iter(|| eo_approx::VectorClockHb::compute(black_box(exec))),
+        );
     }
     g.finish();
 }

@@ -16,9 +16,11 @@ fn bench(c: &mut Criterion) {
         let f = Formula::trivially_sat(n, m);
         let red = SemaphoreReduction::build(&f);
         let label = format!("{n}v{m}c");
-        g.bench_with_input(BenchmarkId::new("witness_search", &label), &red, |b, red| {
-            b.iter(|| black_box(red.witness_b_before_a().is_some()))
-        });
+        g.bench_with_input(
+            BenchmarkId::new("witness_search", &label),
+            &red,
+            |b, red| b.iter(|| black_box(red.witness_b_before_a().is_some())),
+        );
         g.bench_with_input(BenchmarkId::new("dpll", &label), &f, |b, f| {
             b.iter(|| Solver::satisfiable(black_box(f)))
         });

@@ -1,4 +1,4 @@
-//! Regenerates every experiment table (E1–E9 + ablations) and prints them
+//! Regenerates every experiment table (E1–E11 + ablations) and prints them
 //! in the form recorded in EXPERIMENTS.md.
 //!
 //! ```text
@@ -27,16 +27,30 @@ fn main() {
             vec!["EGP task graph".into(), r.egp_orders_posts.to_string()],
             vec!["HMW safe orderings".into(), r.hmw_orders_posts.to_string()],
             vec!["vector clocks".into(), r.vc_orders_posts.to_string()],
-            vec!["exact MHB (preserve →D)".into(), r.exact_mhb_posts.to_string()],
-            vec!["exact MHB (ignore →D, §5.3)".into(), r.exact_mhb_posts_ignoring_d.to_string()],
-            vec!["EGP fork→Wait (solid line)".into(), r.egp_fork_before_wait.to_string()],
-            vec!["C&S static (on the program)".into(), r.cs_orders_posts.to_string()],
+            vec![
+                "exact MHB (preserve →D)".into(),
+                r.exact_mhb_posts.to_string(),
+            ],
+            vec![
+                "exact MHB (ignore →D, §5.3)".into(),
+                r.exact_mhb_posts_ignoring_d.to_string(),
+            ],
+            vec![
+                "EGP fork→Wait (solid line)".into(),
+                r.egp_fork_before_wait.to_string(),
+            ],
+            vec![
+                "C&S static (on the program)".into(),
+                r.cs_orders_posts.to_string(),
+            ],
         ];
         println!("{}", render(&["analysis", "orders the Posts?"], &rows));
     }
 
     if want("e2") {
-        println!("== E2: Table 1 relations materialized on the fixture gallery (ordered-pair counts) ==");
+        println!(
+            "== E2: Table 1 relations materialized on the fixture gallery (ordered-pair counts) =="
+        );
         let rows: Vec<Vec<String>> = e2_table1()
             .into_iter()
             .map(|r| {
@@ -63,8 +77,16 @@ fn main() {
     }
 
     for (tag, kind, title) in [
-        ("e3", ReductionKind::Semaphore, "E3/E4: Theorems 1–2 (semaphores) — a MHB b ⇔ unsat, b CHB a ⇔ sat"),
-        ("e5", ReductionKind::EventStyle, "E5: Theorems 3–4 (Post/Wait/Clear) — same claims"),
+        (
+            "e3",
+            ReductionKind::Semaphore,
+            "E3/E4: Theorems 1–2 (semaphores) — a MHB b ⇔ unsat, b CHB a ⇔ sat",
+        ),
+        (
+            "e5",
+            ReductionKind::EventStyle,
+            "E5: Theorems 3–4 (Post/Wait/Clear) — same claims",
+        ),
     ] {
         if want(tag) {
             println!("== {title} ==");
@@ -89,8 +111,8 @@ fn main() {
                 "{}",
                 render(
                     &[
-                        "size", "seed", "|E|", "sat", "aMHBb", "bCHBa", "ok", "mhb_ms",
-                        "chb_ms", "dpll_ms"
+                        "size", "seed", "|E|", "sat", "aMHBb", "bCHBa", "ok", "mhb_ms", "chb_ms",
+                        "dpll_ms"
                     ],
                     &rows
                 )
@@ -117,7 +139,16 @@ fn main() {
         println!(
             "{}",
             render(
-                &["procs", "|E|", "states", "|F|", "space_ms", "classes_ms", "hmw_ms", "vc_ms"],
+                &[
+                    "procs",
+                    "|E|",
+                    "states",
+                    "|F|",
+                    "space_ms",
+                    "classes_ms",
+                    "hmw_ms",
+                    "vc_ms"
+                ],
                 &rows
             )
         );
@@ -131,7 +162,10 @@ fn main() {
                 let completeness = if r.exact_mhb_pairs == 0 {
                     "n/a".to_string()
                 } else {
-                    format!("{:.1}%", 100.0 * r.baseline_found as f64 / r.exact_mhb_pairs as f64)
+                    format!(
+                        "{:.1}%",
+                        100.0 * r.baseline_found as f64 / r.exact_mhb_pairs as f64
+                    )
                 };
                 rows.push(vec![
                     r.style.into(),
@@ -147,7 +181,15 @@ fn main() {
         println!(
             "{}",
             render(
-                &["workload", "baseline", "traces", "exact_pairs", "found", "completeness", "unsound"],
+                &[
+                    "workload",
+                    "baseline",
+                    "traces",
+                    "exact_pairs",
+                    "found",
+                    "completeness",
+                    "unsound"
+                ],
                 &rows
             )
         );
@@ -171,7 +213,10 @@ fn main() {
         }
         println!(
             "{}",
-            render(&["jobs", "seed", "feasible", "ok", "engine_ms", "dp_ms"], &rows)
+            render(
+                &["jobs", "seed", "feasible", "ok", "engine_ms", "dp_ms"],
+                &rows
+            )
         );
     }
 
@@ -210,7 +255,10 @@ fn main() {
         println!(
             "{}",
             render(
-                &["workload", "|E|", "cands", "exact", "vc", "missed", "spurious", "exact_ms", "vc_ms"],
+                &[
+                    "workload", "|E|", "cands", "exact", "vc", "missed", "spurious", "exact_ms",
+                    "vc_ms"
+                ],
                 &rows
             )
         );
@@ -224,7 +272,10 @@ fn main() {
             let completeness = if r.exact_mhb_pairs == 0 {
                 "n/a".to_string()
             } else {
-                format!("{:.1}%", 100.0 * r.egp_found as f64 / r.exact_mhb_pairs as f64)
+                format!(
+                    "{:.1}%",
+                    100.0 * r.egp_found as f64 / r.exact_mhb_pairs as f64
+                )
             };
             rows.push(vec![
                 if clears { "with Clear" } else { "no Clear" }.into(),
@@ -239,7 +290,15 @@ fn main() {
         println!(
             "{}",
             render(
-                &["family", "traces", "exact_pairs", "egp_found", "egp_compl", "Σ|F|", "deadlockable"],
+                &[
+                    "family",
+                    "traces",
+                    "exact_pairs",
+                    "egp_found",
+                    "egp_compl",
+                    "Σ|F|",
+                    "deadlockable"
+                ],
                 &rows
             )
         );
@@ -248,6 +307,41 @@ fn main() {
             "adversarial instance (Theorem 3 program, unsat formula): \
              exact a MHB b = {}, EGP = {}, clocks = {}\n",
             adv.exact_mhb, adv.egp_mhb, adv.vc_mhb
+        );
+    }
+
+    if want("e11") {
+        println!("== E11: race detection with vs without static candidate pruning ==");
+        println!("(both sides return the identical race set — asserted per row)");
+        let mut rows = Vec::new();
+        for (label, program) in e11_workloads() {
+            let r = e11_point(&label, &program);
+            rows.push(vec![
+                r.label,
+                r.events.to_string(),
+                r.candidates.to_string(),
+                r.pruned.to_string(),
+                r.engine_queries.to_string(),
+                r.races.to_string(),
+                ms(r.unpruned_time),
+                ms(r.pruned_time),
+            ]);
+        }
+        println!(
+            "{}",
+            render(
+                &[
+                    "workload",
+                    "|E|",
+                    "cands",
+                    "pruned",
+                    "queries",
+                    "races",
+                    "unpruned_ms",
+                    "pruned_ms"
+                ],
+                &rows
+            )
         );
     }
 
@@ -310,10 +404,20 @@ fn main() {
         println!(
             "{}",
             render(
-                &["input", "|F|", "pruned_scheds", "naive_scheds", "pruned_ms", "naive_ms"],
+                &[
+                    "input",
+                    "|F|",
+                    "pruned_scheds",
+                    "naive_scheds",
+                    "pruned_ms",
+                    "naive_ms"
+                ],
                 &prows
             )
         );
-        println!("{}", render(&["input", "states", "seq_ms", "par_ms"], &qrows));
+        println!(
+            "{}",
+            render(&["input", "states", "seq_ms", "par_ms"], &qrows)
+        );
     }
 }

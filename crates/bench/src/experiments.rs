@@ -1,4 +1,4 @@
-//! The nine experiments (DESIGN.md §4) as callable functions.
+//! The experiments of DESIGN.md §4 (E1–E11) as callable functions.
 
 use eo_engine::{enumerate_classes, explore_statespace, ExactEngine, FeasibilityMode, SearchCtx};
 use eo_lang::generator::{generate_trace, SyncStyle, WorkloadSpec};
@@ -331,9 +331,15 @@ pub fn e7_quality(style: SyncStyle, seeds: u64) -> Vec<QualityRow> {
 
         let baselines: Vec<(usize, eo_relations::Relation)> = vec![
             (0, eo_approx::TaskGraph::build(&exec).relation().clone()),
-            (1, eo_approx::SafeOrderings::compute(&exec).relation().clone()),
+            (
+                1,
+                eo_approx::SafeOrderings::compute(&exec).relation().clone(),
+            ),
             (2, eo_approx::hmw::unsafe_phase1(&exec)),
-            (3, eo_approx::VectorClockHb::compute(&exec).relation().clone()),
+            (
+                3,
+                eo_approx::VectorClockHb::compute(&exec).relation().clone(),
+            ),
         ];
         for (bi, rel) in baselines {
             rows[bi].traces += 1;
@@ -565,6 +571,97 @@ pub fn e10_adversarial() -> AdversarialRow {
     }
 }
 
+// ---------------------------------------------------------------- E11 --
+
+/// E11 — exact race detection with vs. without the static
+/// (Callahan–Subhlok `prec`-based) candidate-pruning pre-pass. Both sides
+/// return the identical race set (asserted); the row records how many
+/// could-be-concurrent engine queries the linear static pass discharged.
+#[derive(Clone, Debug)]
+pub struct PruneRaceRow {
+    /// Workload label.
+    pub label: String,
+    /// Events in the trace.
+    pub events: usize,
+    /// Conflicting candidate pairs.
+    pub candidates: usize,
+    /// Candidates discharged statically (no engine query).
+    pub pruned: usize,
+    /// Engine queries actually issued.
+    pub engine_queries: usize,
+    /// Feasible races (identical for both detectors, asserted).
+    pub races: usize,
+    /// Unpruned exact-detector time.
+    pub unpruned_time: Duration,
+    /// Pruned-detector time (includes the static analysis itself).
+    pub pruned_time: Duration,
+}
+
+/// The E11 workload set: Figure 1 plus the first E9-style semaphore
+/// workloads that complete under some schedule and expose conflicting
+/// pairs (random sync placement can produce programs that deadlock under
+/// every schedule — those are skipped, not hidden).
+pub fn e11_workloads() -> Vec<(String, eo_lang::Program)> {
+    let mut out = vec![("figure1".to_string(), eo_lang::generator::figure1_program())];
+    for seed in 0..20u64 {
+        if out.len() >= 3 {
+            break;
+        }
+        let mut spec = WorkloadSpec::small_semaphore(seed);
+        spec.variables = 3;
+        spec.write_fraction = 0.5;
+        spec.processes = 4;
+        spec.events_per_process = 6;
+        let program = eo_lang::generator::random_program(&spec);
+        let usable = e11_anchored(&program).is_some_and(|run| {
+            let exec = run
+                .trace
+                .to_execution()
+                .expect("interpreter traces are valid");
+            exec.dependence_pairs().len() >= 2
+        });
+        if usable {
+            out.push((format!("sem_{seed}"), program));
+        }
+    }
+    out
+}
+
+fn e11_anchored(program: &eo_lang::Program) -> Option<eo_lang::AnchoredRun> {
+    (0..50).find_map(|seed| {
+        eo_lang::run_to_trace_anchored(program, &mut eo_lang::Scheduler::random(seed)).ok()
+    })
+}
+
+/// Runs E11 on one program: anchor a run, then race-detect with and
+/// without the static pre-pass.
+pub fn e11_point(label: &str, program: &eo_lang::Program) -> PruneRaceRow {
+    let run = e11_anchored(program).expect("E11 workloads are pre-screened to complete");
+    let exec = run
+        .trace
+        .to_execution()
+        .expect("interpreter traces are valid");
+    let (unpruned, unpruned_time) = timed(|| eo_race::exact_races(&exec));
+    let (pruned, pruned_time) = timed(|| {
+        let so = eo_approx::cs::StaticOrderings::analyze(program);
+        eo_race::pruned_exact_races(&exec, &so, &run.stmt_of)
+    });
+    assert_eq!(
+        pruned.races, unpruned,
+        "{label}: pruning must not change the answer"
+    );
+    PruneRaceRow {
+        label: label.to_string(),
+        events: exec.n_events(),
+        candidates: pruned.candidates,
+        pruned: pruned.pruned,
+        engine_queries: pruned.engine_queries,
+        races: pruned.races.len(),
+        unpruned_time,
+        pruned_time,
+    }
+}
+
 // ------------------------------------------------------------ ablations --
 
 /// Ablation: sleep-set pruning vs. naive enumeration on one execution.
@@ -589,7 +686,11 @@ pub fn ablation_pruning(label: &str, exec: &ProgramExecution) -> PruningRow {
     let ctx = SearchCtx::new(exec, FeasibilityMode::PreserveDependences);
     let (pruned, pruned_time) = timed(|| enumerate_classes(&ctx, 1 << 22));
     let (naive, naive_time) = timed(|| eo_engine::enumerate::enumerate_naive(&ctx, 1 << 22));
-    assert_eq!(pruned.orders.len(), naive.orders.len(), "pruning must not change F(P)");
+    assert_eq!(
+        pruned.orders.len(),
+        naive.orders.len(),
+        "pruning must not change F(P)"
+    );
     PruningRow {
         label: label.to_string(),
         pruned_schedules: pruned.schedules_explored,
@@ -646,7 +747,10 @@ mod tests {
             !r.exact_mhb_posts_ignoring_d,
             "and the ordering indeed comes from the data dependence"
         );
-        assert!(!r.cs_orders_posts, "the static framework is blind to it too");
+        assert!(
+            !r.cs_orders_posts,
+            "the static framework is blind to it too"
+        );
     }
 
     #[test]
@@ -679,7 +783,10 @@ mod tests {
 
     #[test]
     fn e7_baselines_sound_and_unsafe_as_expected() {
-        for rows in [e7_quality(SyncStyle::Semaphores, 3), e7_quality(SyncStyle::Events, 3)] {
+        for rows in [
+            e7_quality(SyncStyle::Semaphores, 3),
+            e7_quality(SyncStyle::Events, 3),
+        ] {
             for row in rows {
                 if row.baseline == "egp" || row.baseline == "hmw" {
                     assert_eq!(row.baseline_unsound, 0, "{} must be sound", row.baseline);
@@ -699,7 +806,10 @@ mod tests {
     #[test]
     fn e9_point_counts_align() {
         let row = e9_point(2);
-        assert_eq!(row.exact_races, row.vc_races + row.missed_by_vc - row.spurious_in_vc);
+        assert_eq!(
+            row.exact_races,
+            row.vc_races + row.missed_by_vc - row.spurious_in_vc
+        );
     }
 
     #[test]
@@ -716,10 +826,21 @@ mod tests {
     #[test]
     fn e10_rows_are_sane() {
         let free = e10_no_clear(false, 2);
-        assert_eq!(free.deadlockable, 0, "clear-free event programs cannot deadlock");
+        assert_eq!(
+            free.deadlockable, 0,
+            "clear-free event programs cannot deadlock"
+        );
         assert!(free.egp_found <= free.exact_mhb_pairs);
         let with = e10_no_clear(true, 2);
         assert!(with.egp_found <= with.exact_mhb_pairs);
+    }
+
+    #[test]
+    fn e11_pruning_discharges_work_on_figure1() {
+        let program = eo_lang::generator::figure1_program();
+        let row = e11_point("figure1", &program);
+        assert!(row.pruned >= 1, "Figure 1 has fork-ordered candidate pairs");
+        assert_eq!(row.pruned + row.engine_queries, row.candidates);
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! The search context: synchronization machine + dependence gating.
 
-use eo_model::{EventId, Machine, MachState, ProcessId, ProgramExecution};
+use eo_model::{EventId, MachState, Machine, ProcessId, ProgramExecution};
 use eo_relations::Relation;
 
 /// Which feasibility notion the engine uses.

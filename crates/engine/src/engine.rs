@@ -49,7 +49,10 @@ impl std::fmt::Display for EngineError {
                 write!(f, "state space exceeded the {limit}-state budget")
             }
             EngineError::ScheduleBudgetExceeded { limit } => {
-                write!(f, "schedule enumeration exceeded the {limit}-schedule budget")
+                write!(
+                    f,
+                    "schedule enumeration exceeded the {limit}-schedule budget"
+                )
             }
         }
     }

@@ -192,7 +192,10 @@ mod tests {
         let r = classes(&trace);
         assert!(!r.orders.is_empty());
         for o in &r.orders {
-            assert!(o.unordered(a.index(), b.index()), "tails concurrent in all of F(P)");
+            assert!(
+                o.unordered(a.index(), b.index()),
+                "tails concurrent in all of F(P)"
+            );
         }
     }
 

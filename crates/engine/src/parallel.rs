@@ -7,9 +7,9 @@
 //! the pairwise-fact accumulation over completable states (CPU-bound,
 //! parallel by node range). This module parallelizes the first and third
 //! on a **persistent worker pool** — workers are spawned once for the
-//! whole exploration and fed per-level tasks through crossbeam channels,
-//! so no thread is created per BFS level — while the hash-consing merge
-//! stays sequential on the coordinating thread.
+//! whole exploration and fed per-level tasks through a shared
+//! condvar-backed queue, so no thread is created per BFS level — while the
+//! hash-consing merge stays sequential on the coordinating thread.
 //!
 //! The result is bit-for-bit identical to the sequential explorer's
 //! (tests assert this). Whether it is *faster* depends on how much of the
@@ -21,10 +21,11 @@
 use crate::ctx::SearchCtx;
 use crate::engine::EngineError;
 use crate::statespace::{accumulate_range, propagate_completability, Node, StateSpaceResult};
-use crossbeam::channel;
 use eo_model::{EventId, MachState, ProcessId};
 use eo_relations::fxhash::FxHashMap;
 use eo_relations::Relation;
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
 
 /// Work items sent to the pool.
 enum Task {
@@ -36,10 +37,7 @@ enum Task {
         items: Vec<(usize, MachState, Vec<ProcessId>)>,
     },
     /// Compute `co_enabled` for these fresh states.
-    Enable {
-        slot: usize,
-        items: Vec<MachState>,
-    },
+    Enable { slot: usize, items: Vec<MachState> },
 }
 
 /// Worker results, tagged by slot so the coordinator can reassemble
@@ -55,6 +53,50 @@ enum TaskResult {
     },
 }
 
+/// A minimal MPMC queue (`Mutex<VecDeque>` + `Condvar`): the workspace
+/// builds offline, so the crossbeam channels this module once used are
+/// replaced by the std primitives they wrap.
+struct Queue<T> {
+    state: Mutex<(VecDeque<T>, bool)>,
+    ready: Condvar,
+}
+
+impl<T> Queue<T> {
+    fn new() -> Self {
+        Queue {
+            state: Mutex::new((VecDeque::new(), false)),
+            ready: Condvar::new(),
+        }
+    }
+
+    fn push(&self, item: T) {
+        let mut guard = self.state.lock().expect("queue poisoned");
+        guard.0.push_back(item);
+        self.ready.notify_one();
+    }
+
+    /// Blocks for the next item; `None` once closed and drained.
+    fn pop(&self) -> Option<T> {
+        let mut guard = self.state.lock().expect("queue poisoned");
+        loop {
+            if let Some(item) = guard.0.pop_front() {
+                return Some(item);
+            }
+            if guard.1 {
+                return None;
+            }
+            guard = self.ready.wait(guard).expect("queue poisoned");
+        }
+    }
+
+    /// Wakes all blocked consumers; subsequent `pop`s drain then end.
+    fn close(&self) {
+        let mut guard = self.state.lock().expect("queue poisoned");
+        guard.1 = true;
+        self.ready.notify_all();
+    }
+}
+
 /// Parallel variant of [`crate::explore_statespace`]. `threads = 0` means
 /// "use the available parallelism".
 pub fn explore_statespace_parallel(
@@ -68,15 +110,13 @@ pub fn explore_statespace_parallel(
         threads.max(1)
     };
 
-    let (task_tx, task_rx) = channel::unbounded::<Task>();
-    let (res_tx, res_rx) = channel::unbounded::<TaskResult>();
+    let tasks: Queue<Task> = Queue::new();
+    let results: Queue<TaskResult> = Queue::new();
 
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..threads {
-            let task_rx = task_rx.clone();
-            let res_tx = res_tx.clone();
-            scope.spawn(move |_| {
-                for task in task_rx.iter() {
+            scope.spawn(|| {
+                while let Some(task) = tasks.pop() {
                     match task {
                         Task::Expand { slot, items } => {
                             let mut succs = Vec::new();
@@ -87,24 +127,21 @@ pub fn explore_statespace_parallel(
                                     succs.push((parent, st2));
                                 }
                             }
-                            let _ = res_tx.send(TaskResult::Expanded { slot, succs });
+                            results.push(TaskResult::Expanded { slot, succs });
                         }
                         Task::Enable { slot, items } => {
-                            let enabled =
-                                items.iter().map(|st| ctx.co_enabled(st)).collect();
-                            let _ = res_tx.send(TaskResult::Enabled { slot, enabled });
+                            let enabled = items.iter().map(|st| ctx.co_enabled(st)).collect();
+                            results.push(TaskResult::Enabled { slot, enabled });
                         }
                     }
                 }
             });
         }
-        drop(res_tx); // workers hold the remaining clones
 
-        let out = drive(ctx, max_states, threads, &task_tx, &res_rx);
-        drop(task_tx); // hang up so workers exit
+        let out = drive(ctx, max_states, threads, &tasks, &results);
+        tasks.close(); // hang up so workers exit
         out
     })
-    .expect("crossbeam scope failed")
 }
 
 /// The coordinating thread: level-synchronous BFS with the heavy phases
@@ -113,8 +150,8 @@ fn drive(
     ctx: &SearchCtx<'_>,
     max_states: usize,
     threads: usize,
-    task_tx: &channel::Sender<Task>,
-    res_rx: &channel::Receiver<TaskResult>,
+    tasks: &Queue<Task>,
+    results: &Queue<TaskResult>,
 ) -> Result<StateSpaceResult, EngineError> {
     let mut index: FxHashMap<MachState, usize> = FxHashMap::default();
     let mut nodes: Vec<Node> = Vec::new();
@@ -143,12 +180,12 @@ fn drive(
                     (i, node.state.clone(), procs)
                 })
                 .collect();
-            task_tx.send(Task::Expand { slot, items }).expect("pool alive");
+            tasks.push(Task::Expand { slot, items });
             slots += 1;
         }
         let mut batches: Vec<Vec<(usize, MachState)>> = (0..slots).map(|_| Vec::new()).collect();
         for _ in 0..slots {
-            match res_rx.recv().expect("pool alive") {
+            match results.pop().expect("pool alive") {
                 TaskResult::Expanded { slot, succs } => batches[slot] = succs,
                 TaskResult::Enabled { .. } => unreachable!("no enable tasks in flight"),
             }
@@ -190,16 +227,14 @@ fn drive(
             while cursor < nodes.len() {
                 let hi = (cursor + chunk).min(nodes.len());
                 let items = nodes[cursor..hi].iter().map(|n| n.state.clone()).collect();
-                task_tx
-                    .send(Task::Enable { slot: slots, items })
-                    .expect("pool alive");
+                tasks.push(Task::Enable { slot: slots, items });
                 slots += 1;
                 cursor = hi;
             }
             let mut per_slot: Vec<Vec<Vec<(ProcessId, EventId)>>> =
                 (0..slots).map(|_| Vec::new()).collect();
             for _ in 0..slots {
-                match res_rx.recv().expect("pool alive") {
+                match results.pop().expect("pool alive") {
                     TaskResult::Enabled { slot, enabled } => per_slot[slot] = enabled,
                     TaskResult::Expanded { .. } => unreachable!("no expand tasks in flight"),
                 }
@@ -226,20 +261,19 @@ fn drive(
         let chunk = nodes.len().div_ceil(threads);
         let nodes_ref = &nodes;
         let index_ref = &index;
-        let partials: Vec<_> = crossbeam::thread::scope(|s| {
+        let partials: Vec<_> = std::thread::scope(|s| {
             let handles: Vec<_> = (0..threads)
                 .map(|t| {
                     let lo = t * chunk;
                     let hi = ((t + 1) * chunk).min(nodes_ref.len());
-                    s.spawn(move |_| accumulate_range(ctx, nodes_ref, index_ref, lo, hi))
+                    s.spawn(move || accumulate_range(ctx, nodes_ref, index_ref, lo, hi))
                 })
                 .collect();
             handles
                 .into_iter()
                 .map(|h| h.join().expect("worker panicked"))
                 .collect()
-        })
-        .expect("crossbeam scope failed");
+        });
         let n = ctx.n_events();
         let mut chb = Relation::new(n);
         let mut overlap = Relation::new(n);

@@ -130,8 +130,16 @@ pub fn witness_overlap(ctx: &SearchCtx<'_>, a: EventId, b: EventId) -> Option<Ve
     let mut visited: FxHashSet<MachState> = FxHashSet::default();
     let mut dead: FxHashSet<MachState> = FxHashSet::default();
     let mut prefix: Vec<EventId> = Vec::new();
-    return dfs(ctx, &ctx.initial_state(), a, b, &mut visited, &mut dead, &mut prefix)
-        .then_some(prefix);
+    return dfs(
+        ctx,
+        &ctx.initial_state(),
+        a,
+        b,
+        &mut visited,
+        &mut dead,
+        &mut prefix,
+    )
+    .then_some(prefix);
 
     fn both_fire_completably(
         ctx: &SearchCtx<'_>,
@@ -172,8 +180,7 @@ pub fn witness_overlap(ctx: &SearchCtx<'_>, a: EventId, b: EventId) -> Option<Ve
         if !visited.insert(st.clone()) {
             return false;
         }
-        if both_fire_completably(ctx, st, a, b, dead)
-            || both_fire_completably(ctx, st, b, a, dead)
+        if both_fire_completably(ctx, st, a, b, dead) || both_fire_completably(ctx, st, b, a, dead)
         {
             return true;
         }
@@ -267,7 +274,10 @@ mod tests {
 
     #[test]
     fn queries_agree_with_statespace_on_fixtures() {
-        for (trace, _x, _y) in [fixtures::independent_pair(), fixtures::shared_counter_race()] {
+        for (trace, _x, _y) in [
+            fixtures::independent_pair(),
+            fixtures::shared_counter_race(),
+        ] {
             let exec = trace.to_execution().unwrap();
             let ctx = ctx_of(&exec);
             let space = explore_statespace(&ctx, 1 << 20).unwrap();

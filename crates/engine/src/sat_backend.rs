@@ -237,11 +237,7 @@ impl OrderEncoding {
             lit.satisfied_by(model[lit.var.index()])
         };
         let mut order: Vec<usize> = (0..self.n).collect();
-        order.sort_by_key(|&e| {
-            (0..self.n)
-                .filter(|&o| o != e && before(o, e))
-                .count()
-        });
+        order.sort_by_key(|&e| (0..self.n).filter(|&o| o != e && before(o, e)).count());
         order.into_iter().map(EventId::new).collect()
     }
 }
@@ -261,7 +257,9 @@ pub fn chb_via_sat(ctx: &SearchCtx<'_>, first: EventId, second: EventId) -> Opti
     let enc = OrderEncoding::build(ctx);
     let query = Clause(vec![enc.before(first.index(), second.index())]);
     let formula = enc.to_formula(vec![query]);
-    Solver::new(formula).solve().map(|model| enc.decode_schedule(&model))
+    Solver::new(formula)
+        .solve()
+        .map(|model| enc.decode_schedule(&model))
 }
 
 /// Decides `a MHB b` by SAT: no feasible schedule runs `b` before `a`.
@@ -301,7 +299,10 @@ mod tests {
         assert!(mhb_via_sat(&ctx, ids.v, ids.p));
         assert!(chb_via_sat(&ctx, ids.p, ids.v).is_none());
         let witness = chb_via_sat(&ctx, ids.after_p, ids.after_v).expect("tails reorder");
-        assert!(ctx.machine().replay(&witness).is_ok(), "decoded schedule replays");
+        assert!(
+            ctx.machine().replay(&witness).is_ok(),
+            "decoded schedule replays"
+        );
     }
 
     #[test]

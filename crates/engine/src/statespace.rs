@@ -223,11 +223,7 @@ fn pair_fires_completably(
 ) -> bool {
     let mut st = nodes[i].state.clone();
     ctx.step(&mut st, first);
-    if !ctx
-        .co_enabled(&st)
-        .iter()
-        .any(|&(p, _)| p == second)
-    {
+    if !ctx.co_enabled(&st).iter().any(|&(p, _)| p == second) {
         return false;
     }
     ctx.step(&mut st, second);
@@ -287,8 +283,14 @@ mod tests {
         assert!(!strict.overlap.contains(inc0.index(), inc1.index()));
 
         let relaxed = space(&exec, FeasibilityMode::IgnoreDependences);
-        assert!(relaxed.chb.contains(inc1.index(), inc0.index()), "reorderable now");
-        assert!(relaxed.overlap.contains(inc0.index(), inc1.index()), "the race shows");
+        assert!(
+            relaxed.chb.contains(inc1.index(), inc0.index()),
+            "reorderable now"
+        );
+        assert!(
+            relaxed.overlap.contains(inc0.index(), inc1.index()),
+            "the race shows"
+        );
     }
 
     #[test]
@@ -311,12 +313,20 @@ mod tests {
         let exec = trace.to_execution().unwrap();
         let r = space(&exec, FeasibilityMode::PreserveDependences);
         // MHB(post_left, post_right): no schedule runs post_right first.
-        assert!(!r.chb.contains(ids.post_right.index(), ids.post_left.index()));
-        assert!(r.chb.contains(ids.post_left.index(), ids.post_right.index()));
-        assert!(!r.overlap.contains(ids.post_left.index(), ids.post_right.index()));
+        assert!(!r
+            .chb
+            .contains(ids.post_right.index(), ids.post_left.index()));
+        assert!(r
+            .chb
+            .contains(ids.post_left.index(), ids.post_right.index()));
+        assert!(!r
+            .overlap
+            .contains(ids.post_left.index(), ids.post_right.index()));
         // Ignoring dependences (the EGP/HMW notion), the order dissolves.
         let relaxed = space(&exec, FeasibilityMode::IgnoreDependences);
-        assert!(relaxed.chb.contains(ids.post_right.index(), ids.post_left.index()));
+        assert!(relaxed
+            .chb
+            .contains(ids.post_right.index(), ids.post_left.index()));
     }
 
     #[test]

@@ -212,9 +212,7 @@ impl OrderingSummary {
                     return Err(format!("forced CHB({ea},{eb}) without temporal CHB"));
                 }
                 if self.ccw_induced(ea, eb) && !self.ccw(ea, eb) {
-                    return Err(format!(
-                        "induced CCW({ea},{eb}) without operational CCW"
-                    ));
+                    return Err(format!("induced CCW({ea},{eb}) without operational CCW"));
                 }
                 if self.mcw(ea, eb) && !self.ccw_induced(ea, eb) {
                     return Err(format!("MCW({ea},{eb}) without induced CCW"));
@@ -263,7 +261,10 @@ mod tests {
         let (s, _) = summarize(&trace);
         assert!(s.mcw(a, b), "never forced apart");
         assert!(s.ccw(a, b));
-        assert!(s.chb(a, b) && s.chb(b, a), "either may happen first by timing");
+        assert!(
+            s.chb(a, b) && s.chb(b, a),
+            "either may happen first by timing"
+        );
         assert!(!s.mhb(a, b) && !s.mhb(b, a));
         assert!(!s.mow(a, b) && !s.cow(a, b));
     }

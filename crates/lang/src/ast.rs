@@ -211,7 +211,10 @@ impl Program {
             if def.root && fork_count[ti] > 0 {
                 // Reported at the fork site below; keep a stable error here
                 // in case check order changes.
-                return Err(ProgramError::ForkOfRoot { process: t, target: t });
+                return Err(ProgramError::ForkOfRoot {
+                    process: t,
+                    target: t,
+                });
             }
             if !def.root {
                 match fork_count[ti] {
@@ -267,7 +270,10 @@ impl Program {
                             return Err(ProgramError::SelfFork { process: p });
                         }
                         if self.processes[t.index()].root {
-                            return Err(ProgramError::ForkOfRoot { process: p, target: t });
+                            return Err(ProgramError::ForkOfRoot {
+                                process: p,
+                                target: t,
+                            });
                         }
                         fork_count[t.index()] += 1;
                         if fork_count[t.index()] > 1 {
@@ -363,7 +369,10 @@ mod tests {
         };
         assert!(matches!(
             prog.validate(),
-            Err(ProgramError::DanglingReference { what: "semaphore", .. })
+            Err(ProgramError::DanglingReference {
+                what: "semaphore",
+                ..
+            })
         ));
     }
 
@@ -384,7 +393,10 @@ mod tests {
             ],
             ..Default::default()
         };
-        assert!(matches!(prog.validate(), Err(ProgramError::NeverForked { .. })));
+        assert!(matches!(
+            prog.validate(),
+            Err(ProgramError::NeverForked { .. })
+        ));
     }
 
     #[test]
@@ -405,7 +417,10 @@ mod tests {
             ],
             ..Default::default()
         };
-        assert!(matches!(prog.validate(), Err(ProgramError::MultiplyForked { .. })));
+        assert!(matches!(
+            prog.validate(),
+            Err(ProgramError::MultiplyForked { .. })
+        ));
     }
 
     #[test]
@@ -425,7 +440,10 @@ mod tests {
             ],
             ..Default::default()
         };
-        assert!(matches!(prog.validate(), Err(ProgramError::ForkOfRoot { .. })));
+        assert!(matches!(
+            prog.validate(),
+            Err(ProgramError::ForkOfRoot { .. })
+        ));
     }
 
     #[test]

@@ -108,7 +108,13 @@ impl ProgramBuilder {
     }
 
     /// Appends an abstract computation with explicit read/write sets.
-    pub fn compute_rw(&mut self, p: ProcRef, reads: &[VarId], writes: &[VarId], label: &str) -> &mut Self {
+    pub fn compute_rw(
+        &mut self,
+        p: ProcRef,
+        reads: &[VarId],
+        writes: &[VarId],
+        label: &str,
+    ) -> &mut Self {
         self.push(
             p,
             Stmt::labeled(

@@ -182,7 +182,11 @@ pub fn random_program(spec: &WorkloadSpec) -> Program {
                 Slot::Clear(v) => {
                     b.clear(p, v);
                 }
-                Slot::Compute { reads, writes, label } => {
+                Slot::Compute {
+                    reads,
+                    writes,
+                    label,
+                } => {
                     b.compute_rw(p, &reads, &writes, &label);
                 }
             }
@@ -339,12 +343,12 @@ pub fn barrier_program(threads: usize, phases: usize) -> Program {
     let shared: Vec<_> = (0..phases)
         .map(|ph| b.variable(&format!("phase{ph}")))
         .collect();
-    for ph in 0..phases {
+    for (ph, &shared_ph) in shared.iter().enumerate() {
         let workers: Vec<_> = (0..threads)
             .map(|t| b.subprocess(&format!("w{ph}_{t}")))
             .collect();
         for (t, &w) in workers.iter().enumerate() {
-            b.compute_rw(w, &[], &[shared[ph]], &format!("work_p{ph}_t{t}"));
+            b.compute_rw(w, &[], &[shared_ph], &format!("work_p{ph}_t{t}"));
         }
         b.fork(main, &workers);
         b.join(main, &workers);
@@ -390,7 +394,10 @@ mod tests {
     fn event_workload_produces_trace() {
         let t = generate_trace(&WorkloadSpec::small_events(13), 50);
         assert!(t.validate().is_ok());
-        assert!(t.events.iter().any(|e| matches!(e.op, eo_model::Op::Post(_))));
+        assert!(t
+            .events
+            .iter()
+            .any(|e| matches!(e.op, eo_model::Op::Post(_))));
     }
 
     #[test]
@@ -421,8 +428,7 @@ mod tests {
     fn fork_join_tree_completes_under_random_scheduling() {
         let prog = fork_join_tree(2, 3);
         for seed in 0..5 {
-            let t =
-                crate::interp::run_to_trace(&prog, &mut Scheduler::random(seed)).unwrap();
+            let t = crate::interp::run_to_trace(&prog, &mut Scheduler::random(seed)).unwrap();
             assert_eq!(t.n_events(), 9 + 8); // 9 leaves + 4 inner × 2
         }
     }
@@ -449,7 +455,10 @@ mod tests {
             }
         }
         assert!(then_seen, "some schedule sees X=1");
-        assert!(else_seen, "some schedule sees X=0 — different events entirely");
+        assert!(
+            else_seen,
+            "some schedule sees X=0 — different events entirely"
+        );
     }
 
     #[test]
@@ -495,6 +504,9 @@ mod tests {
         let mut spec = WorkloadSpec::small_semaphore(3);
         spec.sync_density = 0.0;
         let t = generate_trace(&spec, 10);
-        assert!(t.events.iter().all(|e| matches!(e.op, eo_model::Op::Compute)));
+        assert!(t
+            .events
+            .iter()
+            .all(|e| matches!(e.op, eo_model::Op::Compute)));
     }
 }

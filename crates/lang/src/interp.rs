@@ -22,6 +22,7 @@
 
 use crate::ast::{ProcRef, Program, Stmt, StmtKind};
 use crate::scheduler::Scheduler;
+use crate::stmt::{StmtId, StmtMap};
 use eo_model::trace::{EvVarDecl, ProcessDecl, SemDecl, VarDecl};
 use eo_model::{Event, EventId, Op, ProcessId, Trace};
 
@@ -52,20 +53,21 @@ impl std::fmt::Display for RunError {
 
 impl std::error::Error for RunError {}
 
-/// A frame of a process's continuation: a block and the index of the next
-/// statement within it.
-struct Frame<'p> {
+/// A frame of a process's continuation: a block, the parallel slice of
+/// the block's statement ids, and the index of the next statement.
+struct Frame<'p, 'm> {
     block: &'p [Stmt],
+    ids: &'m [StmtId],
     next: usize,
 }
 
 /// A live runtime process.
-struct ProcState<'p> {
+struct ProcState<'p, 'm> {
     def: ProcRef,
-    frames: Vec<Frame<'p>>,
+    frames: Vec<Frame<'p, 'm>>,
 }
 
-impl<'p> ProcState<'p> {
+impl<'p, 'm> ProcState<'p, 'm> {
     fn current(&mut self) -> Option<&'p Stmt> {
         loop {
             let frame = self.frames.last_mut()?;
@@ -75,7 +77,21 @@ impl<'p> ProcState<'p> {
             self.frames.pop();
         }
     }
+}
 
+/// An observed execution together with per-event static anchors.
+///
+/// `stmt_of[e]` is the [`StmtId`] of the AST statement whose execution
+/// produced event `e` — the bridge from dynamic events back to static
+/// analyses ([`crate::stmt::StmtMap`], the CS guaranteed-ordering
+/// analysis, and the lints built on them). The trace itself is
+/// byte-identical to what [`run_to_trace`] produces; anchors are a side
+/// table, not part of the wire format.
+pub struct AnchoredRun {
+    /// The observed trace.
+    pub trace: Trace,
+    /// Per event (by index): the static statement it instantiates.
+    pub stmt_of: Vec<StmtId>,
 }
 
 /// Runs `program` under `scheduler` and returns the observed trace.
@@ -83,12 +99,23 @@ impl<'p> ProcState<'p> {
 /// The returned trace always validates (it is valid by construction — a
 /// debug assertion confirms this).
 pub fn run_to_trace(program: &Program, scheduler: &mut Scheduler) -> Result<Trace, RunError> {
+    run_to_trace_anchored(program, scheduler).map(|r| r.trace)
+}
+
+/// Like [`run_to_trace`], but also reports, for every emitted event, the
+/// static statement ([`StmtId`] under [`StmtMap::build`]'s numbering)
+/// that produced it.
+pub fn run_to_trace_anchored(
+    program: &Program,
+    scheduler: &mut Scheduler,
+) -> Result<AnchoredRun, RunError> {
     program.validate().map_err(RunError::Invalid)?;
+    let map = StmtMap::build(program);
 
     let n_defs = program.processes.len();
     // def -> runtime trace ProcessId, once instantiated.
     let mut instance: Vec<Option<ProcessId>> = vec![None; n_defs];
-    let mut procs: Vec<ProcState<'_>> = Vec::new();
+    let mut procs: Vec<ProcState<'_, '_>> = Vec::new();
     let mut decls: Vec<ProcessDecl> = Vec::new();
 
     for (di, def) in program.processes.iter().enumerate() {
@@ -98,6 +125,7 @@ pub fn run_to_trace(program: &Program, scheduler: &mut Scheduler) -> Result<Trac
                 def: ProcRef(di as u32),
                 frames: vec![Frame {
                     block: &def.body,
+                    ids: map.body(ProcRef(di as u32)),
                     next: 0,
                 }],
             });
@@ -112,6 +140,7 @@ pub fn run_to_trace(program: &Program, scheduler: &mut Scheduler) -> Result<Trac
     let mut sem: Vec<u32> = program.semaphores.iter().map(|s| s.initial).collect();
     let mut flag: Vec<bool> = program.event_vars.iter().map(|v| v.initially_set).collect();
     let mut events: Vec<Event> = Vec::with_capacity(program.max_events());
+    let mut stmt_of: Vec<StmtId> = Vec::with_capacity(program.max_events());
 
     loop {
         // Collect enabled processes (sorted by runtime id by construction).
@@ -130,7 +159,10 @@ pub fn run_to_trace(program: &Program, scheduler: &mut Scheduler) -> Result<Trac
                 StmtKind::SemP(s) => sem[s.index()] > 0,
                 StmtKind::Wait(v) => flag[v.index()],
                 StmtKind::Join(targets) => targets.iter().all(|t| match instance[t.index()] {
-                    Some(pid) => procs[pid.index()].frames.iter().all(|f| f.next >= f.block.len()),
+                    Some(pid) => procs[pid.index()]
+                        .frames
+                        .iter()
+                        .all(|f| f.next >= f.block.len()),
                     None => false,
                 }),
                 _ => true,
@@ -153,17 +185,22 @@ pub fn run_to_trace(program: &Program, scheduler: &mut Scheduler) -> Result<Trac
         let stmt = procs[pid.index()].current().expect("enabled implies live");
         // Advance the instruction pointer before executing (forked children
         // must not confuse the current frame bookkeeping).
-        {
+        let sid = {
             let frame = procs[pid.index()].frames.last_mut().expect("live");
+            let sid = frame.ids[frame.next];
             frame.next += 1;
-        }
+            sid
+        };
 
         let eid = EventId::new(events.len());
         let mut reads: Vec<eo_model::VarId> = Vec::new();
         let mut writes: Vec<eo_model::VarId> = Vec::new();
         let op = match &stmt.kind {
             StmtKind::Skip => Op::Compute,
-            StmtKind::Compute { reads: r, writes: w } => {
+            StmtKind::Compute {
+                reads: r,
+                writes: w,
+            } => {
                 reads = r.clone();
                 writes = w.clone();
                 Op::Compute
@@ -199,6 +236,7 @@ pub fn run_to_trace(program: &Program, scheduler: &mut Scheduler) -> Result<Trac
                         def: t,
                         frames: vec![Frame {
                             block: &program.processes[t.index()].body,
+                            ids: map.body(t),
                             next: 0,
                         }],
                     });
@@ -223,14 +261,15 @@ pub fn run_to_trace(program: &Program, scheduler: &mut Scheduler) -> Result<Trac
                 else_branch,
             } => {
                 reads.push(*var);
-                let branch: &[Stmt] = if store[var.index()] == *equals {
-                    then_branch
+                let (branch, branch_ids): (&[Stmt], &[StmtId]) = if store[var.index()] == *equals {
+                    (then_branch, map.then_branch(sid))
                 } else {
-                    else_branch
+                    (else_branch, map.else_branch(sid))
                 };
                 if !branch.is_empty() {
                     procs[pid.index()].frames.push(Frame {
                         block: branch,
+                        ids: branch_ids,
                         next: 0,
                     });
                 }
@@ -246,6 +285,7 @@ pub fn run_to_trace(program: &Program, scheduler: &mut Scheduler) -> Result<Trac
             writes,
             label: stmt.label.clone(),
         });
+        stmt_of.push(sid);
     }
 
     let trace = Trace {
@@ -273,8 +313,11 @@ pub fn run_to_trace(program: &Program, scheduler: &mut Scheduler) -> Result<Trac
             .map(|name| VarDecl { name: name.clone() })
             .collect(),
     };
-    debug_assert!(trace.validate().is_ok(), "interpreter emitted an invalid trace");
-    Ok(trace)
+    debug_assert!(
+        trace.validate().is_ok(),
+        "interpreter emitted an invalid trace"
+    );
+    Ok(AnchoredRun { trace, stmt_of })
 }
 
 /// Runs `program` under up to `attempts` random seeds (starting at
@@ -463,6 +506,50 @@ mod tests {
                 .collect::<Vec<_>>()
         };
         assert_ne!(order(&t1), order(&t2));
+    }
+
+    #[test]
+    fn anchors_map_events_back_to_their_statements() {
+        use crate::stmt::StmtMap;
+        let mut b = ProgramBuilder::new();
+        let x = b.variable("x");
+        let main = b.process("main");
+        let w = b.subprocess("w");
+        b.compute(w, "work");
+        b.assign(main, x, 1);
+        b.fork(main, &[w]);
+        b.if_eq(
+            main,
+            x,
+            1,
+            |then| {
+                then.compute_here("taken");
+            },
+            |els| {
+                els.compute_here("not_taken");
+            },
+        );
+        let prog = b.build();
+        let map = StmtMap::build(&prog);
+        let run = run_to_trace_anchored(&prog, &mut Scheduler::round_robin()).unwrap();
+        assert_eq!(run.stmt_of.len(), run.trace.n_events());
+        for (ev, &sid) in run.trace.events.iter().zip(&run.stmt_of) {
+            // The anchored statement's label is exactly the event's label…
+            assert_eq!(map.node(sid).label, ev.label, "event {:?}", ev.id);
+        }
+        // …and the taken branch anchors inside the If's then-block.
+        let taken_ev = run
+            .trace
+            .events
+            .iter()
+            .position(|e| e.label.as_deref() == Some("taken"))
+            .unwrap();
+        let sid = run.stmt_of[taken_ev];
+        assert_eq!(map.labeled("taken"), Some(sid));
+        assert!(
+            map.parent(sid).is_some(),
+            "branch statement has an If parent"
+        );
     }
 
     #[test]

@@ -48,8 +48,10 @@ pub mod builder;
 pub mod generator;
 pub mod interp;
 pub mod scheduler;
+pub mod stmt;
 
-pub use ast::{ProcDef, ProcRef, Program, Stmt, StmtKind};
+pub use ast::{EvVarDef, ProcDef, ProcRef, Program, ProgramError, SemDef, Stmt, StmtKind};
 pub use builder::ProgramBuilder;
-pub use interp::{run_to_trace, RunError};
+pub use interp::{run_to_trace, run_to_trace_anchored, AnchoredRun, RunError};
 pub use scheduler::Scheduler;
+pub use stmt::{BranchSide, StmtId, StmtMap};

@@ -1,0 +1,346 @@
+//! Dense statement identities over a [`Program`]'s AST.
+//!
+//! Every analysis that talks about *static statements* — the
+//! Callahan–Subhlok guaranteed-ordering analysis in `eo-approx`, the
+//! lints in `eo-lint`, and the anchored interpreter runs in
+//! [`crate::interp`] — needs a common way to name an AST node. A
+//! [`StmtMap`] flattens a program into a dense preorder numbering
+//! ([`StmtId`]): processes in definition order; within a process each
+//! statement is numbered before its sub-blocks, an `If` contributing
+//! first its then-branch and then its else-branch.
+//!
+//! The map also records block structure (per-process bodies, per-`If`
+//! branch id lists, and each statement's innermost enclosing branch),
+//! which gives cheap answers to the structural questions diagnostics
+//! ask: "which process owns this statement?", "are these two statements
+//! on mutually exclusive branches of the same conditional?", "where in
+//! the source does this id point?".
+
+use crate::ast::{ProcRef, Program, Stmt, StmtKind};
+
+/// Identity of one static statement (one AST node), densely numbered
+/// across the whole program in flattening preorder.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct StmtId(pub u32);
+
+impl StmtId {
+    /// Dense index into the flattened statement table.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Which branch of an `If` a statement sits in.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BranchSide {
+    /// The `then` (equals) branch.
+    Then,
+    /// The `else` branch.
+    Else,
+}
+
+/// The flattened statement table of one program.
+///
+/// Borrows the program; build it where the program lives and query away.
+pub struct StmtMap<'p> {
+    program: &'p Program,
+    nodes: Vec<&'p Stmt>,
+    process: Vec<ProcRef>,
+    /// Innermost enclosing `If` and the branch side, if any.
+    parent: Vec<Option<(StmtId, BranchSide)>>,
+    /// Per process definition: ids of its top-level block, in order.
+    bodies: Vec<Vec<StmtId>>,
+    /// Per statement: branch id lists (empty unless the statement is an
+    /// `If`).
+    then_ids: Vec<Vec<StmtId>>,
+    else_ids: Vec<Vec<StmtId>>,
+}
+
+impl<'p> StmtMap<'p> {
+    /// Flattens `program`. Cheap (one AST walk); does not validate.
+    pub fn build(program: &'p Program) -> StmtMap<'p> {
+        let mut map = StmtMap {
+            program,
+            nodes: Vec::new(),
+            process: Vec::new(),
+            parent: Vec::new(),
+            bodies: Vec::new(),
+            then_ids: Vec::new(),
+            else_ids: Vec::new(),
+        };
+        for (pi, def) in program.processes.iter().enumerate() {
+            let ids = map.block(ProcRef(pi as u32), &def.body, None);
+            map.bodies.push(ids);
+        }
+        map
+    }
+
+    fn block(
+        &mut self,
+        p: ProcRef,
+        stmts: &'p [Stmt],
+        parent: Option<(StmtId, BranchSide)>,
+    ) -> Vec<StmtId> {
+        stmts.iter().map(|s| self.stmt(p, s, parent)).collect()
+    }
+
+    fn stmt(&mut self, p: ProcRef, stmt: &'p Stmt, parent: Option<(StmtId, BranchSide)>) -> StmtId {
+        let id = StmtId(self.nodes.len() as u32);
+        self.nodes.push(stmt);
+        self.process.push(p);
+        self.parent.push(parent);
+        self.then_ids.push(Vec::new());
+        self.else_ids.push(Vec::new());
+        if let StmtKind::If {
+            then_branch,
+            else_branch,
+            ..
+        } = &stmt.kind
+        {
+            let t = self.block(p, then_branch, Some((id, BranchSide::Then)));
+            let e = self.block(p, else_branch, Some((id, BranchSide::Else)));
+            self.then_ids[id.index()] = t;
+            self.else_ids[id.index()] = e;
+        }
+        id
+    }
+
+    /// The program this map was built from.
+    pub fn program(&self) -> &'p Program {
+        self.program
+    }
+
+    /// Number of statements.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the program has no statements at all.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// All statement ids, in numbering order.
+    pub fn ids(&self) -> impl Iterator<Item = StmtId> {
+        (0..self.nodes.len() as u32).map(StmtId)
+    }
+
+    /// The AST node behind `id`.
+    pub fn node(&self, id: StmtId) -> &'p Stmt {
+        self.nodes[id.index()]
+    }
+
+    /// The statement's kind.
+    pub fn kind(&self, id: StmtId) -> &'p StmtKind {
+        &self.nodes[id.index()].kind
+    }
+
+    /// The process definition owning `id`.
+    pub fn process(&self, id: StmtId) -> ProcRef {
+        self.process[id.index()]
+    }
+
+    /// The innermost enclosing `If` and which branch, if the statement is
+    /// inside a conditional.
+    pub fn parent(&self, id: StmtId) -> Option<(StmtId, BranchSide)> {
+        self.parent[id.index()]
+    }
+
+    /// Top-level statement ids of process `p`, in order.
+    pub fn body(&self, p: ProcRef) -> &[StmtId] {
+        &self.bodies[p.index()]
+    }
+
+    /// Then-branch ids of an `If` (empty for other statements).
+    pub fn then_branch(&self, id: StmtId) -> &[StmtId] {
+        &self.then_ids[id.index()]
+    }
+
+    /// Else-branch ids of an `If` (empty for other statements).
+    pub fn else_branch(&self, id: StmtId) -> &[StmtId] {
+        &self.else_ids[id.index()]
+    }
+
+    /// The first statement carrying `label`, scanning in numbering order.
+    pub fn labeled(&self, label: &str) -> Option<StmtId> {
+        self.ids()
+            .find(|&id| self.node(id).label.as_deref() == Some(label))
+    }
+
+    /// Short mnemonic for the statement kind (diagnostics).
+    pub fn kind_name(&self, id: StmtId) -> &'static str {
+        kind_name(&self.nodes[id.index()].kind)
+    }
+
+    /// Do `a` and `b` sit on opposite branches of a common conditional?
+    ///
+    /// If so, no single execution runs both — useful for pruning
+    /// "deadlock partner" candidates and imbalance counts.
+    pub fn mutually_exclusive(&self, a: StmtId, b: StmtId) -> bool {
+        // Collect a's ancestor chain: If id -> side taken.
+        let mut chain: Vec<(StmtId, BranchSide)> = Vec::new();
+        let mut cur = self.parent[a.index()];
+        while let Some((anc, side)) = cur {
+            chain.push((anc, side));
+            cur = self.parent[anc.index()];
+        }
+        let mut cur = self.parent[b.index()];
+        while let Some((anc, side)) = cur {
+            if let Some(&(_, a_side)) = chain.iter().find(|&&(i, _)| i == anc) {
+                return a_side != side;
+            }
+            cur = self.parent[anc.index()];
+        }
+        false
+    }
+
+    /// Human-readable location of `id`: process name, index, kind and
+    /// label if present — e.g. `` `side1` stmt #2 (Wait "wait_B") ``.
+    pub fn describe(&self, id: StmtId) -> String {
+        let node = self.nodes[id.index()];
+        let pname = &self.program.processes[self.process[id.index()].index()].name;
+        match &node.label {
+            Some(l) => format!(
+                "`{pname}` stmt #{} ({} \"{l}\")",
+                id.0,
+                kind_name(&node.kind)
+            ),
+            None => format!("`{pname}` stmt #{} ({})", id.0, kind_name(&node.kind)),
+        }
+    }
+}
+
+/// Short mnemonic for a statement kind.
+pub fn kind_name(kind: &StmtKind) -> &'static str {
+    match kind {
+        StmtKind::Skip => "skip",
+        StmtKind::Compute { .. } => "compute",
+        StmtKind::Assign { .. } => "assign",
+        StmtKind::SemP(_) => "P",
+        StmtKind::SemV(_) => "V",
+        StmtKind::Post(_) => "Post",
+        StmtKind::Wait(_) => "Wait",
+        StmtKind::Clear(_) => "Clear",
+        StmtKind::Fork(_) => "fork",
+        StmtKind::Join(_) => "join",
+        StmtKind::If { .. } => "if",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+
+    #[test]
+    fn preorder_numbering_processes_then_branches() {
+        let mut b = ProgramBuilder::new();
+        let x = b.variable("x");
+        let p0 = b.process("p0");
+        b.compute(p0, "a"); // 0
+        b.if_eq_labeled(
+            p0,
+            x,
+            0,
+            "test", // 1
+            |t| {
+                t.compute_here("then0"); // 2
+                t.compute_here("then1"); // 3
+            },
+            |e| {
+                e.compute_here("else0"); // 4
+            },
+        );
+        b.compute(p0, "b"); // 5
+        let p1 = b.process("p1");
+        b.compute(p1, "c"); // 6
+        let prog = b.build();
+        let map = StmtMap::build(&prog);
+
+        assert_eq!(map.len(), 7);
+        for (label, want) in [
+            ("a", 0),
+            ("test", 1),
+            ("then0", 2),
+            ("then1", 3),
+            ("else0", 4),
+            ("b", 5),
+            ("c", 6),
+        ] {
+            assert_eq!(map.labeled(label), Some(StmtId(want)), "label {label}");
+        }
+        assert_eq!(map.body(ProcRef(0)), &[StmtId(0), StmtId(1), StmtId(5)]);
+        assert_eq!(map.body(ProcRef(1)), &[StmtId(6)]);
+        assert_eq!(map.then_branch(StmtId(1)), &[StmtId(2), StmtId(3)]);
+        assert_eq!(map.else_branch(StmtId(1)), &[StmtId(4)]);
+        assert_eq!(map.process(StmtId(4)), ProcRef(0));
+        assert_eq!(map.process(StmtId(6)), ProcRef(1));
+    }
+
+    #[test]
+    fn parent_chains_and_mutual_exclusion() {
+        let mut b = ProgramBuilder::new();
+        let x = b.variable("x");
+        let p = b.process("p");
+        b.compute(p, "outside");
+        b.if_eq_labeled(
+            p,
+            x,
+            0,
+            "outer",
+            |t| {
+                t.compute_here("in_then");
+                t.if_eq_here(
+                    x,
+                    1,
+                    |tt| {
+                        tt.compute_here("deep_then");
+                    },
+                    |ee| {
+                        ee.compute_here("deep_else");
+                    },
+                );
+            },
+            |e| {
+                e.compute_here("in_else");
+            },
+        );
+        let prog = b.build();
+        let map = StmtMap::build(&prog);
+        let outside = map.labeled("outside").unwrap();
+        let in_then = map.labeled("in_then").unwrap();
+        let in_else = map.labeled("in_else").unwrap();
+        let deep_then = map.labeled("deep_then").unwrap();
+        let deep_else = map.labeled("deep_else").unwrap();
+
+        assert_eq!(map.parent(outside), None);
+        assert!(map.mutually_exclusive(in_then, in_else));
+        assert!(
+            map.mutually_exclusive(deep_then, in_else),
+            "nested vs sibling branch"
+        );
+        assert!(map.mutually_exclusive(deep_then, deep_else));
+        assert!(
+            !map.mutually_exclusive(in_then, deep_then),
+            "same branch path"
+        );
+        assert!(!map.mutually_exclusive(outside, in_then));
+        assert!(!map.mutually_exclusive(outside, outside));
+    }
+
+    #[test]
+    fn describe_names_the_process_and_kind() {
+        let mut b = ProgramBuilder::new();
+        let ev = b.event_var("ev");
+        let p = b.process("worker");
+        b.compute(p, "setup");
+        b.post(p, ev);
+        let prog = b.build();
+        let map = StmtMap::build(&prog);
+        let setup = map.labeled("setup").unwrap();
+        assert_eq!(map.describe(setup), "`worker` stmt #0 (compute \"setup\")");
+        assert_eq!(map.kind_name(StmtId(1)), "Post");
+        assert!(map.describe(StmtId(1)).contains("(Post)"));
+    }
+}

@@ -6,8 +6,14 @@ use eo_lang::{run_to_trace, RunError, Scheduler};
 use proptest::prelude::*;
 
 fn spec() -> impl Strategy<Value = WorkloadSpec> {
-    (2usize..=4, 2usize..=5, 0u64..5000, prop::bool::ANY, 0.0f64..=1.0).prop_map(
-        |(procs, epp, seed, sem, density)| {
+    (
+        2usize..=4,
+        2usize..=5,
+        0u64..5000,
+        prop::bool::ANY,
+        0.0f64..=1.0,
+    )
+        .prop_map(|(procs, epp, seed, sem, density)| {
             let mut s = if sem {
                 WorkloadSpec::small_semaphore(seed)
             } else {
@@ -17,8 +23,7 @@ fn spec() -> impl Strategy<Value = WorkloadSpec> {
             s.events_per_process = epp;
             s.sync_density = density;
             s
-        },
-    )
+        })
 }
 
 proptest! {

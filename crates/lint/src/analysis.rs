@@ -1,0 +1,206 @@
+//! The shared static context every lint queries.
+//!
+//! Built once per lint run: the flattened statement table, the
+//! Callahan–Subhlok guaranteed orderings (including *entry* sets — see
+//! [`StaticOrderings::completes_before_reaching`]), per-resource
+//! statement indexes, and the *definiteness* classification.
+//!
+//! A statement is **definite** when it executes in every complete
+//! execution of the program: it sits outside every conditional branch and
+//! its process is *definitely started* (a root, or forked by a definite
+//! fork site of a definitely-started process). Definiteness is what lets
+//! a lint count supply soundly — a `V(s)` inside an untaken branch
+//! supplies nothing.
+
+use eo_approx::cs::StaticOrderings;
+use eo_lang::stmt::{StmtId, StmtMap};
+use eo_lang::{ProcRef, Program, StmtKind};
+
+/// Shared precomputation for one lint run over a validated program.
+pub(crate) struct Ctx<'p> {
+    pub program: &'p Program,
+    pub map: StmtMap<'p>,
+    pub so: StaticOrderings,
+    /// Per process definition: starts in every complete execution.
+    pub definite_started: Vec<bool>,
+    /// Per statement: executes in every complete execution.
+    pub definite_stmt: Vec<bool>,
+    /// Per process definition: the unique fork statement targeting it.
+    pub fork_site: Vec<Option<StmtId>>,
+    /// Per event variable: `Post`/`Wait`/`Clear` statements.
+    pub posts: Vec<Vec<StmtId>>,
+    pub waits: Vec<Vec<StmtId>>,
+    pub clears: Vec<Vec<StmtId>>,
+    /// Per semaphore: `P`/`V` statements.
+    pub sem_ps: Vec<Vec<StmtId>>,
+    pub sem_vs: Vec<Vec<StmtId>>,
+    /// All `join` statements.
+    pub joins: Vec<StmtId>,
+    /// Per process definition: its potentially blocking statements
+    /// (`P`, `Wait`, `join`), anywhere in the body including branches.
+    pub blocking_of: Vec<Vec<StmtId>>,
+}
+
+impl<'p> Ctx<'p> {
+    /// Builds the context. The program must already be validated.
+    pub fn build(program: &'p Program) -> Ctx<'p> {
+        let map = StmtMap::build(program);
+        let so = StaticOrderings::analyze(program);
+        let n_proc = program.processes.len();
+
+        let mut fork_site: Vec<Option<StmtId>> = vec![None; n_proc];
+        let mut posts = vec![Vec::new(); program.event_vars.len()];
+        let mut waits = vec![Vec::new(); program.event_vars.len()];
+        let mut clears = vec![Vec::new(); program.event_vars.len()];
+        let mut sem_ps = vec![Vec::new(); program.semaphores.len()];
+        let mut sem_vs = vec![Vec::new(); program.semaphores.len()];
+        let mut joins = Vec::new();
+        let mut blocking_of: Vec<Vec<StmtId>> = vec![Vec::new(); n_proc];
+
+        for id in map.ids() {
+            match map.kind(id) {
+                StmtKind::Post(v) => posts[v.index()].push(id),
+                StmtKind::Wait(v) => {
+                    waits[v.index()].push(id);
+                    blocking_of[map.process(id).index()].push(id);
+                }
+                StmtKind::Clear(v) => clears[v.index()].push(id),
+                StmtKind::SemP(s) => {
+                    sem_ps[s.index()].push(id);
+                    blocking_of[map.process(id).index()].push(id);
+                }
+                StmtKind::SemV(s) => sem_vs[s.index()].push(id),
+                StmtKind::Fork(targets) => {
+                    for t in targets {
+                        fork_site[t.index()] = Some(id);
+                    }
+                }
+                StmtKind::Join(_) => {
+                    joins.push(id);
+                    blocking_of[map.process(id).index()].push(id);
+                }
+                _ => {}
+            }
+        }
+
+        // Definitely-started, with a visiting guard: fork relationships
+        // among never-started definitions can be circular (A forks B, B
+        // forks A — statically valid, dynamically dead), and circular
+        // means "not definite".
+        let mut definite_started = vec![None::<bool>; n_proc];
+        fn started(
+            p: usize,
+            program: &Program,
+            map: &StmtMap<'_>,
+            fork_site: &[Option<StmtId>],
+            memo: &mut [Option<bool>],
+            visiting: &mut Vec<usize>,
+        ) -> bool {
+            if let Some(v) = memo[p] {
+                return v;
+            }
+            if visiting.contains(&p) {
+                return false; // circular fork chain: never starts
+            }
+            let v = if program.processes[p].root {
+                true
+            } else {
+                match fork_site[p] {
+                    None => false,
+                    Some(fs) => {
+                        visiting.push(p);
+                        let parent_ok = started(
+                            map.process(fs).index(),
+                            program,
+                            map,
+                            fork_site,
+                            memo,
+                            visiting,
+                        );
+                        visiting.pop();
+                        parent_ok && map.parent(fs).is_none()
+                    }
+                }
+            };
+            memo[p] = Some(v);
+            v
+        }
+        let mut visiting = Vec::new();
+        for p in 0..n_proc {
+            started(
+                p,
+                program,
+                &map,
+                &fork_site,
+                &mut definite_started,
+                &mut visiting,
+            );
+        }
+        let definite_started: Vec<bool> = definite_started
+            .into_iter()
+            .map(|v| v.unwrap_or(false))
+            .collect();
+
+        let definite_stmt: Vec<bool> = map
+            .ids()
+            .map(|id| map.parent(id).is_none() && definite_started[map.process(id).index()])
+            .collect();
+
+        Ctx {
+            program,
+            map,
+            so,
+            definite_started,
+            definite_stmt,
+            fork_site,
+            posts,
+            waits,
+            clears,
+            sem_ps,
+            sem_vs,
+            joins,
+            blocking_of,
+        }
+    }
+
+    /// The chain of fork sites that must execute before process `p` can
+    /// start: `[(fork stmt, forking process), …]` from `p`'s own fork
+    /// site upward toward a root. Guarded against circular fork chains.
+    pub fn fork_chain(&self, p: ProcRef) -> Vec<(StmtId, ProcRef)> {
+        let mut chain = Vec::new();
+        let mut seen = vec![false; self.program.processes.len()];
+        let mut cur = p;
+        while !self.program.processes[cur.index()].root {
+            if seen[cur.index()] {
+                break;
+            }
+            seen[cur.index()] = true;
+            match self.fork_site[cur.index()] {
+                None => break,
+                Some(fs) => {
+                    let owner = self.map.process(fs);
+                    chain.push((fs, owner));
+                    cur = owner;
+                }
+            }
+        }
+        chain
+    }
+
+    /// A supplier statement is *pre-committed* when it is guaranteed to
+    /// have completed before its own process can block anywhere: once the
+    /// process starts, the supply arrives before any chance of getting
+    /// stuck. Such suppliers need no wait-for edge to their process
+    /// (vacuously true for processes with no blocking statements at all).
+    pub fn pre_committed(&self, q: StmtId) -> bool {
+        let qp = self.map.process(q);
+        self.blocking_of[qp.index()]
+            .iter()
+            .all(|&b| b == q || self.so.completes_before_reaching(q, b))
+    }
+
+    /// Name of process `p`.
+    pub fn proc_name(&self, p: ProcRef) -> &str {
+        &self.program.processes[p.index()].name
+    }
+}

@@ -1,0 +1,300 @@
+//! Static deadlock detection: a wait-for graph over process definitions.
+//!
+//! A node is a process definition; an edge `P → Q` means "P can sit
+//! blocked at some statement whose supply must come from Q". Any cycle
+//! (including a self-loop) is a potential deadlock and yields one
+//! [`crate::diag::codes::DEADLOCK_CYCLE`] warning.
+//!
+//! Edges are filtered hard to stay useful on real programs:
+//!
+//! * a supplier that *completes before control can reach* the blocked
+//!   statement needs no edge — the supply is already in by the time the
+//!   question arises (this uses entry sets, not `prec`, because `prec`
+//!   of a `Wait` vacuously contains the very posts it waits for);
+//! * a *conditional* supplier (inside a branch, or in a process that may
+//!   never start) contributes no edge — conditional supply is the
+//!   counting lints' job ([`crate::diag::codes::SEM_MAY_STARVE`],
+//!   [`crate::diag::codes::WAIT_MAYBE_UNSUPPLIED`]), and drawing edges
+//!   for it here would double-report;
+//! * a *pre-committed* supplier (guaranteed to run before its own
+//!   process can block anywhere) contributes no direct edge — its
+//!   process delivers before it can ever get stuck;
+//! * a semaphore whose initial count covers every `P` statement in the
+//!   program can never block anyone, so its waits contribute nothing.
+//!
+//! What always remains are *fork-chain* edges: if the supplier's process
+//! must first be forked by some other process, the blocked process
+//! transitively waits on every forker whose fork is not already
+//! guaranteed to precede the blocked statement.
+
+use std::collections::BTreeMap;
+
+use crate::analysis::Ctx;
+use crate::diag::{codes, Anchor, Diagnostic, Severity};
+use eo_lang::stmt::StmtId;
+use eo_lang::{ProcRef, StmtKind};
+
+/// One wait-for edge: the blocked statement plus a human reason.
+struct EdgeInfo {
+    at: StmtId,
+    reason: String,
+}
+
+/// Runs the wait-for-cycle detector, appending EO-L007 findings to
+/// `out`.
+pub(crate) fn deadlock_lints(ctx: &Ctx<'_>, out: &mut Vec<Diagnostic>) {
+    let n = ctx.program.processes.len();
+    let mut edges: Vec<BTreeMap<usize, EdgeInfo>> = (0..n).map(|_| BTreeMap::new()).collect();
+
+    for p in 0..n {
+        for &w in &ctx.blocking_of[p] {
+            match ctx.map.kind(w) {
+                StmtKind::SemP(s) => {
+                    let decl = &ctx.program.semaphores[s.index()];
+                    let ps = &ctx.sem_ps[s.index()];
+                    if decl.initial as usize >= ps.len() {
+                        // Each P statement executes at most once (no
+                        // loops), so the initial count alone satisfies
+                        // every acquire: this statement can never block.
+                        continue;
+                    }
+                    supplier_edges(ctx, &mut edges, p, w, &ctx.sem_vs[s.index()], "V");
+                }
+                StmtKind::Wait(v) => {
+                    let decl = &ctx.program.event_vars[v.index()];
+                    if decl.initially_set && ctx.clears[v.index()].is_empty() {
+                        continue; // flag starts set and stays set
+                    }
+                    supplier_edges(ctx, &mut edges, p, w, &ctx.posts[v.index()], "Post");
+                }
+                StmtKind::Join(targets) => {
+                    for &t in targets {
+                        join_edges(ctx, &mut edges, p, w, t);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    report_cycles(ctx, &edges, out);
+}
+
+/// Edges for a blocked statement `w` of process `p` whose supply is one
+/// of `suppliers` (the `V`s of a semaphore or the `Post`s of an event
+/// variable).
+fn supplier_edges(
+    ctx: &Ctx<'_>,
+    edges: &mut [BTreeMap<usize, EdgeInfo>],
+    p: usize,
+    w: StmtId,
+    suppliers: &[StmtId],
+    verb: &str,
+) {
+    for &q in suppliers {
+        if ctx.so.completes_before_reaching(q, w) {
+            continue; // supply already in before w is reachable
+        }
+        if ctx.map.mutually_exclusive(q, w) {
+            continue; // opposite branches: q never runs when w does
+        }
+        if !ctx.definite_stmt[q.index()] {
+            continue; // conditional supply: the counting lints own this
+        }
+        let qp = ctx.map.process(q);
+        if !ctx.pre_committed(q) {
+            add_edge(
+                edges,
+                p,
+                qp.index(),
+                w,
+                format!(
+                    "`{}` blocks at {} until `{}` runs its {} at {}",
+                    ctx.proc_name(ProcRef(p as u32)),
+                    ctx.map.describe(w),
+                    ctx.proc_name(qp),
+                    verb,
+                    ctx.map.describe(q)
+                ),
+            );
+        }
+        chain_edges(ctx, edges, p, w, qp, "the supplier's process");
+    }
+}
+
+/// Edges for `join` statement `w` of process `p` awaiting target `t`.
+fn join_edges(
+    ctx: &Ctx<'_>,
+    edges: &mut [BTreeMap<usize, EdgeInfo>],
+    p: usize,
+    w: StmtId,
+    t: ProcRef,
+) {
+    if !ctx.blocking_of[t.index()].is_empty() {
+        add_edge(
+            edges,
+            p,
+            t.index(),
+            w,
+            format!(
+                "`{}` joins `{}` at {}, and `{}` can itself block",
+                ctx.proc_name(ProcRef(p as u32)),
+                ctx.proc_name(t),
+                ctx.map.describe(w),
+                ctx.proc_name(t)
+            ),
+        );
+    }
+    chain_edges(ctx, edges, p, w, t, "the joined process");
+}
+
+/// Fork-chain edges: process `p`, blocked at `w`, transitively waits on
+/// every process that must fork `target`'s ancestry — except forks
+/// already guaranteed to precede `w`.
+fn chain_edges(
+    ctx: &Ctx<'_>,
+    edges: &mut [BTreeMap<usize, EdgeInfo>],
+    p: usize,
+    w: StmtId,
+    target: ProcRef,
+    role: &str,
+) {
+    for (fs, fp) in ctx.fork_chain(target) {
+        if ctx.so.completes_before_reaching(fs, w) {
+            continue;
+        }
+        add_edge(
+            edges,
+            p,
+            fp.index(),
+            w,
+            format!(
+                "{role} cannot start until `{}` forks it at {}",
+                ctx.proc_name(fp),
+                ctx.map.describe(fs)
+            ),
+        );
+    }
+}
+
+fn add_edge(
+    edges: &mut [BTreeMap<usize, EdgeInfo>],
+    from: usize,
+    to: usize,
+    at: StmtId,
+    reason: String,
+) {
+    edges[from].entry(to).or_insert(EdgeInfo { at, reason });
+}
+
+/// Finds strongly connected components of the wait-for graph and emits
+/// one warning per cyclic SCC (two or more nodes, or a self-loop).
+fn report_cycles(ctx: &Ctx<'_>, edges: &[BTreeMap<usize, EdgeInfo>], out: &mut Vec<Diagnostic>) {
+    let sccs = tarjan_sccs(edges);
+    for scc in sccs {
+        let cyclic = scc.len() > 1 || edges[scc[0]].contains_key(&scc[0]);
+        if !cyclic {
+            continue;
+        }
+        let mut members = scc.clone();
+        members.sort_unstable();
+        let names: Vec<&str> = members
+            .iter()
+            .map(|&m| ctx.proc_name(ProcRef(m as u32)))
+            .collect();
+        let mut notes = Vec::new();
+        let mut anchor: Option<StmtId> = None;
+        for &from in &members {
+            for (&to, info) in &edges[from] {
+                if members.contains(&to) {
+                    notes.push(info.reason.clone());
+                    anchor = Some(match anchor {
+                        Some(a) if a.index() <= info.at.index() => a,
+                        _ => info.at,
+                    });
+                }
+            }
+        }
+        let anchor = anchor.expect("cyclic SCC has at least one internal edge");
+        out.push(Diagnostic {
+            code: codes::DEADLOCK_CYCLE,
+            severity: Severity::Warning,
+            anchor: Anchor::Stmt(anchor),
+            location: ctx.map.describe(anchor),
+            message: format!(
+                "potential deadlock: process(es) {} wait on each other in a cycle",
+                names
+                    .iter()
+                    .map(|n| format!("`{n}`"))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ),
+            notes,
+        });
+    }
+}
+
+/// Iterative Tarjan: returns SCCs in reverse topological order; we only
+/// care about membership, and callers re-sort.
+fn tarjan_sccs(edges: &[BTreeMap<usize, EdgeInfo>]) -> Vec<Vec<usize>> {
+    let n = edges.len();
+    let mut index = vec![usize::MAX; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack = Vec::new();
+    let mut next_index = 0usize;
+    let mut sccs = Vec::new();
+
+    // Explicit DFS frames: (node, iterator position over its successors).
+    for root in 0..n {
+        if index[root] != usize::MAX {
+            continue;
+        }
+        let mut frames: Vec<(usize, Vec<usize>, usize)> = Vec::new();
+        let succs: Vec<usize> = edges[root].keys().copied().collect();
+        index[root] = next_index;
+        low[root] = next_index;
+        next_index += 1;
+        stack.push(root);
+        on_stack[root] = true;
+        frames.push((root, succs, 0));
+
+        while let Some(frame) = frames.last_mut() {
+            let (v, succs, pos) = (frame.0, &frame.1, &mut frame.2);
+            if *pos < succs.len() {
+                let u = succs[*pos];
+                *pos += 1;
+                if index[u] == usize::MAX {
+                    index[u] = next_index;
+                    low[u] = next_index;
+                    next_index += 1;
+                    stack.push(u);
+                    on_stack[u] = true;
+                    let next_succs: Vec<usize> = edges[u].keys().copied().collect();
+                    frames.push((u, next_succs, 0));
+                } else if on_stack[u] {
+                    low[v] = low[v].min(index[u]);
+                }
+            } else {
+                // v is finished; pop and propagate its low-link.
+                let v = frames.pop().expect("frame exists").0;
+                if low[v] == index[v] {
+                    let mut scc = Vec::new();
+                    loop {
+                        let u = stack.pop().expect("stack nonempty");
+                        on_stack[u] = false;
+                        scc.push(u);
+                        if u == v {
+                            break;
+                        }
+                    }
+                    sccs.push(scc);
+                }
+                if let Some(parent) = frames.last_mut() {
+                    low[parent.0] = low[parent.0].min(low[v]);
+                }
+            }
+        }
+    }
+    sccs
+}

@@ -1,0 +1,480 @@
+//! `eo-lint`: static synchronization analysis for `eo-lang` programs.
+//!
+//! The paper's model makes synchronization *first-class data*: programs
+//! coordinate only through fork/join, counting semaphores, and
+//! Post/Wait/Clear event variables, and executions are finite. That
+//! makes a surprising amount of misuse statically decidable — and this
+//! crate decides it:
+//!
+//! * **misuse lints** — waits that nothing can satisfy (`EO-L001`,
+//!   `EO-L009`), waits racing `Clear` (`EO-L002`), semaphores that are
+//!   over-acquired on every run (`EO-L003`) or only conditionally
+//!   supplied (`EO-L004`), posts no wait can ever observe (`EO-L005`),
+//!   joins on maybe-unforked processes (`EO-L006`), forked-but-never-
+//!   joined style findings (`EO-L008`);
+//! * **deadlock cycles** (`EO-L007`) — a wait-for graph over process
+//!   definitions, edge-filtered by the Callahan–Subhlok guaranteed
+//!   orderings of `eo-approx`, whose cycles are potential deadlocks.
+//!
+//! Together the `Warning`-and-above findings form a *sound*
+//! over-approximation of dynamic deadlock: a program whose report
+//! [`LintReport::is_clean`] cannot deadlock under any scheduler. The
+//! property tests cross-check exactly this against the interpreter's
+//! dynamic deadlock detection over random programs and schedules.
+//!
+//! Diagnostics anchor at statements (or observed events, when linting a
+//! [`eo_model::Trace`] via [`trace_lint`]) and render as compiler-style
+//! text or JSON — see [`LintReport`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod analysis;
+mod deadlock;
+pub mod diag;
+mod lints;
+pub mod trace_lint;
+
+pub use diag::{codes, Anchor, Diagnostic, LintReport, Severity};
+pub use trace_lint::{lint_trace, program_from_trace, TraceLintError};
+
+use eo_lang::{Program, ProgramError};
+
+/// Knobs for a lint run.
+#[derive(Clone, Debug)]
+pub struct LintOptions {
+    /// Emit `Info`-level style findings (e.g. `EO-L008`
+    /// forked-never-joined). On by default; switched off when linting
+    /// traces, whose reconstructed programs routinely leave processes
+    /// unjoined.
+    pub style: bool,
+}
+
+impl Default for LintOptions {
+    fn default() -> Self {
+        LintOptions { style: true }
+    }
+}
+
+impl LintOptions {
+    /// The options [`lint_trace`] uses: no style findings.
+    pub fn for_trace() -> Self {
+        LintOptions { style: false }
+    }
+}
+
+/// Lints a program: validates it, then runs every analysis.
+///
+/// Returns `Err` only when the program fails static validation (dangling
+/// references, bad fork structure); a *valid* program always yields a
+/// report, possibly empty.
+pub fn lint_program(program: &Program, opts: &LintOptions) -> Result<LintReport, ProgramError> {
+    program.validate()?;
+    Ok(lint_validated(program, opts))
+}
+
+/// Lints an already-validated program.
+pub(crate) fn lint_validated(program: &Program, opts: &LintOptions) -> LintReport {
+    let ctx = analysis::Ctx::build(program);
+    let mut out = Vec::new();
+    lints::sync_lints(&ctx, opts, &mut out);
+    deadlock::deadlock_lints(&ctx, &mut out);
+    LintReport { diagnostics: out }.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eo_lang::generator::{barrier_program, figure1_program, fork_join_tree, pipeline_program};
+    use eo_lang::{ProgramBuilder, StmtKind};
+
+    fn lint(program: &Program) -> LintReport {
+        lint_program(program, &LintOptions::default()).expect("valid program")
+    }
+
+    fn codes_of(report: &LintReport) -> Vec<&'static str> {
+        report.diagnostics.iter().map(|d| d.code).collect()
+    }
+
+    // ---- deadlock cycles (EO-L007) ------------------------------------
+
+    #[test]
+    fn classic_semaphore_cycle_is_flagged() {
+        let mut b = ProgramBuilder::new();
+        let (sa, sb) = (b.semaphore("a"), b.semaphore("b"));
+        let p1 = b.process("p1");
+        b.sem_p(p1, sa).sem_v(p1, sb);
+        let p2 = b.process("p2");
+        b.sem_p(p2, sb).sem_v(p2, sa);
+        let report = lint(&b.build());
+        assert_eq!(
+            codes_of(&report),
+            vec![codes::DEADLOCK_CYCLE],
+            "{}",
+            report.render_text()
+        );
+        assert!(!report.is_clean());
+    }
+
+    #[test]
+    fn producer_consumer_handshake_is_clean() {
+        // Same statements, supply-before-demand order: no deadlock.
+        let mut b = ProgramBuilder::new();
+        let (sa, sb) = (b.semaphore("a"), b.semaphore("b"));
+        let p1 = b.process("p1");
+        b.sem_v(p1, sa).sem_p(p1, sb);
+        let p2 = b.process("p2");
+        b.sem_v(p2, sb).sem_p(p2, sa);
+        let report = lint(&b.build());
+        assert!(report.is_empty(), "{}", report.render_text());
+    }
+
+    #[test]
+    fn mutual_wait_post_cycle_is_flagged() {
+        let mut b = ProgramBuilder::new();
+        let (u, v) = (b.event_var("u"), b.event_var("v"));
+        let p1 = b.process("p1");
+        b.wait(p1, u).post(p1, v);
+        let p2 = b.process("p2");
+        b.wait(p2, v).post(p2, u);
+        let report = lint(&b.build());
+        assert_eq!(
+            codes_of(&report),
+            vec![codes::DEADLOCK_CYCLE],
+            "{}",
+            report.render_text()
+        );
+        let d = &report.diagnostics[0];
+        assert!(
+            d.message.contains("`p1`") && d.message.contains("`p2`"),
+            "{}",
+            d.message
+        );
+        assert!(!d.notes.is_empty(), "cycle warnings explain their edges");
+    }
+
+    #[test]
+    fn post_before_wait_handshake_is_clean() {
+        let mut b = ProgramBuilder::new();
+        let (u, v) = (b.event_var("u"), b.event_var("v"));
+        let p1 = b.process("p1");
+        b.post(p1, u).wait(p1, v);
+        let p2 = b.process("p2");
+        b.post(p2, v).wait(p2, u);
+        let report = lint(&b.build());
+        assert!(report.is_empty(), "{}", report.render_text());
+    }
+
+    #[test]
+    fn self_supply_after_own_block_is_a_self_loop() {
+        // p: P(s); V(s) with s=0 — the V can never run.
+        let mut b = ProgramBuilder::new();
+        let s = b.semaphore("s");
+        let p = b.process("p");
+        b.sem_p(p, s).sem_v(p, s);
+        let report = lint(&b.build());
+        assert!(
+            codes_of(&report).contains(&codes::DEADLOCK_CYCLE),
+            "{}",
+            report.render_text()
+        );
+    }
+
+    #[test]
+    fn initial_count_that_covers_all_acquires_suppresses_cycles() {
+        // Structurally a cycle, but the initial counts satisfy every P.
+        let mut b = ProgramBuilder::new();
+        let sa = b.semaphore_init("a", 1);
+        let sb = b.semaphore_init("b", 1);
+        let p1 = b.process("p1");
+        b.sem_p(p1, sa).sem_v(p1, sb);
+        let p2 = b.process("p2");
+        b.sem_p(p2, sb).sem_v(p2, sa);
+        let report = lint(&b.build());
+        assert!(report.is_empty(), "{}", report.render_text());
+    }
+
+    // ---- wait supply (EO-L001, EO-L009, EO-L002, EO-L005) -------------
+
+    #[test]
+    fn wait_never_posted_is_an_error() {
+        let mut b = ProgramBuilder::new();
+        let v = b.event_var("v");
+        let p = b.process("p");
+        b.wait(p, v);
+        let report = lint(&b.build());
+        assert_eq!(codes_of(&report), vec![codes::WAIT_NEVER_POSTED]);
+        assert!(report.has_errors());
+    }
+
+    #[test]
+    fn initially_set_flag_satisfies_waits() {
+        let mut b = ProgramBuilder::new();
+        let v = b.event_var_init("v", true);
+        let p = b.process("p");
+        b.wait(p, v);
+        let report = lint(&b.build());
+        assert!(report.is_empty(), "{}", report.render_text());
+    }
+
+    #[test]
+    fn conditional_only_posts_warn() {
+        let mut b = ProgramBuilder::new();
+        let x = b.variable("x");
+        let v = b.event_var("v");
+        let p1 = b.process("p1");
+        b.if_eq(
+            p1,
+            x,
+            0,
+            |t| {
+                t.post_here(v);
+            },
+            |_| {},
+        );
+        let p2 = b.process("p2");
+        b.wait(p2, v);
+        let report = lint(&b.build());
+        assert_eq!(
+            codes_of(&report),
+            vec![codes::WAIT_MAYBE_UNSUPPLIED],
+            "{}",
+            report.render_text()
+        );
+    }
+
+    #[test]
+    fn clear_race_warns() {
+        let mut b = ProgramBuilder::new();
+        let v = b.event_var("v");
+        let p1 = b.process("p1");
+        b.post(p1, v);
+        let p2 = b.process("p2");
+        b.clear(p2, v);
+        let p3 = b.process("p3");
+        b.wait(p3, v);
+        let report = lint(&b.build());
+        assert!(
+            codes_of(&report).contains(&codes::WAIT_CLEAR_RACE),
+            "{}",
+            report.render_text()
+        );
+    }
+
+    #[test]
+    fn sequenced_clear_then_post_is_safe() {
+        // Clear is guaranteed before the Post, and the Post completes
+        // before the Wait is reached: no interleaving can lose the flag.
+        let mut b = ProgramBuilder::new();
+        let v = b.event_var_init("v", true);
+        let p = b.process("p");
+        b.clear(p, v).post(p, v).wait(p, v);
+        let report = lint(&b.build());
+        assert!(report.is_empty(), "{}", report.render_text());
+    }
+
+    #[test]
+    fn dead_post_is_reported() {
+        // The post is erased by the same process's own clear before any
+        // wait is guaranteed to have seen it.
+        let mut b = ProgramBuilder::new();
+        let v = b.event_var("v");
+        let p1 = b.process("p1");
+        b.post(p1, v).clear(p1, v);
+        let p2 = b.process("p2");
+        b.wait(p2, v);
+        let report = lint(&b.build());
+        let found = codes_of(&report);
+        assert!(
+            found.contains(&codes::DEAD_POST),
+            "{}",
+            report.render_text()
+        );
+        assert!(
+            found.contains(&codes::WAIT_CLEAR_RACE),
+            "the wait also races the clear"
+        );
+    }
+
+    // ---- semaphore counting (EO-L003, EO-L004) ------------------------
+
+    #[test]
+    fn p_with_no_supply_is_an_error() {
+        let mut b = ProgramBuilder::new();
+        let s = b.semaphore("s");
+        let p = b.process("p");
+        b.sem_p(p, s);
+        let report = lint(&b.build());
+        assert_eq!(codes_of(&report), vec![codes::SEM_NEVER_SUPPLIED]);
+        assert!(report.has_errors());
+    }
+
+    #[test]
+    fn over_acquisition_on_every_run_is_an_error() {
+        let mut b = ProgramBuilder::new();
+        let s = b.semaphore("s");
+        let p1 = b.process("p1");
+        b.sem_v(p1, s).sem_p(p1, s);
+        let p2 = b.process("p2");
+        b.sem_p(p2, s);
+        let report = lint(&b.build());
+        assert!(
+            codes_of(&report).contains(&codes::SEM_NEVER_SUPPLIED),
+            "{}",
+            report.render_text()
+        );
+    }
+
+    #[test]
+    fn conditional_supply_warns() {
+        let mut b = ProgramBuilder::new();
+        let x = b.variable("x");
+        let s = b.semaphore("s");
+        let p1 = b.process("p1");
+        b.if_eq(
+            p1,
+            x,
+            0,
+            |t| {
+                t.sem_v_here(s);
+            },
+            |_| {},
+        );
+        let p2 = b.process("p2");
+        b.sem_p(p2, s);
+        let report = lint(&b.build());
+        assert_eq!(
+            codes_of(&report),
+            vec![codes::SEM_MAY_STARVE],
+            "{}",
+            report.render_text()
+        );
+    }
+
+    // ---- fork/join (EO-L006, EO-L008) ---------------------------------
+
+    #[test]
+    fn join_on_conditionally_forked_process_warns() {
+        let mut b = ProgramBuilder::new();
+        let x = b.variable("x");
+        let main = b.process("main");
+        let child = b.subprocess("child");
+        b.if_eq(
+            main,
+            x,
+            0,
+            |t| {
+                t.fork_here(&[child]);
+            },
+            |_| {},
+        );
+        b.join(main, &[child]);
+        let report = lint(&b.build());
+        assert!(
+            codes_of(&report).contains(&codes::JOIN_MAYBE_UNFORKED),
+            "{}",
+            report.render_text()
+        );
+    }
+
+    #[test]
+    fn fork_then_join_is_clean() {
+        let mut b = ProgramBuilder::new();
+        let main = b.process("main");
+        let w = b.subprocess("worker");
+        b.fork(main, &[w]).join(main, &[w]);
+        b.skip(w);
+        let report = lint(&b.build());
+        assert!(report.is_empty(), "{}", report.render_text());
+    }
+
+    fn forked_never_joined_program() -> Program {
+        let mut b = ProgramBuilder::new();
+        let main = b.process("main");
+        let w = b.subprocess("worker");
+        b.fork(main, &[w]);
+        b.skip(w);
+        b.build()
+    }
+
+    #[test]
+    fn forked_never_joined_is_info_only() {
+        let report = lint(&forked_never_joined_program());
+        assert_eq!(codes_of(&report), vec![codes::FORKED_NEVER_JOINED]);
+        assert!(report.is_clean(), "style findings do not dirty the report");
+        let quiet =
+            lint_program(&forked_never_joined_program(), &LintOptions::for_trace()).expect("valid");
+        assert!(quiet.is_empty(), "trace options suppress style lints");
+    }
+
+    // ---- whole-program families ---------------------------------------
+
+    #[test]
+    fn generator_families_are_clean() {
+        for (name, prog) in [
+            ("figure1", figure1_program()),
+            ("pipeline", pipeline_program(3, 2)),
+            ("barrier", barrier_program(3, 2)),
+            ("fork_join_tree", fork_join_tree(2, 2)),
+        ] {
+            let report = lint(&prog);
+            assert!(
+                report.is_clean(),
+                "{name} should lint clean:\n{}",
+                report.render_text()
+            );
+        }
+    }
+
+    #[test]
+    fn reports_render_and_serialize() {
+        let mut b = ProgramBuilder::new();
+        let v = b.event_var("v");
+        let p = b.process("p");
+        b.wait(p, v);
+        let report = lint(&b.build());
+        let text = report.render_text();
+        assert!(text.contains("error[EO-L001]"), "{text}");
+        assert!(text.contains("--> `p` stmt #0"), "{text}");
+        let json = report.to_json().pretty();
+        assert!(json.contains("\"EO-L001\""), "{json}");
+        assert!(json.contains("\"errors\": 1"), "{json}");
+    }
+
+    #[test]
+    fn diagnostics_sort_most_severe_first() {
+        let mut b = ProgramBuilder::new();
+        let x = b.variable("x");
+        let (u, v) = (b.event_var("u"), b.event_var("v"));
+        let p = b.process("p");
+        b.wait(p, v); // error: never posted
+        let p2 = b.process("p2");
+        b.if_eq(
+            p2,
+            x,
+            0,
+            |t| {
+                t.post_here(u);
+            },
+            |_| {},
+        );
+        let p3 = b.process("p3");
+        b.wait(p3, u); // warning: conditional supply
+        let report = lint(&b.build());
+        let sevs: Vec<_> = report.diagnostics.iter().map(|d| d.severity).collect();
+        assert_eq!(sevs, vec![Severity::Error, Severity::Warning]);
+    }
+
+    #[test]
+    fn invalid_programs_are_rejected_not_linted() {
+        let program = Program {
+            processes: vec![eo_lang::ProcDef {
+                name: "p".into(),
+                root: true,
+                body: vec![eo_lang::Stmt::new(StmtKind::SemP(eo_model::SemId::new(7)))],
+            }],
+            ..Default::default()
+        };
+        assert!(lint_program(&program, &LintOptions::default()).is_err());
+    }
+}

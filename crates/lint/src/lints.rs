@@ -1,0 +1,268 @@
+//! Synchronization-misuse lints over the AST.
+//!
+//! Every rule here reasons with the Callahan–Subhlok guaranteed
+//! orderings and the definiteness classification from
+//! [`crate::analysis`]; the combination of these lints plus the wait-for
+//! cycle detector in [`crate::deadlock`] is *sound* for deadlock: a
+//! program with no `Warning`-or-worse finding cannot reach a state where
+//! live processes are all permanently blocked (the property tests drive
+//! this claim against the interpreter).
+
+use crate::analysis::Ctx;
+use crate::diag::{codes, Anchor, Diagnostic, Severity};
+use crate::LintOptions;
+use eo_lang::StmtKind;
+
+/// Runs all AST-level misuse lints, appending findings to `out`.
+pub(crate) fn sync_lints(ctx: &Ctx<'_>, opts: &LintOptions, out: &mut Vec<Diagnostic>) {
+    event_var_lints(ctx, out);
+    semaphore_lints(ctx, out);
+    join_lints(ctx, out);
+    if opts.style {
+        style_lints(ctx, out);
+    }
+}
+
+fn stmt_diag(
+    ctx: &Ctx<'_>,
+    code: &'static str,
+    severity: Severity,
+    anchor: eo_lang::StmtId,
+    message: String,
+    notes: Vec<String>,
+) -> Diagnostic {
+    Diagnostic {
+        code,
+        severity,
+        anchor: Anchor::Stmt(anchor),
+        location: ctx.map.describe(anchor),
+        message,
+        notes,
+    }
+}
+
+fn event_var_lints(ctx: &Ctx<'_>, out: &mut Vec<Diagnostic>) {
+    for (vi, decl) in ctx.program.event_vars.iter().enumerate() {
+        let (posts, waits, clears) = (&ctx.posts[vi], &ctx.waits[vi], &ctx.clears[vi]);
+        for &w in waits {
+            if !clears.is_empty() {
+                // With Clears around, the wait is safe only if some post
+                // is guaranteed to land after every clear and before the
+                // wait is reached — then the flag is set at the wait no
+                // matter how the rest interleaves.
+                let safe = posts.iter().any(|&p| {
+                    ctx.so.completes_before_reaching(p, w)
+                        && clears.iter().all(|&c| ctx.so.guaranteed_before(c, p))
+                });
+                if !safe {
+                    let mut notes: Vec<String> = clears
+                        .iter()
+                        .map(|&c| format!("may be cleared at {}", ctx.map.describe(c)))
+                        .collect();
+                    notes.push(
+                        "no Post is guaranteed to follow every Clear and precede this Wait"
+                            .to_string(),
+                    );
+                    out.push(stmt_diag(
+                        ctx,
+                        codes::WAIT_CLEAR_RACE,
+                        Severity::Warning,
+                        w,
+                        format!(
+                            "Wait on `{}` races with Clear: a bad interleaving can erase \
+                             the flag and block this process forever",
+                            decl.name
+                        ),
+                        notes,
+                    ));
+                }
+            } else if decl.initially_set {
+                // Starts set, never cleared: the wait can never block.
+            } else if posts.is_empty() {
+                out.push(stmt_diag(
+                    ctx,
+                    codes::WAIT_NEVER_POSTED,
+                    Severity::Error,
+                    w,
+                    format!(
+                        "Wait on `{}` can never be satisfied: the flag starts clear and \
+                         no statement posts it",
+                        decl.name
+                    ),
+                    vec![],
+                ));
+            } else {
+                let supplied = posts.iter().any(|&p| {
+                    ctx.definite_stmt[p.index()] || ctx.so.completes_before_reaching(p, w)
+                });
+                if !supplied {
+                    let notes = posts
+                        .iter()
+                        .map(|&p| format!("conditional supplier: {}", ctx.map.describe(p)))
+                        .collect();
+                    out.push(stmt_diag(
+                        ctx,
+                        codes::WAIT_MAYBE_UNSUPPLIED,
+                        Severity::Warning,
+                        w,
+                        format!(
+                            "Wait on `{}` may never be supplied: every Post sits on a \
+                             conditional path",
+                            decl.name
+                        ),
+                        notes,
+                    ));
+                }
+            }
+        }
+
+        // Dead posts: a signal erased (on every execution where the clear
+        // runs) before any wait can observe it.
+        if !waits.is_empty() {
+            for &p in posts {
+                let erased_by = clears.iter().find(|&&c| {
+                    ctx.definite_stmt[c.index()]
+                        && ctx.so.guaranteed_before(p, c)
+                        && !waits.iter().any(|&w| {
+                            ctx.so.guaranteed_before(p, w) && ctx.so.guaranteed_before(w, c)
+                        })
+                });
+                if let Some(&c) = erased_by {
+                    out.push(stmt_diag(
+                        ctx,
+                        codes::DEAD_POST,
+                        Severity::Warning,
+                        p,
+                        format!(
+                            "Post of `{}` is always erased by a later Clear before any \
+                             Wait is guaranteed to observe it",
+                            decl.name
+                        ),
+                        vec![format!("erased at {}", ctx.map.describe(c))],
+                    ));
+                }
+            }
+        }
+    }
+}
+
+fn semaphore_lints(ctx: &Ctx<'_>, out: &mut Vec<Diagnostic>) {
+    for (si, decl) in ctx.program.semaphores.iter().enumerate() {
+        let (ps, vs) = (&ctx.sem_ps[si], &ctx.sem_vs[si]);
+        if ps.is_empty() {
+            continue;
+        }
+        let initial = decl.initial as usize;
+        if vs.is_empty() && initial == 0 {
+            for &p in ps {
+                out.push(stmt_diag(
+                    ctx,
+                    codes::SEM_NEVER_SUPPLIED,
+                    Severity::Error,
+                    p,
+                    format!(
+                        "P on `{}` can never succeed: the counter starts at 0 and no \
+                         statement Vs it",
+                        decl.name
+                    ),
+                    vec![],
+                ));
+            }
+            continue;
+        }
+
+        let definite_p = ps.iter().filter(|&&p| ctx.definite_stmt[p.index()]).count();
+        let definite_v = vs.iter().filter(|&&v| ctx.definite_stmt[v.index()]).count();
+        let (possible_p, possible_v) = (ps.len(), vs.len());
+
+        if definite_p > initial + possible_v {
+            out.push(stmt_diag(
+                ctx,
+                codes::SEM_NEVER_SUPPLIED,
+                Severity::Error,
+                ps[0],
+                format!(
+                    "semaphore `{}` is over-acquired on every execution: {definite_p} \
+                     unconditional P(s) against an initial count of {initial} and at \
+                     most {possible_v} V(s)",
+                    decl.name
+                ),
+                vec!["some P blocks forever in every complete execution".to_string()],
+            ));
+        } else if possible_p > initial + definite_v {
+            out.push(stmt_diag(
+                ctx,
+                codes::SEM_MAY_STARVE,
+                Severity::Warning,
+                ps[0],
+                format!(
+                    "semaphore `{}` may starve: up to {possible_p} P(s) against an \
+                     initial count of {initial} and only {definite_v} guaranteed V(s)",
+                    decl.name
+                ),
+                vec![format!(
+                    "{} of {possible_v} V statement(s) are conditional or in processes \
+                     that may never start",
+                    possible_v - definite_v
+                )],
+            ));
+        }
+    }
+}
+
+fn join_lints(ctx: &Ctx<'_>, out: &mut Vec<Diagnostic>) {
+    for &j in &ctx.joins {
+        let StmtKind::Join(targets) = ctx.map.kind(j) else {
+            continue;
+        };
+        for &t in targets {
+            let reliably_forked = ctx.program.processes[t.index()].root
+                || ctx.definite_started[t.index()]
+                || ctx.fork_site[t.index()]
+                    .is_some_and(|fs| ctx.so.completes_before_reaching(fs, j));
+            if !reliably_forked {
+                let note = match ctx.fork_site[t.index()] {
+                    Some(fs) => format!("forked (conditionally) at {}", ctx.map.describe(fs)),
+                    None => "no fork statement targets it".to_string(),
+                };
+                out.push(stmt_diag(
+                    ctx,
+                    codes::JOIN_MAYBE_UNFORKED,
+                    Severity::Warning,
+                    j,
+                    format!(
+                        "join on `{}` may wait for a process that was never forked",
+                        ctx.proc_name(t)
+                    ),
+                    vec![note],
+                ));
+            }
+        }
+    }
+}
+
+fn style_lints(ctx: &Ctx<'_>, out: &mut Vec<Diagnostic>) {
+    let mut joined = vec![false; ctx.program.processes.len()];
+    for &j in &ctx.joins {
+        if let StmtKind::Join(targets) = ctx.map.kind(j) {
+            for &t in targets {
+                joined[t.index()] = true;
+            }
+        }
+    }
+    for (ti, def) in ctx.program.processes.iter().enumerate() {
+        if def.root || joined[ti] {
+            continue;
+        }
+        if let Some(fs) = ctx.fork_site[ti] {
+            out.push(stmt_diag(
+                ctx,
+                codes::FORKED_NEVER_JOINED,
+                Severity::Info,
+                fs,
+                format!("process `{}` is forked here but never joined", def.name),
+                vec!["its completion is unobservable to the rest of the program".to_string()],
+            ));
+        }
+    }
+}

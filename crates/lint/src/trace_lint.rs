@@ -1,0 +1,130 @@
+//! Linting an *observed execution* (a [`Trace`]) rather than a program.
+//!
+//! A trace is a straight-line, branch-free record of what one execution
+//! did, so it induces a canonical program: one process definition per
+//! process instance, whose body replays that process's events in
+//! observed order. Linting that program asks "could a *different*
+//! interleaving of exactly these operations have gone wrong?" — the same
+//! question the race detectors ask about data accesses, posed for
+//! synchronization.
+
+use crate::diag::{Anchor, LintReport};
+use crate::{lint_validated, LintOptions};
+use eo_lang::{ProcDef, ProcRef, Program, ProgramError, Stmt, StmtKind};
+use eo_model::{EventId, Op, Trace, TraceError};
+
+/// Why a trace could not be linted.
+#[derive(Clone, Debug)]
+pub enum TraceLintError {
+    /// The trace itself failed validation.
+    Trace(TraceError),
+    /// The program reconstructed from the trace failed validation (the
+    /// trace has a shape no program could produce).
+    Program(ProgramError),
+}
+
+impl std::fmt::Display for TraceLintError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceLintError::Trace(e) => write!(f, "invalid trace: {e}"),
+            TraceLintError::Program(e) => write!(f, "trace induces an invalid program: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceLintError {}
+
+impl From<TraceError> for TraceLintError {
+    fn from(e: TraceError) -> Self {
+        TraceLintError::Trace(e)
+    }
+}
+
+impl From<ProgramError> for TraceLintError {
+    fn from(e: ProgramError) -> Self {
+        TraceLintError::Program(e)
+    }
+}
+
+/// Reconstructs the canonical straight-line program a trace replays,
+/// together with the map from statement index (in
+/// [`eo_lang::StmtMap`] preorder) back to the observed event.
+///
+/// Process declarations, semaphores, event variables, and shared
+/// variables carry over 1:1; each event becomes one statement of its
+/// process's body, in observed order. Because bodies are branch-free,
+/// preorder statement numbering is exactly process-major event order.
+pub fn program_from_trace(trace: &Trace) -> (Program, Vec<EventId>) {
+    let mut bodies: Vec<Vec<Stmt>> = vec![Vec::new(); trace.processes.len()];
+    let mut events_of: Vec<Vec<EventId>> = vec![Vec::new(); trace.processes.len()];
+    for e in &trace.events {
+        let kind = match &e.op {
+            Op::Compute => StmtKind::Compute {
+                reads: e.reads.clone(),
+                writes: e.writes.clone(),
+            },
+            Op::SemP(s) => StmtKind::SemP(*s),
+            Op::SemV(s) => StmtKind::SemV(*s),
+            Op::Post(v) => StmtKind::Post(*v),
+            Op::Wait(v) => StmtKind::Wait(*v),
+            Op::Clear(v) => StmtKind::Clear(*v),
+            Op::Fork(children) => StmtKind::Fork(children.iter().map(|c| ProcRef(c.0)).collect()),
+            Op::Join(targets) => StmtKind::Join(targets.iter().map(|t| ProcRef(t.0)).collect()),
+        };
+        bodies[e.process.index()].push(Stmt {
+            kind,
+            label: e.label.clone(),
+        });
+        events_of[e.process.index()].push(e.id);
+    }
+
+    let program = Program {
+        processes: trace
+            .processes
+            .iter()
+            .zip(bodies)
+            .map(|(decl, body)| ProcDef {
+                name: decl.name.clone(),
+                root: decl.created_by.is_none(),
+                body,
+            })
+            .collect(),
+        semaphores: trace
+            .semaphores
+            .iter()
+            .map(|s| eo_lang::SemDef {
+                name: s.name.clone(),
+                initial: s.initial,
+            })
+            .collect(),
+        event_vars: trace
+            .event_vars
+            .iter()
+            .map(|v| eo_lang::EvVarDef {
+                name: v.name.clone(),
+                initially_set: v.initially_set,
+            })
+            .collect(),
+        variables: trace.variables.iter().map(|v| v.name.clone()).collect(),
+    };
+    let event_of_stmt = events_of.into_iter().flatten().collect();
+    (program, event_of_stmt)
+}
+
+/// Lints a trace: validates it, reconstructs its canonical program,
+/// lints that, and re-anchors every statement diagnostic at the observed
+/// event it came from.
+pub fn lint_trace(trace: &Trace, opts: &LintOptions) -> Result<LintReport, TraceLintError> {
+    trace.validate()?;
+    let (program, event_of_stmt) = program_from_trace(trace);
+    program.validate()?;
+    let mut report = lint_validated(&program, opts);
+    for d in &mut report.diagnostics {
+        if let Anchor::Stmt(s) = d.anchor {
+            let ev = event_of_stmt[s.index()];
+            d.anchor = Anchor::Event(ev);
+            d.location = format!("event #{} ({})", ev.index(), d.location);
+        }
+    }
+    Ok(report)
+}

@@ -1,0 +1,191 @@
+//! The lint suite's load-bearing claims, checked end to end:
+//!
+//! 1. **Soundness for deadlock** — a lint-clean program (nothing at
+//!    `Warning` or above) never hits the interpreter's dynamic deadlock
+//!    detection, under any tested scheduler.
+//! 2. **The Theorem 3 construction is flagged** — the paper notes the
+//!    event-style reduction can deadlock (its `Clear`-based mutual
+//!    exclusion gadget races by design), and the linter must say so.
+//! 3. **Trace linting** — observed executions of well-synchronized
+//!    programs (Figure 1 included) lint clean, and diagnostics re-anchor
+//!    at events.
+
+use eo_lang::generator::{figure1_program, random_program, WorkloadSpec};
+use eo_lang::{run_to_trace, RunError, Scheduler};
+use eo_lint::{codes, lint_program, lint_trace, Anchor, LintOptions};
+use eo_model::{Op, Trace, TraceBuilder};
+use eo_reductions::EventReduction;
+use eo_sat::Formula;
+use proptest::prelude::*;
+
+/// Runs `program` under a batch of schedulers; true iff any run
+/// deadlocks.
+fn deadlocks_somewhere(program: &eo_lang::Program, schedules: u64) -> bool {
+    let mut scheds: Vec<Scheduler> = vec![Scheduler::deterministic(), Scheduler::round_robin()];
+    scheds.extend((0..schedules).map(Scheduler::random));
+    scheds
+        .iter_mut()
+        .any(|s| matches!(run_to_trace(program, s), Err(RunError::Deadlock { .. })))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Lint-clean random programs never deadlock dynamically; and when a
+    /// random schedule *does* find a deadlock, the report is never clean.
+    #[test]
+    fn lint_clean_programs_never_deadlock(seed in 0u64..4000, semaphores in prop::bool::ANY) {
+        let spec = if semaphores {
+            WorkloadSpec::small_semaphore(seed)
+        } else {
+            WorkloadSpec::small_events(seed) // includes Clear statements
+        };
+        let program = random_program(&spec);
+        let report = lint_program(&program, &LintOptions::default()).expect("generator programs are valid");
+        let deadlocked = deadlocks_somewhere(&program, 12);
+        if report.is_clean() {
+            prop_assert!(
+                !deadlocked,
+                "lint-clean program deadlocked (seed {seed}):\n{}",
+                report.render_text()
+            );
+        }
+        if deadlocked {
+            prop_assert!(
+                !report.is_clean(),
+                "deadlocking program linted clean (seed {seed})"
+            );
+        }
+    }
+}
+
+#[test]
+fn known_deadlockers_are_never_clean() {
+    // Hand-built programs the interpreter provably deadlocks on must all
+    // carry at least one blocking-family diagnostic.
+    use eo_lang::ProgramBuilder;
+
+    let mut cases: Vec<(&str, eo_lang::Program)> = Vec::new();
+
+    let mut b = ProgramBuilder::new();
+    let (sa, sb) = (b.semaphore("a"), b.semaphore("b"));
+    let p1 = b.process("p1");
+    b.sem_p(p1, sa).sem_v(p1, sb);
+    let p2 = b.process("p2");
+    b.sem_p(p2, sb).sem_v(p2, sa);
+    cases.push(("semaphore cycle", b.build()));
+
+    let mut b = ProgramBuilder::new();
+    let (u, v) = (b.event_var("u"), b.event_var("v"));
+    let p1 = b.process("p1");
+    b.wait(p1, u).post(p1, v);
+    let p2 = b.process("p2");
+    b.wait(p2, v).post(p2, u);
+    cases.push(("wait/post cycle", b.build()));
+
+    let mut b = ProgramBuilder::new();
+    let v = b.event_var("v");
+    let p = b.process("p");
+    b.wait(p, v);
+    cases.push(("wait never posted", b.build()));
+
+    for (name, program) in cases {
+        assert!(
+            deadlocks_somewhere(&program, 8),
+            "{name}: expected a dynamic deadlock"
+        );
+        let report = lint_program(&program, &LintOptions::default()).expect("valid");
+        let flagged = report
+            .diagnostics
+            .iter()
+            .any(|d| codes::BLOCKING_FAMILY.contains(&d.code));
+        assert!(
+            flagged,
+            "{name}: no blocking-family diagnostic\n{}",
+            report.render_text()
+        );
+    }
+}
+
+#[test]
+fn theorem3_reduction_is_flagged_as_potentially_deadlocking() {
+    // The paper: "the program constructed [for Theorem 3] can deadlock".
+    // Its gadget sides run `Clear(A); Wait(B)` against each other, so the
+    // clear-race lint is the one that must fire.
+    let f = Formula::random_3cnf(3, 3, 1);
+    let red = EventReduction::build(&f);
+    let report = lint_program(&red.program, &LintOptions::default()).expect("valid");
+    assert!(
+        !report.with_code(codes::WAIT_CLEAR_RACE).is_empty(),
+        "expected EO-L002 on the gadget waits:\n{}",
+        report.render_text()
+    );
+    assert!(
+        report
+            .diagnostics
+            .iter()
+            .any(|d| codes::BLOCKING_FAMILY.contains(&d.code)),
+        "the reduction must be flagged as potentially blocking"
+    );
+    // And the construction really can deadlock — the lint is not crying
+    // wolf here.
+    assert!(deadlocks_somewhere(&red.program, 24));
+}
+
+#[test]
+fn figure1_trace_file_lints_clean() {
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../testdata/figure1.trace.json"
+    );
+    let json = std::fs::read_to_string(path).expect("testdata trace exists");
+    let trace = Trace::from_json(&json).expect("testdata trace parses");
+    let report = lint_trace(&trace, &LintOptions::for_trace()).expect("lintable");
+    assert!(report.is_empty(), "{}", report.render_text());
+}
+
+#[test]
+fn observed_figure1_executions_lint_clean() {
+    let program = figure1_program();
+    for seed in 0..10 {
+        let Ok(trace) = run_to_trace(&program, &mut Scheduler::random(seed)) else {
+            panic!("figure 1 never deadlocks");
+        };
+        let report = lint_trace(&trace, &LintOptions::for_trace()).expect("lintable");
+        assert!(report.is_empty(), "seed {seed}:\n{}", report.render_text());
+    }
+}
+
+#[test]
+fn trace_diagnostics_anchor_at_events() {
+    // Post → Wait → Clear is schedulable as observed, but other
+    // interleavings of the same operations can strand the wait: the
+    // trace lint must warn, anchored at the observed wait event.
+    let mut tb = TraceBuilder::new();
+    let v = tb.event_var("v", false);
+    let p1 = tb.process("p1");
+    let p2 = tb.process("p2");
+    let p3 = tb.process("p3");
+    tb.push(p1, Op::Post(v));
+    let wait_ev = tb.push(p2, Op::Wait(v));
+    tb.push(p3, Op::Clear(v));
+    let trace = tb.build().expect("schedulable as observed");
+    let report = lint_trace(&trace, &LintOptions::for_trace()).expect("lintable");
+    let race = report.with_code(codes::WAIT_CLEAR_RACE);
+    assert!(!race.is_empty(), "{}", report.render_text());
+    assert_eq!(race[0].anchor, Anchor::Event(wait_ev));
+    assert!(race[0].location.contains("event #"), "{}", race[0].location);
+}
+
+#[test]
+fn trace_reconstruction_round_trips_through_the_interpreter() {
+    // Reconstructing a program from an interpreter trace and re-running
+    // it deterministically reproduces the same operation multiset.
+    let program = figure1_program();
+    let trace = run_to_trace(&program, &mut Scheduler::deterministic()).unwrap();
+    let (rebuilt, event_of_stmt) = eo_lint::program_from_trace(&trace);
+    assert!(rebuilt.validate().is_ok());
+    assert_eq!(event_of_stmt.len(), trace.n_events());
+    let rerun = run_to_trace(&rebuilt, &mut Scheduler::deterministic()).unwrap();
+    assert_eq!(rerun.n_events(), trace.n_events());
+}

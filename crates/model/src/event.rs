@@ -1,7 +1,6 @@
 //! Events and the operations they instantiate.
 
 use crate::ids::{EvVarId, EventId, ProcessId, SemId, VarId};
-use serde::{Deserialize, Serialize};
 
 /// The operation an event is an instance of.
 ///
@@ -13,7 +12,7 @@ use serde::{Deserialize, Serialize};
 /// trace from mixing both styles; the theorems are proved for each style
 /// separately, and the reductions in `eo-reductions` construct
 /// single-style programs.
-#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub enum Op {
     /// A computation event: an instance of a group of consecutively
     /// executed non-synchronization statements of one process. Its shared
@@ -82,7 +81,7 @@ impl Op {
 /// `id.index()` is the event's position in the observed total order of the
 /// owning [`crate::Trace`]; relation matrices across the workspace are
 /// indexed by it.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Event {
     /// Identity = observed position.
     pub id: EventId,

@@ -282,7 +282,10 @@ mod tests {
         let exec = trace.to_execution().unwrap();
         assert!(exec.depends(inc0, inc1));
         assert!(!exec.depends(inc1, inc0));
-        assert!(exec.temporal(inc0, inc1), "the observed order shows up in →T");
+        assert!(
+            exec.temporal(inc0, inc1),
+            "the observed order shows up in →T"
+        );
     }
 
     #[test]

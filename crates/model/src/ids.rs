@@ -5,15 +5,10 @@
 //! indices throughout the workspace (the relation matrices in
 //! `eo-relations` are indexed by `EventId::index()` directly).
 
-use serde::{Deserialize, Serialize};
-
 macro_rules! dense_id {
     ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
         $(#[$doc])*
-        #[derive(
-            Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-        )]
-        #[serde(transparent)]
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
         pub struct $name(pub u32);
 
         impl $name {
@@ -104,10 +99,11 @@ mod tests {
     }
 
     #[test]
-    fn serde_is_transparent() {
-        let json = serde_json::to_string(&EventId::new(5)).unwrap();
-        assert_eq!(json, "5");
-        let back: EventId = serde_json::from_str("5").unwrap();
-        assert_eq!(back, EventId::new(5));
+    fn json_form_is_transparent() {
+        // Ids serialize as bare numbers in the trace format (see
+        // `crate::json` and `Trace::to_json`).
+        use crate::json::Value;
+        assert_eq!(Value::Int(i64::from(EventId::new(5).0)).compact(), "5");
+        assert_eq!(Value::Int(5).as_u32().unwrap(), EventId::new(5).0);
     }
 }

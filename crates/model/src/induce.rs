@@ -219,7 +219,10 @@ mod tests {
         let t = tb.build().unwrap();
         let d = Relation::new(2);
         let r = induced_order(&t, &d, &t.observed_order());
-        assert!(r.unordered(a.index(), b.index()), "observed order is not forced");
+        assert!(
+            r.unordered(a.index(), b.index()),
+            "observed order is not forced"
+        );
     }
 
     #[test]
@@ -287,7 +290,10 @@ mod tests {
         let t = tb.build().unwrap();
         let d = Relation::new(3);
         let r = induced_order(&t, &d, &t.observed_order());
-        assert!(r.contains(c.index(), p.index()), "clear forced before the post");
+        assert!(
+            r.contains(c.index(), p.index()),
+            "clear forced before the post"
+        );
         assert!(r.contains(p.index(), w.index()));
         assert!(r.contains(c.index(), w.index()), "by transitivity");
     }

@@ -43,6 +43,7 @@ pub mod execution;
 pub mod fixtures;
 pub mod ids;
 pub mod induce;
+pub mod json;
 pub mod machine;
 pub mod render;
 pub mod trace;

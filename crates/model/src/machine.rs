@@ -109,7 +109,11 @@ pub struct ReplayError {
 
 impl std::fmt::Display for ReplayError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "step {}: event {}: {}", self.position, self.event, self.reason)
+        write!(
+            f,
+            "step {}: event {}: {}",
+            self.position, self.event, self.reason
+        )
     }
 }
 
@@ -170,7 +174,12 @@ impl<'a> Machine<'a> {
         MachState {
             next: vec![0; self.trace.processes.len()],
             sem: self.trace.semaphores.iter().map(|s| s.initial).collect(),
-            flag: self.trace.event_vars.iter().map(|v| v.initially_set).collect(),
+            flag: self
+                .trace
+                .event_vars
+                .iter()
+                .map(|v| v.initially_set)
+                .collect(),
             executed: 0,
         }
     }
@@ -349,8 +358,15 @@ mod tests {
         let m = Machine::new(&t);
         let st = m.initial_state();
         let enabled = m.enabled_events(&st);
-        assert_eq!(enabled, vec![(ProcessId(0), EventId(0))], "only the V is enabled");
-        assert_eq!(m.enabled(&st, ProcessId(1)), Err(BlockReason::SemaphoreZero));
+        assert_eq!(
+            enabled,
+            vec![(ProcessId(0), EventId(0))],
+            "only the V is enabled"
+        );
+        assert_eq!(
+            m.enabled(&st, ProcessId(1)),
+            Err(BlockReason::SemaphoreZero)
+        );
     }
 
     #[test]
@@ -419,12 +435,21 @@ mod tests {
 
         let m = Machine::new(&t);
         let mut st = m.initial_state();
-        assert!(!m.started(&st, kids[0]), "children do not exist before the fork");
+        assert!(
+            !m.started(&st, kids[0]),
+            "children do not exist before the fork"
+        );
         m.step(&mut st, main); // fork
         assert!(m.started(&st, kids[0]));
-        assert_eq!(m.enabled(&st, main), Err(BlockReason::JoinChildrenIncomplete));
+        assert_eq!(
+            m.enabled(&st, main),
+            Err(BlockReason::JoinChildrenIncomplete)
+        );
         m.step(&mut st, kids[0]);
-        assert_eq!(m.enabled(&st, main), Err(BlockReason::JoinChildrenIncomplete));
+        assert_eq!(
+            m.enabled(&st, main),
+            Err(BlockReason::JoinChildrenIncomplete)
+        );
         m.step(&mut st, kids[1]);
         assert_eq!(m.enabled(&st, main), Ok(EventId(3)));
     }

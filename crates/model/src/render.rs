@@ -43,7 +43,14 @@ pub fn render_trace(trace: &Trace) -> String {
             .as_deref()
             .map(|l| format!("  [{l}]"))
             .unwrap_or_default();
-        out.push_str(&format!("{:>4}  {:<12} {}{}{}\n", e.id.to_string(), proc_name, op, accesses, label));
+        out.push_str(&format!(
+            "{:>4}  {:<12} {}{}{}\n",
+            e.id.to_string(),
+            proc_name,
+            op,
+            accesses,
+            label
+        ));
     }
     out
 }

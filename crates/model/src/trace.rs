@@ -14,11 +14,11 @@
 
 use crate::event::{Event, Op};
 use crate::ids::{EvVarId, EventId, ProcessId, SemId, VarId};
+use crate::json::{self, JsonError, Value};
 use crate::machine::{Machine, ReplayError};
-use serde::{Deserialize, Serialize};
 
 /// Declaration of one process.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ProcessDecl {
     /// Human-readable name (diagnostics only; need not be unique).
     pub name: String,
@@ -28,7 +28,7 @@ pub struct ProcessDecl {
 }
 
 /// Declaration of one counting semaphore.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct SemDecl {
     /// Human-readable name.
     pub name: String,
@@ -38,7 +38,7 @@ pub struct SemDecl {
 }
 
 /// Declaration of one event variable.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct EvVarDecl {
     /// Human-readable name.
     pub name: String,
@@ -47,7 +47,7 @@ pub struct EvVarDecl {
 }
 
 /// Declaration of one shared variable.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct VarDecl {
     /// Human-readable name.
     pub name: String,
@@ -64,7 +64,7 @@ pub struct VarDecl {
 /// * the observed order replays cleanly through the synchronization
 ///   [`Machine`] — i.e. some sequentially consistent execution really
 ///   could have produced this log.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Trace {
     /// Events in observed execution order.
     pub events: Vec<Event>,
@@ -128,7 +128,10 @@ impl std::fmt::Display for TraceError {
                 write!(f, "process {process}'s created_by is not a fork listing it")
             }
             TraceError::ForkChildMismatch { fork, child } => {
-                write!(f, "fork {fork} lists child {child} whose created_by disagrees")
+                write!(
+                    f,
+                    "fork {fork} lists child {child} whose created_by disagrees"
+                )
             }
             TraceError::NotSchedulable(e) => write!(f, "observed order is not schedulable: {e}"),
         }
@@ -258,7 +261,10 @@ impl Trace {
                 for &c in children {
                     let claimed = self.processes[c.index()].created_by == Some(e.id);
                     if !claimed || c == e.process {
-                        return Err(TraceError::ForkChildMismatch { fork: e.id, child: c });
+                        return Err(TraceError::ForkChildMismatch {
+                            fork: e.id,
+                            child: c,
+                        });
                     }
                 }
             }
@@ -268,14 +274,208 @@ impl Trace {
 
     /// Serializes the trace as pretty JSON (the on-disk trace format).
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("trace serialization cannot fail")
+        self.to_value().pretty()
     }
 
     /// Deserializes a trace from JSON and validates it.
     pub fn from_json(json: &str) -> Result<Trace, Box<dyn std::error::Error>> {
-        let t: Trace = serde_json::from_str(json)?;
+        let value = json::parse(json)?;
+        let t = Trace::from_value(&value)?;
         t.validate()?;
         Ok(t)
+    }
+
+    /// The trace as a JSON tree (field order fixed by the on-disk format).
+    pub fn to_value(&self) -> Value {
+        let id = |n: u32| Value::Int(i64::from(n));
+        let ids = |xs: &[VarId]| Value::Array(xs.iter().map(|v| id(v.0)).collect());
+        let procs = |xs: &[ProcessId]| Value::Array(xs.iter().map(|p| id(p.0)).collect());
+        let op = |op: &Op| match op {
+            Op::Compute => Value::Str("Compute".into()),
+            Op::SemP(s) => Value::Object(vec![("SemP".into(), id(s.0))]),
+            Op::SemV(s) => Value::Object(vec![("SemV".into(), id(s.0))]),
+            Op::Post(v) => Value::Object(vec![("Post".into(), id(v.0))]),
+            Op::Wait(v) => Value::Object(vec![("Wait".into(), id(v.0))]),
+            Op::Clear(v) => Value::Object(vec![("Clear".into(), id(v.0))]),
+            Op::Fork(children) => Value::Object(vec![("Fork".into(), procs(children))]),
+            Op::Join(children) => Value::Object(vec![("Join".into(), procs(children))]),
+        };
+        let opt_str = |s: &Option<String>| match s {
+            Some(s) => Value::Str(s.clone()),
+            None => Value::Null,
+        };
+        let events = self
+            .events
+            .iter()
+            .map(|e| {
+                Value::Object(vec![
+                    ("id".into(), id(e.id.0)),
+                    ("process".into(), id(e.process.0)),
+                    ("op".into(), op(&e.op)),
+                    ("reads".into(), ids(&e.reads)),
+                    ("writes".into(), ids(&e.writes)),
+                    ("label".into(), opt_str(&e.label)),
+                ])
+            })
+            .collect();
+        let processes = self
+            .processes
+            .iter()
+            .map(|p| {
+                Value::Object(vec![
+                    ("name".into(), Value::Str(p.name.clone())),
+                    (
+                        "created_by".into(),
+                        match p.created_by {
+                            Some(e) => id(e.0),
+                            None => Value::Null,
+                        },
+                    ),
+                ])
+            })
+            .collect();
+        let semaphores = self
+            .semaphores
+            .iter()
+            .map(|s| {
+                Value::Object(vec![
+                    ("name".into(), Value::Str(s.name.clone())),
+                    ("initial".into(), id(s.initial)),
+                ])
+            })
+            .collect();
+        let event_vars = self
+            .event_vars
+            .iter()
+            .map(|v| {
+                Value::Object(vec![
+                    ("name".into(), Value::Str(v.name.clone())),
+                    ("initially_set".into(), Value::Bool(v.initially_set)),
+                ])
+            })
+            .collect();
+        let variables = self
+            .variables
+            .iter()
+            .map(|v| Value::Object(vec![("name".into(), Value::Str(v.name.clone()))]))
+            .collect();
+        Value::Object(vec![
+            ("events".into(), Value::Array(events)),
+            ("processes".into(), Value::Array(processes)),
+            ("semaphores".into(), Value::Array(semaphores)),
+            ("event_vars".into(), Value::Array(event_vars)),
+            ("variables".into(), Value::Array(variables)),
+        ])
+    }
+
+    /// Decodes a trace from a JSON tree (shape errors only — call
+    /// [`Trace::validate`] for the semantic invariants).
+    pub fn from_value(value: &Value) -> Result<Trace, JsonError> {
+        let var_ids = |v: &Value| -> Result<Vec<VarId>, JsonError> {
+            v.as_array()?
+                .iter()
+                .map(|x| Ok(VarId(x.as_u32()?)))
+                .collect()
+        };
+        let proc_ids = |v: &Value| -> Result<Vec<ProcessId>, JsonError> {
+            v.as_array()?
+                .iter()
+                .map(|x| Ok(ProcessId(x.as_u32()?)))
+                .collect()
+        };
+        let decode_op = |v: &Value| -> Result<Op, JsonError> {
+            if let Ok(name) = v.as_str() {
+                return match name {
+                    "Compute" => Ok(Op::Compute),
+                    other => Err(JsonError::new(format!("unknown op {other:?}"))),
+                };
+            }
+            let members = v.as_object()?;
+            let [(tag, payload)] = members else {
+                return Err(JsonError::new("op object must have exactly one member"));
+            };
+            match tag.as_str() {
+                "SemP" => Ok(Op::SemP(SemId(payload.as_u32()?))),
+                "SemV" => Ok(Op::SemV(SemId(payload.as_u32()?))),
+                "Post" => Ok(Op::Post(EvVarId(payload.as_u32()?))),
+                "Wait" => Ok(Op::Wait(EvVarId(payload.as_u32()?))),
+                "Clear" => Ok(Op::Clear(EvVarId(payload.as_u32()?))),
+                "Fork" => Ok(Op::Fork(proc_ids(payload)?)),
+                "Join" => Ok(Op::Join(proc_ids(payload)?)),
+                other => Err(JsonError::new(format!("unknown op {other:?}"))),
+            }
+        };
+        let events = value
+            .get("events")?
+            .as_array()?
+            .iter()
+            .map(|e| {
+                Ok(Event {
+                    id: EventId(e.get("id")?.as_u32()?),
+                    process: ProcessId(e.get("process")?.as_u32()?),
+                    op: decode_op(e.get("op")?)?,
+                    reads: var_ids(e.get("reads")?)?,
+                    writes: var_ids(e.get("writes")?)?,
+                    label: match e.get("label")? {
+                        Value::Null => None,
+                        other => Some(other.as_str()?.to_owned()),
+                    },
+                })
+            })
+            .collect::<Result<Vec<_>, JsonError>>()?;
+        let processes = value
+            .get("processes")?
+            .as_array()?
+            .iter()
+            .map(|p| {
+                Ok(ProcessDecl {
+                    name: p.get("name")?.as_str()?.to_owned(),
+                    created_by: match p.get("created_by")? {
+                        Value::Null => None,
+                        other => Some(EventId(other.as_u32()?)),
+                    },
+                })
+            })
+            .collect::<Result<Vec<_>, JsonError>>()?;
+        let semaphores = value
+            .get("semaphores")?
+            .as_array()?
+            .iter()
+            .map(|s| {
+                Ok(SemDecl {
+                    name: s.get("name")?.as_str()?.to_owned(),
+                    initial: s.get("initial")?.as_u32()?,
+                })
+            })
+            .collect::<Result<Vec<_>, JsonError>>()?;
+        let event_vars = value
+            .get("event_vars")?
+            .as_array()?
+            .iter()
+            .map(|v| {
+                Ok(EvVarDecl {
+                    name: v.get("name")?.as_str()?.to_owned(),
+                    initially_set: v.get("initially_set")?.as_bool()?,
+                })
+            })
+            .collect::<Result<Vec<_>, JsonError>>()?;
+        let variables = value
+            .get("variables")?
+            .as_array()?
+            .iter()
+            .map(|v| {
+                Ok(VarDecl {
+                    name: v.get("name")?.as_str()?.to_owned(),
+                })
+            })
+            .collect::<Result<Vec<_>, JsonError>>()?;
+        Ok(Trace {
+            events,
+            processes,
+            semaphores,
+            event_vars,
+            variables,
+        })
     }
 }
 
@@ -566,7 +766,10 @@ mod tests {
             variables: tb.variables,
         };
         t.events[0].id = EventId::new(5);
-        assert!(matches!(t.validate(), Err(TraceError::NonDenseEventId { .. })));
+        assert!(matches!(
+            t.validate(),
+            Err(TraceError::NonDenseEventId { .. })
+        ));
     }
 
     #[test]
@@ -576,7 +779,10 @@ mod tests {
         tb.push(p, Op::SemV(SemId::new(9)));
         assert!(matches!(
             tb.build(),
-            Err(TraceError::DanglingReference { what: "semaphore", .. })
+            Err(TraceError::DanglingReference {
+                what: "semaphore",
+                ..
+            })
         ));
     }
 
@@ -594,7 +800,10 @@ mod tests {
         };
         // Claim p was created by its own compute event (not a fork).
         t.processes[0].created_by = Some(EventId::new(0));
-        assert!(matches!(t.validate(), Err(TraceError::CreatorMismatch { .. })));
+        assert!(matches!(
+            t.validate(),
+            Err(TraceError::CreatorMismatch { .. })
+        ));
     }
 
     #[test]

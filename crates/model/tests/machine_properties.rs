@@ -12,16 +12,20 @@ use proptest::prelude::*;
 /// running machine state and only append operations that are enabled.
 fn arbitrary_trace() -> impl Strategy<Value = Trace> {
     (
-        2usize..=4,                              // processes
-        2usize..=3,                              // sync objects of each kind
+        2usize..=4, // processes
+        2usize..=3, // sync objects of each kind
         prop::collection::vec((0u8..6, 0usize..4, 0usize..3), 4..20),
-        prop::bool::ANY,                         // include shared variable accesses
+        prop::bool::ANY, // include shared variable accesses
     )
         .prop_map(|(n_procs, n_sync, script, with_vars)| {
             let mut tb = TraceBuilder::new();
             let procs: Vec<_> = (0..n_procs).map(|i| tb.process(&format!("p{i}"))).collect();
-            let sems: Vec<_> = (0..n_sync).map(|i| tb.semaphore(&format!("s{i}"), 0)).collect();
-            let evs: Vec<_> = (0..n_sync).map(|i| tb.event_var(&format!("v{i}"), false)).collect();
+            let sems: Vec<_> = (0..n_sync)
+                .map(|i| tb.semaphore(&format!("s{i}"), 0))
+                .collect();
+            let evs: Vec<_> = (0..n_sync)
+                .map(|i| tb.event_var(&format!("v{i}"), false))
+                .collect();
             let var = with_vars.then(|| tb.variable("x"));
 
             // Shadow synchronization state so we only emit enabled ops.

@@ -32,6 +32,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use eo_approx::cs::{StaticOrderings, StmtId};
 use eo_approx::VectorClockHb;
 use eo_engine::{queries, FeasibilityMode, SearchCtx};
 use eo_model::{EventId, ProgramExecution};
@@ -51,7 +52,10 @@ pub struct Race {
 pub fn conflicting_pairs(exec: &ProgramExecution) -> Vec<Race> {
     exec.dependence_pairs()
         .into_iter()
-        .map(|(a, b)| Race { first: a, second: b })
+        .map(|(a, b)| Race {
+            first: a,
+            second: b,
+        })
         .collect()
 }
 
@@ -66,6 +70,61 @@ pub fn exact_races(exec: &ProgramExecution) -> Vec<Race> {
         .into_iter()
         .filter(|r| queries::could_be_concurrent(&ctx, r.first, r.second))
         .collect()
+}
+
+/// Outcome of the statically pruned exact detector
+/// ([`pruned_exact_races`]): the same races, plus an account of how much
+/// engine work the pre-pass saved.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PrunedRaces {
+    /// The feasible races — byte-identical to [`exact_races`].
+    pub races: Vec<Race>,
+    /// Conflicting pairs considered.
+    pub candidates: usize,
+    /// Pairs discharged statically, without consulting the engine.
+    pub pruned: usize,
+    /// Pairs that still needed a could-be-concurrent search.
+    pub engine_queries: usize,
+}
+
+/// The exhaustive detector with a *sound* static pre-pass: conflicting
+/// pairs whose anchor statements the Callahan–Subhlok `prec` analysis
+/// orders (in either direction) are discharged without running the
+/// exponential could-be-concurrent search.
+///
+/// Soundness: a CS guaranteed ordering `a → b` holds in *every* execution
+/// of the program in which `b`'s statement executes. Both events of a
+/// candidate pair executed in the observed trace, and the race search
+/// space ranges over alternate executions performing those same events —
+/// so the ordering applies to every execution the engine would explore,
+/// and the pair can never be simultaneously ready. The result is
+/// therefore identical to [`exact_races`]; the tests assert equality
+/// pair-for-pair.
+///
+/// `stmt_of` maps each observed event to the statement that emitted it —
+/// the [`eo_approx::cs::StmtId`] anchors produced by
+/// `eo_lang::run_to_trace_anchored`; `so` is the CS analysis of the
+/// program that produced the execution.
+pub fn pruned_exact_races(
+    exec: &ProgramExecution,
+    so: &StaticOrderings,
+    stmt_of: &[StmtId],
+) -> PrunedRaces {
+    let ctx = SearchCtx::new(exec, FeasibilityMode::IgnoreDependences);
+    let mut out = PrunedRaces::default();
+    for r in conflicting_pairs(exec) {
+        out.candidates += 1;
+        let (sa, sb) = (stmt_of[r.first.index()], stmt_of[r.second.index()]);
+        if so.ordered_either_way(sa, sb) {
+            out.pruned += 1;
+            continue;
+        }
+        out.engine_queries += 1;
+        if queries::could_be_concurrent(&ctx, r.first, r.second) {
+            out.races.push(r);
+        }
+    }
+    out
 }
 
 /// The vector-clock detector: conflicting pairs whose observed-pairing
@@ -89,8 +148,7 @@ pub fn hmw_candidate_races(exec: &ProgramExecution) -> Vec<Race> {
     conflicting_pairs(exec)
         .into_iter()
         .filter(|r| {
-            !safe.guaranteed_before(r.first, r.second)
-                && !safe.guaranteed_before(r.second, r.first)
+            !safe.guaranteed_before(r.first, r.second) && !safe.guaranteed_before(r.second, r.first)
         })
         .collect()
 }
@@ -150,7 +208,10 @@ mod tests {
     fn unsynchronized_conflict_is_a_race_for_both() {
         let (trace, inc0, inc1) = fixtures::shared_counter_race();
         let exec = trace.to_execution().unwrap();
-        let expected = vec![Race { first: inc0, second: inc1 }];
+        let expected = vec![Race {
+            first: inc0,
+            second: inc1,
+        }];
         assert_eq!(exact_races(&exec), expected);
         assert_eq!(vc_races(&exec), expected);
         assert!(compare(&exec).exact_match());
@@ -171,7 +232,10 @@ mod tests {
         let prog = b.build();
         let trace = eo_lang::generator::run_deterministic(&prog);
         let exec = trace.to_execution().unwrap();
-        assert!(exact_races(&exec).is_empty(), "the V→P edge orders the pair");
+        assert!(
+            exact_races(&exec).is_empty(),
+            "the V→P edge orders the pair"
+        );
         assert!(vc_races(&exec).is_empty());
     }
 
@@ -194,8 +258,7 @@ mod tests {
         b.sem_p(r, s);
         b.compute_rw(r, &[x], &[], "read");
         let prog = b.build();
-        let trace =
-            eo_lang::run_to_trace(&prog, &mut eo_lang::Scheduler::deterministic()).unwrap();
+        let trace = eo_lang::run_to_trace(&prog, &mut eo_lang::Scheduler::deterministic()).unwrap();
         let exec = trace.to_execution().unwrap();
 
         let cmp = compare(&exec);
@@ -269,8 +332,87 @@ mod tests {
         b.sem_p(r, s);
         b.compute_rw(r, &[x], &[], "read");
         let prog = b.build();
-        let exec = eo_lang::generator::run_deterministic(&prog).to_execution().unwrap();
-        assert!(hmw_candidate_races(&exec).is_empty(), "the 1V/1P handshake is safe");
+        let exec = eo_lang::generator::run_deterministic(&prog)
+            .to_execution()
+            .unwrap();
+        assert!(
+            hmw_candidate_races(&exec).is_empty(),
+            "the 1V/1P handshake is safe"
+        );
+    }
+
+    /// Runs `program` to a completed anchored trace, retrying schedules
+    /// until one finishes (generator programs can deadlock under some
+    /// interleavings).
+    fn anchored_run(program: &eo_lang::Program) -> Option<eo_lang::AnchoredRun> {
+        (0..50).find_map(|seed| {
+            eo_lang::run_to_trace_anchored(program, &mut eo_lang::Scheduler::random(seed)).ok()
+        })
+    }
+
+    #[test]
+    fn pruned_detector_matches_exact_on_random_workloads() {
+        use eo_lang::generator::{random_program, WorkloadSpec};
+        let mut pruned_total = 0;
+        for seed in 0..8 {
+            let mut spec = WorkloadSpec::small_semaphore(seed);
+            spec.variables = 3;
+            spec.write_fraction = 0.5;
+            let program = random_program(&spec);
+            let Some(run) = anchored_run(&program) else {
+                continue;
+            };
+            let exec = run.trace.to_execution().unwrap();
+            let so = StaticOrderings::analyze(&program);
+            let pruned = pruned_exact_races(&exec, &so, &run.stmt_of);
+            assert_eq!(pruned.races, exact_races(&exec), "seed {seed}");
+            assert_eq!(
+                pruned.pruned + pruned.engine_queries,
+                pruned.candidates,
+                "seed {seed}: every candidate is either pruned or queried"
+            );
+            pruned_total += pruned.pruned;
+        }
+        assert!(pruned_total > 0, "the pre-pass should discharge some pairs");
+    }
+
+    #[test]
+    fn pruned_detector_matches_exact_on_event_workloads() {
+        use eo_lang::generator::{random_program, WorkloadSpec};
+        for seed in 0..8 {
+            let mut spec = WorkloadSpec::small_events(seed);
+            spec.variables = 3;
+            spec.write_fraction = 0.5;
+            let program = random_program(&spec);
+            let Some(run) = anchored_run(&program) else {
+                continue;
+            };
+            let exec = run.trace.to_execution().unwrap();
+            let so = StaticOrderings::analyze(&program);
+            let pruned = pruned_exact_races(&exec, &so, &run.stmt_of);
+            assert_eq!(pruned.races, exact_races(&exec), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn figure1_prunes_fork_ordered_pairs() {
+        let program = eo_lang::generator::figure1_program();
+        let run =
+            eo_lang::run_to_trace_anchored(&program, &mut eo_lang::Scheduler::deterministic())
+                .unwrap();
+        let exec = run.trace.to_execution().unwrap();
+        let so = StaticOrderings::analyze(&program);
+        let pruned = pruned_exact_races(&exec, &so, &run.stmt_of);
+        assert_eq!(pruned.races, exact_races(&exec));
+        assert!(
+            pruned.pruned >= 1,
+            "main's pre-fork write is statically ordered before the workers' accesses: \
+             {pruned:?}"
+        );
+        assert!(
+            pruned.engine_queries < pruned.candidates,
+            "at least one engine query is skipped"
+        );
     }
 
     #[test]

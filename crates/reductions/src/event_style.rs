@@ -90,11 +90,19 @@ impl EventReduction {
 
             b.clear(s1, a_flag[i]);
             b.wait(s1, b_flag[i]);
-            b.labeled(s1, eo_lang::StmtKind::Post(lit_pos[i]), &format!("Post_X{i}"));
+            b.labeled(
+                s1,
+                eo_lang::StmtKind::Post(lit_pos[i]),
+                &format!("Post_X{i}"),
+            );
 
             b.clear(s2, b_flag[i]);
             b.wait(s2, a_flag[i]);
-            b.labeled(s2, eo_lang::StmtKind::Post(lit_neg[i]), &format!("Post_notX{i}"));
+            b.labeled(
+                s2,
+                eo_lang::StmtKind::Post(lit_neg[i]),
+                &format!("Post_notX{i}"),
+            );
         }
 
         for (j, clause) in formula.clauses.iter().enumerate() {
@@ -234,7 +242,11 @@ mod tests {
         for seed in 0..6 {
             let f = Formula::random_3cnf(3, 3, seed);
             let check = verify(&f);
-            assert!(check.consistent(), "seed {seed}: {check:?} on {}", f.display());
+            assert!(
+                check.consistent(),
+                "seed {seed}: {check:?} on {}",
+                f.display()
+            );
         }
     }
 

@@ -93,13 +93,21 @@ impl SemaphoreReduction {
             let t = b.process(&format!("true_{i}"));
             b.sem_p(t, a_gate[i]);
             for k in 0..occ_pos {
-                b.labeled(t, eo_lang::StmtKind::SemV(lit_pos[i]), &format!("V_X{i}_{k}"));
+                b.labeled(
+                    t,
+                    eo_lang::StmtKind::SemV(lit_pos[i]),
+                    &format!("V_X{i}_{k}"),
+                );
             }
 
             let f = b.process(&format!("false_{i}"));
             b.sem_p(f, a_gate[i]);
             for k in 0..occ_neg {
-                b.labeled(f, eo_lang::StmtKind::SemV(lit_neg[i]), &format!("V_notX{i}_{k}"));
+                b.labeled(
+                    f,
+                    eo_lang::StmtKind::SemV(lit_neg[i]),
+                    &format!("V_notX{i}_{k}"),
+                );
             }
 
             let g = b.process(&format!("gate_{i}"));
@@ -196,7 +204,10 @@ impl SemaphoreReduction {
             .iter()
             .map(|evs| {
                 evs.iter().any(|e| {
-                    witness.iter().position(|&x| x == *e).is_some_and(|p| p < pos_of_a)
+                    witness
+                        .iter()
+                        .position(|&x| x == *e)
+                        .is_some_and(|p| p < pos_of_a)
                 })
             })
             .collect()
@@ -297,7 +308,11 @@ mod tests {
         for seed in 0..8 {
             let f = Formula::random_3cnf(3, 3, seed);
             let check = verify(&f);
-            assert!(check.consistent(), "seed {seed}: {check:?} on {}", f.display());
+            assert!(
+                check.consistent(),
+                "seed {seed}: {check:?} on {}",
+                f.display()
+            );
         }
     }
 
@@ -347,7 +362,10 @@ mod tests {
         let sat = SemaphoreReduction::build(&Formula::trivially_sat(3, 2));
         assert!(sat.decide_ccw(), "satisfiable ⇒ a and b can be concurrent");
         let unsat = SemaphoreReduction::build(&Formula::unsat_tiny());
-        assert!(!unsat.decide_ccw(), "unsatisfiable ⇒ never concurrent (MOW)");
+        assert!(
+            !unsat.decide_ccw(),
+            "unsatisfiable ⇒ never concurrent (MOW)"
+        );
     }
 
     #[test]

@@ -86,10 +86,8 @@ impl SequencingInstance {
 
     fn is_acyclic(&self) -> bool {
         let n = self.costs.len();
-        let rel = eo_relations::Relation::from_edges(
-            n,
-            self.precedence.iter().map(|&(i, j)| (i, j)),
-        );
+        let rel =
+            eo_relations::Relation::from_edges(n, self.precedence.iter().map(|&(i, j)| (i, j)));
         rel.is_acyclic()
     }
 
@@ -286,7 +284,10 @@ mod tests {
         assert!(SequencingInstance::new(vec![], vec![], 0).feasible());
         assert!(SequencingInstance::new(vec![1], vec![], 1).feasible());
         assert!(!SequencingInstance::new(vec![2], vec![], 1).feasible());
-        assert!(SequencingInstance::new(vec![-1, 2], vec![], 1).feasible(), "release first");
+        assert!(
+            SequencingInstance::new(vec![-1, 2], vec![], 1).feasible(),
+            "release first"
+        );
         assert!(
             !SequencingInstance::new(vec![-1, 2], vec![(1, 0)], 1).feasible(),
             "precedence forbids releasing first"

@@ -97,7 +97,12 @@ pub fn linear_extensions(rel: &Relation) -> Vec<Vec<usize>> {
     extend(&preds, &mut done, &mut prefix, &mut out);
     return out;
 
-    fn extend(preds: &Relation, done: &mut BitSet, prefix: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+    fn extend(
+        preds: &Relation,
+        done: &mut BitSet,
+        prefix: &mut Vec<usize>,
+        out: &mut Vec<Vec<usize>>,
+    ) {
         let n = preds.len();
         if prefix.len() == n {
             out.push(prefix.clone());
@@ -132,7 +137,10 @@ pub fn transitive_reduction_dag(closure: &Relation) -> Relation {
     let mut red = Relation::new(n);
     for a in 0..n {
         for b in closure.row(a).iter() {
-            let via_midpoint = closure.row(a).iter().any(|c| c != b && closure.contains(c, b));
+            let via_midpoint = closure
+                .row(a)
+                .iter()
+                .any(|c| c != b && closure.contains(c, b));
             if !via_midpoint {
                 red.insert(a, b);
             }

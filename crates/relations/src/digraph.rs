@@ -49,7 +49,10 @@ impl Digraph {
     /// # Panics
     /// Panics if either endpoint is out of range.
     pub fn add_edge(&mut self, a: usize, b: usize) {
-        assert!(a < self.len() && b < self.len(), "edge endpoint out of range");
+        assert!(
+            a < self.len() && b < self.len(),
+            "edge endpoint out of range"
+        );
         if !self.succ[a].contains(&b) {
             self.succ[a].push(b);
             self.pred[b].push(a);
@@ -154,7 +157,9 @@ impl Digraph {
                 // c is closest iff no other common ancestor is a descendant
                 // of c.
                 let desc = self.descendants(c);
-                !common.iter().any(|other| other != c && desc.contains(other))
+                !common
+                    .iter()
+                    .any(|other| other != c && desc.contains(other))
             })
             .collect()
     }
@@ -229,7 +234,10 @@ mod tests {
     fn ancestors_descendants() {
         let g = dag();
         assert_eq!(g.ancestors(3).iter().collect::<Vec<_>>(), vec![0, 1, 2]);
-        assert_eq!(g.descendants(0).iter().collect::<Vec<_>>(), vec![1, 2, 3, 4]);
+        assert_eq!(
+            g.descendants(0).iter().collect::<Vec<_>>(),
+            vec![1, 2, 3, 4]
+        );
         assert!(g.ancestors(0).is_empty());
     }
 

@@ -8,8 +8,6 @@
 //! execution may pair the operations differently) — and `eo-approx` uses
 //! this module to implement that baseline so E7 can quantify the unsafety.
 
-use serde::{Deserialize, Serialize};
-
 /// Relationship between two vector timestamps.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum ClockOrdering {
@@ -24,7 +22,7 @@ pub enum ClockOrdering {
 }
 
 /// A vector clock over a fixed number of processes.
-#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct VectorClock {
     entries: Vec<u64>,
 }
@@ -32,7 +30,9 @@ pub struct VectorClock {
 impl VectorClock {
     /// The zero clock for `n` processes.
     pub fn new(n: usize) -> Self {
-        VectorClock { entries: vec![0; n] }
+        VectorClock {
+            entries: vec![0; n],
+        }
     }
 
     /// Number of process components.
@@ -65,7 +65,11 @@ impl VectorClock {
     /// # Panics
     /// Panics if lengths differ.
     pub fn merge(&mut self, other: &VectorClock) {
-        assert_eq!(self.entries.len(), other.entries.len(), "clock arity mismatch");
+        assert_eq!(
+            self.entries.len(),
+            other.entries.len(),
+            "clock arity mismatch"
+        );
         for (a, b) in self.entries.iter_mut().zip(&other.entries) {
             *a = (*a).max(*b);
         }
@@ -76,7 +80,11 @@ impl VectorClock {
     /// # Panics
     /// Panics if lengths differ.
     pub fn compare(&self, other: &VectorClock) -> ClockOrdering {
-        assert_eq!(self.entries.len(), other.entries.len(), "clock arity mismatch");
+        assert_eq!(
+            self.entries.len(),
+            other.entries.len(),
+            "clock arity mismatch"
+        );
         let mut le = true;
         let mut ge = true;
         for (a, b) in self.entries.iter().zip(&other.entries) {

@@ -7,21 +7,14 @@ use proptest::prelude::*;
 /// Strategy: a random relation over `n` indices with the given edge
 /// probability (encoded as a set of pairs).
 fn relation(n: usize) -> impl Strategy<Value = Relation> {
-    prop::collection::vec((0..n, 0..n), 0..=(n * n / 2)).prop_map(move |edges| {
-        Relation::from_edges(n, edges)
-    })
+    prop::collection::vec((0..n, 0..n), 0..=(n * n / 2))
+        .prop_map(move |edges| Relation::from_edges(n, edges))
 }
 
 /// Strategy: a random DAG (edges only forward).
 fn dag(n: usize) -> impl Strategy<Value = Relation> {
-    prop::collection::vec((0..n, 0..n), 0..=(n * n / 2)).prop_map(move |edges| {
-        Relation::from_edges(
-            n,
-            edges
-                .into_iter()
-                .filter(|&(a, b)| a < b),
-        )
-    })
+    prop::collection::vec((0..n, 0..n), 0..=(n * n / 2))
+        .prop_map(move |edges| Relation::from_edges(n, edges.into_iter().filter(|&(a, b)| a < b)))
 }
 
 proptest! {

@@ -33,12 +33,18 @@ pub struct Lit {
 impl Lit {
     /// The positive literal of `v`.
     pub fn pos(v: Var) -> Lit {
-        Lit { var: v, positive: true }
+        Lit {
+            var: v,
+            positive: true,
+        }
     }
 
     /// The negative literal of `v`.
     pub fn neg(v: Var) -> Lit {
-        Lit { var: v, positive: false }
+        Lit {
+            var: v,
+            positive: false,
+        }
     }
 
     /// The complementary literal.
@@ -112,7 +118,10 @@ impl Formula {
     /// construction sites are all internal.
     pub fn new(n_vars: usize, clauses: Vec<Clause>) -> Formula {
         for c in &clauses {
-            assert!(!c.0.is_empty(), "empty clause (trivially unsat) not allowed here");
+            assert!(
+                !c.0.is_empty(),
+                "empty clause (trivially unsat) not allowed here"
+            );
             for l in &c.0 {
                 assert!(l.var.index() < n_vars, "literal {l} out of range");
             }
@@ -376,7 +385,10 @@ mod tests {
     #[test]
     fn dimacs_rejects_garbage() {
         assert!(Formula::from_dimacs("nonsense").is_err());
-        assert!(Formula::from_dimacs("p cnf 1 1\n5 0\n").is_err(), "literal out of range");
+        assert!(
+            Formula::from_dimacs("p cnf 1 1\n5 0\n").is_err(),
+            "literal out of range"
+        );
     }
 
     #[test]
@@ -389,7 +401,11 @@ mod tests {
     fn display_is_readable() {
         let f = Formula::new(
             3,
-            vec![Clause(vec![Lit::pos(Var(0)), Lit::neg(Var(1)), Lit::pos(Var(2))])],
+            vec![Clause(vec![
+                Lit::pos(Var(0)),
+                Lit::neg(Var(1)),
+                Lit::pos(Var(2)),
+            ])],
         );
         assert_eq!(f.display(), "(x0 ∨ ¬x1 ∨ x2)");
     }

@@ -261,7 +261,10 @@ mod tests {
     fn contradictory_units_are_unsat() {
         let f = Formula::new(
             1,
-            vec![Clause(vec![Lit::pos(Var(0))]), Clause(vec![Lit::neg(Var(0))])],
+            vec![
+                Clause(vec![Lit::pos(Var(0))]),
+                Clause(vec![Lit::neg(Var(0))]),
+            ],
         );
         assert!(Solver::new(f).solve().is_none());
     }

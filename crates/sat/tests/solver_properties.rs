@@ -15,8 +15,11 @@ fn lit(n_vars: u32) -> impl Strategy<Value = Lit> {
 }
 
 fn formula(n_vars: u32, max_clauses: usize) -> impl Strategy<Value = Formula> {
-    prop::collection::vec(prop::collection::vec(lit(n_vars), 1..=3).prop_map(Clause), 1..=max_clauses)
-        .prop_map(move |clauses| Formula::new(n_vars as usize, clauses))
+    prop::collection::vec(
+        prop::collection::vec(lit(n_vars), 1..=3).prop_map(Clause),
+        1..=max_clauses,
+    )
+    .prop_map(move |clauses| Formula::new(n_vars as usize, clauses))
 }
 
 proptest! {

@@ -1,0 +1,254 @@
+//! Vendored stand-in for the slice of the `criterion` crate API this
+//! workspace's benches use: `Criterion` configuration, benchmark groups,
+//! `bench_function`/`bench_with_input`, `BenchmarkId`, `Throughput`, and
+//! the `criterion_group!`/`criterion_main!` macros.
+//!
+//! The build environment has no access to crates.io. The shim keeps the
+//! bench sources compiling unchanged and reports wall-clock statistics
+//! (min/mean/max over the sample runs) without criterion's outlier
+//! analysis, plots, or HTML reports.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Top-level bench configuration and entry point.
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            warm_up_time: Duration::from_millis(200),
+            measurement_time: Duration::from_millis(800),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of measured samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Time spent warming up before measuring.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Target time spent measuring.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, name: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(self, &name.to_string(), &mut f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing the parent configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Records the group's throughput basis (accepted, not reported).
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        run_one(self.criterion, &full, &mut f);
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Display,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id);
+        run_one(self.criterion, &full, &mut |b| f(b, input));
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier made of a function name and a parameter.
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// `function/parameter`.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            function: function.to_string(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.function, self.parameter)
+    }
+}
+
+/// The per-benchmark timing driver handed to bench closures.
+pub struct Bencher<'a> {
+    criterion: &'a Criterion,
+    samples: Vec<Duration>,
+}
+
+impl Bencher<'_> {
+    /// Times `routine`, collecting one sample per measured batch.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm up until the configured time has elapsed (at least once).
+        let warm_start = Instant::now();
+        let mut per_iter = loop {
+            let t0 = Instant::now();
+            std::hint::black_box(routine());
+            let took = t0.elapsed();
+            if warm_start.elapsed() >= self.criterion.warm_up_time {
+                break took.max(Duration::from_nanos(1));
+            }
+        };
+
+        // Split the measurement budget over the samples; batch enough
+        // iterations per sample that Instant resolution is not the story.
+        let samples = self.criterion.sample_size;
+        let budget = self
+            .criterion
+            .measurement_time
+            .max(Duration::from_millis(1));
+        for _ in 0..samples {
+            let per_sample = budget / samples as u32;
+            let iters = (per_sample.as_nanos() / per_iter.as_nanos()).clamp(1, 1 << 20) as u32;
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(routine());
+            }
+            let took = t0.elapsed();
+            per_iter = (took / iters).max(Duration::from_nanos(1));
+            self.samples.push(per_iter);
+        }
+    }
+}
+
+/// Throughput basis for a group (accepted for API compatibility).
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+fn run_one(criterion: &Criterion, name: &str, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        criterion,
+        samples: Vec::new(),
+    };
+    f(&mut b);
+    if b.samples.is_empty() {
+        println!("{name:<60} (no samples)");
+        return;
+    }
+    let min = b.samples.iter().min().unwrap();
+    let max = b.samples.iter().max().unwrap();
+    let mean = b.samples.iter().sum::<Duration>() / b.samples.len() as u32;
+    println!(
+        "{name:<60} [{:>12.3} {:>12.3} {:>12.3}] µs/iter",
+        min.as_secs_f64() * 1e6,
+        mean.as_secs_f64() * 1e6,
+        max.as_secs_f64() * 1e6,
+    );
+}
+
+/// Bundles bench functions into a runnable group, mirroring criterion's
+/// macro of the same name (both the list and `name =`/`config =` forms).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// The bench entry point, mirroring criterion's macro of the same name.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_machinery_runs() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        let mut g = c.benchmark_group("shim");
+        g.throughput(Throughput::Elements(4));
+        let mut ran = 0usize;
+        g.bench_function("count", |b| {
+            b.iter(|| ran += 1);
+        });
+        g.bench_with_input(BenchmarkId::new("id", 7), &3u32, |b, &x| {
+            b.iter(|| x * 2);
+        });
+        g.finish();
+        assert!(ran > 0);
+    }
+}

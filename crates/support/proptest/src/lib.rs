@@ -1,0 +1,382 @@
+//! Vendored stand-in for the slice of the `proptest` crate API this
+//! workspace consumes: the `proptest!` macro, integer/float range and
+//! tuple strategies, `prop::collection::vec`, `prop::bool::ANY`,
+//! `Strategy::prop_map`, and the `prop_assert*`/`prop_assume!` macros.
+//!
+//! The build environment has no access to crates.io. This shim keeps the
+//! same *testing semantics* — each test body runs for `cases` generated
+//! inputs and fails with the offending input's debug description — but
+//! drops shrinking and failure persistence: a failing case panics
+//! immediately with the values that produced it.
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::SmallRng;
+use rand::{RngCore, SeedableRng};
+
+/// Per-test configuration; only `cases` is honoured.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated inputs to run the body for.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` generated inputs.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// The generator handed to strategies (a seeded PRNG).
+pub struct TestRunner {
+    rng: SmallRng,
+}
+
+impl TestRunner {
+    /// A deterministic runner; all workspace property tests are
+    /// reproducible from this fixed seed.
+    pub fn deterministic() -> Self {
+        TestRunner {
+            rng: SmallRng::seed_from_u64(0x5EED_CAFE_F00D_D00D),
+        }
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.rng.next_u64()
+    }
+}
+
+/// Why a single generated case did not pass.
+#[derive(Debug)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// A failed assertion with `message`.
+    pub fn fail(message: String) -> Self {
+        TestCaseError(message)
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// A value generator, mirroring `proptest::strategy::Strategy`.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value: std::fmt::Debug;
+
+    /// Draws one value.
+    fn generate(&self, runner: &mut TestRunner) -> Self::Value;
+
+    /// A strategy producing `f(v)` for `v` drawn from `self`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        O: std::fmt::Debug,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// The result of [`Strategy::prop_map`].
+#[derive(Clone, Debug)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    O: std::fmt::Debug,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, runner: &mut TestRunner) -> O {
+        (self.f)(self.inner.generate(runner))
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, runner: &mut TestRunner) -> $t {
+                rand::Rng::gen_range(&mut runner.rng, self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, runner: &mut TestRunner) -> $t {
+                rand::Rng::gen_range(&mut runner.rng, self.clone())
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(usize, u8, u16, u32, u64, isize, i8, i16, i32, i64, f32, f64);
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+);)*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, runner: &mut TestRunner) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(runner),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A);
+    (A, B);
+    (A, B, C);
+    (A, B, C, D);
+    (A, B, C, D, E);
+    (A, B, C, D, E, F);
+}
+
+/// Built-in strategy namespaces, mirroring `proptest::prop`.
+pub mod prop {
+    /// Boolean strategies.
+    pub mod bool {
+        use crate::{Strategy, TestRunner};
+
+        /// Generates `true`/`false` uniformly.
+        #[derive(Clone, Copy, Debug)]
+        pub struct Any;
+
+        /// The uniform boolean strategy.
+        pub const ANY: Any = Any;
+
+        impl Strategy for Any {
+            type Value = bool;
+            fn generate(&self, runner: &mut TestRunner) -> bool {
+                runner.next_u64() & 1 == 1
+            }
+        }
+    }
+
+    /// Collection strategies.
+    pub mod collection {
+        use crate::{Strategy, TestRunner};
+
+        /// An inclusive length range for generated collections.
+        #[derive(Clone, Copy, Debug)]
+        pub struct SizeRange {
+            lo: usize,
+            hi: usize,
+        }
+
+        impl From<usize> for SizeRange {
+            fn from(n: usize) -> Self {
+                SizeRange { lo: n, hi: n }
+            }
+        }
+
+        impl From<core::ops::Range<usize>> for SizeRange {
+            fn from(r: core::ops::Range<usize>) -> Self {
+                assert!(r.start < r.end, "empty collection size range");
+                SizeRange {
+                    lo: r.start,
+                    hi: r.end - 1,
+                }
+            }
+        }
+
+        impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+            fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+                SizeRange {
+                    lo: *r.start(),
+                    hi: *r.end(),
+                }
+            }
+        }
+
+        /// A strategy for vectors whose elements come from `element`.
+        #[derive(Clone, Debug)]
+        pub struct VecStrategy<S> {
+            element: S,
+            size: SizeRange,
+        }
+
+        /// Generates a `Vec` with length drawn from `size` and elements
+        /// drawn from `element`.
+        pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy {
+                element,
+                size: size.into(),
+            }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, runner: &mut TestRunner) -> Vec<S::Value> {
+                let span = (self.size.hi - self.size.lo) as u64 + 1;
+                let len = self.size.lo + (runner.next_u64() % span) as usize;
+                (0..len).map(|_| self.element.generate(runner)).collect()
+            }
+        }
+    }
+}
+
+/// Drives `case` for `cfg.cases` generated inputs, panicking on the first
+/// failure. Used by the expansion of [`proptest!`].
+pub fn run_cases<F>(cfg: &ProptestConfig, mut case: F)
+where
+    F: FnMut(&mut TestRunner) -> Result<(), TestCaseError>,
+{
+    let mut runner = TestRunner::deterministic();
+    for i in 0..cfg.cases {
+        if let Err(e) = case(&mut runner) {
+            panic!("property failed at case {}/{}: {}", i + 1, cfg.cases, e);
+        }
+    }
+}
+
+/// Declares `#[test]` functions whose arguments are drawn from strategies.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { cfg = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Internal: expands each `fn name(arg in strategy, ...) { body }` item.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (cfg = $cfg:expr;) => {};
+    (cfg = $cfg:expr;
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config = $cfg;
+            $crate::run_cases(&__config, |__runner| {
+                $(let $arg = $crate::Strategy::generate(&($strat), __runner);)+
+                let mut __case = || -> ::core::result::Result<(), $crate::TestCaseError> {
+                    { $body }
+                    ::core::result::Result::Ok(())
+                };
+                __case()
+            });
+        }
+        $crate::__proptest_items! { cfg = $cfg; $($rest)* }
+    };
+}
+
+/// `assert!` that reports through the property-test harness.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// `assert_eq!` that reports through the property-test harness.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, "assertion failed: `{:?}` == `{:?}`", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: `{:?}` == `{:?}`: {}", l, r, format!($($fmt)+)
+        );
+    }};
+}
+
+/// `assert_ne!` that reports through the property-test harness.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l != r, "assertion failed: `{:?}` != `{:?}`", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l != r,
+            "assertion failed: `{:?}` != `{:?}`: {}", l, r, format!($($fmt)+)
+        );
+    }};
+}
+
+/// Discards the current case when `cond` is false.
+///
+/// The shim counts a discarded case as passed rather than drawing a
+/// replacement, which keeps the harness loop trivial.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Ok(());
+        }
+    };
+}
+
+/// The usual blanket import, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, ProptestConfig,
+        Strategy, TestCaseError,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Generated vectors respect the length bounds.
+        #[test]
+        fn vec_lengths_in_bounds(xs in prop::collection::vec(0usize..10, 2..=5)) {
+            prop_assert!((2..=5).contains(&xs.len()));
+            prop_assert!(xs.iter().all(|&x| x < 10));
+        }
+
+        #[test]
+        fn tuples_and_maps_compose(pair in (0u32..4, prop::bool::ANY).prop_map(|(a, b)| (a * 2, !b))) {
+            let (a, _b) = pair;
+            prop_assert_eq!(a % 2, 0);
+            prop_assert_ne!(a, 9);
+        }
+
+        #[test]
+        fn assume_discards(n in 0usize..100) {
+            prop_assume!(n % 2 == 0);
+            prop_assert!(n % 2 == 0, "only even cases survive the assume");
+        }
+    }
+}

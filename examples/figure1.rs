@@ -68,7 +68,9 @@ fn main() {
     for (a, b) in reduced.pairs() {
         let name = |i: usize| {
             let e = exec.event(eo_model::EventId::new(i));
-            e.label.clone().unwrap_or_else(|| format!("{}:{}", e.id, e.op.mnemonic()))
+            e.label
+                .clone()
+                .unwrap_or_else(|| format!("{}:{}", e.id, e.op.mnemonic()))
         };
         println!("  {} -> {}", name(a), name(b));
     }

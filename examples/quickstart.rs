@@ -71,7 +71,13 @@ fn main() {
     }
 
     // The headline facts for this program:
-    assert!(summary.mhb(ev("work_p"), ev("work_c")), "work_p always precedes work_c");
-    assert!(summary.ccw(ev("after_v"), ev("work_c")), "the tails can overlap");
+    assert!(
+        summary.mhb(ev("work_p"), ev("work_c")),
+        "work_p always precedes work_c"
+    );
+    assert!(
+        summary.ccw(ev("after_v"), ev("work_c")),
+        "the tails can overlap"
+    );
     println!("\nquickstart assertions passed.");
 }

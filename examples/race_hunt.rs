@@ -39,7 +39,11 @@ fn main() {
     println!("  agreed races:      {:?}", cmp.agreed);
     println!("  missed by clocks:  {:?}", cmp.missed_by_vc);
     println!("  spurious in clocks:{:?}", cmp.spurious_in_vc);
-    assert_eq!(cmp.missed_by_vc.len(), 1, "the feasible race only the exact detector sees");
+    assert_eq!(
+        cmp.missed_by_vc.len(),
+        1,
+        "the feasible race only the exact detector sees"
+    );
 
     // --- Part 2: random workloads --------------------------------------
     println!("\nrandom semaphore workloads (exact vs clock detector):");

@@ -4,8 +4,13 @@
 //! eo analyze <trace.json> [--ignore-deps] [--matrix]   six relations of a trace
 //! eo races   <trace.json>                              exact vs clock race report
 //! eo sat     <n_vars> <n_clauses> <seed> [--events]    SAT via Theorem 1/2 (or 3/4)
+//! eo lint    <trace.json> [--json] [--deny <level>]    static synchronization lints
+//! eo lint    --theorem3 [n m seed] [--json]            lint the Theorem 3 program
 //! eo figure1                                           the paper's Figure 1 demo
 //! ```
+//!
+//! `lint` exits nonzero when any finding reaches the `--deny` level
+//! (default `error`; `warning` and `info` tighten it).
 
 use eo_engine::{ExactEngine, FeasibilityMode};
 use eo_model::{render, EventId, ProgramExecution, Trace};
@@ -20,11 +25,14 @@ fn main() -> ExitCode {
         Some("analyze") => analyze(rest),
         Some("races") => races(rest),
         Some("sat") => sat(rest),
+        Some("lint") => lint(rest),
         Some("figure1") => figure1(),
         _ => {
             eprintln!(
                 "usage:\n  eo analyze <trace.json> [--ignore-deps] [--matrix]\n  \
                  eo races <trace.json>\n  eo sat <n_vars> <n_clauses> <seed> [--events]\n  \
+                 eo lint <trace.json> [--json] [--deny error|warning|info]\n  \
+                 eo lint --theorem3 [n m seed] [--json] [--deny <level>]\n  \
                  eo figure1"
             );
             ExitCode::FAILURE
@@ -35,7 +43,9 @@ fn main() -> ExitCode {
 fn load(path: &str) -> Result<ProgramExecution, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
     let trace = Trace::from_json(&text).map_err(|e| format!("parsing {path}: {e}"))?;
-    trace.to_execution().map_err(|e| format!("validating {path}: {e}"))
+    trace
+        .to_execution()
+        .map_err(|e| format!("validating {path}: {e}"))
 }
 
 fn analyze(args: &[String]) -> ExitCode {
@@ -77,7 +87,10 @@ fn analyze(args: &[String]) -> ExitCode {
     );
 
     println!("\nmust-have-happened-before (transitive reduction):");
-    print!("{}", render::render_relation(&exec, &summary.mhb_relation(), true));
+    print!(
+        "{}",
+        render::render_relation(&exec, &summary.mhb_relation(), true)
+    );
     println!("\ncould-be-concurrent pairs:");
     let ccw = summary.ccw_relation();
     for a in 0..exec.n_events() {
@@ -150,7 +163,10 @@ fn sat(args: &[String]) -> ExitCode {
         (red.witness_b_before_a().is_some(), "Theorem 3/4 (events)")
     } else {
         let red = eo_reductions::SemaphoreReduction::build(&f);
-        (red.witness_b_before_a().is_some(), "Theorem 1/2 (semaphores)")
+        (
+            red.witness_b_before_a().is_some(),
+            "Theorem 1/2 (semaphores)",
+        )
     };
     let dpll = eo_sat::Solver::satisfiable(&f);
     println!("{kind}: b CHB a = {sat_via_ordering}  →  sat = {sat_via_ordering}");
@@ -161,6 +177,84 @@ fn sat(args: &[String]) -> ExitCode {
     } else {
         println!("INCONSISTENT ✗ — this would falsify the reduction");
         ExitCode::FAILURE
+    }
+}
+
+fn lint(args: &[String]) -> ExitCode {
+    use eo_lint::{lint_program, lint_trace, LintOptions, Severity};
+
+    let json = args.iter().any(|a| a == "--json");
+    let deny = match args.iter().position(|a| a == "--deny") {
+        None => Severity::Error,
+        Some(i) => match args.get(i + 1).map(String::as_str) {
+            Some("error") => Severity::Error,
+            Some("warning") => Severity::Warning,
+            Some("info") => Severity::Info,
+            other => {
+                eprintln!("lint: --deny takes error|warning|info, got {other:?}");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+
+    let report = if args.iter().any(|a| a == "--theorem3") {
+        // Demo: lint the paper's Theorem 3 (event-style) construction —
+        // the one the paper itself notes can deadlock.
+        let nums: Vec<u64> = args.iter().filter_map(|a| a.parse().ok()).collect();
+        let (n, m, seed) = match nums[..] {
+            [n, m, s, ..] => (n as usize, m as usize, s),
+            _ => (3, 3, 1),
+        };
+        let f = Formula::random_3cnf(n, m, seed);
+        eprintln!("linting the Theorem 3 program for B = {}", f.display());
+        let red = eo_reductions::EventReduction::build(&f);
+        match lint_program(&red.program, &LintOptions::default()) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("lint: constructed program invalid: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        let Some(path) = args
+            .iter()
+            .find(|a| !a.starts_with("--") && a.parse::<u64>().is_err())
+        else {
+            eprintln!("lint: missing trace path");
+            return ExitCode::FAILURE;
+        };
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("reading {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let trace = match Trace::from_json(&text) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("parsing {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match lint_trace(&trace, &LintOptions::for_trace()) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("lint: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+
+    if json {
+        println!("{}", report.to_json().pretty());
+    } else {
+        print!("{}", report.render_text());
+    }
+    if report.worst_at_least(deny) {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
     }
 }
 

@@ -30,7 +30,10 @@
 //! * [`reductions`] — the Theorem 1–4 program constructions mapping 3CNFSAT
 //!   to ordering queries, and the single-semaphore reduction;
 //! * [`race`] — exact vs. approximate data-race detection (the paper's
-//!   closing implication).
+//!   closing implication), with a sound static pruning pre-pass;
+//! * [`lint`] — static synchronization analysis: misuse lints, wait-for
+//!   deadlock cycles, and the guaranteed orderings behind the race
+//!   pruning (`eo lint` on the command line).
 //!
 //! See `DESIGN.md` for the system inventory and the experiment index, and
 //! `EXPERIMENTS.md` for measured results.
@@ -66,10 +69,12 @@
 //! ```
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 pub use eo_approx as approx;
 pub use eo_engine as engine;
 pub use eo_lang as lang;
+pub use eo_lint as lint;
 pub use eo_model as model;
 pub use eo_race as race;
 pub use eo_reductions as reductions;
@@ -81,6 +86,7 @@ pub mod prelude {
     pub use eo_approx::{egp::TaskGraph, hmw::SafeOrderings, vc::VectorClockHb};
     pub use eo_engine::{ExactEngine, OrderingSummary};
     pub use eo_lang::{run_to_trace, Program, ProgramBuilder, Scheduler};
+    pub use eo_lint::{lint_program, lint_trace, LintOptions, LintReport};
     pub use eo_model::{Event, EventId, Op, ProgramExecution, Trace};
     pub use eo_relations::{BitSet, Relation, VectorClock};
     pub use eo_sat::{Formula, Solver};

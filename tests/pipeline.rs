@@ -1,10 +1,10 @@
 //! Cross-crate integration: program → interpreter → model → engine →
 //! baselines, exercised end to end on curated scenarios.
 
-use event_ordering::prelude::*;
 use eo_engine::FeasibilityMode;
 use eo_lang::generator;
 use eo_model::fixtures;
+use event_ordering::prelude::*;
 
 /// A two-stage pipeline with a handoff in the middle: the stages of each
 /// item are ordered; stages of different items overlap.
@@ -27,8 +27,14 @@ fn pipeline_program_orderings() {
     summary.check_identities().unwrap();
 
     let ev = |l: &str| exec.event_labeled(l).unwrap();
-    assert!(summary.mhb(ev("s1_item"), ev("s2_item")), "handoff orders the stages");
-    assert!(summary.ccw(ev("s1_next"), ev("s2_item")), "next item overlaps stage 2");
+    assert!(
+        summary.mhb(ev("s1_item"), ev("s2_item")),
+        "handoff orders the stages"
+    );
+    assert!(
+        summary.ccw(ev("s1_next"), ev("s2_item")),
+        "next item overlaps stage 2"
+    );
 }
 
 /// The full analysis stack agrees on the fixture gallery: every baseline

@@ -16,12 +16,12 @@ use proptest::prelude::*;
 /// exponential engine).
 fn small_spec() -> impl Strategy<Value = WorkloadSpec> {
     (
-        2usize..=3,          // processes
-        2usize..=4,          // events per process
-        1usize..=2,          // sync objects
-        0u64..1000,          // seed
-        prop::bool::ANY,     // style
-        0.0f64..=0.8,        // sync density
+        2usize..=3,      // processes
+        2usize..=4,      // events per process
+        1usize..=2,      // sync objects
+        0u64..1000,      // seed
+        prop::bool::ANY, // style
+        0.0f64..=0.8,    // sync density
     )
         .prop_map(|(procs, epp, syncs, seed, sem_style, density)| {
             let mut spec = if sem_style {
@@ -43,7 +43,9 @@ fn small_spec() -> impl Strategy<Value = WorkloadSpec> {
 }
 
 fn exec_of(spec: &WorkloadSpec) -> ProgramExecution {
-    generate_trace(spec, 100).to_execution().expect("generated traces are valid")
+    generate_trace(spec, 100)
+        .to_execution()
+        .expect("generated traces are valid")
 }
 
 proptest! {
