@@ -420,4 +420,69 @@ fn main() {
             render(&["input", "states", "seq_ms", "par_ms"], &qrows)
         );
     }
+
+    if want("e12") {
+        println!(
+            "== E12: engine hot-path overhaul — interned explorer vs pre-overhaul baseline =="
+        );
+        println!("(results asserted bit-identical per row; best-of-5 timings)");
+        let mut rows = Vec::new();
+        let mut json_rows = Vec::new();
+        for (label, exec, mode) in e12_workloads() {
+            let r = e12_engine_point(&label, &exec, mode);
+            rows.push(vec![
+                r.label.clone(),
+                r.events.to_string(),
+                r.states.to_string(),
+                ms(r.baseline_time),
+                ms(r.interned_time),
+                format!("{:.2}x", r.speedup()),
+                (r.baseline_bytes / 1024).to_string(),
+                (r.interned_bytes / 1024).to_string(),
+            ]);
+            json_rows.push(format!(
+                concat!(
+                    "    {{\"workload\": \"{}\", \"events\": {}, \"states\": {}, ",
+                    "\"baseline_ms\": {:.3}, \"interned_ms\": {:.3}, \"speedup\": {:.2}, ",
+                    "\"baseline_events_per_sec\": {:.0}, \"interned_events_per_sec\": {:.0}, ",
+                    "\"baseline_states_per_sec\": {:.0}, \"interned_states_per_sec\": {:.0}, ",
+                    "\"baseline_peak_bytes\": {}, \"interned_peak_bytes\": {}}}"
+                ),
+                r.label,
+                r.events,
+                r.states,
+                r.baseline_time.as_secs_f64() * 1e3,
+                r.interned_time.as_secs_f64() * 1e3,
+                r.speedup(),
+                r.events_per_sec(r.baseline_time),
+                r.events_per_sec(r.interned_time),
+                r.states_per_sec(r.baseline_time),
+                r.states_per_sec(r.interned_time),
+                r.baseline_bytes,
+                r.interned_bytes,
+            ));
+        }
+        println!(
+            "{}",
+            render(
+                &[
+                    "workload",
+                    "|E|",
+                    "states",
+                    "baseline_ms",
+                    "interned_ms",
+                    "speedup",
+                    "base_KiB",
+                    "int_KiB"
+                ],
+                &rows
+            )
+        );
+        let json = format!(
+            "{{\n  \"experiment\": \"e12_engine_hot_path\",\n  \"rows\": [\n{}\n  ]\n}}\n",
+            json_rows.join(",\n")
+        );
+        std::fs::write("BENCH_engine.json", &json).expect("write BENCH_engine.json");
+        println!("wrote BENCH_engine.json ({} workloads)\n", rows.len());
+    }
 }

@@ -731,6 +731,135 @@ pub fn ablation_parallel(label: &str, exec: &ProgramExecution) -> ParallelRow {
     }
 }
 
+// ---------------------------------------------------------------- E12 --
+
+/// E12 — the engine hot-path overhaul, measured: the interned explorer
+/// (state arena + threaded executed rows + successor-table walks) against
+/// the preserved pre-overhaul baseline
+/// ([`eo_engine::explore_statespace_baseline`]) on fixed E6/E9 workloads.
+/// Results are asserted bit-identical per row; the numbers are pure
+/// layout/throughput deltas.
+#[derive(Clone, Debug)]
+pub struct EngineBenchRow {
+    /// Workload label.
+    pub label: String,
+    /// Events in the trace.
+    pub events: usize,
+    /// States in the cut lattice (identical for both, asserted).
+    pub states: usize,
+    /// Pre-overhaul explorer time (best of N).
+    pub baseline_time: Duration,
+    /// Interned explorer time (best of N).
+    pub interned_time: Duration,
+    /// Pre-overhaul peak state-storage estimate (bytes).
+    pub baseline_bytes: usize,
+    /// Interned peak state-storage estimate (bytes).
+    pub interned_bytes: usize,
+}
+
+impl EngineBenchRow {
+    /// Wall-clock speed-up of the interned explorer over the baseline.
+    pub fn speedup(&self) -> f64 {
+        self.baseline_time.as_secs_f64() / self.interned_time.as_secs_f64()
+    }
+
+    /// Trace events fully analyzed per second (events / wall time).
+    pub fn events_per_sec(&self, d: Duration) -> f64 {
+        self.events as f64 / d.as_secs_f64()
+    }
+
+    /// Lattice states processed per second (states / wall time).
+    pub fn states_per_sec(&self, d: Duration) -> f64 {
+        self.states as f64 / d.as_secs_f64()
+    }
+}
+
+/// Best-of-`n` timing: runs `f` once to warm caches, then keeps the
+/// fastest of `n` timed runs (the low-noise estimator a 1-core CI
+/// container needs).
+fn timed_best<T>(n: usize, mut f: impl FnMut() -> T) -> (T, Duration) {
+    let mut out = f();
+    let mut best = Duration::MAX;
+    for _ in 0..n {
+        let (o, d) = timed(&mut f);
+        if d < best {
+            best = d;
+            out = o;
+        }
+    }
+    (out, best)
+}
+
+/// Runs E12 on one execution under `mode`.
+pub fn e12_engine_point(
+    label: &str,
+    exec: &ProgramExecution,
+    mode: FeasibilityMode,
+) -> EngineBenchRow {
+    let ctx = SearchCtx::new(exec, mode);
+    let (base, baseline_time) = timed_best(5, || {
+        eo_engine::explore_statespace_baseline(&ctx, 1 << 24).expect("budget")
+    });
+    let (new, interned_time) = timed_best(5, || explore_statespace(&ctx, 1 << 24).expect("budget"));
+    assert_eq!(base.chb, new.chb, "{label}: explorers must agree (chb)");
+    assert_eq!(base.overlap, new.overlap, "{label}: overlap");
+    assert_eq!(base.states, new.states, "{label}: states");
+    EngineBenchRow {
+        label: label.to_string(),
+        events: exec.n_events(),
+        states: new.states,
+        baseline_time,
+        interned_time,
+        baseline_bytes: base.approx_heap_bytes,
+        interned_bytes: new.approx_heap_bytes,
+    }
+}
+
+/// The fixed E12 workload set: E6-style scaling semaphore workloads
+/// (dependence-preserving, the mode the scaling experiments explore) and
+/// E9-style race inputs (dependence-ignoring, the mode race detection
+/// queries), including the pairing-pitfall ladder.
+pub fn e12_workloads() -> Vec<(String, ProgramExecution, FeasibilityMode)> {
+    let mut out = Vec::new();
+    for (procs, epp) in [(5usize, 4usize), (7, 4), (8, 5)] {
+        let mut spec = WorkloadSpec::small_semaphore(7);
+        spec.processes = procs;
+        spec.events_per_process = epp;
+        spec.semaphores = (procs / 2).max(1);
+        let exec = generate_trace(&spec, 100)
+            .to_execution()
+            .expect("generated traces are valid");
+        out.push((
+            format!("e6-{procs}x{epp}"),
+            exec,
+            FeasibilityMode::PreserveDependences,
+        ));
+    }
+    for decoys in [6usize, 9] {
+        out.push((
+            format!("e9-pitfall-{decoys}"),
+            pitfall_exec(decoys),
+            FeasibilityMode::IgnoreDependences,
+        ));
+    }
+    {
+        let mut spec = WorkloadSpec::small_semaphore(3);
+        spec.variables = 3;
+        spec.write_fraction = 0.5;
+        spec.processes = 6;
+        spec.events_per_process = 4;
+        let exec = generate_trace(&spec, 100)
+            .to_execution()
+            .expect("generated traces are valid");
+        out.push((
+            "e9-random-6x4".to_string(),
+            exec,
+            FeasibilityMode::IgnoreDependences,
+        ));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -92,11 +92,18 @@ impl<'a> SearchCtx<'a> {
     /// semantics **and** dependence gating), as (process, event) pairs
     /// sorted by process id.
     pub fn co_enabled(&self, st: &MachState) -> Vec<(ProcessId, EventId)> {
-        self.machine
-            .enabled_events(st)
-            .into_iter()
-            .filter(|&(_, e)| self.deps_satisfied(st, e))
-            .collect()
+        let mut out = Vec::new();
+        self.co_enabled_into(st, &mut out);
+        out
+    }
+
+    /// [`SearchCtx::co_enabled`] into a caller-provided buffer (cleared
+    /// first). The engine's inner loops call this once per visited state
+    /// and per witness probe; routing every call through a reused scratch
+    /// buffer keeps the search allocation-free in steady state.
+    pub fn co_enabled_into(&self, st: &MachState, out: &mut Vec<(ProcessId, EventId)>) {
+        self.machine.enabled_events_into(st, out);
+        out.retain(|&(_, e)| self.deps_satisfied(st, e));
     }
 
     /// The initial search state.
@@ -114,6 +121,38 @@ impl<'a> SearchCtx<'a> {
             "stepped an event whose dependences were unsatisfied"
         );
         e
+    }
+
+    /// [`SearchCtx::step`] that also maintains the state's key
+    /// fingerprint incrementally — see
+    /// [`Machine::step_keyed`](eo_model::machine::Machine::step_keyed).
+    /// The engine's expansion and witness loops pair this with
+    /// fingerprint-supplied interning so each lattice edge costs an O(1)
+    /// fingerprint update instead of a full re-hash.
+    pub fn step_keyed(&self, st: &mut MachState, p: ProcessId, fp: &mut u64) -> EventId {
+        let e = self.machine.step_keyed(st, p, fp);
+        debug_assert!(
+            self.dep_preds[e.index()]
+                .iter()
+                .all(|&q| self.machine.executed(st, q)),
+            "stepped an event whose dependences were unsatisfied"
+        );
+        e
+    }
+
+    /// [`SearchCtx::step_keyed`] when the caller already knows `e` — the
+    /// `(p, e)` pairs in a node's enabled list were validated when the
+    /// list was built, so the expansion loop applies them without
+    /// re-deriving the event (see
+    /// [`Machine::apply_keyed`](eo_model::machine::Machine::apply_keyed)).
+    pub fn apply_keyed(&self, st: &mut MachState, p: ProcessId, e: EventId, fp: &mut u64) {
+        self.machine.apply_keyed(st, p, e, fp);
+        debug_assert!(
+            self.dep_preds[e.index()]
+                .iter()
+                .all(|&q| self.machine.executed(st, q)),
+            "applied an event whose dependences were unsatisfied"
+        );
     }
 
     /// True iff every event has executed.

@@ -23,7 +23,7 @@
 //! extraction), not a multiset of schedules.
 
 use crate::ctx::SearchCtx;
-use eo_model::EventId;
+use eo_model::{EventId, ProcessId};
 use eo_relations::fxhash::FxHashSet;
 use eo_relations::{BitSet, Relation};
 
@@ -49,6 +49,9 @@ struct Enumerator<'c, 'a> {
     orders: Vec<Relation>,
     schedules_explored: usize,
     truncated: bool,
+    /// Recycled co-enabled buffers, one per active recursion depth — the
+    /// search allocates no per-state vectors in steady state.
+    enabled_pool: Vec<Vec<(ProcessId, EventId)>>,
 }
 
 impl Enumerator<'_, '_> {
@@ -75,9 +78,10 @@ impl Enumerator<'_, '_> {
             self.record();
             return;
         }
-        let enabled = self.ctx.co_enabled(st);
+        let mut enabled = self.enabled_pool.pop().unwrap_or_default();
+        self.ctx.co_enabled_into(st, &mut enabled);
         let mut local_sleep = sleep.clone();
-        for (p, e) in enabled {
+        for &(p, e) in &enabled {
             if self.use_sleep && local_sleep.contains(e.index()) {
                 continue;
             }
@@ -96,12 +100,13 @@ impl Enumerator<'_, '_> {
             self.explore(&st2, &child_sleep);
             self.schedule.pop();
             if self.truncated {
-                return;
+                break;
             }
             if self.use_sleep {
                 local_sleep.insert(e.index());
             }
         }
+        self.enabled_pool.push(enabled);
     }
 }
 
@@ -116,6 +121,7 @@ fn run(ctx: &SearchCtx<'_>, max_schedules: usize, use_sleep: bool) -> Enumeratio
         orders: Vec::new(),
         schedules_explored: 0,
         truncated: false,
+        enabled_pool: Vec::new(),
     };
     let st = ctx.initial_state();
     let sleep = BitSet::new(n);

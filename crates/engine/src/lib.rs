@@ -57,10 +57,13 @@ pub mod parallel;
 pub mod queries;
 pub mod sat_backend;
 pub mod statespace;
+pub mod statetable;
 pub mod summary;
 
 pub use ctx::{FeasibilityMode, SearchCtx};
 pub use engine::{EngineError, ExactEngine, Limits};
 pub use enumerate::{enumerate_classes, EnumerationResult};
-pub use statespace::{explore_statespace, StateSpaceResult};
+pub use queries::QuerySession;
+pub use statespace::{explore_statespace, explore_statespace_baseline, StateSpaceResult};
+pub use statetable::{StateId, StateTable};
 pub use summary::OrderingSummary;

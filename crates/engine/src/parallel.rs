@@ -3,13 +3,21 @@
 //! The sequential explorer in [`crate::statespace`] interleaves three
 //! kinds of work: stepping the machine out of each state (CPU-bound,
 //! embarrassingly parallel), hash-consing successor states into the global
-//! index (memory-bound, hard to parallelize without sharded tables), and
+//! arena (memory-bound, hard to parallelize without sharded tables), and
 //! the pairwise-fact accumulation over completable states (CPU-bound,
 //! parallel by node range). This module parallelizes the first and third
 //! on a **persistent worker pool** — workers are spawned once for the
 //! whole exploration and fed per-level tasks through a shared
 //! condvar-backed queue, so no thread is created per BFS level — while the
 //! hash-consing merge stays sequential on the coordinating thread.
+//!
+//! The storage is the same [`StateGraph`](crate::statespace) the
+//! sequential explorer uses: states interned once in the
+//! [`StateTable`](crate::statetable::StateTable) arena, executed sets
+//! threaded incrementally (each successor adds one bit to its parent's
+//! row), overlap checks done by successor-table walks in
+//! `accumulate_range` — so the two explorers differ only in who does the
+//! stepping, never in what is stored.
 //!
 //! The result is bit-for-bit identical to the sequential explorer's
 //! (tests assert this). Whether it is *faster* depends on how much of the
@@ -20,21 +28,26 @@
 
 use crate::ctx::SearchCtx;
 use crate::engine::EngineError;
-use crate::statespace::{accumulate_range, propagate_completability, Node, StateSpaceResult};
+use crate::statespace::{
+    accumulate_range, propagate_completability, Node, StateGraph, StateSpaceResult,
+};
 use eo_model::{EventId, MachState, ProcessId};
-use eo_relations::fxhash::FxHashMap;
 use eo_relations::Relation;
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
 
+/// One state to expand: its node index, the state cloned out of the
+/// arena, and its enabled list.
+type ExpandItem = (usize, MachState, Vec<(ProcessId, EventId)>);
+
 /// Work items sent to the pool.
 enum Task {
-    /// Expand these states (cloned out of the node table): step every
-    /// enabled process once.
+    /// Expand these states (cloned out of the arena): step every enabled
+    /// process once, reporting the event each step fired.
     Expand {
         /// Position of this chunk in the level's task list.
         slot: usize,
-        items: Vec<(usize, MachState, Vec<ProcessId>)>,
+        items: Vec<ExpandItem>,
     },
     /// Compute `co_enabled` for these fresh states.
     Enable { slot: usize, items: Vec<MachState> },
@@ -45,7 +58,7 @@ enum Task {
 enum TaskResult {
     Expanded {
         slot: usize,
-        succs: Vec<(usize, MachState)>,
+        succs: Vec<(usize, EventId, MachState)>,
     },
     Enabled {
         slot: usize,
@@ -116,21 +129,28 @@ pub fn explore_statespace_parallel(
     std::thread::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|| {
+                let mut enabled_buf: Vec<(ProcessId, EventId)> = Vec::new();
                 while let Some(task) = tasks.pop() {
                     match task {
                         Task::Expand { slot, items } => {
                             let mut succs = Vec::new();
-                            for (parent, state, procs) in items {
-                                for p in procs {
+                            for (parent, state, fires) in items {
+                                for (p, e) in fires {
                                     let mut st2 = state.clone();
                                     ctx.step(&mut st2, p);
-                                    succs.push((parent, st2));
+                                    succs.push((parent, e, st2));
                                 }
                             }
                             results.push(TaskResult::Expanded { slot, succs });
                         }
                         Task::Enable { slot, items } => {
-                            let enabled = items.iter().map(|st| ctx.co_enabled(st)).collect();
+                            let enabled = items
+                                .iter()
+                                .map(|st| {
+                                    ctx.co_enabled_into(st, &mut enabled_buf);
+                                    enabled_buf.clone()
+                                })
+                                .collect();
                             results.push(TaskResult::Enabled { slot, enabled });
                         }
                     }
@@ -153,37 +173,27 @@ fn drive(
     tasks: &Queue<Task>,
     results: &Queue<TaskResult>,
 ) -> Result<StateSpaceResult, EngineError> {
-    let mut index: FxHashMap<MachState, usize> = FxHashMap::default();
-    let mut nodes: Vec<Node> = Vec::new();
-
-    let init = ctx.initial_state();
-    index.insert(init.clone(), 0);
-    nodes.push(Node {
-        enabled: ctx.co_enabled(&init),
-        state: init,
-        succs: Vec::new(),
-        completable: false,
-    });
+    let mut graph = StateGraph::seeded(ctx);
 
     let mut frontier: Vec<usize> = vec![0];
     while !frontier.is_empty() {
         // Phase 1 (pool): successors of every frontier node. Task items
-        // carry owned state clones so workers never borrow the node table.
+        // carry owned state clones so workers never borrow the arena.
         let chunk = frontier.len().div_ceil(threads).max(1);
         let mut slots = 0;
         for (slot, ids) in frontier.chunks(chunk).enumerate() {
             let items = ids
                 .iter()
                 .map(|&i| {
-                    let node = &nodes[i];
-                    let procs = node.enabled.iter().map(|&(p, _)| p).collect();
-                    (i, node.state.clone(), procs)
+                    let state = graph.table.get(crate::statetable::StateId::new(i)).clone();
+                    (i, state, graph.nodes[i].enabled.clone())
                 })
                 .collect();
             tasks.push(Task::Expand { slot, items });
             slots += 1;
         }
-        let mut batches: Vec<Vec<(usize, MachState)>> = (0..slots).map(|_| Vec::new()).collect();
+        let mut batches: Vec<Vec<(usize, EventId, MachState)>> =
+            (0..slots).map(|_| Vec::new()).collect();
         for _ in 0..slots {
             match results.pop().expect("pool alive") {
                 TaskResult::Expanded { slot, succs } => batches[slot] = succs,
@@ -191,42 +201,42 @@ fn drive(
             }
         }
 
-        // Phase 2 (sequential): hash-cons successor states.
-        let new_start = nodes.len();
+        // Phase 2 (sequential): hash-cons successor states into the arena.
+        let new_start = graph.nodes.len();
         let mut next_frontier: Vec<usize> = Vec::new();
         for batch in batches {
-            for (parent, st) in batch {
-                let id = match index.get(&st) {
-                    Some(&id) => id,
-                    None => {
-                        if nodes.len() >= max_states {
-                            return Err(EngineError::StateSpaceExceeded { limit: max_states });
-                        }
-                        let id = nodes.len();
-                        index.insert(st.clone(), id);
-                        nodes.push(Node {
-                            state: st,
-                            enabled: Vec::new(), // filled in phase 3
-                            succs: Vec::new(),
-                            completable: false,
-                        });
-                        next_frontier.push(id);
-                        id
+            for (parent, e, st) in batch {
+                let (id, fresh) = graph.table.intern(st);
+                if fresh {
+                    if graph.nodes.len() >= max_states {
+                        return Err(EngineError::StateSpaceExceeded { limit: max_states });
                     }
-                };
-                nodes[parent].succs.push(id);
+                    debug_assert_eq!(id.index(), graph.nodes.len());
+                    graph.nodes.push(Node {
+                        enabled: Vec::new(), // filled in phase 3
+                        succs: Vec::new(),
+                        completable: false,
+                    });
+                    let row = graph.executed.push_row_copy(parent);
+                    debug_assert_eq!(row, id.index());
+                    graph.executed.set(row, e.index());
+                    next_frontier.push(id.index());
+                }
+                graph.nodes[parent].succs.push(id.index() as u32);
             }
         }
 
         // Phase 3 (pool): enabledness of the fresh nodes.
-        let fresh = nodes.len() - new_start;
+        let fresh = graph.nodes.len() - new_start;
         if fresh > 0 {
             let chunk = fresh.div_ceil(threads).max(1);
             let mut slots = 0;
             let mut cursor = new_start;
-            while cursor < nodes.len() {
-                let hi = (cursor + chunk).min(nodes.len());
-                let items = nodes[cursor..hi].iter().map(|n| n.state.clone()).collect();
+            while cursor < graph.nodes.len() {
+                let hi = (cursor + chunk).min(graph.nodes.len());
+                let items = (cursor..hi)
+                    .map(|i| graph.table.get(crate::statetable::StateId::new(i)).clone())
+                    .collect();
                 tasks.push(Task::Enable { slot: slots, items });
                 slots += 1;
                 cursor = hi;
@@ -242,11 +252,11 @@ fn drive(
             let mut write = new_start;
             for slot in per_slot {
                 for enabled in slot {
-                    nodes[write].enabled = enabled;
+                    graph.nodes[write].enabled = enabled;
                     write += 1;
                 }
             }
-            debug_assert_eq!(write, nodes.len());
+            debug_assert_eq!(write, graph.nodes.len());
         }
 
         frontier = next_frontier;
@@ -254,19 +264,18 @@ fn drive(
 
     // Phase 4: completability (sequential linear pass), then pairwise
     // accumulation fanned out by node range and merged by relation union.
-    let deadlock_reachable = propagate_completability(ctx, &mut nodes);
-    let (chb, overlap, completable_states) = if nodes.len() < 4 * threads {
-        accumulate_range(ctx, &nodes, &index, 0, nodes.len())
+    let deadlock_reachable = propagate_completability(ctx, &mut graph);
+    let (chb, overlap, completable_states) = if graph.nodes.len() < 4 * threads {
+        accumulate_range(ctx, &graph, 0, graph.nodes.len())
     } else {
-        let chunk = nodes.len().div_ceil(threads);
-        let nodes_ref = &nodes;
-        let index_ref = &index;
+        let chunk = graph.nodes.len().div_ceil(threads);
+        let graph_ref = &graph;
         let partials: Vec<_> = std::thread::scope(|s| {
             let handles: Vec<_> = (0..threads)
                 .map(|t| {
                     let lo = t * chunk;
-                    let hi = ((t + 1) * chunk).min(nodes_ref.len());
-                    s.spawn(move || accumulate_range(ctx, nodes_ref, index_ref, lo, hi))
+                    let hi = ((t + 1) * chunk).min(graph_ref.nodes.len());
+                    s.spawn(move || accumulate_range(ctx, graph_ref, lo, hi))
                 })
                 .collect();
             handles
@@ -289,9 +298,10 @@ fn drive(
     Ok(StateSpaceResult {
         chb,
         overlap,
-        states: nodes.len(),
+        states: graph.nodes.len(),
         completable_states,
         deadlock_reachable,
+        approx_heap_bytes: graph.approx_bytes(),
     })
 }
 

@@ -8,198 +8,400 @@
 //! satisfiability of the reduced formula is literally read off
 //! [`witness_before`]'s answer.
 //!
-//! All searches memoize on [`MachState`]; the executed-set of a state is a
-//! function of the state, so plain state memoization is sound.
+//! ## Sessions
+//!
+//! All state is held in a [`QuerySession`]: states are interned into the
+//! same [`StateTable`] arena the explorers use, so the memo tables are
+//! indexed by dense [`StateId`]s instead of hashing full states per probe.
+//! Two memo lifetimes coexist:
+//!
+//! * the **dead** set ("no complete schedule is reachable from here") is a
+//!   property of the state alone — independent of which pair a query asks
+//!   about — so it persists for the life of the session and accelerates
+//!   every later query;
+//! * **visited** sets are per-query (a state pruned while hunting one pair
+//!   may matter for another), implemented as an epoch stamp per arena slot
+//!   so starting a query is O(1), not O(states).
+//!
+//! Race detection asks about *many* pairs of one execution; routing them
+//! through one session turns the per-pair searches from cold starts into
+//! incremental probes of a shared lattice. The free functions below wrap a
+//! throwaway session for one-shot use.
+//!
+//! All searches are explicit-stack (no recursion — adversarial inputs make
+//! the lattice deep) and build their witness schedules front-to-back, so a
+//! witness costs O(length), not O(length²).
 
 use crate::ctx::SearchCtx;
-use eo_model::{EventId, MachState};
-use eo_relations::fxhash::FxHashSet;
+use crate::statetable::{StateId, StateTable};
+use eo_model::{EventId, MachState, ProcessId};
 
-/// Returns a complete feasible schedule, if one exists, from `st` onward
-/// (appending to nothing — the returned suffix starts at `st`). Memoizes
-/// failures in `dead`.
-fn complete_from(
-    ctx: &SearchCtx<'_>,
-    st: &MachState,
-    dead: &mut FxHashSet<MachState>,
-) -> Option<Vec<EventId>> {
-    if ctx.is_complete(st) {
-        return Some(Vec::new());
-    }
-    if dead.contains(st) {
-        return None;
-    }
-    for (p, e) in ctx.co_enabled(st) {
-        let mut st2 = st.clone();
-        ctx.step(&mut st2, p);
-        if let Some(mut rest) = complete_from(ctx, &st2, dead) {
-            rest.insert(0, e);
-            return Some(rest);
-        }
-    }
-    dead.insert(st.clone());
-    None
+/// One DFS stack frame: an interned state plus its co-enabled list (a
+/// buffer recycled through the session pool) and a cursor into it.
+struct Frame {
+    id: StateId,
+    enabled: Vec<(ProcessId, EventId)>,
+    k: usize,
 }
 
-/// Searches for a complete feasible schedule in which `first` executes
-/// strictly before `second`, returning it as a witness. `None` means no
-/// feasible execution orders them that way — i.e. `second` MHB `first`
-/// (when `first ≠ second`).
+/// Reusable witness-query state over one [`SearchCtx`]: the interned
+/// state arena, the persistent dead-state memo, the per-query visited
+/// stamps, and the scratch-buffer pool. See the module docs for why the
+/// memo lifetimes differ.
+pub struct QuerySession<'c, 'e> {
+    ctx: &'c SearchCtx<'e>,
+    table: StateTable,
+    root: StateId,
+    /// `dead[id]` ⇔ no complete schedule is reachable from `id`.
+    /// Query-independent, hence persistent.
+    dead: Vec<bool>,
+    /// `stamp[id] == epoch` ⇔ `id` was visited by the current query.
+    stamp: Vec<u32>,
+    epoch: u32,
+    /// Recycled co-enabled buffers for DFS frames.
+    pool: Vec<Vec<(ProcessId, EventId)>>,
+    /// Scratch for completion tails probed (and discarded) by overlap
+    /// checks.
+    tail: Vec<EventId>,
+    /// The one state that walks every lattice edge: `clone_from` reuses
+    /// its buffers, so stepping allocates only when a fresh state must be
+    /// interned.
+    scratch: MachState,
+}
+
+impl<'c, 'e> QuerySession<'c, 'e> {
+    /// Opens a session over `ctx` with the initial state interned.
+    pub fn new(ctx: &'c SearchCtx<'e>) -> Self {
+        let mut table = StateTable::new();
+        let (root, _) = table.intern(ctx.initial_state());
+        QuerySession {
+            ctx,
+            table,
+            root,
+            dead: vec![false],
+            stamp: vec![0],
+            epoch: 0,
+            pool: Vec::new(),
+            tail: Vec::new(),
+            scratch: ctx.initial_state(),
+        }
+    }
+
+    /// The context this session searches.
+    #[inline]
+    pub fn ctx(&self) -> &'c SearchCtx<'e> {
+        self.ctx
+    }
+
+    /// Number of distinct states interned so far — grows monotonically as
+    /// queries explore; a rough measure of how much lattice the session
+    /// has had to touch.
+    #[inline]
+    pub fn interned_states(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Fires `p`'s next event out of state `id` (into the scratch state —
+    /// no allocation) and interns the result, growing the parallel memo
+    /// arrays on a fresh insert.
+    fn step_and_intern(&mut self, id: StateId, p: ProcessId, e: EventId) -> StateId {
+        let Self {
+            ctx,
+            table,
+            scratch,
+            dead,
+            stamp,
+            ..
+        } = self;
+        scratch.clone_from(table.get(id));
+        let mut fp = table.fingerprint(id);
+        ctx.apply_keyed(scratch, p, e, &mut fp);
+        let (cid, fresh) = table.intern_ref_keyed(scratch, fp);
+        if fresh {
+            dead.push(false);
+            stamp.push(0);
+        }
+        cid
+    }
+
+    /// Starts a query: bumps the epoch (recycling stamps on the
+    /// astronomically-unlikely wrap) and returns it.
+    fn next_epoch(&mut self) -> u32 {
+        if self.epoch == u32::MAX {
+            self.epoch = 0;
+            self.stamp.fill(0);
+        }
+        self.epoch += 1;
+        self.epoch
+    }
+
+    /// A DFS frame for `id`, its enabled buffer drawn from the pool.
+    fn frame(&mut self, id: StateId) -> Frame {
+        let ctx = self.ctx;
+        let mut enabled = self.pool.pop().unwrap_or_default();
+        ctx.co_enabled_into(self.table.get(id), &mut enabled);
+        Frame { id, enabled, k: 0 }
+    }
+
+    /// Appends to `out` a complete feasible schedule from `start` onward,
+    /// if one exists (returning whether it does; on failure `out` is left
+    /// as given). Every state fully explored without success is marked
+    /// dead — permanently, for all future queries.
+    fn complete_from(&mut self, start: StateId, out: &mut Vec<EventId>) -> bool {
+        let ctx = self.ctx;
+        if ctx.is_complete(self.table.get(start)) {
+            return true;
+        }
+        if self.dead[start.index()] {
+            return false;
+        }
+        let mut stack = vec![self.frame(start)];
+        while let Some(top) = stack.last_mut() {
+            if top.k >= top.enabled.len() {
+                let f = stack.pop().expect("non-empty");
+                self.dead[f.id.index()] = true;
+                self.pool.push(f.enabled);
+                if !stack.is_empty() {
+                    out.pop(); // retract the edge that led here
+                }
+                continue;
+            }
+            let (p, e) = top.enabled[top.k];
+            top.k += 1;
+            let id = top.id;
+            let cid = self.step_and_intern(id, p, e);
+            if ctx.is_complete(self.table.get(cid)) {
+                out.push(e);
+                for f in stack.drain(..) {
+                    self.pool.push(f.enabled);
+                }
+                return true;
+            }
+            if self.dead[cid.index()] {
+                continue;
+            }
+            out.push(e);
+            stack.push(self.frame(cid));
+            // The lattice is a DAG (executed count strictly increases), so
+            // a state can never sit on the stack twice; any state reached
+            // again was fully explored already and is covered by `dead`.
+        }
+        false
+    }
+
+    /// Searches for a complete feasible schedule in which `first` executes
+    /// strictly before `second`, returning it as a witness. `None` means
+    /// no feasible execution orders them that way — i.e. `second` MHB
+    /// `first` (when `first ≠ second`).
+    pub fn witness_before(&mut self, first: EventId, second: EventId) -> Option<Vec<EventId>> {
+        assert_ne!(first, second, "witness_before needs two distinct events");
+        let ctx = self.ctx;
+        let epoch = self.next_epoch();
+        let mut prefix: Vec<EventId> = Vec::new();
+        // The initial state has executed nothing, so it starts in the
+        // neither-executed regime the stamp set covers.
+        self.stamp[self.root.index()] = epoch;
+        let root = self.root;
+        let mut stack = vec![self.frame(root)];
+        while let Some(top) = stack.last_mut() {
+            if top.k >= top.enabled.len() {
+                let f = stack.pop().expect("non-empty");
+                self.pool.push(f.enabled);
+                if !stack.is_empty() {
+                    prefix.pop();
+                }
+                continue;
+            }
+            let (p, e) = top.enabled[top.k];
+            top.k += 1;
+            let id = top.id;
+            let cid = self.step_and_intern(id, p, e);
+            let machine = ctx.machine();
+            let child = self.table.get(cid);
+            let first_done = machine.executed(child, first);
+            let second_done = machine.executed(child, second);
+            if second_done && !first_done {
+                continue; // this path already ordered them the wrong way
+            }
+            if first_done && !second_done {
+                // Any completion now places `first` before `second`.
+                prefix.push(e);
+                if self.complete_from(cid, &mut prefix) {
+                    for f in stack.drain(..) {
+                        self.pool.push(f.enabled);
+                    }
+                    return Some(prefix);
+                }
+                prefix.pop();
+                continue;
+            }
+            // Neither executed yet (both-done is unreachable: paths pass
+            // through a one-done state first, handled above).
+            if self.stamp[cid.index()] == epoch {
+                continue;
+            }
+            self.stamp[cid.index()] = epoch;
+            prefix.push(e);
+            stack.push(self.frame(cid));
+        }
+        None
+    }
+
+    /// Searches for a feasible execution in which `a` and `b` are
+    /// simultaneously ready to execute (and running both keeps completion
+    /// reachable). Returns the schedule prefix up to that state.
+    ///
+    /// This decides the operational could-be-concurrent relation; `None`
+    /// means the pair is must-ordered in the operational sense.
+    pub fn witness_overlap(&mut self, a: EventId, b: EventId) -> Option<Vec<EventId>> {
+        assert_ne!(a, b, "witness_overlap needs two distinct events");
+        let ctx = self.ctx;
+        let epoch = self.next_epoch();
+        let mut prefix: Vec<EventId> = Vec::new();
+        self.stamp[self.root.index()] = epoch;
+        let root = self.root;
+        if self.pair_overlaps_at(root, a, b) {
+            return Some(prefix);
+        }
+        let mut stack = vec![self.frame(root)];
+        while let Some(top) = stack.last_mut() {
+            if top.k >= top.enabled.len() {
+                let f = stack.pop().expect("non-empty");
+                self.pool.push(f.enabled);
+                if !stack.is_empty() {
+                    prefix.pop();
+                }
+                continue;
+            }
+            let (p, e) = top.enabled[top.k];
+            top.k += 1;
+            let id = top.id;
+            let cid = self.step_and_intern(id, p, e);
+            let machine = ctx.machine();
+            let child = self.table.get(cid);
+            if machine.executed(child, a) || machine.executed(child, b) {
+                continue; // overlap must be witnessed before either runs
+            }
+            if self.stamp[cid.index()] == epoch {
+                continue;
+            }
+            self.stamp[cid.index()] = epoch;
+            prefix.push(e);
+            if self.pair_overlaps_at(cid, a, b) {
+                for f in stack.drain(..) {
+                    self.pool.push(f.enabled);
+                }
+                return Some(prefix);
+            }
+            stack.push(self.frame(cid));
+        }
+        None
+    }
+
+    /// Can `a` and `b` fire back-to-back (either order) from `id` and
+    /// leave completion reachable?
+    fn pair_overlaps_at(&mut self, id: StateId, a: EventId, b: EventId) -> bool {
+        self.both_fire_completably(id, a, b) || self.both_fire_completably(id, b, a)
+    }
+
+    fn both_fire_completably(&mut self, id: StateId, x: EventId, y: EventId) -> bool {
+        let mut enabled = self.pool.pop().unwrap_or_default();
+        // Scope the split borrows: step x then y through the scratch
+        // state, interning only the final both-fired state.
+        let landed = {
+            let Self {
+                ctx,
+                table,
+                scratch,
+                dead,
+                stamp,
+                ..
+            } = self;
+            ctx.co_enabled_into(table.get(id), &mut enabled);
+            let px = enabled.iter().find(|&&(_, ev)| ev == x).map(|&(p, _)| p);
+            let py = enabled.iter().find(|&&(_, ev)| ev == y).map(|&(p, _)| p);
+            match (px, py) {
+                (Some(px), Some(py)) => {
+                    scratch.clone_from(table.get(id));
+                    let mut fp = table.fingerprint(id);
+                    ctx.step_keyed(scratch, px, &mut fp);
+                    ctx.co_enabled_into(scratch, &mut enabled); // buffer reuse
+                    if enabled.iter().any(|&(p, _)| p == py) {
+                        ctx.step_keyed(scratch, py, &mut fp);
+                        let (cid, fresh) = table.intern_ref_keyed(scratch, fp);
+                        if fresh {
+                            dead.push(false);
+                            stamp.push(0);
+                        }
+                        Some(cid)
+                    } else {
+                        None
+                    }
+                }
+                _ => None,
+            }
+        };
+        self.pool.push(enabled);
+        match landed {
+            Some(cid) => {
+                let mut tail = std::mem::take(&mut self.tail);
+                tail.clear();
+                let ok = self.complete_from(cid, &mut tail);
+                self.tail = tail;
+                ok
+            }
+            None => false,
+        }
+    }
+
+    /// Decides `a MHB b` by witness search: true iff **no** feasible
+    /// schedule runs `b` before `a`.
+    pub fn must_happen_before(&mut self, a: EventId, b: EventId) -> bool {
+        a != b && self.witness_before(b, a).is_none()
+    }
+
+    /// Decides `a CHB b` by witness search: true iff some feasible
+    /// schedule runs `a` before `b`.
+    pub fn could_happen_before(&mut self, a: EventId, b: EventId) -> bool {
+        a != b && self.witness_before(a, b).is_some()
+    }
+
+    /// Decides operational `a CCW b` by witness search.
+    pub fn could_be_concurrent(&mut self, a: EventId, b: EventId) -> bool {
+        a != b && self.witness_overlap(a, b).is_some()
+    }
+}
+
+/// One-shot [`QuerySession::witness_before`]. Callers with many queries
+/// against one execution should hold a session instead.
 pub fn witness_before(
     ctx: &SearchCtx<'_>,
     first: EventId,
     second: EventId,
 ) -> Option<Vec<EventId>> {
-    assert_ne!(first, second, "witness_before needs two distinct events");
-    let mut visited: FxHashSet<MachState> = FxHashSet::default();
-    let mut dead: FxHashSet<MachState> = FxHashSet::default();
-    let mut prefix: Vec<EventId> = Vec::new();
-
-    return dfs(
-        ctx,
-        &ctx.initial_state(),
-        first,
-        second,
-        &mut visited,
-        &mut dead,
-        &mut prefix,
-    )
-    .then_some(prefix);
-
-    fn dfs(
-        ctx: &SearchCtx<'_>,
-        st: &MachState,
-        first: EventId,
-        second: EventId,
-        visited: &mut FxHashSet<MachState>,
-        dead: &mut FxHashSet<MachState>,
-        prefix: &mut Vec<EventId>,
-    ) -> bool {
-        let machine = ctx.machine();
-        let first_done = machine.executed(st, first);
-        let second_done = machine.executed(st, second);
-        if second_done && !first_done {
-            return false; // this path already ordered them the wrong way
-        }
-        if first_done && !second_done {
-            // Any completion now places `first` before `second`.
-            if let Some(rest) = complete_from(ctx, st, dead) {
-                prefix.extend(rest);
-                return true;
-            }
-            return false;
-        }
-        // Neither executed yet (both-done is unreachable: paths pass
-        // through a one-done state first, handled above).
-        if !visited.insert(st.clone()) {
-            return false;
-        }
-        for (p, e) in ctx.co_enabled(st) {
-            let mut st2 = st.clone();
-            ctx.step(&mut st2, p);
-            prefix.push(e);
-            if dfs(ctx, &st2, first, second, visited, dead, prefix) {
-                return true;
-            }
-            prefix.pop();
-        }
-        false
-    }
+    QuerySession::new(ctx).witness_before(first, second)
 }
 
 /// Decides `a MHB b` by witness search: true iff **no** feasible schedule
 /// runs `b` before `a`.
 pub fn must_happen_before(ctx: &SearchCtx<'_>, a: EventId, b: EventId) -> bool {
-    a != b && witness_before(ctx, b, a).is_none()
+    QuerySession::new(ctx).must_happen_before(a, b)
 }
 
 /// Decides `a CHB b` by witness search: true iff some feasible schedule
 /// runs `a` before `b`.
 pub fn could_happen_before(ctx: &SearchCtx<'_>, a: EventId, b: EventId) -> bool {
-    a != b && witness_before(ctx, a, b).is_some()
+    QuerySession::new(ctx).could_happen_before(a, b)
 }
 
-/// Searches for a feasible execution in which `a` and `b` are
-/// simultaneously ready to execute (and running both keeps completion
-/// reachable). Returns the schedule prefix up to that state.
-///
-/// This decides the operational could-be-concurrent relation; `None`
-/// means the pair is must-ordered in the operational sense.
+/// One-shot [`QuerySession::witness_overlap`].
 pub fn witness_overlap(ctx: &SearchCtx<'_>, a: EventId, b: EventId) -> Option<Vec<EventId>> {
-    assert_ne!(a, b, "witness_overlap needs two distinct events");
-    let mut visited: FxHashSet<MachState> = FxHashSet::default();
-    let mut dead: FxHashSet<MachState> = FxHashSet::default();
-    let mut prefix: Vec<EventId> = Vec::new();
-    return dfs(
-        ctx,
-        &ctx.initial_state(),
-        a,
-        b,
-        &mut visited,
-        &mut dead,
-        &mut prefix,
-    )
-    .then_some(prefix);
-
-    fn both_fire_completably(
-        ctx: &SearchCtx<'_>,
-        st: &MachState,
-        x: EventId,
-        y: EventId,
-        dead: &mut FxHashSet<MachState>,
-    ) -> bool {
-        let enabled = ctx.co_enabled(st);
-        let proc_of = |e: EventId| enabled.iter().find(|&&(_, ev)| ev == e).map(|&(p, _)| p);
-        let (Some(px), Some(py)) = (proc_of(x), proc_of(y)) else {
-            return false;
-        };
-        let mut st2 = st.clone();
-        ctx.step(&mut st2, px);
-        if ctx.co_enabled(&st2).iter().any(|&(p, _)| p == py) {
-            ctx.step(&mut st2, py);
-            if complete_from(ctx, &st2, dead).is_some() {
-                return true;
-            }
-        }
-        false
-    }
-
-    fn dfs(
-        ctx: &SearchCtx<'_>,
-        st: &MachState,
-        a: EventId,
-        b: EventId,
-        visited: &mut FxHashSet<MachState>,
-        dead: &mut FxHashSet<MachState>,
-        prefix: &mut Vec<EventId>,
-    ) -> bool {
-        let machine = ctx.machine();
-        if machine.executed(st, a) || machine.executed(st, b) {
-            return false; // overlap must be witnessed before either runs
-        }
-        if !visited.insert(st.clone()) {
-            return false;
-        }
-        if both_fire_completably(ctx, st, a, b, dead) || both_fire_completably(ctx, st, b, a, dead)
-        {
-            return true;
-        }
-        for (p, e) in ctx.co_enabled(st) {
-            let mut st2 = st.clone();
-            ctx.step(&mut st2, p);
-            prefix.push(e);
-            if dfs(ctx, &st2, a, b, visited, dead, prefix) {
-                return true;
-            }
-            prefix.pop();
-        }
-        false
-    }
+    QuerySession::new(ctx).witness_overlap(a, b)
 }
 
 /// Decides operational `a CCW b` by witness search.
 pub fn could_be_concurrent(ctx: &SearchCtx<'_>, a: EventId, b: EventId) -> bool {
-    a != b && witness_overlap(ctx, a, b).is_some()
+    QuerySession::new(ctx).could_be_concurrent(a, b)
 }
 
 #[cfg(test)]
@@ -282,6 +484,10 @@ mod tests {
             let ctx = ctx_of(&exec);
             let space = explore_statespace(&ctx, 1 << 20).unwrap();
             let n = exec.n_events();
+            // One shared session across every pair: the persistent dead
+            // memo and the per-query stamps must not bleed answers between
+            // queries.
+            let mut session = QuerySession::new(&ctx);
             for a in 0..n {
                 for b in 0..n {
                     if a == b {
@@ -289,18 +495,57 @@ mod tests {
                     }
                     let (ea, eb) = (EventId::new(a), EventId::new(b));
                     assert_eq!(
-                        could_happen_before(&ctx, ea, eb),
+                        session.could_happen_before(ea, eb),
                         space.chb.contains(a, b),
                         "chb({a},{b})"
                     );
                     assert_eq!(
-                        could_be_concurrent(&ctx, ea, eb),
+                        could_happen_before(&ctx, ea, eb),
+                        space.chb.contains(a, b),
+                        "one-shot chb({a},{b})"
+                    );
+                    assert_eq!(
+                        session.could_be_concurrent(ea, eb),
                         space.overlap.contains(a, b),
                         "overlap({a},{b})"
                     );
+                    assert_eq!(
+                        could_be_concurrent(&ctx, ea, eb),
+                        space.overlap.contains(a, b),
+                        "one-shot overlap({a},{b})"
+                    );
                 }
             }
+            assert!(session.interned_states() <= space.states);
         }
+    }
+
+    #[test]
+    fn session_reuse_matches_one_shot_witnesses() {
+        let (trace, ids) = fixtures::figure1();
+        let exec = trace.to_execution().unwrap();
+        let ctx = ctx_of(&exec);
+        let mut session = QuerySession::new(&ctx);
+        let n = exec.n_events();
+        for a in 0..n {
+            for b in 0..n {
+                if a == b {
+                    continue;
+                }
+                let (ea, eb) = (EventId::new(a), EventId::new(b));
+                assert_eq!(
+                    session.witness_before(ea, eb),
+                    witness_before(&ctx, ea, eb),
+                    "witness_before({a},{b}) must not depend on session history"
+                );
+                assert_eq!(
+                    session.witness_overlap(ea, eb),
+                    witness_overlap(&ctx, ea, eb),
+                    "witness_overlap({a},{b}) must not depend on session history"
+                );
+            }
+        }
+        let _ = ids;
     }
 
     #[test]

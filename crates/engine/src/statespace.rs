@@ -20,12 +20,33 @@
 //! whose fork sits in an untaken branch) the machine can deadlock, and a
 //! state inside a deadlocked branch witnesses nothing — feasible program
 //! executions perform *all* of E (condition F1).
+//!
+//! ## The hot-path layout
+//!
+//! States live **once**, in a [`StateTable`] arena keyed by [`StateId`]
+//! (the old design stored every state twice: as a hash-map key *and* in
+//! its node). Three consequences shape the inner loops:
+//!
+//! * successor lookups hash a state once (precomputed fingerprint) instead
+//!   of re-hashing full vectors per probe;
+//! * each node's *executed* set is threaded incrementally along graph
+//!   edges into a flat [`BitMatrix`] — a successor's row is its parent's
+//!   row plus exactly one bit, so the accumulation pass never queries the
+//!   machine per event;
+//! * the overlap check "fire `p1` then `p2`, land completable?" is two
+//!   successor-table indexings ([`Node::succs`] is aligned with
+//!   [`Node::enabled`]) instead of clone + 2×step + hash lookup.
+//!
+//! [`explore_statespace_baseline`] preserves the pre-interning
+//! implementation verbatim as the ablation baseline and differential-test
+//! oracle; results are asserted bit-identical.
 
 use crate::ctx::SearchCtx;
 use crate::engine::EngineError;
+use crate::statetable::{StateId, StateTable};
 use eo_model::{EventId, MachState, ProcessId};
 use eo_relations::fxhash::FxHashMap;
-use eo_relations::{BitSet, Relation};
+use eo_relations::{BitMatrix, BitSet, Relation};
 
 /// Everything one pass over the cut lattice proves.
 #[derive(Clone, Debug)]
@@ -43,13 +64,65 @@ pub struct StateSpaceResult {
     /// Whether any reachable state is a deadlock (live events, none
     /// executable).
     pub deadlock_reachable: bool,
+    /// Approximate heap bytes the exploration's state storage held at its
+    /// peak (arena + executed rows + successor tables). Not part of the
+    /// semantic result — equality checks between explorers compare the
+    /// relations and counts, not this.
+    pub approx_heap_bytes: usize,
 }
 
+/// Per-state graph record. `succs[k]` is the state reached by firing
+/// `enabled[k]` — the alignment every successor-table walk relies on.
 pub(crate) struct Node {
-    pub(crate) state: MachState,
     pub(crate) enabled: Vec<(ProcessId, EventId)>,
-    pub(crate) succs: Vec<usize>,
+    pub(crate) succs: Vec<u32>,
     pub(crate) completable: bool,
+}
+
+/// The fully-built cut-lattice graph: interned states, per-state nodes
+/// (indexed identically to the arena), and the executed-set matrix with
+/// one row per state. Shared by the sequential and parallel explorers.
+pub(crate) struct StateGraph {
+    pub(crate) table: StateTable,
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) executed: BitMatrix,
+}
+
+impl StateGraph {
+    /// A graph seeded with the initial state of `ctx`.
+    pub(crate) fn seeded(ctx: &SearchCtx<'_>) -> Self {
+        let init = ctx.initial_state();
+        let mut table = StateTable::new();
+        let enabled = ctx.co_enabled(&init);
+        let (root, fresh) = table.intern(init);
+        debug_assert!(fresh && root.index() == 0);
+        let mut executed = BitMatrix::new(ctx.n_events());
+        executed.push_empty_row();
+        StateGraph {
+            table,
+            nodes: vec![Node {
+                enabled,
+                succs: Vec::new(),
+                completable: false,
+            }],
+            executed,
+        }
+    }
+
+    /// Approximate heap bytes of the state storage (arena, executed rows,
+    /// enabled/successor tables).
+    pub(crate) fn approx_bytes(&self) -> usize {
+        let node_payload: usize = self
+            .nodes
+            .iter()
+            .map(|n| {
+                n.enabled.len() * std::mem::size_of::<(ProcessId, EventId)>()
+                    + n.succs.len() * std::mem::size_of::<u32>()
+                    + std::mem::size_of::<Node>()
+            })
+            .sum();
+        self.table.approx_bytes() + self.executed.word_bytes() + node_payload
+    }
 }
 
 /// Explores the full reachable state space of `ctx`, bounded by
@@ -61,12 +134,199 @@ pub fn explore_statespace(
     ctx: &SearchCtx<'_>,
     max_states: usize,
 ) -> Result<StateSpaceResult, EngineError> {
+    let mut graph = build_graph(ctx, max_states)?;
+    Ok(finalize(ctx, &mut graph))
+}
+
+/// Expands every reachable state exactly once into a [`StateGraph`].
+pub(crate) fn build_graph(
+    ctx: &SearchCtx<'_>,
+    max_states: usize,
+) -> Result<StateGraph, EngineError> {
+    let mut graph = StateGraph::seeded(ctx);
+    // One scratch state walks every lattice edge: `clone_from` reuses its
+    // buffers and `intern_ref` clones only on a fresh insert, so the
+    // expansion loop allocates per *state*, never per edge.
+    let mut scratch = ctx.initial_state();
+    let mut cursor = 0;
+    while cursor < graph.nodes.len() {
+        let parent_fp = graph.table.fingerprint(StateId::new(cursor));
+        for k in 0..graph.nodes[cursor].enabled.len() {
+            let (p, e) = graph.nodes[cursor].enabled[k];
+            scratch.clone_from(graph.table.get(StateId::new(cursor)));
+            let mut fp = parent_fp;
+            ctx.apply_keyed(&mut scratch, p, e, &mut fp);
+            let (id, fresh) = graph.table.intern_ref_keyed(&scratch, fp);
+            if fresh {
+                if graph.nodes.len() >= max_states {
+                    return Err(EngineError::StateSpaceExceeded { limit: max_states });
+                }
+                debug_assert_eq!(id.index(), graph.nodes.len());
+                graph.nodes.push(Node {
+                    enabled: ctx.co_enabled(graph.table.get(id)),
+                    succs: Vec::new(),
+                    completable: false,
+                });
+                // The successor executed exactly one more event than its
+                // parent: inherit the row, add one bit.
+                let row = graph.executed.push_row_copy(cursor);
+                debug_assert_eq!(row, id.index());
+                graph.executed.set(row, e.index());
+            }
+            graph.nodes[cursor].succs.push(id.index() as u32);
+        }
+        cursor += 1;
+    }
+    Ok(graph)
+}
+
+/// Completability back-propagation plus pairwise-fact accumulation over an
+/// already-built state graph. Shared by the sequential and parallel
+/// explorers (the parallel one runs [`accumulate_range`] on chunks).
+pub(crate) fn finalize(ctx: &SearchCtx<'_>, graph: &mut StateGraph) -> StateSpaceResult {
+    let deadlock_reachable = propagate_completability(ctx, graph);
+    let (chb, overlap, completable_states) = accumulate_range(ctx, graph, 0, graph.nodes.len());
+    StateSpaceResult {
+        chb,
+        overlap,
+        states: graph.nodes.len(),
+        completable_states,
+        deadlock_reachable,
+        approx_heap_bytes: graph.approx_bytes(),
+    }
+}
+
+/// Marks every node from which a complete schedule is reachable; returns
+/// whether any reachable state is a deadlock.
+///
+/// The state DAG is layered by executed count, so processing nodes in
+/// decreasing layer order sees successors first.
+pub(crate) fn propagate_completability(ctx: &SearchCtx<'_>, graph: &mut StateGraph) -> bool {
+    let mut order: Vec<usize> = (0..graph.nodes.len()).collect();
+    order.sort_unstable_by_key(|&i| {
+        std::cmp::Reverse(graph.table.get(StateId::new(i)).executed_count())
+    });
+    let mut deadlock_reachable = false;
+    for i in order {
+        let node = &graph.nodes[i];
+        let completable = if ctx.is_complete(graph.table.get(StateId::new(i))) {
+            true
+        } else {
+            if node.enabled.is_empty() {
+                deadlock_reachable = true;
+            }
+            node.succs
+                .iter()
+                .any(|&s| graph.nodes[s as usize].completable)
+        };
+        graph.nodes[i].completable = completable;
+    }
+    debug_assert!(
+        graph.nodes[0].completable,
+        "the observed execution is itself feasible, so the initial state must be completable"
+    );
+    deadlock_reachable
+}
+
+/// Accumulates the pairwise facts (`chb`, `overlap`) over the completable
+/// states in `lo..hi`. Partial results from disjoint ranges merge by
+/// relation union — that is how the parallel explorer fans this out.
+pub(crate) fn accumulate_range(
+    ctx: &SearchCtx<'_>,
+    graph: &StateGraph,
+    lo: usize,
+    hi: usize,
+) -> (Relation, Relation, usize) {
+    let n = ctx.n_events();
+    let nodes = &graph.nodes;
+    let mut chb = Relation::new(n);
+    let mut overlap = Relation::new(n);
+    let mut completable_states = 0;
+    let mut executed = BitSet::new(n);
+    let mut pending = BitSet::new(n);
+    for i in lo..hi {
+        if !nodes[i].completable {
+            continue;
+        }
+        completable_states += 1;
+
+        // a executed, b pending ⇒ chb(a, b). The executed set was threaded
+        // along the graph edges at build time — two scratch-row loads here,
+        // no per-event machine queries.
+        graph.executed.load_row(i, &mut executed);
+        pending.set_all();
+        pending.difference_with(&executed);
+        for a in executed.iter() {
+            chb.row_mut(a).union_with(&pending);
+        }
+
+        // Simultaneously enabled pairs that can both fire and stay
+        // completable ⇒ overlap.
+        let enabled = &nodes[i].enabled;
+        for x in 0..enabled.len() {
+            for y in (x + 1)..enabled.len() {
+                let (p1, e1) = enabled[x];
+                let (p2, e2) = enabled[y];
+                if overlap.contains(e1.index(), e2.index()) {
+                    continue;
+                }
+                if pair_fires_completably(nodes, i, x, p2)
+                    || pair_fires_completably(nodes, i, y, p1)
+                {
+                    overlap.insert(e1.index(), e2.index());
+                    overlap.insert(e2.index(), e1.index());
+                }
+            }
+        }
+    }
+    (chb, overlap, completable_states)
+}
+
+/// From node `i`, can the pair fire back-to-back — first the event at
+/// position `first_idx` of `i`'s enabled list, then `second`'s next event
+/// — and leave a completable state? Pure successor-table walks: firing
+/// `enabled[first_idx]` lands on `succs[first_idx]`; `second` still being
+/// enabled there is a scan of that node's enabled list; the final state is
+/// one more aligned indexing. No cloning, stepping, or hashing.
+#[inline]
+fn pair_fires_completably(nodes: &[Node], i: usize, first_idx: usize, second: ProcessId) -> bool {
+    let mid = &nodes[nodes[i].succs[first_idx] as usize];
+    match mid.enabled.iter().position(|&(p, _)| p == second) {
+        Some(k) => nodes[mid.succs[k] as usize].completable,
+        None => false,
+    }
+}
+
+// --------------------------------------------------------------------------
+// Pre-interning baseline (ablation + differential oracle).
+// --------------------------------------------------------------------------
+
+struct BaselineNode {
+    state: MachState,
+    enabled: Vec<(ProcessId, EventId)>,
+    succs: Vec<usize>,
+    completable: bool,
+}
+
+/// The pre-overhaul sequential explorer, kept verbatim as the ablation
+/// baseline (`benches/ablation_interning.rs`) and the differential-test
+/// oracle: a clone-keyed `FxHashMap<MachState, usize>` index (every state
+/// stored twice), per-state executed sets rebuilt by O(n) machine
+/// queries, and overlap probes that clone + 2×step + hash-look-up.
+///
+/// Semantically identical to [`explore_statespace`] — the differential
+/// suite asserts bit-equality of every relation and count on every
+/// workload family.
+pub fn explore_statespace_baseline(
+    ctx: &SearchCtx<'_>,
+    max_states: usize,
+) -> Result<StateSpaceResult, EngineError> {
     let mut index: FxHashMap<MachState, usize> = FxHashMap::default();
-    let mut nodes: Vec<Node> = Vec::new();
+    let mut nodes: Vec<BaselineNode> = Vec::new();
 
     let init = ctx.initial_state();
     index.insert(init.clone(), 0);
-    nodes.push(Node {
+    nodes.push(BaselineNode {
         enabled: ctx.co_enabled(&init),
         state: init,
         succs: Vec::new(),
@@ -91,7 +351,7 @@ pub fn explore_statespace(
                     }
                     let id = nodes.len();
                     index.insert(st2.clone(), id);
-                    nodes.push(Node {
+                    nodes.push(BaselineNode {
                         enabled: ctx.co_enabled(&st2),
                         state: st2,
                         succs: Vec::new(),
@@ -105,34 +365,7 @@ pub fn explore_statespace(
         cursor += 1;
     }
 
-    Ok(finalize(ctx, &mut nodes, &index))
-}
-
-/// Completability back-propagation plus pairwise-fact accumulation over an
-/// already-built state graph. Shared by the sequential and parallel
-/// explorers (the parallel one runs [`accumulate_range`] on chunks).
-pub(crate) fn finalize(
-    ctx: &SearchCtx<'_>,
-    nodes: &mut [Node],
-    index: &FxHashMap<MachState, usize>,
-) -> StateSpaceResult {
-    let deadlock_reachable = propagate_completability(ctx, nodes);
-    let (chb, overlap, completable_states) = accumulate_range(ctx, nodes, index, 0, nodes.len());
-    StateSpaceResult {
-        chb,
-        overlap,
-        states: nodes.len(),
-        completable_states,
-        deadlock_reachable,
-    }
-}
-
-/// Marks every node from which a complete schedule is reachable; returns
-/// whether any reachable state is a deadlock.
-///
-/// The state DAG is layered by executed count, so processing nodes in
-/// decreasing layer order sees successors first.
-pub(crate) fn propagate_completability(ctx: &SearchCtx<'_>, nodes: &mut [Node]) -> bool {
+    // Completability, oldest-style: sort by layer, propagate backwards.
     let mut order: Vec<usize> = (0..nodes.len()).collect();
     order.sort_unstable_by_key(|&i| std::cmp::Reverse(nodes[i].state.executed_count()));
     let mut deadlock_reachable = false;
@@ -148,35 +381,26 @@ pub(crate) fn propagate_completability(ctx: &SearchCtx<'_>, nodes: &mut [Node]) 
         };
         nodes[i].completable = completable;
     }
-    debug_assert!(
-        nodes[0].completable,
-        "the observed execution is itself feasible, so the initial state must be completable"
-    );
-    deadlock_reachable
-}
 
-/// Accumulates the pairwise facts (`chb`, `overlap`) over the completable
-/// states in `lo..hi`. Partial results from disjoint ranges merge by
-/// relation union — that is how the parallel explorer fans this out.
-pub(crate) fn accumulate_range(
-    ctx: &SearchCtx<'_>,
-    nodes: &[Node],
-    index: &FxHashMap<MachState, usize>,
-    lo: usize,
-    hi: usize,
-) -> (Relation, Relation, usize) {
     let n = ctx.n_events();
     let machine = ctx.machine();
     let mut chb = Relation::new(n);
     let mut overlap = Relation::new(n);
     let mut completable_states = 0;
-    for i in lo..hi {
+    let pair_fires = |nodes: &[BaselineNode], i: usize, first: ProcessId, second: ProcessId| {
+        let mut st = nodes[i].state.clone();
+        ctx.step(&mut st, first);
+        if !ctx.co_enabled(&st).iter().any(|&(p, _)| p == second) {
+            return false;
+        }
+        ctx.step(&mut st, second);
+        nodes[index[&st]].completable // reachable by construction
+    };
+    for i in 0..nodes.len() {
         if !nodes[i].completable {
             continue;
         }
         completable_states += 1;
-
-        // a executed, b pending ⇒ chb(a, b).
         let mut executed = BitSet::new(n);
         for e in 0..n {
             if machine.executed(&nodes[i].state, EventId::new(e)) {
@@ -188,10 +412,7 @@ pub(crate) fn accumulate_range(
         for a in executed.iter() {
             chb.row_mut(a).union_with(&pending);
         }
-
-        // Simultaneously enabled pairs that can both fire and stay
-        // completable ⇒ overlap.
-        let enabled = &nodes[i].enabled;
+        let enabled = nodes[i].enabled.clone();
         for x in 0..enabled.len() {
             for y in (x + 1)..enabled.len() {
                 let (p1, e1) = enabled[x];
@@ -199,36 +420,37 @@ pub(crate) fn accumulate_range(
                 if overlap.contains(e1.index(), e2.index()) {
                     continue;
                 }
-                if pair_fires_completably(ctx, nodes, index, i, p1, p2)
-                    || pair_fires_completably(ctx, nodes, index, i, p2, p1)
-                {
+                if pair_fires(&nodes, i, p1, p2) || pair_fires(&nodes, i, p2, p1) {
                     overlap.insert(e1.index(), e2.index());
                     overlap.insert(e2.index(), e1.index());
                 }
             }
         }
     }
-    (chb, overlap, completable_states)
-}
 
-/// From node `i`, can `first` then `second` fire back-to-back and leave a
-/// completable state?
-fn pair_fires_completably(
-    ctx: &SearchCtx<'_>,
-    nodes: &[Node],
-    index: &FxHashMap<MachState, usize>,
-    i: usize,
-    first: ProcessId,
-    second: ProcessId,
-) -> bool {
-    let mut st = nodes[i].state.clone();
-    ctx.step(&mut st, first);
-    if !ctx.co_enabled(&st).iter().any(|&(p, _)| p == second) {
-        return false;
-    }
-    ctx.step(&mut st, second);
-    let id = index[&st]; // reachable by construction
-    nodes[id].completable
+    // Double storage: every state once in its node, once as an index key.
+    let per_state = nodes.first().map_or(0, |nd| {
+        std::mem::size_of_val(&nd.state) + nd.state.heap_bytes()
+    });
+    let approx_heap_bytes = nodes
+        .iter()
+        .map(|nd| {
+            2 * per_state
+                + std::mem::size_of::<BaselineNode>()
+                + nd.enabled.len() * std::mem::size_of::<(ProcessId, EventId)>()
+                + nd.succs.len() * std::mem::size_of::<usize>()
+                + std::mem::size_of::<usize>() // index value slot
+        })
+        .sum();
+
+    Ok(StateSpaceResult {
+        chb,
+        overlap,
+        states: nodes.len(),
+        completable_states,
+        deadlock_reachable,
+        approx_heap_bytes,
+    })
 }
 
 #[cfg(test)]
@@ -240,7 +462,16 @@ mod tests {
 
     fn space(exec: &ProgramExecution, mode: FeasibilityMode) -> StateSpaceResult {
         let ctx = SearchCtx::new(exec, mode);
-        explore_statespace(&ctx, 1 << 20).unwrap()
+        let r = explore_statespace(&ctx, 1 << 20).unwrap();
+        // Every test doubles as a differential check against the
+        // pre-interning baseline.
+        let base = explore_statespace_baseline(&ctx, 1 << 20).unwrap();
+        assert_eq!(r.chb, base.chb, "interned chb must match the baseline");
+        assert_eq!(r.overlap, base.overlap, "interned overlap must match");
+        assert_eq!(r.states, base.states);
+        assert_eq!(r.completable_states, base.completable_states);
+        assert_eq!(r.deadlock_reachable, base.deadlock_reachable);
+        r
     }
 
     #[test]
@@ -362,6 +593,10 @@ mod tests {
             Err(EngineError::StateSpaceExceeded { limit }) => assert_eq!(limit, 3),
             other => panic!("expected StateSpaceExceeded, got {other:?}"),
         }
+        match explore_statespace_baseline(&ctx, 3) {
+            Err(EngineError::StateSpaceExceeded { limit }) => assert_eq!(limit, 3),
+            other => panic!("expected StateSpaceExceeded, got {other:?}"),
+        }
     }
 
     #[test]
@@ -388,5 +623,20 @@ mod tests {
         // after), so that branch deadlocks and witnesses nothing.
         assert!(!r.chb.contains(q1.index(), q0.index()));
         assert!(r.deadlock_reachable);
+    }
+
+    #[test]
+    fn interning_stores_each_state_once() {
+        let (trace, _ids) = fixtures::fork_join_diamond();
+        let exec = trace.to_execution().unwrap();
+        let ctx = SearchCtx::new(&exec, FeasibilityMode::PreserveDependences);
+        let new = explore_statespace(&ctx, 1 << 20).unwrap();
+        let old = explore_statespace_baseline(&ctx, 1 << 20).unwrap();
+        assert!(
+            new.approx_heap_bytes < old.approx_heap_bytes,
+            "arena layout ({} B) must undercut the double-stored baseline ({} B)",
+            new.approx_heap_bytes,
+            old.approx_heap_bytes
+        );
     }
 }

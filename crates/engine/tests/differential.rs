@@ -1,0 +1,213 @@
+//! Differential suite for the interned hot path.
+//!
+//! The engine overhaul (state arena + successor-table walks + threaded
+//! executed sets) must be a pure layout change: every relation, count, and
+//! witness the old code produced, the new code must reproduce **bit for
+//! bit**. This suite pits the interned sequential explorer against the
+//! preserved pre-overhaul baseline ([`explore_statespace_baseline`]), the
+//! parallel explorer, and the per-pair witness queries — on the model
+//! fixtures and on both E9 workload families (the pairing-pitfall ladder
+//! and the random semaphore workloads race detection sweeps).
+
+use eo_engine::{enumerate_classes, parallel::explore_statespace_parallel};
+use eo_engine::{
+    explore_statespace, explore_statespace_baseline, queries, FeasibilityMode, OrderingSummary,
+    QuerySession, SearchCtx, StateSpaceResult,
+};
+use eo_model::{EventId, ProgramExecution};
+
+const BUDGET: usize = 1 << 22;
+
+/// Runs all three explorers and asserts the semantic fields agree exactly.
+fn assert_explorers_agree(exec: &ProgramExecution, mode: FeasibilityMode) -> StateSpaceResult {
+    let ctx = SearchCtx::new(exec, mode);
+    let interned = explore_statespace(&ctx, BUDGET).expect("state budget");
+    let baseline = explore_statespace_baseline(&ctx, BUDGET).expect("state budget");
+    let parallel = explore_statespace_parallel(&ctx, BUDGET, 3).expect("state budget");
+    for (name, other) in [("baseline", &baseline), ("parallel", &parallel)] {
+        assert_eq!(interned.chb, other.chb, "chb vs {name}");
+        assert_eq!(interned.overlap, other.overlap, "overlap vs {name}");
+        assert_eq!(interned.states, other.states, "states vs {name}");
+        assert_eq!(
+            interned.completable_states, other.completable_states,
+            "completable_states vs {name}"
+        );
+        assert_eq!(
+            interned.deadlock_reachable, other.deadlock_reachable,
+            "deadlock_reachable vs {name}"
+        );
+    }
+    interned
+}
+
+/// Asserts the witness queries — through one shared session *and* as
+/// one-shots — agree with `space` on every pair.
+fn assert_queries_agree(exec: &ProgramExecution, mode: FeasibilityMode, space: &StateSpaceResult) {
+    let ctx = SearchCtx::new(exec, mode);
+    let mut session = QuerySession::new(&ctx);
+    let n = exec.n_events();
+    for a in 0..n {
+        for b in 0..n {
+            if a == b {
+                continue;
+            }
+            let (ea, eb) = (EventId::new(a), EventId::new(b));
+            assert_eq!(
+                session.could_happen_before(ea, eb),
+                space.chb.contains(a, b),
+                "session chb({a},{b})"
+            );
+            assert_eq!(
+                session.could_be_concurrent(ea, eb),
+                space.overlap.contains(a, b),
+                "session overlap({a},{b})"
+            );
+        }
+    }
+    // Spot-check the one-shot wrappers on the first row (the full
+    // quadratic sweep above already covers the session path).
+    if n > 1 {
+        let ea = EventId::new(0);
+        for b in 1..n {
+            let eb = EventId::new(b);
+            assert_eq!(
+                queries::could_happen_before(&ctx, ea, eb),
+                space.chb.contains(0, b),
+                "one-shot chb(0,{b})"
+            );
+            assert_eq!(
+                queries::could_be_concurrent(&ctx, ea, eb),
+                space.overlap.contains(0, b),
+                "one-shot overlap(0,{b})"
+            );
+        }
+    }
+}
+
+fn fixture_traces() -> Vec<eo_model::Trace> {
+    use eo_model::fixtures;
+    vec![
+        fixtures::independent_pair().0,
+        fixtures::sem_handshake().0,
+        fixtures::fork_join_diamond().0,
+        fixtures::figure1().0,
+        fixtures::post_wait_clear_chain().0,
+        fixtures::shared_counter_race().0,
+        fixtures::crossing().0,
+    ]
+}
+
+#[test]
+fn fixtures_bit_identical_across_explorers_and_queries() {
+    for trace in fixture_traces() {
+        let exec = trace.to_execution().unwrap();
+        for mode in [
+            FeasibilityMode::PreserveDependences,
+            FeasibilityMode::IgnoreDependences,
+        ] {
+            let space = assert_explorers_agree(&exec, mode);
+            assert_queries_agree(&exec, mode, &space);
+        }
+    }
+}
+
+#[test]
+fn fixture_summaries_bit_identical() {
+    for trace in fixture_traces() {
+        let exec = trace.to_execution().unwrap();
+        let ctx = SearchCtx::new(&exec, FeasibilityMode::PreserveDependences);
+        let classes = enumerate_classes(&ctx, 1 << 20);
+        let interned = explore_statespace(&ctx, BUDGET).unwrap();
+        let baseline = explore_statespace_baseline(&ctx, BUDGET).unwrap();
+        let new = OrderingSummary::from_parts(&interned, &classes);
+        let old = OrderingSummary::from_parts(&baseline, &classes);
+        let n = exec.n_events();
+        for a in 0..n {
+            for b in 0..n {
+                if a == b {
+                    continue;
+                }
+                let (ea, eb) = (EventId::new(a), EventId::new(b));
+                assert_eq!(new.mhb(ea, eb), old.mhb(ea, eb), "mhb({a},{b})");
+                assert_eq!(new.chb(ea, eb), old.chb(ea, eb), "chb({a},{b})");
+                assert_eq!(new.mcw(ea, eb), old.mcw(ea, eb), "mcw({a},{b})");
+                assert_eq!(new.ccw(ea, eb), old.ccw(ea, eb), "ccw({a},{b})");
+                assert_eq!(new.mow(ea, eb), old.mow(ea, eb), "mow({a},{b})");
+                assert_eq!(new.cow(ea, eb), old.cow(ea, eb), "cow({a},{b})");
+            }
+        }
+    }
+}
+
+/// The E9 pairing-pitfall family: a writer's `V` observably paired with
+/// the reader's guarding `P`, plus `decoys` other `V`s that could have
+/// served it instead. Race detection runs these under the
+/// dependence-ignoring feasibility of the paper's Section 5.3.
+fn pitfall_exec(decoys: usize) -> ProgramExecution {
+    let mut b = eo_lang::ProgramBuilder::new();
+    let s = b.semaphore("s");
+    let x = b.variable("x");
+    let w = b.process("writer");
+    b.compute_rw(w, &[], &[x], "write_x");
+    b.sem_v(w, s);
+    for k in 0..decoys {
+        let d = b.process(&format!("decoy_{k}"));
+        b.sem_v(d, s);
+    }
+    let r = b.process("reader");
+    b.sem_p(r, s);
+    b.compute_rw(r, &[x], &[], "read_x");
+    let program = b.build();
+    eo_lang::run_to_trace(&program, &mut eo_lang::Scheduler::deterministic())
+        .expect("pitfall program cannot deadlock")
+        .to_execution()
+        .expect("interpreter traces are valid")
+}
+
+#[test]
+fn e9_pitfall_family_bit_identical() {
+    for decoys in 1..=4 {
+        let exec = pitfall_exec(decoys);
+        let space = assert_explorers_agree(&exec, FeasibilityMode::IgnoreDependences);
+        assert_queries_agree(&exec, FeasibilityMode::IgnoreDependences, &space);
+    }
+}
+
+#[test]
+fn e9_random_semaphore_family_bit_identical() {
+    use eo_lang::generator::{generate_trace, WorkloadSpec};
+    for seed in 0..6 {
+        let mut spec = WorkloadSpec::small_semaphore(seed);
+        spec.variables = 3;
+        spec.write_fraction = 0.5;
+        let exec = generate_trace(&spec, 100).to_execution().unwrap();
+        // Race detection queries this family under IgnoreDependences; the
+        // scaling experiments explore it under PreserveDependences. Check
+        // both.
+        for mode in [
+            FeasibilityMode::PreserveDependences,
+            FeasibilityMode::IgnoreDependences,
+        ] {
+            let space = assert_explorers_agree(&exec, mode);
+            if seed < 2 {
+                // The quadratic query sweep is expensive; two seeds per
+                // mode keep the suite fast while still crossing the
+                // query/explorer boundary on random inputs.
+                assert_queries_agree(&exec, mode, &space);
+            }
+        }
+    }
+}
+
+#[test]
+fn e6_scaling_workloads_bit_identical() {
+    use eo_lang::generator::{generate_trace, WorkloadSpec};
+    for (processes, events_per_process, seed) in [(3, 4, 11), (4, 4, 12), (5, 3, 13)] {
+        let mut spec = WorkloadSpec::small_semaphore(seed);
+        spec.processes = processes;
+        spec.events_per_process = events_per_process;
+        spec.semaphores = (processes / 2).max(1);
+        let exec = generate_trace(&spec, 100).to_execution().unwrap();
+        assert_explorers_agree(&exec, FeasibilityMode::PreserveDependences);
+    }
+}

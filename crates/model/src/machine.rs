@@ -44,12 +44,34 @@ pub struct Machine<'a> {
 /// `Clear`s interleaved — so states with equal `next` can differ. Both are
 /// kept: `sem` for O(1) enabledness, `flag` for correctness; `Hash`/`Eq`
 /// make the state directly usable as a memoization key.
-#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+#[derive(Debug, PartialEq, Eq, Hash)]
 pub struct MachState {
     next: Vec<u32>,
     sem: Vec<u32>,
     flag: Vec<bool>,
     executed: u32,
+}
+
+impl Clone for MachState {
+    fn clone(&self) -> Self {
+        MachState {
+            next: self.next.clone(),
+            sem: self.sem.clone(),
+            flag: self.flag.clone(),
+            executed: self.executed,
+        }
+    }
+
+    /// Buffer-reusing `clone_from` (the derive would drop and reallocate):
+    /// all states of one machine have identically-sized vectors, so a
+    /// scratch state that walks the lattice via `clone_from` + `step`
+    /// allocates exactly once — the pattern every engine inner loop uses.
+    fn clone_from(&mut self, src: &Self) {
+        self.next.clone_from(&src.next);
+        self.sem.clone_from(&src.sem);
+        self.flag.clone_from(&src.flag);
+        self.executed = src.executed;
+    }
 }
 
 impl MachState {
@@ -60,6 +82,88 @@ impl MachState {
     pub fn executed_count(&self) -> u32 {
         self.executed
     }
+
+    /// A 64-bit fingerprint of the whole state (Fx multiply-rotate over
+    /// the progress/semaphore/flag vectors).
+    ///
+    /// Equal states always have equal fingerprints; the converse holds
+    /// only modulo hash collisions, so interning tables bucket by
+    /// fingerprint and confirm with full equality. Computing this once per
+    /// state and comparing 8 bytes afterwards is what lets the engine's
+    /// state arena stop re-hashing whole states on every probe.
+    pub fn fingerprint(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = eo_relations::fxhash::FxHasher::default();
+        self.hash(&mut h);
+        h.finish()
+    }
+
+    /// Fingerprint of the state's *deduplication key*: the progress
+    /// vector and the event-variable flags. For a fixed machine `sem` is
+    /// a function of `next` (counts of executed `V`s minus `P`s) and
+    /// `executed` is its sum, so two states of the same machine are equal
+    /// iff their keys are — interning tables hash and compare only the
+    /// key. Never mix fingerprints of states from different machines.
+    ///
+    /// The fingerprint is a Zobrist-style XOR of one well-mixed word per
+    /// occupied key slot. XOR is self-inverse, so a single machine step —
+    /// which touches one `next` slot and at most one flag — updates the
+    /// fingerprint in O(1) ([`Machine::step_keyed`]) instead of re-hashing
+    /// every vector, which is what makes interning cheap per lattice
+    /// *edge* rather than per state.
+    pub fn key_fingerprint(&self) -> u64 {
+        let mut fp = 0u64;
+        for (p, &x) in self.next.iter().enumerate() {
+            fp ^= zobrist_next(p as u32, x);
+        }
+        for (v, &b) in self.flag.iter().enumerate() {
+            if b {
+                fp ^= zobrist_flag(v as u32);
+            }
+        }
+        fp
+    }
+
+    /// Equality on the deduplication key (see
+    /// [`MachState::key_fingerprint`]): equivalent to full `==` for
+    /// states of one machine, at half the comparison cost.
+    #[inline]
+    pub fn key_eq(&self, other: &MachState) -> bool {
+        self.next == other.next && self.flag == other.flag
+    }
+
+    /// Heap bytes owned by this state's vectors (memory accounting for
+    /// the engine's state arenas; excludes the struct header itself).
+    pub fn heap_bytes(&self) -> usize {
+        self.next.len() * std::mem::size_of::<u32>()
+            + self.sem.len() * std::mem::size_of::<u32>()
+            + self.flag.len()
+    }
+}
+
+/// Finalizer of `splitmix64`: a cheap bijective mixer with full avalanche,
+/// used to derive Zobrist table entries on the fly instead of storing a
+/// random table per (slot, value) pair.
+#[inline]
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Zobrist word for "process `p` has executed `x` events". The
+/// (slot, value) pair packs injectively into the mixer input.
+#[inline]
+fn zobrist_next(p: u32, x: u32) -> u64 {
+    splitmix64(((p as u64) << 32) | x as u64)
+}
+
+/// Zobrist word for "event variable `v` is set" (top bit keeps the input
+/// space disjoint from [`zobrist_next`]'s).
+#[inline]
+fn zobrist_flag(v: u32) -> u64 {
+    splitmix64((1u64 << 63) | v as u64)
 }
 
 /// Why an event could not execute at some point of a replay.
@@ -248,12 +352,21 @@ impl<'a> Machine<'a> {
 
     /// All processes whose next event can execute at `st`, with that event.
     pub fn enabled_events(&self, st: &MachState) -> Vec<(ProcessId, EventId)> {
-        (0..self.trace.processes.len())
-            .filter_map(|pi| {
-                let p = ProcessId::new(pi);
-                self.enabled(st, p).ok().map(|e| (p, e))
-            })
-            .collect()
+        let mut out = Vec::new();
+        self.enabled_events_into(st, &mut out);
+        out
+    }
+
+    /// [`Machine::enabled_events`] into a caller-provided buffer (cleared
+    /// first) — the allocation-free form the engine's hot loops use.
+    pub fn enabled_events_into(&self, st: &MachState, out: &mut Vec<(ProcessId, EventId)>) {
+        out.clear();
+        for pi in 0..self.trace.processes.len() {
+            let p = ProcessId::new(pi);
+            if let Ok(e) = self.enabled(st, p) {
+                out.push((p, e));
+            }
+        }
     }
 
     /// Executes the next event of process `p`, mutating `st`.
@@ -276,6 +389,58 @@ impl<'a> Machine<'a> {
         st.next[p.index()] += 1;
         st.executed += 1;
         e
+    }
+
+    /// [`Machine::step`] that also maintains `fp`, the state's
+    /// [key fingerprint](MachState::key_fingerprint), incrementally: one
+    /// step moves a single `next` slot and flips at most one flag, so the
+    /// Zobrist XOR updates in O(1) where recomputation would re-mix every
+    /// key slot. `fp` must hold the fingerprint of `st` on entry and holds
+    /// the stepped state's on return.
+    ///
+    /// # Panics
+    /// Panics if the next event of `p` is not enabled, like
+    /// [`Machine::step`].
+    pub fn step_keyed(&self, st: &mut MachState, p: ProcessId, fp: &mut u64) -> EventId {
+        let e = match self.enabled(st, p) {
+            Ok(e) => e,
+            Err(r) => panic!("step on blocked process {p}: {r}"),
+        };
+        self.apply_keyed(st, p, e, fp);
+        e
+    }
+
+    /// Executes `e` — which the caller guarantees is the currently enabled
+    /// next event of `p` — maintaining the key fingerprint like
+    /// [`Machine::step_keyed`]. The engine's expansion loops read `(p, e)`
+    /// straight out of a node's precomputed enabled list; re-deriving and
+    /// re-validating `e` per edge would repeat the work done when that
+    /// list was built, and this is the hottest line of the whole engine.
+    pub fn apply_keyed(&self, st: &mut MachState, p: ProcessId, e: EventId, fp: &mut u64) {
+        debug_assert_eq!(self.enabled(st, p), Ok(e), "apply of a non-enabled event");
+        match &self.trace.event(e).op {
+            Op::SemP(s) => st.sem[s.index()] -= 1,
+            Op::SemV(s) => st.sem[s.index()] += 1,
+            Op::Post(v) => {
+                if !st.flag[v.index()] {
+                    st.flag[v.index()] = true;
+                    *fp ^= zobrist_flag(v.index() as u32);
+                }
+            }
+            Op::Clear(v) => {
+                if st.flag[v.index()] {
+                    st.flag[v.index()] = false;
+                    *fp ^= zobrist_flag(v.index() as u32);
+                }
+            }
+            Op::Compute | Op::Wait(_) | Op::Fork(_) | Op::Join(_) => {}
+        }
+        let pi = p.index();
+        let x = st.next[pi];
+        *fp ^= zobrist_next(pi as u32, x) ^ zobrist_next(pi as u32, x + 1);
+        st.next[pi] = x + 1;
+        st.executed += 1;
+        debug_assert_eq!(*fp, st.key_fingerprint());
     }
 
     /// True iff every event has executed.

@@ -34,7 +34,7 @@
 
 use eo_approx::cs::{StaticOrderings, StmtId};
 use eo_approx::VectorClockHb;
-use eo_engine::{queries, FeasibilityMode, SearchCtx};
+use eo_engine::{FeasibilityMode, QuerySession, SearchCtx};
 use eo_model::{EventId, ProgramExecution};
 
 /// A (potential) data race: an unordered conflicting pair. Stored with
@@ -66,9 +66,13 @@ pub fn conflicting_pairs(exec: &ProgramExecution) -> Vec<Race> {
 /// Worst-case exponential — that is the theorem.
 pub fn exact_races(exec: &ProgramExecution) -> Vec<Race> {
     let ctx = SearchCtx::new(exec, FeasibilityMode::IgnoreDependences);
+    // One session across every candidate pair: the interned state arena
+    // and the dead-state memo carry over from query to query, so later
+    // pairs probe a lattice the earlier pairs already charted.
+    let mut session = QuerySession::new(&ctx);
     conflicting_pairs(exec)
         .into_iter()
-        .filter(|r| queries::could_be_concurrent(&ctx, r.first, r.second))
+        .filter(|r| session.could_be_concurrent(r.first, r.second))
         .collect()
 }
 
@@ -111,6 +115,7 @@ pub fn pruned_exact_races(
     stmt_of: &[StmtId],
 ) -> PrunedRaces {
     let ctx = SearchCtx::new(exec, FeasibilityMode::IgnoreDependences);
+    let mut session = QuerySession::new(&ctx);
     let mut out = PrunedRaces::default();
     for r in conflicting_pairs(exec) {
         out.candidates += 1;
@@ -120,7 +125,7 @@ pub fn pruned_exact_races(
             continue;
         }
         out.engine_queries += 1;
-        if queries::could_be_concurrent(&ctx, r.first, r.second) {
+        if session.could_be_concurrent(r.first, r.second) {
             out.races.push(r);
         }
     }

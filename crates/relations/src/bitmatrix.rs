@@ -1,0 +1,174 @@
+//! A growable, flat bit matrix: one fixed-width bit row per appended id.
+//!
+//! [`BitMatrix`] backs the engine's per-state *executed* sets: the state
+//! graph appends one row per interned state, each row derived from its
+//! parent's row plus a single bit. Storing all rows in one contiguous
+//! `Vec<u64>` (row-major, fixed stride) costs zero per-row allocations
+//! and keeps sequential row scans cache-friendly, which is what the
+//! pairwise-fact accumulation over hundreds of thousands of states needs.
+
+use crate::bitset::BitSet;
+
+/// A dense sequence of equally sized bit rows, stored in one flat word
+/// buffer. Rows are append-only and addressed by insertion index.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BitMatrix {
+    cols: usize,
+    stride: usize,
+    words: Vec<u64>,
+}
+
+impl BitMatrix {
+    /// Creates an empty matrix whose rows address columns `0..cols`.
+    pub fn new(cols: usize) -> Self {
+        BitMatrix {
+            cols,
+            stride: cols.div_ceil(64),
+            words: Vec::new(),
+        }
+    }
+
+    /// Number of rows appended so far.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.words.len().checked_div(self.stride).unwrap_or(0)
+    }
+
+    /// The column capacity every row shares.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Appends an all-zero row, returning its index.
+    pub fn push_empty_row(&mut self) -> usize {
+        let id = self.rows_unchecked();
+        self.words.resize(self.words.len() + self.stride, 0);
+        id
+    }
+
+    /// Appends a copy of row `src`, returning the new row's index.
+    ///
+    /// # Panics
+    /// Panics if `src` is out of range.
+    pub fn push_row_copy(&mut self, src: usize) -> usize {
+        assert!(
+            src < self.rows_unchecked(),
+            "BitMatrix source row {src} out of range"
+        );
+        let id = self.rows_unchecked();
+        let lo = src * self.stride;
+        self.words.extend_from_within(lo..lo + self.stride);
+        id
+    }
+
+    /// Sets bit `col` of row `row`.
+    ///
+    /// # Panics
+    /// Panics if `row` or `col` is out of range.
+    #[inline]
+    pub fn set(&mut self, row: usize, col: usize) {
+        assert!(col < self.cols, "BitMatrix column {col} out of range");
+        let base = row * self.stride;
+        self.words[base + col / 64] |= 1u64 << (col % 64);
+    }
+
+    /// Tests bit `col` of row `row`.
+    ///
+    /// # Panics
+    /// Panics if `row` is out of range; out-of-range columns are absent.
+    #[inline]
+    pub fn contains(&self, row: usize, col: usize) -> bool {
+        if col >= self.cols {
+            return false;
+        }
+        assert!(
+            row < self.rows_unchecked(),
+            "BitMatrix row {row} out of range"
+        );
+        self.words[row * self.stride + col / 64] & (1u64 << (col % 64)) != 0
+    }
+
+    /// The packed words of row `row` (pair with [`BitSet::load_words`]).
+    #[inline]
+    pub fn row_words(&self, row: usize) -> &[u64] {
+        &self.words[row * self.stride..(row + 1) * self.stride]
+    }
+
+    /// Copies row `row` into `out` without reallocating.
+    ///
+    /// # Panics
+    /// Panics if `out`'s capacity differs from this matrix's column count.
+    pub fn load_row(&self, row: usize, out: &mut BitSet) {
+        assert_eq!(
+            out.capacity(),
+            self.cols,
+            "BitMatrix/BitSet capacity mismatch"
+        );
+        out.load_words(self.row_words(row));
+    }
+
+    /// Bytes of word storage currently held (the matrix's working-set
+    /// size, for memory accounting in benches).
+    #[inline]
+    pub fn word_bytes(&self) -> usize {
+        self.words.len() * std::mem::size_of::<u64>()
+    }
+
+    // `rows()` reports 0 for a zero-column matrix (no addressable bits);
+    // internal bookkeeping still needs the appended-row count there.
+    #[inline]
+    fn rows_unchecked(&self) -> usize {
+        // Zero-width rows: every index is "in range".
+        self.words
+            .len()
+            .checked_div(self.stride)
+            .unwrap_or(usize::MAX)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_accumulate_incrementally() {
+        let mut m = BitMatrix::new(130);
+        let root = m.push_empty_row();
+        assert_eq!(root, 0);
+        m.set(root, 5);
+        let child = m.push_row_copy(root);
+        m.set(child, 129);
+        assert!(m.contains(child, 5), "child inherits the parent bits");
+        assert!(m.contains(child, 129));
+        assert!(!m.contains(root, 129), "parent row is unchanged");
+        assert_eq!(m.rows(), 2);
+    }
+
+    #[test]
+    fn load_row_round_trips_through_bitset() {
+        let mut m = BitMatrix::new(70);
+        let r = m.push_empty_row();
+        m.set(r, 0);
+        m.set(r, 64);
+        let mut s = BitSet::new(70);
+        m.load_row(r, &mut s);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 64]);
+    }
+
+    #[test]
+    fn zero_column_matrix_is_usable() {
+        let mut m = BitMatrix::new(0);
+        m.push_empty_row();
+        assert!(!m.contains(0, 3));
+        assert_eq!(m.word_bytes(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn set_out_of_range_panics() {
+        let mut m = BitMatrix::new(8);
+        m.push_empty_row();
+        m.set(0, 8);
+    }
+}

@@ -36,10 +36,40 @@ impl BitSet {
     /// Creates a set containing every index in `0..len`.
     pub fn full(len: usize) -> Self {
         let mut s = BitSet::new(len);
-        for i in 0..len {
-            s.insert(i);
-        }
+        s.set_all();
         s
+    }
+
+    /// Fills the set with every index in `0..capacity` (word-parallel;
+    /// the partial last word is masked so `Eq`/`Hash` stay canonical).
+    pub fn set_all(&mut self) {
+        self.words.fill(!0u64);
+        let tail = self.len % 64;
+        if tail != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << tail) - 1;
+            }
+        }
+    }
+
+    /// Overwrites this set's contents from a raw word row (as produced by
+    /// [`crate::BitMatrix::row_words`]), without reallocating.
+    ///
+    /// # Panics
+    /// Panics if `words.len()` differs from this set's word count.
+    pub fn load_words(&mut self, words: &[u64]) {
+        assert_eq!(
+            self.words.len(),
+            words.len(),
+            "BitSet word-count mismatch in load_words"
+        );
+        self.words.copy_from_slice(words);
+    }
+
+    /// The packed word representation (64 indices per word, LSB-first).
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.words
     }
 
     /// The capacity (number of addressable indices), *not* the number of
