@@ -485,4 +485,74 @@ fn main() {
         std::fs::write("BENCH_engine.json", &json).expect("write BENCH_engine.json");
         println!("wrote BENCH_engine.json ({} workloads)\n", rows.len());
     }
+
+    if want("e13") {
+        println!(
+            "== E13: graceful degradation — pairwise facts decided under 10% / 50% deadlines =="
+        );
+        println!("(every degraded answer is consistency-checked against the unbudgeted oracle)");
+        let pct = |p: &DegradedPoint| {
+            if p.exact {
+                "exact".to_string()
+            } else {
+                format!("{:.1}%", p.decided_fraction * 100.0)
+            }
+        };
+        let mut rows = Vec::new();
+        let mut json_rows = Vec::new();
+        for r in e13_degradation() {
+            rows.push(vec![
+                r.label.clone(),
+                r.events.to_string(),
+                r.full_states.to_string(),
+                ms(r.full_time),
+                pct(&r.at_10pct),
+                r.at_10pct.states_explored.to_string(),
+                pct(&r.at_50pct),
+                r.at_50pct.states_explored.to_string(),
+            ]);
+            json_rows.push(format!(
+                concat!(
+                    "    {{\"workload\": \"{}\", \"events\": {}, \"full_states\": {}, ",
+                    "\"full_ms\": {:.3}, ",
+                    "\"at_10pct\": {{\"exact\": {}, \"decided_fraction\": {:.4}, ",
+                    "\"states_explored\": {}}}, ",
+                    "\"at_50pct\": {{\"exact\": {}, \"decided_fraction\": {:.4}, ",
+                    "\"states_explored\": {}}}}}"
+                ),
+                r.label,
+                r.events,
+                r.full_states,
+                r.full_time.as_secs_f64() * 1e3,
+                r.at_10pct.exact,
+                r.at_10pct.decided_fraction,
+                r.at_10pct.states_explored,
+                r.at_50pct.exact,
+                r.at_50pct.decided_fraction,
+                r.at_50pct.states_explored,
+            ));
+        }
+        println!(
+            "{}",
+            render(
+                &[
+                    "workload",
+                    "|E|",
+                    "states",
+                    "full_ms",
+                    "decided@10%",
+                    "st@10%",
+                    "decided@50%",
+                    "st@50%"
+                ],
+                &rows
+            )
+        );
+        let json = format!(
+            "{{\n  \"experiment\": \"e13_degradation\",\n  \"rows\": [\n{}\n  ]\n}}\n",
+            json_rows.join(",\n")
+        );
+        std::fs::write("BENCH_degradation.json", &json).expect("write BENCH_degradation.json");
+        println!("wrote BENCH_degradation.json ({} workloads)\n", rows.len());
+    }
 }

@@ -860,6 +860,96 @@ pub fn e12_workloads() -> Vec<(String, ProgramExecution, FeasibilityMode)> {
     out
 }
 
+// ---------------------------------------------------------------- E13 --
+
+/// One budgeted re-run of a workload inside an E13 row.
+#[derive(Clone, Debug)]
+pub struct DegradedPoint {
+    /// The wall-clock deadline handed to the supervisor.
+    pub deadline: Duration,
+    /// Whether the budgeted run still finished exactly.
+    pub exact: bool,
+    /// Fraction of the `3·n·(n−1)` pairwise relation instances decided
+    /// (`Exact` or `Bounded`); `1.0` when the run finished exactly.
+    pub decided_fraction: f64,
+    /// Lattice states the budgeted run explored.
+    pub states_explored: usize,
+}
+
+/// E13 — graceful degradation: the fraction of pairwise ordering facts a
+/// deadline-stopped analysis still decides, at 10% and 50% of the
+/// full-budget wall time. Every degraded answer is checked against the
+/// unbudgeted oracle before being reported.
+#[derive(Clone, Debug)]
+pub struct DegradationRow {
+    /// Workload label.
+    pub label: String,
+    /// Events in the trace.
+    pub events: usize,
+    /// Unbudgeted full-analysis wall time.
+    pub full_time: Duration,
+    /// States in the full cut lattice.
+    pub full_states: usize,
+    /// Re-run with a deadline at 10% of `full_time`.
+    pub at_10pct: DegradedPoint,
+    /// Re-run with a deadline at 50% of `full_time`.
+    pub at_50pct: DegradedPoint,
+}
+
+/// Runs E13 on one execution under `mode`. Returns `None` when the
+/// *unbudgeted* analysis itself does not fit the engine's default limits
+/// (no oracle ⇒ nothing to measure degradation against).
+pub fn e13_point(
+    label: &str,
+    exec: &ProgramExecution,
+    mode: FeasibilityMode,
+) -> Option<DegradationRow> {
+    use eo_engine::{AnalysisOutcome, Budget};
+    let (full, full_time) = timed(|| ExactEngine::with_mode(exec, mode).try_summary());
+    let full = full.ok()?;
+    let point = |deadline: Duration| {
+        let engine = ExactEngine::with_mode(exec, mode)
+            .with_budget(Budget::unlimited().with_deadline(deadline));
+        match engine.analyze() {
+            AnalysisOutcome::Exact(s) => DegradedPoint {
+                deadline,
+                exact: true,
+                decided_fraction: 1.0,
+                states_explored: s.state_count(),
+            },
+            AnalysisOutcome::Degraded(d) => {
+                d.check_consistency_against(&full).unwrap_or_else(|msg| {
+                    panic!("{label}: degraded run contradicts oracle: {msg}")
+                });
+                DegradedPoint {
+                    deadline,
+                    exact: false,
+                    decided_fraction: d.decided_fraction(),
+                    states_explored: d.states_explored(),
+                }
+            }
+        }
+    };
+    Some(DegradationRow {
+        label: label.to_string(),
+        events: exec.n_events(),
+        full_states: full.state_count(),
+        at_10pct: point(full_time / 10),
+        at_50pct: point(full_time / 2),
+        full_time,
+    })
+}
+
+/// Runs E13 over the fixed [`e12_workloads`] set; workloads whose full
+/// enumeration exceeds the engine's default limits are skipped (they have
+/// no exact oracle to degrade against).
+pub fn e13_degradation() -> Vec<DegradationRow> {
+    e12_workloads()
+        .iter()
+        .filter_map(|(label, exec, mode)| e13_point(label, exec, *mode))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -970,6 +1060,18 @@ mod tests {
         let row = e11_point("figure1", &program);
         assert!(row.pruned >= 1, "Figure 1 has fork-ordered candidate pairs");
         assert_eq!(row.pruned + row.engine_queries, row.candidates);
+    }
+
+    #[test]
+    fn e13_point_is_sound_on_a_fixture() {
+        let (trace, _) = fixtures::figure1();
+        let exec = trace.to_execution().unwrap();
+        // e13_point panics if any degraded answer contradicts the oracle.
+        let row = e13_point("figure1", &exec, FeasibilityMode::PreserveDependences)
+            .expect("figure1 fits the default limits");
+        assert!(row.at_10pct.decided_fraction <= 1.0);
+        assert!(row.at_50pct.decided_fraction <= 1.0);
+        assert!(row.full_states > 0);
     }
 
     #[test]

@@ -1,0 +1,290 @@
+//! The supervisor's shared resource budget.
+//!
+//! Theorems 1–4 say the exact analyses are NP-/co-NP-hard, so a production
+//! engine must *expect* blow-ups. [`Budget`] is the one object threaded
+//! through every exponential loop in this crate — the sequential explorer,
+//! the parallel worker pool, class enumeration, witness queries, and the
+//! SAT backend — so that any analysis can be stopped mid-flight:
+//!
+//! * a **wall-clock deadline** ([`Budget::with_deadline`]);
+//! * **state / schedule caps** (the same counts [`Limits`](crate::Limits)
+//!   bounds; a budget cap overrides the engine's defaults);
+//! * an approximate **heap-bytes cap** checked against the running storage
+//!   estimate each explorer maintains;
+//! * a **cooperative cancel flag** ([`Budget::cancel_handle`]) another
+//!   thread can raise at any time.
+//!
+//! Checks happen at BFS-level / DFS-step granularity via
+//! [`Budget::check`], which returns the [`EngineError`] describing the
+//! first exhausted resource. Cloning a `Budget` shares the cancel flag and
+//! checkpoint counters (they are `Arc`ed), so the coordinator and its pool
+//! workers observe one budget, not per-thread copies.
+//!
+//! Under the `fault-injection` feature a [`FaultPlan`] can be attached to
+//! make the N-th checkpoint fail deterministically — see
+//! [`crate::faultpoint`].
+
+use crate::engine::EngineError;
+#[cfg(feature = "fault-injection")]
+use std::sync::atomic::AtomicU64;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+#[cfg(feature = "fault-injection")]
+use crate::faultpoint::{Fault, FaultPlan};
+
+/// A shared, cooperative resource budget for one analysis. See the
+/// [module docs](self) for the full story.
+#[derive(Clone, Debug)]
+pub struct Budget {
+    deadline: Option<Instant>,
+    /// The configured deadline duration in milliseconds, kept for error
+    /// reporting.
+    deadline_ms: u64,
+    max_states: Option<usize>,
+    max_schedules: Option<usize>,
+    max_heap_bytes: Option<usize>,
+    cancel: Arc<AtomicBool>,
+    /// Coordinator checkpoint counter (shared across clones so fault
+    /// injection sees one global checkpoint sequence).
+    #[cfg(feature = "fault-injection")]
+    ticks: Arc<AtomicU64>,
+    /// Worker checkpoint counter ([`Budget::check_worker`]).
+    #[cfg(feature = "fault-injection")]
+    worker_ticks: Arc<AtomicU64>,
+    #[cfg(feature = "fault-injection")]
+    fault: Option<FaultPlan>,
+}
+
+impl Default for Budget {
+    fn default() -> Self {
+        Budget::unlimited()
+    }
+}
+
+impl Budget {
+    /// A budget with no constraints: every check passes (unless the shared
+    /// cancel flag is raised).
+    pub fn unlimited() -> Budget {
+        Budget {
+            deadline: None,
+            deadline_ms: 0,
+            max_states: None,
+            max_schedules: None,
+            max_heap_bytes: None,
+            cancel: Arc::new(AtomicBool::new(false)),
+            #[cfg(feature = "fault-injection")]
+            ticks: Arc::new(AtomicU64::new(0)),
+            #[cfg(feature = "fault-injection")]
+            worker_ticks: Arc::new(AtomicU64::new(0)),
+            #[cfg(feature = "fault-injection")]
+            fault: None,
+        }
+    }
+
+    /// Sets a wall-clock deadline `d` from now.
+    pub fn with_deadline(mut self, d: Duration) -> Budget {
+        self.deadline = Some(Instant::now() + d);
+        self.deadline_ms = d.as_millis() as u64;
+        self
+    }
+
+    /// Sets a wall-clock deadline `ms` milliseconds from now.
+    pub fn with_deadline_ms(self, ms: u64) -> Budget {
+        self.with_deadline(Duration::from_millis(ms))
+    }
+
+    /// Caps distinct machine states (overrides
+    /// [`Limits::max_states`](crate::Limits::max_states)).
+    pub fn with_max_states(mut self, max_states: usize) -> Budget {
+        self.max_states = Some(max_states);
+        self
+    }
+
+    /// Caps complete schedules the enumeration may record (overrides
+    /// [`Limits::max_schedules`](crate::Limits::max_schedules)).
+    pub fn with_max_schedules(mut self, max_schedules: usize) -> Budget {
+        self.max_schedules = Some(max_schedules);
+        self
+    }
+
+    /// Caps the approximate heap bytes of analysis state storage.
+    pub fn with_max_heap_bytes(mut self, bytes: usize) -> Budget {
+        self.max_heap_bytes = Some(bytes);
+        self
+    }
+
+    /// Attaches a deterministic fault plan (test-only feature); see
+    /// [`crate::faultpoint`].
+    #[cfg(feature = "fault-injection")]
+    pub fn with_fault(mut self, plan: FaultPlan) -> Budget {
+        self.fault = Some(plan);
+        self
+    }
+
+    /// A handle other threads can use to cancel every analysis sharing
+    /// this budget (clones share the flag).
+    pub fn cancel_handle(&self) -> CancelHandle {
+        CancelHandle(Arc::clone(&self.cancel))
+    }
+
+    /// Fills caps the budget leaves unset from the engine's [`Limits`]
+    /// defaults (a budget cap always wins).
+    ///
+    /// [`Limits`]: crate::Limits
+    pub(crate) fn with_default_caps(mut self, max_states: usize, max_schedules: usize) -> Budget {
+        self.max_states.get_or_insert(max_states);
+        self.max_schedules.get_or_insert(max_schedules);
+        self
+    }
+
+    /// The effective schedule cap (`usize::MAX` when uncapped).
+    pub(crate) fn schedules_cap(&self) -> usize {
+        self.max_schedules.unwrap_or(usize::MAX)
+    }
+
+    /// Errors iff growing the state store to `next_count` states would
+    /// exceed the state cap.
+    #[inline]
+    pub(crate) fn check_states(&self, next_count: usize) -> Result<(), EngineError> {
+        match self.max_states {
+            Some(cap) if next_count > cap => Err(EngineError::StateSpaceExceeded { limit: cap }),
+            _ => Ok(()),
+        }
+    }
+
+    /// One coordinator checkpoint: errors with the first exhausted
+    /// resource. `heap_bytes` is the caller's running estimate of its
+    /// analysis storage (pass 0 when storage is not the concern).
+    ///
+    /// Called at BFS-level / DFS-step granularity by every exponential
+    /// loop; when the budget is unconstrained this is one relaxed atomic
+    /// load.
+    #[inline]
+    pub fn check(&self, heap_bytes: usize) -> Result<(), EngineError> {
+        #[cfg(feature = "fault-injection")]
+        if let Some(plan) = &self.fault {
+            let t = self.ticks.fetch_add(1, Ordering::Relaxed) + 1;
+            match plan.fires_at(t) {
+                Some(Fault::Deadline) => {
+                    return Err(EngineError::DeadlineExceeded {
+                        ms: self.deadline_ms,
+                    })
+                }
+                Some(Fault::Memory) => {
+                    return Err(EngineError::MemoryExceeded {
+                        limit: self.max_heap_bytes.unwrap_or(0),
+                    })
+                }
+                // Mimic an external cancel exactly: raise the shared flag,
+                // then fall through to the normal cancel path.
+                Some(Fault::Cancel) => self.cancel.store(true, Ordering::Relaxed),
+                Some(Fault::WorkerPanic) | None => {}
+            }
+        }
+        if self.cancel.load(Ordering::Relaxed) {
+            return Err(EngineError::Cancelled);
+        }
+        if let Some(cap) = self.max_heap_bytes {
+            if heap_bytes > cap {
+                return Err(EngineError::MemoryExceeded { limit: cap });
+            }
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                return Err(EngineError::DeadlineExceeded {
+                    ms: self.deadline_ms,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// One pool-worker checkpoint. This is the only place a
+    /// [`Fault::WorkerPanic`] plan trips — as a real `panic!`, so the
+    /// worker pool's `catch_unwind` recovery is what gets exercised.
+    /// A no-op without the `fault-injection` feature (workers report
+    /// resource exhaustion through the coordinator's [`Budget::check`]).
+    #[inline]
+    pub fn check_worker(&self) {
+        #[cfg(feature = "fault-injection")]
+        if let Some(plan) = &self.fault {
+            let t = self.worker_ticks.fetch_add(1, Ordering::Relaxed) + 1;
+            if plan.fires_at(t) == Some(Fault::WorkerPanic) {
+                panic!("fault injection: worker panic at checkpoint {t}");
+            }
+        }
+    }
+}
+
+/// Cooperative cancellation handle for a [`Budget`] (cheap to clone; all
+/// handles and budget clones share one flag).
+#[derive(Clone, Debug)]
+pub struct CancelHandle(Arc<AtomicBool>);
+
+impl CancelHandle {
+    /// Raises the cancel flag: the next checkpoint of every analysis
+    /// sharing the budget fails with [`EngineError::Cancelled`].
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether the flag has been raised.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_always_passes() {
+        let b = Budget::unlimited();
+        for _ in 0..1000 {
+            assert_eq!(b.check(usize::MAX / 2), Ok(()));
+        }
+        b.check_worker(); // no-op without a fault plan
+    }
+
+    #[test]
+    fn cancel_is_shared_across_clones() {
+        let b = Budget::unlimited();
+        let clone = b.clone();
+        let handle = b.cancel_handle();
+        assert_eq!(clone.check(0), Ok(()));
+        handle.cancel();
+        assert!(handle.is_cancelled());
+        assert_eq!(b.check(0), Err(EngineError::Cancelled));
+        assert_eq!(clone.check(0), Err(EngineError::Cancelled));
+    }
+
+    #[test]
+    fn heap_cap_trips_on_estimate() {
+        let b = Budget::unlimited().with_max_heap_bytes(1024);
+        assert_eq!(b.check(1024), Ok(()));
+        assert_eq!(
+            b.check(1025),
+            Err(EngineError::MemoryExceeded { limit: 1024 })
+        );
+    }
+
+    #[test]
+    fn zero_deadline_trips_immediately() {
+        let b = Budget::unlimited().with_deadline(Duration::ZERO);
+        assert_eq!(b.check(0), Err(EngineError::DeadlineExceeded { ms: 0 }));
+    }
+
+    #[test]
+    fn state_cap_counts_next_state() {
+        let b = Budget::unlimited().with_max_states(3);
+        assert_eq!(b.check_states(3), Ok(()));
+        assert_eq!(
+            b.check_states(4),
+            Err(EngineError::StateSpaceExceeded { limit: 3 })
+        );
+        assert_eq!(Budget::unlimited().check_states(usize::MAX), Ok(()));
+    }
+}

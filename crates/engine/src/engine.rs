@@ -1,9 +1,11 @@
 //! The user-facing engine facade.
 
+use crate::budget::Budget;
 use crate::ctx::{FeasibilityMode, SearchCtx};
-use crate::enumerate::{enumerate_classes, EnumerationResult};
+use crate::degraded::DegradedSummary;
+use crate::enumerate::{enumerate_classes, enumerate_classes_budgeted, EnumerationResult};
 use crate::queries;
-use crate::statespace::explore_statespace;
+use crate::statespace::{self, explore_statespace};
 use crate::summary::OrderingSummary;
 use eo_model::{EventId, ProgramExecution};
 
@@ -28,18 +30,42 @@ impl Default for Limits {
 }
 
 /// Why an exact analysis could not finish within its budget.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+///
+/// Non-exhaustive: supervisors grow failure modes; downstream matches
+/// need a wildcard arm.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum EngineError {
-    /// The cut lattice outgrew [`Limits::max_states`].
+    /// The cut lattice outgrew [`Limits::max_states`] (or the
+    /// [`Budget`](crate::Budget) state cap).
     StateSpaceExceeded {
         /// The configured bound.
         limit: usize,
     },
-    /// The class enumeration outgrew [`Limits::max_schedules`].
+    /// The class enumeration outgrew [`Limits::max_schedules`] (or the
+    /// [`Budget`](crate::Budget) schedule cap).
     ScheduleBudgetExceeded {
         /// The configured bound.
         limit: usize,
     },
+    /// The wall-clock deadline of the [`Budget`](crate::Budget) passed.
+    DeadlineExceeded {
+        /// The configured deadline in milliseconds.
+        ms: u64,
+    },
+    /// The analysis state storage outgrew the
+    /// [`Budget`](crate::Budget) heap-bytes cap.
+    MemoryExceeded {
+        /// The configured bound in bytes.
+        limit: usize,
+    },
+    /// The analysis was cancelled through a
+    /// [`CancelHandle`](crate::CancelHandle).
+    Cancelled,
+    /// A pool worker thread panicked; the parallel exploration was
+    /// abandoned (after every thread was joined — see
+    /// [`crate::parallel`]).
+    WorkerFailed,
 }
 
 impl std::fmt::Display for EngineError {
@@ -52,6 +78,19 @@ impl std::fmt::Display for EngineError {
                 write!(
                     f,
                     "schedule enumeration exceeded the {limit}-schedule budget"
+                )
+            }
+            EngineError::DeadlineExceeded { ms } => {
+                write!(f, "analysis exceeded its {ms} ms wall-clock deadline")
+            }
+            EngineError::MemoryExceeded { limit } => {
+                write!(f, "analysis storage exceeded the {limit}-byte budget")
+            }
+            EngineError::Cancelled => write!(f, "analysis cancelled"),
+            EngineError::WorkerFailed => {
+                write!(
+                    f,
+                    "a worker thread panicked; the parallel pass was abandoned"
                 )
             }
         }
@@ -77,6 +116,18 @@ impl std::error::Error for EngineError {}
 pub struct ExactEngine<'a> {
     ctx: SearchCtx<'a>,
     limits: Limits,
+    budget: Option<Budget>,
+}
+
+/// What [`ExactEngine::analyze`] produced: the full exact summary, or the
+/// supervisor's sound partial answer when a budget ran out mid-flight.
+#[derive(Clone, Debug)]
+pub enum AnalysisOutcome {
+    /// Every budget held; the summary is the complete exact answer.
+    Exact(OrderingSummary),
+    /// A budget was exhausted (or a worker failed); the facts proved by
+    /// the partial pass, sandwiched between the sound polynomial bounds.
+    Degraded(DegradedSummary),
 }
 
 impl<'a> ExactEngine<'a> {
@@ -91,6 +142,7 @@ impl<'a> ExactEngine<'a> {
         ExactEngine {
             ctx: SearchCtx::new(exec, mode),
             limits: Limits::default(),
+            budget: None,
         }
     }
 
@@ -100,6 +152,22 @@ impl<'a> ExactEngine<'a> {
         self
     }
 
+    /// Attaches a supervisor [`Budget`] (deadline, caps, cancellation).
+    /// Caps the budget leaves unset fall back to the engine's [`Limits`].
+    pub fn with_budget(mut self, budget: Budget) -> Self {
+        self.budget = Some(budget);
+        self
+    }
+
+    /// The budget every pass runs under: the attached one (with `Limits`
+    /// filling unset caps) or a cap-only budget from `Limits`.
+    fn effective_budget(&self) -> Budget {
+        self.budget
+            .clone()
+            .unwrap_or_default()
+            .with_default_caps(self.limits.max_states, self.limits.max_schedules)
+    }
+
     /// The underlying search context (for direct use of the lower-level
     /// APIs).
     pub fn ctx(&self) -> &SearchCtx<'a> {
@@ -107,18 +175,84 @@ impl<'a> ExactEngine<'a> {
     }
 
     /// Computes the full six-relation summary, or reports the exceeded
-    /// budget.
+    /// budget (the first exhausted resource — state/schedule caps,
+    /// deadline, memory, or cancellation when a [`Budget`] is attached).
     pub fn try_summary(&self) -> Result<OrderingSummary, EngineError> {
-        let space = explore_statespace(&self.ctx, self.limits.max_states)?;
-        let classes = enumerate_classes(&self.ctx, self.limits.max_schedules);
-        if classes.truncated {
-            return Err(EngineError::ScheduleBudgetExceeded {
-                limit: self.limits.max_schedules,
-            });
+        if self.budget.is_none() {
+            // Cap-only fast path: no checkpoint calls in the hot loops.
+            let space = explore_statespace(&self.ctx, self.limits.max_states)?;
+            let classes = enumerate_classes(&self.ctx, self.limits.max_schedules);
+            if classes.truncated {
+                return Err(EngineError::ScheduleBudgetExceeded {
+                    limit: self.limits.max_schedules,
+                });
+            }
+            let summary = OrderingSummary::from_parts(&space, &classes);
+            debug_assert_eq!(summary.check_identities(), Ok(()));
+            return Ok(summary);
+        }
+        let budget = self.effective_budget();
+        let space = statespace::explore_statespace_budgeted(&self.ctx, &budget)?;
+        let (classes, stopped) = enumerate_classes_budgeted(&self.ctx, &budget);
+        if let Some(e) = stopped {
+            return Err(e);
         }
         let summary = OrderingSummary::from_parts(&space, &classes);
         debug_assert_eq!(summary.check_identities(), Ok(()));
         Ok(summary)
+    }
+
+    /// The supervised analysis: runs the exact passes under the attached
+    /// [`Budget`] and, instead of failing when a resource runs out,
+    /// returns a [`DegradedSummary`] — every pairwise fact the partial
+    /// pass *proved*, sandwiched between the sound polynomial bounds of
+    /// `eo_approx` (see [`crate::degraded`]).
+    ///
+    /// Degraded answers never contradict the exact oracle; the
+    /// differential suite asserts this on every fixture.
+    pub fn analyze(&self) -> AnalysisOutcome {
+        self.analyze_with_threads(1)
+    }
+
+    /// [`analyze`](Self::analyze) with the cut-lattice pass fanned out to
+    /// `threads` pool workers (`0` = available parallelism, `1` =
+    /// sequential). A worker panic degrades (reason
+    /// [`EngineError::WorkerFailed`]) instead of aborting; the pool is
+    /// always drained and joined.
+    pub fn analyze_with_threads(&self, threads: usize) -> AnalysisOutcome {
+        let budget = self.effective_budget();
+        let (mut graph, stopped) = if threads == 1 {
+            let b = statespace::build_graph_budgeted(&self.ctx, &budget);
+            (b.graph, b.stopped)
+        } else {
+            crate::parallel::explore_parallel_partial(&self.ctx, &budget, threads)
+        };
+        let space_complete = stopped.is_none();
+        let space = if space_complete {
+            statespace::finalize(&self.ctx, &mut graph)
+        } else {
+            statespace::finalize_partial(&self.ctx, &mut graph)
+        };
+        // Enumeration still runs after a truncated space pass: its orders
+        // are complete feasible executions in their own right, and every
+        // one sharpens the degraded facts. The budget is already
+        // exhausted in the deadline/cancel cases, so the first checkpoint
+        // stops it immediately; cap-based cases keep their own caps.
+        let (classes, enum_stopped) = enumerate_classes_budgeted(&self.ctx, &budget);
+        match stopped.or(enum_stopped) {
+            None => {
+                let summary = OrderingSummary::from_parts(&space, &classes);
+                debug_assert_eq!(summary.check_identities(), Ok(()));
+                AnalysisOutcome::Exact(summary)
+            }
+            Some(reason) => AnalysisOutcome::Degraded(DegradedSummary::build(
+                &self.ctx,
+                &space,
+                space_complete,
+                &classes.orders,
+                reason,
+            )),
+        }
     }
 
     /// Computes the full summary.
@@ -136,13 +270,20 @@ impl<'a> ExactEngine<'a> {
 
     /// Enumerates F(P) (the distinct induced partial orders).
     pub fn feasible_set(&self) -> Result<EnumerationResult, EngineError> {
-        let r = enumerate_classes(&self.ctx, self.limits.max_schedules);
-        if r.truncated {
-            return Err(EngineError::ScheduleBudgetExceeded {
-                limit: self.limits.max_schedules,
-            });
+        if self.budget.is_none() {
+            let r = enumerate_classes(&self.ctx, self.limits.max_schedules);
+            if r.truncated {
+                return Err(EngineError::ScheduleBudgetExceeded {
+                    limit: self.limits.max_schedules,
+                });
+            }
+            return Ok(r);
         }
-        Ok(r)
+        let (r, stopped) = enumerate_classes_budgeted(&self.ctx, &self.effective_budget());
+        match stopped {
+            Some(e) => Err(e),
+            None => Ok(r),
+        }
     }
 
     /// Decides `a MHB b` by early-exit witness search (no full summary).

@@ -22,7 +22,9 @@
 //! so the result is F(P) itself (up to the documented canonical
 //! extraction), not a multiset of schedules.
 
+use crate::budget::Budget;
 use crate::ctx::SearchCtx;
+use crate::engine::EngineError;
 use eo_model::{EventId, ProcessId};
 use eo_relations::fxhash::FxHashSet;
 use eo_relations::{BitSet, Relation};
@@ -49,6 +51,15 @@ struct Enumerator<'c, 'a> {
     orders: Vec<Relation>,
     schedules_explored: usize,
     truncated: bool,
+    /// Supervisor budget, checked once per DFS step; `None` is the
+    /// zero-overhead legacy path.
+    budget: Option<&'c Budget>,
+    /// First budget failure; once set the search unwinds without
+    /// recording anything further.
+    stopped: Option<EngineError>,
+    /// Approximate bytes one recorded order costs (the order plus its
+    /// dedup-set twin), for the memory budget.
+    order_bytes: usize,
     /// Recycled co-enabled buffers, one per active recursion depth — the
     /// search allocates no per-state vectors in steady state.
     enabled_pool: Vec<Vec<(ProcessId, EventId)>>,
@@ -71,8 +82,14 @@ impl Enumerator<'_, '_> {
     }
 
     fn explore(&mut self, st: &eo_model::MachState, sleep: &BitSet) {
-        if self.truncated {
+        if self.truncated || self.stopped.is_some() {
             return;
+        }
+        if let Some(budget) = self.budget {
+            if let Err(e) = budget.check(self.orders.len() * self.order_bytes) {
+                self.stopped = Some(e);
+                return;
+            }
         }
         if self.ctx.is_complete(st) {
             self.record();
@@ -99,7 +116,7 @@ impl Enumerator<'_, '_> {
             self.schedule.push(e);
             self.explore(&st2, &child_sleep);
             self.schedule.pop();
-            if self.truncated {
+            if self.truncated || self.stopped.is_some() {
                 break;
             }
             if self.use_sleep {
@@ -110,7 +127,12 @@ impl Enumerator<'_, '_> {
     }
 }
 
-fn run(ctx: &SearchCtx<'_>, max_schedules: usize, use_sleep: bool) -> EnumerationResult {
+fn run(
+    ctx: &SearchCtx<'_>,
+    max_schedules: usize,
+    use_sleep: bool,
+    budget: Option<&Budget>,
+) -> (EnumerationResult, Option<EngineError>) {
     let n = ctx.n_events();
     let mut en = Enumerator {
         ctx,
@@ -121,28 +143,56 @@ fn run(ctx: &SearchCtx<'_>, max_schedules: usize, use_sleep: bool) -> Enumeratio
         orders: Vec::new(),
         schedules_explored: 0,
         truncated: false,
+        budget,
+        stopped: None,
+        // Two Relation copies per recorded order (orders + seen); a closed
+        // n×n bit matrix plus container overhead.
+        order_bytes: 2 * ((n * n).div_ceil(8) + 64),
         enabled_pool: Vec::new(),
     };
     let st = ctx.initial_state();
     let sleep = BitSet::new(n);
     en.explore(&st, &sleep);
-    EnumerationResult {
-        orders: en.orders,
-        schedules_explored: en.schedules_explored,
-        truncated: en.truncated,
-    }
+    (
+        EnumerationResult {
+            orders: en.orders,
+            schedules_explored: en.schedules_explored,
+            truncated: en.truncated,
+        },
+        en.stopped,
+    )
 }
 
 /// Sleep-set pruned enumeration: visits (roughly) one schedule per
 /// Mazurkiewicz class.
 pub fn enumerate_classes(ctx: &SearchCtx<'_>, max_schedules: usize) -> EnumerationResult {
-    run(ctx, max_schedules, true)
+    run(ctx, max_schedules, true, None).0
 }
 
 /// Unpruned enumeration of every interleaving — the oracle/ablation
 /// variant. Factorially expensive; keep inputs tiny.
 pub fn enumerate_naive(ctx: &SearchCtx<'_>, max_schedules: usize) -> EnumerationResult {
-    run(ctx, max_schedules, false)
+    run(ctx, max_schedules, false, None).0
+}
+
+/// Sleep-set pruned enumeration under a supervisor [`Budget`]: the budget
+/// is checked once per DFS step, and the schedule cap comes from the
+/// budget itself. The second component reports why the search stopped
+/// early (`None` means it ran to completion); a search truncated by the
+/// schedule cap is reported as
+/// [`EngineError::ScheduleBudgetExceeded`].
+pub(crate) fn enumerate_classes_budgeted(
+    ctx: &SearchCtx<'_>,
+    budget: &Budget,
+) -> (EnumerationResult, Option<EngineError>) {
+    let cap = budget.schedules_cap();
+    let (result, stopped) = run(ctx, cap, true, Some(budget));
+    let stopped = stopped.or(if result.truncated {
+        Some(EngineError::ScheduleBudgetExceeded { limit: cap })
+    } else {
+        None
+    });
+    (result, stopped)
 }
 
 #[cfg(test)]

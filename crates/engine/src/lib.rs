@@ -50,9 +50,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod budget;
 pub mod ctx;
+pub mod degraded;
 pub mod engine;
 pub mod enumerate;
+#[cfg(feature = "fault-injection")]
+pub mod faultpoint;
 pub mod parallel;
 pub mod queries;
 pub mod sat_backend;
@@ -60,10 +64,17 @@ pub mod statespace;
 pub mod statetable;
 pub mod summary;
 
+pub use budget::{Budget, CancelHandle};
 pub use ctx::{FeasibilityMode, SearchCtx};
-pub use engine::{EngineError, ExactEngine, Limits};
+pub use degraded::{DegradedSummary, Fact};
+pub use engine::{AnalysisOutcome, EngineError, ExactEngine, Limits};
 pub use enumerate::{enumerate_classes, EnumerationResult};
+#[cfg(feature = "fault-injection")]
+pub use faultpoint::{Fault, FaultPlan};
+pub use parallel::{explore_statespace_parallel, explore_statespace_parallel_budgeted};
 pub use queries::QuerySession;
-pub use statespace::{explore_statespace, explore_statespace_baseline, StateSpaceResult};
+pub use statespace::{
+    explore_statespace, explore_statespace_baseline, explore_statespace_budgeted, StateSpaceResult,
+};
 pub use statetable::{StateId, StateTable};
 pub use summary::OrderingSummary;

@@ -25,7 +25,29 @@
 //! (DESIGN.md §5) reports both sides honestly, and on small executions the
 //! sequential explorer wins — parallelism only pays once the per-level
 //! frontiers are thousands of states wide.
+//!
+//! ## Failure isolation
+//!
+//! A panicking worker must not take the analysis down with it. Three
+//! mechanisms compose (exercised by the fault-injection suite):
+//!
+//! * every queue lock recovers from poisoning
+//!   ([`PoisonError::into_inner`] — the queue invariants are trivial, so a
+//!   mid-`push` panic elsewhere cannot corrupt them);
+//! * each task runs under [`catch_unwind`] *inside* the worker's pop
+//!   loop: a panicked task becomes a [`TaskResult::Failed`] and the
+//!   worker keeps draining the queue, so the coordinator always receives
+//!   one result per task — no thread dies, no slot is abandoned, no hang
+//!   even with a single worker;
+//! * the coordinator collects *all* expected results for a phase before
+//!   acting, then surfaces any failure as
+//!   [`EngineError::WorkerFailed`]. The surrounding [`std::thread::scope`]
+//!   joins every worker on the way out.
+//!
+//! [`catch_unwind`]: std::panic::catch_unwind
+//! [`PoisonError::into_inner`]: std::sync::PoisonError::into_inner
 
+use crate::budget::Budget;
 use crate::ctx::SearchCtx;
 use crate::engine::EngineError;
 use crate::statespace::{
@@ -34,7 +56,8 @@ use crate::statespace::{
 use eo_model::{EventId, MachState, ProcessId};
 use eo_relations::Relation;
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
 
 /// One state to expand: its node index, the state cloned out of the
 /// arena, and its enabled list.
@@ -64,6 +87,8 @@ enum TaskResult {
         slot: usize,
         enabled: Vec<Vec<(ProcessId, EventId)>>,
     },
+    /// The worker's task panicked (caught); the slot produced nothing.
+    Failed,
 }
 
 /// A minimal MPMC queue (`Mutex<VecDeque>` + `Condvar`): the workspace
@@ -82,15 +107,24 @@ impl<T> Queue<T> {
         }
     }
 
+    /// Locks the queue, shrugging off poisoning: the guarded state is a
+    /// plain `VecDeque` + closed flag whose invariants hold after any
+    /// partial mutation, so a panic elsewhere never makes it unsafe to
+    /// keep using — and ignoring the poison is what lets the pool drain
+    /// cleanly after a worker panic instead of cascading aborts.
+    fn lock(&self) -> MutexGuard<'_, (VecDeque<T>, bool)> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     fn push(&self, item: T) {
-        let mut guard = self.state.lock().expect("queue poisoned");
+        let mut guard = self.lock();
         guard.0.push_back(item);
         self.ready.notify_one();
     }
 
     /// Blocks for the next item; `None` once closed and drained.
     fn pop(&self) -> Option<T> {
-        let mut guard = self.state.lock().expect("queue poisoned");
+        let mut guard = self.lock();
         loop {
             if let Some(item) = guard.0.pop_front() {
                 return Some(item);
@@ -98,13 +132,16 @@ impl<T> Queue<T> {
             if guard.1 {
                 return None;
             }
-            guard = self.ready.wait(guard).expect("queue poisoned");
+            guard = self
+                .ready
+                .wait(guard)
+                .unwrap_or_else(PoisonError::into_inner);
         }
     }
 
     /// Wakes all blocked consumers; subsequent `pop`s drain then end.
     fn close(&self) {
-        let mut guard = self.state.lock().expect("queue poisoned");
+        let mut guard = self.lock();
         guard.1 = true;
         self.ready.notify_all();
     }
@@ -117,10 +154,43 @@ pub fn explore_statespace_parallel(
     max_states: usize,
     threads: usize,
 ) -> Result<StateSpaceResult, EngineError> {
+    explore_statespace_parallel_budgeted(
+        ctx,
+        &Budget::unlimited().with_max_states(max_states),
+        threads,
+    )
+}
+
+/// Parallel exploration under a full supervisor [`Budget`] (deadline,
+/// caps, memory, cancellation — checked once per BFS level — plus worker
+/// checkpoints for fault injection). All-or-nothing; degraded analyses
+/// use [`explore_parallel_partial`] to keep the truncated graph.
+pub fn explore_statespace_parallel_budgeted(
+    ctx: &SearchCtx<'_>,
+    budget: &Budget,
+    threads: usize,
+) -> Result<StateSpaceResult, EngineError> {
+    let (mut graph, stopped) = explore_parallel_partial(ctx, budget, threads);
+    if let Some(e) = stopped {
+        return Err(e);
+    }
+    finalize_parallel(ctx, budget, &mut graph, threads.max(1))
+}
+
+/// Builds the cut-lattice graph on the worker pool, stopping at the first
+/// exhausted budget resource or worker failure. The graph built so far is
+/// returned either way (level-consistent; see
+/// [`crate::statespace::finalize_partial`] for what a truncated graph
+/// soundly proves). Every pool thread is joined before this returns.
+pub(crate) fn explore_parallel_partial(
+    ctx: &SearchCtx<'_>,
+    budget: &Budget,
+    threads: usize,
+) -> (StateGraph, Option<EngineError>) {
     let threads = if threads == 0 {
         std::thread::available_parallelism().map_or(1, |n| n.get())
     } else {
-        threads.max(1)
+        threads
     };
 
     let tasks: Queue<Task> = Queue::new();
@@ -131,8 +201,13 @@ pub fn explore_statespace_parallel(
             scope.spawn(|| {
                 let mut enabled_buf: Vec<(ProcessId, EventId)> = Vec::new();
                 while let Some(task) = tasks.pop() {
-                    match task {
+                    // Isolate each task: a panic (fault-injected or real)
+                    // yields a `Failed` result and the worker lives on to
+                    // drain the queue — the coordinator is always owed
+                    // exactly one result per task.
+                    let outcome = catch_unwind(AssertUnwindSafe(|| match task {
                         Task::Expand { slot, items } => {
+                            budget.check_worker();
                             let mut succs = Vec::new();
                             for (parent, state, fires) in items {
                                 for (p, e) in fires {
@@ -141,9 +216,10 @@ pub fn explore_statespace_parallel(
                                     succs.push((parent, e, st2));
                                 }
                             }
-                            results.push(TaskResult::Expanded { slot, succs });
+                            TaskResult::Expanded { slot, succs }
                         }
                         Task::Enable { slot, items } => {
+                            budget.check_worker();
                             let enabled = items
                                 .iter()
                                 .map(|st| {
@@ -151,32 +227,48 @@ pub fn explore_statespace_parallel(
                                     enabled_buf.clone()
                                 })
                                 .collect();
-                            results.push(TaskResult::Enabled { slot, enabled });
+                            TaskResult::Enabled { slot, enabled }
                         }
-                    }
+                    }));
+                    results.push(outcome.unwrap_or(TaskResult::Failed));
                 }
             });
         }
 
-        let out = drive(ctx, max_states, threads, &tasks, &results);
-        tasks.close(); // hang up so workers exit
+        let out = drive(ctx, budget, threads, &tasks, &results);
+        tasks.close(); // hang up so workers exit; the scope joins them
         out
     })
 }
 
 /// The coordinating thread: level-synchronous BFS with the heavy phases
-/// fanned out to the pool.
+/// fanned out to the pool. Stops (returning the level-consistent graph so
+/// far) at the first exhausted budget resource or failed worker task.
 fn drive(
     ctx: &SearchCtx<'_>,
-    max_states: usize,
+    budget: &Budget,
     threads: usize,
     tasks: &Queue<Task>,
     results: &Queue<TaskResult>,
-) -> Result<StateSpaceResult, EngineError> {
+) -> (StateGraph, Option<EngineError>) {
     let mut graph = StateGraph::seeded(ctx);
+
+    // O(1) running storage estimate for the memory budget (see the
+    // sequential `build_graph_budgeted`).
+    let state_bytes = std::mem::size_of::<MachState>()
+        + ctx.initial_state().heap_bytes()
+        + ctx.n_events().div_ceil(64) * 8
+        + std::mem::size_of::<Node>();
+    let edge_bytes = std::mem::size_of::<u32>() + std::mem::size_of::<(ProcessId, EventId)>();
+    let mut est_bytes = state_bytes + graph.nodes[0].enabled.len() * edge_bytes;
 
     let mut frontier: Vec<usize> = vec![0];
     while !frontier.is_empty() {
+        // One budget checkpoint per BFS level.
+        if let Err(e) = budget.check(est_bytes) {
+            return (graph, Some(e));
+        }
+
         // Phase 1 (pool): successors of every frontier node. Task items
         // carry owned state clones so workers never borrow the arena.
         let chunk = frontier.len().div_ceil(threads).max(1);
@@ -194,11 +286,22 @@ fn drive(
         }
         let mut batches: Vec<Vec<(usize, EventId, MachState)>> =
             (0..slots).map(|_| Vec::new()).collect();
+        let mut failed = 0usize;
         for _ in 0..slots {
-            match results.pop().expect("pool alive") {
-                TaskResult::Expanded { slot, succs } => batches[slot] = succs,
-                TaskResult::Enabled { .. } => unreachable!("no enable tasks in flight"),
+            // Workers always answer every task (panics are caught into
+            // `Failed`), so all `slots` results arrive; collect them all
+            // before acting so no result is left queued for a later phase.
+            match results.pop() {
+                Some(TaskResult::Expanded { slot, succs }) => batches[slot] = succs,
+                Some(TaskResult::Failed) | None => failed += 1,
+                Some(TaskResult::Enabled { .. }) => {
+                    debug_assert!(false, "no enable tasks in flight");
+                    failed += 1;
+                }
             }
+        }
+        if failed > 0 {
+            return (graph, Some(EngineError::WorkerFailed));
         }
 
         // Phase 2 (sequential): hash-cons successor states into the arena.
@@ -208,10 +311,11 @@ fn drive(
             for (parent, e, st) in batch {
                 let (id, fresh) = graph.table.intern(st);
                 if fresh {
-                    if graph.nodes.len() >= max_states {
-                        return Err(EngineError::StateSpaceExceeded { limit: max_states });
+                    if let Err(err) = budget.check_states(graph.nodes.len() + 1) {
+                        return (graph, Some(err));
                     }
                     debug_assert_eq!(id.index(), graph.nodes.len());
+                    est_bytes += state_bytes;
                     graph.nodes.push(Node {
                         enabled: Vec::new(), // filled in phase 3
                         succs: Vec::new(),
@@ -222,6 +326,7 @@ fn drive(
                     graph.executed.set(row, e.index());
                     next_frontier.push(id.index());
                 }
+                est_bytes += edge_bytes;
                 graph.nodes[parent].succs.push(id.index() as u32);
             }
         }
@@ -243,15 +348,27 @@ fn drive(
             }
             let mut per_slot: Vec<Vec<Vec<(ProcessId, EventId)>>> =
                 (0..slots).map(|_| Vec::new()).collect();
+            let mut failed = 0usize;
             for _ in 0..slots {
-                match results.pop().expect("pool alive") {
-                    TaskResult::Enabled { slot, enabled } => per_slot[slot] = enabled,
-                    TaskResult::Expanded { .. } => unreachable!("no expand tasks in flight"),
+                match results.pop() {
+                    Some(TaskResult::Enabled { slot, enabled }) => per_slot[slot] = enabled,
+                    Some(TaskResult::Failed) | None => failed += 1,
+                    Some(TaskResult::Expanded { .. }) => {
+                        debug_assert!(false, "no expand tasks in flight");
+                        failed += 1;
+                    }
                 }
+            }
+            if failed > 0 {
+                // Fresh nodes may lack enabled lists; they read as
+                // deadlocks, which completability treats conservatively —
+                // the partial graph stays sound for degradation.
+                return (graph, Some(EngineError::WorkerFailed));
             }
             let mut write = new_start;
             for slot in per_slot {
                 for enabled in slot {
+                    est_bytes += enabled.len() * edge_bytes;
                     graph.nodes[write].enabled = enabled;
                     write += 1;
                 }
@@ -262,32 +379,48 @@ fn drive(
         frontier = next_frontier;
     }
 
-    // Phase 4: completability (sequential linear pass), then pairwise
-    // accumulation fanned out by node range and merged by relation union.
-    let deadlock_reachable = propagate_completability(ctx, &mut graph);
+    (graph, None)
+}
+
+/// Phase 4 over a fully-built graph: completability (sequential linear
+/// pass), then pairwise accumulation fanned out by node range and merged
+/// by relation union. An accumulation thread that panics surfaces as
+/// [`EngineError::WorkerFailed`] — after every thread is joined.
+fn finalize_parallel(
+    ctx: &SearchCtx<'_>,
+    budget: &Budget,
+    graph: &mut StateGraph,
+    threads: usize,
+) -> Result<StateSpaceResult, EngineError> {
+    let deadlock_reachable = propagate_completability(ctx, graph, true);
     let (chb, overlap, completable_states) = if graph.nodes.len() < 4 * threads {
-        accumulate_range(ctx, &graph, 0, graph.nodes.len())
+        accumulate_range(ctx, graph, 0, graph.nodes.len())
     } else {
         let chunk = graph.nodes.len().div_ceil(threads);
-        let graph_ref = &graph;
+        let graph_ref = &*graph;
         let partials: Vec<_> = std::thread::scope(|s| {
             let handles: Vec<_> = (0..threads)
                 .map(|t| {
                     let lo = t * chunk;
                     let hi = ((t + 1) * chunk).min(graph_ref.nodes.len());
-                    s.spawn(move || accumulate_range(ctx, graph_ref, lo, hi))
+                    s.spawn(move || {
+                        budget.check_worker();
+                        accumulate_range(ctx, graph_ref, lo, hi)
+                    })
                 })
                 .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("worker panicked"))
-                .collect()
+            // Join every handle before reporting, so a panic in one chunk
+            // never leaves another thread running.
+            handles.into_iter().map(|h| h.join().ok()).collect()
         });
         let n = ctx.n_events();
         let mut chb = Relation::new(n);
         let mut overlap = Relation::new(n);
         let mut completable = 0;
-        for (c, o, k) in partials {
+        for p in partials {
+            let Some((c, o, k)) = p else {
+                return Err(EngineError::WorkerFailed);
+            };
             chb.union_with(&c);
             overlap.union_with(&o);
             completable += k;

@@ -32,7 +32,9 @@
 //! the lattice deep) and build their witness schedules front-to-back, so a
 //! witness costs O(length), not O(length²).
 
+use crate::budget::Budget;
 use crate::ctx::SearchCtx;
+use crate::engine::EngineError;
 use crate::statetable::{StateId, StateTable};
 use eo_model::{EventId, MachState, ProcessId};
 
@@ -67,13 +69,28 @@ pub struct QuerySession<'c, 'e> {
     /// its buffers, so stepping allocates only when a fresh state must be
     /// interned.
     scratch: MachState,
+    /// Supervisor budget, checked once per DFS step (an unlimited budget
+    /// makes every check one relaxed atomic load).
+    budget: Budget,
+    /// Approximate bytes each interned state costs (for the memory
+    /// budget): the state itself plus the parallel memo slots.
+    per_state: usize,
 }
 
 impl<'c, 'e> QuerySession<'c, 'e> {
-    /// Opens a session over `ctx` with the initial state interned.
+    /// Opens a session over `ctx` with the initial state interned and no
+    /// budget constraints.
     pub fn new(ctx: &'c SearchCtx<'e>) -> Self {
+        QuerySession::with_budget(ctx, Budget::unlimited())
+    }
+
+    /// Opens a session whose queries obey `budget`: the `try_*` query
+    /// variants check it once per DFS step and surface the first
+    /// exhausted resource as an [`EngineError`].
+    pub fn with_budget(ctx: &'c SearchCtx<'e>, budget: Budget) -> Self {
         let mut table = StateTable::new();
         let (root, _) = table.intern(ctx.initial_state());
+        let per_state = std::mem::size_of::<MachState>() + ctx.initial_state().heap_bytes() + 8;
         QuerySession {
             ctx,
             table,
@@ -84,7 +101,17 @@ impl<'c, 'e> QuerySession<'c, 'e> {
             pool: Vec::new(),
             tail: Vec::new(),
             scratch: ctx.initial_state(),
+            budget,
+            per_state,
         }
+    }
+
+    /// One budget checkpoint: the interned-state count doubles as both the
+    /// state-cap measure and the basis of the storage estimate.
+    #[inline]
+    fn checkpoint(&self) -> Result<(), EngineError> {
+        self.budget.check_states(self.table.len())?;
+        self.budget.check(self.table.len() * self.per_state)
     }
 
     /// The context this session searches.
@@ -144,19 +171,26 @@ impl<'c, 'e> QuerySession<'c, 'e> {
     }
 
     /// Appends to `out` a complete feasible schedule from `start` onward,
-    /// if one exists (returning whether it does; on failure `out` is left
-    /// as given). Every state fully explored without success is marked
-    /// dead — permanently, for all future queries.
-    fn complete_from(&mut self, start: StateId, out: &mut Vec<EventId>) -> bool {
+    /// if one exists (returning whether it does; on failure `out` may hold
+    /// a partial tail the caller must discard). Every state fully explored
+    /// without success is marked dead — permanently, for all future
+    /// queries. Errors at the first exhausted budget resource.
+    fn try_complete_from(
+        &mut self,
+        start: StateId,
+        out: &mut Vec<EventId>,
+    ) -> Result<bool, EngineError> {
         let ctx = self.ctx;
         if ctx.is_complete(self.table.get(start)) {
-            return true;
+            return Ok(true);
         }
         if self.dead[start.index()] {
-            return false;
+            return Ok(false);
         }
         let mut stack = vec![self.frame(start)];
-        while let Some(top) = stack.last_mut() {
+        loop {
+            self.checkpoint()?;
+            let Some(top) = stack.last_mut() else { break };
             if top.k >= top.enabled.len() {
                 let f = stack.pop().expect("non-empty");
                 self.dead[f.id.index()] = true;
@@ -175,7 +209,7 @@ impl<'c, 'e> QuerySession<'c, 'e> {
                 for f in stack.drain(..) {
                     self.pool.push(f.enabled);
                 }
-                return true;
+                return Ok(true);
             }
             if self.dead[cid.index()] {
                 continue;
@@ -186,14 +220,19 @@ impl<'c, 'e> QuerySession<'c, 'e> {
             // a state can never sit on the stack twice; any state reached
             // again was fully explored already and is covered by `dead`.
         }
-        false
+        Ok(false)
     }
 
     /// Searches for a complete feasible schedule in which `first` executes
-    /// strictly before `second`, returning it as a witness. `None` means
-    /// no feasible execution orders them that way — i.e. `second` MHB
-    /// `first` (when `first ≠ second`).
-    pub fn witness_before(&mut self, first: EventId, second: EventId) -> Option<Vec<EventId>> {
+    /// strictly before `second`, returning it as a witness. `Ok(None)`
+    /// means no feasible execution orders them that way — i.e. `second`
+    /// MHB `first` (when `first ≠ second`). Errors at the first exhausted
+    /// budget resource.
+    pub fn try_witness_before(
+        &mut self,
+        first: EventId,
+        second: EventId,
+    ) -> Result<Option<Vec<EventId>>, EngineError> {
         assert_ne!(first, second, "witness_before needs two distinct events");
         let ctx = self.ctx;
         let epoch = self.next_epoch();
@@ -203,7 +242,9 @@ impl<'c, 'e> QuerySession<'c, 'e> {
         self.stamp[self.root.index()] = epoch;
         let root = self.root;
         let mut stack = vec![self.frame(root)];
-        while let Some(top) = stack.last_mut() {
+        loop {
+            self.checkpoint()?;
+            let Some(top) = stack.last_mut() else { break };
             if top.k >= top.enabled.len() {
                 let f = stack.pop().expect("non-empty");
                 self.pool.push(f.enabled);
@@ -226,13 +267,14 @@ impl<'c, 'e> QuerySession<'c, 'e> {
             if first_done && !second_done {
                 // Any completion now places `first` before `second`.
                 prefix.push(e);
-                if self.complete_from(cid, &mut prefix) {
+                let depth = prefix.len();
+                if self.try_complete_from(cid, &mut prefix)? {
                     for f in stack.drain(..) {
                         self.pool.push(f.enabled);
                     }
-                    return Some(prefix);
+                    return Ok(Some(prefix));
                 }
-                prefix.pop();
+                prefix.truncate(depth - 1);
                 continue;
             }
             // Neither executed yet (both-done is unreachable: paths pass
@@ -244,27 +286,49 @@ impl<'c, 'e> QuerySession<'c, 'e> {
             prefix.push(e);
             stack.push(self.frame(cid));
         }
-        None
+        Ok(None)
+    }
+
+    /// Infallible [`QuerySession::try_witness_before`] for unbudgeted
+    /// sessions.
+    ///
+    /// # Panics
+    /// Panics if the session's budget is exhausted mid-query; sessions
+    /// opened with [`QuerySession::new`] never are.
+    pub fn witness_before(&mut self, first: EventId, second: EventId) -> Option<Vec<EventId>> {
+        self.try_witness_before(first, second)
+            .unwrap_or_else(|e| panic!("witness query exceeded its budget: {e}"))
     }
 
     /// Searches for a feasible execution in which `a` and `b` are
     /// simultaneously ready to execute (and running both keeps completion
     /// reachable). Returns the schedule prefix up to that state.
     ///
-    /// This decides the operational could-be-concurrent relation; `None`
-    /// means the pair is must-ordered in the operational sense.
-    pub fn witness_overlap(&mut self, a: EventId, b: EventId) -> Option<Vec<EventId>> {
+    /// This decides the operational could-be-concurrent relation;
+    /// `Ok(None)` means the pair is must-ordered in the operational sense.
+    /// Errors at the first exhausted budget resource.
+    pub fn try_witness_overlap(
+        &mut self,
+        a: EventId,
+        b: EventId,
+    ) -> Result<Option<Vec<EventId>>, EngineError> {
         assert_ne!(a, b, "witness_overlap needs two distinct events");
         let ctx = self.ctx;
         let epoch = self.next_epoch();
         let mut prefix: Vec<EventId> = Vec::new();
         self.stamp[self.root.index()] = epoch;
         let root = self.root;
-        if self.pair_overlaps_at(root, a, b) {
-            return Some(prefix);
+        // Checkpoint before the root shortcut so an already-exhausted
+        // budget (e.g. an external cancel) stops the query promptly even
+        // when the witness would be found at the initial state.
+        self.checkpoint()?;
+        if self.try_pair_overlaps_at(root, a, b)? {
+            return Ok(Some(prefix));
         }
         let mut stack = vec![self.frame(root)];
-        while let Some(top) = stack.last_mut() {
+        loop {
+            self.checkpoint()?;
+            let Some(top) = stack.last_mut() else { break };
             if top.k >= top.enabled.len() {
                 let f = stack.pop().expect("non-empty");
                 self.pool.push(f.enabled);
@@ -287,24 +351,48 @@ impl<'c, 'e> QuerySession<'c, 'e> {
             }
             self.stamp[cid.index()] = epoch;
             prefix.push(e);
-            if self.pair_overlaps_at(cid, a, b) {
+            if self.try_pair_overlaps_at(cid, a, b)? {
                 for f in stack.drain(..) {
                     self.pool.push(f.enabled);
                 }
-                return Some(prefix);
+                return Ok(Some(prefix));
             }
             stack.push(self.frame(cid));
         }
-        None
+        Ok(None)
+    }
+
+    /// Infallible [`QuerySession::try_witness_overlap`] for unbudgeted
+    /// sessions.
+    ///
+    /// # Panics
+    /// Panics if the session's budget is exhausted mid-query; sessions
+    /// opened with [`QuerySession::new`] never are.
+    pub fn witness_overlap(&mut self, a: EventId, b: EventId) -> Option<Vec<EventId>> {
+        self.try_witness_overlap(a, b)
+            .unwrap_or_else(|e| panic!("witness query exceeded its budget: {e}"))
     }
 
     /// Can `a` and `b` fire back-to-back (either order) from `id` and
     /// leave completion reachable?
-    fn pair_overlaps_at(&mut self, id: StateId, a: EventId, b: EventId) -> bool {
-        self.both_fire_completably(id, a, b) || self.both_fire_completably(id, b, a)
+    fn try_pair_overlaps_at(
+        &mut self,
+        id: StateId,
+        a: EventId,
+        b: EventId,
+    ) -> Result<bool, EngineError> {
+        Ok(
+            self.try_both_fire_completably(id, a, b)?
+                || self.try_both_fire_completably(id, b, a)?,
+        )
     }
 
-    fn both_fire_completably(&mut self, id: StateId, x: EventId, y: EventId) -> bool {
+    fn try_both_fire_completably(
+        &mut self,
+        id: StateId,
+        x: EventId,
+        y: EventId,
+    ) -> Result<bool, EngineError> {
         let mut enabled = self.pool.pop().unwrap_or_default();
         // Scope the split borrows: step x then y through the scratch
         // state, interning only the final both-fired state.
@@ -346,12 +434,32 @@ impl<'c, 'e> QuerySession<'c, 'e> {
             Some(cid) => {
                 let mut tail = std::mem::take(&mut self.tail);
                 tail.clear();
-                let ok = self.complete_from(cid, &mut tail);
+                let ok = self.try_complete_from(cid, &mut tail);
                 self.tail = tail;
                 ok
             }
-            None => false,
+            None => Ok(false),
         }
+    }
+
+    /// Decides `a MHB b` by witness search: true iff **no** feasible
+    /// schedule runs `b` before `a`. Errors at the first exhausted budget
+    /// resource.
+    pub fn try_must_happen_before(&mut self, a: EventId, b: EventId) -> Result<bool, EngineError> {
+        Ok(a != b && self.try_witness_before(b, a)?.is_none())
+    }
+
+    /// Decides `a CHB b` by witness search: true iff some feasible
+    /// schedule runs `a` before `b`. Errors at the first exhausted budget
+    /// resource.
+    pub fn try_could_happen_before(&mut self, a: EventId, b: EventId) -> Result<bool, EngineError> {
+        Ok(a != b && self.try_witness_before(a, b)?.is_some())
+    }
+
+    /// Decides operational `a CCW b` by witness search. Errors at the
+    /// first exhausted budget resource.
+    pub fn try_could_be_concurrent(&mut self, a: EventId, b: EventId) -> Result<bool, EngineError> {
+        Ok(a != b && self.try_witness_overlap(a, b)?.is_some())
     }
 
     /// Decides `a MHB b` by witness search: true iff **no** feasible

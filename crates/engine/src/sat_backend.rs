@@ -41,9 +41,11 @@
 //! cross-validation and for exhibiting the SAT⇄ordering equivalence, not
 //! for scale.
 
+use crate::budget::Budget;
 use crate::ctx::SearchCtx;
+use crate::engine::EngineError;
 use eo_model::{EventId, Op};
-use eo_sat::{Clause, Formula, Lit, Solver, Var};
+use eo_sat::{Clause, Formula, Lit, SolveOutcome, Solver, Var};
 
 /// The variable bookkeeping of one encoding.
 pub struct OrderEncoding {
@@ -265,6 +267,49 @@ pub fn chb_via_sat(ctx: &SearchCtx<'_>, first: EventId, second: EventId) -> Opti
 /// Decides `a MHB b` by SAT: no feasible schedule runs `b` before `a`.
 pub fn mhb_via_sat(ctx: &SearchCtx<'_>, a: EventId, b: EventId) -> bool {
     a != b && chb_via_sat(ctx, b, a).is_none()
+}
+
+/// [`chb_via_sat`] under a supervisor [`Budget`]: the budget is checked
+/// before the (cubic) encoding is built and at every DPLL node, so a
+/// deadline or cancellation interrupts even a pathological solve. Errors
+/// with the first exhausted resource.
+pub fn chb_via_sat_budgeted(
+    ctx: &SearchCtx<'_>,
+    first: EventId,
+    second: EventId,
+    budget: &Budget,
+) -> Result<Option<Vec<EventId>>, EngineError> {
+    assert_ne!(first, second);
+    budget.check(0)?;
+    let enc = OrderEncoding::build(ctx);
+    budget.check(0)?;
+    let query = Clause(vec![enc.before(first.index(), second.index())]);
+    let formula = enc.to_formula(vec![query]);
+    let mut solver = Solver::new(formula);
+    let mut stop_err: Option<EngineError> = None;
+    let outcome = solver.solve_with_stop(&mut |_| match budget.check(0) {
+        Ok(()) => false,
+        Err(e) => {
+            stop_err = Some(e);
+            true
+        }
+    });
+    match outcome {
+        SolveOutcome::Sat(model) => Ok(Some(enc.decode_schedule(&model))),
+        SolveOutcome::Unsat => Ok(None),
+        SolveOutcome::Interrupted => Err(stop_err.unwrap_or(EngineError::Cancelled)),
+    }
+}
+
+/// [`mhb_via_sat`] under a supervisor [`Budget`]; see
+/// [`chb_via_sat_budgeted`].
+pub fn mhb_via_sat_budgeted(
+    ctx: &SearchCtx<'_>,
+    a: EventId,
+    b: EventId,
+    budget: &Budget,
+) -> Result<bool, EngineError> {
+    Ok(a != b && chb_via_sat_budgeted(ctx, b, a, budget)?.is_none())
 }
 
 #[cfg(test)]

@@ -41,6 +41,7 @@
 //! implementation verbatim as the ablation baseline and differential-test
 //! oracle; results are asserted bit-identical.
 
+use crate::budget::Budget;
 use crate::ctx::SearchCtx;
 use crate::engine::EngineError;
 use crate::statetable::{StateId, StateTable};
@@ -138,6 +139,91 @@ pub fn explore_statespace(
     Ok(finalize(ctx, &mut graph))
 }
 
+/// Budgeted variant of [`explore_statespace`]: every [`Budget`] resource
+/// is honored at per-expansion granularity. All-or-nothing — for the
+/// partial graph a degraded analysis salvages, see
+/// [`build_graph_budgeted`].
+pub fn explore_statespace_budgeted(
+    ctx: &SearchCtx<'_>,
+    budget: &Budget,
+) -> Result<StateSpaceResult, EngineError> {
+    let b = build_graph_budgeted(ctx, budget);
+    match b.stopped {
+        Some(e) => Err(e),
+        None => {
+            let mut graph = b.graph;
+            Ok(finalize(ctx, &mut graph))
+        }
+    }
+}
+
+/// A possibly-truncated exploration: the graph built so far plus the
+/// budget error that stopped it (`None` = ran to completion).
+///
+/// The truncated graph is *consistent*: every node's `enabled` list is
+/// filled when the node is pushed, and `succs` is either complete or a
+/// prefix of `enabled`'s alignment (frontier nodes have no successors
+/// recorded yet). [`finalize_partial`] turns it into sound
+/// under-approximations.
+pub(crate) struct PartialExploration {
+    pub(crate) graph: StateGraph,
+    pub(crate) stopped: Option<EngineError>,
+}
+
+/// [`build_graph`] under a full [`Budget`]: checks the deadline / memory /
+/// cancel budget once per expanded node and the state cap per fresh
+/// state. On exhaustion the graph built so far is returned alongside the
+/// error instead of being discarded.
+pub(crate) fn build_graph_budgeted(ctx: &SearchCtx<'_>, budget: &Budget) -> PartialExploration {
+    let mut graph = StateGraph::seeded(ctx);
+    let mut scratch = ctx.initial_state();
+    // O(1) running storage estimate (`approx_bytes` is O(nodes), far too
+    // slow for a per-checkpoint call): arena payload per state plus the
+    // executed-row stride, node overhead, and per-edge bookkeeping.
+    let state_bytes = std::mem::size_of::<eo_model::MachState>()
+        + scratch.heap_bytes()
+        + ctx.n_events().div_ceil(64) * 8
+        + std::mem::size_of::<Node>();
+    let edge_bytes = std::mem::size_of::<u32>() + std::mem::size_of::<(ProcessId, EventId)>();
+    let mut est_bytes = state_bytes + graph.nodes[0].enabled.len() * edge_bytes;
+    let mut stopped = None;
+    let mut cursor = 0;
+    'expand: while cursor < graph.nodes.len() {
+        if let Err(e) = budget.check(est_bytes) {
+            stopped = Some(e);
+            break;
+        }
+        let parent_fp = graph.table.fingerprint(StateId::new(cursor));
+        for k in 0..graph.nodes[cursor].enabled.len() {
+            let (p, e) = graph.nodes[cursor].enabled[k];
+            scratch.clone_from(graph.table.get(StateId::new(cursor)));
+            let mut fp = parent_fp;
+            ctx.apply_keyed(&mut scratch, p, e, &mut fp);
+            let (id, fresh) = graph.table.intern_ref_keyed(&scratch, fp);
+            if fresh {
+                if let Err(err) = budget.check_states(graph.nodes.len() + 1) {
+                    stopped = Some(err);
+                    break 'expand;
+                }
+                debug_assert_eq!(id.index(), graph.nodes.len());
+                let enabled = ctx.co_enabled(graph.table.get(id));
+                est_bytes += state_bytes + enabled.len() * edge_bytes;
+                graph.nodes.push(Node {
+                    enabled,
+                    succs: Vec::new(),
+                    completable: false,
+                });
+                let row = graph.executed.push_row_copy(cursor);
+                debug_assert_eq!(row, id.index());
+                graph.executed.set(row, e.index());
+            }
+            graph.nodes[cursor].succs.push(id.index() as u32);
+        }
+        cursor += 1;
+    }
+    PartialExploration { graph, stopped }
+}
+
 /// Expands every reachable state exactly once into a [`StateGraph`].
 pub(crate) fn build_graph(
     ctx: &SearchCtx<'_>,
@@ -184,7 +270,33 @@ pub(crate) fn build_graph(
 /// already-built state graph. Shared by the sequential and parallel
 /// explorers (the parallel one runs [`accumulate_range`] on chunks).
 pub(crate) fn finalize(ctx: &SearchCtx<'_>, graph: &mut StateGraph) -> StateSpaceResult {
-    let deadlock_reachable = propagate_completability(ctx, graph);
+    let deadlock_reachable = propagate_completability(ctx, graph, true);
+    let (chb, overlap, completable_states) = accumulate_range(ctx, graph, 0, graph.nodes.len());
+    StateSpaceResult {
+        chb,
+        overlap,
+        states: graph.nodes.len(),
+        completable_states,
+        deadlock_reachable,
+        approx_heap_bytes: graph.approx_bytes(),
+    }
+}
+
+/// [`finalize`] over a budget-truncated graph. The result is a **sound
+/// under-approximation** of the full answer:
+///
+/// * a node is marked completable only when an explored complete state is
+///   reachable through *recorded* edges, so every `chb`/`overlap` bit set
+///   here is witnessed by a genuinely feasible complete execution and
+///   holds in the full result too;
+/// * missing states / missing edges can only *withhold* facts, never
+///   invent them (the alignment guard in [`pair_fires_completably`] keeps
+///   partially-expanded nodes out of the overlap walks);
+/// * `deadlock_reachable = true` is still definite — `enabled` lists are
+///   computed when nodes are pushed, so an incomplete empty-enabled node
+///   is a real deadlock — but `false` now means "not proved".
+pub(crate) fn finalize_partial(ctx: &SearchCtx<'_>, graph: &mut StateGraph) -> StateSpaceResult {
+    let deadlock_reachable = propagate_completability(ctx, graph, false);
     let (chb, overlap, completable_states) = accumulate_range(ctx, graph, 0, graph.nodes.len());
     StateSpaceResult {
         chb,
@@ -201,7 +313,15 @@ pub(crate) fn finalize(ctx: &SearchCtx<'_>, graph: &mut StateGraph) -> StateSpac
 ///
 /// The state DAG is layered by executed count, so processing nodes in
 /// decreasing layer order sees successors first.
-pub(crate) fn propagate_completability(ctx: &SearchCtx<'_>, graph: &mut StateGraph) -> bool {
+/// `complete_graph` says whether every reachable state was expanded; a
+/// truncated graph legitimately under-approximates completability (and
+/// may even fail to reach any complete state), so the root invariant is
+/// asserted only for full graphs.
+pub(crate) fn propagate_completability(
+    ctx: &SearchCtx<'_>,
+    graph: &mut StateGraph,
+    complete_graph: bool,
+) -> bool {
     let mut order: Vec<usize> = (0..graph.nodes.len()).collect();
     order.sort_unstable_by_key(|&i| {
         std::cmp::Reverse(graph.table.get(StateId::new(i)).executed_count())
@@ -222,7 +342,7 @@ pub(crate) fn propagate_completability(ctx: &SearchCtx<'_>, graph: &mut StateGra
         graph.nodes[i].completable = completable;
     }
     debug_assert!(
-        graph.nodes[0].completable,
+        !complete_graph || graph.nodes[0].completable,
         "the observed execution is itself feasible, so the initial state must be completable"
     );
     deadlock_reachable
@@ -290,7 +410,16 @@ pub(crate) fn accumulate_range(
 /// one more aligned indexing. No cloning, stepping, or hashing.
 #[inline]
 fn pair_fires_completably(nodes: &[Node], i: usize, first_idx: usize, second: ProcessId) -> bool {
+    // On a budget-truncated graph a node's successor list may be missing
+    // or shorter than its enabled list (frontier / interrupted nodes);
+    // such nodes witness nothing. Full graphs always pass both guards.
+    if nodes[i].succs.len() != nodes[i].enabled.len() {
+        return false;
+    }
     let mid = &nodes[nodes[i].succs[first_idx] as usize];
+    if mid.succs.len() != mid.enabled.len() {
+        return false;
+    }
     match mid.enabled.iter().position(|&(p, _)| p == second) {
         Some(k) => nodes[mid.succs[k] as usize].completable,
         None => false,

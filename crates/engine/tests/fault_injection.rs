@@ -1,0 +1,191 @@
+//! Deterministic fault-injection coverage for the supervisor.
+//!
+//! Every [`EngineError`] variant the budget can raise is reached here via
+//! a [`FaultPlan`] tripping at a chosen checkpoint, and every degraded
+//! answer produced under an injected fault is checked against the
+//! unbudgeted oracle. `Fault::WorkerPanic` exercises the worker pool's
+//! `catch_unwind` recovery: the exploration must come back with
+//! `EngineError::WorkerFailed` — returning at all proves every pool
+//! thread was joined.
+
+#![cfg(feature = "fault-injection")]
+
+use eo_engine::sat_backend::{chb_via_sat, chb_via_sat_budgeted};
+use eo_engine::{
+    explore_statespace_parallel_budgeted, AnalysisOutcome, Budget, EngineError, ExactEngine, Fault,
+    FaultPlan, FeasibilityMode, QuerySession, SearchCtx,
+};
+use eo_model::fixtures;
+
+fn faulty(at: u64, fault: Fault) -> Budget {
+    Budget::unlimited().with_fault(FaultPlan::trip_at(at, fault))
+}
+
+#[test]
+fn every_coordinator_fault_surfaces_as_its_error_variant() {
+    let (trace, _) = fixtures::figure1();
+    let exec = trace.to_execution().unwrap();
+    let cases = [
+        (Fault::Deadline, EngineError::DeadlineExceeded { ms: 0 }),
+        (Fault::Memory, EngineError::MemoryExceeded { limit: 0 }),
+        (Fault::Cancel, EngineError::Cancelled),
+    ];
+    for (fault, expected) in cases {
+        let engine = ExactEngine::new(&exec).with_budget(faulty(1, fault));
+        assert_eq!(
+            engine.try_summary().err(),
+            Some(expected.clone()),
+            "{fault:?}"
+        );
+        assert_eq!(engine.feasible_set().err(), Some(expected), "{fault:?}");
+    }
+}
+
+#[test]
+fn analyze_degrades_consistently_at_every_fault_point() {
+    let (trace, _) = fixtures::figure1();
+    let exec = trace.to_execution().unwrap();
+    let full = ExactEngine::new(&exec).summary();
+    for at in [1, 3, 10] {
+        for fault in [Fault::Deadline, Fault::Memory, Fault::Cancel] {
+            let engine = ExactEngine::new(&exec).with_budget(faulty(at, fault));
+            match engine.analyze() {
+                AnalysisOutcome::Exact(_) => {
+                    panic!("fault {fault:?}@{at} never tripped")
+                }
+                AnalysisOutcome::Degraded(d) => {
+                    let expected_kind = match fault {
+                        Fault::Deadline => {
+                            matches!(d.reason(), EngineError::DeadlineExceeded { .. })
+                        }
+                        Fault::Memory => matches!(d.reason(), EngineError::MemoryExceeded { .. }),
+                        Fault::Cancel => *d.reason() == EngineError::Cancelled,
+                        Fault::WorkerPanic => unreachable!(),
+                    };
+                    assert!(expected_kind, "{fault:?}@{at} gave {:?}", d.reason());
+                    if let Err(msg) = d.check_consistency_against(&full) {
+                        panic!("{fault:?}@{at}: degraded answer contradicts oracle: {msg}");
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn later_fault_points_decide_no_fewer_pairs() {
+    let (trace, _, _) = fixtures::crossing();
+    let exec = trace.to_execution().unwrap();
+    let mut prev = 0usize;
+    for at in [1, 4, 16] {
+        let engine = ExactEngine::new(&exec).with_budget(faulty(at, Fault::Deadline));
+        let AnalysisOutcome::Degraded(d) = engine.analyze() else {
+            // The whole analysis fit under `at` checkpoints; nothing more
+            // to compare.
+            return;
+        };
+        assert!(
+            d.decided_pairs() >= prev,
+            "more budget decided fewer pairs ({} < {prev}) at fault point {at}",
+            d.decided_pairs()
+        );
+        prev = d.decided_pairs();
+    }
+}
+
+#[test]
+fn worker_panic_is_recovered_and_all_threads_join() {
+    let (trace, _) = fixtures::figure1();
+    let exec = trace.to_execution().unwrap();
+    let ctx = SearchCtx::new(&exec, FeasibilityMode::PreserveDependences);
+    for threads in [1, 2, 4] {
+        let budget = faulty(1, Fault::WorkerPanic);
+        let got = explore_statespace_parallel_budgeted(&ctx, &budget, threads);
+        assert_eq!(
+            got.err(),
+            Some(EngineError::WorkerFailed),
+            "{threads} threads"
+        );
+    }
+}
+
+#[test]
+fn worker_panic_mid_run_degrades_the_analysis() {
+    let (trace, _) = fixtures::figure1();
+    let exec = trace.to_execution().unwrap();
+    let full = ExactEngine::new(&exec).summary();
+    // Checkpoint 5 lets a few expansion tasks finish before one panics.
+    for at in [1, 5] {
+        let engine = ExactEngine::new(&exec).with_budget(faulty(at, Fault::WorkerPanic));
+        match engine.analyze_with_threads(4) {
+            AnalysisOutcome::Exact(_) => panic!("worker panic @{at} never tripped"),
+            AnalysisOutcome::Degraded(d) => {
+                assert_eq!(*d.reason(), EngineError::WorkerFailed, "@{at}");
+                if let Err(msg) = d.check_consistency_against(&full) {
+                    panic!("worker panic @{at}: contradicts oracle: {msg}");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn witness_queries_report_injected_exhaustion() {
+    let (trace, ids) = fixtures::sem_handshake();
+    let exec = trace.to_execution().unwrap();
+    let ctx = SearchCtx::new(&exec, FeasibilityMode::PreserveDependences);
+    let (a, b) = (ids.v, ids.p);
+
+    let mut session = QuerySession::with_budget(&ctx, faulty(1, Fault::Deadline));
+    assert!(matches!(
+        session.try_witness_before(a, b),
+        Err(EngineError::DeadlineExceeded { .. })
+    ));
+
+    let mut session = QuerySession::with_budget(&ctx, faulty(1, Fault::Memory));
+    assert!(matches!(
+        session.try_witness_overlap(a, b),
+        Err(EngineError::MemoryExceeded { .. })
+    ));
+
+    let mut session = QuerySession::with_budget(&ctx, faulty(1, Fault::Cancel));
+    assert_eq!(
+        session.try_must_happen_before(a, b),
+        Err(EngineError::Cancelled)
+    );
+
+    // An untripped plan leaves answers identical to the unbudgeted path.
+    let mut faulted = QuerySession::with_budget(&ctx, faulty(1_000_000, Fault::Deadline));
+    let mut plain = QuerySession::new(&ctx);
+    assert_eq!(
+        faulted.try_could_happen_before(a, b).unwrap(),
+        plain.could_happen_before(a, b)
+    );
+}
+
+#[test]
+fn sat_backend_honours_injected_faults() {
+    let (trace, a, b) = fixtures::crossing();
+    let exec = trace.to_execution().unwrap();
+    let ctx = SearchCtx::new(&exec, FeasibilityMode::PreserveDependences);
+
+    // Fault before the encoding is even built.
+    assert!(matches!(
+        chb_via_sat_budgeted(&ctx, a, b, &faulty(1, Fault::Deadline)),
+        Err(EngineError::DeadlineExceeded { .. })
+    ));
+    // Fault deep inside the DPLL search (checkpoints 1–2 are the
+    // pre/post-encoding checks, so 3+ lands on solver nodes).
+    assert!(matches!(
+        chb_via_sat_budgeted(&ctx, a, b, &faulty(3, Fault::Cancel)),
+        Err(EngineError::Cancelled)
+    ));
+    // An untripped plan must not change the verdict.
+    let untripped = faulty(1_000_000_000, Fault::Memory);
+    assert_eq!(
+        chb_via_sat_budgeted(&ctx, a, b, &untripped)
+            .unwrap()
+            .is_some(),
+        chb_via_sat(&ctx, a, b).is_some()
+    );
+}

@@ -34,7 +34,7 @@
 
 use eo_approx::cs::{StaticOrderings, StmtId};
 use eo_approx::VectorClockHb;
-use eo_engine::{FeasibilityMode, QuerySession, SearchCtx};
+use eo_engine::{Budget, EngineError, FeasibilityMode, QuerySession, SearchCtx};
 use eo_model::{EventId, ProgramExecution};
 
 /// A (potential) data race: an unordered conflicting pair. Stored with
@@ -130,6 +130,82 @@ pub fn pruned_exact_races(
         }
     }
     out
+}
+
+/// What a budgeted exhaustive detection produced.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RacesOutcome {
+    /// The budget sufficed: the full answer, identical to
+    /// [`exact_races`].
+    Exact(Vec<Race>),
+    /// The budget ran out; the candidates are partitioned into what the
+    /// partial run could still prove.
+    Degraded(DegradedRaces),
+}
+
+/// The sound partition a budget-stopped detector reports: every
+/// `confirmed` race is real, every `refuted` pair is provably not a
+/// race, and `unknown` pairs got no verdict before the stop.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DegradedRaces {
+    /// Pairs with a concrete concurrency witness — real races.
+    pub confirmed: Vec<Race>,
+    /// Pairs proved ordered (exhaustive search or a sound polynomial
+    /// guarantee) — not races.
+    pub refuted: Vec<Race>,
+    /// Pairs the budget ran out on.
+    pub unknown: Vec<Race>,
+    /// The first exhausted resource.
+    pub reason: EngineError,
+}
+
+/// [`exact_races`] under a supervisor [`Budget`]. Candidates ordered by a
+/// sound polynomial guarantee (HMW safe orderings or the EGP task graph,
+/// both of which hold in every execution of the same events) are refuted
+/// without search; the rest get budgeted could-be-concurrent queries.
+/// When the budget runs out mid-way the remaining candidates are
+/// reported [`DegradedRaces::unknown`] instead of being guessed at.
+pub fn races_with_budget(exec: &ProgramExecution, budget: &Budget) -> RacesOutcome {
+    let ctx = SearchCtx::new(exec, FeasibilityMode::IgnoreDependences);
+    let safe = eo_approx::SafeOrderings::compute(exec);
+    let tasks = eo_approx::TaskGraph::build(exec);
+    let mut session = QuerySession::with_budget(&ctx, budget.clone());
+    let mut confirmed = Vec::new();
+    let mut refuted = Vec::new();
+    let mut unknown = Vec::new();
+    let mut reason: Option<EngineError> = None;
+    for r in conflicting_pairs(exec) {
+        let (a, b) = (r.first, r.second);
+        let guaranteed = safe.guaranteed_before(a, b)
+            || safe.guaranteed_before(b, a)
+            || tasks.guaranteed_before(a, b)
+            || tasks.guaranteed_before(b, a);
+        if guaranteed {
+            refuted.push(r);
+            continue;
+        }
+        if reason.is_some() {
+            unknown.push(r);
+            continue;
+        }
+        match session.try_could_be_concurrent(a, b) {
+            Ok(true) => confirmed.push(r),
+            Ok(false) => refuted.push(r),
+            Err(e) => {
+                reason = Some(e);
+                unknown.push(r);
+            }
+        }
+    }
+    match reason {
+        None => RacesOutcome::Exact(confirmed),
+        Some(reason) => RacesOutcome::Degraded(DegradedRaces {
+            confirmed,
+            refuted,
+            unknown,
+            reason,
+        }),
+    }
 }
 
 /// The vector-clock detector: conflicting pairs whose observed-pairing
@@ -418,6 +494,60 @@ mod tests {
             pruned.engine_queries < pruned.candidates,
             "at least one engine query is skipped"
         );
+    }
+
+    #[test]
+    fn budgeted_detector_is_exact_when_the_budget_suffices() {
+        use eo_lang::generator::{generate_trace, WorkloadSpec};
+        for seed in 0..5 {
+            let trace = generate_trace(&WorkloadSpec::small_semaphore(seed), 40);
+            let exec = trace.to_execution().unwrap();
+            match races_with_budget(&exec, &Budget::unlimited()) {
+                RacesOutcome::Exact(races) => {
+                    assert_eq!(races, exact_races(&exec), "seed {seed}")
+                }
+                RacesOutcome::Degraded(d) => {
+                    panic!("seed {seed}: unlimited budget degraded: {:?}", d.reason)
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn budget_stop_partitions_candidates_soundly() {
+        use eo_lang::generator::{generate_trace, WorkloadSpec};
+        for (name, trace) in [
+            ("figure1", fixtures::figure1().0),
+            ("shared_counter_race", fixtures::shared_counter_race().0),
+            (
+                "small_semaphore(1)",
+                generate_trace(&WorkloadSpec::small_semaphore(1), 40),
+            ),
+            (
+                "small_events(1)",
+                generate_trace(&WorkloadSpec::small_events(1), 40),
+            ),
+        ] {
+            let exec = trace.to_execution().unwrap();
+            let exact = exact_races(&exec);
+            let budget = Budget::unlimited();
+            budget.cancel_handle().cancel();
+            let RacesOutcome::Degraded(d) = races_with_budget(&exec, &budget) else {
+                panic!("{name}: a cancelled detection cannot be exact");
+            };
+            assert_eq!(d.reason, EngineError::Cancelled, "{name}");
+            assert_eq!(
+                d.confirmed.len() + d.refuted.len() + d.unknown.len(),
+                conflicting_pairs(&exec).len(),
+                "{name}: the partition covers every candidate"
+            );
+            for r in &d.confirmed {
+                assert!(exact.contains(r), "{name}: confirmed {r:?} is not real");
+            }
+            for r in &d.refuted {
+                assert!(!exact.contains(r), "{name}: refuted {r:?} is real");
+            }
+        }
     }
 
     #[test]

@@ -33,4 +33,4 @@ pub mod formula;
 pub mod solver;
 
 pub use formula::{Clause, Formula, Lit, Var};
-pub use solver::{brute_force_satisfiable, Solver};
+pub use solver::{brute_force_satisfiable, SolveOutcome, Solver};

@@ -20,6 +20,20 @@ pub struct Solver {
 /// Partial assignment: per-variable `Option<bool>`.
 type PartialAssignment = Vec<Option<bool>>;
 
+/// What an interruptible solve ended with ([`Solver::solve_with_stop`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SolveOutcome {
+    /// Satisfiable, with a model.
+    Sat(Vec<bool>),
+    /// Unsatisfiable.
+    Unsat,
+    /// The stop callback requested an abort before the answer was known.
+    Interrupted,
+}
+
+/// Private marker: the stop callback fired mid-search.
+struct Interrupted;
+
 impl Solver {
     /// Creates a solver for the given formula.
     pub fn new(formula: Formula) -> Self {
@@ -31,12 +45,27 @@ impl Solver {
 
     /// Decides satisfiability; returns a model if satisfiable.
     pub fn solve(&mut self) -> Option<Vec<bool>> {
+        match self.solve_with_stop(&mut |_| false) {
+            SolveOutcome::Sat(model) => Some(model),
+            SolveOutcome::Unsat => None,
+            SolveOutcome::Interrupted => unreachable!("the never-stop callback fired"),
+        }
+    }
+
+    /// Decides satisfiability with a cooperative stop check: `stop` is
+    /// called once per DPLL node with the running node count, and a `true`
+    /// return abandons the search at the next opportunity. Lets a
+    /// supervisor bound SAT-backend work without threading its types into
+    /// this crate.
+    pub fn solve_with_stop(&mut self, stop: &mut dyn FnMut(u64) -> bool) -> SolveOutcome {
         let mut assignment: PartialAssignment = vec![None; self.formula.n_vars];
-        if self.dpll(&mut assignment) {
+        match self.dpll(&mut assignment, stop) {
             // Unconstrained variables default to false.
-            Some(assignment.into_iter().map(|v| v.unwrap_or(false)).collect())
-        } else {
-            None
+            Ok(true) => {
+                SolveOutcome::Sat(assignment.into_iter().map(|v| v.unwrap_or(false)).collect())
+            }
+            Ok(false) => SolveOutcome::Unsat,
+            Err(Interrupted) => SolveOutcome::Interrupted,
         }
     }
 
@@ -45,8 +74,17 @@ impl Solver {
         Solver::new(formula.clone()).solve().is_some()
     }
 
-    fn dpll(&mut self, assignment: &mut PartialAssignment) -> bool {
+    fn dpll(
+        &mut self,
+        assignment: &mut PartialAssignment,
+        stop: &mut dyn FnMut(u64) -> bool,
+    ) -> Result<bool, Interrupted> {
         self.nodes_visited += 1;
+        // On interrupt the assignment is abandoned mid-backtrack; callers
+        // discard it, so no cleanup is needed on the error path.
+        if stop(self.nodes_visited) {
+            return Err(Interrupted);
+        }
 
         // Unit propagation to fixpoint; conflict ⇒ backtrack.
         let mut trail: Vec<Var> = Vec::new();
@@ -56,7 +94,7 @@ impl Solver {
                     for v in trail {
                         assignment[v.index()] = None;
                     }
-                    return false;
+                    return Ok(false);
                 }
                 UnitScan::Unit(lit) => {
                     assignment[lit.var.index()] = Some(lit.positive);
@@ -76,20 +114,20 @@ impl Solver {
             None => {
                 // All clauses satisfied (pick returns None only when no
                 // clause is undecided).
-                true
+                Ok(true)
             }
             Some(var) => {
                 for value in [true, false] {
                     assignment[var.index()] = Some(value);
-                    if self.dpll(assignment) {
-                        return true;
+                    if self.dpll(assignment, stop)? {
+                        return Ok(true);
                     }
                     assignment[var.index()] = None;
                 }
                 for v in trail {
                     assignment[v.index()] = None;
                 }
-                false
+                Ok(false)
             }
         }
     }
@@ -287,6 +325,21 @@ mod tests {
             let dpll = Solver::new(f.clone()).solve().is_some();
             let brute = brute_force_satisfiable(&f).is_some();
             assert_eq!(dpll, brute, "seed {seed}: {}", f.display());
+        }
+    }
+
+    #[test]
+    fn stop_callback_interrupts_the_search() {
+        let f = Formula::random_3cnf(8, 34, 3);
+        // Stop at the very first node: no answer can have been reached.
+        let mut s = Solver::new(f.clone());
+        assert_eq!(s.solve_with_stop(&mut |_| true), SolveOutcome::Interrupted);
+        // A never-firing stop reproduces the plain solve.
+        let plain = Solver::new(f.clone()).solve();
+        let mut s2 = Solver::new(f);
+        match (plain, s2.solve_with_stop(&mut |_| false)) {
+            (Some(_), SolveOutcome::Sat(_)) | (None, SolveOutcome::Unsat) => {}
+            (p, o) => panic!("solve {p:?} disagrees with solve_with_stop {o:?}"),
         }
     }
 

@@ -1,18 +1,29 @@
 //! `eo` — command-line front end to the event-ordering analyses.
 //!
 //! ```text
-//! eo analyze <trace.json> [--ignore-deps] [--matrix]   six relations of a trace
-//! eo races   <trace.json>                              exact vs clock race report
-//! eo sat     <n_vars> <n_clauses> <seed> [--events]    SAT via Theorem 1/2 (or 3/4)
-//! eo lint    <trace.json> [--json] [--deny <level>]    static synchronization lints
-//! eo lint    --theorem3 [n m seed] [--json]            lint the Theorem 3 program
-//! eo figure1                                           the paper's Figure 1 demo
+//! eo analyze <trace.json> [--ignore-deps] [--matrix] [--json]
+//!            [--timeout <ms>] [--max-mem <bytes>] [--max-states <n>]
+//!            [--no-degrade]                         six relations of a trace
+//! eo races   <trace.json>                           exact vs clock race report
+//! eo sat     <n_vars> <n_clauses> <seed> [--events] SAT via Theorem 1/2 (or 3/4)
+//! eo lint    <trace.json> [--json] [--deny <level>] static synchronization lints
+//! eo lint    --theorem3 [n m seed] [--json]         lint the Theorem 3 program
+//! eo figure1                                        the paper's Figure 1 demo
 //! ```
+//!
+//! `analyze` runs under a supervisor budget: `--timeout`, `--max-mem` and
+//! `--max-states` bound the exact passes, and when a bound is hit the
+//! command prints the sound degraded report instead of failing. Exit
+//! codes: **0** exact answer, **2** degraded answer, **3** budget
+//! exceeded with `--no-degrade`, **1** usage or input errors.
 //!
 //! `lint` exits nonzero when any finding reaches the `--deny` level
 //! (default `error`; `warning` and `info` tighten it).
 
-use eo_engine::{ExactEngine, FeasibilityMode};
+use eo_engine::{
+    AnalysisOutcome, Budget, DegradedSummary, EngineError, ExactEngine, Fact, FeasibilityMode,
+    OrderingSummary,
+};
 use eo_model::{render, EventId, ProgramExecution, Trace};
 use eo_sat::Formula;
 use std::process::ExitCode;
@@ -29,7 +40,8 @@ fn main() -> ExitCode {
         Some("figure1") => figure1(),
         _ => {
             eprintln!(
-                "usage:\n  eo analyze <trace.json> [--ignore-deps] [--matrix]\n  \
+                "usage:\n  eo analyze <trace.json> [--ignore-deps] [--matrix] [--json]\n      \
+                 [--timeout <ms>] [--max-mem <bytes>] [--max-states <n>] [--no-degrade]\n  \
                  eo races <trace.json>\n  eo sat <n_vars> <n_clauses> <seed> [--events]\n  \
                  eo lint <trace.json> [--json] [--deny error|warning|info]\n  \
                  eo lint --theorem3 [n m seed] [--json] [--deny <level>]\n  \
@@ -48,37 +60,41 @@ fn load(path: &str) -> Result<ProgramExecution, String> {
         .map_err(|e| format!("validating {path}: {e}"))
 }
 
-fn analyze(args: &[String]) -> ExitCode {
-    let Some(path) = args.first() else {
-        eprintln!("analyze: missing trace path");
-        return ExitCode::FAILURE;
-    };
-    let ignore = args.iter().any(|a| a == "--ignore-deps");
-    let matrix = args.iter().any(|a| a == "--matrix");
-    let exec = match load(path) {
-        Ok(e) => e,
-        Err(e) => {
-            eprintln!("{e}");
-            return ExitCode::FAILURE;
-        }
-    };
+/// Parses `--<name> <number>` anywhere in `args`.
+fn num_flag(args: &[String], name: &str) -> Result<Option<u64>, String> {
+    match args.iter().position(|a| a == name) {
+        None => Ok(None),
+        Some(i) => match args.get(i + 1).map(|s| s.parse::<u64>()) {
+            Some(Ok(v)) => Ok(Some(v)),
+            other => Err(format!("analyze: {name} takes a number, got {other:?}")),
+        },
+    }
+}
 
-    println!("trace ({} events):", exec.n_events());
-    print!("{}", render::render_trace(exec.trace()));
-
-    let mode = if ignore {
-        FeasibilityMode::IgnoreDependences
-    } else {
-        FeasibilityMode::PreserveDependences
-    };
-    let engine = ExactEngine::with_mode(&exec, mode);
-    let summary = match engine.try_summary() {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("analysis exceeded its budget: {e}");
-            return ExitCode::FAILURE;
+/// One engine error as a JSON object (stable `kind` strings for scripts).
+fn error_json(e: &EngineError) -> String {
+    match e {
+        EngineError::StateSpaceExceeded { limit } => {
+            format!(r#"{{"kind":"state_space_exceeded","limit":{limit}}}"#)
         }
-    };
+        EngineError::ScheduleBudgetExceeded { limit } => {
+            format!(r#"{{"kind":"schedule_budget_exceeded","limit":{limit}}}"#)
+        }
+        EngineError::DeadlineExceeded { ms } => {
+            format!(r#"{{"kind":"deadline_exceeded","ms":{ms}}}"#)
+        }
+        EngineError::MemoryExceeded { limit } => {
+            format!(r#"{{"kind":"memory_exceeded","limit":{limit}}}"#)
+        }
+        EngineError::Cancelled => r#"{"kind":"cancelled"}"#.to_string(),
+        EngineError::WorkerFailed => r#"{"kind":"worker_failed"}"#.to_string(),
+        // EngineError is non-exhaustive: future variants degrade to a
+        // generic kind instead of breaking the CLI.
+        other => format!(r#"{{"kind":"engine_error","message":"{other}"}}"#),
+    }
+}
+
+fn print_exact_report(exec: &ProgramExecution, mode: FeasibilityMode, summary: &OrderingSummary) {
     println!(
         "\nfeasibility: {:?}; |F(P)| = {}, cut-lattice states = {}",
         mode,
@@ -89,7 +105,7 @@ fn analyze(args: &[String]) -> ExitCode {
     println!("\nmust-have-happened-before (transitive reduction):");
     print!(
         "{}",
-        render::render_relation(&exec, &summary.mhb_relation(), true)
+        render::render_relation(exec, &summary.mhb_relation(), true)
     );
     println!("\ncould-be-concurrent pairs:");
     let ccw = summary.ccw_relation();
@@ -98,17 +114,194 @@ fn analyze(args: &[String]) -> ExitCode {
             if ccw.contains(a, b) {
                 println!(
                     "{} || {}",
-                    render::event_name(&exec, EventId::new(a)),
-                    render::event_name(&exec, EventId::new(b))
+                    render::event_name(exec, EventId::new(a)),
+                    render::event_name(exec, EventId::new(b))
                 );
             }
         }
     }
-    if matrix {
-        println!("\nMHB matrix:");
-        print!("{}", render::render_matrix(&summary.mhb_relation()));
+}
+
+fn print_degraded_report(exec: &ProgramExecution, d: &DegradedSummary) {
+    println!("\nDEGRADED ANALYSIS — budget exhausted: {}", d.reason());
+    println!(
+        "partial exact pass: {} states explored ({} completable, lattice {}), \
+         {} induced orders recorded",
+        d.states_explored(),
+        d.completable_states(),
+        if d.space_complete() {
+            "complete"
+        } else {
+            "truncated"
+        },
+        d.orders_found()
+    );
+    let (me, mb, mu) = d.mhb_counts();
+    let (ce, cb, cu) = d.chb_counts();
+    let (oe, ob, ou) = d.ccw_counts();
+    println!("facts decided (exact / bounded / unknown):");
+    println!("  MHB: {me} / {mb} / {mu}");
+    println!("  CHB: {ce} / {cb} / {cu}");
+    println!("  CCW: {oe} / {ob} / {ou}");
+    println!(
+        "decided {:.1}% of {} relation instances",
+        d.decided_fraction() * 100.0,
+        d.total_pairs()
+    );
+    let n = exec.n_events();
+    println!("\nproved must-have-happened-before pairs:");
+    for a in 0..n {
+        for b in 0..n {
+            let (ea, eb) = (EventId::new(a), EventId::new(b));
+            if d.mhb(ea, eb).decided() == Some(true) {
+                let tag = match d.mhb(ea, eb) {
+                    Fact::Bounded(_) => " (bounded)",
+                    _ => "",
+                };
+                println!(
+                    "{} -> {}{tag}",
+                    render::event_name(exec, ea),
+                    render::event_name(exec, eb)
+                );
+            }
+        }
     }
-    ExitCode::SUCCESS
+    println!("\nproved could-be-concurrent pairs:");
+    for a in 0..n {
+        for b in (a + 1)..n {
+            let (ea, eb) = (EventId::new(a), EventId::new(b));
+            if d.ccw(ea, eb).decided() == Some(true) {
+                println!(
+                    "{} || {}",
+                    render::event_name(exec, ea),
+                    render::event_name(exec, eb)
+                );
+            }
+        }
+    }
+}
+
+fn analyze(args: &[String]) -> ExitCode {
+    let Some(path) = args.first() else {
+        eprintln!("analyze: missing trace path");
+        return ExitCode::FAILURE;
+    };
+    let ignore = args.iter().any(|a| a == "--ignore-deps");
+    let matrix = args.iter().any(|a| a == "--matrix");
+    let json = args.iter().any(|a| a == "--json");
+    let no_degrade = args.iter().any(|a| a == "--no-degrade");
+    let (timeout, max_mem, max_states) = match (
+        num_flag(args, "--timeout"),
+        num_flag(args, "--max-mem"),
+        num_flag(args, "--max-states"),
+    ) {
+        (Ok(t), Ok(m), Ok(s)) => (t, m, s),
+        (t, m, s) => {
+            for r in [t, m, s] {
+                if let Err(e) = r {
+                    eprintln!("{e}");
+                }
+            }
+            return ExitCode::FAILURE;
+        }
+    };
+    let exec = match load(path) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if !json {
+        println!("trace ({} events):", exec.n_events());
+        print!("{}", render::render_trace(exec.trace()));
+    }
+
+    let mode = if ignore {
+        FeasibilityMode::IgnoreDependences
+    } else {
+        FeasibilityMode::PreserveDependences
+    };
+    let mut budget = Budget::unlimited();
+    if let Some(ms) = timeout {
+        budget = budget.with_deadline_ms(ms);
+    }
+    if let Some(bytes) = max_mem {
+        budget = budget.with_max_heap_bytes(bytes as usize);
+    }
+    if let Some(n) = max_states {
+        budget = budget.with_max_states(n as usize);
+    }
+    let engine = ExactEngine::with_mode(&exec, mode).with_budget(budget);
+
+    if no_degrade {
+        // Strict mode: an exhausted budget is a hard failure (exit 3).
+        return match engine.try_summary() {
+            Ok(summary) => {
+                if json {
+                    println!(
+                        r#"{{"status":"exact","classes":{},"states":{}}}"#,
+                        summary.class_count(),
+                        summary.state_count()
+                    );
+                } else {
+                    print_exact_report(&exec, mode, &summary);
+                    if matrix {
+                        println!("\nMHB matrix:");
+                        print!("{}", render::render_matrix(&summary.mhb_relation()));
+                    }
+                }
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                if json {
+                    println!(r#"{{"status":"error","error":{}}}"#, error_json(&e));
+                } else {
+                    eprintln!("analysis exceeded its budget: {e}");
+                }
+                ExitCode::from(3)
+            }
+        };
+    }
+
+    match engine.analyze() {
+        AnalysisOutcome::Exact(summary) => {
+            if json {
+                println!(
+                    r#"{{"status":"exact","classes":{},"states":{}}}"#,
+                    summary.class_count(),
+                    summary.state_count()
+                );
+            } else {
+                print_exact_report(&exec, mode, &summary);
+                if matrix {
+                    println!("\nMHB matrix:");
+                    print!("{}", render::render_matrix(&summary.mhb_relation()));
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        AnalysisOutcome::Degraded(d) => {
+            if json {
+                let (me, mb, mu) = d.mhb_counts();
+                let (ce, cb, cu) = d.chb_counts();
+                let (oe, ob, ou) = d.ccw_counts();
+                println!(
+                    r#"{{"status":"degraded","reason":{},"states_explored":{},"completable_states":{},"space_complete":{},"orders_found":{},"decided_fraction":{:.4},"mhb":{{"exact":{me},"bounded":{mb},"unknown":{mu}}},"chb":{{"exact":{ce},"bounded":{cb},"unknown":{cu}}},"ccw":{{"exact":{oe},"bounded":{ob},"unknown":{ou}}}}}"#,
+                    error_json(d.reason()),
+                    d.states_explored(),
+                    d.completable_states(),
+                    d.space_complete(),
+                    d.orders_found(),
+                    d.decided_fraction(),
+                );
+            } else {
+                print_degraded_report(&exec, &d);
+            }
+            ExitCode::from(2)
+        }
+    }
 }
 
 fn races(args: &[String]) -> ExitCode {
