@@ -1,5 +1,5 @@
 //! A Callahan–Subhlok-style static guaranteed-ordering analysis (paper
-//! Section 4, reference [1]).
+//! Section 4, reference \[1\]).
 //!
 //! Callahan and Subhlok analyze loop-free parallel programs *statically*:
 //! which statement instances are guaranteed to execute in a given order in

@@ -1,4 +1,4 @@
-//! The Emrath–Ghosh–Padua task graph (paper Section 4, reference [2]).
+//! The Emrath–Ghosh–Padua task graph (paper Section 4, reference \[2\]).
 //!
 //! EGP compute "guaranteed run-time orderings" for executions using
 //! fork/join and Post/Wait/Clear. Their graph contains:

@@ -1,5 +1,5 @@
 //! Helmbold–McDowell–Wang safe orderings for semaphore traces (paper
-//! Section 4, reference [5]).
+//! Section 4, reference \[5\]).
 //!
 //! HMW analyze traces of programs that synchronize with counting
 //! semaphores, where the V-to-P pairing is *anonymous*: the trace shows

@@ -4,7 +4,16 @@
 //! ```text
 //! cargo run --release -p eo-bench --bin report            # all experiments
 //! cargo run --release -p eo-bench --bin report -- e3 e7   # a subset
+//! cargo run --release -p eo-bench --features obs --bin report -- e14
+//! cargo run --release -p eo-bench --bin report -- check-regression \
+//!     [--baseline BENCH_engine.json]                      # the CI perf gate
 //! ```
+//!
+//! `check-regression` re-measures the fixed E12 workloads and fails
+//! (exit 1) if any workload's wall time regressed more than 25% relative
+//! to the committed baseline — compared as baseline/interned speedup
+//! ratios, so the verdict is machine-independent — or its peak bytes grew
+//! more than 15%.
 
 use eo_bench::table::render;
 use eo_bench::*;
@@ -16,8 +25,85 @@ fn ms(d: Duration) -> String {
     format!("{:.3}", d.as_secs_f64() * 1e3)
 }
 
+/// The perf-regression gate (CI's `perf-gate` job; also runnable locally).
+/// Exits the process: 0 when every workload passes, 1 otherwise.
+fn check_regression(args: &[String]) -> ! {
+    let baseline_path = match args.iter().position(|a| a == "--baseline") {
+        None => "BENCH_engine.json".to_string(),
+        Some(i) => match args.get(i + 1) {
+            Some(p) => p.clone(),
+            None => {
+                eprintln!("check-regression: --baseline takes a file path");
+                std::process::exit(1);
+            }
+        },
+    };
+    let baseline = match std::fs::read_to_string(&baseline_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("check-regression: reading {baseline_path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("== perf-regression gate: re-measuring E12 against {baseline_path} ==");
+    let current: Vec<_> = e12_workloads()
+        .iter()
+        .map(|(label, exec, mode)| e12_engine_point(label, exec, *mode))
+        .collect();
+    let checks = match check_regression_against(&baseline, &current) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("check-regression: {e}");
+            std::process::exit(1);
+        }
+    };
+    let mut rows = Vec::new();
+    let mut failed = false;
+    for c in &checks {
+        rows.push(vec![
+            c.workload.clone(),
+            format!("{:.2}x", c.committed_speedup),
+            format!("{:.2}x", c.current_speedup),
+            c.committed_peak_bytes.to_string(),
+            c.current_peak_bytes.to_string(),
+            if c.failures.is_empty() {
+                "ok".into()
+            } else {
+                "FAIL".into()
+            },
+        ]);
+        for f in &c.failures {
+            eprintln!("FAIL {}: {f}", c.workload);
+            failed = true;
+        }
+    }
+    println!(
+        "{}",
+        render(
+            &[
+                "workload",
+                "committed",
+                "measured",
+                "committed_B",
+                "measured_B",
+                "verdict"
+            ],
+            &rows
+        )
+    );
+    if failed {
+        eprintln!("perf-regression gate FAILED");
+        std::process::exit(1);
+    }
+    println!("perf-regression gate passed ({} workloads)", checks.len());
+    std::process::exit(0);
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("check-regression") {
+        check_regression(&args[1..]);
+    }
     let want = |name: &str| args.is_empty() || args.iter().any(|a| a == name);
 
     if want("e1") {
@@ -554,5 +640,72 @@ fn main() {
         );
         std::fs::write("BENCH_degradation.json", &json).expect("write BENCH_degradation.json");
         println!("wrote BENCH_degradation.json ({} workloads)\n", rows.len());
+    }
+
+    if want("e14") {
+        println!("== E14: observability overhead — interned explorer, recording off vs on ==");
+        println!("(results asserted bit-identical per row; best-of-7 timings)");
+        let results = e14_obs_overhead();
+        let armed = results.iter().any(|r| r.recording_armed);
+        if !armed {
+            println!("(binary built without the `obs` feature: both legs are identical code)");
+        }
+        let mut rows = Vec::new();
+        let mut json_rows = Vec::new();
+        let (mut total_off, mut total_on) = (0.0f64, 0.0f64);
+        for r in &results {
+            total_off += r.off_time.as_secs_f64();
+            total_on += r.on_time.as_secs_f64();
+            rows.push(vec![
+                r.label.clone(),
+                r.events.to_string(),
+                r.states.to_string(),
+                ms(r.off_time),
+                ms(r.on_time),
+                format!("{:+.2}%", r.overhead_pct()),
+            ]);
+            json_rows.push(format!(
+                concat!(
+                    "    {{\"workload\": \"{}\", \"events\": {}, \"states\": {}, ",
+                    "\"off_ms\": {:.3}, \"on_ms\": {:.3}, \"overhead_pct\": {:.2}}}"
+                ),
+                r.label,
+                r.events,
+                r.states,
+                r.off_time.as_secs_f64() * 1e3,
+                r.on_time.as_secs_f64() * 1e3,
+                r.overhead_pct(),
+            ));
+        }
+        println!(
+            "{}",
+            render(
+                &["workload", "|E|", "states", "off_ms", "on_ms", "overhead"],
+                &rows
+            )
+        );
+        let total_pct = (total_on / total_off - 1.0) * 100.0;
+        let json = format!(
+            "{{\n  \"experiment\": \"e14_obs_overhead\",\n  \"recording_armed\": {},\n  \
+             \"total_off_ms\": {:.3},\n  \"total_on_ms\": {:.3},\n  \
+             \"total_overhead_pct\": {:.2},\n  \"rows\": [\n{}\n  ]\n}}\n",
+            armed,
+            total_off * 1e3,
+            total_on * 1e3,
+            total_pct,
+            json_rows.join(",\n")
+        );
+        std::fs::write("BENCH_obs.json", &json).expect("write BENCH_obs.json");
+        println!(
+            "wrote BENCH_obs.json ({} workloads); aggregate overhead {total_pct:+.2}%",
+            results.len()
+        );
+        // The DESIGN.md §9 contract: ≤2% aggregate overhead with the
+        // feature on (and noise-level with it off). Aggregate, not
+        // per-row — sub-millisecond rows are pure jitter.
+        assert!(
+            total_pct <= 2.0,
+            "observability overhead {total_pct:.2}% exceeds the 2% budget"
+        );
     }
 }

@@ -950,6 +950,176 @@ pub fn e13_degradation() -> Vec<DegradationRow> {
         .collect()
 }
 
+// ---------------------------------------------------------------- E14 --
+
+/// E14 — observability overhead ablation: the same interned exploration
+/// timed with recording disarmed and armed. In a build without the `obs`
+/// feature both legs are byte-for-byte the same code (every probe is an
+/// empty `#[inline(always)]` call), so the row doubles as the "0% when
+/// disabled" evidence; with the feature on, the armed leg pays one
+/// relaxed atomic load per phase-granular probe and must stay within the
+/// ≤2% budget DESIGN.md §9 commits to.
+#[derive(Clone, Debug)]
+pub struct ObsOverheadRow {
+    /// Workload label.
+    pub label: String,
+    /// Events in the trace.
+    pub events: usize,
+    /// States in the cut lattice (asserted identical across legs).
+    pub states: usize,
+    /// Best-of-N wall time with recording disarmed.
+    pub off_time: Duration,
+    /// Best-of-N wall time with recording armed.
+    pub on_time: Duration,
+    /// Whether arming actually recorded (false in a build without the
+    /// `obs` feature, where `eo_obs::start` is a no-op).
+    pub recording_armed: bool,
+}
+
+impl ObsOverheadRow {
+    /// Armed-over-disarmed overhead in percent (negative = noise).
+    pub fn overhead_pct(&self) -> f64 {
+        (self.on_time.as_secs_f64() / self.off_time.as_secs_f64() - 1.0) * 100.0
+    }
+}
+
+/// Runs E14 over the fixed [`e12_workloads`] set. The armed leg's results
+/// are asserted bit-identical to the disarmed leg's — instrumentation
+/// must never change an answer.
+pub fn e14_obs_overhead() -> Vec<ObsOverheadRow> {
+    e12_workloads()
+        .iter()
+        .map(|(label, exec, mode)| {
+            let ctx = SearchCtx::new(exec, *mode);
+            let (off, off_time) =
+                timed_best(7, || explore_statespace(&ctx, 1 << 24).expect("budget"));
+            eo_obs::start();
+            let recording_armed = eo_obs::recording();
+            let (on, on_time) =
+                timed_best(7, || explore_statespace(&ctx, 1 << 24).expect("budget"));
+            let _ = eo_obs::finish();
+            assert_eq!(off.chb, on.chb, "{label}: recording must not change CHB");
+            assert_eq!(off.overlap, on.overlap, "{label}: overlap");
+            assert_eq!(off.states, on.states, "{label}: states");
+            ObsOverheadRow {
+                label: label.clone(),
+                events: exec.n_events(),
+                states: off.states,
+                off_time,
+                on_time,
+                recording_armed,
+            }
+        })
+        .collect()
+}
+
+// ------------------------------------------------- perf-regression gate --
+
+/// Wall-time regressions above this fraction fail the gate. The gate
+/// compares *speedup ratios* (baseline-explorer ms over interned ms, both
+/// measured in the same process), not absolute times, so a slower CI
+/// machine does not trip it — only a change that slows the interned hot
+/// path relative to the preserved baseline explorer does.
+pub const MAX_TIME_REGRESSION: f64 = 0.25;
+
+/// Peak state-storage growth above this fraction fails the gate. Bytes
+/// are deterministic per workload, so these compare absolutely.
+pub const MAX_BYTES_REGRESSION: f64 = 0.15;
+
+/// One workload's verdict from the perf-regression gate.
+#[derive(Clone, Debug)]
+pub struct RegressionCheck {
+    /// Workload label.
+    pub workload: String,
+    /// Speedup recorded in the committed baseline file.
+    pub committed_speedup: f64,
+    /// Speedup measured by this run.
+    pub current_speedup: f64,
+    /// Peak interned-explorer bytes recorded in the baseline file.
+    pub committed_peak_bytes: u64,
+    /// Peak interned-explorer bytes measured by this run.
+    pub current_peak_bytes: u64,
+    /// Human-readable failures; empty = the workload passed.
+    pub failures: Vec<String>,
+}
+
+/// Compares freshly measured E12 rows against a committed
+/// `BENCH_engine.json`, returning one verdict per baseline workload.
+/// Errors on unparseable baselines; a baseline workload the current run
+/// did not measure is itself a failure (the gate must not silently lose
+/// coverage).
+pub fn check_regression_against(
+    baseline_json: &str,
+    current: &[EngineBenchRow],
+) -> Result<Vec<RegressionCheck>, String> {
+    let parsed = eo_obs::json::parse(baseline_json)
+        .map_err(|e| format!("baseline JSON at byte {}: {}", e.offset, e.message))?;
+    let rows = parsed
+        .get("rows")
+        .and_then(|r| r.as_array())
+        .ok_or("baseline JSON has no \"rows\" array")?;
+    let mut out = Vec::new();
+    for row in rows {
+        let field = |name: &str| {
+            row.get(name)
+                .and_then(|v| v.as_f64())
+                .ok_or_else(|| format!("baseline row missing numeric \"{name}\""))
+        };
+        let workload = row
+            .get("workload")
+            .and_then(|v| v.as_str())
+            .ok_or("baseline row missing \"workload\"")?
+            .to_string();
+        let committed_speedup = field("speedup")?;
+        let committed_peak_bytes = field("interned_peak_bytes")? as u64;
+        let mut check = RegressionCheck {
+            workload: workload.clone(),
+            committed_speedup,
+            current_speedup: 0.0,
+            committed_peak_bytes,
+            current_peak_bytes: 0,
+            failures: Vec::new(),
+        };
+        match current.iter().find(|r| r.label == workload) {
+            None => check
+                .failures
+                .push("baseline workload was not re-measured".to_string()),
+            Some(r) => {
+                check.current_speedup = r.speedup();
+                check.current_peak_bytes = r.interned_bytes as u64;
+                // speedup = baseline_ms / interned_ms, so a wall-time
+                // regression of f in the interned explorer divides the
+                // speedup by (1 + f).
+                let floor = committed_speedup / (1.0 + MAX_TIME_REGRESSION);
+                if check.current_speedup < floor {
+                    check.failures.push(format!(
+                        "wall-time regression > {:.0}%: speedup {:.2}x (committed {:.2}x, floor {:.2}x)",
+                        MAX_TIME_REGRESSION * 100.0,
+                        check.current_speedup,
+                        committed_speedup,
+                        floor,
+                    ));
+                }
+                let bytes_cap = (committed_peak_bytes as f64 * (1.0 + MAX_BYTES_REGRESSION)) as u64;
+                if check.current_peak_bytes > bytes_cap {
+                    check.failures.push(format!(
+                        "peak bytes regression > {:.0}%: {} (committed {}, cap {})",
+                        MAX_BYTES_REGRESSION * 100.0,
+                        check.current_peak_bytes,
+                        committed_peak_bytes,
+                        bytes_cap,
+                    ));
+                }
+            }
+        }
+        out.push(check);
+    }
+    if out.is_empty() {
+        return Err("baseline has no workload rows".to_string());
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1082,5 +1252,76 @@ mod tests {
         assert!(p.pruned_schedules <= p.naive_schedules);
         let q = ablation_parallel("diamond", &exec);
         assert!(q.states > 0);
+    }
+
+    /// A fake measured row matching the synthetic baselines below.
+    fn measured_row(speedup: f64, peak_bytes: usize) -> EngineBenchRow {
+        EngineBenchRow {
+            label: "w".to_string(),
+            events: 10,
+            states: 100,
+            baseline_time: Duration::from_secs_f64(speedup / 1000.0),
+            interned_time: Duration::from_millis(1),
+            baseline_bytes: 2 * peak_bytes,
+            interned_bytes: peak_bytes,
+        }
+    }
+
+    fn baseline_json(speedup: f64, peak_bytes: u64) -> String {
+        format!(
+            "{{\"experiment\": \"e12\", \"rows\": [{{\"workload\": \"w\", \
+             \"speedup\": {speedup}, \"interned_peak_bytes\": {peak_bytes}}}]}}"
+        )
+    }
+
+    #[test]
+    fn regression_gate_passes_on_matching_numbers() {
+        let current = [measured_row(2.0, 1000)];
+        let checks = check_regression_against(&baseline_json(2.0, 1000), &current).unwrap();
+        assert_eq!(checks.len(), 1);
+        assert!(checks[0].failures.is_empty(), "{:?}", checks[0].failures);
+        // Noise inside the tolerance also passes.
+        let checks = check_regression_against(&baseline_json(2.2, 1000), &current).unwrap();
+        assert!(checks[0].failures.is_empty(), "{:?}", checks[0].failures);
+    }
+
+    #[test]
+    fn regression_gate_fails_on_synthetic_2x_slowdown() {
+        // Committed speedup 4.0x vs measured 2.0x = the interned explorer
+        // got 2x slower; far past the 25% tolerance.
+        let current = [measured_row(2.0, 1000)];
+        let checks = check_regression_against(&baseline_json(4.0, 1000), &current).unwrap();
+        assert_eq!(checks[0].failures.len(), 1);
+        assert!(checks[0].failures[0].contains("wall-time regression"));
+    }
+
+    #[test]
+    fn regression_gate_fails_on_peak_bytes_growth() {
+        let current = [measured_row(2.0, 1300)];
+        let checks = check_regression_against(&baseline_json(2.0, 1000), &current).unwrap();
+        assert_eq!(checks[0].failures.len(), 1);
+        assert!(checks[0].failures[0].contains("peak bytes"));
+    }
+
+    #[test]
+    fn regression_gate_flags_lost_coverage_and_bad_baselines() {
+        let checks = check_regression_against(&baseline_json(2.0, 1000), &[]).unwrap();
+        assert!(checks[0].failures[0].contains("not re-measured"));
+        assert!(check_regression_against("not json", &[]).is_err());
+        assert!(check_regression_against("{\"rows\": []}", &[]).is_err());
+    }
+
+    #[test]
+    fn e14_runs_on_a_small_subset() {
+        // Full e14 is a timing loop; here just prove one row's invariants
+        // hold (legs agree, overhead is finite) on the smallest workload.
+        let (label, exec, mode) = e12_workloads().swap_remove(3); // e9-pitfall-6
+        let ctx = SearchCtx::new(&exec, mode);
+        let off = explore_statespace(&ctx, 1 << 24).unwrap();
+        eo_obs::start();
+        let on = explore_statespace(&ctx, 1 << 24).unwrap();
+        let _ = eo_obs::finish();
+        assert_eq!(off.chb, on.chb, "{label}");
+        assert_eq!(off.states, on.states, "{label}");
     }
 }

@@ -20,9 +20,9 @@
 //! checkpoint counters (they are `Arc`ed), so the coordinator and its pool
 //! workers observe one budget, not per-thread copies.
 //!
-//! Under the `fault-injection` feature a [`FaultPlan`] can be attached to
+//! Under the `fault-injection` feature a `FaultPlan` can be attached to
 //! make the N-th checkpoint fail deterministically — see
-//! [`crate::faultpoint`].
+//! `crate::faultpoint`.
 
 use crate::engine::EngineError;
 #[cfg(feature = "fault-injection")]
@@ -201,8 +201,26 @@ impl Budget {
         Ok(())
     }
 
+    /// Milliseconds left until the deadline (`None` when no deadline is
+    /// set; 0 when it has already passed). Observability reads this as the
+    /// `budget.headroom_ms` gauge at the end of a run.
+    pub fn headroom_ms(&self) -> Option<u64> {
+        self.deadline
+            .map(|d| d.saturating_duration_since(Instant::now()).as_millis() as u64)
+    }
+
+    /// The configured state cap, if any.
+    pub fn max_states(&self) -> Option<usize> {
+        self.max_states
+    }
+
+    /// The configured heap-bytes cap, if any.
+    pub fn max_heap_bytes(&self) -> Option<usize> {
+        self.max_heap_bytes
+    }
+
     /// One pool-worker checkpoint. This is the only place a
-    /// [`Fault::WorkerPanic`] plan trips — as a real `panic!`, so the
+    /// `Fault::WorkerPanic` plan trips — as a real `panic!`, so the
     /// worker pool's `catch_unwind` recovery is what gets exercised.
     /// A no-op without the `fault-injection` feature (workers report
     /// resource exhaustion through the coordinator's [`Budget::check`]).

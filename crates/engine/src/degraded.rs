@@ -104,6 +104,7 @@ impl DegradedSummary {
     ) -> DegradedSummary {
         let n = ctx.n_events();
         let exec = ctx.exec();
+        eo_obs::gauge_str(eo_obs::report::DEGRADATION_CAUSE, reason.cause_label());
 
         // The guarantee relation G: sound MHB under-approximation.
         let mut g = eo_approx::SafeOrderings::compute(exec).relation().clone();

@@ -37,24 +37,24 @@ impl Default for Limits {
 #[non_exhaustive]
 pub enum EngineError {
     /// The cut lattice outgrew [`Limits::max_states`] (or the
-    /// [`Budget`](crate::Budget) state cap).
+    /// [`Budget`] state cap).
     StateSpaceExceeded {
         /// The configured bound.
         limit: usize,
     },
     /// The class enumeration outgrew [`Limits::max_schedules`] (or the
-    /// [`Budget`](crate::Budget) schedule cap).
+    /// [`Budget`] schedule cap).
     ScheduleBudgetExceeded {
         /// The configured bound.
         limit: usize,
     },
-    /// The wall-clock deadline of the [`Budget`](crate::Budget) passed.
+    /// The wall-clock deadline of the [`Budget`] passed.
     DeadlineExceeded {
         /// The configured deadline in milliseconds.
         ms: u64,
     },
     /// The analysis state storage outgrew the
-    /// [`Budget`](crate::Budget) heap-bytes cap.
+    /// [`Budget`] heap-bytes cap.
     MemoryExceeded {
         /// The configured bound in bytes.
         limit: usize,
@@ -93,6 +93,22 @@ impl std::fmt::Display for EngineError {
                     "a worker thread panicked; the parallel pass was abandoned"
                 )
             }
+        }
+    }
+}
+
+impl EngineError {
+    /// A short machine-readable label for the exhausted resource, used as
+    /// the `degradation.cause` metric and in CLI output (`"none"` is
+    /// reserved for runs that did not degrade).
+    pub fn cause_label(&self) -> &'static str {
+        match self {
+            EngineError::StateSpaceExceeded { .. } => "state-cap",
+            EngineError::ScheduleBudgetExceeded { .. } => "schedule-cap",
+            EngineError::DeadlineExceeded { .. } => "deadline",
+            EngineError::MemoryExceeded { .. } => "memory",
+            EngineError::Cancelled => "cancelled",
+            EngineError::WorkerFailed => "worker-failed",
         }
     }
 }
@@ -178,6 +194,7 @@ impl<'a> ExactEngine<'a> {
     /// budget (the first exhausted resource — state/schedule caps,
     /// deadline, memory, or cancellation when a [`Budget`] is attached).
     pub fn try_summary(&self) -> Result<OrderingSummary, EngineError> {
+        eo_obs::span!("engine.try_summary");
         if self.budget.is_none() {
             // Cap-only fast path: no checkpoint calls in the hot loops.
             let space = explore_statespace(&self.ctx, self.limits.max_states)?;
@@ -220,6 +237,7 @@ impl<'a> ExactEngine<'a> {
     /// [`EngineError::WorkerFailed`]) instead of aborting; the pool is
     /// always drained and joined.
     pub fn analyze_with_threads(&self, threads: usize) -> AnalysisOutcome {
+        eo_obs::span!("engine.analyze");
         let budget = self.effective_budget();
         let (mut graph, stopped) = if threads == 1 {
             let b = statespace::build_graph_budgeted(&self.ctx, &budget);
@@ -239,6 +257,27 @@ impl<'a> ExactEngine<'a> {
         // exhausted in the deadline/cancel cases, so the first checkpoint
         // stops it immediately; cap-based cases keep their own caps.
         let (classes, enum_stopped) = enumerate_classes_budgeted(&self.ctx, &budget);
+        // Headroom at completion: how much of each budgeted resource was
+        // left over (-1 = that resource was uncapped). Gated so the
+        // bookkeeping costs nothing outside a recording run.
+        if eo_obs::recording() {
+            eo_obs::gauge!(
+                "budget.headroom_ms",
+                budget.headroom_ms().map_or(-1, |ms| ms as i64)
+            );
+            eo_obs::gauge!(
+                "budget.headroom_states",
+                budget
+                    .max_states()
+                    .map_or(-1, |cap| cap.saturating_sub(space.states) as i64)
+            );
+            eo_obs::gauge!(
+                "budget.headroom_bytes",
+                budget
+                    .max_heap_bytes()
+                    .map_or(-1, |cap| cap.saturating_sub(space.approx_heap_bytes) as i64)
+            );
+        }
         match stopped.or(enum_stopped) {
             None => {
                 let summary = OrderingSummary::from_parts(&space, &classes);

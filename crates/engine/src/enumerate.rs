@@ -134,6 +134,7 @@ fn run(
     budget: Option<&Budget>,
 ) -> (EnumerationResult, Option<EngineError>) {
     let n = ctx.n_events();
+    eo_obs::span!("engine.enumerate");
     let mut en = Enumerator {
         ctx,
         max_schedules,
@@ -153,6 +154,10 @@ fn run(
     let st = ctx.initial_state();
     let sleep = BitSet::new(n);
     en.explore(&st, &sleep);
+    // Once per enumeration, never per DFS step: the ≤2% overhead budget
+    // rules out probes inside the search itself.
+    eo_obs::counter!("engine.schedules", en.schedules_explored as u64);
+    eo_obs::counter!("enum.orders", en.orders.len() as u64);
     (
         EnumerationResult {
             orders: en.orders,

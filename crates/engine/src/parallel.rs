@@ -35,7 +35,7 @@
 //!   ([`PoisonError::into_inner`] — the queue invariants are trivial, so a
 //!   mid-`push` panic elsewhere cannot corrupt them);
 //! * each task runs under [`catch_unwind`] *inside* the worker's pop
-//!   loop: a panicked task becomes a [`TaskResult::Failed`] and the
+//!   loop: a panicked task becomes a `TaskResult::Failed` and the
 //!   worker keeps draining the queue, so the coordinator always receives
 //!   one result per task — no thread dies, no slot is abandoned, no hang
 //!   even with a single worker;
@@ -57,6 +57,7 @@ use eo_model::{EventId, MachState, ProcessId};
 use eo_relations::Relation;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
 
 /// One state to expand: its node index, the state cloned out of the
@@ -97,6 +98,9 @@ enum TaskResult {
 struct Queue<T> {
     state: Mutex<(VecDeque<T>, bool)>,
     ready: Condvar,
+    /// Deepest backlog observed (only maintained while a recording run is
+    /// active; surfaced as `pool.max_queue_depth`).
+    max_depth: AtomicUsize,
 }
 
 impl<T> Queue<T> {
@@ -104,6 +108,7 @@ impl<T> Queue<T> {
         Queue {
             state: Mutex::new((VecDeque::new(), false)),
             ready: Condvar::new(),
+            max_depth: AtomicUsize::new(0),
         }
     }
 
@@ -119,6 +124,9 @@ impl<T> Queue<T> {
     fn push(&self, item: T) {
         let mut guard = self.lock();
         guard.0.push_back(item);
+        if eo_obs::recording() {
+            self.max_depth.fetch_max(guard.0.len(), Ordering::Relaxed);
+        }
         self.ready.notify_one();
     }
 
@@ -132,6 +140,9 @@ impl<T> Queue<T> {
             if guard.1 {
                 return None;
             }
+            // Each condvar wait is one park: a consumer found the queue
+            // empty and blocked.
+            eo_obs::counter!("pool.parks", 1);
             guard = self
                 .ready
                 .wait(guard)
@@ -164,7 +175,7 @@ pub fn explore_statespace_parallel(
 /// Parallel exploration under a full supervisor [`Budget`] (deadline,
 /// caps, memory, cancellation — checked once per BFS level — plus worker
 /// checkpoints for fault injection). All-or-nothing; degraded analyses
-/// use [`explore_parallel_partial`] to keep the truncated graph.
+/// use `explore_parallel_partial` to keep the truncated graph.
 pub fn explore_statespace_parallel_budgeted(
     ctx: &SearchCtx<'_>,
     budget: &Budget,
@@ -193,14 +204,21 @@ pub(crate) fn explore_parallel_partial(
         threads
     };
 
+    eo_obs::gauge!("pool.workers", threads as i64);
     let tasks: Queue<Task> = Queue::new();
     let results: Queue<TaskResult> = Queue::new();
 
-    std::thread::scope(|scope| {
+    let out = std::thread::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|| {
+                // The guard spans the worker's lifetime; the thread-local
+                // event buffer flushes when the scoped thread exits, which
+                // is always before the exploration returns.
+                let _worker_span = eo_obs::span("pool.worker");
+                let mut tasks_done: u64 = 0;
                 let mut enabled_buf: Vec<(ProcessId, EventId)> = Vec::new();
                 while let Some(task) = tasks.pop() {
+                    tasks_done += 1;
                     // Isolate each task: a panic (fault-injected or real)
                     // yields a `Failed` result and the worker lives on to
                     // drain the queue — the coordinator is always owed
@@ -232,13 +250,22 @@ pub(crate) fn explore_parallel_partial(
                     }));
                     results.push(outcome.unwrap_or(TaskResult::Failed));
                 }
+                eo_obs::counter!("pool.tasks", tasks_done);
             });
         }
 
         let out = drive(ctx, budget, threads, &tasks, &results);
         tasks.close(); // hang up so workers exit; the scope joins them
         out
-    })
+    });
+    out.0.emit_metrics();
+    if eo_obs::recording() {
+        eo_obs::gauge!(
+            "pool.max_queue_depth",
+            tasks.max_depth.load(Ordering::Relaxed) as i64
+        );
+    }
+    out
 }
 
 /// The coordinating thread: level-synchronous BFS with the heavy phases
@@ -251,6 +278,7 @@ fn drive(
     tasks: &Queue<Task>,
     results: &Queue<TaskResult>,
 ) -> (StateGraph, Option<EngineError>) {
+    eo_obs::span!("engine.build_graph");
     let mut graph = StateGraph::seeded(ctx);
 
     // O(1) running storage estimate for the memory budget (see the
@@ -271,6 +299,7 @@ fn drive(
 
         // Phase 1 (pool): successors of every frontier node. Task items
         // carry owned state clones so workers never borrow the arena.
+        let expand_span = eo_obs::span("par.expand");
         let chunk = frontier.len().div_ceil(threads).max(1);
         let mut slots = 0;
         for (slot, ids) in frontier.chunks(chunk).enumerate() {
@@ -303,8 +332,10 @@ fn drive(
         if failed > 0 {
             return (graph, Some(EngineError::WorkerFailed));
         }
+        expand_span.end();
 
         // Phase 2 (sequential): hash-cons successor states into the arena.
+        let intern_span = eo_obs::span("par.intern");
         let new_start = graph.nodes.len();
         let mut next_frontier: Vec<usize> = Vec::new();
         for batch in batches {
@@ -331,7 +362,10 @@ fn drive(
             }
         }
 
+        intern_span.end();
+
         // Phase 3 (pool): enabledness of the fresh nodes.
+        let enable_span = eo_obs::span("par.enable");
         let fresh = graph.nodes.len() - new_start;
         if fresh > 0 {
             let chunk = fresh.div_ceil(threads).max(1);
@@ -375,6 +409,7 @@ fn drive(
             }
             debug_assert_eq!(write, graph.nodes.len());
         }
+        enable_span.end();
 
         frontier = next_frontier;
     }
@@ -392,6 +427,7 @@ fn finalize_parallel(
     graph: &mut StateGraph,
     threads: usize,
 ) -> Result<StateSpaceResult, EngineError> {
+    eo_obs::span!("engine.finalize");
     let deadlock_reachable = propagate_completability(ctx, graph, true);
     let (chb, overlap, completable_states) = if graph.nodes.len() < 4 * threads {
         accumulate_range(ctx, graph, 0, graph.nodes.len())

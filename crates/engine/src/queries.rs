@@ -233,6 +233,23 @@ impl<'c, 'e> QuerySession<'c, 'e> {
         first: EventId,
         second: EventId,
     ) -> Result<Option<Vec<EventId>>, EngineError> {
+        // Per-query granularity: a counter event per query and the arena
+        // growth it caused — never per DFS step, which is far too hot.
+        eo_obs::counter!("query.witness_queries", 1);
+        let interned_before = self.table.len();
+        let result = self.witness_before_search(first, second);
+        eo_obs::counter!(
+            "query.states_interned",
+            (self.table.len() - interned_before) as u64
+        );
+        result
+    }
+
+    fn witness_before_search(
+        &mut self,
+        first: EventId,
+        second: EventId,
+    ) -> Result<Option<Vec<EventId>>, EngineError> {
         assert_ne!(first, second, "witness_before needs two distinct events");
         let ctx = self.ctx;
         let epoch = self.next_epoch();
@@ -308,6 +325,21 @@ impl<'c, 'e> QuerySession<'c, 'e> {
     /// `Ok(None)` means the pair is must-ordered in the operational sense.
     /// Errors at the first exhausted budget resource.
     pub fn try_witness_overlap(
+        &mut self,
+        a: EventId,
+        b: EventId,
+    ) -> Result<Option<Vec<EventId>>, EngineError> {
+        eo_obs::counter!("query.witness_queries", 1);
+        let interned_before = self.table.len();
+        let result = self.witness_overlap_search(a, b);
+        eo_obs::counter!(
+            "query.states_interned",
+            (self.table.len() - interned_before) as u64
+        );
+        result
+    }
+
+    fn witness_overlap_search(
         &mut self,
         a: EventId,
         b: EventId,

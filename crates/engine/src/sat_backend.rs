@@ -34,7 +34,7 @@
 //!
 //! The query `first CHB second` is one more unit clause. Satisfiable ⇔
 //! some feasible schedule runs `first` strictly before `second`; the model
-//! even decodes back into that schedule ([`decode_schedule`]).
+//! even decodes back into that schedule (`decode_schedule`).
 //!
 //! The encoding is cubic in |E| (the transitivity clauses), so this
 //! backend is for modest traces — which is fine: it exists for
@@ -60,6 +60,7 @@ impl OrderEncoding {
     /// Builds the feasibility encoding for `ctx`'s execution (without any
     /// query clause).
     pub fn build(ctx: &SearchCtx<'_>) -> OrderEncoding {
+        eo_obs::span!("sat.encode");
         let n = ctx.n_events();
         let trace = ctx.exec().trace();
 
@@ -202,6 +203,7 @@ impl OrderEncoding {
             }
         }
 
+        eo_obs::counter!("sat.clauses", enc.clauses.len() as u64);
         enc
     }
 
@@ -244,6 +246,14 @@ impl OrderEncoding {
     }
 }
 
+/// Surfaces the solver's work counters through the observability layer
+/// (`sat.dpll_nodes` / `sat.dpll_decisions` / `sat.dpll_backtracks`).
+fn emit_solver_metrics(solver: &Solver) {
+    eo_obs::counter!("sat.dpll_nodes", solver.nodes_visited);
+    eo_obs::counter!("sat.dpll_decisions", solver.decisions);
+    eo_obs::counter!("sat.dpll_backtracks", solver.backtracks);
+}
+
 #[inline]
 fn pair_index(n: usize, a: usize, b: usize) -> usize {
     debug_assert!(a < b && b < n);
@@ -259,9 +269,12 @@ pub fn chb_via_sat(ctx: &SearchCtx<'_>, first: EventId, second: EventId) -> Opti
     let enc = OrderEncoding::build(ctx);
     let query = Clause(vec![enc.before(first.index(), second.index())]);
     let formula = enc.to_formula(vec![query]);
-    Solver::new(formula)
-        .solve()
-        .map(|model| enc.decode_schedule(&model))
+    let mut solver = Solver::new(formula);
+    let solve_span = eo_obs::span("sat.solve");
+    let model = solver.solve();
+    solve_span.end();
+    emit_solver_metrics(&solver);
+    model.map(|model| enc.decode_schedule(&model))
 }
 
 /// Decides `a MHB b` by SAT: no feasible schedule runs `b` before `a`.
@@ -287,6 +300,7 @@ pub fn chb_via_sat_budgeted(
     let formula = enc.to_formula(vec![query]);
     let mut solver = Solver::new(formula);
     let mut stop_err: Option<EngineError> = None;
+    let solve_span = eo_obs::span("sat.solve");
     let outcome = solver.solve_with_stop(&mut |_| match budget.check(0) {
         Ok(()) => false,
         Err(e) => {
@@ -294,6 +308,8 @@ pub fn chb_via_sat_budgeted(
             true
         }
     });
+    solve_span.end();
+    emit_solver_metrics(&solver);
     match outcome {
         SolveOutcome::Sat(model) => Ok(Some(enc.decode_schedule(&model))),
         SolveOutcome::Unsat => Ok(None),

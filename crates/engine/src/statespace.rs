@@ -34,8 +34,8 @@
 //!   row plus exactly one bit, so the accumulation pass never queries the
 //!   machine per event;
 //! * the overlap check "fire `p1` then `p2`, land completable?" is two
-//!   successor-table indexings ([`Node::succs`] is aligned with
-//!   [`Node::enabled`]) instead of clone + 2×step + hash lookup.
+//!   successor-table indexings (`Node::succs` is aligned with
+//!   `Node::enabled`) instead of clone + 2×step + hash lookup.
 //!
 //! [`explore_statespace_baseline`] preserves the pre-interning
 //! implementation verbatim as the ablation baseline and differential-test
@@ -90,6 +90,24 @@ pub(crate) struct StateGraph {
 }
 
 impl StateGraph {
+    /// Emits the standard arena metrics for a finished (or truncated)
+    /// graph: states interned, fingerprint collisions, arena bytes, and
+    /// lattice depth. The O(states) depth scan only runs while a recording
+    /// is active, so uninstrumented runs never pay for it.
+    pub(crate) fn emit_metrics(&self) {
+        if !eo_obs::recording() {
+            return;
+        }
+        eo_obs::counter!("engine.states_interned", self.nodes.len() as u64);
+        eo_obs::counter!("engine.fp_collisions", self.table.collisions());
+        eo_obs::gauge!("engine.arena_bytes", self.approx_bytes() as i64);
+        let levels = (0..self.nodes.len())
+            .map(|i| self.table.get(StateId::new(i)).executed_count())
+            .max()
+            .map_or(0, |d| d + 1);
+        eo_obs::gauge!("engine.bfs_levels", levels as i64);
+    }
+
     /// A graph seeded with the initial state of `ctx`.
     pub(crate) fn seeded(ctx: &SearchCtx<'_>) -> Self {
         let init = ctx.initial_state();
@@ -142,7 +160,7 @@ pub fn explore_statespace(
 /// Budgeted variant of [`explore_statespace`]: every [`Budget`] resource
 /// is honored at per-expansion granularity. All-or-nothing — for the
 /// partial graph a degraded analysis salvages, see
-/// [`build_graph_budgeted`].
+/// `build_graph_budgeted`.
 pub fn explore_statespace_budgeted(
     ctx: &SearchCtx<'_>,
     budget: &Budget,
@@ -175,6 +193,7 @@ pub(crate) struct PartialExploration {
 /// state. On exhaustion the graph built so far is returned alongside the
 /// error instead of being discarded.
 pub(crate) fn build_graph_budgeted(ctx: &SearchCtx<'_>, budget: &Budget) -> PartialExploration {
+    eo_obs::span!("engine.build_graph");
     let mut graph = StateGraph::seeded(ctx);
     let mut scratch = ctx.initial_state();
     // O(1) running storage estimate (`approx_bytes` is O(nodes), far too
@@ -221,6 +240,7 @@ pub(crate) fn build_graph_budgeted(ctx: &SearchCtx<'_>, budget: &Budget) -> Part
         }
         cursor += 1;
     }
+    graph.emit_metrics();
     PartialExploration { graph, stopped }
 }
 
@@ -229,6 +249,7 @@ pub(crate) fn build_graph(
     ctx: &SearchCtx<'_>,
     max_states: usize,
 ) -> Result<StateGraph, EngineError> {
+    eo_obs::span!("engine.build_graph");
     let mut graph = StateGraph::seeded(ctx);
     // One scratch state walks every lattice edge: `clone_from` reuses its
     // buffers and `intern_ref` clones only on a fresh insert, so the
@@ -263,6 +284,7 @@ pub(crate) fn build_graph(
         }
         cursor += 1;
     }
+    graph.emit_metrics();
     Ok(graph)
 }
 
@@ -270,6 +292,7 @@ pub(crate) fn build_graph(
 /// already-built state graph. Shared by the sequential and parallel
 /// explorers (the parallel one runs [`accumulate_range`] on chunks).
 pub(crate) fn finalize(ctx: &SearchCtx<'_>, graph: &mut StateGraph) -> StateSpaceResult {
+    eo_obs::span!("engine.finalize");
     let deadlock_reachable = propagate_completability(ctx, graph, true);
     let (chb, overlap, completable_states) = accumulate_range(ctx, graph, 0, graph.nodes.len());
     StateSpaceResult {
@@ -296,6 +319,7 @@ pub(crate) fn finalize(ctx: &SearchCtx<'_>, graph: &mut StateGraph) -> StateSpac
 ///   computed when nodes are pushed, so an incomplete empty-enabled node
 ///   is a real deadlock — but `false` now means "not proved".
 pub(crate) fn finalize_partial(ctx: &SearchCtx<'_>, graph: &mut StateGraph) -> StateSpaceResult {
+    eo_obs::span!("engine.finalize");
     let deadlock_reachable = propagate_completability(ctx, graph, false);
     let (chb, overlap, completable_states) = accumulate_range(ctx, graph, 0, graph.nodes.len());
     StateSpaceResult {

@@ -55,6 +55,11 @@ pub struct StateTable {
     /// `chain[id]` = next arena id with `id`'s fingerprint, or
     /// [`NO_ID`] — the overflow list for fingerprint collisions.
     chain: Vec<u32>,
+    /// How many interned states landed on an already-occupied fingerprint
+    /// (i.e. chain appends). Expected ~0; a sustained non-zero rate would
+    /// mean the Zobrist key fingerprint is misbehaving, so the
+    /// observability layer surfaces it as `engine.fp_collisions`.
+    collisions: u64,
 }
 
 /// Sentinel terminating a fingerprint collision chain.
@@ -68,7 +73,15 @@ impl StateTable {
             fingerprints: Vec::new(),
             buckets: FxHashMap::default(),
             chain: Vec::new(),
+            collisions: 0,
         }
+    }
+
+    /// Number of fingerprint collisions observed while interning (states
+    /// appended to a non-empty bucket chain).
+    #[inline]
+    pub fn collisions(&self) -> u64 {
+        self.collisions
     }
 
     /// Number of distinct states interned.
@@ -157,7 +170,10 @@ impl StateTable {
             Probe::NewBucket => {
                 self.buckets.insert(fp, id);
             }
-            Probe::AppendAfter(tail) => self.chain[tail as usize] = id,
+            Probe::AppendAfter(tail) => {
+                self.chain[tail as usize] = id;
+                self.collisions += 1;
+            }
             Probe::Hit(_) => unreachable!("insert after a probe hit"),
         }
         StateId(id)

@@ -1,0 +1,127 @@
+//! Differential suite: recording must never change an answer.
+//!
+//! Every fixture is analyzed twice — once with the recorder disarmed and
+//! once inside a `start()`/`finish()` window — and the results must be
+//! bit-identical. In a build without `eo-obs/enabled` both legs are the
+//! same code (arming is a no-op), so the suite passing there pins the
+//! complementary claim: the disabled build behaves as if the probes were
+//! never written.
+
+use eo_engine::{AnalysisOutcome, ExactEngine, FeasibilityMode};
+use eo_model::{fixtures, EventId, Trace};
+use std::sync::Mutex;
+
+/// The recorder is process-global; tests that arm it must not overlap.
+static RECORDER_LOCK: Mutex<()> = Mutex::new(());
+
+fn gallery() -> Vec<(&'static str, Trace)> {
+    vec![
+        ("independent_pair", fixtures::independent_pair().0),
+        ("sem_handshake", fixtures::sem_handshake().0),
+        ("fork_join_diamond", fixtures::fork_join_diamond().0),
+        ("figure1", fixtures::figure1().0),
+        ("post_wait_clear_chain", fixtures::post_wait_clear_chain().0),
+        ("shared_counter_race", fixtures::shared_counter_race().0),
+        ("crossing", fixtures::crossing().0),
+    ]
+}
+
+/// The full pairwise answer set of one analysis, in comparable form.
+fn answers(trace: &Trace, mode: FeasibilityMode) -> Vec<(usize, usize, bool, bool, bool)> {
+    let exec = trace.to_execution().expect("fixtures are valid");
+    let engine = ExactEngine::with_mode(&exec, mode);
+    let summary = match engine.analyze() {
+        AnalysisOutcome::Exact(s) => s,
+        AnalysisOutcome::Degraded(d) => {
+            panic!(
+                "fixtures fit the default limits, got degraded: {}",
+                d.reason()
+            )
+        }
+    };
+    let n = exec.n_events();
+    let mut out = Vec::with_capacity(n * n);
+    for a in 0..n {
+        for b in 0..n {
+            let (ea, eb) = (EventId::new(a), EventId::new(b));
+            out.push((
+                a,
+                b,
+                summary.mhb(ea, eb),
+                summary.chb(ea, eb),
+                summary.ccw(ea, eb),
+            ));
+        }
+    }
+    out
+}
+
+#[test]
+fn recording_is_invisible_to_every_fixture_answer() {
+    let _serial = RECORDER_LOCK.lock().unwrap();
+    for mode in [
+        FeasibilityMode::PreserveDependences,
+        FeasibilityMode::IgnoreDependences,
+    ] {
+        for (label, trace) in gallery() {
+            let plain = answers(&trace, mode);
+            eo_obs::start();
+            let recorded = answers(&trace, mode);
+            let run = eo_obs::finish();
+            assert_eq!(
+                plain, recorded,
+                "{label} ({mode:?}): recording changed an answer"
+            );
+            // With the feature on the run must actually have captured the
+            // engine's spans; with it off, RunData is structurally empty.
+            let total_events: usize = run.threads.iter().map(|t| t.events.len()).sum();
+            if eo_obs::recording() {
+                unreachable!("finish() must disarm recording");
+            }
+            let report = eo_obs::report::aggregate(&run);
+            if total_events > 0 {
+                assert!(
+                    report.spans.iter().any(|s| s.name == "engine.analyze"),
+                    "{label}: armed run missing the engine.analyze span"
+                );
+                let metrics = report.metrics_with_defaults();
+                assert!(
+                    metrics.contains_key("engine.states_interned"),
+                    "{label}: registry key missing"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn parallel_analysis_is_also_unchanged_by_recording() {
+    let _serial = RECORDER_LOCK.lock().unwrap();
+    let (trace, _) = fixtures::figure1();
+    let plain = {
+        let exec = trace.to_execution().unwrap();
+        match ExactEngine::new(&exec).analyze_with_threads(3) {
+            AnalysisOutcome::Exact(s) => s.state_count(),
+            AnalysisOutcome::Degraded(d) => panic!("degraded: {}", d.reason()),
+        }
+    };
+    eo_obs::start();
+    let recorded = {
+        let exec = trace.to_execution().unwrap();
+        match ExactEngine::new(&exec).analyze_with_threads(3) {
+            AnalysisOutcome::Exact(s) => s.state_count(),
+            AnalysisOutcome::Degraded(d) => panic!("degraded: {}", d.reason()),
+        }
+    };
+    let run = eo_obs::finish();
+    assert_eq!(plain, recorded);
+    // Scoped pool workers flush their buffers before results return, so an
+    // armed run sees the worker gauge.
+    let report = eo_obs::report::aggregate(&run);
+    if !run.threads.is_empty() {
+        assert!(
+            report.gauges.contains_key("pool.workers"),
+            "armed parallel run missing pool.workers"
+        );
+    }
+}

@@ -1,0 +1,45 @@
+//! The `span!` / `counter!` / `gauge!` convenience macros.
+//!
+//! These expand to plain calls into [`crate`]'s always-present API, so they
+//! are valid in downstream crates regardless of whether the `enabled`
+//! feature is on — the feature decision lives entirely inside `eo-obs`,
+//! never in the invoking crate's `cfg` context.
+
+/// Opens a span covering the rest of the enclosing scope.
+///
+/// ```
+/// fn work() {
+///     eo_obs::span!("engine.example");
+///     // ... the span closes when `work` returns ...
+/// }
+/// ```
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        let _eo_obs_span_guard = $crate::span($name);
+    };
+}
+
+/// Adds a `u64` delta to a named counter.
+///
+/// ```
+/// eo_obs::counter!("engine.states_interned", 42u64);
+/// ```
+#[macro_export]
+macro_rules! counter {
+    ($name:expr, $delta:expr) => {
+        $crate::counter($name, $delta)
+    };
+}
+
+/// Records a named integer gauge (last write wins).
+///
+/// ```
+/// eo_obs::gauge!("pool.workers", 8i64);
+/// ```
+#[macro_export]
+macro_rules! gauge {
+    ($name:expr, $value:expr) => {
+        $crate::gauge($name, $value)
+    };
+}

@@ -41,7 +41,7 @@
 //! * **Theorem 2**: `b CHB a` ⇔ B is satisfiable (a satisfying guess lets
 //!   every clause signal during the first pass, freeing `b` before `a`) —
 //!   and the engine's witness schedule *is* a satisfying assignment,
-//!   which [`extract_assignment`] reads back off.
+//!   which [`SemaphoreReduction::extract_assignment`] reads back off.
 
 use crate::ReductionCheck;
 use eo_lang::{run_to_trace, Program, ProgramBuilder, Scheduler};
@@ -192,7 +192,7 @@ impl SemaphoreReduction {
 
     /// Reads a truth assignment off a witness schedule: variable `i` is
     /// true iff some first-pass `V(X_i)` executes before `a` in the
-    /// witness. On witnesses produced by [`witness_b_before_a`] for a
+    /// witness. On witnesses produced by [`Self::witness_b_before_a`] for a
     /// satisfiable formula, the result satisfies the formula (tests assert
     /// this — the NP-witness round trip).
     pub fn extract_assignment(&self, witness: &[EventId]) -> Vec<bool> {

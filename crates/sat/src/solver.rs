@@ -15,6 +15,11 @@ pub struct Solver {
     /// Branching decisions + propagations explored (a work measure for the
     /// benches).
     pub nodes_visited: u64,
+    /// Branch points: nodes where a variable was chosen and assigned (unit
+    /// propagation and pure literals excluded).
+    pub decisions: u64,
+    /// Times a tried branch value was undone after its subtree failed.
+    pub backtracks: u64,
 }
 
 /// Partial assignment: per-variable `Option<bool>`.
@@ -40,6 +45,8 @@ impl Solver {
         Solver {
             formula,
             nodes_visited: 0,
+            decisions: 0,
+            backtracks: 0,
         }
     }
 
@@ -117,11 +124,13 @@ impl Solver {
                 Ok(true)
             }
             Some(var) => {
+                self.decisions += 1;
                 for value in [true, false] {
                     assignment[var.index()] = Some(value);
                     if self.dpll(assignment, stop)? {
                         return Ok(true);
                     }
+                    self.backtracks += 1;
                     assignment[var.index()] = None;
                 }
                 for v in trail {
@@ -349,5 +358,17 @@ mod tests {
         let mut s = Solver::new(f);
         s.solve();
         assert!(s.nodes_visited > 0);
+        // Decisions only happen at branch nodes, so they are bounded by the
+        // node count; each backtrack undoes one tried decision value.
+        assert!(s.decisions <= s.nodes_visited);
+        assert!(s.backtracks <= 2 * s.decisions);
+    }
+
+    #[test]
+    fn unsat_search_counts_backtracks() {
+        let mut s = Solver::new(Formula::unsat_eight());
+        assert!(s.solve().is_none());
+        assert!(s.decisions > 0, "UNSAT proof must branch");
+        assert!(s.backtracks > 0, "UNSAT proof must backtrack");
     }
 }

@@ -3,7 +3,8 @@
 //! ```text
 //! eo analyze <trace.json> [--ignore-deps] [--matrix] [--json]
 //!            [--timeout <ms>] [--max-mem <bytes>] [--max-states <n>]
-//!            [--no-degrade]                         six relations of a trace
+//!            [--no-degrade] [--trace-out <f>] [--metrics-out <f>]
+//!            [--profile]                            six relations of a trace
 //! eo races   <trace.json>                           exact vs clock race report
 //! eo sat     <n_vars> <n_clauses> <seed> [--events] SAT via Theorem 1/2 (or 3/4)
 //! eo lint    <trace.json> [--json] [--deny <level>] static synchronization lints
@@ -16,6 +17,12 @@
 //! command prints the sound degraded report instead of failing. Exit
 //! codes: **0** exact answer, **2** degraded answer, **3** budget
 //! exceeded with `--no-degrade`, **1** usage or input errors.
+//!
+//! `--trace-out` writes a Chrome-trace JSON of the engine's spans,
+//! `--metrics-out` a flat metrics JSON, and `--profile` prints the top
+//! spans by self-time. All three flush on every analysis exit path —
+//! exact (0), degraded (2), and `--no-degrade` hard failure (3) — and
+//! need a binary built with the `obs` feature to record anything.
 //!
 //! `lint` exits nonzero when any finding reaches the `--deny` level
 //! (default `error`; `warning` and `info` tighten it).
@@ -41,7 +48,8 @@ fn main() -> ExitCode {
         _ => {
             eprintln!(
                 "usage:\n  eo analyze <trace.json> [--ignore-deps] [--matrix] [--json]\n      \
-                 [--timeout <ms>] [--max-mem <bytes>] [--max-states <n>] [--no-degrade]\n  \
+                 [--timeout <ms>] [--max-mem <bytes>] [--max-states <n>] [--no-degrade]\n      \
+                 [--trace-out <file>] [--metrics-out <file>] [--profile]\n  \
                  eo races <trace.json>\n  eo sat <n_vars> <n_clauses> <seed> [--events]\n  \
                  eo lint <trace.json> [--json] [--deny error|warning|info]\n  \
                  eo lint --theorem3 [n m seed] [--json] [--deny <level>]\n  \
@@ -68,6 +76,75 @@ fn num_flag(args: &[String], name: &str) -> Result<Option<u64>, String> {
             Some(Ok(v)) => Ok(Some(v)),
             other => Err(format!("analyze: {name} takes a number, got {other:?}")),
         },
+    }
+}
+
+/// Parses `--<name> <value>` anywhere in `args`.
+fn str_flag(args: &[String], name: &str) -> Result<Option<String>, String> {
+    match args.iter().position(|a| a == name) {
+        None => Ok(None),
+        Some(i) => match args.get(i + 1) {
+            Some(v) if !v.starts_with("--") => Ok(Some(v.clone())),
+            _ => Err(format!("analyze: {name} takes a file path")),
+        },
+    }
+}
+
+/// The observability outputs one `eo analyze` run was asked for.
+///
+/// [`flush`](ObsOut::flush) runs on *every* analysis exit path — exact,
+/// degraded, and `--no-degrade` hard failure — so a budget-exhausted run
+/// still leaves its trace and metrics behind for post-mortems.
+struct ObsOut {
+    trace_out: Option<String>,
+    metrics_out: Option<String>,
+    profile: bool,
+}
+
+impl ObsOut {
+    fn wanted(&self) -> bool {
+        self.trace_out.is_some() || self.metrics_out.is_some() || self.profile
+    }
+
+    /// Arms recording (and warns when the binary can't record at all).
+    fn begin(&self) {
+        if !self.wanted() {
+            return;
+        }
+        eo_obs::start();
+        if !eo_obs::recording() {
+            eprintln!(
+                "warning: this eo binary was built without the `obs` feature; \
+                 --trace-out/--metrics-out/--profile will report empty data \
+                 (rebuild with `cargo build --features obs`)"
+            );
+        }
+    }
+
+    /// Stops recording and writes every requested output. I/O errors are
+    /// reported but do not change the analysis exit code: telemetry must
+    /// never mask the answer.
+    fn flush(&self) {
+        if !self.wanted() {
+            return;
+        }
+        let run = eo_obs::finish();
+        let report = eo_obs::report::aggregate(&run);
+        if let Some(path) = &self.metrics_out {
+            let text = eo_obs::report::metrics_to_json(&report.metrics_with_defaults());
+            if let Err(e) = std::fs::write(path, text) {
+                eprintln!("warning: writing {path}: {e}");
+            }
+        }
+        if let Some(path) = &self.trace_out {
+            let text = eo_obs::report::trace_to_json(&report);
+            if let Err(e) = std::fs::write(path, text) {
+                eprintln!("warning: writing {path}: {e}");
+            }
+        }
+        if self.profile {
+            eprint!("{}", eo_obs::report::render_profile(&report, 10));
+        }
     }
 }
 
@@ -205,6 +282,24 @@ fn analyze(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let obs = match (
+        str_flag(args, "--trace-out"),
+        str_flag(args, "--metrics-out"),
+    ) {
+        (Ok(trace_out), Ok(metrics_out)) => ObsOut {
+            trace_out,
+            metrics_out,
+            profile: args.iter().any(|a| a == "--profile"),
+        },
+        (t, m) => {
+            for r in [t, m] {
+                if let Err(e) = r {
+                    eprintln!("{e}");
+                }
+            }
+            return ExitCode::FAILURE;
+        }
+    };
     let exec = match load(path) {
         Ok(e) => e,
         Err(e) => {
@@ -234,10 +329,11 @@ fn analyze(args: &[String]) -> ExitCode {
         budget = budget.with_max_states(n as usize);
     }
     let engine = ExactEngine::with_mode(&exec, mode).with_budget(budget);
+    obs.begin();
 
     if no_degrade {
         // Strict mode: an exhausted budget is a hard failure (exit 3).
-        return match engine.try_summary() {
+        let code = match engine.try_summary() {
             Ok(summary) => {
                 if json {
                     println!(
@@ -255,6 +351,9 @@ fn analyze(args: &[String]) -> ExitCode {
                 ExitCode::SUCCESS
             }
             Err(e) => {
+                // try_summary never builds a DegradedSummary, so record
+                // the cause here for the flushed metrics.
+                eo_obs::gauge_str(eo_obs::report::DEGRADATION_CAUSE, e.cause_label());
                 if json {
                     println!(r#"{{"status":"error","error":{}}}"#, error_json(&e));
                 } else {
@@ -263,9 +362,11 @@ fn analyze(args: &[String]) -> ExitCode {
                 ExitCode::from(3)
             }
         };
+        obs.flush();
+        return code;
     }
 
-    match engine.analyze() {
+    let code = match engine.analyze() {
         AnalysisOutcome::Exact(summary) => {
             if json {
                 println!(
@@ -301,7 +402,9 @@ fn analyze(args: &[String]) -> ExitCode {
             }
             ExitCode::from(2)
         }
-    }
+    };
+    obs.flush();
+    code
 }
 
 fn races(args: &[String]) -> ExitCode {

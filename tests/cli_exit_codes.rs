@@ -1,0 +1,152 @@
+//! Pins the `eo analyze` exit-code contract and the rule that requested
+//! observability outputs are flushed on *every* analysis exit path:
+//!
+//! * `0` — exact answer within budget
+//! * `2` — degraded (sound partial) answer
+//! * `3` — budget exhausted under `--no-degrade`
+//! * `1` — usage / input errors
+//!
+//! The metrics assertions that depend on real recording only run when the
+//! binary was built with the `obs` feature; the file-flushing contract
+//! holds either way (a disabled build writes the default registry).
+
+use std::path::PathBuf;
+use std::process::Command;
+
+const FIGURE1: &str = "testdata/figure1.trace.json";
+
+fn eo(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_eo"))
+        .args(args)
+        .output()
+        .expect("spawning eo")
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("eo-cli-test-{}-{name}", std::process::id()));
+    p
+}
+
+fn read_metrics(path: &PathBuf) -> std::collections::BTreeMap<String, eo_obs::report::MetricValue> {
+    let text = std::fs::read_to_string(path).expect("metrics file must exist");
+    std::fs::remove_file(path).ok();
+    eo_obs::report::metrics_from_json(&text).expect("metrics file must parse")
+}
+
+#[test]
+fn exact_run_exits_zero_and_flushes_metrics() {
+    let m = tmp("exact.json");
+    let out = eo(&[
+        "analyze",
+        FIGURE1,
+        "--json",
+        "--metrics-out",
+        m.to_str().unwrap(),
+    ]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let metrics = read_metrics(&m);
+    // The full registry is always present (defaults fill unrecorded keys).
+    for key in eo_obs::report::ENGINE_METRICS {
+        assert!(metrics.contains_key(*key), "missing registry key {key}");
+    }
+    assert_eq!(
+        metrics.get("degradation.cause"),
+        Some(&eo_obs::report::MetricValue::Str("none".to_string()))
+    );
+    #[cfg(feature = "obs")]
+    {
+        use eo_obs::report::MetricValue;
+        // figure1's cut lattice has 11 states and never touches SAT; the
+        // E12/E13 numbers for this fixture are pinned in BENCH files.
+        assert_eq!(
+            metrics.get("engine.states_interned"),
+            Some(&MetricValue::Int(11))
+        );
+        assert_eq!(metrics.get("sat.dpll_nodes"), Some(&MetricValue::Int(0)));
+        match metrics.get("budget.headroom_states") {
+            Some(MetricValue::Int(h)) => assert!(*h > 0, "default state cap leaves headroom"),
+            other => panic!("budget.headroom_states: {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn degraded_run_exits_two_and_still_flushes() {
+    let m = tmp("degraded.json");
+    let t = tmp("degraded-trace.json");
+    let out = eo(&[
+        "analyze",
+        FIGURE1,
+        "--timeout",
+        "0",
+        "--json",
+        "--metrics-out",
+        m.to_str().unwrap(),
+        "--trace-out",
+        t.to_str().unwrap(),
+    ]);
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let metrics = read_metrics(&m);
+    let trace_text = std::fs::read_to_string(&t).expect("trace file flushed on exit 2");
+    std::fs::remove_file(&t).ok();
+    assert!(trace_text.contains("traceEvents"));
+    #[cfg(feature = "obs")]
+    assert_eq!(
+        metrics.get("degradation.cause"),
+        Some(&eo_obs::report::MetricValue::Str("deadline".to_string()))
+    );
+    #[cfg(not(feature = "obs"))]
+    assert!(metrics.contains_key("degradation.cause"));
+}
+
+#[test]
+fn no_degrade_budget_exhaustion_always_exits_three() {
+    // Both budget shapes: a zero deadline and a tiny state cap. Neither
+    // may ever be reported as success.
+    for extra in [&["--timeout", "0"][..], &["--max-states", "1"][..]] {
+        let m = tmp(&format!("hard-{}.json", extra[0].trim_start_matches('-')));
+        let mut args = vec!["analyze", FIGURE1, "--no-degrade", "--json"];
+        args.extend_from_slice(extra);
+        args.extend_from_slice(&["--metrics-out", m.to_str().unwrap()]);
+        let out = eo(&args);
+        assert_eq!(
+            out.status.code(),
+            Some(3),
+            "{extra:?} stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let metrics = read_metrics(&m);
+        #[cfg(feature = "obs")]
+        match metrics.get("degradation.cause") {
+            Some(eo_obs::report::MetricValue::Str(cause)) => {
+                assert_ne!(cause, "none", "exit 3 must record its cause")
+            }
+            other => panic!("degradation.cause: {other:?}"),
+        }
+        #[cfg(not(feature = "obs"))]
+        assert!(metrics.contains_key("degradation.cause"));
+    }
+}
+
+#[test]
+fn usage_errors_exit_one() {
+    assert_eq!(eo(&["analyze"]).status.code(), Some(1));
+    assert_eq!(eo(&["analyze", "no-such-file.json"]).status.code(), Some(1));
+    assert_eq!(
+        eo(&["analyze", FIGURE1, "--metrics-out"]).status.code(),
+        Some(1),
+        "--metrics-out without a path is a usage error"
+    );
+    assert_eq!(eo(&["frobnicate"]).status.code(), Some(1));
+}
