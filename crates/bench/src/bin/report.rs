@@ -565,7 +565,7 @@ fn main() {
             )
         );
         let json = format!(
-            "{{\n  \"experiment\": \"e12_engine_hot_path\",\n  \"rows\": [\n{}\n  ]\n}}\n",
+            "{{\n  \"schema_version\": 1,\n  \"experiment\": \"e12_engine_hot_path\",\n  \"rows\": [\n{}\n  ]\n}}\n",
             json_rows.join(",\n")
         );
         std::fs::write("BENCH_engine.json", &json).expect("write BENCH_engine.json");
@@ -635,7 +635,7 @@ fn main() {
             )
         );
         let json = format!(
-            "{{\n  \"experiment\": \"e13_degradation\",\n  \"rows\": [\n{}\n  ]\n}}\n",
+            "{{\n  \"schema_version\": 1,\n  \"experiment\": \"e13_degradation\",\n  \"rows\": [\n{}\n  ]\n}}\n",
             json_rows.join(",\n")
         );
         std::fs::write("BENCH_degradation.json", &json).expect("write BENCH_degradation.json");
@@ -686,7 +686,7 @@ fn main() {
         );
         let total_pct = (total_on / total_off - 1.0) * 100.0;
         let json = format!(
-            "{{\n  \"experiment\": \"e14_obs_overhead\",\n  \"recording_armed\": {},\n  \
+            "{{\n  \"schema_version\": 1,\n  \"experiment\": \"e14_obs_overhead\",\n  \"recording_armed\": {},\n  \
              \"total_off_ms\": {:.3},\n  \"total_on_ms\": {:.3},\n  \
              \"total_overhead_pct\": {:.2},\n  \"rows\": [\n{}\n  ]\n}}\n",
             armed,
@@ -706,6 +706,75 @@ fn main() {
         assert!(
             total_pct <= 2.0,
             "observability overhead {total_pct:.2}% exceeds the 2% budget"
+        );
+    }
+
+    if want("e15") {
+        println!("== E15: eo-serve — batch of 100 queries, one session vs 100 cold engine runs ==");
+        println!("(answers asserted bit-identical per query; best-of-3 timings)");
+        let mut rows = Vec::new();
+        let mut json_rows = Vec::new();
+        let mut e6_5x4_speedup = None;
+        for (label, exec, mode) in e12_workloads() {
+            let r = e15_serve_point(&label, &exec, mode);
+            if r.label == "e6-5x4" {
+                e6_5x4_speedup = Some(r.speedup());
+            }
+            rows.push(vec![
+                r.label.clone(),
+                r.events.to_string(),
+                r.queries.to_string(),
+                ms(r.cold_time),
+                ms(r.batch_time),
+                format!("{:.2}x", r.speedup()),
+                r.cache_hits.to_string(),
+                r.prefilter_hits.to_string(),
+            ]);
+            json_rows.push(format!(
+                concat!(
+                    "    {{\"workload\": \"{}\", \"events\": {}, \"queries\": {}, ",
+                    "\"cold_ms\": {:.3}, \"batch_ms\": {:.3}, \"speedup\": {:.2}, ",
+                    "\"cache_hits\": {}, \"prefilter_hits\": {}}}"
+                ),
+                r.label,
+                r.events,
+                r.queries,
+                r.cold_time.as_secs_f64() * 1e3,
+                r.batch_time.as_secs_f64() * 1e3,
+                r.speedup(),
+                r.cache_hits,
+                r.prefilter_hits,
+            ));
+        }
+        println!(
+            "{}",
+            render(
+                &[
+                    "workload",
+                    "|E|",
+                    "queries",
+                    "cold_ms",
+                    "batch_ms",
+                    "speedup",
+                    "hits",
+                    "prefilter"
+                ],
+                &rows
+            )
+        );
+        let json = format!(
+            "{{\n  \"schema_version\": 1,\n  \"experiment\": \"e15_serve_batching\",\n  \
+             \"rows\": [\n{}\n  ]\n}}\n",
+            json_rows.join(",\n")
+        );
+        std::fs::write("BENCH_serve.json", &json).expect("write BENCH_serve.json");
+        println!("wrote BENCH_serve.json ({} workloads)", rows.len());
+        // The tentpole's acceptance bar: batching must amortize at least
+        // 10x on the e6-5x4 workload.
+        let speedup = e6_5x4_speedup.expect("e12_workloads always includes e6-5x4");
+        assert!(
+            speedup >= 10.0,
+            "serve batching speedup {speedup:.2}x on e6-5x4 is below the 10x bar"
         );
     }
 }

@@ -1013,6 +1013,132 @@ pub fn e14_obs_overhead() -> Vec<ObsOverheadRow> {
         .collect()
 }
 
+// ------------------------------------------------------------------ E15 --
+
+/// E15 row: a batch of point queries served through one
+/// [`eo_serve::AnalysisSession`] vs the same queries as cold one-shot
+/// [`ExactEngine`] runs (fresh engine, fresh state space per query).
+#[derive(Clone, Debug)]
+pub struct ServeBenchRow {
+    /// Workload label (shared with E12's fixed workloads).
+    pub label: String,
+    /// Events in the execution.
+    pub events: usize,
+    /// Queries in the batch.
+    pub queries: usize,
+    /// Wall time for the cold one-shot runs (best of 3).
+    pub cold_time: Duration,
+    /// Wall time for the whole batch through one session (best of 3).
+    pub batch_time: Duration,
+    /// Queries the session answered from cross-query caches.
+    pub cache_hits: u64,
+    /// Cache misses decided by the polynomial prefilter alone.
+    pub prefilter_hits: u64,
+}
+
+impl ServeBenchRow {
+    /// Cold time over batch time.
+    pub fn speedup(&self) -> f64 {
+        self.cold_time.as_secs_f64() / self.batch_time.as_secs_f64().max(1e-9)
+    }
+}
+
+/// The E15 query mix: 100 point queries with the redundancy real clients
+/// produce — straight repeats, CCW symmetry, MHB/CHB complement pairs,
+/// and every fifth query a witness request.
+pub fn e15_query_batch(exec: &ProgramExecution) -> Vec<eo_engine::Query> {
+    use eo_engine::Query;
+    let n = exec.n_events();
+    assert!(n >= 2, "E15 workloads have at least two events");
+    let mut out = Vec::with_capacity(100);
+    let mut k = 0usize;
+    while out.len() < 100 {
+        let a = k % n;
+        let b = (k * 7 + 3) % n;
+        let b = if a == b { (b + 1) % n } else { b };
+        let (ea, eb) = (EventId::new(a), EventId::new(b));
+        match k % 5 {
+            0 => out.push(Query::Mhb { a: ea, b: eb }),
+            // The complement of the MHB query above — a fact-store hit.
+            1 => out.push(Query::Chb { a: eb, b: ea }),
+            2 => out.push(Query::Ccw { a: ea, b: eb }),
+            // The symmetric repeat of the CCW query above.
+            3 => out.push(Query::Ccw { a: eb, b: ea }),
+            _ => out.push(Query::WitnessBefore {
+                first: ea,
+                second: eb,
+            }),
+        }
+        k += 1;
+    }
+    out
+}
+
+/// Runs E15 on one execution: answers are asserted bit-identical between
+/// the batched session and the cold one-shot runs before any timing is
+/// reported.
+pub fn e15_serve_point(
+    label: &str,
+    exec: &ProgramExecution,
+    mode: FeasibilityMode,
+) -> ServeBenchRow {
+    use eo_engine::{Answer, EngineOptions};
+    use eo_serve::{AnalysisSession, SessionConfig};
+    let opts = EngineOptions::with_mode(mode);
+    let batch = e15_query_batch(exec);
+    let (cold, cold_time) = timed_best(3, || {
+        batch
+            .iter()
+            .map(|&q| {
+                ExactEngine::with_options(exec, opts.clone())
+                    .query(q)
+                    .expect("E15 workloads fit the default caps")
+                    .answer
+            })
+            .collect::<Vec<_>>()
+    });
+    let ((batched, stats), batch_time) = timed_best(3, || {
+        let mut session = AnalysisSession::with_config(
+            exec,
+            SessionConfig {
+                engine: opts.clone(),
+                ..Default::default()
+            },
+        );
+        let answers: Vec<_> = session
+            .query_batch(&batch)
+            .into_iter()
+            .map(|r| {
+                r.expect("E15 workloads fit the default caps")
+                    .response
+                    .answer
+            })
+            .collect();
+        (answers, session.stats())
+    });
+    for (i, (c, s)) in cold.iter().zip(&batched).enumerate() {
+        let same = match (c, s) {
+            (Answer::Decided(x), Answer::Decided(y)) => x == y,
+            (Answer::Witness(x), Answer::Witness(y)) => x == y,
+            _ => false,
+        };
+        assert!(
+            same,
+            "{label}: query #{i} ({:?}) differs between batched and cold runs",
+            batch[i]
+        );
+    }
+    ServeBenchRow {
+        label: label.to_string(),
+        events: exec.n_events(),
+        queries: batch.len(),
+        cold_time,
+        batch_time,
+        cache_hits: stats.cache_hits,
+        prefilter_hits: stats.prefilter_hits,
+    }
+}
+
 // ------------------------------------------------- perf-regression gate --
 
 /// Wall-time regressions above this fraction fail the gate. The gate

@@ -4,10 +4,11 @@ use eo_model::{EventId, MachState, Machine, ProcessId, ProgramExecution};
 use eo_relations::Relation;
 
 /// Which feasibility notion the engine uses.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum FeasibilityMode {
     /// The paper's F(P): alternate executions must preserve the observed
     /// shared-data dependences (condition F3). Default.
+    #[default]
     PreserveDependences,
     /// The Section 5.3 variant: all executions performing the same events
     /// are feasible, regardless of the original dependences. (The related

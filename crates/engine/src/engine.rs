@@ -1,10 +1,11 @@
 //! The user-facing engine facade.
 
+use crate::api::{Answer, EngineOptions, Query, Response};
 use crate::budget::Budget;
 use crate::ctx::{FeasibilityMode, SearchCtx};
 use crate::degraded::DegradedSummary;
 use crate::enumerate::{enumerate_classes, enumerate_classes_budgeted, EnumerationResult};
-use crate::queries;
+use crate::queries::QuerySession;
 use crate::statespace::{self, explore_statespace};
 use crate::summary::OrderingSummary;
 use eo_model::{EventId, ProgramExecution};
@@ -131,8 +132,7 @@ impl std::error::Error for EngineError {}
 /// ```
 pub struct ExactEngine<'a> {
     ctx: SearchCtx<'a>,
-    limits: Limits,
-    budget: Option<Budget>,
+    opts: EngineOptions,
 }
 
 /// What [`ExactEngine::analyze`] produced: the full exact summary, or the
@@ -149,39 +149,46 @@ pub enum AnalysisOutcome {
 impl<'a> ExactEngine<'a> {
     /// Engine over the paper's F(P) (dependence-preserving feasibility).
     pub fn new(exec: &'a ProgramExecution) -> Self {
-        Self::with_mode(exec, FeasibilityMode::PreserveDependences)
+        Self::with_options(exec, EngineOptions::default())
+    }
+
+    /// Engine configured by one [`EngineOptions`] bag — the primary
+    /// constructor; every other builder delegates here.
+    pub fn with_options(exec: &'a ProgramExecution, opts: EngineOptions) -> Self {
+        ExactEngine {
+            ctx: SearchCtx::new(exec, opts.mode),
+            opts,
+        }
     }
 
     /// Engine with an explicit feasibility mode (Section 5.3's
     /// dependence-ignoring variant is [`FeasibilityMode::IgnoreDependences`]).
     pub fn with_mode(exec: &'a ProgramExecution, mode: FeasibilityMode) -> Self {
-        ExactEngine {
-            ctx: SearchCtx::new(exec, mode),
-            limits: Limits::default(),
-            budget: None,
-        }
+        Self::with_options(exec, EngineOptions::with_mode(mode))
     }
 
     /// Replaces the resource budget.
     pub fn with_limits(mut self, limits: Limits) -> Self {
-        self.limits = limits;
+        self.opts.limits = limits;
         self
     }
 
     /// Attaches a supervisor [`Budget`] (deadline, caps, cancellation).
     /// Caps the budget leaves unset fall back to the engine's [`Limits`].
     pub fn with_budget(mut self, budget: Budget) -> Self {
-        self.budget = Some(budget);
+        self.opts.budget = Some(budget);
         self
+    }
+
+    /// The options this engine was built with.
+    pub fn options(&self) -> &EngineOptions {
+        &self.opts
     }
 
     /// The budget every pass runs under: the attached one (with `Limits`
     /// filling unset caps) or a cap-only budget from `Limits`.
     fn effective_budget(&self) -> Budget {
-        self.budget
-            .clone()
-            .unwrap_or_default()
-            .with_default_caps(self.limits.max_states, self.limits.max_schedules)
+        self.opts.effective_budget()
     }
 
     /// The underlying search context (for direct use of the lower-level
@@ -195,13 +202,13 @@ impl<'a> ExactEngine<'a> {
     /// deadline, memory, or cancellation when a [`Budget`] is attached).
     pub fn try_summary(&self) -> Result<OrderingSummary, EngineError> {
         eo_obs::span!("engine.try_summary");
-        if self.budget.is_none() {
+        if self.opts.budget.is_none() {
             // Cap-only fast path: no checkpoint calls in the hot loops.
-            let space = explore_statespace(&self.ctx, self.limits.max_states)?;
-            let classes = enumerate_classes(&self.ctx, self.limits.max_schedules);
+            let space = explore_statespace(&self.ctx, self.opts.limits.max_states)?;
+            let classes = enumerate_classes(&self.ctx, self.opts.limits.max_schedules);
             if classes.truncated {
                 return Err(EngineError::ScheduleBudgetExceeded {
-                    limit: self.limits.max_schedules,
+                    limit: self.opts.limits.max_schedules,
                 });
             }
             let summary = OrderingSummary::from_parts(&space, &classes);
@@ -309,11 +316,11 @@ impl<'a> ExactEngine<'a> {
 
     /// Enumerates F(P) (the distinct induced partial orders).
     pub fn feasible_set(&self) -> Result<EnumerationResult, EngineError> {
-        if self.budget.is_none() {
-            let r = enumerate_classes(&self.ctx, self.limits.max_schedules);
+        if self.opts.budget.is_none() {
+            let r = enumerate_classes(&self.ctx, self.opts.limits.max_schedules);
             if r.truncated {
                 return Err(EngineError::ScheduleBudgetExceeded {
-                    limit: self.limits.max_schedules,
+                    limit: self.opts.limits.max_schedules,
                 });
             }
             return Ok(r);
@@ -325,31 +332,148 @@ impl<'a> ExactEngine<'a> {
         }
     }
 
+    /// Answers one [`Query`] under the engine's effective budget: the
+    /// attached [`Budget`] (with `Limits` filling unset caps) or a
+    /// cap-only budget from `Limits`. This is the single entry point the
+    /// per-relation methods below and the serving layer route through.
+    ///
+    /// Point queries run an early-exit witness search in a fresh
+    /// [`QuerySession`]; [`Query::Summary`] runs the full
+    /// [`try_summary`](Self::try_summary) passes. Errors at the first
+    /// exhausted budget resource.
+    pub fn query(&self, query: Query) -> Result<Response, EngineError> {
+        self.query_with_budget(query, self.effective_budget())
+    }
+
+    /// [`query`](Self::query) against an explicit budget (the infallible
+    /// legacy wrappers pass [`Budget::unlimited`], preserving their
+    /// never-fails contract even on a budgeted engine).
+    fn query_with_budget(&self, query: Query, budget: Budget) -> Result<Response, EngineError> {
+        let mut session = QuerySession::with_budget(&self.ctx, budget);
+        let answer = match query {
+            Query::Mhb { a, b } => Answer::Decided(session.try_must_happen_before(a, b)?),
+            Query::Chb { a, b } => Answer::Decided(session.try_could_happen_before(a, b)?),
+            Query::Ccw { a, b } => Answer::Decided(session.try_could_be_concurrent(a, b)?),
+            Query::WitnessBefore { first, second } => {
+                Answer::Witness(session.try_witness_before(first, second)?)
+            }
+            Query::WitnessOverlap { a, b } => Answer::Witness(session.try_witness_overlap(a, b)?),
+            Query::Summary => Answer::Summary(Box::new(self.try_summary()?)),
+        };
+        Ok(Response { query, answer })
+    }
+
+    /// Unwraps a query that cannot fail (unlimited budget, non-summary).
+    fn query_infallible(&self, query: Query) -> Response {
+        self.query_with_budget(query, Budget::unlimited())
+            .unwrap_or_else(|e| panic!("unbudgeted {} query failed: {e}", query.op_name()))
+    }
+
     /// Decides `a MHB b` by early-exit witness search (no full summary).
+    #[doc(alias = "query")]
     pub fn mhb(&self, a: EventId, b: EventId) -> bool {
-        queries::must_happen_before(&self.ctx, a, b)
+        self.query_infallible(Query::Mhb { a, b })
+            .answer
+            .as_bool()
+            .expect("mhb answers are booleans")
     }
 
     /// Decides `a CHB b` by early-exit witness search.
+    #[doc(alias = "query")]
     pub fn chb(&self, a: EventId, b: EventId) -> bool {
-        queries::could_happen_before(&self.ctx, a, b)
+        self.query_infallible(Query::Chb { a, b })
+            .answer
+            .as_bool()
+            .expect("chb answers are booleans")
     }
 
     /// Decides operational `a CCW b` by early-exit witness search.
+    #[doc(alias = "query")]
     pub fn ccw(&self, a: EventId, b: EventId) -> bool {
-        queries::could_be_concurrent(&self.ctx, a, b)
+        self.query_infallible(Query::Ccw { a, b })
+            .answer
+            .as_bool()
+            .expect("ccw answers are booleans")
     }
 
     /// A feasible schedule running `first` strictly before `second`, if
     /// one exists (the NP witness of Theorem 2).
+    #[doc(alias = "query")]
     pub fn witness_before(&self, first: EventId, second: EventId) -> Option<Vec<EventId>> {
-        queries::witness_before(&self.ctx, first, second)
+        match self
+            .query_infallible(Query::WitnessBefore { first, second })
+            .answer
+        {
+            Answer::Witness(w) => w,
+            _ => unreachable!("witness queries answer with witnesses"),
+        }
     }
 
     /// A feasible schedule prefix reaching a state where both events are
     /// ready, if one exists.
+    #[doc(alias = "query")]
     pub fn witness_overlap(&self, a: EventId, b: EventId) -> Option<Vec<EventId>> {
-        queries::witness_overlap(&self.ctx, a, b)
+        match self.query_infallible(Query::WitnessOverlap { a, b }).answer {
+            Answer::Witness(w) => w,
+            _ => unreachable!("witness queries answer with witnesses"),
+        }
+    }
+
+    /// Budgeted twin of [`mhb`](Self::mhb): decides under the engine's
+    /// effective budget, erroring at the first exhausted resource.
+    #[doc(alias = "query")]
+    pub fn try_mhb(&self, a: EventId, b: EventId) -> Result<bool, EngineError> {
+        Ok(self
+            .query(Query::Mhb { a, b })?
+            .answer
+            .as_bool()
+            .expect("mhb answers are booleans"))
+    }
+
+    /// Budgeted twin of [`chb`](Self::chb).
+    #[doc(alias = "query")]
+    pub fn try_chb(&self, a: EventId, b: EventId) -> Result<bool, EngineError> {
+        Ok(self
+            .query(Query::Chb { a, b })?
+            .answer
+            .as_bool()
+            .expect("chb answers are booleans"))
+    }
+
+    /// Budgeted twin of [`ccw`](Self::ccw).
+    #[doc(alias = "query")]
+    pub fn try_ccw(&self, a: EventId, b: EventId) -> Result<bool, EngineError> {
+        Ok(self
+            .query(Query::Ccw { a, b })?
+            .answer
+            .as_bool()
+            .expect("ccw answers are booleans"))
+    }
+
+    /// Budgeted twin of [`witness_before`](Self::witness_before).
+    #[doc(alias = "query")]
+    pub fn try_witness_before(
+        &self,
+        first: EventId,
+        second: EventId,
+    ) -> Result<Option<Vec<EventId>>, EngineError> {
+        match self.query(Query::WitnessBefore { first, second })?.answer {
+            Answer::Witness(w) => Ok(w),
+            _ => unreachable!("witness queries answer with witnesses"),
+        }
+    }
+
+    /// Budgeted twin of [`witness_overlap`](Self::witness_overlap).
+    #[doc(alias = "query")]
+    pub fn try_witness_overlap(
+        &self,
+        a: EventId,
+        b: EventId,
+    ) -> Result<Option<Vec<EventId>>, EngineError> {
+        match self.query(Query::WitnessOverlap { a, b })?.answer {
+            Answer::Witness(w) => Ok(w),
+            _ => unreachable!("witness queries answer with witnesses"),
+        }
     }
 }
 
@@ -401,6 +525,75 @@ mod tests {
             tiny2.try_summary(),
             Err(EngineError::ScheduleBudgetExceeded { limit: 1 })
         ));
+    }
+
+    #[test]
+    fn query_path_matches_legacy_wrappers() {
+        let (trace, _ids) = fixtures::figure1();
+        let exec = trace.to_execution().unwrap();
+        let engine = ExactEngine::new(&exec);
+        for a in 0..exec.n_events() {
+            for b in 0..exec.n_events() {
+                if a == b {
+                    continue;
+                }
+                let (ea, eb) = (EventId::new(a), EventId::new(b));
+                let q = Query::Mhb { a: ea, b: eb };
+                let r = engine.query(q).unwrap();
+                assert_eq!(r.query, q, "responses echo their query");
+                assert_eq!(r.answer.as_bool(), Some(engine.mhb(ea, eb)));
+                assert_eq!(engine.try_chb(ea, eb).unwrap(), engine.chb(ea, eb));
+                assert_eq!(engine.try_ccw(ea, eb).unwrap(), engine.ccw(ea, eb));
+                assert_eq!(
+                    engine.try_witness_before(ea, eb).unwrap(),
+                    engine.witness_before(ea, eb)
+                );
+                assert_eq!(
+                    engine.try_witness_overlap(ea, eb).unwrap(),
+                    engine.witness_overlap(ea, eb)
+                );
+            }
+        }
+        let s = engine.query(Query::Summary).unwrap();
+        let direct = engine.summary();
+        let via = s.answer.as_summary().expect("summary answer");
+        assert_eq!(via.class_count(), direct.class_count());
+        assert_eq!(via.state_count(), direct.state_count());
+    }
+
+    #[test]
+    fn budgeted_twins_honor_the_attached_budget() {
+        let (trace, _ids) = fixtures::fork_join_diamond();
+        let exec = trace.to_execution().unwrap();
+        let engine = ExactEngine::new(&exec).with_budget(Budget::unlimited().with_max_states(1));
+        let (a, b) = (EventId::new(0), EventId::new(1));
+        assert!(matches!(
+            engine.try_mhb(a, b),
+            Err(EngineError::StateSpaceExceeded { limit: 1 })
+        ));
+        // The infallible wrappers keep their never-fails contract even on
+        // a budgeted engine: they run unbudgeted, as they always have.
+        let _ = engine.mhb(a, b);
+        let _ = engine.witness_overlap(a, b);
+    }
+
+    #[test]
+    fn with_options_equals_builder_chain() {
+        let (trace, inc0, inc1) = fixtures::shared_counter_race();
+        let exec = trace.to_execution().unwrap();
+        let opts = EngineOptions {
+            mode: FeasibilityMode::IgnoreDependences,
+            limits: Limits::default(),
+            budget: None,
+        };
+        let via_options = ExactEngine::with_options(&exec, opts);
+        let via_builders = ExactEngine::with_mode(&exec, FeasibilityMode::IgnoreDependences);
+        assert_eq!(via_options.mhb(inc0, inc1), via_builders.mhb(inc0, inc1));
+        assert_eq!(via_options.ccw(inc0, inc1), via_builders.ccw(inc0, inc1));
+        assert_eq!(
+            via_options.options().mode,
+            FeasibilityMode::IgnoreDependences
+        );
     }
 
     #[test]

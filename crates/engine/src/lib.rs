@@ -50,6 +50,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod api;
 pub mod budget;
 pub mod ctx;
 pub mod degraded;
@@ -58,12 +59,14 @@ pub mod enumerate;
 #[cfg(feature = "fault-injection")]
 pub mod faultpoint;
 pub mod parallel;
+pub mod pool;
 pub mod queries;
 pub mod sat_backend;
 pub mod statespace;
 pub mod statetable;
 pub mod summary;
 
+pub use api::{Answer, EngineOptions, Query, Response};
 pub use budget::{Budget, CancelHandle};
 pub use ctx::{FeasibilityMode, SearchCtx};
 pub use degraded::{DegradedSummary, Fact};
@@ -72,7 +75,8 @@ pub use enumerate::{enumerate_classes, EnumerationResult};
 #[cfg(feature = "fault-injection")]
 pub use faultpoint::{Fault, FaultPlan};
 pub use parallel::{explore_statespace_parallel, explore_statespace_parallel_budgeted};
-pub use queries::QuerySession;
+pub use pool::run_tasks;
+pub use queries::{QueryMemo, QuerySession};
 pub use statespace::{
     explore_statespace, explore_statespace_baseline, explore_statespace_budgeted, StateSpaceResult,
 };

@@ -50,15 +50,14 @@
 use crate::budget::Budget;
 use crate::ctx::SearchCtx;
 use crate::engine::EngineError;
+use crate::pool::Queue;
 use crate::statespace::{
     accumulate_range, propagate_completability, Node, StateGraph, StateSpaceResult,
 };
 use eo_model::{EventId, MachState, ProcessId};
 use eo_relations::Relation;
-use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+use std::sync::atomic::Ordering;
 
 /// One state to expand: its node index, the state cloned out of the
 /// arena, and its enabled list.
@@ -90,72 +89,6 @@ enum TaskResult {
     },
     /// The worker's task panicked (caught); the slot produced nothing.
     Failed,
-}
-
-/// A minimal MPMC queue (`Mutex<VecDeque>` + `Condvar`): the workspace
-/// builds offline, so the crossbeam channels this module once used are
-/// replaced by the std primitives they wrap.
-struct Queue<T> {
-    state: Mutex<(VecDeque<T>, bool)>,
-    ready: Condvar,
-    /// Deepest backlog observed (only maintained while a recording run is
-    /// active; surfaced as `pool.max_queue_depth`).
-    max_depth: AtomicUsize,
-}
-
-impl<T> Queue<T> {
-    fn new() -> Self {
-        Queue {
-            state: Mutex::new((VecDeque::new(), false)),
-            ready: Condvar::new(),
-            max_depth: AtomicUsize::new(0),
-        }
-    }
-
-    /// Locks the queue, shrugging off poisoning: the guarded state is a
-    /// plain `VecDeque` + closed flag whose invariants hold after any
-    /// partial mutation, so a panic elsewhere never makes it unsafe to
-    /// keep using — and ignoring the poison is what lets the pool drain
-    /// cleanly after a worker panic instead of cascading aborts.
-    fn lock(&self) -> MutexGuard<'_, (VecDeque<T>, bool)> {
-        self.state.lock().unwrap_or_else(PoisonError::into_inner)
-    }
-
-    fn push(&self, item: T) {
-        let mut guard = self.lock();
-        guard.0.push_back(item);
-        if eo_obs::recording() {
-            self.max_depth.fetch_max(guard.0.len(), Ordering::Relaxed);
-        }
-        self.ready.notify_one();
-    }
-
-    /// Blocks for the next item; `None` once closed and drained.
-    fn pop(&self) -> Option<T> {
-        let mut guard = self.lock();
-        loop {
-            if let Some(item) = guard.0.pop_front() {
-                return Some(item);
-            }
-            if guard.1 {
-                return None;
-            }
-            // Each condvar wait is one park: a consumer found the queue
-            // empty and blocked.
-            eo_obs::counter!("pool.parks", 1);
-            guard = self
-                .ready
-                .wait(guard)
-                .unwrap_or_else(PoisonError::into_inner);
-        }
-    }
-
-    /// Wakes all blocked consumers; subsequent `pop`s drain then end.
-    fn close(&self) {
-        let mut guard = self.lock();
-        guard.1 = true;
-        self.ready.notify_all();
-    }
 }
 
 /// Parallel variant of [`crate::explore_statespace`]. `threads = 0` means

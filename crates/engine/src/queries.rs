@@ -8,23 +8,29 @@
 //! satisfiability of the reduced formula is literally read off
 //! [`witness_before`]'s answer.
 //!
-//! ## Sessions
+//! ## Sessions and memos
 //!
-//! All state is held in a [`QuerySession`]: states are interned into the
+//! All state is held in a [`QueryMemo`]: states are interned into the
 //! same [`StateTable`] arena the explorers use, so the memo tables are
 //! indexed by dense [`StateId`]s instead of hashing full states per probe.
 //! Two memo lifetimes coexist:
 //!
 //! * the **dead** set ("no complete schedule is reachable from here") is a
 //!   property of the state alone — independent of which pair a query asks
-//!   about — so it persists for the life of the session and accelerates
+//!   about — so it persists for the life of the memo and accelerates
 //!   every later query;
 //! * **visited** sets are per-query (a state pruned while hunting one pair
 //!   may matter for another), implemented as an epoch stamp per arena slot
 //!   so starting a query is O(1), not O(states).
 //!
+//! A [`QueryMemo`] does not borrow the [`SearchCtx`] it searches — every
+//! query method takes the context as a parameter — so long-lived callers
+//! (the serving layer's sessions) can own both side by side. The
+//! borrowing [`QuerySession`] wrapper pairs a memo with one context for
+//! the common scoped-use case.
+//!
 //! Race detection asks about *many* pairs of one execution; routing them
-//! through one session turns the per-pair searches from cold starts into
+//! through one memo turns the per-pair searches from cold starts into
 //! incremental probes of a shared lattice. The free functions below wrap a
 //! throwaway session for one-shot use.
 //!
@@ -46,12 +52,17 @@ struct Frame {
     k: usize,
 }
 
-/// Reusable witness-query state over one [`SearchCtx`]: the interned
-/// state arena, the persistent dead-state memo, the per-query visited
-/// stamps, and the scratch-buffer pool. See the module docs for why the
-/// memo lifetimes differ.
-pub struct QuerySession<'c, 'e> {
-    ctx: &'c SearchCtx<'e>,
+/// Reusable witness-query state for one execution: the interned state
+/// arena, the persistent dead-state memo, the per-query visited stamps,
+/// and the scratch-buffer pool. See the module docs for why the memo
+/// lifetimes differ.
+///
+/// A memo is built *from* a [`SearchCtx`] but does not borrow it; every
+/// query takes the context as a parameter. Passing a context other than
+/// the one the memo was opened for (same execution, same mode) is a logic
+/// error: the interned states and dead-set would describe a different
+/// lattice and the answers would be garbage.
+pub struct QueryMemo {
     table: StateTable,
     root: StateId,
     /// `dead[id]` ⇔ no complete schedule is reachable from `id`.
@@ -77,22 +88,21 @@ pub struct QuerySession<'c, 'e> {
     per_state: usize,
 }
 
-impl<'c, 'e> QuerySession<'c, 'e> {
-    /// Opens a session over `ctx` with the initial state interned and no
-    /// budget constraints.
-    pub fn new(ctx: &'c SearchCtx<'e>) -> Self {
-        QuerySession::with_budget(ctx, Budget::unlimited())
+impl QueryMemo {
+    /// Opens a memo over `ctx`'s execution with the initial state interned
+    /// and no budget constraints.
+    pub fn new(ctx: &SearchCtx<'_>) -> Self {
+        QueryMemo::with_budget(ctx, Budget::unlimited())
     }
 
-    /// Opens a session whose queries obey `budget`: the `try_*` query
+    /// Opens a memo whose queries obey `budget`: the `try_*` query
     /// variants check it once per DFS step and surface the first
     /// exhausted resource as an [`EngineError`].
-    pub fn with_budget(ctx: &'c SearchCtx<'e>, budget: Budget) -> Self {
+    pub fn with_budget(ctx: &SearchCtx<'_>, budget: Budget) -> Self {
         let mut table = StateTable::new();
         let (root, _) = table.intern(ctx.initial_state());
         let per_state = std::mem::size_of::<MachState>() + ctx.initial_state().heap_bytes() + 8;
-        QuerySession {
-            ctx,
+        QueryMemo {
             table,
             root,
             dead: vec![false],
@@ -106,6 +116,12 @@ impl<'c, 'e> QuerySession<'c, 'e> {
         }
     }
 
+    /// Replaces the budget later queries run under. The interned arena
+    /// and dead-set memo are kept — they are budget-independent facts.
+    pub fn set_budget(&mut self, budget: Budget) {
+        self.budget = budget;
+    }
+
     /// One budget checkpoint: the interned-state count doubles as both the
     /// state-cap measure and the basis of the storage estimate.
     #[inline]
@@ -114,15 +130,9 @@ impl<'c, 'e> QuerySession<'c, 'e> {
         self.budget.check(self.table.len() * self.per_state)
     }
 
-    /// The context this session searches.
-    #[inline]
-    pub fn ctx(&self) -> &'c SearchCtx<'e> {
-        self.ctx
-    }
-
     /// Number of distinct states interned so far — grows monotonically as
-    /// queries explore; a rough measure of how much lattice the session
-    /// has had to touch.
+    /// queries explore; a rough measure of how much lattice the memo has
+    /// had to touch.
     #[inline]
     pub fn interned_states(&self) -> usize {
         self.table.len()
@@ -131,9 +141,14 @@ impl<'c, 'e> QuerySession<'c, 'e> {
     /// Fires `p`'s next event out of state `id` (into the scratch state —
     /// no allocation) and interns the result, growing the parallel memo
     /// arrays on a fresh insert.
-    fn step_and_intern(&mut self, id: StateId, p: ProcessId, e: EventId) -> StateId {
+    fn step_and_intern(
+        &mut self,
+        ctx: &SearchCtx<'_>,
+        id: StateId,
+        p: ProcessId,
+        e: EventId,
+    ) -> StateId {
         let Self {
-            ctx,
             table,
             scratch,
             dead,
@@ -163,8 +178,7 @@ impl<'c, 'e> QuerySession<'c, 'e> {
     }
 
     /// A DFS frame for `id`, its enabled buffer drawn from the pool.
-    fn frame(&mut self, id: StateId) -> Frame {
-        let ctx = self.ctx;
+    fn frame(&mut self, ctx: &SearchCtx<'_>, id: StateId) -> Frame {
         let mut enabled = self.pool.pop().unwrap_or_default();
         ctx.co_enabled_into(self.table.get(id), &mut enabled);
         Frame { id, enabled, k: 0 }
@@ -177,17 +191,17 @@ impl<'c, 'e> QuerySession<'c, 'e> {
     /// queries. Errors at the first exhausted budget resource.
     fn try_complete_from(
         &mut self,
+        ctx: &SearchCtx<'_>,
         start: StateId,
         out: &mut Vec<EventId>,
     ) -> Result<bool, EngineError> {
-        let ctx = self.ctx;
         if ctx.is_complete(self.table.get(start)) {
             return Ok(true);
         }
         if self.dead[start.index()] {
             return Ok(false);
         }
-        let mut stack = vec![self.frame(start)];
+        let mut stack = vec![self.frame(ctx, start)];
         loop {
             self.checkpoint()?;
             let Some(top) = stack.last_mut() else { break };
@@ -203,7 +217,7 @@ impl<'c, 'e> QuerySession<'c, 'e> {
             let (p, e) = top.enabled[top.k];
             top.k += 1;
             let id = top.id;
-            let cid = self.step_and_intern(id, p, e);
+            let cid = self.step_and_intern(ctx, id, p, e);
             if ctx.is_complete(self.table.get(cid)) {
                 out.push(e);
                 for f in stack.drain(..) {
@@ -215,7 +229,7 @@ impl<'c, 'e> QuerySession<'c, 'e> {
                 continue;
             }
             out.push(e);
-            stack.push(self.frame(cid));
+            stack.push(self.frame(ctx, cid));
             // The lattice is a DAG (executed count strictly increases), so
             // a state can never sit on the stack twice; any state reached
             // again was fully explored already and is covered by `dead`.
@@ -230,6 +244,7 @@ impl<'c, 'e> QuerySession<'c, 'e> {
     /// budget resource.
     pub fn try_witness_before(
         &mut self,
+        ctx: &SearchCtx<'_>,
         first: EventId,
         second: EventId,
     ) -> Result<Option<Vec<EventId>>, EngineError> {
@@ -237,7 +252,7 @@ impl<'c, 'e> QuerySession<'c, 'e> {
         // growth it caused — never per DFS step, which is far too hot.
         eo_obs::counter!("query.witness_queries", 1);
         let interned_before = self.table.len();
-        let result = self.witness_before_search(first, second);
+        let result = self.witness_before_search(ctx, first, second);
         eo_obs::counter!(
             "query.states_interned",
             (self.table.len() - interned_before) as u64
@@ -247,18 +262,18 @@ impl<'c, 'e> QuerySession<'c, 'e> {
 
     fn witness_before_search(
         &mut self,
+        ctx: &SearchCtx<'_>,
         first: EventId,
         second: EventId,
     ) -> Result<Option<Vec<EventId>>, EngineError> {
         assert_ne!(first, second, "witness_before needs two distinct events");
-        let ctx = self.ctx;
         let epoch = self.next_epoch();
         let mut prefix: Vec<EventId> = Vec::new();
         // The initial state has executed nothing, so it starts in the
         // neither-executed regime the stamp set covers.
         self.stamp[self.root.index()] = epoch;
         let root = self.root;
-        let mut stack = vec![self.frame(root)];
+        let mut stack = vec![self.frame(ctx, root)];
         loop {
             self.checkpoint()?;
             let Some(top) = stack.last_mut() else { break };
@@ -273,7 +288,7 @@ impl<'c, 'e> QuerySession<'c, 'e> {
             let (p, e) = top.enabled[top.k];
             top.k += 1;
             let id = top.id;
-            let cid = self.step_and_intern(id, p, e);
+            let cid = self.step_and_intern(ctx, id, p, e);
             let machine = ctx.machine();
             let child = self.table.get(cid);
             let first_done = machine.executed(child, first);
@@ -285,7 +300,7 @@ impl<'c, 'e> QuerySession<'c, 'e> {
                 // Any completion now places `first` before `second`.
                 prefix.push(e);
                 let depth = prefix.len();
-                if self.try_complete_from(cid, &mut prefix)? {
+                if self.try_complete_from(ctx, cid, &mut prefix)? {
                     for f in stack.drain(..) {
                         self.pool.push(f.enabled);
                     }
@@ -301,20 +316,9 @@ impl<'c, 'e> QuerySession<'c, 'e> {
             }
             self.stamp[cid.index()] = epoch;
             prefix.push(e);
-            stack.push(self.frame(cid));
+            stack.push(self.frame(ctx, cid));
         }
         Ok(None)
-    }
-
-    /// Infallible [`QuerySession::try_witness_before`] for unbudgeted
-    /// sessions.
-    ///
-    /// # Panics
-    /// Panics if the session's budget is exhausted mid-query; sessions
-    /// opened with [`QuerySession::new`] never are.
-    pub fn witness_before(&mut self, first: EventId, second: EventId) -> Option<Vec<EventId>> {
-        self.try_witness_before(first, second)
-            .unwrap_or_else(|e| panic!("witness query exceeded its budget: {e}"))
     }
 
     /// Searches for a feasible execution in which `a` and `b` are
@@ -326,12 +330,13 @@ impl<'c, 'e> QuerySession<'c, 'e> {
     /// Errors at the first exhausted budget resource.
     pub fn try_witness_overlap(
         &mut self,
+        ctx: &SearchCtx<'_>,
         a: EventId,
         b: EventId,
     ) -> Result<Option<Vec<EventId>>, EngineError> {
         eo_obs::counter!("query.witness_queries", 1);
         let interned_before = self.table.len();
-        let result = self.witness_overlap_search(a, b);
+        let result = self.witness_overlap_search(ctx, a, b);
         eo_obs::counter!(
             "query.states_interned",
             (self.table.len() - interned_before) as u64
@@ -341,11 +346,11 @@ impl<'c, 'e> QuerySession<'c, 'e> {
 
     fn witness_overlap_search(
         &mut self,
+        ctx: &SearchCtx<'_>,
         a: EventId,
         b: EventId,
     ) -> Result<Option<Vec<EventId>>, EngineError> {
         assert_ne!(a, b, "witness_overlap needs two distinct events");
-        let ctx = self.ctx;
         let epoch = self.next_epoch();
         let mut prefix: Vec<EventId> = Vec::new();
         self.stamp[self.root.index()] = epoch;
@@ -354,10 +359,10 @@ impl<'c, 'e> QuerySession<'c, 'e> {
         // budget (e.g. an external cancel) stops the query promptly even
         // when the witness would be found at the initial state.
         self.checkpoint()?;
-        if self.try_pair_overlaps_at(root, a, b)? {
+        if self.try_pair_overlaps_at(ctx, root, a, b)? {
             return Ok(Some(prefix));
         }
-        let mut stack = vec![self.frame(root)];
+        let mut stack = vec![self.frame(ctx, root)];
         loop {
             self.checkpoint()?;
             let Some(top) = stack.last_mut() else { break };
@@ -372,7 +377,7 @@ impl<'c, 'e> QuerySession<'c, 'e> {
             let (p, e) = top.enabled[top.k];
             top.k += 1;
             let id = top.id;
-            let cid = self.step_and_intern(id, p, e);
+            let cid = self.step_and_intern(ctx, id, p, e);
             let machine = ctx.machine();
             let child = self.table.get(cid);
             if machine.executed(child, a) || machine.executed(child, b) {
@@ -383,44 +388,33 @@ impl<'c, 'e> QuerySession<'c, 'e> {
             }
             self.stamp[cid.index()] = epoch;
             prefix.push(e);
-            if self.try_pair_overlaps_at(cid, a, b)? {
+            if self.try_pair_overlaps_at(ctx, cid, a, b)? {
                 for f in stack.drain(..) {
                     self.pool.push(f.enabled);
                 }
                 return Ok(Some(prefix));
             }
-            stack.push(self.frame(cid));
+            stack.push(self.frame(ctx, cid));
         }
         Ok(None)
-    }
-
-    /// Infallible [`QuerySession::try_witness_overlap`] for unbudgeted
-    /// sessions.
-    ///
-    /// # Panics
-    /// Panics if the session's budget is exhausted mid-query; sessions
-    /// opened with [`QuerySession::new`] never are.
-    pub fn witness_overlap(&mut self, a: EventId, b: EventId) -> Option<Vec<EventId>> {
-        self.try_witness_overlap(a, b)
-            .unwrap_or_else(|e| panic!("witness query exceeded its budget: {e}"))
     }
 
     /// Can `a` and `b` fire back-to-back (either order) from `id` and
     /// leave completion reachable?
     fn try_pair_overlaps_at(
         &mut self,
+        ctx: &SearchCtx<'_>,
         id: StateId,
         a: EventId,
         b: EventId,
     ) -> Result<bool, EngineError> {
-        Ok(
-            self.try_both_fire_completably(id, a, b)?
-                || self.try_both_fire_completably(id, b, a)?,
-        )
+        Ok(self.try_both_fire_completably(ctx, id, a, b)?
+            || self.try_both_fire_completably(ctx, id, b, a)?)
     }
 
     fn try_both_fire_completably(
         &mut self,
+        ctx: &SearchCtx<'_>,
         id: StateId,
         x: EventId,
         y: EventId,
@@ -430,7 +424,6 @@ impl<'c, 'e> QuerySession<'c, 'e> {
         // state, interning only the final both-fired state.
         let landed = {
             let Self {
-                ctx,
                 table,
                 scratch,
                 dead,
@@ -466,7 +459,7 @@ impl<'c, 'e> QuerySession<'c, 'e> {
             Some(cid) => {
                 let mut tail = std::mem::take(&mut self.tail);
                 tail.clear();
-                let ok = self.try_complete_from(cid, &mut tail);
+                let ok = self.try_complete_from(ctx, cid, &mut tail);
                 self.tail = tail;
                 ok
             }
@@ -477,21 +470,152 @@ impl<'c, 'e> QuerySession<'c, 'e> {
     /// Decides `a MHB b` by witness search: true iff **no** feasible
     /// schedule runs `b` before `a`. Errors at the first exhausted budget
     /// resource.
+    pub fn try_must_happen_before(
+        &mut self,
+        ctx: &SearchCtx<'_>,
+        a: EventId,
+        b: EventId,
+    ) -> Result<bool, EngineError> {
+        Ok(a != b && self.try_witness_before(ctx, b, a)?.is_none())
+    }
+
+    /// Decides `a CHB b` by witness search: true iff some feasible
+    /// schedule runs `a` before `b`. Errors at the first exhausted budget
+    /// resource.
+    pub fn try_could_happen_before(
+        &mut self,
+        ctx: &SearchCtx<'_>,
+        a: EventId,
+        b: EventId,
+    ) -> Result<bool, EngineError> {
+        Ok(a != b && self.try_witness_before(ctx, a, b)?.is_some())
+    }
+
+    /// Decides operational `a CCW b` by witness search. Errors at the
+    /// first exhausted budget resource.
+    pub fn try_could_be_concurrent(
+        &mut self,
+        ctx: &SearchCtx<'_>,
+        a: EventId,
+        b: EventId,
+    ) -> Result<bool, EngineError> {
+        Ok(a != b && self.try_witness_overlap(ctx, a, b)?.is_some())
+    }
+}
+
+/// Reusable witness-query state bound to one [`SearchCtx`]: a
+/// [`QueryMemo`] paired with the context it searches, for scoped use
+/// where threading the context through every call is noise.
+pub struct QuerySession<'c, 'e> {
+    ctx: &'c SearchCtx<'e>,
+    memo: QueryMemo,
+}
+
+impl<'c, 'e> QuerySession<'c, 'e> {
+    /// Opens a session over `ctx` with the initial state interned and no
+    /// budget constraints.
+    pub fn new(ctx: &'c SearchCtx<'e>) -> Self {
+        QuerySession::with_budget(ctx, Budget::unlimited())
+    }
+
+    /// Opens a session whose queries obey `budget`: the `try_*` query
+    /// variants check it once per DFS step and surface the first
+    /// exhausted resource as an [`EngineError`].
+    pub fn with_budget(ctx: &'c SearchCtx<'e>, budget: Budget) -> Self {
+        QuerySession {
+            ctx,
+            memo: QueryMemo::with_budget(ctx, budget),
+        }
+    }
+
+    /// The context this session searches.
+    #[inline]
+    pub fn ctx(&self) -> &'c SearchCtx<'e> {
+        self.ctx
+    }
+
+    /// The underlying context-free memo (to move into a longer-lived
+    /// owner once the scoped borrow ends).
+    pub fn into_memo(self) -> QueryMemo {
+        self.memo
+    }
+
+    /// Number of distinct states interned so far — grows monotonically as
+    /// queries explore; a rough measure of how much lattice the session
+    /// has had to touch.
+    #[inline]
+    pub fn interned_states(&self) -> usize {
+        self.memo.interned_states()
+    }
+
+    /// Searches for a complete feasible schedule in which `first` executes
+    /// strictly before `second`, returning it as a witness. `Ok(None)`
+    /// means no feasible execution orders them that way — i.e. `second`
+    /// MHB `first` (when `first ≠ second`). Errors at the first exhausted
+    /// budget resource.
+    pub fn try_witness_before(
+        &mut self,
+        first: EventId,
+        second: EventId,
+    ) -> Result<Option<Vec<EventId>>, EngineError> {
+        self.memo.try_witness_before(self.ctx, first, second)
+    }
+
+    /// Infallible [`QuerySession::try_witness_before`] for unbudgeted
+    /// sessions.
+    ///
+    /// # Panics
+    /// Panics if the session's budget is exhausted mid-query; sessions
+    /// opened with [`QuerySession::new`] never are.
+    pub fn witness_before(&mut self, first: EventId, second: EventId) -> Option<Vec<EventId>> {
+        self.try_witness_before(first, second)
+            .unwrap_or_else(|e| panic!("witness query exceeded its budget: {e}"))
+    }
+
+    /// Searches for a feasible execution in which `a` and `b` are
+    /// simultaneously ready to execute (and running both keeps completion
+    /// reachable). Returns the schedule prefix up to that state.
+    ///
+    /// This decides the operational could-be-concurrent relation;
+    /// `Ok(None)` means the pair is must-ordered in the operational sense.
+    /// Errors at the first exhausted budget resource.
+    pub fn try_witness_overlap(
+        &mut self,
+        a: EventId,
+        b: EventId,
+    ) -> Result<Option<Vec<EventId>>, EngineError> {
+        self.memo.try_witness_overlap(self.ctx, a, b)
+    }
+
+    /// Infallible [`QuerySession::try_witness_overlap`] for unbudgeted
+    /// sessions.
+    ///
+    /// # Panics
+    /// Panics if the session's budget is exhausted mid-query; sessions
+    /// opened with [`QuerySession::new`] never are.
+    pub fn witness_overlap(&mut self, a: EventId, b: EventId) -> Option<Vec<EventId>> {
+        self.try_witness_overlap(a, b)
+            .unwrap_or_else(|e| panic!("witness query exceeded its budget: {e}"))
+    }
+
+    /// Decides `a MHB b` by witness search: true iff **no** feasible
+    /// schedule runs `b` before `a`. Errors at the first exhausted budget
+    /// resource.
     pub fn try_must_happen_before(&mut self, a: EventId, b: EventId) -> Result<bool, EngineError> {
-        Ok(a != b && self.try_witness_before(b, a)?.is_none())
+        self.memo.try_must_happen_before(self.ctx, a, b)
     }
 
     /// Decides `a CHB b` by witness search: true iff some feasible
     /// schedule runs `a` before `b`. Errors at the first exhausted budget
     /// resource.
     pub fn try_could_happen_before(&mut self, a: EventId, b: EventId) -> Result<bool, EngineError> {
-        Ok(a != b && self.try_witness_before(a, b)?.is_some())
+        self.memo.try_could_happen_before(self.ctx, a, b)
     }
 
     /// Decides operational `a CCW b` by witness search. Errors at the
     /// first exhausted budget resource.
     pub fn try_could_be_concurrent(&mut self, a: EventId, b: EventId) -> Result<bool, EngineError> {
-        Ok(a != b && self.try_witness_overlap(a, b)?.is_some())
+        self.memo.try_could_be_concurrent(self.ctx, a, b)
     }
 
     /// Decides `a MHB b` by witness search: true iff **no** feasible
@@ -686,6 +810,31 @@ mod tests {
             }
         }
         let _ = ids;
+    }
+
+    #[test]
+    fn detached_memo_survives_its_session() {
+        // The serve layer's pattern: open a scoped session, run a query,
+        // detach the memo, rebuild a context later, and keep querying —
+        // the dead-set must carry over (interned count must not reset).
+        let (trace, ids) = fixtures::figure1();
+        let exec = trace.to_execution().unwrap();
+        let ctx = ctx_of(&exec);
+        let mut session = QuerySession::new(&ctx);
+        let w1 = session.witness_before(ids.post_left, ids.post_right);
+        let after_first = session.interned_states();
+        let mut memo = session.into_memo();
+        let ctx2 = ctx_of(&exec);
+        let w2 = memo
+            .try_witness_before(&ctx2, ids.post_left, ids.post_right)
+            .unwrap();
+        assert_eq!(w1, w2, "same query, same answer through the detached memo");
+        assert!(memo.interned_states() >= after_first);
+        assert_eq!(
+            memo.try_must_happen_before(&ctx2, ids.post_left, ids.post_right)
+                .unwrap(),
+            must_happen_before(&ctx, ids.post_left, ids.post_right)
+        );
     }
 
     #[test]

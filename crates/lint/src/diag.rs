@@ -187,6 +187,7 @@ impl LintReport {
             })
             .collect();
         Value::Object(vec![
+            ("schema_version".to_string(), Value::Int(1)),
             ("diagnostics".to_string(), Value::Array(diags)),
             (
                 "errors".to_string(),

@@ -54,6 +54,12 @@ pub struct Report {
     pub gauges: BTreeMap<String, MetricValue>,
 }
 
+/// Version stamped into every JSON document this module emits (and every
+/// other `eo` JSON emitter — lint reports, degraded summaries, serve
+/// responses) as a top-level `"schema_version"` field, so downstream
+/// consumers can detect incompatible evolutions of the formats.
+pub const SCHEMA_VERSION: i64 = 1;
+
 /// The well-known engine metrics registry.
 ///
 /// [`Report::metrics_with_defaults`] guarantees every name below appears in
@@ -80,6 +86,10 @@ pub const ENGINE_METRICS: &[&str] = &[
     "budget.headroom_ms",
     "budget.headroom_states",
     "budget.headroom_bytes",
+    "serve.queries",
+    "serve.cache_hits",
+    "serve.cache_misses",
+    "serve.prefilter_hits",
 ];
 
 /// Name of the string metric recording why an analysis degraded.
@@ -190,12 +200,14 @@ impl Report {
     }
 }
 
-/// Serializes a flat metrics map to a single JSON object (sorted keys).
+/// Serializes a flat metrics map to a single JSON object (sorted keys,
+/// preceded by a [`SCHEMA_VERSION`] stamp).
 pub fn metrics_to_json(metrics: &BTreeMap<String, MetricValue>) -> String {
-    let fields: Vec<(String, Value)> = metrics
-        .iter()
-        .map(|(k, v)| (k.clone(), v.to_value()))
-        .collect();
+    let mut fields: Vec<(String, Value)> = vec![(
+        "schema_version".to_owned(),
+        Value::Num(SCHEMA_VERSION as f64),
+    )];
+    fields.extend(metrics.iter().map(|(k, v)| (k.clone(), v.to_value())));
     let mut text = Value::Obj(fields).to_json();
     text.push('\n');
     text
@@ -205,7 +217,8 @@ pub fn metrics_to_json(metrics: &BTreeMap<String, MetricValue>) -> String {
 ///
 /// Numbers with no fractional part come back as [`MetricValue::Int`], so an
 /// integer metric round-trips exactly; anything non-numeric and non-string
-/// is rejected.
+/// is rejected. The `"schema_version"` stamp is format metadata, not a
+/// metric, and is stripped on the way in.
 pub fn metrics_from_json(text: &str) -> Result<BTreeMap<String, MetricValue>, json::ParseError> {
     let parsed = json::parse(text)?;
     let Value::Obj(fields) = parsed else {
@@ -216,6 +229,9 @@ pub fn metrics_from_json(text: &str) -> Result<BTreeMap<String, MetricValue>, js
     };
     let mut out = BTreeMap::new();
     for (key, value) in fields {
+        if key == "schema_version" {
+            continue;
+        }
         let mv = match value {
             Value::Num(_) => match value.as_i64() {
                 Some(i) => MetricValue::Int(i),
@@ -260,6 +276,10 @@ pub fn trace_to_json(report: &Report) -> String {
         })
         .collect();
     let doc = Value::Obj(vec![
+        (
+            "schema_version".to_owned(),
+            Value::Num(SCHEMA_VERSION as f64),
+        ),
         ("traceEvents".to_owned(), Value::Arr(events)),
         ("displayTimeUnit".to_owned(), Value::Str("ms".to_owned())),
     ]);

@@ -34,7 +34,7 @@
 
 use eo_approx::cs::{StaticOrderings, StmtId};
 use eo_approx::VectorClockHb;
-use eo_engine::{Budget, EngineError, FeasibilityMode, QuerySession, SearchCtx};
+use eo_engine::{Budget, EngineError, FeasibilityMode, QueryMemo, QuerySession, SearchCtx};
 use eo_model::{EventId, ProgramExecution};
 
 /// A (potential) data race: an unordered conflicting pair. Stored with
@@ -74,6 +74,37 @@ pub fn exact_races(exec: &ProgramExecution) -> Vec<Race> {
         .into_iter()
         .filter(|r| session.could_be_concurrent(r.first, r.second))
         .collect()
+}
+
+/// [`exact_races`] probing a caller-owned [`QueryMemo`] under the memo's
+/// budget — the serving layer's entry point: a long-lived session keeps
+/// one dependence-ignoring memo, so repeated race queries (and the
+/// could-be-concurrent point queries sharing the memo) re-walk a lattice
+/// that is already charted.
+///
+/// `ctx` must be the dependence-ignoring context the memo was opened for
+/// (races are defined over the Section 5.3 feasibility space; a
+/// dependence-preserving context would order every candidate by
+/// construction). Errors at the memo budget's first exhausted resource.
+///
+/// # Panics
+/// Panics if `ctx` preserves dependences.
+pub fn try_exact_races_with_memo(
+    ctx: &SearchCtx<'_>,
+    memo: &mut QueryMemo,
+) -> Result<Vec<Race>, EngineError> {
+    assert_eq!(
+        ctx.mode(),
+        FeasibilityMode::IgnoreDependences,
+        "race detection searches the dependence-ignoring space"
+    );
+    let mut races = Vec::new();
+    for r in conflicting_pairs(ctx.exec()) {
+        if memo.try_could_be_concurrent(ctx, r.first, r.second)? {
+            races.push(r);
+        }
+    }
+    Ok(races)
 }
 
 /// Outcome of the statically pruned exact detector
@@ -547,6 +578,31 @@ mod tests {
             for r in &d.refuted {
                 assert!(!exact.contains(r), "{name}: refuted {r:?} is real");
             }
+        }
+    }
+
+    #[test]
+    fn memo_detector_matches_exact_and_is_idempotent() {
+        use eo_lang::generator::{generate_trace, WorkloadSpec};
+        for trace in [
+            fixtures::shared_counter_race().0,
+            fixtures::figure1().0,
+            generate_trace(&WorkloadSpec::small_semaphore(3), 40),
+        ] {
+            let exec = trace.to_execution().unwrap();
+            let ctx = SearchCtx::new(&exec, FeasibilityMode::IgnoreDependences);
+            let mut memo = QueryMemo::new(&ctx);
+            let expected = exact_races(&exec);
+            assert_eq!(
+                try_exact_races_with_memo(&ctx, &mut memo).unwrap(),
+                expected
+            );
+            // A second pass over the warm memo must answer identically —
+            // the dead-set memo never changes answers, only their cost.
+            assert_eq!(
+                try_exact_races_with_memo(&ctx, &mut memo).unwrap(),
+                expected
+            );
         }
     }
 

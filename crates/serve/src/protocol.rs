@@ -1,0 +1,329 @@
+//! The serve wire protocol: JSON requests in, JSON responses out.
+//!
+//! Requests are newline-delimited JSON objects (or one JSON array of
+//! such objects, as accepted by `eo serve --batch`):
+//!
+//! ```json
+//! {"id": 1, "op": "mhb", "a": 0, "b": 3}
+//! {"id": 2, "op": "witness_overlap", "a": "p1.w", "b": "p2.w"}
+//! {"id": 3, "op": "summary"}
+//! {"id": 4, "op": "races"}
+//! ```
+//!
+//! `op` is one of `mhb`, `chb`, `ccw`, `witness_before`,
+//! `witness_overlap`, `summary`, `races`. Event references `a` / `b` are
+//! either zero-based event indices or event label strings. `id` is echoed
+//! back verbatim (any JSON value) so clients can correlate out-of-order
+//! processing; it is optional.
+//!
+//! Every response is one JSON object carrying `"schema_version": 1` and a
+//! `status` of `"exact"` (the answer is exact), `"degraded"` (a budget
+//! stopped the search; `cause` says which bound), or `"error"` (the
+//! request itself was malformed). Exact responses also say whether they
+//! were served from a cross-query cache (`cached`) or decided by the
+//! polynomial prefilter (`prefilter`).
+
+use crate::session::SessionReply;
+use eo_engine::{Answer, EngineError, Query};
+use eo_model::{EventId, ProgramExecution};
+use eo_obs::json::{self, Value};
+use eo_obs::report::SCHEMA_VERSION;
+use eo_race::Race;
+
+/// One operation a serve session can perform: an engine [`Query`] or the
+/// serve-level race report (races are a derived analysis over CCW, not an
+/// engine query, so they live in this layer's vocabulary).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ServeOp {
+    /// A point query answered by the engine/session.
+    Query(Query),
+    /// The exact race report for the whole program.
+    Races,
+}
+
+impl ServeOp {
+    /// The protocol `op` string for this operation.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ServeOp::Query(q) => q.op_name(),
+            ServeOp::Races => "races",
+        }
+    }
+}
+
+/// One parsed request line: the echoed `id` (if any) plus either the
+/// operation or a parse error to report back.
+#[derive(Clone, Debug)]
+pub struct ParsedRequest {
+    /// The client's correlation id, echoed back verbatim.
+    pub id: Option<Value>,
+    /// The operation, or why the request line was rejected.
+    pub op: Result<ServeOp, String>,
+}
+
+/// Parses a request stream: newline-delimited JSON objects, or a single
+/// JSON array of request objects. Blank lines are skipped. Malformed
+/// entries become `Err` items (one response is still owed per request),
+/// never a whole-batch failure.
+pub fn parse_requests(exec: &ProgramExecution, input: &str) -> Vec<ParsedRequest> {
+    let trimmed = input.trim_start();
+    if trimmed.starts_with('[') {
+        return match json::parse(trimmed) {
+            Ok(Value::Arr(items)) => items.iter().map(|v| parse_one(exec, v)).collect(),
+            Ok(_) => vec![ParsedRequest {
+                id: None,
+                op: Err("batch file must be a JSON array of request objects".to_owned()),
+            }],
+            Err(e) => vec![ParsedRequest {
+                id: None,
+                op: Err(format!("invalid batch JSON: {e}")),
+            }],
+        };
+    }
+    input
+        .lines()
+        .filter(|line| !line.trim().is_empty())
+        .map(|line| match json::parse(line) {
+            Ok(v) => parse_one(exec, &v),
+            Err(e) => ParsedRequest {
+                id: None,
+                op: Err(format!("invalid request JSON: {e}")),
+            },
+        })
+        .collect()
+}
+
+fn parse_one(exec: &ProgramExecution, v: &Value) -> ParsedRequest {
+    let id = v.get("id").cloned();
+    ParsedRequest {
+        id,
+        op: parse_op(exec, v),
+    }
+}
+
+fn parse_op(exec: &ProgramExecution, v: &Value) -> Result<ServeOp, String> {
+    if !matches!(v, Value::Obj(_)) {
+        return Err("each request must be a JSON object".to_owned());
+    }
+    let op = v
+        .get("op")
+        .and_then(Value::as_str)
+        .ok_or_else(|| "request needs a string \"op\" field".to_owned())?;
+    let pair = |distinct: bool| -> Result<(EventId, EventId), String> {
+        let a = event_ref(exec, v, "a")?;
+        let b = event_ref(exec, v, "b")?;
+        if distinct && a == b {
+            return Err(format!(
+                "op \"{op}\" needs two distinct events, got \"a\" == \"b\""
+            ));
+        }
+        Ok((a, b))
+    };
+    let q = match op {
+        "mhb" => {
+            let (a, b) = pair(false)?;
+            Query::Mhb { a, b }
+        }
+        "chb" => {
+            let (a, b) = pair(false)?;
+            Query::Chb { a, b }
+        }
+        "ccw" => {
+            let (a, b) = pair(false)?;
+            Query::Ccw { a, b }
+        }
+        "witness_before" => {
+            let (first, second) = pair(true)?;
+            Query::WitnessBefore { first, second }
+        }
+        "witness_overlap" => {
+            let (a, b) = pair(true)?;
+            Query::WitnessOverlap { a, b }
+        }
+        "summary" => Query::Summary,
+        "races" => return Ok(ServeOp::Races),
+        other => {
+            return Err(format!(
+                "unknown op {other:?} (expected mhb, chb, ccw, witness_before, \
+                 witness_overlap, summary, or races)"
+            ))
+        }
+    };
+    Ok(ServeOp::Query(q))
+}
+
+/// Resolves an event reference: a zero-based index or a label string.
+fn event_ref(exec: &ProgramExecution, v: &Value, key: &str) -> Result<EventId, String> {
+    let n = exec.n_events();
+    match v.get(key) {
+        None => Err(format!("op needs an event reference in \"{key}\"")),
+        Some(Value::Str(label)) => exec
+            .event_labeled(label)
+            .ok_or_else(|| format!("no event labeled {label:?}")),
+        Some(value) => match value.as_i64() {
+            Some(i) if i >= 0 && (i as usize) < n => Ok(EventId::new(i as usize)),
+            Some(i) => Err(format!(
+                "event index {i} out of range (program has {n} events)"
+            )),
+            None => Err(format!(
+                "\"{key}\" must be an event index or a label string"
+            )),
+        },
+    }
+}
+
+fn base_fields(id: &Option<Value>, op: &str, status: &str) -> Vec<(String, Value)> {
+    vec![
+        (
+            "schema_version".to_owned(),
+            Value::Num(SCHEMA_VERSION as f64),
+        ),
+        ("id".to_owned(), id.clone().unwrap_or(Value::Null)),
+        ("op".to_owned(), Value::Str(op.to_owned())),
+        ("status".to_owned(), Value::Str(status.to_owned())),
+    ]
+}
+
+fn witness_value(witness: &Option<Vec<EventId>>) -> Value {
+    match witness {
+        None => Value::Null,
+        Some(schedule) => Value::Arr(
+            schedule
+                .iter()
+                .map(|e| Value::Num(e.index() as f64))
+                .collect(),
+        ),
+    }
+}
+
+/// Renders one exact session reply as a response document.
+pub fn render_reply(id: &Option<Value>, reply: &SessionReply) -> String {
+    let mut fields = base_fields(id, reply.response.query.op_name(), "exact");
+    fields.push(("cached".to_owned(), Value::Bool(reply.cached)));
+    fields.push(("prefilter".to_owned(), Value::Bool(reply.prefilter)));
+    match &reply.response.answer {
+        Answer::Decided(v) => fields.push(("answer".to_owned(), Value::Bool(*v))),
+        Answer::Witness(w) => fields.push(("witness".to_owned(), witness_value(w))),
+        Answer::Summary(s) => {
+            let mhb_pairs = s.mhb_relation().pair_count();
+            fields.push((
+                "summary".to_owned(),
+                Value::Obj(vec![
+                    ("events".to_owned(), Value::Num(s.n_events() as f64)),
+                    ("classes".to_owned(), Value::Num(s.class_count() as f64)),
+                    ("states".to_owned(), Value::Num(s.state_count() as f64)),
+                    ("mhb_pairs".to_owned(), Value::Num(mhb_pairs as f64)),
+                    (
+                        "chb_pairs".to_owned(),
+                        Value::Num(s.chb_relation().pair_count() as f64),
+                    ),
+                    (
+                        "ccw_pairs".to_owned(),
+                        Value::Num(s.ccw_relation().pair_count() as f64),
+                    ),
+                ]),
+            ));
+        }
+        other => fields.push(("answer_debug".to_owned(), Value::Str(format!("{other:?}")))),
+    }
+    Value::Obj(fields).to_json()
+}
+
+/// Renders the race report response.
+pub fn render_races(id: &Option<Value>, races: &[Race], cached: bool) -> String {
+    let mut fields = base_fields(id, "races", "exact");
+    fields.push(("cached".to_owned(), Value::Bool(cached)));
+    fields.push(("prefilter".to_owned(), Value::Bool(false)));
+    fields.push(("count".to_owned(), Value::Num(races.len() as f64)));
+    fields.push((
+        "races".to_owned(),
+        Value::Arr(
+            races
+                .iter()
+                .map(|r| {
+                    Value::Obj(vec![
+                        ("first".to_owned(), Value::Num(r.first.index() as f64)),
+                        ("second".to_owned(), Value::Num(r.second.index() as f64)),
+                    ])
+                })
+                .collect(),
+        ),
+    ));
+    Value::Obj(fields).to_json()
+}
+
+/// Renders a degraded response: the budget stopped this query's search.
+pub fn render_degraded(id: &Option<Value>, op: &str, error: &EngineError) -> String {
+    let mut fields = base_fields(id, op, "degraded");
+    fields.push((
+        "cause".to_owned(),
+        Value::Str(error.cause_label().to_owned()),
+    ));
+    fields.push(("error".to_owned(), Value::Str(error.to_string())));
+    Value::Obj(fields).to_json()
+}
+
+/// Renders a request-level error response (malformed request, unknown
+/// event, worker failure).
+pub fn render_error(id: &Option<Value>, message: &str) -> String {
+    let mut fields = base_fields(id, "error", "error");
+    fields.push(("error".to_owned(), Value::Str(message.to_owned())));
+    Value::Obj(fields).to_json()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eo_model::{fixtures, ProgramExecution};
+
+    fn figure1() -> ProgramExecution {
+        let (trace, _) = fixtures::figure1();
+        ProgramExecution::from_trace(trace).expect("fixture is valid")
+    }
+
+    #[test]
+    fn parses_ndjson_with_indices_labels_and_errors() {
+        let exec = figure1();
+        let input = "\n{\"id\": 1, \"op\": \"mhb\", \"a\": 0, \"b\": 1}\n\
+                     {\"id\": 2, \"op\": \"witness_before\", \"a\": 3, \"b\": 3}\n\
+                     {\"op\": \"races\"}\n\
+                     not json\n";
+        let reqs = parse_requests(&exec, input);
+        assert_eq!(reqs.len(), 4);
+        assert_eq!(
+            reqs[0].op,
+            Ok(ServeOp::Query(Query::Mhb {
+                a: EventId::new(0),
+                b: EventId::new(1)
+            }))
+        );
+        assert!(reqs[1].op.as_ref().is_err_and(|e| e.contains("distinct")));
+        assert_eq!(reqs[2].op, Ok(ServeOp::Races));
+        assert!(reqs[2].id.is_none());
+        assert!(reqs[3].op.is_err());
+    }
+
+    #[test]
+    fn parses_a_json_array_batch() {
+        let exec = figure1();
+        let input = r#"[{"id": "x", "op": "summary"}, {"op": "ccw", "a": 90, "b": 0}]"#;
+        let reqs = parse_requests(&exec, input);
+        assert_eq!(reqs.len(), 2);
+        assert_eq!(reqs[0].op, Ok(ServeOp::Query(Query::Summary)));
+        assert_eq!(reqs[0].id, Some(Value::Str("x".to_owned())));
+        assert!(reqs[1]
+            .op
+            .as_ref()
+            .is_err_and(|e| e.contains("out of range")));
+    }
+
+    #[test]
+    fn responses_carry_schema_version_and_echo_ids() {
+        let rendered = render_error(&Some(Value::Num(7.0)), "boom");
+        let v = eo_obs::json::parse(&rendered).expect("valid JSON");
+        assert_eq!(v.get("schema_version").and_then(Value::as_i64), Some(1));
+        assert_eq!(v.get("id").and_then(Value::as_i64), Some(7));
+        assert_eq!(v.get("status").and_then(Value::as_str), Some("error"));
+        assert_eq!(v.get("error").and_then(Value::as_str), Some("boom"));
+    }
+}

@@ -1,0 +1,269 @@
+//! The batch server: parse a request stream, shard it across worker
+//! sessions, and render one response document per request, in order.
+//!
+//! Sharding is contiguous: with `threads` workers the request list is cut
+//! into `threads` runs and each run is answered by its own
+//! [`AnalysisSession`] on a [`run_tasks`] worker (panic-isolated; a dead
+//! worker degrades only its own run to error responses). Contiguous runs
+//! keep each session's cache locality — adjacent requests in real batches
+//! tend to probe related pairs — and keep the output ordering trivial.
+//! All workers share one cancellation-linked budget: cloning a
+//! [`Budget`](eo_engine::Budget) shares its cancel flag, so `eo serve`'s
+//! `--timeout` stops every worker, exactly like the one-shot CLI paths.
+
+use crate::protocol::{
+    parse_requests, render_degraded, render_error, render_races, render_reply, ParsedRequest,
+    ServeOp,
+};
+use crate::session::{AnalysisSession, SessionConfig, SessionStats};
+use eo_engine::run_tasks;
+use eo_model::ProgramExecution;
+
+/// Server configuration: session settings plus the worker count.
+#[derive(Clone, Debug, Default)]
+pub struct ServeConfig {
+    /// Per-worker session configuration.
+    pub session: SessionConfig,
+    /// Worker threads for batch sharding; `0` means auto (one per core),
+    /// `1` (via `Default`) keeps the whole batch on one session, which
+    /// maximizes cross-query cache reuse.
+    pub threads: usize,
+}
+
+/// What a batch run produced.
+#[derive(Clone, Debug)]
+pub struct ServeOutcome {
+    /// One rendered JSON response per request, in request order.
+    pub responses: Vec<String>,
+    /// Aggregated session counters (also published as `serve.*` metrics).
+    pub stats: SessionStats,
+    /// At least one query was stopped by a budget.
+    pub any_degraded: bool,
+    /// At least one request was malformed or lost to a worker failure.
+    pub any_error: bool,
+}
+
+/// Parses and answers a whole request stream (NDJSON or a JSON array).
+pub fn serve_batch(exec: &ProgramExecution, input: &str, config: &ServeConfig) -> ServeOutcome {
+    serve_requests(exec, parse_requests(exec, input), config)
+}
+
+/// Answers already-parsed requests, sharding across workers when asked.
+pub fn serve_requests(
+    exec: &ProgramExecution,
+    requests: Vec<ParsedRequest>,
+    config: &ServeConfig,
+) -> ServeOutcome {
+    let threads = if config.threads == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        config.threads
+    };
+    let chunks = split_contiguous(requests, threads);
+    let chunk_sizes: Vec<usize> = chunks.iter().map(Vec::len).collect();
+    let results = run_tasks(threads, chunks, |chunk| {
+        let mut session = AnalysisSession::with_config(exec, config.session.clone());
+        let responses: Vec<(String, Disposition)> = chunk
+            .iter()
+            .map(|request| answer_one(&mut session, request))
+            .collect();
+        (responses, session.stats())
+    });
+
+    let mut outcome = ServeOutcome {
+        responses: Vec::new(),
+        stats: SessionStats::default(),
+        any_degraded: false,
+        any_error: false,
+    };
+    for (slot, size) in results.into_iter().zip(chunk_sizes) {
+        match slot {
+            Some((responses, stats)) => {
+                outcome.stats.merge(&stats);
+                for (rendered, disposition) in responses {
+                    match disposition {
+                        Disposition::Exact => {}
+                        Disposition::Degraded => outcome.any_degraded = true,
+                        Disposition::Error => outcome.any_error = true,
+                    }
+                    outcome.responses.push(rendered);
+                }
+            }
+            None => {
+                // The worker for this run panicked; each of its requests
+                // still gets a response so the output stays aligned.
+                outcome.any_error = true;
+                for _ in 0..size {
+                    outcome.responses.push(render_error(
+                        &None,
+                        "worker failed while serving this request",
+                    ));
+                }
+            }
+        }
+    }
+    eo_obs::counter!("serve.queries", outcome.stats.queries);
+    eo_obs::counter!("serve.cache_hits", outcome.stats.cache_hits);
+    eo_obs::counter!("serve.cache_misses", outcome.stats.cache_misses);
+    eo_obs::counter!("serve.prefilter_hits", outcome.stats.prefilter_hits);
+    outcome
+}
+
+enum Disposition {
+    Exact,
+    Degraded,
+    Error,
+}
+
+fn answer_one(session: &mut AnalysisSession<'_>, request: &ParsedRequest) -> (String, Disposition) {
+    let op = match &request.op {
+        Err(message) => return (render_error(&request.id, message), Disposition::Error),
+        Ok(op) => *op,
+    };
+    match op {
+        ServeOp::Query(query) => match session.query(query) {
+            Ok(reply) => (render_reply(&request.id, &reply), Disposition::Exact),
+            Err(e) => (
+                render_degraded(&request.id, query.op_name(), &e),
+                Disposition::Degraded,
+            ),
+        },
+        ServeOp::Races => match session.races() {
+            Ok((races, cached)) => (
+                render_races(&request.id, &races, cached),
+                Disposition::Exact,
+            ),
+            Err(e) => (
+                render_degraded(&request.id, "races", &e),
+                Disposition::Degraded,
+            ),
+        },
+    }
+}
+
+/// Cuts `items` into at most `parts` contiguous runs of near-equal size.
+fn split_contiguous<T>(items: Vec<T>, parts: usize) -> Vec<Vec<T>> {
+    let parts = parts.max(1);
+    if items.is_empty() {
+        return Vec::new();
+    }
+    let chunk = items.len().div_ceil(parts);
+    let mut out: Vec<Vec<T>> = Vec::with_capacity(parts);
+    let mut run: Vec<T> = Vec::with_capacity(chunk);
+    for item in items {
+        run.push(item);
+        if run.len() == chunk {
+            out.push(std::mem::take(&mut run));
+        }
+    }
+    if !run.is_empty() {
+        out.push(run);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eo_model::fixtures;
+    use eo_obs::json::{self, Value};
+
+    fn figure1() -> ProgramExecution {
+        let (trace, _) = fixtures::figure1();
+        ProgramExecution::from_trace(trace).expect("fixture is valid")
+    }
+
+    #[test]
+    fn split_contiguous_preserves_order_and_covers_everything() {
+        let runs = split_contiguous((0..10).collect::<Vec<_>>(), 3);
+        assert_eq!(runs.len(), 3);
+        assert_eq!(runs.concat(), (0..10).collect::<Vec<_>>());
+        assert!(split_contiguous(Vec::<u8>::new(), 4).is_empty());
+        assert_eq!(split_contiguous(vec![1], 4), vec![vec![1]]);
+    }
+
+    #[test]
+    fn a_small_batch_is_served_in_order_with_exact_answers() {
+        let exec = figure1();
+        let input = "{\"id\": 1, \"op\": \"mhb\", \"a\": 0, \"b\": 1}\n\
+                     {\"id\": 2, \"op\": \"mhb\", \"a\": 0, \"b\": 1}\n\
+                     {\"id\": 3, \"op\": \"nope\"}\n";
+        let out = serve_batch(&exec, input, &ServeConfig::default());
+        assert_eq!(out.responses.len(), 3);
+        assert!(!out.any_degraded);
+        assert!(out.any_error, "the unknown op is an error response");
+        let parsed: Vec<Value> = out
+            .responses
+            .iter()
+            .map(|r| json::parse(r).expect("responses are valid JSON"))
+            .collect();
+        for (i, v) in parsed.iter().enumerate() {
+            assert_eq!(v.get("schema_version").and_then(Value::as_i64), Some(1));
+            assert_eq!(
+                v.get("id").and_then(Value::as_i64),
+                Some(i as i64 + 1),
+                "responses come back in request order"
+            );
+        }
+        assert_eq!(parsed[0].get("cached"), Some(&Value::Bool(false)));
+        assert_eq!(
+            parsed[1].get("cached"),
+            Some(&Value::Bool(true)),
+            "the repeated query is a cache hit"
+        );
+        assert_eq!(
+            parsed[0].get("answer"),
+            parsed[1].get("answer"),
+            "cache hit and engine answer agree"
+        );
+        assert_eq!(
+            parsed[2].get("status").and_then(Value::as_str),
+            Some("error")
+        );
+        assert_eq!(out.stats.queries, 2);
+        assert_eq!(out.stats.cache_hits, 1);
+    }
+
+    #[test]
+    fn sharded_serving_matches_single_threaded_output() {
+        let exec = figure1();
+        let n = exec.n_events();
+        let mut input = String::new();
+        let mut id = 0;
+        for a in 0..n {
+            for b in 0..n {
+                for op in ["mhb", "ccw"] {
+                    id += 1;
+                    input.push_str(&format!(
+                        "{{\"id\": {id}, \"op\": \"{op}\", \"a\": {a}, \"b\": {b}}}\n"
+                    ));
+                }
+            }
+        }
+        let single = serve_batch(
+            &exec,
+            &input,
+            &ServeConfig {
+                threads: 1,
+                ..Default::default()
+            },
+        );
+        let sharded = serve_batch(
+            &exec,
+            &input,
+            &ServeConfig {
+                threads: 3,
+                ..Default::default()
+            },
+        );
+        assert_eq!(single.responses.len(), sharded.responses.len());
+        for (a, b) in single.responses.iter().zip(&sharded.responses) {
+            let (va, vb) = (json::parse(a).unwrap(), json::parse(b).unwrap());
+            // Cache dispositions differ across shard boundaries; the
+            // answers themselves must not.
+            assert_eq!(va.get("id"), vb.get("id"));
+            assert_eq!(va.get("answer"), vb.get("answer"));
+            assert_eq!(va.get("status"), vb.get("status"));
+        }
+    }
+}

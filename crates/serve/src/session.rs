@@ -1,0 +1,428 @@
+//! [`AnalysisSession`]: one program, one interned state space, many
+//! queries.
+//!
+//! A session owns the engine-side [`QueryMemo`] (interned state arena,
+//! dead-state memo, epoch-stamped visit sets) plus the serving-side
+//! caches from [`crate::cache`]. Every answer it produces is exact and
+//! bit-identical to a fresh one-shot [`eo_engine::ExactEngine`] run of the
+//! same query under the same [`EngineOptions`] — the differential test
+//! `tests/batch_differential.rs` pins this. What the session changes is
+//! *cost*: repeated, symmetric, complementary, or transitively implied
+//! queries are answered from caches without touching the state space, and
+//! queries that do search reuse every state interned so far.
+
+use crate::cache::{FactKind, FactStore, WitnessCache};
+use eo_approx::{SafeOrderings, TaskGraph};
+use eo_engine::{
+    Answer, EngineError, EngineOptions, ExactEngine, FeasibilityMode, OrderingSummary, Query,
+    QueryMemo, Response, SearchCtx,
+};
+use eo_model::{EventId, ProgramExecution};
+use eo_race::Race;
+use eo_relations::fxhash::FxHasher;
+use eo_relations::Relation;
+use std::hash::Hasher;
+
+/// Serving-side configuration for an [`AnalysisSession`].
+#[derive(Clone, Debug)]
+pub struct SessionConfig {
+    /// Engine configuration (feasibility mode, limits, budget). The
+    /// session resolves budgets through
+    /// [`EngineOptions::effective_budget`], exactly as one-shot queries
+    /// do.
+    pub engine: EngineOptions,
+    /// Cross-query result caching (fact store, witness LRU, memoized
+    /// summary and race reports). Answers are identical either way; off
+    /// exists for differential testing and benchmarking.
+    pub cache: bool,
+    /// The polynomial guaranteed-ordering prefilter (HMW safe orderings ∪
+    /// EGP task graph): sound fast-path answers for pairs the cheap
+    /// analyses already decide.
+    pub prefilter: bool,
+    /// Capacity of the witness-schedule LRU (entries, not bytes).
+    pub witness_capacity: usize,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        SessionConfig {
+            engine: EngineOptions::default(),
+            cache: true,
+            prefilter: true,
+            witness_capacity: 256,
+        }
+    }
+}
+
+/// Running counters for one session; the server aggregates these into the
+/// `serve.*` metrics in [`eo_obs`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Queries answered (including degraded ones).
+    pub queries: u64,
+    /// Queries answered from a cross-query cache without any search.
+    pub cache_hits: u64,
+    /// Queries that were not cache hits.
+    pub cache_misses: u64,
+    /// Cache misses decided by the polynomial guarantee relation alone.
+    pub prefilter_hits: u64,
+}
+
+impl SessionStats {
+    /// Accumulates another session's counters (used when a batch is
+    /// split across worker sessions).
+    pub fn merge(&mut self, other: &SessionStats) {
+        self.queries += other.queries;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.prefilter_hits += other.prefilter_hits;
+    }
+}
+
+/// A [`Response`] plus serving metadata: where the answer came from.
+#[derive(Clone, Debug)]
+pub struct SessionReply {
+    /// The query and its exact answer.
+    pub response: Response,
+    /// Answered from a cross-query cache (fact store, witness LRU,
+    /// memoized summary) without running any search.
+    pub cached: bool,
+    /// Decided by the polynomial guarantee prefilter.
+    pub prefilter: bool,
+}
+
+/// A long-lived analysis session over one program execution.
+///
+/// Construction is cheap (the state space grows lazily, query by query).
+/// The session is `!Sync` by design — one mutable owner per state space;
+/// the server shards batches across independent sessions instead.
+pub struct AnalysisSession<'e> {
+    exec: &'e ProgramExecution,
+    fingerprint: u64,
+    config: SessionConfig,
+    ctx: SearchCtx<'e>,
+    memo: QueryMemo,
+    /// Race detection requires the operational F(P) (`IgnoreDependences`);
+    /// when the session's own mode differs, a second context + memo are
+    /// built lazily for it.
+    race_ctx: Option<SearchCtx<'e>>,
+    race_memo: Option<QueryMemo>,
+    facts: FactStore,
+    witnesses: WitnessCache,
+    summary: Option<Box<OrderingSummary>>,
+    races: Option<Vec<Race>>,
+    guarantee: Option<Relation>,
+    stats: SessionStats,
+}
+
+impl<'e> AnalysisSession<'e> {
+    /// Opens a session with default configuration.
+    pub fn new(exec: &'e ProgramExecution) -> Self {
+        AnalysisSession::with_config(exec, SessionConfig::default())
+    }
+
+    /// Opens a session with explicit configuration.
+    pub fn with_config(exec: &'e ProgramExecution, config: SessionConfig) -> Self {
+        let ctx = SearchCtx::new(exec, config.engine.mode);
+        let memo = QueryMemo::with_budget(&ctx, config.engine.effective_budget());
+        let n = exec.n_events();
+        AnalysisSession {
+            exec,
+            fingerprint: fingerprint(exec),
+            witnesses: WitnessCache::new(config.witness_capacity),
+            config,
+            ctx,
+            memo,
+            race_ctx: None,
+            race_memo: None,
+            facts: FactStore::new(n),
+            summary: None,
+            races: None,
+            guarantee: None,
+            stats: SessionStats::default(),
+        }
+    }
+
+    /// The program execution this session analyses.
+    pub fn exec(&self) -> &'e ProgramExecution {
+        self.exec
+    }
+
+    /// A stable fingerprint of the program's trace; result caches are
+    /// keyed on it so cached answers can never leak across programs.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> SessionStats {
+        self.stats
+    }
+
+    /// States interned in the session's main state arena so far.
+    pub fn interned_states(&self) -> usize {
+        self.memo.interned_states()
+    }
+
+    /// Answers one query. Exact: the reply is bit-identical to
+    /// [`ExactEngine::query`] with the same [`EngineOptions`]; `Err` means
+    /// the budget stopped the search (degraded, not wrong).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a query names an event id out of range, or if a witness
+    /// query repeats the same event (the protocol layer validates both).
+    pub fn query(&mut self, query: Query) -> Result<SessionReply, EngineError> {
+        self.stats.queries += 1;
+        match query {
+            Query::Mhb { a, b } => self.decide(query, FactKind::Mhb, a, b),
+            Query::Chb { a, b } => self.decide(query, FactKind::Chb, a, b),
+            Query::Ccw { a, b } => self.decide(query, FactKind::Ccw, a, b),
+            Query::WitnessBefore { first, second } => self.witness(query, first, second, false),
+            Query::WitnessOverlap { a, b } => self.witness(query, a, b, true),
+            Query::Summary => self.summary_query(),
+            other => {
+                // `Query` is non-exhaustive; a session refusing a new
+                // variant loudly beats silently mis-answering it.
+                unimplemented!("serve session does not handle {other:?}")
+            }
+        }
+    }
+
+    /// Answers a batch in order, collecting per-query results. Budget
+    /// errors degrade the affected queries only; later queries still run
+    /// (and may still be served from caches).
+    pub fn query_batch(&mut self, queries: &[Query]) -> Vec<Result<SessionReply, EngineError>> {
+        queries.iter().map(|&q| self.query(q)).collect()
+    }
+
+    /// The exact race report for this program (operational F(P)). Memoized
+    /// after the first call when caching is on.
+    pub fn races(&mut self) -> Result<(Vec<Race>, bool), EngineError> {
+        self.stats.queries += 1;
+        if self.config.cache {
+            if let Some(r) = &self.races {
+                self.stats.cache_hits += 1;
+                return Ok((r.clone(), true));
+            }
+        }
+        self.stats.cache_misses += 1;
+        let races = if self.config.engine.mode == FeasibilityMode::IgnoreDependences {
+            eo_race::try_exact_races_with_memo(&self.ctx, &mut self.memo)?
+        } else {
+            if self.race_ctx.is_none() {
+                self.race_ctx = Some(SearchCtx::new(
+                    self.exec,
+                    FeasibilityMode::IgnoreDependences,
+                ));
+            }
+            let ctx = self.race_ctx.as_ref().expect("race ctx just installed");
+            let memo = self.race_memo.get_or_insert_with(|| {
+                QueryMemo::with_budget(ctx, self.config.engine.effective_budget())
+            });
+            eo_race::try_exact_races_with_memo(ctx, memo)?
+        };
+        if self.config.cache {
+            self.races = Some(races.clone());
+        }
+        Ok((races, false))
+    }
+
+    fn reply(&self, query: Query, answer: Answer, cached: bool, prefilter: bool) -> SessionReply {
+        SessionReply {
+            response: Response::new(query, answer),
+            cached,
+            prefilter,
+        }
+    }
+
+    fn decide(
+        &mut self,
+        query: Query,
+        kind: FactKind,
+        a: EventId,
+        b: EventId,
+    ) -> Result<SessionReply, EngineError> {
+        assert!(
+            a.index() < self.exec.n_events() && b.index() < self.exec.n_events(),
+            "event id out of range for this program"
+        );
+        if a == b {
+            // Irreflexive by definition; the engine answers without
+            // searching and so do we (counted as neither hit nor miss).
+            return Ok(self.reply(query, Answer::Decided(false), false, false));
+        }
+        if self.config.cache {
+            if let Some(v) = self.facts.lookup(kind, a, b) {
+                self.stats.cache_hits += 1;
+                return Ok(self.reply(query, Answer::Decided(v), true, false));
+            }
+        }
+        self.stats.cache_misses += 1;
+        if self.config.prefilter {
+            if let Some(v) = self.prefilter_decide(kind, a, b) {
+                self.stats.prefilter_hits += 1;
+                if self.config.cache {
+                    self.facts.record(kind, a, b, v);
+                }
+                return Ok(self.reply(query, Answer::Decided(v), false, true));
+            }
+        }
+        let v = match kind {
+            FactKind::Mhb => self.memo.try_must_happen_before(&self.ctx, a, b)?,
+            FactKind::Chb => self.memo.try_could_happen_before(&self.ctx, a, b)?,
+            FactKind::Ccw => self.memo.try_could_be_concurrent(&self.ctx, a, b)?,
+        };
+        if self.config.cache {
+            self.facts.record(kind, a, b, v);
+        }
+        Ok(self.reply(query, Answer::Decided(v), false, false))
+    }
+
+    fn witness(
+        &mut self,
+        query: Query,
+        a: EventId,
+        b: EventId,
+        overlap: bool,
+    ) -> Result<SessionReply, EngineError> {
+        assert!(
+            a.index() < self.exec.n_events() && b.index() < self.exec.n_events(),
+            "event id out of range for this program"
+        );
+        assert!(a != b, "witness queries need two distinct events");
+        // Overlap witnesses are symmetric in (a, b) — the search visits the
+        // same states either way — so the cache key is order-normalized.
+        let key = if overlap {
+            Query::WitnessOverlap {
+                a: EventId::new(a.index().min(b.index())),
+                b: EventId::new(a.index().max(b.index())),
+            }
+        } else {
+            query
+        };
+        if self.config.cache {
+            if let Some(w) = self.witnesses.get(self.fingerprint, key) {
+                self.stats.cache_hits += 1;
+                return Ok(self.reply(query, Answer::Witness(w), true, false));
+            }
+            // A refuted relation instance refutes the witness too: no
+            // schedule to exhibit. (The converse — an affirmed instance —
+            // still needs a search to produce the schedule itself.)
+            let refuted = if overlap {
+                self.facts.lookup(FactKind::Ccw, a, b) == Some(false)
+            } else {
+                self.facts.lookup(FactKind::Chb, a, b) == Some(false)
+            };
+            if refuted {
+                self.stats.cache_hits += 1;
+                return Ok(self.reply(query, Answer::Witness(None), true, false));
+            }
+        }
+        self.stats.cache_misses += 1;
+        if self.config.prefilter {
+            let refuted = if overlap {
+                self.prefilter_decide(FactKind::Ccw, a, b) == Some(false)
+            } else {
+                // G(b, a) forces b before a in every execution: no witness
+                // runs a first.
+                self.guarantee().contains(b.index(), a.index())
+            };
+            if refuted {
+                self.stats.prefilter_hits += 1;
+                if self.config.cache {
+                    let kind = if overlap {
+                        FactKind::Ccw
+                    } else {
+                        FactKind::Chb
+                    };
+                    self.facts.record(kind, a, b, false);
+                    self.witnesses.put(self.fingerprint, key, None);
+                }
+                return Ok(self.reply(query, Answer::Witness(None), false, true));
+            }
+        }
+        let w = if overlap {
+            self.memo.try_witness_overlap(&self.ctx, a, b)?
+        } else {
+            self.memo.try_witness_before(&self.ctx, a, b)?
+        };
+        if self.config.cache {
+            let kind = if overlap {
+                FactKind::Ccw
+            } else {
+                FactKind::Chb
+            };
+            self.facts.record(kind, a, b, w.is_some());
+            self.witnesses.put(self.fingerprint, key, w.clone());
+        }
+        Ok(self.reply(query, Answer::Witness(w), false, false))
+    }
+
+    fn summary_query(&mut self) -> Result<SessionReply, EngineError> {
+        if self.config.cache {
+            if let Some(s) = &self.summary {
+                self.stats.cache_hits += 1;
+                return Ok(self.reply(Query::Summary, Answer::Summary(s.clone()), true, false));
+            }
+        }
+        self.stats.cache_misses += 1;
+        let engine = ExactEngine::with_options(self.exec, self.config.engine.clone());
+        let summary = Box::new(engine.try_summary()?);
+        if self.config.cache {
+            // One summary decides every pairwise instance; seed the fact
+            // store so later point queries are O(1) hits.
+            self.facts.seed_summary(&summary);
+            self.summary = Some(summary.clone());
+        }
+        Ok(self.reply(Query::Summary, Answer::Summary(summary), false, false))
+    }
+
+    /// A sound fast-path decision from the guarantee relation, or `None`
+    /// when the cheap analyses don't decide this pair.
+    fn prefilter_decide(&mut self, kind: FactKind, a: EventId, b: EventId) -> Option<bool> {
+        let g = self.guarantee();
+        let (ai, bi) = (a.index(), b.index());
+        match kind {
+            // G(a,b) ⇒ a before b in every feasible execution ⇒ MHB. The
+            // converse direction is not decided by G's absence.
+            FactKind::Mhb => g.contains(ai, bi).then_some(true),
+            // G(a,b) ⇒ a before b in *some* execution too (F(P) contains
+            // the observed run), so CHB(a,b) holds; G(b,a) refutes it.
+            FactKind::Chb => {
+                if g.contains(ai, bi) {
+                    Some(true)
+                } else if g.contains(bi, ai) {
+                    Some(false)
+                } else {
+                    None
+                }
+            }
+            // A guaranteed order in either direction rules out overlap.
+            FactKind::Ccw => (g.contains(ai, bi) || g.contains(bi, ai)).then_some(false),
+        }
+    }
+
+    /// The guarantee relation G = HMW safe orderings ∪ EGP task graph,
+    /// transitively closed — built lazily on first use and seeded into the
+    /// fact store when caching is on.
+    fn guarantee(&mut self) -> &Relation {
+        if self.guarantee.is_none() {
+            let mut g = SafeOrderings::compute(self.exec).relation().clone();
+            g.union_with(TaskGraph::build(self.exec).relation());
+            g.close_transitively();
+            if self.config.cache {
+                self.facts.seed_guarantee(&g);
+            }
+            self.guarantee = Some(g);
+        }
+        self.guarantee.as_ref().expect("guarantee just built")
+    }
+}
+
+/// Fingerprints a program execution by hashing its canonical trace JSON.
+pub fn fingerprint(exec: &ProgramExecution) -> u64 {
+    let mut h = FxHasher::default();
+    h.write(exec.trace().to_value().pretty().as_bytes());
+    h.finish()
+}

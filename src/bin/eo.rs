@@ -5,6 +5,10 @@
 //!            [--timeout <ms>] [--max-mem <bytes>] [--max-states <n>]
 //!            [--no-degrade] [--trace-out <f>] [--metrics-out <f>]
 //!            [--profile]                            six relations of a trace
+//! eo serve   <trace.json> [--batch <req.json>] [--threads <n>]
+//!            [--timeout <ms>] [--max-mem <bytes>] [--max-states <n>]
+//!            [--no-cache] [--no-prefilter] [--ignore-deps]
+//!            [--metrics-out <f>]                    batched query sessions
 //! eo races   <trace.json>                           exact vs clock race report
 //! eo sat     <n_vars> <n_clauses> <seed> [--events] SAT via Theorem 1/2 (or 3/4)
 //! eo lint    <trace.json> [--json] [--deny <level>] static synchronization lints
@@ -26,6 +30,13 @@
 //!
 //! `lint` exits nonzero when any finding reaches the `--deny` level
 //! (default `error`; `warning` and `info` tighten it).
+//!
+//! `serve` answers a batch of ordering queries against one program in one
+//! long-lived session (shared interned state space, cross-query caches):
+//! newline-delimited JSON requests on stdin, or a JSON array via
+//! `--batch`; one JSON response per request on stdout, in request order.
+//! Exit codes: **0** every answer exact, **2** any response degraded or
+//! rejected, **1** usage or input errors.
 
 use eo_engine::{
     AnalysisOutcome, Budget, DegradedSummary, EngineError, ExactEngine, Fact, FeasibilityMode,
@@ -41,6 +52,7 @@ fn main() -> ExitCode {
     let rest = &args[1.min(args.len())..];
     match cmd {
         Some("analyze") => analyze(rest),
+        Some("serve") => serve(rest),
         Some("races") => races(rest),
         Some("sat") => sat(rest),
         Some("lint") => lint(rest),
@@ -50,6 +62,9 @@ fn main() -> ExitCode {
                 "usage:\n  eo analyze <trace.json> [--ignore-deps] [--matrix] [--json]\n      \
                  [--timeout <ms>] [--max-mem <bytes>] [--max-states <n>] [--no-degrade]\n      \
                  [--trace-out <file>] [--metrics-out <file>] [--profile]\n  \
+                 eo serve <trace.json> [--batch <requests.json>] [--threads <n>]\n      \
+                 [--timeout <ms>] [--max-mem <bytes>] [--max-states <n>]\n      \
+                 [--no-cache] [--no-prefilter] [--ignore-deps] [--metrics-out <file>]\n  \
                  eo races <trace.json>\n  eo sat <n_vars> <n_clauses> <seed> [--events]\n  \
                  eo lint <trace.json> [--json] [--deny error|warning|info]\n  \
                  eo lint --theorem3 [n m seed] [--json] [--deny <level>]\n  \
@@ -308,6 +323,22 @@ fn analyze(args: &[String]) -> ExitCode {
         }
     };
 
+    if exec.n_events() == 0 {
+        // An empty program has exactly one (empty) feasible execution and
+        // every relation is empty; say so explicitly instead of printing a
+        // vacuous relation report.
+        obs.begin();
+        if json {
+            println!(
+                r#"{{"schema_version":1,"status":"exact","classes":1,"states":1,"note":"no events"}}"#
+            );
+        } else {
+            println!("no events: the trace is empty; all six ordering relations are empty");
+        }
+        obs.flush();
+        return ExitCode::SUCCESS;
+    }
+
     if !json {
         println!("trace ({} events):", exec.n_events());
         print!("{}", render::render_trace(exec.trace()));
@@ -337,7 +368,7 @@ fn analyze(args: &[String]) -> ExitCode {
             Ok(summary) => {
                 if json {
                     println!(
-                        r#"{{"status":"exact","classes":{},"states":{}}}"#,
+                        r#"{{"schema_version":1,"status":"exact","classes":{},"states":{}}}"#,
                         summary.class_count(),
                         summary.state_count()
                     );
@@ -355,7 +386,10 @@ fn analyze(args: &[String]) -> ExitCode {
                 // the cause here for the flushed metrics.
                 eo_obs::gauge_str(eo_obs::report::DEGRADATION_CAUSE, e.cause_label());
                 if json {
-                    println!(r#"{{"status":"error","error":{}}}"#, error_json(&e));
+                    println!(
+                        r#"{{"schema_version":1,"status":"error","error":{}}}"#,
+                        error_json(&e)
+                    );
                 } else {
                     eprintln!("analysis exceeded its budget: {e}");
                 }
@@ -370,7 +404,7 @@ fn analyze(args: &[String]) -> ExitCode {
         AnalysisOutcome::Exact(summary) => {
             if json {
                 println!(
-                    r#"{{"status":"exact","classes":{},"states":{}}}"#,
+                    r#"{{"schema_version":1,"status":"exact","classes":{},"states":{}}}"#,
                     summary.class_count(),
                     summary.state_count()
                 );
@@ -389,7 +423,7 @@ fn analyze(args: &[String]) -> ExitCode {
                 let (ce, cb, cu) = d.chb_counts();
                 let (oe, ob, ou) = d.ccw_counts();
                 println!(
-                    r#"{{"status":"degraded","reason":{},"states_explored":{},"completable_states":{},"space_complete":{},"orders_found":{},"decided_fraction":{:.4},"mhb":{{"exact":{me},"bounded":{mb},"unknown":{mu}}},"chb":{{"exact":{ce},"bounded":{cb},"unknown":{cu}}},"ccw":{{"exact":{oe},"bounded":{ob},"unknown":{ou}}}}}"#,
+                    r#"{{"schema_version":1,"status":"degraded","reason":{},"states_explored":{},"completable_states":{},"space_complete":{},"orders_found":{},"decided_fraction":{:.4},"mhb":{{"exact":{me},"bounded":{mb},"unknown":{mu}}},"chb":{{"exact":{ce},"bounded":{cb},"unknown":{cu}}},"ccw":{{"exact":{oe},"bounded":{ob},"unknown":{ou}}}}}"#,
                     error_json(d.reason()),
                     d.states_explored(),
                     d.completable_states(),
@@ -405,6 +439,115 @@ fn analyze(args: &[String]) -> ExitCode {
     };
     obs.flush();
     code
+}
+
+fn serve(args: &[String]) -> ExitCode {
+    use eo_engine::EngineOptions;
+    use eo_serve::{serve_batch, ServeConfig, SessionConfig};
+
+    let Some(path) = args.first().filter(|a| !a.starts_with("--")) else {
+        eprintln!("serve: missing trace path");
+        return ExitCode::FAILURE;
+    };
+    let (batch, metrics_out) = match (str_flag(args, "--batch"), str_flag(args, "--metrics-out")) {
+        (Ok(b), Ok(m)) => (b, m),
+        (b, m) => {
+            for r in [b, m] {
+                if let Err(e) = r {
+                    eprintln!("{e}");
+                }
+            }
+            return ExitCode::FAILURE;
+        }
+    };
+    let (threads, timeout, max_mem, max_states) = match (
+        num_flag(args, "--threads"),
+        num_flag(args, "--timeout"),
+        num_flag(args, "--max-mem"),
+        num_flag(args, "--max-states"),
+    ) {
+        (Ok(n), Ok(t), Ok(m), Ok(s)) => (n, t, m, s),
+        (n, t, m, s) => {
+            for r in [n, t, m, s] {
+                if let Err(e) = r {
+                    eprintln!("{e}");
+                }
+            }
+            return ExitCode::FAILURE;
+        }
+    };
+    let exec = match load(path) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let input = match &batch {
+        Some(file) => match std::fs::read_to_string(file) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("serve: reading {file}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => match std::io::read_to_string(std::io::stdin()) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("serve: reading stdin: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+
+    let mode = if args.iter().any(|a| a == "--ignore-deps") {
+        FeasibilityMode::IgnoreDependences
+    } else {
+        FeasibilityMode::PreserveDependences
+    };
+    // Same budget construction as `analyze`: unset caps fall back to the
+    // engine's default limits, so a served query and a one-shot query are
+    // stopped by identical bounds.
+    let mut engine = EngineOptions::with_mode(mode);
+    if timeout.is_some() || max_mem.is_some() || max_states.is_some() {
+        let mut budget = Budget::unlimited();
+        if let Some(ms) = timeout {
+            budget = budget.with_deadline_ms(ms);
+        }
+        if let Some(bytes) = max_mem {
+            budget = budget.with_max_heap_bytes(bytes as usize);
+        }
+        if let Some(n) = max_states {
+            budget = budget.with_max_states(n as usize);
+        }
+        engine.budget = Some(budget);
+    }
+    let config = ServeConfig {
+        session: SessionConfig {
+            engine,
+            cache: !args.iter().any(|a| a == "--no-cache"),
+            prefilter: !args.iter().any(|a| a == "--no-prefilter"),
+            ..Default::default()
+        },
+        threads: threads.unwrap_or(1) as usize,
+    };
+
+    let obs = ObsOut {
+        trace_out: None,
+        metrics_out,
+        profile: false,
+    };
+    obs.begin();
+    let outcome = serve_batch(&exec, &input, &config);
+    for response in &outcome.responses {
+        println!("{response}");
+    }
+    obs.flush();
+    if outcome.any_degraded || outcome.any_error {
+        ExitCode::from(2)
+    } else {
+        ExitCode::SUCCESS
+    }
 }
 
 fn races(args: &[String]) -> ExitCode {

@@ -140,6 +140,84 @@ fn no_degrade_budget_exhaustion_always_exits_three() {
 }
 
 #[test]
+fn empty_program_reports_no_events_explicitly() {
+    // An empty trace has exactly one (empty) feasible execution; the CLI
+    // must say so instead of printing a vacuous relation report.
+    let path = tmp("empty.trace.json");
+    std::fs::write(
+        &path,
+        r#"{"events": [], "processes": [], "semaphores": [], "event_vars": [], "variables": []}"#,
+    )
+    .expect("writing empty trace");
+    let text = eo(&["analyze", path.to_str().unwrap()]);
+    assert_eq!(text.status.code(), Some(0));
+    assert!(
+        String::from_utf8_lossy(&text.stdout).contains("no events"),
+        "stdout: {}",
+        String::from_utf8_lossy(&text.stdout)
+    );
+    let json = eo(&["analyze", path.to_str().unwrap(), "--json"]);
+    std::fs::remove_file(&path).ok();
+    assert_eq!(json.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&json.stdout);
+    assert!(
+        stdout.contains(r#""note":"no events""#) && stdout.contains(r#""schema_version":1"#),
+        "stdout: {stdout}"
+    );
+}
+
+#[test]
+fn serve_exit_codes_follow_the_worst_response() {
+    let batch = tmp("serve-batch.json");
+    // All-exact batch → 0.
+    std::fs::write(
+        &batch,
+        r#"[{"id":1,"op":"mhb","a":0,"b":1},{"op":"summary"}]"#,
+    )
+    .expect("writing batch");
+    let out = eo(&["serve", FIGURE1, "--batch", batch.to_str().unwrap()]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(stdout.lines().count(), 2, "one response per request");
+    assert!(stdout.lines().all(|l| l.contains(r#""schema_version":1"#)));
+
+    // A malformed request degrades the batch exit to 2 but the other
+    // responses still come back.
+    std::fs::write(&batch, r#"[{"op":"mhb","a":0,"b":1},{"op":"nope"}]"#).expect("writing batch");
+    let out = eo(&["serve", FIGURE1, "--batch", batch.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2));
+    assert_eq!(String::from_utf8_lossy(&out.stdout).lines().count(), 2);
+
+    // A budget that stops the search degrades rather than lies: still 2.
+    std::fs::write(&batch, r#"[{"op":"ccw","a":3,"b":4}]"#).expect("writing batch");
+    let out = eo(&[
+        "serve",
+        FIGURE1,
+        "--batch",
+        batch.to_str().unwrap(),
+        "--timeout",
+        "0",
+        "--no-prefilter",
+    ]);
+    std::fs::remove_file(&batch).ok();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains(r#""status":"degraded""#),
+        "stdout: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+
+    // Usage errors stay 1.
+    assert_eq!(eo(&["serve"]).status.code(), Some(1));
+    assert_eq!(eo(&["serve", "no-such.json"]).status.code(), Some(1));
+}
+
+#[test]
 fn usage_errors_exit_one() {
     assert_eq!(eo(&["analyze"]).status.code(), Some(1));
     assert_eq!(eo(&["analyze", "no-such-file.json"]).status.code(), Some(1));

@@ -1,0 +1,94 @@
+//! Pins `"schema_version": 1` on every JSON document the toolchain emits:
+//! `eo analyze --json`, `eo lint --json`, `eo serve` responses, the
+//! metrics and Chrome-trace exports, and the committed BENCH files.
+//! Consumers key parsers on this field; bumping it is an API change and
+//! must be deliberate (this test is the tripwire).
+
+use std::process::Command;
+
+const FIGURE1: &str = "testdata/figure1.trace.json";
+
+fn eo(args: &[&str]) -> String {
+    let out = Command::new(env!("CARGO_BIN_EXE_eo"))
+        .args(args)
+        .output()
+        .expect("spawning eo");
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn assert_version_one(doc: &str, what: &str) {
+    let v = eo_obs::json::parse(doc).unwrap_or_else(|e| panic!("{what}: invalid JSON: {e}"));
+    assert_eq!(
+        v.get("schema_version").and_then(|s| s.as_i64()),
+        Some(1),
+        "{what} must carry schema_version 1: {doc}"
+    );
+}
+
+#[test]
+fn cli_json_documents_carry_schema_version_one() {
+    assert_version_one(&eo(&["analyze", FIGURE1, "--json"]), "analyze exact");
+    assert_version_one(
+        &eo(&["analyze", FIGURE1, "--json", "--timeout", "0"]),
+        "analyze degraded",
+    );
+    assert_version_one(
+        &eo(&[
+            "analyze",
+            FIGURE1,
+            "--json",
+            "--no-degrade",
+            "--timeout",
+            "0",
+        ]),
+        "analyze --no-degrade error",
+    );
+    assert_version_one(&eo(&["lint", FIGURE1, "--json"]), "lint report");
+}
+
+#[test]
+fn serve_responses_carry_schema_version_one() {
+    let (trace, _) = eo_model::fixtures::figure1();
+    let exec = trace.to_execution().expect("fixture is valid");
+    let input = "{\"op\": \"mhb\", \"a\": 0, \"b\": 1}\n\
+                 {\"op\": \"summary\"}\n\
+                 {\"op\": \"races\"}\n\
+                 {\"op\": \"nope\"}\n";
+    let out = eo_serve::serve_batch(&exec, input, &eo_serve::ServeConfig::default());
+    assert_eq!(out.responses.len(), 4);
+    for (i, response) in out.responses.iter().enumerate() {
+        assert_version_one(response, &format!("serve response {i}"));
+    }
+}
+
+#[test]
+fn observability_exports_carry_schema_version_one() {
+    let run = eo_obs::finish();
+    let report = eo_obs::report::aggregate(&run);
+    assert_version_one(
+        &eo_obs::report::metrics_to_json(&report.metrics_with_defaults()),
+        "metrics export",
+    );
+    assert_version_one(&eo_obs::report::trace_to_json(&report), "trace export");
+    // Round-tripping must not resurrect the version field as a metric.
+    let text = eo_obs::report::metrics_to_json(&report.metrics_with_defaults());
+    let parsed = eo_obs::report::metrics_from_json(&text).expect("metrics parse");
+    assert!(
+        !parsed.contains_key("schema_version"),
+        "schema_version is framing, not a metric"
+    );
+}
+
+#[test]
+fn committed_bench_files_carry_schema_version_one() {
+    for name in [
+        "BENCH_engine.json",
+        "BENCH_degradation.json",
+        "BENCH_obs.json",
+        "BENCH_serve.json",
+    ] {
+        let text = std::fs::read_to_string(name)
+            .unwrap_or_else(|e| panic!("{name} must be committed at the repo root: {e}"));
+        assert_version_one(&text, name);
+    }
+}

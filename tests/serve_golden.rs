@@ -1,0 +1,37 @@
+//! The serve smoke test: a committed 50-request batch over the Figure 1
+//! trace must reproduce the committed golden responses byte-for-byte.
+//! This pins the wire format (field order included), the cache/prefilter
+//! dispositions, and the answers themselves; CI runs the same comparison
+//! against the release binary.
+
+use std::process::Command;
+
+#[test]
+fn serve_batch_50_matches_the_committed_golden() {
+    let out = Command::new(env!("CARGO_BIN_EXE_eo"))
+        .args([
+            "serve",
+            "testdata/figure1.trace.json",
+            "--batch",
+            "testdata/serve_batch_50.json",
+        ])
+        .output()
+        .expect("spawning eo");
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let golden = std::fs::read_to_string("testdata/serve_batch_50.golden.ndjson")
+        .expect("committed golden must exist");
+    let actual = String::from_utf8_lossy(&out.stdout);
+    for (i, (got, want)) in actual.lines().zip(golden.lines()).enumerate() {
+        assert_eq!(got, want, "response {} diverges from the golden", i + 1);
+    }
+    assert_eq!(
+        actual.lines().count(),
+        golden.lines().count(),
+        "one response per request, exactly"
+    );
+}
