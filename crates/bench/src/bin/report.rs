@@ -777,4 +777,90 @@ fn main() {
             "serve batching speedup {speedup:.2}x on e6-5x4 is below the 10x bar"
         );
     }
+
+    if want("e16") {
+        println!("== E16: static MHP prefilter — zero-exploration race refutation ==");
+        println!(
+            "(race sets asserted bit-identical per row; every static ordering \
+             checked against the §5.3 dependence-ignoring oracle)"
+        );
+        let mut rows = Vec::new();
+        let mut json_rows = Vec::new();
+        let mut sem_static_refuted = 0usize;
+        for (label, program) in e16_workloads() {
+            let r = e16_point(&label, &program);
+            if r.label != "figure1" {
+                sem_static_refuted += r.static_refuted;
+            }
+            rows.push(vec![
+                r.label.clone(),
+                r.events.to_string(),
+                r.stmts.to_string(),
+                r.candidates.to_string(),
+                r.cs_pruned.to_string(),
+                r.mhp_pruned.to_string(),
+                r.static_refuted.to_string(),
+                r.engine_queries.to_string(),
+                r.races.to_string(),
+                ms(r.unpruned_time),
+                ms(r.mhp_time),
+            ]);
+            json_rows.push(format!(
+                concat!(
+                    "    {{\"workload\": \"{}\", \"events\": {}, \"stmts\": {}, ",
+                    "\"candidates\": {}, \"cs_pruned\": {}, \"mhp_pruned\": {}, ",
+                    "\"static_refuted\": {}, \"engine_queries\": {}, \"races\": {}, ",
+                    "\"static_ordered_pairs\": {}, \"exact_mhb_pairs\": {}, ",
+                    "\"unpruned_ms\": {:.3}, \"cs_ms\": {:.3}, \"mhp_ms\": {:.3}}}"
+                ),
+                r.label,
+                r.events,
+                r.stmts,
+                r.candidates,
+                r.cs_pruned,
+                r.mhp_pruned,
+                r.static_refuted,
+                r.engine_queries,
+                r.races.to_string(),
+                r.static_ordered_pairs,
+                r.exact_mhb_pairs,
+                r.unpruned_time.as_secs_f64() * 1e3,
+                r.cs_time.as_secs_f64() * 1e3,
+                r.mhp_time.as_secs_f64() * 1e3,
+            ));
+        }
+        println!(
+            "{}",
+            render(
+                &[
+                    "workload",
+                    "|E|",
+                    "stmts",
+                    "cands",
+                    "cs",
+                    "mhp",
+                    "static",
+                    "queries",
+                    "races",
+                    "unpruned_ms",
+                    "mhp_ms"
+                ],
+                &rows
+            )
+        );
+        let json = format!(
+            "{{\n  \"schema_version\": 1,\n  \"experiment\": \"e16_static_mhp_prefilter\",\n  \
+             \"rows\": [\n{}\n  ]\n}}\n",
+            json_rows.join(",\n")
+        );
+        std::fs::write("BENCH_mhp.json", &json).expect("write BENCH_mhp.json");
+        println!("wrote BENCH_mhp.json ({} workloads)", rows.len());
+        // The tentpole's acceptance bar: the static tier must discharge
+        // real work — candidates refuted with zero exploration — on the
+        // E9-style semaphore workloads.
+        assert!(
+            sem_static_refuted > 0,
+            "the static MHP tier refuted no candidates on the E9-style semaphore workloads"
+        );
+    }
 }

@@ -425,20 +425,7 @@ pub struct RaceRow {
 /// `P` instead. The write/read race is feasible for any `decoys ≥ 1`, yet
 /// vector clocks (which trust the observed pairing) never report it.
 pub fn pitfall_exec(decoys: usize) -> ProgramExecution {
-    let mut b = eo_lang::ProgramBuilder::new();
-    let s = b.semaphore("s");
-    let x = b.variable("x");
-    let w = b.process("writer");
-    b.compute_rw(w, &[], &[x], "write_x");
-    b.sem_v(w, s);
-    for k in 0..decoys {
-        let d = b.process(&format!("decoy_{k}"));
-        b.sem_v(d, s);
-    }
-    let r = b.process("reader");
-    b.sem_p(r, s);
-    b.compute_rw(r, &[x], &[], "read_x");
-    let program = b.build();
+    let program = pitfall_program(decoys);
     let trace = eo_lang::run_to_trace(&program, &mut eo_lang::Scheduler::deterministic())
         .expect("pitfall program cannot deadlock");
     trace.to_execution().expect("interpreter traces are valid")
@@ -1139,6 +1126,143 @@ pub fn e15_serve_point(
     }
 }
 
+// ------------------------------------------------------------------ E16 --
+
+/// E16 row: exact race detection behind the static may-happen-in-parallel
+/// prefilter (`eo-mhp`) vs the Callahan–Subhlok tier alone vs no pruning.
+/// All three return the identical race set (asserted), and every event
+/// ordering the static analysis claims is checked against the exact
+/// engine's §5.3 dependence-ignoring MHB oracle before the row is
+/// reported.
+#[derive(Clone, Debug)]
+pub struct MhpRaceRow {
+    /// Workload label.
+    pub label: String,
+    /// Events in the anchored trace.
+    pub events: usize,
+    /// Statements in the program.
+    pub stmts: usize,
+    /// Conflicting candidate pairs.
+    pub candidates: usize,
+    /// Candidates discharged by the Callahan–Subhlok tier alone.
+    pub cs_pruned: usize,
+    /// Candidates discharged statically with the MHP tier in front
+    /// (always ≥ `cs_pruned`: the MHP verdict subsumes the CS rules).
+    pub mhp_pruned: usize,
+    /// Of `mhp_pruned`, candidates the MHP tier refuted with *zero*
+    /// exploration — before any per-pair analysis ran.
+    pub static_refuted: usize,
+    /// Engine queries issued with the MHP tier in front.
+    pub engine_queries: usize,
+    /// Feasible races (identical for all three detectors, asserted).
+    pub races: usize,
+    /// Event pairs the static analysis proves ordered in all executions.
+    pub static_ordered_pairs: usize,
+    /// Exact MHB pairs under the dependence-ignoring oracle.
+    pub exact_mhb_pairs: usize,
+    /// Unpruned exact-detector time.
+    pub unpruned_time: Duration,
+    /// CS-pruned detector time (includes the CS analysis itself).
+    pub cs_time: Duration,
+    /// MHP-prefiltered detector time (includes the MHP fixpoint itself).
+    pub mhp_time: Duration,
+}
+
+/// The E16 workload set: the E11 programs (Figure 1 plus the screened
+/// E9-style semaphore workloads) and the E9 pairing-pitfall ladder as
+/// *programs*, so the static analysis sees the source, not one trace.
+pub fn e16_workloads() -> Vec<(String, eo_lang::Program)> {
+    let mut out = e11_workloads();
+    for decoys in [1usize, 2, 4] {
+        out.push((format!("pitfall-{decoys}"), pitfall_program(decoys)));
+    }
+    out
+}
+
+/// The E9 pitfall family as a program (the E9 rows build the execution
+/// directly; E16 needs the program for the static passes).
+fn pitfall_program(decoys: usize) -> eo_lang::Program {
+    let mut b = eo_lang::ProgramBuilder::new();
+    let s = b.semaphore("s");
+    let x = b.variable("x");
+    let w = b.process("writer");
+    b.compute_rw(w, &[], &[x], "write_x");
+    b.sem_v(w, s);
+    for k in 0..decoys {
+        let d = b.process(&format!("decoy_{k}"));
+        b.sem_v(d, s);
+    }
+    let r = b.process("reader");
+    b.sem_p(r, s);
+    b.compute_rw(r, &[x], &[], "read_x");
+    b.build()
+}
+
+/// Runs E16 on one program: anchor a run, race-detect three ways, then
+/// audit the static orderings against the exact oracle.
+pub fn e16_point(label: &str, program: &eo_lang::Program) -> MhpRaceRow {
+    let run = e11_anchored(program).expect("E16 workloads are pre-screened to complete");
+    let exec = run
+        .trace
+        .to_execution()
+        .expect("interpreter traces are valid");
+    let (unpruned, unpruned_time) = timed(|| eo_race::exact_races(&exec));
+    let (cs, cs_time) = timed(|| {
+        let so = eo_approx::cs::StaticOrderings::analyze(program);
+        eo_race::pruned_exact_races(&exec, &so, &run.stmt_of)
+    });
+    let ((mhp_run, analysis), mhp_time) = timed(|| {
+        let so = eo_approx::cs::StaticOrderings::analyze(program);
+        let mhp = eo_mhp::MhpAnalysis::analyze(program);
+        let prefilter = eo_race::StaticPrefilter::new(&mhp, &run.stmt_of);
+        let pruned =
+            eo_race::pruned_exact_races_with_prefilter(&exec, &so, &run.stmt_of, Some(&prefilter));
+        (pruned, mhp)
+    });
+    assert_eq!(
+        cs.races, unpruned,
+        "{label}: CS pruning must not change the answer"
+    );
+    assert_eq!(
+        mhp_run.races, unpruned,
+        "{label}: the static MHP tier must not change the answer"
+    );
+    assert!(
+        mhp_run.pruned >= cs.pruned,
+        "{label}: the MHP tier subsumes the CS rules"
+    );
+    // Soundness vs the oracle: every ordering the static analysis proves
+    // must be an exact MHB fact under the weakest (§5.3
+    // dependence-ignoring) feasibility mode.
+    let ordered = analysis.event_orderings(&run.stmt_of);
+    let summary = ExactEngine::with_mode(&exec, FeasibilityMode::IgnoreDependences).summary();
+    let exact_mhb = summary.mhb_relation();
+    let mut static_ordered_pairs = 0usize;
+    for (a, b) in ordered.pairs() {
+        assert!(
+            exact_mhb.contains(a, b),
+            "{label}: static ordering {a:?} -> {b:?} is not exact MHB"
+        );
+        static_ordered_pairs += 1;
+    }
+    MhpRaceRow {
+        label: label.to_string(),
+        events: exec.n_events(),
+        stmts: analysis.n_stmts(),
+        candidates: mhp_run.candidates,
+        cs_pruned: cs.pruned,
+        mhp_pruned: mhp_run.pruned,
+        static_refuted: mhp_run.static_refuted,
+        engine_queries: mhp_run.engine_queries,
+        races: mhp_run.races.len(),
+        static_ordered_pairs,
+        exact_mhb_pairs: exact_mhb.pair_count(),
+        unpruned_time,
+        cs_time,
+        mhp_time,
+    }
+}
+
 // ------------------------------------------------- perf-regression gate --
 
 /// Wall-time regressions above this fraction fail the gate. The gate
@@ -1356,6 +1480,19 @@ mod tests {
         let row = e11_point("figure1", &program);
         assert!(row.pruned >= 1, "Figure 1 has fork-ordered candidate pairs");
         assert_eq!(row.pruned + row.engine_queries, row.candidates);
+    }
+
+    #[test]
+    fn e16_static_tier_subsumes_cs_and_stays_sound() {
+        let program = eo_lang::generator::figure1_program();
+        let row = e16_point("figure1", &program);
+        assert!(
+            row.static_refuted >= 1,
+            "Figure 1 has fork-ordered candidate pairs the MHP tier refutes"
+        );
+        assert!(row.mhp_pruned >= row.cs_pruned);
+        assert_eq!(row.mhp_pruned + row.engine_queries, row.candidates);
+        assert!(row.static_ordered_pairs <= row.exact_mhb_pairs);
     }
 
     #[test]

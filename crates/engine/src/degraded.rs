@@ -309,6 +309,43 @@ impl DegradedSummary {
         }
     }
 
+    /// Upgrades `Unknown` facts from an external guarantee-style ordering
+    /// relation: `ordered(a, b)` must mean "`a` completes before `b`
+    /// begins in every execution" (for example the event-level projection
+    /// of the `eo-mhp` whole-program verdicts). The rules are exactly the
+    /// ones the polynomial G bound uses — `ordered(a,b)` proves `a MHB b`,
+    /// refutes `b CHB a`, and refutes `CCW(a,b)` — so upgraded facts are
+    /// tagged [`Fact::Bounded`] and stay consistent with the oracle.
+    /// Already-decided facts are never overwritten.
+    ///
+    /// # Panics
+    /// Panics if the relation's dimension differs from the event count.
+    pub fn apply_static_bounds(&mut self, ordered: &Relation) {
+        assert_eq!(
+            ordered.len(),
+            self.n,
+            "static ordering relation must be over this summary's events"
+        );
+        for a in 0..self.n {
+            for b in 0..self.n {
+                if a == b {
+                    continue;
+                }
+                let i = a * self.n + b;
+                let (ab, ba) = (ordered.contains(a, b), ordered.contains(b, a));
+                if self.mhb[i] == Fact::Unknown && ab {
+                    self.mhb[i] = Fact::Bounded(true);
+                }
+                if self.chb[i] == Fact::Unknown && ba {
+                    self.chb[i] = Fact::Bounded(false);
+                }
+                if self.ccw[i] == Fact::Unknown && (ab || ba) {
+                    self.ccw[i] = Fact::Bounded(false);
+                }
+            }
+        }
+    }
+
     /// Verifies every decided fact against an unbudgeted oracle summary,
     /// returning a description of the first contradiction. The
     /// differential suite runs this on every fixture; a failure means a

@@ -47,11 +47,13 @@ pub mod ast;
 pub mod builder;
 pub mod generator;
 pub mod interp;
+pub mod reconstruct;
 pub mod scheduler;
 pub mod stmt;
 
 pub use ast::{EvVarDef, ProcDef, ProcRef, Program, ProgramError, SemDef, Stmt, StmtKind};
 pub use builder::ProgramBuilder;
 pub use interp::{run_to_trace, run_to_trace_anchored, AnchoredRun, RunError};
+pub use reconstruct::program_from_trace;
 pub use scheduler::Scheduler;
 pub use stmt::{BranchSide, StmtId, StmtMap};

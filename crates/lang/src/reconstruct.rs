@@ -1,0 +1,78 @@
+//! Reconstructing the canonical straight-line [`Program`] an observed
+//! [`Trace`] replays.
+//!
+//! A trace is a branch-free record of what one execution did, so it
+//! induces a canonical program: one process definition per process
+//! instance, whose body replays that process's events in observed order.
+//! Static analyses of that program ([`eo-mhp`'s fixpoint, the `eo-lint`
+//! diagnostics](crate)) ask "could a *different* interleaving of exactly
+//! these operations have gone wrong?" — the same question the race
+//! detectors ask about data accesses, posed statically.
+
+use crate::ast::{ProcDef, ProcRef, Program, Stmt, StmtKind};
+use eo_model::{EventId, Op, Trace};
+
+/// Reconstructs the canonical straight-line program a trace replays,
+/// together with the map from statement index (in [`crate::StmtMap`]
+/// preorder) back to the observed event.
+///
+/// Process declarations, semaphores, event variables, and shared
+/// variables carry over 1:1; each event becomes one statement of its
+/// process's body, in observed order. Because bodies are branch-free,
+/// preorder statement numbering is exactly process-major event order.
+pub fn program_from_trace(trace: &Trace) -> (Program, Vec<EventId>) {
+    let mut bodies: Vec<Vec<Stmt>> = vec![Vec::new(); trace.processes.len()];
+    let mut events_of: Vec<Vec<EventId>> = vec![Vec::new(); trace.processes.len()];
+    for e in &trace.events {
+        let kind = match &e.op {
+            Op::Compute => StmtKind::Compute {
+                reads: e.reads.clone(),
+                writes: e.writes.clone(),
+            },
+            Op::SemP(s) => StmtKind::SemP(*s),
+            Op::SemV(s) => StmtKind::SemV(*s),
+            Op::Post(v) => StmtKind::Post(*v),
+            Op::Wait(v) => StmtKind::Wait(*v),
+            Op::Clear(v) => StmtKind::Clear(*v),
+            Op::Fork(children) => StmtKind::Fork(children.iter().map(|c| ProcRef(c.0)).collect()),
+            Op::Join(targets) => StmtKind::Join(targets.iter().map(|t| ProcRef(t.0)).collect()),
+        };
+        bodies[e.process.index()].push(Stmt {
+            kind,
+            label: e.label.clone(),
+        });
+        events_of[e.process.index()].push(e.id);
+    }
+
+    let program = Program {
+        processes: trace
+            .processes
+            .iter()
+            .zip(bodies)
+            .map(|(decl, body)| ProcDef {
+                name: decl.name.clone(),
+                root: decl.created_by.is_none(),
+                body,
+            })
+            .collect(),
+        semaphores: trace
+            .semaphores
+            .iter()
+            .map(|s| crate::ast::SemDef {
+                name: s.name.clone(),
+                initial: s.initial,
+            })
+            .collect(),
+        event_vars: trace
+            .event_vars
+            .iter()
+            .map(|v| crate::ast::EvVarDef {
+                name: v.name.clone(),
+                initially_set: v.initially_set,
+            })
+            .collect(),
+        variables: trace.variables.iter().map(|v| v.name.clone()).collect(),
+    };
+    let event_of_stmt = events_of.into_iter().flatten().collect();
+    (program, event_of_stmt)
+}

@@ -237,6 +237,15 @@ pub mod codes {
     /// `Wait(v)` whose posts are all conditional — some execution may
     /// never supply it.
     pub const WAIT_MAYBE_UNSUPPLIED: &str = "EO-L009";
+    /// Two conflicting shared-variable accesses the MHP analysis cannot
+    /// order: a potential data race (opt-in, `LintOptions::mhp`).
+    pub const MHP_STATIC_RACE: &str = "EO-L010";
+    /// A statement the MHP analysis proves can never execute in any
+    /// execution (opt-in, `LintOptions::mhp`).
+    pub const MHP_UNREACHABLE: &str = "EO-L011";
+    /// A blocking `Wait`/`P` the MHP analysis proves can never fire — its
+    /// process hangs forever (opt-in, `LintOptions::mhp`).
+    pub const MHP_BLOCKED_FOREVER: &str = "EO-L012";
 
     /// The codes that indicate a potential (or certain) permanent block —
     /// the "may deadlock" family used by the cross-checks against the

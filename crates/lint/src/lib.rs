@@ -48,18 +48,30 @@ pub struct LintOptions {
     /// traces, whose reconstructed programs routinely leave processes
     /// unjoined.
     pub style: bool,
+    /// Run the `eo-mhp` may-happen-in-parallel fixpoint and emit its
+    /// findings: static shared-access races (`EO-L010`), unreachable
+    /// statements (`EO-L011`), and blocking statements that can never
+    /// fire (`EO-L012`). Off by default — race findings are expected in
+    /// racy-by-design workloads, so they are opt-in (`eo lint --mhp`).
+    pub mhp: bool,
 }
 
 impl Default for LintOptions {
     fn default() -> Self {
-        LintOptions { style: true }
+        LintOptions {
+            style: true,
+            mhp: false,
+        }
     }
 }
 
 impl LintOptions {
-    /// The options [`lint_trace`] uses: no style findings.
+    /// The options [`lint_trace`] uses: no style findings, no MHP pass.
     pub fn for_trace() -> Self {
-        LintOptions { style: false }
+        LintOptions {
+            style: false,
+            mhp: false,
+        }
     }
 }
 
@@ -69,8 +81,12 @@ impl LintOptions {
 /// references, bad fork structure); a *valid* program always yields a
 /// report, possibly empty.
 pub fn lint_program(program: &Program, opts: &LintOptions) -> Result<LintReport, ProgramError> {
+    eo_obs::span!("lint.program");
     program.validate()?;
-    Ok(lint_validated(program, opts))
+    let report = lint_validated(program, opts);
+    eo_obs::counter!("lint.programs", 1u64);
+    eo_obs::counter!("lint.diagnostics", report.diagnostics.len() as u64);
+    Ok(report)
 }
 
 /// Lints an already-validated program.
@@ -424,6 +440,95 @@ mod tests {
                 report.render_text()
             );
         }
+    }
+
+    // ---- opt-in MHP findings (EO-L010..L012) --------------------------
+
+    fn racy_two_writer_program() -> Program {
+        let mut b = ProgramBuilder::new();
+        let x = b.variable("x");
+        let p1 = b.process("p1");
+        b.assign(p1, x, 1);
+        let p2 = b.process("p2");
+        b.assign(p2, x, 2);
+        b.build()
+    }
+
+    #[test]
+    fn mhp_lints_are_off_by_default() {
+        let report = lint(&racy_two_writer_program());
+        assert!(report.is_empty(), "{}", report.render_text());
+    }
+
+    #[test]
+    fn mhp_flags_unordered_conflicting_accesses() {
+        let opts = LintOptions {
+            mhp: true,
+            ..LintOptions::default()
+        };
+        let report = lint_program(&racy_two_writer_program(), &opts).expect("valid");
+        assert_eq!(
+            codes_of(&report),
+            vec![codes::MHP_STATIC_RACE],
+            "{}",
+            report.render_text()
+        );
+        assert!(!report.is_clean());
+        let d = &report.diagnostics[0];
+        assert!(
+            d.message.contains("`p1`") && d.message.contains("`p2`"),
+            "{}",
+            d.message
+        );
+    }
+
+    #[test]
+    fn mhp_stays_quiet_on_an_ordered_handshake() {
+        // Same conflicting accesses, but a semaphore handshake orders
+        // them in every execution.
+        let mut b = ProgramBuilder::new();
+        let x = b.variable("x");
+        let s = b.semaphore("s");
+        let p1 = b.process("p1");
+        b.assign(p1, x, 1).sem_v(p1, s);
+        let p2 = b.process("p2");
+        b.sem_p(p2, s).assign(p2, x, 2);
+        let opts = LintOptions {
+            mhp: true,
+            ..LintOptions::default()
+        };
+        let report = lint_program(&b.build(), &opts).expect("valid");
+        assert!(report.is_empty(), "{}", report.render_text());
+    }
+
+    #[test]
+    fn mhp_reports_blocked_forever_and_poisoned_successors() {
+        let mut b = ProgramBuilder::new();
+        let x = b.variable("x");
+        let v = b.event_var("v");
+        let p = b.process("p");
+        b.wait(p, v).assign(p, x, 1);
+        let opts = LintOptions {
+            mhp: true,
+            ..LintOptions::default()
+        };
+        let report = lint_program(&b.build(), &opts).expect("valid");
+        let found = codes_of(&report);
+        assert!(
+            found.contains(&codes::WAIT_NEVER_POSTED),
+            "{}",
+            report.render_text()
+        );
+        assert!(
+            found.contains(&codes::MHP_BLOCKED_FOREVER),
+            "{}",
+            report.render_text()
+        );
+        assert!(
+            found.contains(&codes::MHP_UNREACHABLE),
+            "the assignment after the dead wait is poisoned: {}",
+            report.render_text()
+        );
     }
 
     #[test]

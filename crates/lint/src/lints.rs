@@ -21,6 +21,9 @@ pub(crate) fn sync_lints(ctx: &Ctx<'_>, opts: &LintOptions, out: &mut Vec<Diagno
     if opts.style {
         style_lints(ctx, out);
     }
+    if opts.mhp {
+        mhp_lints(ctx, out);
+    }
 }
 
 fn stmt_diag(
@@ -237,6 +240,57 @@ fn join_lints(ctx: &Ctx<'_>, out: &mut Vec<Diagnostic>) {
                     vec![note],
                 ));
             }
+        }
+    }
+}
+
+/// Findings from the `eo-mhp` may-happen-in-parallel fixpoint (opt-in):
+/// unordered conflicting shared accesses (`EO-L010`), statements that can
+/// never execute (`EO-L011`), and blocking statements that can never fire
+/// (`EO-L012`). Every claim is sound over *all* executions: a pair is
+/// only reported racy when the fixpoint cannot order it, and a statement
+/// is only reported unreachable when no execution can run it.
+fn mhp_lints(ctx: &Ctx<'_>, out: &mut Vec<Diagnostic>) {
+    let mhp = eo_mhp::MhpAnalysis::analyze(ctx.program);
+    for race in mhp.static_races() {
+        out.push(stmt_diag(
+            ctx,
+            codes::MHP_STATIC_RACE,
+            Severity::Warning,
+            race.first,
+            format!(
+                "conflicting shared accesses may happen in parallel: {} vs {}",
+                ctx.map.describe(race.first),
+                ctx.map.describe(race.second),
+            ),
+            vec![format!(
+                "no execution-invariant ordering between {} and {}",
+                ctx.map.describe(race.first),
+                ctx.map.describe(race.second),
+            )],
+        ));
+    }
+    for s in mhp.unreachable_stmts() {
+        let blocking = matches!(ctx.map.kind(s), StmtKind::Wait(_) | StmtKind::SemP(_));
+        if blocking {
+            out.push(stmt_diag(
+                ctx,
+                codes::MHP_BLOCKED_FOREVER,
+                Severity::Error,
+                s,
+                "this blocking statement can never fire: its process hangs here forever"
+                    .to_string(),
+                vec!["no execution supplies it before it is reached".to_string()],
+            ));
+        } else {
+            out.push(stmt_diag(
+                ctx,
+                codes::MHP_UNREACHABLE,
+                Severity::Warning,
+                s,
+                "statement can never execute in any execution".to_string(),
+                vec!["an earlier statement of this process blocks forever".to_string()],
+            ));
         }
     }
 }

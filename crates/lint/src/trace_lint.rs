@@ -10,8 +10,10 @@
 
 use crate::diag::{Anchor, LintReport};
 use crate::{lint_validated, LintOptions};
-use eo_lang::{ProcDef, ProcRef, Program, ProgramError, Stmt, StmtKind};
-use eo_model::{EventId, Op, Trace, TraceError};
+use eo_lang::ProgramError;
+use eo_model::{Trace, TraceError};
+
+pub use eo_lang::program_from_trace;
 
 /// Why a trace could not be linted.
 #[derive(Clone, Debug)]
@@ -46,79 +48,17 @@ impl From<ProgramError> for TraceLintError {
     }
 }
 
-/// Reconstructs the canonical straight-line program a trace replays,
-/// together with the map from statement index (in
-/// [`eo_lang::StmtMap`] preorder) back to the observed event.
-///
-/// Process declarations, semaphores, event variables, and shared
-/// variables carry over 1:1; each event becomes one statement of its
-/// process's body, in observed order. Because bodies are branch-free,
-/// preorder statement numbering is exactly process-major event order.
-pub fn program_from_trace(trace: &Trace) -> (Program, Vec<EventId>) {
-    let mut bodies: Vec<Vec<Stmt>> = vec![Vec::new(); trace.processes.len()];
-    let mut events_of: Vec<Vec<EventId>> = vec![Vec::new(); trace.processes.len()];
-    for e in &trace.events {
-        let kind = match &e.op {
-            Op::Compute => StmtKind::Compute {
-                reads: e.reads.clone(),
-                writes: e.writes.clone(),
-            },
-            Op::SemP(s) => StmtKind::SemP(*s),
-            Op::SemV(s) => StmtKind::SemV(*s),
-            Op::Post(v) => StmtKind::Post(*v),
-            Op::Wait(v) => StmtKind::Wait(*v),
-            Op::Clear(v) => StmtKind::Clear(*v),
-            Op::Fork(children) => StmtKind::Fork(children.iter().map(|c| ProcRef(c.0)).collect()),
-            Op::Join(targets) => StmtKind::Join(targets.iter().map(|t| ProcRef(t.0)).collect()),
-        };
-        bodies[e.process.index()].push(Stmt {
-            kind,
-            label: e.label.clone(),
-        });
-        events_of[e.process.index()].push(e.id);
-    }
-
-    let program = Program {
-        processes: trace
-            .processes
-            .iter()
-            .zip(bodies)
-            .map(|(decl, body)| ProcDef {
-                name: decl.name.clone(),
-                root: decl.created_by.is_none(),
-                body,
-            })
-            .collect(),
-        semaphores: trace
-            .semaphores
-            .iter()
-            .map(|s| eo_lang::SemDef {
-                name: s.name.clone(),
-                initial: s.initial,
-            })
-            .collect(),
-        event_vars: trace
-            .event_vars
-            .iter()
-            .map(|v| eo_lang::EvVarDef {
-                name: v.name.clone(),
-                initially_set: v.initially_set,
-            })
-            .collect(),
-        variables: trace.variables.iter().map(|v| v.name.clone()).collect(),
-    };
-    let event_of_stmt = events_of.into_iter().flatten().collect();
-    (program, event_of_stmt)
-}
-
 /// Lints a trace: validates it, reconstructs its canonical program,
 /// lints that, and re-anchors every statement diagnostic at the observed
 /// event it came from.
 pub fn lint_trace(trace: &Trace, opts: &LintOptions) -> Result<LintReport, TraceLintError> {
+    eo_obs::span!("lint.program");
     trace.validate()?;
     let (program, event_of_stmt) = program_from_trace(trace);
     program.validate()?;
     let mut report = lint_validated(&program, opts);
+    eo_obs::counter!("lint.programs", 1u64);
+    eo_obs::counter!("lint.diagnostics", report.diagnostics.len() as u64);
     for d in &mut report.diagnostics {
         if let Anchor::Stmt(s) = d.anchor {
             let ev = event_of_stmt[s.index()];

@@ -1,0 +1,77 @@
+//! Property-based soundness: on arbitrary generated workloads, the set
+//! of statically `NeverConcurrent` pairs is contained in the complement
+//! of the exact engine's could-be-concurrent (CCW) relation — the
+//! static analysis may be arbitrarily imprecise, never unsound.
+
+use eo_engine::{ExactEngine, FeasibilityMode};
+use eo_lang::generator::{generate_trace, SyncStyle, WorkloadSpec};
+use eo_mhp::{MhpAnalysis, StmtId};
+use proptest::prelude::*;
+
+/// Strategy: a small workload spec (kept tiny — every case runs the
+/// exponential engine), mirroring the top-level `tests/properties.rs`.
+fn small_spec() -> impl Strategy<Value = WorkloadSpec> {
+    (
+        2usize..=3,      // processes
+        2usize..=4,      // events per process
+        1usize..=2,      // sync objects
+        0u64..1000,      // seed
+        prop::bool::ANY, // style
+        0.0f64..=0.8,    // sync density
+    )
+        .prop_map(|(procs, epp, syncs, seed, sem_style, density)| {
+            let mut spec = if sem_style {
+                WorkloadSpec::small_semaphore(seed)
+            } else {
+                let mut s = WorkloadSpec::small_events(seed);
+                s.clears = false; // keep F(P) exploration well-behaved in size
+                s
+            };
+            spec.processes = procs;
+            spec.events_per_process = epp;
+            match spec.style {
+                SyncStyle::Semaphores => spec.semaphores = syncs,
+                SyncStyle::Events => spec.event_vars = syncs,
+            }
+            spec.sync_density = density;
+            spec
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// `NeverConcurrent` (and `Unreachable` — the events demonstrably
+    /// executed) never lands on a pair the exact engine can overlap,
+    /// under the weakest (§5.3 dependence-ignoring) feasibility — which
+    /// admits a superset of the dependence-preserving interleavings, so
+    /// the property transfers to both modes.
+    #[test]
+    fn never_concurrent_is_disjoint_from_exact_ccw(spec in small_spec()) {
+        let exec = generate_trace(&spec, 100)
+            .to_execution()
+            .expect("generated traces are valid");
+        let (program, event_of_stmt) = eo_lang::program_from_trace(exec.trace());
+        let mhp = MhpAnalysis::analyze(&program);
+        let mut stmt_of = vec![StmtId(0); event_of_stmt.len()];
+        for (si, ev) in event_of_stmt.iter().enumerate() {
+            stmt_of[ev.index()] = StmtId(si as u32);
+        }
+        let summary = ExactEngine::with_mode(&exec, FeasibilityMode::IgnoreDependences).summary();
+        let ccw = summary.ccw_relation();
+        for a in 0..exec.n_events() {
+            for b in 0..exec.n_events() {
+                if a == b {
+                    continue;
+                }
+                if mhp.never_concurrent(stmt_of[a], stmt_of[b]) {
+                    prop_assert!(
+                        !ccw.contains(a, b),
+                        "static NeverConcurrent on events #{} / #{} but the \
+                         exact engine overlaps them", a, b
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,188 @@
+//! The MHP soundness contract, pinned differentially against the exact
+//! engine: on the program reconstructed from a trace,
+//!
+//! 1. every event pair the exact engine observes as could-be-concurrent
+//!    (CCW) must be statically `MayBeConcurrent` — a `NeverConcurrent`
+//!    (or `Unreachable`) verdict on an observed-CCW pair would be
+//!    unsound; and
+//! 2. every exact (feasible) data race must survive the static tier —
+//!    `never_concurrent` may never hold on a racing pair.
+//!
+//! The sweep covers the fixture gallery in both feasibility modes, both
+//! E9 families (the pairing-pitfall ladder and the random semaphore
+//! workloads), and 100 seeded generated programs across both
+//! synchronization styles. The CCW check runs under the §5.3
+//! dependence-ignoring mode where noted: it admits every interleaving the
+//! dependence-preserving mode does and more, so `CCW_preserve ⊆
+//! CCW_ignore` and one check subsumes both modes.
+
+use eo_engine::{ExactEngine, FeasibilityMode};
+use eo_lang::generator::{generate_trace, WorkloadSpec};
+use eo_mhp::{MhpAnalysis, StmtId, Verdict};
+use eo_model::{fixtures, ProgramExecution, Trace};
+
+fn exec_of(trace: Trace) -> ProgramExecution {
+    trace.to_execution().expect("test traces are valid")
+}
+
+/// Reconstructs the program behind `exec`, runs the fixpoint, and
+/// returns the analysis plus the event → statement mapping.
+fn analyze_trace(exec: &ProgramExecution) -> (MhpAnalysis, Vec<StmtId>) {
+    let (program, event_of_stmt) = eo_lang::program_from_trace(exec.trace());
+    let mhp = MhpAnalysis::analyze(&program);
+    let mut stmt_of = vec![StmtId(0); event_of_stmt.len()];
+    for (si, ev) in event_of_stmt.iter().enumerate() {
+        stmt_of[ev.index()] = StmtId(si as u32);
+    }
+    (mhp, stmt_of)
+}
+
+/// Contract 1: exact CCW pairs are statically `MayBeConcurrent`.
+fn check_ccw_covered(label: &str, exec: &ProgramExecution, mode: FeasibilityMode) {
+    if exec.n_events() == 0 {
+        return;
+    }
+    let (mhp, stmt_of) = analyze_trace(exec);
+    let summary = ExactEngine::with_mode(exec, mode).summary();
+    let ccw = summary.ccw_relation();
+    for a in 0..exec.n_events() {
+        for b in 0..exec.n_events() {
+            if a == b || !ccw.contains(a, b) {
+                continue;
+            }
+            let (sa, sb) = (stmt_of[a], stmt_of[b]);
+            assert_eq!(
+                mhp.verdict(sa, sb),
+                Verdict::MayBeConcurrent,
+                "{label} [{mode:?}]: events #{a} and #{b} are exactly CCW \
+                 but the static verdict claims otherwise"
+            );
+        }
+    }
+}
+
+/// Contract 2: exact races are never statically refuted.
+fn check_races_survive(label: &str, exec: &ProgramExecution) {
+    let (mhp, stmt_of) = analyze_trace(exec);
+    for race in eo_race::exact_races(exec) {
+        let (sa, sb) = (stmt_of[race.first.index()], stmt_of[race.second.index()]);
+        assert!(
+            !mhp.never_concurrent(sa, sb),
+            "{label}: the static tier refutes the feasible race \
+             #{} / #{}",
+            race.first.index(),
+            race.second.index()
+        );
+    }
+}
+
+fn fixture_gallery() -> Vec<(&'static str, ProgramExecution)> {
+    vec![
+        ("independent_pair", exec_of(fixtures::independent_pair().0)),
+        ("sem_handshake", exec_of(fixtures::sem_handshake().0)),
+        (
+            "fork_join_diamond",
+            exec_of(fixtures::fork_join_diamond().0),
+        ),
+        ("figure1", exec_of(fixtures::figure1().0)),
+        (
+            "post_wait_clear_chain",
+            exec_of(fixtures::post_wait_clear_chain().0),
+        ),
+        (
+            "shared_counter_race",
+            exec_of(fixtures::shared_counter_race().0),
+        ),
+        ("crossing", exec_of(fixtures::crossing().0)),
+    ]
+}
+
+#[test]
+fn fixtures_are_covered_in_both_feasibility_modes() {
+    for (label, exec) in fixture_gallery() {
+        for mode in [
+            FeasibilityMode::PreserveDependences,
+            FeasibilityMode::IgnoreDependences,
+        ] {
+            check_ccw_covered(label, &exec, mode);
+        }
+        check_races_survive(label, &exec);
+    }
+}
+
+/// The E9 "pairing pitfall" family (same shape as `eo-bench`'s; rebuilt
+/// here because the bench crate sits above this one).
+fn pitfall_exec(decoys: usize) -> ProgramExecution {
+    let mut b = eo_lang::ProgramBuilder::new();
+    let s = b.semaphore("s");
+    let x = b.variable("x");
+    let w = b.process("writer");
+    b.compute_rw(w, &[], &[x], "write_x");
+    b.sem_v(w, s);
+    for k in 0..decoys {
+        let d = b.process(&format!("decoy_{k}"));
+        b.sem_v(d, s);
+    }
+    let r = b.process("reader");
+    b.sem_p(r, s);
+    b.compute_rw(r, &[x], &[], "read_x");
+    let program = b.build();
+    let trace = eo_lang::run_to_trace(&program, &mut eo_lang::Scheduler::deterministic())
+        .expect("pitfall program cannot deadlock");
+    exec_of(trace)
+}
+
+#[test]
+fn the_e9_pitfall_family_is_covered() {
+    for decoys in [1usize, 2, 4] {
+        let label = format!("pitfall-{decoys}");
+        let exec = pitfall_exec(decoys);
+        check_ccw_covered(&label, &exec, FeasibilityMode::IgnoreDependences);
+        check_races_survive(&label, &exec);
+    }
+}
+
+#[test]
+fn the_e9_random_family_is_covered() {
+    for seed in 0..8u64 {
+        let mut spec = WorkloadSpec::small_semaphore(seed);
+        spec.variables = 3;
+        spec.write_fraction = 0.5;
+        let exec = exec_of(generate_trace(&spec, 100));
+        let label = format!("e9-random-{seed}");
+        for mode in [
+            FeasibilityMode::PreserveDependences,
+            FeasibilityMode::IgnoreDependences,
+        ] {
+            check_ccw_covered(&label, &exec, mode);
+        }
+        check_races_survive(&label, &exec);
+    }
+}
+
+#[test]
+fn a_hundred_seeded_generated_programs_are_covered() {
+    // 50 semaphore-style + 50 event-style seeds; the dependence-ignoring
+    // check subsumes the dependence-preserving one (see module docs).
+    for seed in 0..50u64 {
+        let sem = exec_of(generate_trace(&WorkloadSpec::small_semaphore(seed), 100));
+        check_ccw_covered(
+            &format!("gen-sem-{seed}"),
+            &sem,
+            FeasibilityMode::IgnoreDependences,
+        );
+        let ev = exec_of(generate_trace(&WorkloadSpec::small_events(seed), 100));
+        check_ccw_covered(
+            &format!("gen-ev-{seed}"),
+            &ev,
+            FeasibilityMode::IgnoreDependences,
+        );
+        // The race-side check issues one engine query per conflicting
+        // pair; sampling every fifth seed keeps the sweep fast while
+        // still crossing 20 distinct programs.
+        if seed % 5 == 0 {
+            check_races_survive(&format!("gen-sem-{seed}"), &sem);
+            check_races_survive(&format!("gen-ev-{seed}"), &ev);
+        }
+    }
+}

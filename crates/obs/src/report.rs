@@ -90,6 +90,13 @@ pub const ENGINE_METRICS: &[&str] = &[
     "serve.cache_hits",
     "serve.cache_misses",
     "serve.prefilter_hits",
+    "serve.static_prefilter_hits",
+    "mhp.analyses",
+    "mhp.stmts",
+    "mhp.rounds",
+    "mhp.unreachable_stmts",
+    "lint.programs",
+    "lint.diagnostics",
 ];
 
 /// Name of the string metric recording why an analysis degraded.

@@ -93,6 +93,21 @@ pub fn try_exact_races_with_memo(
     ctx: &SearchCtx<'_>,
     memo: &mut QueryMemo,
 ) -> Result<Vec<Race>, EngineError> {
+    try_exact_races_with_memo_prefiltered(ctx, memo, None)
+}
+
+/// [`try_exact_races_with_memo`] with an optional zero-exploration MHP
+/// tier (see [`StaticPrefilter`]): statically refuted candidates skip the
+/// could-be-concurrent search entirely, consuming none of the memo's
+/// budget. The answer is identical either way — the prefilter is sound.
+///
+/// # Panics
+/// Panics if `ctx` preserves dependences.
+pub fn try_exact_races_with_memo_prefiltered(
+    ctx: &SearchCtx<'_>,
+    memo: &mut QueryMemo,
+    prefilter: Option<&StaticPrefilter<'_>>,
+) -> Result<Vec<Race>, EngineError> {
     assert_eq!(
         ctx.mode(),
         FeasibilityMode::IgnoreDependences,
@@ -100,6 +115,9 @@ pub fn try_exact_races_with_memo(
     );
     let mut races = Vec::new();
     for r in conflicting_pairs(ctx.exec()) {
+        if prefilter.is_some_and(|pf| pf.refutes(r.first, r.second)) {
+            continue;
+        }
         if memo.try_could_be_concurrent(ctx, r.first, r.second)? {
             races.push(r);
         }
@@ -120,6 +138,41 @@ pub struct PrunedRaces {
     pub pruned: usize,
     /// Pairs that still needed a could-be-concurrent search.
     pub engine_queries: usize,
+    /// Of the pruned pairs, how many the whole-program MHP prefilter
+    /// discharged (zero state-space exploration; a subset of `pruned`).
+    pub static_refuted: usize,
+}
+
+/// The zero-exploration refutation tier: `eo-mhp` verdicts of the program
+/// that produced an execution, projected onto events through the anchored
+/// statement map.
+///
+/// Soundness: an [`eo_mhp::Verdict::NeverConcurrent`] pair of statements
+/// never executes concurrently in *any* execution of the program. Both
+/// events of a candidate pair executed in the observed trace, and the
+/// race search space ranges over alternate executions performing those
+/// same events — every one of which is an execution of the same program —
+/// so the pair can never be simultaneously ready and is refuted without
+/// consulting the engine.
+pub struct StaticPrefilter<'a> {
+    mhp: &'a eo_mhp::MhpAnalysis,
+    stmt_of: &'a [StmtId],
+}
+
+impl<'a> StaticPrefilter<'a> {
+    /// Wraps an MHP analysis and the event→statement anchor map of one
+    /// observed execution of the same program.
+    pub fn new(mhp: &'a eo_mhp::MhpAnalysis, stmt_of: &'a [StmtId]) -> StaticPrefilter<'a> {
+        StaticPrefilter { mhp, stmt_of }
+    }
+
+    /// True iff the pair is statically proven non-concurrent. Two events
+    /// anchored at the *same* statement are never refuted (the verdict
+    /// for a statement against itself speaks about one event, not two).
+    pub fn refutes(&self, a: EventId, b: EventId) -> bool {
+        let (sa, sb) = (self.stmt_of[a.index()], self.stmt_of[b.index()]);
+        sa != sb && self.mhp.never_concurrent(sa, sb)
+    }
 }
 
 /// The exhaustive detector with a *sound* static pre-pass: conflicting
@@ -145,11 +198,32 @@ pub fn pruned_exact_races(
     so: &StaticOrderings,
     stmt_of: &[StmtId],
 ) -> PrunedRaces {
+    pruned_exact_races_with_prefilter(exec, so, stmt_of, None)
+}
+
+/// [`pruned_exact_races`] with an optional extra refutation tier in
+/// front: the whole-program MHP verdicts (see [`StaticPrefilter`]),
+/// consulted *before* the Callahan–Subhlok orderings. Both tiers are
+/// sound, so the result stays byte-identical to [`exact_races`]; the MHP
+/// tier strictly subsumes the CS one (same `prec` rules plus the
+/// semaphore meet, branch mutual exclusion, and unreachability), so every
+/// pair it refutes costs nothing downstream.
+pub fn pruned_exact_races_with_prefilter(
+    exec: &ProgramExecution,
+    so: &StaticOrderings,
+    stmt_of: &[StmtId],
+    prefilter: Option<&StaticPrefilter<'_>>,
+) -> PrunedRaces {
     let ctx = SearchCtx::new(exec, FeasibilityMode::IgnoreDependences);
     let mut session = QuerySession::new(&ctx);
     let mut out = PrunedRaces::default();
     for r in conflicting_pairs(exec) {
         out.candidates += 1;
+        if prefilter.is_some_and(|pf| pf.refutes(r.first, r.second)) {
+            out.pruned += 1;
+            out.static_refuted += 1;
+            continue;
+        }
         let (sa, sb) = (stmt_of[r.first.index()], stmt_of[r.second.index()]);
         if so.ordered_either_way(sa, sb) {
             out.pruned += 1;
@@ -197,6 +271,20 @@ pub struct DegradedRaces {
 /// When the budget runs out mid-way the remaining candidates are
 /// reported [`DegradedRaces::unknown`] instead of being guessed at.
 pub fn races_with_budget(exec: &ProgramExecution, budget: &Budget) -> RacesOutcome {
+    races_with_budget_prefiltered(exec, budget, None)
+}
+
+/// [`races_with_budget`] with an optional zero-exploration MHP tier in
+/// front (see [`StaticPrefilter`]): statically refuted candidates are
+/// discharged before the polynomial guarantees and the budgeted search,
+/// so they consume no budget at all — under a budget stop they land in
+/// [`DegradedRaces::refuted`] instead of `unknown`, shrinking the
+/// degraded answer's uncertainty for free.
+pub fn races_with_budget_prefiltered(
+    exec: &ProgramExecution,
+    budget: &Budget,
+    prefilter: Option<&StaticPrefilter<'_>>,
+) -> RacesOutcome {
     let ctx = SearchCtx::new(exec, FeasibilityMode::IgnoreDependences);
     let safe = eo_approx::SafeOrderings::compute(exec);
     let tasks = eo_approx::TaskGraph::build(exec);
@@ -207,6 +295,10 @@ pub fn races_with_budget(exec: &ProgramExecution, budget: &Budget) -> RacesOutco
     let mut reason: Option<EngineError> = None;
     for r in conflicting_pairs(exec) {
         let (a, b) = (r.first, r.second);
+        if prefilter.is_some_and(|pf| pf.refutes(a, b)) {
+            refuted.push(r);
+            continue;
+        }
         let guaranteed = safe.guaranteed_before(a, b)
             || safe.guaranteed_before(b, a)
             || tasks.guaranteed_before(a, b)
@@ -525,6 +617,117 @@ mod tests {
             pruned.engine_queries < pruned.candidates,
             "at least one engine query is skipped"
         );
+    }
+
+    #[test]
+    fn static_prefilter_matches_exact_on_random_workloads() {
+        use eo_lang::generator::{random_program, WorkloadSpec};
+        let mut static_total = 0;
+        for family in ["sem", "events"] {
+            for seed in 0..8 {
+                let mut spec = match family {
+                    "sem" => WorkloadSpec::small_semaphore(seed),
+                    _ => WorkloadSpec::small_events(seed),
+                };
+                spec.variables = 3;
+                spec.write_fraction = 0.5;
+                let program = random_program(&spec);
+                let Some(run) = anchored_run(&program) else {
+                    continue;
+                };
+                let exec = run.trace.to_execution().unwrap();
+                let so = StaticOrderings::analyze(&program);
+                let mhp = eo_mhp::MhpAnalysis::analyze(&program);
+                let pf = StaticPrefilter::new(&mhp, &run.stmt_of);
+                let pruned = pruned_exact_races_with_prefilter(&exec, &so, &run.stmt_of, Some(&pf));
+                assert_eq!(
+                    pruned.races,
+                    exact_races(&exec),
+                    "{family} seed {seed}: the static tier must not change the answer"
+                );
+                assert_eq!(
+                    pruned.pruned + pruned.engine_queries,
+                    pruned.candidates,
+                    "{family} seed {seed}"
+                );
+                assert!(
+                    pruned.static_refuted <= pruned.pruned,
+                    "{family} seed {seed}"
+                );
+                static_total += pruned.static_refuted;
+            }
+        }
+        assert!(
+            static_total > 0,
+            "the MHP tier should refute some pairs with zero exploration"
+        );
+    }
+
+    #[test]
+    fn static_tier_subsumes_the_cs_tier() {
+        use eo_lang::generator::{random_program, WorkloadSpec};
+        for seed in 0..8 {
+            let mut spec = WorkloadSpec::small_semaphore(seed);
+            spec.variables = 3;
+            spec.write_fraction = 0.5;
+            let program = random_program(&spec);
+            let Some(run) = anchored_run(&program) else {
+                continue;
+            };
+            let exec = run.trace.to_execution().unwrap();
+            let so = StaticOrderings::analyze(&program);
+            let mhp = eo_mhp::MhpAnalysis::analyze(&program);
+            let pf = StaticPrefilter::new(&mhp, &run.stmt_of);
+            let without = pruned_exact_races(&exec, &so, &run.stmt_of);
+            let with = pruned_exact_races_with_prefilter(&exec, &so, &run.stmt_of, Some(&pf));
+            assert_eq!(with.races, without.races, "seed {seed}");
+            assert!(
+                with.static_refuted >= without.pruned,
+                "seed {seed}: every CS-refutable pair is MHP-refutable \
+                 ({} static vs {} cs)",
+                with.static_refuted,
+                without.pruned
+            );
+            assert!(with.engine_queries <= without.engine_queries, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn budgeted_detector_with_prefilter_stays_exact_and_shrinks_unknowns() {
+        use eo_lang::generator::{random_program, WorkloadSpec};
+        for seed in 0..5 {
+            let mut spec = WorkloadSpec::small_semaphore(seed);
+            spec.variables = 3;
+            spec.write_fraction = 0.5;
+            let program = random_program(&spec);
+            let Some(run) = anchored_run(&program) else {
+                continue;
+            };
+            let exec = run.trace.to_execution().unwrap();
+            let mhp = eo_mhp::MhpAnalysis::analyze(&program);
+            let pf = StaticPrefilter::new(&mhp, &run.stmt_of);
+            match races_with_budget_prefiltered(&exec, &Budget::unlimited(), Some(&pf)) {
+                RacesOutcome::Exact(races) => {
+                    assert_eq!(races, exact_races(&exec), "seed {seed}")
+                }
+                RacesOutcome::Degraded(d) => {
+                    panic!("seed {seed}: unlimited budget degraded: {:?}", d.reason)
+                }
+            }
+            // Under a dead budget the statically refuted pairs still get a
+            // verdict: the prefilter consumes no budget at all.
+            let budget = Budget::unlimited();
+            budget.cancel_handle().cancel();
+            let RacesOutcome::Degraded(d) =
+                races_with_budget_prefiltered(&exec, &budget, Some(&pf))
+            else {
+                continue; // no candidates at all
+            };
+            let exact = exact_races(&exec);
+            for r in &d.refuted {
+                assert!(!exact.contains(r), "seed {seed}: refuted {r:?} is real");
+            }
+        }
     }
 
     #[test]

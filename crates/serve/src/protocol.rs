@@ -200,7 +200,15 @@ fn witness_value(witness: &Option<Vec<EventId>>) -> Value {
 pub fn render_reply(id: &Option<Value>, reply: &SessionReply) -> String {
     let mut fields = base_fields(id, reply.response.query.op_name(), "exact");
     fields.push(("cached".to_owned(), Value::Bool(reply.cached)));
-    fields.push(("prefilter".to_owned(), Value::Bool(reply.prefilter)));
+    fields.push((
+        "prefilter".to_owned(),
+        Value::Bool(reply.prefilter || reply.static_prefilter),
+    ));
+    // Additive disposition marker: present only when the whole-program
+    // static tier answered, so default-config responses are byte-stable.
+    if reply.static_prefilter {
+        fields.push(("prefilter_tier".to_owned(), Value::Str("static".to_owned())));
+    }
     match &reply.response.answer {
         Answer::Decided(v) => fields.push(("answer".to_owned(), Value::Bool(*v))),
         Answer::Witness(w) => fields.push(("witness".to_owned(), witness_value(w))),

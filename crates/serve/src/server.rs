@@ -106,6 +106,10 @@ pub fn serve_requests(
     eo_obs::counter!("serve.cache_hits", outcome.stats.cache_hits);
     eo_obs::counter!("serve.cache_misses", outcome.stats.cache_misses);
     eo_obs::counter!("serve.prefilter_hits", outcome.stats.prefilter_hits);
+    eo_obs::counter!(
+        "serve.static_prefilter_hits",
+        outcome.stats.static_prefilter_hits
+    );
     outcome
 }
 

@@ -39,6 +39,12 @@ pub struct SessionConfig {
     /// EGP task graph): sound fast-path answers for pairs the cheap
     /// analyses already decide.
     pub prefilter: bool,
+    /// The whole-program static prefilter: run the `eo-mhp` fixpoint on
+    /// the program reconstructed from the trace and refute queries its
+    /// guaranteed orderings decide — with zero state-space exploration.
+    /// Off by default (`eo serve --static-prefilter` turns it on);
+    /// answers are identical either way.
+    pub static_prefilter: bool,
     /// Capacity of the witness-schedule LRU (entries, not bytes).
     pub witness_capacity: usize,
 }
@@ -49,6 +55,7 @@ impl Default for SessionConfig {
             engine: EngineOptions::default(),
             cache: true,
             prefilter: true,
+            static_prefilter: false,
             witness_capacity: 256,
         }
     }
@@ -66,6 +73,9 @@ pub struct SessionStats {
     pub cache_misses: u64,
     /// Cache misses decided by the polynomial guarantee relation alone.
     pub prefilter_hits: u64,
+    /// Cache misses decided by the whole-program MHP static prefilter,
+    /// with zero state-space exploration.
+    pub static_prefilter_hits: u64,
 }
 
 impl SessionStats {
@@ -76,6 +86,7 @@ impl SessionStats {
         self.cache_hits += other.cache_hits;
         self.cache_misses += other.cache_misses;
         self.prefilter_hits += other.prefilter_hits;
+        self.static_prefilter_hits += other.static_prefilter_hits;
     }
 }
 
@@ -89,6 +100,9 @@ pub struct SessionReply {
     pub cached: bool,
     /// Decided by the polynomial guarantee prefilter.
     pub prefilter: bool,
+    /// Decided by the whole-program MHP static prefilter (no trace-level
+    /// analysis, no state-space exploration).
+    pub static_prefilter: bool,
 }
 
 /// A long-lived analysis session over one program execution.
@@ -112,7 +126,21 @@ pub struct AnalysisSession<'e> {
     summary: Option<Box<OrderingSummary>>,
     races: Option<Vec<Race>>,
     guarantee: Option<Relation>,
+    static_facts: Option<Box<StaticFacts>>,
     stats: SessionStats,
+}
+
+/// Lazily built whole-program static facts: the `eo-mhp` fixpoint of the
+/// program the trace reconstructs, with its statement verdicts projected
+/// onto this execution's events.
+struct StaticFacts {
+    /// `ordered.contains(a, b)` ⇔ event `a`'s statement is guaranteed to
+    /// complete before event `b`'s statement begins, in every execution.
+    ordered: Relation,
+    mhp: eo_mhp::MhpAnalysis,
+    /// Statement anchor of each event (branch-free reconstruction:
+    /// preorder statement numbering is process-major event order).
+    stmt_of: Vec<eo_mhp::StmtId>,
 }
 
 impl<'e> AnalysisSession<'e> {
@@ -139,6 +167,7 @@ impl<'e> AnalysisSession<'e> {
             summary: None,
             races: None,
             guarantee: None,
+            static_facts: None,
             stats: SessionStats::default(),
         }
     }
@@ -207,8 +236,17 @@ impl<'e> AnalysisSession<'e> {
             }
         }
         self.stats.cache_misses += 1;
+        if self.config.static_prefilter {
+            self.static_facts();
+        }
+        let facts = self.static_facts.as_deref();
+        let prefilter = facts.map(|f| eo_race::StaticPrefilter::new(&f.mhp, &f.stmt_of));
         let races = if self.config.engine.mode == FeasibilityMode::IgnoreDependences {
-            eo_race::try_exact_races_with_memo(&self.ctx, &mut self.memo)?
+            eo_race::try_exact_races_with_memo_prefiltered(
+                &self.ctx,
+                &mut self.memo,
+                prefilter.as_ref(),
+            )?
         } else {
             if self.race_ctx.is_none() {
                 self.race_ctx = Some(SearchCtx::new(
@@ -220,7 +258,7 @@ impl<'e> AnalysisSession<'e> {
             let memo = self.race_memo.get_or_insert_with(|| {
                 QueryMemo::with_budget(ctx, self.config.engine.effective_budget())
             });
-            eo_race::try_exact_races_with_memo(ctx, memo)?
+            eo_race::try_exact_races_with_memo_prefiltered(ctx, memo, prefilter.as_ref())?
         };
         if self.config.cache {
             self.races = Some(races.clone());
@@ -233,6 +271,14 @@ impl<'e> AnalysisSession<'e> {
             response: Response::new(query, answer),
             cached,
             prefilter,
+            static_prefilter: false,
+        }
+    }
+
+    fn reply_static(&self, query: Query, answer: Answer) -> SessionReply {
+        SessionReply {
+            static_prefilter: true,
+            ..self.reply(query, answer, false, false)
         }
     }
 
@@ -259,6 +305,16 @@ impl<'e> AnalysisSession<'e> {
             }
         }
         self.stats.cache_misses += 1;
+        if self.config.static_prefilter {
+            let g = &self.static_facts().ordered;
+            if let Some(v) = decide_from_guarantee(g, kind, a, b) {
+                self.stats.static_prefilter_hits += 1;
+                if self.config.cache {
+                    self.facts.record(kind, a, b, v);
+                }
+                return Ok(self.reply_static(query, Answer::Decided(v)));
+            }
+        }
         if self.config.prefilter {
             if let Some(v) = self.prefilter_decide(kind, a, b) {
                 self.stats.prefilter_hits += 1;
@@ -320,6 +376,29 @@ impl<'e> AnalysisSession<'e> {
             }
         }
         self.stats.cache_misses += 1;
+        if self.config.static_prefilter {
+            let g = &self.static_facts().ordered;
+            // A static order refutes the witness the same way the dynamic
+            // guarantee does: no execution runs the events the other way.
+            let refuted = if overlap {
+                decide_from_guarantee(g, FactKind::Ccw, a, b) == Some(false)
+            } else {
+                g.contains(b.index(), a.index())
+            };
+            if refuted {
+                self.stats.static_prefilter_hits += 1;
+                if self.config.cache {
+                    let kind = if overlap {
+                        FactKind::Ccw
+                    } else {
+                        FactKind::Chb
+                    };
+                    self.facts.record(kind, a, b, false);
+                    self.witnesses.put(self.fingerprint, key, None);
+                }
+                return Ok(self.reply_static(query, Answer::Witness(None)));
+            }
+        }
         if self.config.prefilter {
             let refuted = if overlap {
                 self.prefilter_decide(FactKind::Ccw, a, b) == Some(false)
@@ -381,26 +460,36 @@ impl<'e> AnalysisSession<'e> {
     /// A sound fast-path decision from the guarantee relation, or `None`
     /// when the cheap analyses don't decide this pair.
     fn prefilter_decide(&mut self, kind: FactKind, a: EventId, b: EventId) -> Option<bool> {
-        let g = self.guarantee();
-        let (ai, bi) = (a.index(), b.index());
-        match kind {
-            // G(a,b) ⇒ a before b in every feasible execution ⇒ MHB. The
-            // converse direction is not decided by G's absence.
-            FactKind::Mhb => g.contains(ai, bi).then_some(true),
-            // G(a,b) ⇒ a before b in *some* execution too (F(P) contains
-            // the observed run), so CHB(a,b) holds; G(b,a) refutes it.
-            FactKind::Chb => {
-                if g.contains(ai, bi) {
-                    Some(true)
-                } else if g.contains(bi, ai) {
-                    Some(false)
-                } else {
-                    None
-                }
+        decide_from_guarantee(self.guarantee(), kind, a, b)
+    }
+
+    /// The whole-program static facts — built lazily on first use by
+    /// reconstructing the trace's canonical program, running the `eo-mhp`
+    /// fixpoint on it, and projecting the statement verdicts onto events.
+    /// When caching is on the event orderings are seeded into the fact
+    /// store through the same guarantee rules the polynomial prefilter
+    /// uses, so cached facts and static facts can never disagree.
+    fn static_facts(&mut self) -> &StaticFacts {
+        if self.static_facts.is_none() {
+            let (program, event_of_stmt) = eo_lang::program_from_trace(self.exec.trace());
+            let mhp = eo_mhp::MhpAnalysis::analyze(&program);
+            let mut stmt_of = vec![eo_mhp::StmtId(0); event_of_stmt.len()];
+            for (si, ev) in event_of_stmt.iter().enumerate() {
+                stmt_of[ev.index()] = eo_mhp::StmtId(si as u32);
             }
-            // A guaranteed order in either direction rules out overlap.
-            FactKind::Ccw => (g.contains(ai, bi) || g.contains(bi, ai)).then_some(false),
+            let ordered = mhp.event_orderings(&stmt_of);
+            if self.config.cache {
+                self.facts.seed_guarantee(&ordered);
+            }
+            self.static_facts = Some(Box::new(StaticFacts {
+                ordered,
+                mhp,
+                stmt_of,
+            }));
         }
+        self.static_facts
+            .as_deref()
+            .expect("static facts just built")
     }
 
     /// The guarantee relation G = HMW safe orderings ∪ EGP task graph,
@@ -420,9 +509,112 @@ impl<'e> AnalysisSession<'e> {
     }
 }
 
+/// A sound fast-path decision from a guarantee-style ordering relation
+/// (`g(a,b)` ⇔ `a` completes before `b` begins in every execution): used
+/// by both the polynomial prefilter and the whole-program static
+/// prefilter, which therefore can never disagree where both decide.
+fn decide_from_guarantee(g: &Relation, kind: FactKind, a: EventId, b: EventId) -> Option<bool> {
+    let (ai, bi) = (a.index(), b.index());
+    match kind {
+        // G(a,b) ⇒ a before b in every feasible execution ⇒ MHB. The
+        // converse direction is not decided by G's absence.
+        FactKind::Mhb => g.contains(ai, bi).then_some(true),
+        // G(a,b) ⇒ a before b in *some* execution too (F(P) contains
+        // the observed run), so CHB(a,b) holds; G(b,a) refutes it.
+        FactKind::Chb => {
+            if g.contains(ai, bi) {
+                Some(true)
+            } else if g.contains(bi, ai) {
+                Some(false)
+            } else {
+                None
+            }
+        }
+        // A guaranteed order in either direction rules out overlap.
+        FactKind::Ccw => (g.contains(ai, bi) || g.contains(bi, ai)).then_some(false),
+    }
+}
+
 /// Fingerprints a program execution by hashing its canonical trace JSON.
 pub fn fingerprint(exec: &ProgramExecution) -> u64 {
     let mut h = FxHasher::default();
     h.write(exec.trace().to_value().pretty().as_bytes());
     h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eo_model::fixtures;
+
+    fn decided(reply: &SessionReply) -> bool {
+        match reply.response.answer {
+            Answer::Decided(v) => v,
+            ref other => panic!("expected a decided answer, got {other:?}"),
+        }
+    }
+
+    /// The satellite invariant: a fact served from the cross-query cache
+    /// and a fact decided by the whole-program static prefilter can never
+    /// disagree — the static tier seeds the fact store through the same
+    /// sound guarantee rules, and both must match the engine oracle.
+    #[test]
+    fn cached_facts_and_static_facts_never_disagree() {
+        let (trace, _) = fixtures::figure1();
+        let exec = ProgramExecution::from_trace(trace).expect("fixture is valid");
+        let mut oracle = AnalysisSession::with_config(
+            &exec,
+            SessionConfig {
+                cache: false,
+                prefilter: false,
+                static_prefilter: false,
+                ..Default::default()
+            },
+        );
+        let mut session = AnalysisSession::with_config(
+            &exec,
+            SessionConfig {
+                prefilter: false,
+                static_prefilter: true,
+                ..Default::default()
+            },
+        );
+        let n = exec.n_events();
+        let mut static_answers = 0u64;
+        for a in 0..n {
+            for b in 0..n {
+                if a == b {
+                    continue;
+                }
+                let (ea, eb) = (EventId::new(a), EventId::new(b));
+                for q in [
+                    Query::Mhb { a: ea, b: eb },
+                    Query::Chb { a: ea, b: eb },
+                    Query::Ccw { a: ea, b: eb },
+                ] {
+                    let expected = decided(&oracle.query(q).expect("no budget"));
+                    let first = session.query(q).expect("no budget");
+                    assert_eq!(decided(&first), expected, "{q:?}");
+                    if first.static_prefilter {
+                        static_answers += 1;
+                    }
+                    // Ask again: the answer is now in the fact store (the
+                    // static tier and engine answers both seed it), and
+                    // the cached fact must agree with what was served.
+                    let again = session.query(q).expect("no budget");
+                    assert_eq!(decided(&again), expected, "{q:?} (cached)");
+                    assert!(again.cached, "{q:?}: second ask must be a cache hit");
+                }
+            }
+        }
+        assert!(
+            session.stats().static_prefilter_hits + static_answers > 0
+                || session.stats().cache_hits > 0,
+            "the static tier (directly or via seeded facts) must answer something"
+        );
+        assert!(
+            session.stats().static_prefilter_hits == static_answers,
+            "reply markers and counters agree"
+        );
+    }
 }

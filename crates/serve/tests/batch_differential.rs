@@ -169,14 +169,21 @@ fn batched_sessions_match_one_shot_engines_everywhere() {
                     .answer
             })
             .collect();
-        for (cache, prefilter) in [(true, true), (true, false), (false, false)] {
-            let config = format!("cache={cache},prefilter={prefilter}");
+        for (cache, prefilter, static_prefilter) in [
+            (true, true, false),
+            (true, false, false),
+            (false, false, false),
+            (true, true, true),
+            (false, false, true),
+        ] {
+            let config = format!("cache={cache},prefilter={prefilter},static={static_prefilter}");
             let mut session = AnalysisSession::with_config(
                 &exec,
                 SessionConfig {
                     engine: opts.clone(),
                     cache,
                     prefilter,
+                    static_prefilter,
                     ..Default::default()
                 },
             );
@@ -206,18 +213,27 @@ fn batched_sessions_match_one_shot_engines_everywhere() {
 fn races_match_the_standalone_detector_in_both_modes() {
     for (label, exec, mode) in programs() {
         let expected = eo_race::exact_races(&exec);
-        let mut session = AnalysisSession::with_config(
-            &exec,
-            SessionConfig {
-                engine: EngineOptions::with_mode(mode),
-                ..Default::default()
-            },
-        );
-        let (first, cached_first) = session.races().expect("no budget attached");
-        let (second, cached_second) = session.races().expect("no budget attached");
-        assert_eq!(first, expected, "{label}: session races differ");
-        assert_eq!(second, expected, "{label}: memoized races differ");
-        assert!(!cached_first, "{label}");
-        assert!(cached_second, "{label}: second race query must be memoized");
+        for static_prefilter in [false, true] {
+            let mut session = AnalysisSession::with_config(
+                &exec,
+                SessionConfig {
+                    engine: EngineOptions::with_mode(mode),
+                    static_prefilter,
+                    ..Default::default()
+                },
+            );
+            let (first, cached_first) = session.races().expect("no budget attached");
+            let (second, cached_second) = session.races().expect("no budget attached");
+            assert_eq!(
+                first, expected,
+                "{label} static={static_prefilter}: session races differ"
+            );
+            assert_eq!(
+                second, expected,
+                "{label} static={static_prefilter}: memoized races differ"
+            );
+            assert!(!cached_first, "{label}");
+            assert!(cached_second, "{label}: second race query must be memoized");
+        }
     }
 }

@@ -3,16 +3,20 @@
 //! ```text
 //! eo analyze <trace.json> [--ignore-deps] [--matrix] [--json]
 //!            [--timeout <ms>] [--max-mem <bytes>] [--max-states <n>]
-//!            [--no-degrade] [--trace-out <f>] [--metrics-out <f>]
+//!            [--no-degrade] [--static-prefilter]
+//!            [--trace-out <f>] [--metrics-out <f>]
 //!            [--profile]                            six relations of a trace
 //! eo serve   <trace.json> [--batch <req.json>] [--threads <n>]
 //!            [--timeout <ms>] [--max-mem <bytes>] [--max-states <n>]
-//!            [--no-cache] [--no-prefilter] [--ignore-deps]
-//!            [--metrics-out <f>]                    batched query sessions
+//!            [--no-cache] [--no-prefilter] [--static-prefilter]
+//!            [--ignore-deps] [--metrics-out <f>]    batched query sessions
 //! eo races   <trace.json>                           exact vs clock race report
 //! eo sat     <n_vars> <n_clauses> <seed> [--events] SAT via Theorem 1/2 (or 3/4)
-//! eo lint    <trace.json> [--json] [--deny <level>] static synchronization lints
+//! eo lint    <trace.json>... [--json] [--mhp] [--deny <level>]
+//!            [--metrics-out <f>]                    static synchronization lints
 //! eo lint    --theorem3 [n m seed] [--json]         lint the Theorem 3 program
+//! eo mhp     <trace.json> [--json] [--metrics-out <f>]
+//! eo mhp     --figure1 [--json]                     static MHP verdict report
 //! eo figure1                                        the paper's Figure 1 demo
 //! ```
 //!
@@ -29,7 +33,24 @@
 //! need a binary built with the `obs` feature to record anything.
 //!
 //! `lint` exits nonzero when any finding reaches the `--deny` level
-//! (default `error`; `warning` and `info` tighten it).
+//! (default `error`; `warning` and `info` tighten it). Several trace
+//! files can be linted in one run: each gets its own per-file report and
+//! the exit code aggregates across all of them. `--mhp` additionally runs
+//! the `eo-mhp` may-happen-in-parallel fixpoint and reports static races
+//! (`EO-L010`), unreachable statements (`EO-L011`) and statements blocked
+//! forever (`EO-L012`).
+//!
+//! `mhp` runs the static may-happen-in-parallel analysis alone on the
+//! program reconstructed from a trace (or, with `--figure1`, on the
+//! paper's branchy Figure 1 program) and prints the per-pair verdict
+//! summary plus every conflicting access pair it cannot order.
+//!
+//! `--static-prefilter` (on `analyze` and `serve`) consults those same
+//! statically proved orderings before any exploration: exact answers are
+//! bit-identical with the flag on or off (soundness means the static tier
+//! can only refute what exploration would also refute), degraded answers
+//! can only gain decided facts, and the `mhp.*` / `serve.*` metrics
+//! expose how much work the static tier absorbed.
 //!
 //! `serve` answers a batch of ordering queries against one program in one
 //! long-lived session (shared interned state space, cross-query caches):
@@ -56,18 +77,23 @@ fn main() -> ExitCode {
         Some("races") => races(rest),
         Some("sat") => sat(rest),
         Some("lint") => lint(rest),
+        Some("mhp") => mhp(rest),
         Some("figure1") => figure1(),
         _ => {
             eprintln!(
                 "usage:\n  eo analyze <trace.json> [--ignore-deps] [--matrix] [--json]\n      \
                  [--timeout <ms>] [--max-mem <bytes>] [--max-states <n>] [--no-degrade]\n      \
-                 [--trace-out <file>] [--metrics-out <file>] [--profile]\n  \
+                 [--static-prefilter] [--trace-out <file>] [--metrics-out <file>] [--profile]\n  \
                  eo serve <trace.json> [--batch <requests.json>] [--threads <n>]\n      \
                  [--timeout <ms>] [--max-mem <bytes>] [--max-states <n>]\n      \
-                 [--no-cache] [--no-prefilter] [--ignore-deps] [--metrics-out <file>]\n  \
+                 [--no-cache] [--no-prefilter] [--static-prefilter] [--ignore-deps]\n      \
+                 [--metrics-out <file>]\n  \
                  eo races <trace.json>\n  eo sat <n_vars> <n_clauses> <seed> [--events]\n  \
-                 eo lint <trace.json> [--json] [--deny error|warning|info]\n  \
+                 eo lint <trace.json>... [--json] [--mhp] [--deny error|warning|info] \
+                 [--metrics-out <file>]\n  \
                  eo lint --theorem3 [n m seed] [--json] [--deny <level>]\n  \
+                 eo mhp <trace.json> [--json] [--metrics-out <file>]\n  \
+                 eo mhp --figure1 [--json]\n  \
                  eo figure1"
             );
             ExitCode::FAILURE
@@ -282,6 +308,7 @@ fn analyze(args: &[String]) -> ExitCode {
     let matrix = args.iter().any(|a| a == "--matrix");
     let json = args.iter().any(|a| a == "--json");
     let no_degrade = args.iter().any(|a| a == "--no-degrade");
+    let static_prefilter = args.iter().any(|a| a == "--static-prefilter");
     let (timeout, max_mem, max_states) = match (
         num_flag(args, "--timeout"),
         num_flag(args, "--max-mem"),
@@ -361,6 +388,11 @@ fn analyze(args: &[String]) -> ExitCode {
     }
     let engine = ExactEngine::with_mode(&exec, mode).with_budget(budget);
     obs.begin();
+    // The static tier never changes an exact answer (its refutations are
+    // a subset of what exploration proves), so exact runs are
+    // bit-identical with the flag on or off; the orderings are kept
+    // around to upgrade a *degraded* summary's unknown facts.
+    let static_orderings = static_prefilter.then(|| static_event_orderings(&exec));
 
     if no_degrade {
         // Strict mode: an exhausted budget is a hard failure (exit 3).
@@ -417,7 +449,13 @@ fn analyze(args: &[String]) -> ExitCode {
             }
             ExitCode::SUCCESS
         }
-        AnalysisOutcome::Degraded(d) => {
+        AnalysisOutcome::Degraded(mut d) => {
+            if let Some(ordered) = &static_orderings {
+                // Sound upgrade only: statically proved orderings can
+                // decide facts exploration ran out of budget for, never
+                // contradict the ones it already decided.
+                d.apply_static_bounds(ordered);
+            }
             if json {
                 let (me, mb, mu) = d.mhb_counts();
                 let (ce, cb, cu) = d.chb_counts();
@@ -439,6 +477,21 @@ fn analyze(args: &[String]) -> ExitCode {
     };
     obs.flush();
     code
+}
+
+/// Statically proved event orderings for a trace: reconstructs the
+/// (branch-free) program behind the observed events, runs the `eo-mhp`
+/// fixpoint, and projects its guaranteed statement orderings onto the
+/// trace's events. Sound over every feasibility mode: a guarantee-style
+/// ordering holds in *all* executions, in particular the observed one.
+fn static_event_orderings(exec: &ProgramExecution) -> eo_relations::Relation {
+    let (program, event_of_stmt) = eo_lang::program_from_trace(exec.trace());
+    let mhp = eo_mhp::MhpAnalysis::analyze(&program);
+    let mut stmt_of = vec![eo_mhp::StmtId(0); event_of_stmt.len()];
+    for (si, ev) in event_of_stmt.iter().enumerate() {
+        stmt_of[ev.index()] = eo_mhp::StmtId(si as u32);
+    }
+    mhp.event_orderings(&stmt_of)
 }
 
 fn serve(args: &[String]) -> ExitCode {
@@ -527,6 +580,7 @@ fn serve(args: &[String]) -> ExitCode {
             engine,
             cache: !args.iter().any(|a| a == "--no-cache"),
             prefilter: !args.iter().any(|a| a == "--no-prefilter"),
+            static_prefilter: args.iter().any(|a| a == "--static-prefilter"),
             ..Default::default()
         },
         threads: threads.unwrap_or(1) as usize,
@@ -619,8 +673,32 @@ fn sat(args: &[String]) -> ExitCode {
     }
 }
 
+/// Positional (non-flag) arguments, skipping the values consumed by the
+/// flags in `value_flags` and any bare numbers (the `--theorem3` shape
+/// parameters).
+fn positional_args<'a>(args: &'a [String], value_flags: &[&str]) -> Vec<&'a String> {
+    let mut out = Vec::new();
+    let mut skip = false;
+    for a in args {
+        if skip {
+            skip = false;
+            continue;
+        }
+        if value_flags.iter().any(|f| f == a) {
+            skip = true;
+            continue;
+        }
+        if a.starts_with("--") || a.parse::<u64>().is_ok() {
+            continue;
+        }
+        out.push(a);
+    }
+    out
+}
+
 fn lint(args: &[String]) -> ExitCode {
-    use eo_lint::{lint_program, lint_trace, LintOptions, Severity};
+    use eo_lint::{lint_program, lint_trace, LintOptions, LintReport, Severity};
+    use eo_model::json::Value;
 
     let json = args.iter().any(|a| a == "--json");
     let deny = match args.iter().position(|a| a == "--deny") {
@@ -635,8 +713,23 @@ fn lint(args: &[String]) -> ExitCode {
             }
         },
     };
+    let opts = LintOptions {
+        mhp: args.iter().any(|a| a == "--mhp"),
+        ..LintOptions::for_trace()
+    };
+    let obs = match str_flag(args, "--metrics-out") {
+        Ok(metrics_out) => ObsOut {
+            trace_out: None,
+            metrics_out,
+            profile: false,
+        },
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
 
-    let report = if args.iter().any(|a| a == "--theorem3") {
+    if args.iter().any(|a| a == "--theorem3") {
         // Demo: lint the paper's Theorem 3 (event-style) construction —
         // the one the paper itself notes can deadlock.
         let nums: Vec<u64> = args.iter().filter_map(|a| a.parse().ok()).collect();
@@ -647,54 +740,240 @@ fn lint(args: &[String]) -> ExitCode {
         let f = Formula::random_3cnf(n, m, seed);
         eprintln!("linting the Theorem 3 program for B = {}", f.display());
         let red = eo_reductions::EventReduction::build(&f);
-        match lint_program(&red.program, &LintOptions::default()) {
+        obs.begin();
+        let report = match lint_program(
+            &red.program,
+            &LintOptions {
+                mhp: opts.mhp,
+                ..LintOptions::default()
+            },
+        ) {
             Ok(r) => r,
             Err(e) => {
                 eprintln!("lint: constructed program invalid: {e}");
+                obs.flush();
                 return ExitCode::FAILURE;
             }
+        };
+        if json {
+            println!("{}", report.to_json().pretty());
+        } else {
+            print!("{}", report.render_text());
         }
-    } else {
-        let Some(path) = args
-            .iter()
-            .find(|a| !a.starts_with("--") && a.parse::<u64>().is_err())
-        else {
-            eprintln!("lint: missing trace path");
-            return ExitCode::FAILURE;
+        obs.flush();
+        return if report.worst_at_least(deny) {
+            ExitCode::FAILURE
+        } else {
+            ExitCode::SUCCESS
         };
-        let text = match std::fs::read_to_string(path) {
-            Ok(t) => t,
-            Err(e) => {
-                eprintln!("reading {path}: {e}");
-                return ExitCode::FAILURE;
-            }
-        };
-        let trace = match Trace::from_json(&text) {
-            Ok(t) => t,
-            Err(e) => {
-                eprintln!("parsing {path}: {e}");
-                return ExitCode::FAILURE;
-            }
-        };
-        match lint_trace(&trace, &LintOptions::for_trace()) {
-            Ok(r) => r,
-            Err(e) => {
-                eprintln!("lint: {e}");
-                return ExitCode::FAILURE;
-            }
-        }
-    };
-
-    if json {
-        println!("{}", report.to_json().pretty());
-    } else {
-        print!("{}", report.render_text());
     }
-    if report.worst_at_least(deny) {
+
+    let paths = positional_args(args, &["--deny", "--metrics-out"]);
+    if paths.is_empty() {
+        eprintln!("lint: missing trace path");
+        return ExitCode::FAILURE;
+    }
+
+    obs.begin();
+    // Lint every file even when an early one fails to load: the per-file
+    // reports are independent, only the exit code aggregates.
+    let mut reports: Vec<(&String, LintReport)> = Vec::new();
+    let mut input_error = false;
+    for path in &paths {
+        let report = std::fs::read_to_string(path)
+            .map_err(|e| format!("reading {path}: {e}"))
+            .and_then(|text| Trace::from_json(&text).map_err(|e| format!("parsing {path}: {e}")))
+            .and_then(|trace| lint_trace(&trace, &opts).map_err(|e| format!("lint: {e}")));
+        match report {
+            Ok(r) => reports.push((path, r)),
+            Err(e) => {
+                eprintln!("{e}");
+                input_error = true;
+            }
+        }
+    }
+    let denied = reports.iter().any(|(_, r)| r.worst_at_least(deny));
+
+    if paths.len() == 1 {
+        // Single-file output is the original (pinned) format.
+        if let Some((_, report)) = reports.first() {
+            if json {
+                println!("{}", report.to_json().pretty());
+            } else {
+                print!("{}", report.render_text());
+            }
+        }
+    } else if json {
+        let files: Vec<Value> = reports
+            .iter()
+            .map(|(path, report)| {
+                Value::Object(vec![
+                    ("path".to_string(), Value::Str((*path).clone())),
+                    ("report".to_string(), report.to_json()),
+                ])
+            })
+            .collect();
+        let count = |sev| -> i64 { reports.iter().map(|(_, r)| r.count(sev) as i64).sum() };
+        let doc = Value::Object(vec![
+            ("schema_version".to_string(), Value::Int(1)),
+            ("files".to_string(), Value::Array(files)),
+            ("errors".to_string(), Value::Int(count(Severity::Error))),
+            ("warnings".to_string(), Value::Int(count(Severity::Warning))),
+            ("infos".to_string(), Value::Int(count(Severity::Info))),
+        ]);
+        println!("{}", doc.pretty());
+    } else {
+        for (path, report) in &reports {
+            println!("== {path} ==");
+            print!("{}", report.render_text());
+        }
+        println!(
+            "{} file(s) linted: {} error(s), {} warning(s), {} info finding(s)",
+            reports.len(),
+            reports
+                .iter()
+                .map(|(_, r)| r.count(Severity::Error))
+                .sum::<usize>(),
+            reports
+                .iter()
+                .map(|(_, r)| r.count(Severity::Warning))
+                .sum::<usize>(),
+            reports
+                .iter()
+                .map(|(_, r)| r.count(Severity::Info))
+                .sum::<usize>(),
+        );
+    }
+    obs.flush();
+    if input_error || denied {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS
     }
+}
+
+fn mhp(args: &[String]) -> ExitCode {
+    use eo_model::json::Value;
+
+    let json = args.iter().any(|a| a == "--json");
+    let obs = match str_flag(args, "--metrics-out") {
+        Ok(metrics_out) => ObsOut {
+            trace_out: None,
+            metrics_out,
+            profile: false,
+        },
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let program = if args.iter().any(|a| a == "--figure1") {
+        // The live Figure 1 *program* (with its branch), not a trace of
+        // one observed execution: this is the one input where the static
+        // analysis sees strictly more than any single trace.
+        eo_lang::generator::figure1_program()
+    } else {
+        let paths = positional_args(args, &["--metrics-out"]);
+        let Some(path) = paths.first() else {
+            eprintln!("mhp: missing trace path (or pass --figure1)");
+            return ExitCode::FAILURE;
+        };
+        let exec = match load(path) {
+            Ok(e) => e,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let (program, _) = eo_lang::program_from_trace(exec.trace());
+        program
+    };
+
+    obs.begin();
+    let analysis = eo_mhp::MhpAnalysis::analyze(&program);
+    obs.flush();
+
+    let n = analysis.n_stmts();
+    let (mut never, mut may, mut unreachable_pairs) = (0i64, 0i64, 0i64);
+    for a in 0..n {
+        for b in (a + 1)..n {
+            use eo_mhp::Verdict;
+            match analysis.verdict(eo_mhp::StmtId(a as u32), eo_mhp::StmtId(b as u32)) {
+                Verdict::NeverConcurrent => never += 1,
+                Verdict::MayBeConcurrent => may += 1,
+                Verdict::Unreachable => unreachable_pairs += 1,
+            }
+        }
+    }
+    let unreachable: Vec<eo_mhp::StmtId> = analysis.unreachable_stmts().collect();
+    let races = analysis.static_races();
+    let loc = |s: eo_mhp::StmtId| analysis.stmts()[s.index()].location.clone();
+
+    if json {
+        let doc = Value::Object(vec![
+            ("schema_version".to_string(), Value::Int(1)),
+            ("stmts".to_string(), Value::Int(n as i64)),
+            ("rounds".to_string(), Value::Int(analysis.rounds() as i64)),
+            (
+                "unreachable".to_string(),
+                Value::Array(
+                    unreachable
+                        .iter()
+                        .map(|s| Value::Int(s.index() as i64))
+                        .collect(),
+                ),
+            ),
+            (
+                "pairs".to_string(),
+                Value::Object(vec![
+                    ("never_concurrent".to_string(), Value::Int(never)),
+                    ("may_be_concurrent".to_string(), Value::Int(may)),
+                    ("unreachable".to_string(), Value::Int(unreachable_pairs)),
+                ]),
+            ),
+            (
+                "may_races".to_string(),
+                Value::Array(
+                    races
+                        .iter()
+                        .map(|r| {
+                            Value::Object(vec![
+                                ("first".to_string(), Value::Int(r.first.index() as i64)),
+                                ("second".to_string(), Value::Int(r.second.index() as i64)),
+                                ("first_loc".to_string(), Value::Str(loc(r.first))),
+                                ("second_loc".to_string(), Value::Str(loc(r.second))),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ]);
+        println!("{}", doc.pretty());
+    } else {
+        println!(
+            "statements: {n} (fixpoint converged in {} rounds)",
+            analysis.rounds()
+        );
+        println!(
+            "pair verdicts: {never} never-concurrent, {may} may-be-concurrent, \
+             {unreachable_pairs} unreachable"
+        );
+        if !unreachable.is_empty() {
+            println!("unreachable statements:");
+            for s in &unreachable {
+                println!("  {}", loc(*s));
+            }
+        }
+        println!(
+            "may-happen-in-parallel conflicting accesses ({}):",
+            races.len()
+        );
+        for r in &races {
+            println!("  {} || {}", loc(r.first), loc(r.second));
+        }
+    }
+    ExitCode::SUCCESS
 }
 
 fn figure1() -> ExitCode {

@@ -44,6 +44,11 @@ fn cli_json_documents_carry_schema_version_one() {
         "analyze --no-degrade error",
     );
     assert_version_one(&eo(&["lint", FIGURE1, "--json"]), "lint report");
+    assert_version_one(
+        &eo(&["lint", FIGURE1, FIGURE1, "--json"]),
+        "multi-file lint report",
+    );
+    assert_version_one(&eo(&["mhp", FIGURE1, "--json"]), "mhp report");
 }
 
 #[test]
@@ -86,6 +91,7 @@ fn committed_bench_files_carry_schema_version_one() {
         "BENCH_degradation.json",
         "BENCH_obs.json",
         "BENCH_serve.json",
+        "BENCH_mhp.json",
     ] {
         let text = std::fs::read_to_string(name)
             .unwrap_or_else(|e| panic!("{name} must be committed at the repo root: {e}"));

@@ -1,0 +1,202 @@
+//! Pins the `eo lint` exit-code contract (mirroring `cli_exit_codes.rs`
+//! for `analyze`/`serve`), its multi-file aggregation, the lint metrics
+//! flushing rule, and the committed golden snapshots for
+//! `eo lint --json` and `eo mhp --json` on the Figure 1 trace:
+//!
+//! * `0` — no finding at or above the `--deny` level, every file read
+//! * `1` — a denied finding in *any* file, or a usage / input error
+//!
+//! As with `analyze`, `--metrics-out` flushes the full metrics registry
+//! on every exit path; the value assertions that need real recording
+//! only run when the binary was built with the `obs` feature.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+const FIGURE1: &str = "testdata/figure1.trace.json";
+
+fn eo(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_eo"))
+        .args(args)
+        .output()
+        .expect("spawning eo")
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("eo-lint-cli-test-{}-{name}", std::process::id()));
+    p
+}
+
+fn read_metrics(path: &PathBuf) -> std::collections::BTreeMap<String, eo_obs::report::MetricValue> {
+    let text = std::fs::read_to_string(path).expect("metrics file must exist");
+    std::fs::remove_file(path).ok();
+    eo_obs::report::metrics_from_json(&text).expect("metrics file must parse")
+}
+
+#[test]
+fn lint_exit_codes_aggregate_across_files() {
+    // Figure 1 is clean under the default (trace) lints → 0.
+    let out = eo(&["lint", FIGURE1]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // Same file twice: per-file reports plus an aggregate summary, still 0.
+    let out = eo(&["lint", FIGURE1, FIGURE1]);
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(
+        stdout.matches(&format!("== {FIGURE1} ==")).count(),
+        2,
+        "one per-file header each: {stdout}"
+    );
+    assert!(stdout.contains("2 file(s) linted"), "stdout: {stdout}");
+
+    // The MHP pass finds the Figure 1 write/read race (a warning); the
+    // default deny level (error) still exits 0, tightening denies it.
+    assert_eq!(eo(&["lint", FIGURE1, "--mhp"]).status.code(), Some(0));
+    let out = eo(&["lint", FIGURE1, "--mhp", "--deny", "warning"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("EO-L010"),
+        "stdout: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+
+    // One denied file poisons the aggregate exit even when its sibling
+    // is clean (clean file first, so the failure must carry across).
+    let out = eo(&["lint", FIGURE1, FIGURE1, "--mhp", "--deny", "warning"]);
+    assert_eq!(out.status.code(), Some(1));
+
+    // A missing file is an input error (1), but every readable file is
+    // still linted and reported.
+    let out = eo(&["lint", FIGURE1, "no-such.trace.json"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains(&format!("== {FIGURE1} ==")),
+        "readable files still get reports: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+
+    // Usage errors stay 1.
+    assert_eq!(eo(&["lint"]).status.code(), Some(1));
+    assert_eq!(
+        eo(&["lint", FIGURE1, "--deny", "nonsense"]).status.code(),
+        Some(1)
+    );
+    assert_eq!(
+        eo(&["lint", FIGURE1, "--metrics-out"]).status.code(),
+        Some(1),
+        "--metrics-out without a path is a usage error"
+    );
+}
+
+#[test]
+fn lint_flushes_the_full_metrics_registry() {
+    let m = tmp("lint-metrics.json");
+    let out = eo(&[
+        "lint",
+        FIGURE1,
+        FIGURE1,
+        "--mhp",
+        "--metrics-out",
+        m.to_str().unwrap(),
+    ]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let metrics = read_metrics(&m);
+    // The full registry is always present (defaults fill unrecorded keys).
+    for key in eo_obs::report::ENGINE_METRICS {
+        assert!(metrics.contains_key(*key), "missing registry key {key}");
+    }
+    #[cfg(feature = "obs")]
+    {
+        use eo_obs::report::MetricValue;
+        assert_eq!(
+            metrics.get("lint.programs"),
+            Some(&MetricValue::Int(2)),
+            "one lint_program run per file"
+        );
+        assert_eq!(
+            metrics.get("mhp.analyses"),
+            Some(&MetricValue::Int(2)),
+            "--mhp runs the fixpoint once per file"
+        );
+        match metrics.get("lint.diagnostics") {
+            Some(MetricValue::Int(n)) => {
+                assert!(*n >= 2, "both files report the Figure 1 race")
+            }
+            other => panic!("lint.diagnostics: {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn mhp_cli_exit_codes() {
+    assert_eq!(eo(&["mhp", FIGURE1]).status.code(), Some(0));
+    assert_eq!(eo(&["mhp", "--figure1"]).status.code(), Some(0));
+    assert_eq!(eo(&["mhp"]).status.code(), Some(1), "missing path is usage");
+    assert_eq!(eo(&["mhp", "no-such.trace.json"]).status.code(), Some(1));
+
+    let m = tmp("mhp-metrics.json");
+    let out = eo(&["mhp", FIGURE1, "--metrics-out", m.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0));
+    let metrics = read_metrics(&m);
+    for key in eo_obs::report::ENGINE_METRICS {
+        assert!(metrics.contains_key(*key), "missing registry key {key}");
+    }
+    #[cfg(feature = "obs")]
+    {
+        use eo_obs::report::MetricValue;
+        assert_eq!(metrics.get("mhp.analyses"), Some(&MetricValue::Int(1)));
+        assert_eq!(
+            metrics.get("mhp.stmts"),
+            Some(&MetricValue::Int(7)),
+            "the Figure 1 trace reconstructs to 7 statements"
+        );
+    }
+}
+
+#[test]
+fn lint_json_matches_the_committed_golden() {
+    let out = eo(&["lint", FIGURE1, "--mhp", "--json"]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let golden = std::fs::read_to_string("testdata/lint_figure1_mhp.golden.json")
+        .expect("committed golden must exist");
+    assert_eq!(
+        String::from_utf8_lossy(&out.stdout),
+        golden,
+        "eo lint --mhp --json diverges from the committed golden"
+    );
+}
+
+#[test]
+fn mhp_json_matches_the_committed_golden() {
+    let out = eo(&["mhp", FIGURE1, "--json"]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let golden = std::fs::read_to_string("testdata/mhp_figure1.golden.json")
+        .expect("committed golden must exist");
+    assert_eq!(
+        String::from_utf8_lossy(&out.stdout),
+        golden,
+        "eo mhp --json diverges from the committed golden"
+    );
+}
