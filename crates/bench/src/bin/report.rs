@@ -13,7 +13,10 @@
 //! (exit 1) if any workload's wall time regressed more than 25% relative
 //! to the committed baseline — compared as baseline/interned speedup
 //! ratios, so the verdict is machine-independent — or its peak bytes grew
-//! more than 15%.
+//! more than 15%. When a committed `BENCH_equiv.json` is present (or
+//! `--equiv-baseline <file>` is given), it also re-measures the E17
+//! equivalence-strategy ablation and gates its class-count and time
+//! ratios the same way.
 
 use eo_bench::table::render;
 use eo_bench::*;
@@ -91,11 +94,82 @@ fn check_regression(args: &[String]) -> ! {
             &rows
         )
     );
+    let equiv_baseline_path = match args.iter().position(|a| a == "--equiv-baseline") {
+        None => "BENCH_equiv.json".to_string(),
+        Some(i) => match args.get(i + 1) {
+            Some(p) => p.clone(),
+            None => {
+                eprintln!("check-regression: --equiv-baseline takes a file path");
+                std::process::exit(1);
+            }
+        },
+    };
+    let mut gated = checks.len();
+    match std::fs::read_to_string(&equiv_baseline_path) {
+        Err(e) => {
+            // The engine gate can run without the equivalence ablation
+            // committed, but an explicitly named baseline must exist.
+            if args.iter().any(|a| a == "--equiv-baseline") {
+                eprintln!("check-regression: reading {equiv_baseline_path}: {e}");
+                std::process::exit(1);
+            }
+            println!("(no {equiv_baseline_path}; skipping the equivalence-strategy gate)");
+        }
+        Ok(baseline) => {
+            println!(
+                "== equivalence-strategy gate: re-measuring E17 against {equiv_baseline_path} =="
+            );
+            let current = e17_rows();
+            let echecks = match check_equiv_against(&baseline, &current) {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("check-regression: {e}");
+                    std::process::exit(1);
+                }
+            };
+            let mut erows = Vec::new();
+            for c in &echecks {
+                erows.push(vec![
+                    c.workload.clone(),
+                    c.strategy.clone(),
+                    format!("{:.2}", c.committed_redundancy),
+                    format!("{:.2}", c.current_redundancy),
+                    format!("{:.2}x", c.committed_speedup),
+                    format!("{:.2}x", c.current_speedup),
+                    if c.failures.is_empty() {
+                        "ok".into()
+                    } else {
+                        "FAIL".into()
+                    },
+                ]);
+                for f in &c.failures {
+                    eprintln!("FAIL {} [{}]: {f}", c.workload, c.strategy);
+                    failed = true;
+                }
+            }
+            println!(
+                "{}",
+                render(
+                    &[
+                        "workload",
+                        "strategy",
+                        "committed_s/o",
+                        "measured_s/o",
+                        "committed",
+                        "measured",
+                        "verdict"
+                    ],
+                    &erows
+                )
+            );
+            gated += echecks.len();
+        }
+    }
     if failed {
         eprintln!("perf-regression gate FAILED");
         std::process::exit(1);
     }
-    println!("perf-regression gate passed ({} workloads)", checks.len());
+    println!("perf-regression gate passed ({gated} rows)");
     std::process::exit(0);
 }
 
@@ -570,6 +644,66 @@ fn main() {
         );
         std::fs::write("BENCH_engine.json", &json).expect("write BENCH_engine.json");
         println!("wrote BENCH_engine.json ({} workloads)\n", rows.len());
+    }
+
+    if want("e17") {
+        println!("== E17: trace-equivalence ablation — schedules explored per strategy ==");
+        println!("(order sets asserted identical across finishing strategies per workload)");
+        let mut rows = Vec::new();
+        let mut json_rows = Vec::new();
+        for r in e17_rows() {
+            rows.push(vec![
+                r.workload.clone(),
+                r.strategy.to_string(),
+                r.events.to_string(),
+                r.orders.to_string(),
+                r.schedules.to_string(),
+                format!("{:.2}", r.redundancy()),
+                if r.truncated {
+                    "TRUNC".into()
+                } else {
+                    "exact".into()
+                },
+                ms(r.time),
+            ]);
+            json_rows.push(format!(
+                concat!(
+                    "    {{\"workload\": \"{}\", \"strategy\": \"{}\", \"events\": {}, ",
+                    "\"orders\": {}, \"schedules\": {}, \"redundancy\": {:.4}, ",
+                    "\"truncated\": {}, \"time_ms\": {:.3}}}"
+                ),
+                r.workload,
+                r.strategy.label(),
+                r.events,
+                r.orders,
+                r.schedules,
+                r.redundancy(),
+                r.truncated,
+                r.time.as_secs_f64() * 1e3,
+            ));
+        }
+        println!(
+            "{}",
+            render(
+                &[
+                    "workload",
+                    "strategy",
+                    "|E|",
+                    "orders",
+                    "schedules",
+                    "sched/order",
+                    "status",
+                    "time_ms"
+                ],
+                &rows
+            )
+        );
+        let json = format!(
+            "{{\n  \"schema_version\": 1,\n  \"experiment\": \"e17_trace_equivalence\",\n  \"rows\": [\n{}\n  ]\n}}\n",
+            json_rows.join(",\n")
+        );
+        std::fs::write("BENCH_equiv.json", &json).expect("write BENCH_equiv.json");
+        println!("wrote BENCH_equiv.json ({} rows)\n", rows.len());
     }
 
     if want("e13") {

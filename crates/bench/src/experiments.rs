@@ -1,6 +1,9 @@
 //! The experiments of DESIGN.md §4 (E1–E11) as callable functions.
 
-use eo_engine::{enumerate_classes, explore_statespace, ExactEngine, FeasibilityMode, SearchCtx};
+use eo_engine::{
+    enumerate_classes, enumerate_classes_with, explore_statespace, EquivStrategy, ExactEngine,
+    FeasibilityMode, SearchCtx,
+};
 use eo_lang::generator::{generate_trace, SyncStyle, WorkloadSpec};
 use eo_model::{fixtures, EventId, ProgramExecution};
 use eo_reductions::{event_style, semaphore, single_semaphore, SequencingInstance};
@@ -847,6 +850,232 @@ pub fn e12_workloads() -> Vec<(String, ProgramExecution, FeasibilityMode)> {
     out
 }
 
+// ---------------------------------------------------------------- E17 --
+
+/// One (workload × strategy) measurement in the E17 equivalence ablation.
+#[derive(Clone, Debug)]
+pub struct EquivRow {
+    /// Workload label (shared across the three strategy rows).
+    pub workload: String,
+    /// The trace equivalence the enumeration quotiented by.
+    pub strategy: EquivStrategy,
+    /// Events in the trace.
+    pub events: usize,
+    /// Distinct induced orders found (= |F(P)| when not truncated).
+    pub orders: usize,
+    /// Representative schedules the search actually completed.
+    pub schedules: usize,
+    /// Whether the search hit the schedule cap before finishing.
+    pub truncated: bool,
+    /// Best-of-3 wall time.
+    pub time: Duration,
+}
+
+impl EquivRow {
+    /// Explored schedules per distinct order — 1.0 is perfect pruning.
+    pub fn redundancy(&self) -> f64 {
+        if self.orders == 0 {
+            0.0
+        } else {
+            self.schedules as f64 / self.orders as f64
+        }
+    }
+}
+
+/// The E17 ceiling workload: the pairing pitfall widened into `lanes + 1`
+/// producer processes of `vs_per_lane` V operations each, plus one
+/// consumer P. All V's target one semaphore, so they are pairwise
+/// statically dependent and the Mazurkiewicz class count is the full
+/// multinomial interleaving of the producer chains — while only the
+/// identity of the globally first V (one per producer, by program order)
+/// can change the induced order. At `(3, 20)` this is 83 events: more
+/// than twice `e6-8x5`, guaranteed to truncate the sleep-set baseline at
+/// the default schedule cap, and exactly enumerable by the canonical
+/// strategies in seconds.
+pub fn wide_pitfall_exec(lanes: usize, vs_per_lane: usize) -> ProgramExecution {
+    let mut b = eo_lang::ProgramBuilder::new();
+    let s = b.semaphore("s");
+    let x = b.variable("x");
+    let w = b.process("writer");
+    b.compute_rw(w, &[], &[x], "write_x");
+    for _ in 0..vs_per_lane {
+        b.sem_v(w, s);
+    }
+    for k in 0..lanes {
+        let d = b.process(&format!("lane_{k}"));
+        for _ in 0..vs_per_lane {
+            b.sem_v(d, s);
+        }
+    }
+    let r = b.process("reader");
+    b.sem_p(r, s);
+    b.compute_rw(r, &[x], &[], "read_x");
+    let program = b.build();
+    let trace = eo_lang::run_to_trace(&program, &mut eo_lang::Scheduler::deterministic())
+        .expect("wide pitfall cannot deadlock");
+    trace.to_execution().expect("interpreter traces are valid")
+}
+
+/// The fixture gallery the enumeration differential suite runs on.
+fn e17_gallery() -> Vec<(String, ProgramExecution)> {
+    let traces: Vec<(&str, eo_model::Trace)> = vec![
+        ("independent_pair", fixtures::independent_pair().0),
+        ("sem_handshake", fixtures::sem_handshake().0),
+        ("fork_join_diamond", fixtures::fork_join_diamond().0),
+        ("figure1", fixtures::figure1().0),
+        ("post_wait_clear_chain", fixtures::post_wait_clear_chain().0),
+        ("shared_counter_race", fixtures::shared_counter_race().0),
+        ("crossing", fixtures::crossing().0),
+    ];
+    traces
+        .into_iter()
+        .map(|(name, t)| {
+            (
+                name.to_string(),
+                t.to_execution().expect("fixtures are valid"),
+            )
+        })
+        .collect()
+}
+
+/// Measures one workload under one strategy. Sub-second searches are
+/// timed best-of-3; slower ones run once (their counts are deterministic
+/// and their wall times are long enough to be stable). Returns the row
+/// plus the sorted fingerprints of the orders found, for cross-strategy
+/// differential comparison.
+pub fn e17_point(
+    label: &str,
+    exec: &ProgramExecution,
+    mode: FeasibilityMode,
+    strategy: EquivStrategy,
+    max_schedules: usize,
+) -> (EquivRow, Vec<u128>) {
+    let ctx = SearchCtx::new(exec, mode);
+    let (mut r, mut time) = timed(|| enumerate_classes_with(&ctx, max_schedules, strategy));
+    if time < Duration::from_secs(1) {
+        for _ in 0..2 {
+            let (r2, t2) = timed(|| enumerate_classes_with(&ctx, max_schedules, strategy));
+            if t2 < time {
+                (r, time) = (r2, t2);
+            }
+        }
+    }
+    let mut fps: Vec<u128> = r.orders.iter().map(|o| o.fingerprint128()).collect();
+    fps.sort_unstable();
+    let row = EquivRow {
+        workload: label.to_string(),
+        strategy,
+        events: exec.n_events(),
+        orders: r.orders.len(),
+        schedules: r.schedules_explored,
+        truncated: r.truncated,
+        time,
+    };
+    (row, fps)
+}
+
+/// The full E17 ablation: every gallery fixture, every E12 workload, and
+/// the 83-event ceiling workload, each under all three strategies at the
+/// default schedule cap. Asserts the coarsening soundness and pruning
+/// bars inline, so a bench run doubles as an acceptance check:
+///
+/// * strategies that finish agree on the exact order set (bit-identical
+///   class answers, hence bit-identical summaries);
+/// * the canonical strategies reach perfect pruning
+///   (`schedules == orders`) on every workload they finish;
+/// * grain explores strictly fewer schedules than Mazurkiewicz on the E9
+///   semaphore family;
+/// * the ceiling workload (≥ 2× the events of `e6-8x5`) truncates the
+///   sleep-set baseline but is enumerated exactly by normal-form and
+///   grain under the same budget.
+pub fn e17_rows() -> Vec<EquivRow> {
+    let cap = 1 << 20;
+    let mut inputs: Vec<(String, ProgramExecution, FeasibilityMode)> = e17_gallery()
+        .into_iter()
+        .map(|(l, e)| (l, e, FeasibilityMode::PreserveDependences))
+        .collect();
+    inputs.extend(e12_workloads());
+    inputs.push((
+        "wide-pitfall-3x20".to_string(),
+        wide_pitfall_exec(3, 20),
+        FeasibilityMode::PreserveDependences,
+    ));
+
+    let mut rows = Vec::new();
+    for (label, exec, mode) in &inputs {
+        // The sleep-set baseline needs tens of seconds just to *truncate*
+        // on the ceiling workload; run it, but skip the (slower, equally
+        // truncated) naive-leaning grain closure maintenance there — the
+        // ceiling bar is about normal-form completing exactly.
+        let strategies: &[EquivStrategy] = if label == "wide-pitfall-3x20" {
+            &[EquivStrategy::Mazurkiewicz, EquivStrategy::NormalForm]
+        } else {
+            &EquivStrategy::ALL
+        };
+        let mut orders_of_finishers: Option<(EquivStrategy, Vec<u128>)> = None;
+        for &strategy in strategies {
+            let (row, fps) = e17_point(label, exec, *mode, strategy, cap);
+            if !row.truncated {
+                // Soundness bar: every strategy that finishes reports the
+                // same F(P), compared as exact order fingerprints.
+                match &orders_of_finishers {
+                    None => orders_of_finishers = Some((strategy, fps)),
+                    Some((first, expected)) => assert_eq!(
+                        *expected, fps,
+                        "{label}: {strategy} and {first} disagree on F(P)"
+                    ),
+                }
+                if strategy.equivalence().canonical().is_some() {
+                    assert_eq!(
+                        row.schedules, row.orders,
+                        "{label}: {strategy} fell short of perfect pruning"
+                    );
+                }
+            }
+            rows.push(row);
+        }
+    }
+
+    // E9 coarsening bar: grain merges Mazurkiewicz classes on the
+    // semaphore pairing family.
+    for family in ["e9-pitfall-6", "e9-random-6x4"] {
+        let maz = rows
+            .iter()
+            .find(|r| r.workload == family && r.strategy == EquivStrategy::Mazurkiewicz)
+            .expect("E9 rows present");
+        let grain = rows
+            .iter()
+            .find(|r| r.workload == family && r.strategy == EquivStrategy::Grain)
+            .expect("E9 rows present");
+        assert!(
+            grain.schedules < maz.schedules,
+            "{family}: grain must merge Mazurkiewicz classes ({} vs {})",
+            grain.schedules,
+            maz.schedules
+        );
+    }
+
+    // Ceiling bar: ≥ 2× the events of e6-8x5, baseline truncated, exact
+    // canonical completion under the same schedule budget.
+    let e6_events = rows
+        .iter()
+        .find(|r| r.workload == "e6-8x5")
+        .expect("e6-8x5 present")
+        .events;
+    let maz = rows
+        .iter()
+        .find(|r| r.workload == "wide-pitfall-3x20" && r.strategy == EquivStrategy::Mazurkiewicz)
+        .expect("ceiling row present");
+    let nf = rows
+        .iter()
+        .find(|r| r.workload == "wide-pitfall-3x20" && r.strategy == EquivStrategy::NormalForm)
+        .expect("ceiling row present");
+    assert!(maz.events >= 2 * e6_events, "ceiling must be ≥ 2× e6-8x5");
+    assert!(maz.truncated, "the baseline must hit the schedule cap");
+    assert!(!nf.truncated, "normal-form must finish exactly");
+    rows
+}
+
 // ---------------------------------------------------------------- E13 --
 
 /// One budgeted re-run of a workload inside an E13 row.
@@ -1370,6 +1599,160 @@ pub fn check_regression_against(
     Ok(out)
 }
 
+/// Class-count ratios above `committed × (1 + this)` fail the equivalence
+/// gate. The explored-schedule counts are deterministic per workload, so
+/// the slack only absorbs representation changes, not real regressions.
+pub const MAX_REDUNDANCY_REGRESSION: f64 = 0.01;
+
+/// One (workload × strategy) verdict from the equivalence-strategy gate.
+#[derive(Clone, Debug)]
+pub struct EquivRegressionCheck {
+    /// Workload label.
+    pub workload: String,
+    /// Strategy label (`mazurkiewicz` / `normal-form` / `grain`).
+    pub strategy: String,
+    /// Schedules-per-order ratio recorded in the committed baseline.
+    pub committed_redundancy: f64,
+    /// Schedules-per-order ratio measured by this run.
+    pub current_redundancy: f64,
+    /// Committed wall-time speedup over the Mazurkiewicz row of the same
+    /// workload (1.0 for the Mazurkiewicz rows themselves).
+    pub committed_speedup: f64,
+    /// The same speedup measured by this run.
+    pub current_speedup: f64,
+    /// Human-readable failures; empty = the row passed.
+    pub failures: Vec<String>,
+}
+
+/// Compares freshly measured E17 rows against a committed
+/// `BENCH_equiv.json`: exact order counts and truncation flags must
+/// match, the class-count (schedules-per-order) ratio must not grow, and
+/// on workloads slow enough to time reliably the speedup over the
+/// sleep-set baseline must not regress more than [`MAX_TIME_REGRESSION`].
+/// Speedups are measured in-process against the same run's Mazurkiewicz
+/// row, so the verdict is machine-independent.
+pub fn check_equiv_against(
+    baseline_json: &str,
+    current: &[EquivRow],
+) -> Result<Vec<EquivRegressionCheck>, String> {
+    let parsed = eo_obs::json::parse(baseline_json)
+        .map_err(|e| format!("equiv baseline JSON at byte {}: {}", e.offset, e.message))?;
+    let rows = parsed
+        .get("rows")
+        .and_then(|r| r.as_array())
+        .ok_or("equiv baseline JSON has no \"rows\" array")?;
+    let committed_ms = |workload: &str, strategy: &str| {
+        rows.iter()
+            .find(|r| {
+                r.get("workload").and_then(|v| v.as_str()) == Some(workload)
+                    && r.get("strategy").and_then(|v| v.as_str()) == Some(strategy)
+            })
+            .and_then(|r| r.get("time_ms"))
+            .and_then(|v| v.as_f64())
+    };
+    let current_time = |workload: &str, strategy: &str| {
+        current
+            .iter()
+            .find(|r| r.workload == workload && r.strategy.label() == strategy)
+            .map(|r| r.time.as_secs_f64() * 1e3)
+    };
+    let mut out = Vec::new();
+    for row in rows {
+        let str_field = |name: &str| {
+            row.get(name)
+                .and_then(|v| v.as_str())
+                .map(str::to_string)
+                .ok_or_else(|| format!("equiv baseline row missing \"{name}\""))
+        };
+        let num_field = |name: &str| {
+            row.get(name)
+                .and_then(|v| v.as_f64())
+                .ok_or_else(|| format!("equiv baseline row missing numeric \"{name}\""))
+        };
+        let workload = str_field("workload")?;
+        let strategy = str_field("strategy")?;
+        let committed_orders = num_field("orders")? as usize;
+        let committed_schedules = num_field("schedules")? as usize;
+        let committed_truncated = match row.get("truncated") {
+            Some(eo_obs::json::Value::Bool(b)) => *b,
+            _ => return Err("equiv baseline row missing \"truncated\"".to_string()),
+        };
+        let committed_time = num_field("time_ms")?;
+        let committed_maz = committed_ms(&workload, "mazurkiewicz").unwrap_or(committed_time);
+        let committed_speedup = committed_maz / committed_time.max(1e-9);
+        let committed_redundancy = if committed_orders == 0 {
+            0.0
+        } else {
+            committed_schedules as f64 / committed_orders as f64
+        };
+        let mut check = EquivRegressionCheck {
+            workload: workload.clone(),
+            strategy: strategy.clone(),
+            committed_redundancy,
+            current_redundancy: 0.0,
+            committed_speedup,
+            current_speedup: 0.0,
+            failures: Vec::new(),
+        };
+        match current
+            .iter()
+            .find(|r| r.workload == workload && r.strategy.label() == strategy)
+        {
+            None => check
+                .failures
+                .push("baseline row was not re-measured".to_string()),
+            Some(r) => {
+                check.current_redundancy = r.redundancy();
+                let maz_now =
+                    current_time(&workload, "mazurkiewicz").unwrap_or(r.time.as_secs_f64() * 1e3);
+                check.current_speedup = maz_now / (r.time.as_secs_f64() * 1e3).max(1e-9);
+                if r.orders != committed_orders && !committed_truncated {
+                    check.failures.push(format!(
+                        "order count changed: {} (committed {})",
+                        r.orders, committed_orders
+                    ));
+                }
+                if r.truncated != committed_truncated {
+                    check.failures.push(format!(
+                        "truncation changed: {} (committed {})",
+                        r.truncated, committed_truncated
+                    ));
+                }
+                let cap = committed_redundancy * (1.0 + MAX_REDUNDANCY_REGRESSION);
+                if check.current_redundancy > cap {
+                    check.failures.push(format!(
+                        "class-count ratio regressed: {:.2} schedules/order (committed {:.2})",
+                        check.current_redundancy, committed_redundancy,
+                    ));
+                }
+                // Time ratios only where they are meaningful: rows where
+                // the strategy beats the sleep-set baseline by ≥ 2× and
+                // the baseline side is slow enough to time reliably.
+                // Everything else (µs-scale fixtures, and the small dense
+                // workloads where grain's closure upkeep is intentionally
+                // slower than sleep sets) gates on counts alone.
+                if strategy != "mazurkiewicz" && committed_maz >= 20.0 && committed_speedup >= 2.0 {
+                    let floor = committed_speedup / (1.0 + MAX_TIME_REGRESSION);
+                    if check.current_speedup < floor {
+                        check.failures.push(format!(
+                            "wall-time regression > {:.0}%: {:.2}x over the sleep-set baseline (committed {:.2}x, floor {:.2}x)",
+                            MAX_TIME_REGRESSION * 100.0,
+                            check.current_speedup,
+                            committed_speedup,
+                            floor,
+                        ));
+                    }
+                }
+            }
+        }
+        out.push(check);
+    }
+    if out.is_empty() {
+        return Err("equiv baseline has no workload rows".to_string());
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1572,6 +1955,128 @@ mod tests {
         assert!(checks[0].failures[0].contains("not re-measured"));
         assert!(check_regression_against("not json", &[]).is_err());
         assert!(check_regression_against("{\"rows\": []}", &[]).is_err());
+    }
+
+    /// A fake measured E17 row matching the synthetic baselines below.
+    fn equiv_row(strategy: EquivStrategy, schedules: usize, time_ms: f64) -> EquivRow {
+        EquivRow {
+            workload: "w".to_string(),
+            strategy,
+            events: 10,
+            orders: 4,
+            schedules,
+            truncated: false,
+            time: Duration::from_secs_f64(time_ms / 1e3),
+        }
+    }
+
+    fn equiv_baseline_json(nf_schedules: usize, nf_time_ms: f64) -> String {
+        format!(
+            "{{\"experiment\": \"e17\", \"rows\": [\
+             {{\"workload\": \"w\", \"strategy\": \"mazurkiewicz\", \"orders\": 4, \
+              \"schedules\": 400, \"truncated\": false, \"time_ms\": 100.0}}, \
+             {{\"workload\": \"w\", \"strategy\": \"normal-form\", \"orders\": 4, \
+              \"schedules\": {nf_schedules}, \"truncated\": false, \"time_ms\": {nf_time_ms}}}]}}"
+        )
+    }
+
+    #[test]
+    fn equiv_gate_passes_on_matching_numbers() {
+        let current = [
+            equiv_row(EquivStrategy::Mazurkiewicz, 400, 100.0),
+            equiv_row(EquivStrategy::NormalForm, 4, 10.0),
+        ];
+        let checks = check_equiv_against(&equiv_baseline_json(4, 10.0), &current).unwrap();
+        assert_eq!(checks.len(), 2);
+        for c in &checks {
+            assert!(c.failures.is_empty(), "{:?}", c.failures);
+        }
+    }
+
+    #[test]
+    fn equiv_gate_fails_on_class_count_growth() {
+        // The normal-form search suddenly explores 3 schedules per order:
+        // a pruning (class-count ratio) regression, whatever the clock says.
+        let current = [
+            equiv_row(EquivStrategy::Mazurkiewicz, 400, 100.0),
+            equiv_row(EquivStrategy::NormalForm, 12, 10.0),
+        ];
+        let checks = check_equiv_against(&equiv_baseline_json(4, 10.0), &current).unwrap();
+        let nf = &checks[1];
+        assert_eq!(nf.strategy, "normal-form");
+        assert_eq!(nf.failures.len(), 1, "{:?}", nf.failures);
+        assert!(nf.failures[0].contains("class-count ratio"));
+    }
+
+    #[test]
+    fn equiv_gate_fails_on_relative_slowdown() {
+        // Committed 10x over the baseline, measured 5x: past the tolerance.
+        let current = [
+            equiv_row(EquivStrategy::Mazurkiewicz, 400, 100.0),
+            equiv_row(EquivStrategy::NormalForm, 4, 20.0),
+        ];
+        let checks = check_equiv_against(&equiv_baseline_json(4, 10.0), &current).unwrap();
+        assert!(checks[1].failures[0].contains("wall-time regression"));
+    }
+
+    #[test]
+    fn equiv_gate_fails_on_order_count_or_truncation_drift() {
+        let mut drifted = equiv_row(EquivStrategy::NormalForm, 4, 10.0);
+        drifted.orders = 5;
+        drifted.schedules = 5;
+        let current = [equiv_row(EquivStrategy::Mazurkiewicz, 400, 100.0), drifted];
+        let checks = check_equiv_against(&equiv_baseline_json(4, 10.0), &current).unwrap();
+        assert!(checks[1]
+            .failures
+            .iter()
+            .any(|f| f.contains("order count changed")));
+
+        let mut truncated = equiv_row(EquivStrategy::NormalForm, 4, 10.0);
+        truncated.truncated = true;
+        let current = [
+            equiv_row(EquivStrategy::Mazurkiewicz, 400, 100.0),
+            truncated,
+        ];
+        let checks = check_equiv_against(&equiv_baseline_json(4, 10.0), &current).unwrap();
+        assert!(checks[1]
+            .failures
+            .iter()
+            .any(|f| f.contains("truncation changed")));
+    }
+
+    #[test]
+    fn equiv_gate_flags_lost_coverage_and_bad_baselines() {
+        let checks = check_equiv_against(&equiv_baseline_json(4, 10.0), &[]).unwrap();
+        assert!(checks[0].failures[0].contains("not re-measured"));
+        assert!(check_equiv_against("not json", &[]).is_err());
+        assert!(check_equiv_against("{\"rows\": []}", &[]).is_err());
+    }
+
+    #[test]
+    fn e17_small_points_hold_the_bars() {
+        // The full e17_rows() is a minutes-scale release-mode run; prove
+        // the three bars on its fastest representatives instead.
+        let (trace, _) = fixtures::post_wait_clear_chain();
+        let exec = trace.to_execution().unwrap();
+        let mode = FeasibilityMode::PreserveDependences;
+        let (maz, maz_fps) = e17_point("pwc", &exec, mode, EquivStrategy::Mazurkiewicz, 1 << 20);
+        let (nf, nf_fps) = e17_point("pwc", &exec, mode, EquivStrategy::NormalForm, 1 << 20);
+        let (grain, grain_fps) = e17_point("pwc", &exec, mode, EquivStrategy::Grain, 1 << 20);
+        assert_eq!(maz_fps, nf_fps, "normal-form must report the same F(P)");
+        assert_eq!(maz_fps, grain_fps, "grain must report the same F(P)");
+        assert_eq!(nf.schedules, nf.orders, "perfect pruning");
+        assert_eq!(grain.schedules, grain.orders, "perfect pruning");
+        assert!(maz.schedules > maz.orders, "the baseline is redundant here");
+
+        let pitfall = pitfall_exec(6);
+        let imode = FeasibilityMode::IgnoreDependences;
+        let (pm, _) = e17_point("p6", &pitfall, imode, EquivStrategy::Mazurkiewicz, 1 << 20);
+        let (pg, _) = e17_point("p6", &pitfall, imode, EquivStrategy::Grain, 1 << 20);
+        assert!(
+            pg.schedules < pm.schedules,
+            "grain must merge Mazurkiewicz classes on the E9 family"
+        );
+        assert!((pg.redundancy() - 1.0).abs() < f64::EPSILON);
     }
 
     #[test]

@@ -17,6 +17,7 @@
 use crate::budget::Budget;
 use crate::ctx::FeasibilityMode;
 use crate::engine::Limits;
+use crate::equiv::EquivStrategy;
 use crate::summary::OrderingSummary;
 use eo_model::EventId;
 
@@ -164,6 +165,11 @@ pub struct EngineOptions {
     /// Optional supervisor budget (deadline, caps, cancellation); caps it
     /// leaves unset fall back to `limits`.
     pub budget: Option<Budget>,
+    /// Which trace equivalence the F(P) enumeration quotients by. The
+    /// default (Mazurkiewicz sleep sets) is the differential baseline;
+    /// the coarser strategies visit fewer schedules with bit-identical
+    /// answers.
+    pub equiv: EquivStrategy,
 }
 
 impl EngineOptions {

@@ -4,7 +4,10 @@ use crate::api::{Answer, EngineOptions, Query, Response};
 use crate::budget::Budget;
 use crate::ctx::{FeasibilityMode, SearchCtx};
 use crate::degraded::DegradedSummary;
-use crate::enumerate::{enumerate_classes, enumerate_classes_budgeted, EnumerationResult};
+use crate::enumerate::{
+    enumerate_classes_budgeted_with, enumerate_classes_with, EnumerationResult,
+};
+use crate::equiv::EquivStrategy;
 use crate::queries::QuerySession;
 use crate::statespace::{self, explore_statespace};
 use crate::summary::OrderingSummary;
@@ -180,6 +183,14 @@ impl<'a> ExactEngine<'a> {
         self
     }
 
+    /// Selects the trace-equivalence strategy the F(P) enumeration
+    /// quotients by (see [`EquivStrategy`]). All strategies produce
+    /// bit-identical summaries; the coarser ones visit fewer schedules.
+    pub fn with_equiv(mut self, equiv: EquivStrategy) -> Self {
+        self.opts.equiv = equiv;
+        self
+    }
+
     /// The options this engine was built with.
     pub fn options(&self) -> &EngineOptions {
         &self.opts
@@ -205,7 +216,8 @@ impl<'a> ExactEngine<'a> {
         if self.opts.budget.is_none() {
             // Cap-only fast path: no checkpoint calls in the hot loops.
             let space = explore_statespace(&self.ctx, self.opts.limits.max_states)?;
-            let classes = enumerate_classes(&self.ctx, self.opts.limits.max_schedules);
+            let classes =
+                enumerate_classes_with(&self.ctx, self.opts.limits.max_schedules, self.opts.equiv);
             if classes.truncated {
                 return Err(EngineError::ScheduleBudgetExceeded {
                     limit: self.opts.limits.max_schedules,
@@ -217,7 +229,8 @@ impl<'a> ExactEngine<'a> {
         }
         let budget = self.effective_budget();
         let space = statespace::explore_statespace_budgeted(&self.ctx, &budget)?;
-        let (classes, stopped) = enumerate_classes_budgeted(&self.ctx, &budget);
+        let (classes, stopped) =
+            enumerate_classes_budgeted_with(&self.ctx, &budget, self.opts.equiv);
         if let Some(e) = stopped {
             return Err(e);
         }
@@ -263,7 +276,8 @@ impl<'a> ExactEngine<'a> {
         // one sharpens the degraded facts. The budget is already
         // exhausted in the deadline/cancel cases, so the first checkpoint
         // stops it immediately; cap-based cases keep their own caps.
-        let (classes, enum_stopped) = enumerate_classes_budgeted(&self.ctx, &budget);
+        let (classes, enum_stopped) =
+            enumerate_classes_budgeted_with(&self.ctx, &budget, self.opts.equiv);
         // Headroom at completion: how much of each budgeted resource was
         // left over (-1 = that resource was uncapped). Gated so the
         // bookkeeping costs nothing outside a recording run.
@@ -317,7 +331,8 @@ impl<'a> ExactEngine<'a> {
     /// Enumerates F(P) (the distinct induced partial orders).
     pub fn feasible_set(&self) -> Result<EnumerationResult, EngineError> {
         if self.opts.budget.is_none() {
-            let r = enumerate_classes(&self.ctx, self.opts.limits.max_schedules);
+            let r =
+                enumerate_classes_with(&self.ctx, self.opts.limits.max_schedules, self.opts.equiv);
             if r.truncated {
                 return Err(EngineError::ScheduleBudgetExceeded {
                     limit: self.opts.limits.max_schedules,
@@ -325,7 +340,8 @@ impl<'a> ExactEngine<'a> {
             }
             return Ok(r);
         }
-        let (r, stopped) = enumerate_classes_budgeted(&self.ctx, &self.effective_budget());
+        let (r, stopped) =
+            enumerate_classes_budgeted_with(&self.ctx, &self.effective_budget(), self.opts.equiv);
         match stopped {
             Some(e) => Err(e),
             None => Ok(r),
@@ -585,6 +601,7 @@ mod tests {
             mode: FeasibilityMode::IgnoreDependences,
             limits: Limits::default(),
             budget: None,
+            equiv: EquivStrategy::default(),
         };
         let via_options = ExactEngine::with_options(&exec, opts);
         let via_builders = ExactEngine::with_mode(&exec, FeasibilityMode::IgnoreDependences);

@@ -1,33 +1,47 @@
 //! Enumeration of the feasible-execution set F(P).
 //!
 //! Every complete feasible schedule induces a partial order →T′; the set
-//! of *distinct* induced orders is the paper's F(P). Two enumerators are
-//! provided:
+//! of *distinct* induced orders is the paper's F(P). The search that
+//! discovers them quotients schedules by a pluggable trace equivalence
+//! ([`crate::equiv::Equivalence`]):
 //!
-//! * [`enumerate_classes`] — depth-first search over schedules pruned with
-//!   **sleep sets** (Godefroid): after exploring event `e` from a state,
-//!   `e` is put to sleep for the sibling branches and stays asleep along
-//!   them until a statically *dependent* event executes. Schedules that
-//!   differ only by commuting independent events are explored once. The
-//!   static dependence used ([`SearchCtx::statically_dependent`]) also
-//!   fixes the order of all same-semaphore and same-event-variable
-//!   operations within a class, so the canonical induced-order extraction
-//!   of [`eo_model::induce`] is class-invariant.
+//! * [`EquivStrategy::Mazurkiewicz`] — depth-first search over schedules
+//!   pruned with **sleep sets** (Godefroid): after exploring event `e`
+//!   from a state, `e` is put to sleep for the sibling branches and stays
+//!   asleep along them until a statically *dependent* event executes.
+//!   Schedules that differ only by commuting independent events are
+//!   explored once. The static dependence used
+//!   ([`SearchCtx::statically_dependent`]) also fixes the order of all
+//!   same-semaphore and same-event-variable operations within a class, so
+//!   the canonical induced-order extraction of [`eo_model::induce`] is
+//!   class-invariant.
+//! * [`EquivStrategy::NormalForm`] / [`EquivStrategy::Grain`] — memoized
+//!   quotient-graph DFS: a prefix is extended only if it is the first
+//!   (least, children in event-index order) path to reach its canonical
+//!   node — the future-relevant synchronization state of
+//!   [`crate::equiv::ScanState`] combined with either the raw pairing
+//!   history (normal-form) or the closed induced relation (grain). These
+//!   never use sleep sets: memoization plus history-dependent pruning is
+//!   unsound, so canonical search explores every enabled event at each
+//!   *fresh* node and prunes only exact revisits.
 //! * [`enumerate_naive`] — the same search with no pruning: every
 //!   interleaving. Used as the ground-truth oracle in tests and as the
-//!   ablation baseline (DESIGN.md §5); both must produce the same set of
-//!   induced orders.
+//!   ablation baseline (DESIGN.md §5); all strategies must produce the
+//!   same set of induced orders.
 //!
-//! Both deduplicate induced orders by hashing the closed relation matrix,
-//! so the result is F(P) itself (up to the documented canonical
-//! extraction), not a multiset of schedules.
+//! All variants deduplicate induced orders — by 128-bit matrix
+//! fingerprint ([`eo_relations::Relation::fingerprint128`]), with the
+//! full matrices retained as a collision oracle under
+//! `debug_assertions` — so the result is F(P) itself (up to the
+//! documented canonical extraction), not a multiset of schedules.
 
 use crate::budget::Budget;
 use crate::ctx::SearchCtx;
 use crate::engine::EngineError;
-use eo_model::{EventId, ProcessId};
+use crate::equiv::{closed_hash, closed_insert, combine_key, CanonMode, EquivStrategy, ScanState};
+use eo_model::{EventId, MachState, ProcessId};
 use eo_relations::fxhash::FxHashSet;
-use eo_relations::{BitSet, Relation};
+use eo_relations::{closure, BitSet, Relation};
 
 /// The outcome of enumerating F(P).
 #[derive(Clone, Debug)]
@@ -35,34 +49,93 @@ pub struct EnumerationResult {
     /// The distinct induced partial orders — the elements of F(P).
     pub orders: Vec<Relation>,
     /// Complete schedules visited (≥ `orders.len()`; equality means the
-    /// pruning was perfect for this input).
+    /// pruning was perfect for this input). Under the canonical
+    /// strategies this counts distinct complete canonical nodes — each is
+    /// reached exactly once.
     pub schedules_explored: usize,
     /// True iff the search stopped at the schedule budget; the relation
     /// summary refuses to quantify over a truncated set.
     pub truncated: bool,
+    /// The equivalence strategy that produced this result (the unpruned
+    /// oracle reports [`EquivStrategy::Mazurkiewicz`]'s independence but
+    /// no pruning; it is only reachable via [`enumerate_naive`]).
+    pub strategy: EquivStrategy,
+    /// Branches the strategy pruned: sleep-set skips (Mazurkiewicz) or
+    /// canonical-prefix memo hits (normal-form/grain). The
+    /// `enumerate.sleep_prunes` metric.
+    pub pruned_branches: usize,
+}
+
+/// Dedup store for recorded orders: 128-bit fingerprints, with the full
+/// matrices kept as a collision oracle in debug builds only (the
+/// satellite that cuts enumeration peak memory roughly in half).
+struct SeenOrders {
+    fps: FxHashSet<u128>,
+    #[cfg(debug_assertions)]
+    full: FxHashSet<Relation>,
+}
+
+impl SeenOrders {
+    fn new() -> Self {
+        SeenOrders {
+            fps: FxHashSet::default(),
+            #[cfg(debug_assertions)]
+            full: FxHashSet::default(),
+        }
+    }
+
+    fn insert(&mut self, order: &Relation) -> bool {
+        let fresh = self.fps.insert(order.fingerprint128());
+        #[cfg(debug_assertions)]
+        {
+            let full_fresh = self.full.insert(order.clone());
+            assert_eq!(
+                fresh, full_fresh,
+                "128-bit relation fingerprint collided with a distinct matrix"
+            );
+        }
+        fresh
+    }
 }
 
 struct Enumerator<'c, 'a> {
     ctx: &'c SearchCtx<'a>,
     max_schedules: usize,
     use_sleep: bool,
+    /// Canonical-search mode (`None` = plain schedule DFS).
+    canon: Option<CanonMode>,
     schedule: Vec<EventId>,
-    seen: FxHashSet<Relation>,
+    seen: SeenOrders,
     orders: Vec<Relation>,
     schedules_explored: usize,
     truncated: bool,
+    pruned_branches: usize,
     /// Supervisor budget, checked once per DFS step; `None` is the
     /// zero-overhead legacy path.
     budget: Option<&'c Budget>,
     /// First budget failure; once set the search unwinds without
     /// recording anything further.
     stopped: Option<EngineError>,
-    /// Approximate bytes one recorded order costs (the order plus its
-    /// dedup-set twin), for the memory budget.
+    /// Approximate bytes one recorded order costs (matrix + fingerprint),
+    /// for the memory budget.
     order_bytes: usize,
     /// Recycled co-enabled buffers, one per active recursion depth — the
     /// search allocates no per-state vectors in steady state.
     enabled_pool: Vec<Vec<(ProcessId, EventId)>>,
+    // --- canonical-search state (engaged iff `canon.is_some()`) ---
+    /// Incremental induced-edge scan mirrored along the DFS path.
+    scan: Option<ScanState>,
+    /// Canonical nodes already fully explored (or currently on the DFS
+    /// path, which cannot recur — progress strictly increases).
+    visited: FxHashSet<u128>,
+    /// Pairing edges emitted along the current path (a stack; each depth
+    /// remembers its start index).
+    edge_stack: Vec<(EventId, EventId)>,
+    /// For [`CanonMode::ClosedRelation`]: the closed induced relation at
+    /// each depth of the current path (top = current prefix).
+    closed_stack: Vec<Relation>,
+    /// Scratch successor row for `closed_insert`.
+    row_scratch: BitSet,
 }
 
 impl Enumerator<'_, '_> {
@@ -75,18 +148,42 @@ impl Enumerator<'_, '_> {
             return;
         }
         self.schedules_explored += 1;
-        let order = self.ctx.induced_order(&self.schedule);
-        if self.seen.insert(order.clone()) {
+        let order = match self.canon {
+            // The closed-relation search already maintains exactly
+            // cl(base ∪ pairing edges) — the induced order — so recording
+            // is a clone, not a recomputation.
+            Some(CanonMode::ClosedRelation) => {
+                let top = self.closed_stack.last().expect("closure stack seeded");
+                debug_assert_eq!(
+                    *top,
+                    self.ctx.induced_order(&self.schedule),
+                    "incrementally closed relation diverged from the induce scan"
+                );
+                top.clone()
+            }
+            _ => self.ctx.induced_order(&self.schedule),
+        };
+        if self.seen.insert(&order) {
             self.orders.push(order);
         }
     }
 
-    fn explore(&mut self, st: &eo_model::MachState, sleep: &BitSet) {
+    fn heap_estimate(&self) -> usize {
+        let memo = self.visited.len() * 2 * std::mem::size_of::<u128>();
+        let closure = self.closed_stack.first().map_or(0, |r| {
+            self.closed_stack.len() * (r.len() * r.len() / 8 + 64)
+        });
+        self.orders.len() * self.order_bytes + memo + closure
+    }
+
+    /// Sleep-set / naive schedule DFS (the Mazurkiewicz baseline and the
+    /// oracle).
+    fn explore(&mut self, st: &MachState, sleep: &BitSet) {
         if self.truncated || self.stopped.is_some() {
             return;
         }
         if let Some(budget) = self.budget {
-            if let Err(e) = budget.check(self.orders.len() * self.order_bytes) {
+            if let Err(e) = budget.check(self.heap_estimate()) {
                 self.stopped = Some(e);
                 return;
             }
@@ -100,6 +197,7 @@ impl Enumerator<'_, '_> {
         let mut local_sleep = sleep.clone();
         for &(p, e) in &enabled {
             if self.use_sleep && local_sleep.contains(e.index()) {
+                self.pruned_branches += 1;
                 continue;
             }
             let mut st2 = st.clone();
@@ -125,73 +223,223 @@ impl Enumerator<'_, '_> {
         }
         self.enabled_pool.push(enabled);
     }
+
+    /// Memoized quotient-graph DFS for the canonical strategies. No sleep
+    /// sets (unsound under memoization); instead, a node reached a second
+    /// time — same future-relevant machine/scan state and same ordering
+    /// content — is pruned wholesale. Children are tried in event-index
+    /// order, so the surviving representative of every canonical node is
+    /// the lexicographically least path to it.
+    fn explore_canon(&mut self, st: &MachState, mode: CanonMode) {
+        if self.truncated || self.stopped.is_some() {
+            return;
+        }
+        if let Some(budget) = self.budget {
+            if let Err(e) = budget.check(self.heap_estimate()) {
+                self.stopped = Some(e);
+                return;
+            }
+        }
+        let scan = self.scan.as_ref().expect("canonical search seeds the scan");
+        let ordering_hash = match mode {
+            CanonMode::PairingHistory => scan.edge_hash(),
+            CanonMode::ClosedRelation => {
+                closed_hash(self.closed_stack.last().expect("closure stack seeded"))
+            }
+        };
+        let key = combine_key(scan.state_key(st), ordering_hash);
+        if !self.visited.insert(key) {
+            self.pruned_branches += 1;
+            return;
+        }
+        if self.ctx.is_complete(st) {
+            self.record();
+            return;
+        }
+        let mut enabled = self.enabled_pool.pop().unwrap_or_default();
+        self.ctx.co_enabled_into(st, &mut enabled);
+        for &(p, e) in &enabled {
+            let mut st2 = st.clone();
+            self.ctx.step(&mut st2, p);
+            let mark = self.edge_stack.len();
+            let undo =
+                self.scan
+                    .as_mut()
+                    .unwrap()
+                    .apply(self.ctx.exec().trace(), e, &mut self.edge_stack);
+            if mode == CanonMode::ClosedRelation {
+                let mut next = self.closed_stack.last().expect("seeded").clone();
+                for i in mark..self.edge_stack.len() {
+                    let (a, b) = self.edge_stack[i];
+                    closed_insert(&mut next, a.index(), b.index(), &mut self.row_scratch);
+                }
+                self.closed_stack.push(next);
+            }
+            self.schedule.push(e);
+            self.explore_canon(&st2, mode);
+            self.schedule.pop();
+            if mode == CanonMode::ClosedRelation {
+                self.closed_stack.pop();
+            }
+            let tail = &self.edge_stack[mark..];
+            self.scan.as_mut().unwrap().undo(undo, tail);
+            self.edge_stack.truncate(mark);
+            if self.truncated || self.stopped.is_some() {
+                break;
+            }
+        }
+        self.enabled_pool.push(enabled);
+    }
+}
+
+/// Internal search configuration: which pruning the DFS runs with.
+#[derive(Clone, Copy)]
+struct SearchConfig {
+    strategy: EquivStrategy,
+    /// `false` only for the naive oracle.
+    prune: bool,
 }
 
 fn run(
     ctx: &SearchCtx<'_>,
     max_schedules: usize,
-    use_sleep: bool,
+    config: SearchConfig,
     budget: Option<&Budget>,
 ) -> (EnumerationResult, Option<EngineError>) {
     let n = ctx.n_events();
     eo_obs::span!("engine.enumerate");
+    let equiv = config.strategy.equivalence();
+    let canon = if config.prune {
+        equiv.canonical()
+    } else {
+        None
+    };
+    let use_sleep = config.prune && equiv.sleep_sets();
     let mut en = Enumerator {
         ctx,
         max_schedules,
         use_sleep,
+        canon,
         schedule: Vec::with_capacity(n),
-        seen: FxHashSet::default(),
+        seen: SeenOrders::new(),
         orders: Vec::new(),
         schedules_explored: 0,
         truncated: false,
+        pruned_branches: 0,
         budget,
         stopped: None,
-        // Two Relation copies per recorded order (orders + seen); a closed
-        // n×n bit matrix plus container overhead.
-        order_bytes: 2 * ((n * n).div_ceil(8) + 64),
+        // One Relation plus its 128-bit fingerprint per recorded order; a
+        // closed n×n bit matrix plus container overhead.
+        order_bytes: (n * n).div_ceil(8) + 64 + 2 * std::mem::size_of::<u128>(),
         enabled_pool: Vec::new(),
+        scan: canon.map(|_| ScanState::new(ctx.exec().trace())),
+        visited: FxHashSet::default(),
+        edge_stack: Vec::new(),
+        closed_stack: Vec::new(),
+        row_scratch: BitSet::new(n),
     };
     let st = ctx.initial_state();
-    let sleep = BitSet::new(n);
-    en.explore(&st, &sleep);
+    match canon {
+        Some(mode) => {
+            if mode == CanonMode::ClosedRelation {
+                let base = eo_model::induce::base_edges(ctx.exec().trace(), &ctx.effective_d());
+                let closed = closure::dfs_closure(&base)
+                    .expect("base edges of a valid execution form a DAG");
+                en.closed_stack.push(closed);
+            }
+            en.explore_canon(&st, mode);
+        }
+        None => {
+            let sleep = BitSet::new(n);
+            en.explore(&st, &sleep);
+        }
+    }
     // Once per enumeration, never per DFS step: the ≤2% overhead budget
     // rules out probes inside the search itself.
     eo_obs::counter!("engine.schedules", en.schedules_explored as u64);
     eo_obs::counter!("enum.orders", en.orders.len() as u64);
+    if eo_obs::recording() {
+        eo_obs::counter!("enumerate.classes", en.orders.len() as u64);
+        eo_obs::counter!("enumerate.schedules", en.schedules_explored as u64);
+        eo_obs::counter!("enumerate.sleep_prunes", en.pruned_branches as u64);
+        let redundancy = if en.orders.is_empty() {
+            0.0
+        } else {
+            en.schedules_explored as f64 / en.orders.len() as f64
+        };
+        eo_obs::gauge_f64("enumerate.redundancy_ratio", redundancy);
+        eo_obs::gauge_str("enumerate.strategy", config.strategy.label());
+    }
     (
         EnumerationResult {
             orders: en.orders,
             schedules_explored: en.schedules_explored,
             truncated: en.truncated,
+            strategy: config.strategy,
+            pruned_branches: en.pruned_branches,
         },
         en.stopped,
     )
 }
 
-/// Sleep-set pruned enumeration: visits (roughly) one schedule per
-/// Mazurkiewicz class.
+/// Pruned enumeration under the default (Mazurkiewicz sleep-set)
+/// strategy: visits (roughly) one schedule per Mazurkiewicz class.
 pub fn enumerate_classes(ctx: &SearchCtx<'_>, max_schedules: usize) -> EnumerationResult {
-    run(ctx, max_schedules, true, None).0
+    enumerate_classes_with(ctx, max_schedules, EquivStrategy::default())
+}
+
+/// Pruned enumeration under an explicit [`EquivStrategy`].
+pub fn enumerate_classes_with(
+    ctx: &SearchCtx<'_>,
+    max_schedules: usize,
+    strategy: EquivStrategy,
+) -> EnumerationResult {
+    run(
+        ctx,
+        max_schedules,
+        SearchConfig {
+            strategy,
+            prune: true,
+        },
+        None,
+    )
+    .0
 }
 
 /// Unpruned enumeration of every interleaving — the oracle/ablation
 /// variant. Factorially expensive; keep inputs tiny.
 pub fn enumerate_naive(ctx: &SearchCtx<'_>, max_schedules: usize) -> EnumerationResult {
-    run(ctx, max_schedules, false, None).0
+    run(
+        ctx,
+        max_schedules,
+        SearchConfig {
+            strategy: EquivStrategy::Mazurkiewicz,
+            prune: false,
+        },
+        None,
+    )
+    .0
 }
 
-/// Sleep-set pruned enumeration under a supervisor [`Budget`]: the budget
-/// is checked once per DFS step, and the schedule cap comes from the
-/// budget itself. The second component reports why the search stopped
-/// early (`None` means it ran to completion); a search truncated by the
-/// schedule cap is reported as
-/// [`EngineError::ScheduleBudgetExceeded`].
-pub(crate) fn enumerate_classes_budgeted(
+/// Pruned enumeration under a supervisor [`Budget`] and an explicit
+/// [`EquivStrategy`]: the budget is checked once per DFS step, and the
+/// schedule cap comes from the budget itself. The second component
+/// reports why the search stopped early, if it did.
+pub(crate) fn enumerate_classes_budgeted_with(
     ctx: &SearchCtx<'_>,
     budget: &Budget,
+    strategy: EquivStrategy,
 ) -> (EnumerationResult, Option<EngineError>) {
     let cap = budget.schedules_cap();
-    let (result, stopped) = run(ctx, cap, true, Some(budget));
+    let (result, stopped) = run(
+        ctx,
+        cap,
+        SearchConfig {
+            strategy,
+            prune: true,
+        },
+        Some(budget),
+    );
     let stopped = stopped.or(if result.truncated {
         Some(EngineError::ScheduleBudgetExceeded { limit: cap })
     } else {
@@ -206,6 +454,12 @@ mod tests {
     use crate::ctx::FeasibilityMode;
     use eo_model::fixtures;
 
+    fn sorted_orders(r: &EnumerationResult) -> Vec<Relation> {
+        let mut v = r.orders.clone();
+        v.sort_by_key(|r| r.pairs().collect::<Vec<_>>());
+        v
+    }
+
     fn classes(trace: &eo_model::Trace) -> EnumerationResult {
         let exec = trace.to_execution().unwrap();
         let ctx = SearchCtx::new(&exec, FeasibilityMode::PreserveDependences);
@@ -213,12 +467,24 @@ mod tests {
         assert!(!r.truncated);
         // Cross-check against the unpruned oracle: identical F(P).
         let naive = enumerate_naive(&ctx, 1 << 20);
-        let mut a: Vec<_> = r.orders.clone();
-        let mut b: Vec<_> = naive.orders.clone();
-        a.sort_by_key(|r| r.pairs().collect::<Vec<_>>());
-        b.sort_by_key(|r| r.pairs().collect::<Vec<_>>());
-        assert_eq!(a, b, "sleep-set pruning must not change F(P)");
+        assert_eq!(
+            sorted_orders(&r),
+            sorted_orders(&naive),
+            "sleep-set pruning must not change F(P)"
+        );
         assert!(r.schedules_explored <= naive.schedules_explored);
+        // And every coarser strategy agrees too, visiting no more
+        // schedules than it has orders... at most the baseline explored.
+        for strategy in [EquivStrategy::NormalForm, EquivStrategy::Grain] {
+            let coarse = enumerate_classes_with(&ctx, 1 << 20, strategy);
+            assert!(!coarse.truncated);
+            assert_eq!(
+                sorted_orders(&coarse),
+                sorted_orders(&naive),
+                "{strategy} changed F(P)"
+            );
+            assert!(coarse.schedules_explored <= naive.schedules_explored);
+        }
         r
     }
 
@@ -324,5 +590,91 @@ mod tests {
         let naive = enumerate_naive(&ctx, 1 << 20);
         assert!(pruned.schedules_explored < naive.schedules_explored);
         assert_eq!(pruned.orders.len(), naive.orders.len());
+        assert!(pruned.pruned_branches > 0, "the skips are counted");
+    }
+
+    /// The headline property of the canonical strategies: on the fixture
+    /// gallery they visit exactly one complete schedule per element of
+    /// F(P) — `schedules_explored == orders.len()` — where sleep sets
+    /// leave redundancy (post_wait_clear_chain: 18 Mazurkiewicz classes,
+    /// 10 orders).
+    #[test]
+    fn canonical_strategies_reach_perfect_pruning_on_gallery() {
+        let gallery: Vec<eo_model::Trace> = vec![
+            fixtures::independent_pair().0,
+            fixtures::sem_handshake().0,
+            fixtures::fork_join_diamond().0,
+            fixtures::crossing().0,
+            fixtures::figure1().0,
+            fixtures::post_wait_clear_chain().0,
+            fixtures::shared_counter_race().0,
+        ];
+        for trace in &gallery {
+            let exec = trace.to_execution().unwrap();
+            let ctx = SearchCtx::new(&exec, FeasibilityMode::PreserveDependences);
+            for strategy in [EquivStrategy::NormalForm, EquivStrategy::Grain] {
+                let r = enumerate_classes_with(&ctx, 1 << 20, strategy);
+                assert!(!r.truncated);
+                assert_eq!(
+                    r.schedules_explored,
+                    r.orders.len(),
+                    "{strategy}: imperfect pruning"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn canonical_strategies_beat_sleep_sets_on_pairing_redundancy() {
+        // 18 sleep-set schedules vs 10 orders on post_wait_clear_chain;
+        // both canonical strategies must close the gap entirely.
+        let (trace, _ids) = fixtures::post_wait_clear_chain();
+        let exec = trace.to_execution().unwrap();
+        let ctx = SearchCtx::new(&exec, FeasibilityMode::PreserveDependences);
+        let maz = enumerate_classes(&ctx, 1 << 20);
+        assert_eq!(maz.schedules_explored, 18);
+        assert_eq!(maz.orders.len(), 10);
+        for strategy in [EquivStrategy::NormalForm, EquivStrategy::Grain] {
+            let r = enumerate_classes_with(&ctx, 1 << 20, strategy);
+            assert_eq!(r.schedules_explored, 10, "{strategy}");
+            assert_eq!(sorted_orders(&r), sorted_orders(&maz), "{strategy}");
+        }
+    }
+
+    /// IgnoreDependences flips enabledness and the induced →D content;
+    /// the strategies must agree there too.
+    #[test]
+    fn strategies_agree_in_ignore_mode() {
+        for trace in [
+            fixtures::figure1().0,
+            fixtures::post_wait_clear_chain().0,
+            fixtures::crossing().0,
+        ] {
+            let exec = trace.to_execution().unwrap();
+            let ctx = SearchCtx::new(&exec, FeasibilityMode::IgnoreDependences);
+            let base = enumerate_classes(&ctx, 1 << 20);
+            for strategy in [EquivStrategy::NormalForm, EquivStrategy::Grain] {
+                let r = enumerate_classes_with(&ctx, 1 << 20, strategy);
+                assert_eq!(sorted_orders(&r), sorted_orders(&base), "{strategy}");
+                assert!(r.schedules_explored <= base.schedules_explored);
+            }
+        }
+    }
+
+    /// A canonical search that hits the schedule cap reports truncation,
+    /// exactly like the baseline.
+    #[test]
+    fn canonical_truncation_is_reported() {
+        let (trace, _ids) = fixtures::post_wait_clear_chain();
+        let exec = trace.to_execution().unwrap();
+        let ctx = SearchCtx::new(&exec, FeasibilityMode::PreserveDependences);
+        for strategy in [EquivStrategy::NormalForm, EquivStrategy::Grain] {
+            let r = enumerate_classes_with(&ctx, 3, strategy);
+            assert!(r.truncated, "{strategy}: 10 complete nodes > cap 3");
+            assert_eq!(r.schedules_explored, 3);
+            // Complete-at-cap is not truncation.
+            let exact = enumerate_classes_with(&ctx, 10, strategy);
+            assert!(!exact.truncated, "{strategy}");
+        }
     }
 }

@@ -25,8 +25,11 @@
 //!   "could execute concurrently", the relation race detection needs).
 //!   The cut lattice is exponentially smaller than the schedule space but
 //!   still exponential in the number of processes — as it must be.
-//! * [`enumerate`] — sleep-set pruned enumeration of one schedule per
-//!   Mazurkiewicz class, collecting the distinct induced orders of F(P).
+//! * [`enumerate`] — enumeration of the distinct induced orders of F(P),
+//!   quotienting schedules by a pluggable trace equivalence ([`equiv`]):
+//!   sleep-set pruned Mazurkiewicz classes (the default), or the coarser
+//!   canonical-representative searches (normal-form pairing histories,
+//!   closed-relation grains) that visit one schedule per element of F(P).
 //!   The class-quantified relations (MCW, MOW, COW, and the induced
 //!   variant of CCW) are computed from this set.
 //!
@@ -56,6 +59,7 @@ pub mod ctx;
 pub mod degraded;
 pub mod engine;
 pub mod enumerate;
+pub mod equiv;
 #[cfg(feature = "fault-injection")]
 pub mod faultpoint;
 pub mod parallel;
@@ -71,7 +75,10 @@ pub use budget::{Budget, CancelHandle};
 pub use ctx::{FeasibilityMode, SearchCtx};
 pub use degraded::{DegradedSummary, Fact};
 pub use engine::{AnalysisOutcome, EngineError, ExactEngine, Limits};
-pub use enumerate::{enumerate_classes, EnumerationResult};
+pub use enumerate::{
+    enumerate_classes, enumerate_classes_with, enumerate_naive, EnumerationResult,
+};
+pub use equiv::{EquivStrategy, Equivalence};
 #[cfg(feature = "fault-injection")]
 pub use faultpoint::{Fault, FaultPlan};
 pub use parallel::{explore_statespace_parallel, explore_statespace_parallel_budgeted};

@@ -340,4 +340,30 @@ mod tests {
         assert!(classes.truncated);
         let _ = OrderingSummary::from_parts(&space, &classes);
     }
+
+    /// The truncation contract holds under *every* equivalence strategy:
+    /// however coarse the quotient, a search stopped at the schedule cap
+    /// must refuse to answer `∀`-questions.
+    #[test]
+    fn truncated_enumeration_is_rejected_under_every_strategy() {
+        use crate::enumerate::enumerate_classes_with;
+        use crate::equiv::EquivStrategy;
+        let (trace, _ids) = fixtures::post_wait_clear_chain();
+        let exec = trace.to_execution().unwrap();
+        let ctx = SearchCtx::new(&exec, FeasibilityMode::PreserveDependences);
+        let space = explore_statespace(&ctx, 1 << 20).unwrap();
+        for strategy in EquivStrategy::ALL {
+            // The chain has 10 induced orders, so a cap of 1 truncates
+            // even the perfectly pruned canonical searches.
+            let classes = enumerate_classes_with(&ctx, 1, strategy);
+            assert!(classes.truncated, "{strategy}: cap 1 must truncate");
+            let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                OrderingSummary::from_parts(&space, &classes)
+            }));
+            assert!(
+                panicked.is_err(),
+                "{strategy}: a truncated F(P) must refuse to summarize"
+            );
+        }
+    }
 }

@@ -8,8 +8,14 @@
 //! parallel explorer, and the per-pair witness queries — on the model
 //! fixtures and on both E9 workload families (the pairing-pitfall ladder
 //! and the random semaphore workloads race detection sweeps).
+//!
+//! The same contract covers the trace-equivalence strategies: however
+//! coarsely `normal-form` and `grain` quotient the schedule space, the
+//! set of induced orders — and every summary relation built from it —
+//! must be bit-identical to the sleep-set Mazurkiewicz baseline.
 
-use eo_engine::{enumerate_classes, parallel::explore_statespace_parallel};
+use eo_engine::EquivStrategy;
+use eo_engine::{enumerate_classes, enumerate_classes_with, parallel::explore_statespace_parallel};
 use eo_engine::{
     explore_statespace, explore_statespace_baseline, queries, FeasibilityMode, OrderingSummary,
     QuerySession, SearchCtx, StateSpaceResult,
@@ -84,6 +90,54 @@ fn assert_queries_agree(exec: &ProgramExecution, mode: FeasibilityMode, space: &
     }
 }
 
+/// Enumerates F(P) under every equivalence strategy and asserts the
+/// order sets — and the summaries built from them — are bit-identical to
+/// the Mazurkiewicz baseline. Grain's canonical key *is* the induced
+/// order, so its perfect pruning (one schedule per order) is asserted
+/// unconditionally.
+fn assert_strategies_agree(exec: &ProgramExecution, mode: FeasibilityMode) {
+    let ctx = SearchCtx::new(exec, mode);
+    let base = enumerate_classes_with(&ctx, 1 << 20, EquivStrategy::Mazurkiewicz);
+    assert!(!base.truncated, "differential workloads must not truncate");
+    let space = explore_statespace(&ctx, BUDGET).unwrap();
+    let old = OrderingSummary::from_parts(&space, &base);
+    let mut base_fps: Vec<u128> = base.orders.iter().map(|o| o.fingerprint128()).collect();
+    base_fps.sort_unstable();
+    for strategy in [EquivStrategy::NormalForm, EquivStrategy::Grain] {
+        let r = enumerate_classes_with(&ctx, 1 << 20, strategy);
+        assert!(!r.truncated, "{strategy}");
+        let mut fps: Vec<u128> = r.orders.iter().map(|o| o.fingerprint128()).collect();
+        fps.sort_unstable();
+        assert_eq!(base_fps, fps, "{strategy}: F(P) differs from baseline");
+        assert!(
+            r.schedules_explored <= base.schedules_explored,
+            "{strategy}: coarsening must not explore more schedules"
+        );
+        if strategy == EquivStrategy::Grain {
+            assert_eq!(
+                r.schedules_explored,
+                r.orders.len(),
+                "grain: one schedule per induced order"
+            );
+        }
+        let new = OrderingSummary::from_parts(&space, &r);
+        assert_eq!(old.mhb_relation(), new.mhb_relation(), "{strategy}: mhb");
+        assert_eq!(old.chb_relation(), new.chb_relation(), "{strategy}: chb");
+        assert_eq!(old.ccw_relation(), new.ccw_relation(), "{strategy}: ccw");
+        assert_eq!(
+            old.ccw_induced_relation(),
+            new.ccw_induced_relation(),
+            "{strategy}: ccw_induced"
+        );
+        assert_eq!(
+            old.all_ordered_relation(),
+            new.all_ordered_relation(),
+            "{strategy}: all_ordered"
+        );
+        assert_eq!(old.class_count(), new.class_count(), "{strategy}: classes");
+    }
+}
+
 fn fixture_traces() -> Vec<eo_model::Trace> {
     use eo_model::fixtures;
     vec![
@@ -107,6 +161,7 @@ fn fixtures_bit_identical_across_explorers_and_queries() {
         ] {
             let space = assert_explorers_agree(&exec, mode);
             assert_queries_agree(&exec, mode, &space);
+            assert_strategies_agree(&exec, mode);
         }
     }
 }
@@ -170,6 +225,7 @@ fn e9_pitfall_family_bit_identical() {
         let exec = pitfall_exec(decoys);
         let space = assert_explorers_agree(&exec, FeasibilityMode::IgnoreDependences);
         assert_queries_agree(&exec, FeasibilityMode::IgnoreDependences, &space);
+        assert_strategies_agree(&exec, FeasibilityMode::IgnoreDependences);
     }
 }
 
@@ -189,6 +245,7 @@ fn e9_random_semaphore_family_bit_identical() {
             FeasibilityMode::IgnoreDependences,
         ] {
             let space = assert_explorers_agree(&exec, mode);
+            assert_strategies_agree(&exec, mode);
             if seed < 2 {
                 // The quadratic query sweep is expensive; two seeds per
                 // mode keep the suite fast while still crossing the
@@ -209,5 +266,6 @@ fn e6_scaling_workloads_bit_identical() {
         spec.semaphores = (processes / 2).max(1);
         let exec = generate_trace(&spec, 100).to_execution().unwrap();
         assert_explorers_agree(&exec, FeasibilityMode::PreserveDependences);
+        assert_strategies_agree(&exec, FeasibilityMode::PreserveDependences);
     }
 }

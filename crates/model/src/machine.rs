@@ -132,6 +132,23 @@ impl MachState {
         self.next == other.next && self.flag == other.flag
     }
 
+    /// Per-process progress counters: `progress()[p]` is how many events
+    /// of process `p` have executed. Together with [`MachState::flags`]
+    /// this is the state's full deduplication key (see
+    /// [`MachState::key_fingerprint`]); the engine's equivalence
+    /// strategies read the components directly so they can hash *subsets*
+    /// of the key (e.g. dropping flags no future event observes).
+    #[inline]
+    pub fn progress(&self) -> &[u32] {
+        &self.next
+    }
+
+    /// Current event-variable flag values, indexed by variable.
+    #[inline]
+    pub fn flags(&self) -> &[bool] {
+        &self.flag
+    }
+
     /// Heap bytes owned by this state's vectors (memory accounting for
     /// the engine's state arenas; excludes the struct header itself).
     pub fn heap_bytes(&self) -> usize {

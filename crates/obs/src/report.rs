@@ -73,6 +73,10 @@ pub const ENGINE_METRICS: &[&str] = &[
     "engine.bfs_levels",
     "engine.schedules",
     "enum.orders",
+    "enumerate.classes",
+    "enumerate.schedules",
+    "enumerate.redundancy_ratio",
+    "enumerate.sleep_prunes",
     "query.witness_queries",
     "query.states_interned",
     "sat.dpll_nodes",

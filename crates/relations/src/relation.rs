@@ -127,6 +127,32 @@ impl Relation {
         self.rows.iter().map(BitSet::count).sum()
     }
 
+    /// A 128-bit fingerprint of the full bit matrix.
+    ///
+    /// Equal relations always fingerprint equally; the converse holds
+    /// modulo a 2⁻¹²⁸-scale collision chance, which is what lets the
+    /// enumeration engine deduplicate induced orders by fingerprint
+    /// instead of retaining every closed matrix (the `debug_assertions`
+    /// builds keep the matrices too and assert the two dedup decisions
+    /// agree). Two independent lanes: an XOR lane over position-salted
+    /// word mixes (order-free, so zero words cost nothing) and a
+    /// sequentially-chained lane, so single-word and transposition-style
+    /// differences perturb both halves.
+    pub fn fingerprint128(&self) -> u128 {
+        let mut h1: u64 = 0x9E37_79B9_7F4A_7C15 ^ (self.len as u64);
+        let mut h2: u64 = 0xC2B2_AE3D_27D4_EB4F ^ ((self.len as u64) << 32);
+        for (i, row) in self.rows.iter().enumerate() {
+            for (j, &w) in row.words().iter().enumerate() {
+                if w != 0 {
+                    let m = mix64(w ^ ((i as u64) << 32) ^ ((j as u64) << 8));
+                    h1 ^= m;
+                    h2 = mix64(h2 ^ m);
+                }
+            }
+        }
+        ((h1 as u128) << 64) | h2 as u128
+    }
+
     /// Iterates over all pairs `(a, b)` in row-major order.
     pub fn pairs(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
         self.rows
@@ -272,6 +298,16 @@ impl Relation {
         }
         (out, old_of_new)
     }
+}
+
+/// Finalizer of `splitmix64`: cheap bijective mixing with full avalanche,
+/// used to salt matrix words by position in [`Relation::fingerprint128`].
+#[inline]
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl std::fmt::Debug for Relation {

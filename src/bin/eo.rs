@@ -1,7 +1,7 @@
 //! `eo` — command-line front end to the event-ordering analyses.
 //!
 //! ```text
-//! eo analyze <trace.json> [--ignore-deps] [--matrix] [--json]
+//! eo analyze <trace.json> [--ignore-deps] [--matrix] [--json] [--equiv <strategy>]
 //!            [--timeout <ms>] [--max-mem <bytes>] [--max-states <n>]
 //!            [--no-degrade] [--static-prefilter]
 //!            [--trace-out <f>] [--metrics-out <f>]
@@ -9,7 +9,8 @@
 //! eo serve   <trace.json> [--batch <req.json>] [--threads <n>]
 //!            [--timeout <ms>] [--max-mem <bytes>] [--max-states <n>]
 //!            [--no-cache] [--no-prefilter] [--static-prefilter]
-//!            [--ignore-deps] [--metrics-out <f>]    batched query sessions
+//!            [--ignore-deps] [--equiv <strategy>]
+//!            [--metrics-out <f>]                    batched query sessions
 //! eo races   <trace.json>                           exact vs clock race report
 //! eo sat     <n_vars> <n_clauses> <seed> [--events] SAT via Theorem 1/2 (or 3/4)
 //! eo lint    <trace.json>... [--json] [--mhp] [--deny <level>]
@@ -83,11 +84,12 @@ fn main() -> ExitCode {
             eprintln!(
                 "usage:\n  eo analyze <trace.json> [--ignore-deps] [--matrix] [--json]\n      \
                  [--timeout <ms>] [--max-mem <bytes>] [--max-states <n>] [--no-degrade]\n      \
-                 [--static-prefilter] [--trace-out <file>] [--metrics-out <file>] [--profile]\n  \
+                 [--static-prefilter] [--equiv <strategy>] [--trace-out <file>]\n      \
+                 [--metrics-out <file>] [--profile]\n  \
                  eo serve <trace.json> [--batch <requests.json>] [--threads <n>]\n      \
                  [--timeout <ms>] [--max-mem <bytes>] [--max-states <n>]\n      \
                  [--no-cache] [--no-prefilter] [--static-prefilter] [--ignore-deps]\n      \
-                 [--metrics-out <file>]\n  \
+                 [--equiv mazurkiewicz|normal-form|grain] [--metrics-out <file>]\n  \
                  eo races <trace.json>\n  eo sat <n_vars> <n_clauses> <seed> [--events]\n  \
                  eo lint <trace.json>... [--json] [--mhp] [--deny error|warning|info] \
                  [--metrics-out <file>]\n  \
@@ -128,6 +130,15 @@ fn str_flag(args: &[String], name: &str) -> Result<Option<String>, String> {
             Some(v) if !v.starts_with("--") => Ok(Some(v.clone())),
             _ => Err(format!("analyze: {name} takes a file path")),
         },
+    }
+}
+
+/// Parses `--equiv <strategy>` anywhere in `args` (the trace equivalence
+/// the enumeration quotients by; see `eo_engine::EquivStrategy`).
+fn equiv_flag(args: &[String]) -> Result<eo_engine::EquivStrategy, String> {
+    match str_flag(args, "--equiv")? {
+        None => Ok(eo_engine::EquivStrategy::default()),
+        Some(v) => v.parse().map_err(|e| format!("--equiv: {e}")),
     }
 }
 
@@ -342,6 +353,13 @@ fn analyze(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let equiv = match equiv_flag(args) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
     let exec = match load(path) {
         Ok(e) => e,
         Err(e) => {
@@ -386,7 +404,9 @@ fn analyze(args: &[String]) -> ExitCode {
     if let Some(n) = max_states {
         budget = budget.with_max_states(n as usize);
     }
-    let engine = ExactEngine::with_mode(&exec, mode).with_budget(budget);
+    let engine = ExactEngine::with_mode(&exec, mode)
+        .with_budget(budget)
+        .with_equiv(equiv);
     obs.begin();
     // The static tier never changes an exact answer (its refutations are
     // a subset of what exploration proves), so exact runs are
@@ -562,6 +582,13 @@ fn serve(args: &[String]) -> ExitCode {
     // engine's default limits, so a served query and a one-shot query are
     // stopped by identical bounds.
     let mut engine = EngineOptions::with_mode(mode);
+    engine.equiv = match equiv_flag(args) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
     if timeout.is_some() || max_mem.is_some() || max_states.is_some() {
         let mut budget = Budget::unlimited();
         if let Some(ms) = timeout {

@@ -3,10 +3,10 @@
 //! soundness of every polynomial baseline.
 
 use eo_engine::{
-    enumerate::{enumerate_classes, enumerate_naive},
+    enumerate::{enumerate_classes, enumerate_classes_with, enumerate_naive},
     explore_statespace,
     parallel::explore_statespace_parallel,
-    queries, ExactEngine, FeasibilityMode, SearchCtx,
+    queries, EquivStrategy, ExactEngine, FeasibilityMode, SearchCtx,
 };
 use eo_lang::generator::{generate_trace, SyncStyle, WorkloadSpec};
 use eo_model::{EventId, ProgramExecution};
@@ -187,6 +187,57 @@ proptest! {
             classes.orders.contains(exec.t()),
             "the observed induced order must appear in F(P)"
         );
+    }
+
+    /// Every trace-equivalence strategy enumerates the same F(P), hence
+    /// the same six-relation summary — and the canonical strategies do it
+    /// with exactly one schedule per induced order.
+    #[test]
+    fn equivalence_strategies_summarize_identically(spec in small_spec()) {
+        let exec = exec_of(&spec);
+        let base = ExactEngine::new(&exec).summary();
+        for strategy in [EquivStrategy::NormalForm, EquivStrategy::Grain] {
+            let s = ExactEngine::new(&exec).with_equiv(strategy).summary();
+            prop_assert_eq!(base.mhb_relation(), s.mhb_relation(), "{}", strategy);
+            prop_assert_eq!(base.chb_relation(), s.chb_relation(), "{}", strategy);
+            prop_assert_eq!(base.ccw_relation(), s.ccw_relation(), "{}", strategy);
+            prop_assert_eq!(
+                base.ccw_induced_relation(), s.ccw_induced_relation(), "{}", strategy
+            );
+            prop_assert_eq!(
+                base.all_ordered_relation(), s.all_ordered_relation(), "{}", strategy
+            );
+            prop_assert_eq!(base.class_count(), s.class_count(), "{}", strategy);
+            prop_assert_eq!(base.state_count(), s.state_count(), "{}", strategy);
+        }
+        // And in the race-detection feasibility mode, the canonical
+        // searches reach perfect pruning: one schedule per induced order.
+        let ctx = SearchCtx::new(&exec, FeasibilityMode::IgnoreDependences);
+        let maz = enumerate_classes_with(&ctx, 1 << 20, EquivStrategy::Mazurkiewicz);
+        prop_assume!(!maz.truncated);
+        for strategy in [EquivStrategy::NormalForm, EquivStrategy::Grain] {
+            let r = enumerate_classes_with(&ctx, 1 << 20, strategy);
+            prop_assert!(!r.truncated);
+            prop_assert_eq!(r.orders.len(), maz.orders.len(), "{}", strategy);
+            prop_assert_eq!(r.schedules_explored, r.orders.len(), "{}", strategy);
+        }
+    }
+
+    /// Race sets are identical under every strategy, whether detected by
+    /// the standalone detector or a serving session configured with a
+    /// coarser equivalence.
+    #[test]
+    fn equivalence_strategies_race_identically(spec in small_spec()) {
+        let exec = exec_of(&spec);
+        let baseline = eo_race::exact_races(&exec);
+        for strategy in [EquivStrategy::Mazurkiewicz, EquivStrategy::NormalForm, EquivStrategy::Grain] {
+            let mut config = eo_serve::SessionConfig::default();
+            config.engine.equiv = strategy;
+            let mut session = eo_serve::AnalysisSession::with_config(&exec, config);
+            let (races, degraded) = session.races().expect("unbudgeted sessions do not degrade");
+            prop_assert!(!degraded);
+            prop_assert_eq!(&races, &baseline, "{}", strategy);
+        }
     }
 
     /// Exact races (ignore-D concurrency on conflicting pairs) are always
