@@ -16,7 +16,11 @@
 //! more than 15%. When a committed `BENCH_equiv.json` is present (or
 //! `--equiv-baseline <file>` is given), it also re-measures the E17
 //! equivalence-strategy ablation and gates its class-count and time
-//! ratios the same way.
+//! ratios the same way. When a committed `BENCH_server.json` is present
+//! (or `--server-baseline <file>` is given), it re-runs the E18 server
+//! load/fault harness at smoke scale and gates its robustness
+//! *invariants* — zero lost answers, byte parity with `eo serve`, total
+//! rejection under zero quota, sound degradation, clean drain.
 
 use eo_bench::table::render;
 use eo_bench::*;
@@ -163,6 +167,65 @@ fn check_regression(args: &[String]) -> ! {
                 )
             );
             gated += echecks.len();
+        }
+    }
+    let server_baseline_path = match args.iter().position(|a| a == "--server-baseline") {
+        None => "BENCH_server.json".to_string(),
+        Some(i) => match args.get(i + 1) {
+            Some(p) => p.clone(),
+            None => {
+                eprintln!("check-regression: --server-baseline takes a file path");
+                std::process::exit(1);
+            }
+        },
+    };
+    match std::fs::read_to_string(&server_baseline_path) {
+        Err(e) => {
+            // Same contract as the equivalence gate: optional unless named.
+            if args.iter().any(|a| a == "--server-baseline") {
+                eprintln!("check-regression: reading {server_baseline_path}: {e}");
+                std::process::exit(1);
+            }
+            println!("(no {server_baseline_path}; skipping the server-robustness gate)");
+        }
+        Ok(baseline) => {
+            println!(
+                "== server-robustness gate: smoke-scale E18 against {server_baseline_path} =="
+            );
+            // The gate re-runs the harness at smoke scale and checks
+            // *invariants* (nothing lost, byte parity, total rejection
+            // under zero quota, sound degradation, clean drain) — not
+            // machine-dependent throughput numbers.
+            let current = e18_server_load(&ServerLoadConfig::smoke());
+            let schecks = match check_server_against(&baseline, &current) {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("check-regression: {e}");
+                    std::process::exit(1);
+                }
+            };
+            let mut srows = Vec::new();
+            for c in &schecks {
+                srows.push(vec![
+                    c.invariant.clone(),
+                    c.committed.clone(),
+                    c.current.clone(),
+                    if c.failures.is_empty() {
+                        "ok".into()
+                    } else {
+                        "FAIL".into()
+                    },
+                ]);
+                for f in &c.failures {
+                    eprintln!("FAIL {}: {f}", c.invariant);
+                    failed = true;
+                }
+            }
+            println!(
+                "{}",
+                render(&["invariant", "committed", "measured", "verdict"], &srows)
+            );
+            gated += schecks.len();
         }
     }
     if failed {
@@ -995,6 +1058,74 @@ fn main() {
         assert!(
             sem_static_refuted > 0,
             "the static MHP tier refuted no candidates on the E9-style semaphore workloads"
+        );
+    }
+
+    if want("e18") {
+        println!("== E18: network server under load and fault injection ==");
+        println!(
+            "(a million pipelined queries, thousands of clients, a hostile cohort; \
+             every well-formed query must be answered, a verification cohort \
+             byte-identical to `eo serve`)"
+        );
+        let r = e18_server_load(&ServerLoadConfig::full());
+        println!(
+            "{}",
+            render(
+                &[
+                    "clients", "faulty", "queries", "answered", "lost", "qps", "p50_us", "p99_us",
+                    "p999_us", "parity"
+                ],
+                &[vec![
+                    r.good_clients.to_string(),
+                    r.fault_clients.to_string(),
+                    r.queries.to_string(),
+                    r.answered.to_string(),
+                    r.lost.to_string(),
+                    format!("{:.0}", r.qps),
+                    r.p50_us.to_string(),
+                    r.p99_us.to_string(),
+                    r.p999_us.to_string(),
+                    r.parity_ok.to_string(),
+                ]]
+            )
+        );
+        println!(
+            "{}",
+            render(
+                &[
+                    "bad_frames",
+                    "shed",
+                    "timeout_kills",
+                    "rejected",
+                    "degraded",
+                    "evictions",
+                    "orphaned",
+                    "drained_clean"
+                ],
+                &[vec![
+                    r.report.bad_frames.to_string(),
+                    r.report.shed.to_string(),
+                    r.report.timeout_kills.to_string(),
+                    format!("{}/{}", r.admission_rejected, r.admission_queries),
+                    format!("{}/{}", r.degradation_degraded, r.degradation_queries),
+                    r.report.evictions.to_string(),
+                    r.report.orphaned.to_string(),
+                    r.report.drained_clean.to_string(),
+                ]]
+            )
+        );
+        let json = server_load_json(&r);
+        std::fs::write("BENCH_server.json", &json).expect("write BENCH_server.json");
+        println!("wrote BENCH_server.json");
+        // The tentpole's acceptance bars: nothing lost, byte parity with
+        // the one-shot path, hostility absorbed, drain clean.
+        assert_eq!(r.lost, 0, "a well-formed query went unanswered");
+        assert!(r.parity_ok, "network responses diverged from `eo serve`");
+        assert!(r.report.bad_frames > 0 && r.report.shed > 0);
+        assert!(
+            r.report.drained_clean,
+            "the load server did not drain cleanly"
         );
     }
 }

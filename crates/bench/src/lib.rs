@@ -14,6 +14,8 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod server_load;
 pub mod table;
 
 pub use experiments::*;
+pub use server_load::*;

@@ -1,0 +1,33 @@
+//! A smoke-scale run of the E18 server load/fault harness: the same
+//! phases and invariants as the committed `report -- e18` run (parity
+//! with `eo serve`, zero lost answers, total rejection under zero quota,
+//! sound degradation under deadline pressure, clean drain) at a volume
+//! that fits in a test budget. The harness itself panics on any violated
+//! invariant, so the assertions here only pin the headline accounting.
+
+use eo_bench::{check_server_against, e18_server_load, server_load_json, ServerLoadConfig};
+
+#[test]
+fn the_smoke_scale_harness_upholds_every_invariant() {
+    let config = ServerLoadConfig::smoke();
+    let r = e18_server_load(&config);
+
+    assert_eq!(r.lost, 0);
+    assert!(r.parity_ok);
+    assert_eq!(
+        r.queries,
+        (config.good_clients * config.queries_per_client) as u64 + 249,
+        "every good query plus the 249-request parity cohort is accounted for"
+    );
+    assert!(r.report.bad_frames > 0, "the fault cohort was heard from");
+    assert!(r.report.drained_clean);
+    assert_eq!(r.admission_rejected, r.admission_queries);
+    assert!(r.degradation_degraded > 0);
+
+    // The rendered document round-trips through the gate against itself.
+    let doc = server_load_json(&r);
+    let checks = check_server_against(&doc, &r).expect("self-gate parses");
+    for c in &checks {
+        assert!(c.failures.is_empty(), "self-gate failed: {:?}", c.failures);
+    }
+}

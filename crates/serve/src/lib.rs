@@ -31,10 +31,12 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod net;
 pub mod protocol;
 pub mod server;
 pub mod session;
 
-pub use protocol::{parse_requests, ParsedRequest, ServeOp};
+pub use net::{NetClient, Server, ServerConfig, ServerHandle, ServerReport};
+pub use protocol::{parse_one, parse_requests, render_error_at, ParsedRequest, ServeOp};
 pub use server::{serve_batch, serve_requests, ServeConfig, ServeOutcome};
 pub use session::{fingerprint, AnalysisSession, SessionConfig, SessionReply, SessionStats};

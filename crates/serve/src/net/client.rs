@@ -1,0 +1,105 @@
+//! A small blocking client for the frame protocol — the building block
+//! for the integration tests, the CI replay, and the load/fault harness.
+//!
+//! Deliberately simple: blocking socket, explicit read timeout, one
+//! method per protocol step. The *misbehaving* clients the fault harness
+//! needs (mid-request disconnects, stalled readers, garbage frames) are
+//! built from the same pieces: [`NetClient::send_raw`] writes arbitrary
+//! bytes, and dropping the client mid-anything is the disconnect.
+
+use super::frame::{encode, FrameDecoder, FrameEvent};
+use eo_obs::json::Value;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// A blocking connection to an `eo-server`.
+pub struct NetClient {
+    stream: TcpStream,
+    decoder: FrameDecoder,
+    buf: Vec<u8>,
+}
+
+impl NetClient {
+    /// Connects with a 10-second read timeout.
+    pub fn connect(addr: SocketAddr) -> io::Result<NetClient> {
+        NetClient::connect_with_timeout(addr, Duration::from_secs(10))
+    }
+
+    /// Connects with an explicit read timeout (`recv` fails with
+    /// `WouldBlock`/`TimedOut` when the server stays silent that long).
+    pub fn connect_with_timeout(addr: SocketAddr, read_timeout: Duration) -> io::Result<NetClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(read_timeout))?;
+        stream.set_nodelay(true)?;
+        Ok(NetClient {
+            stream,
+            decoder: FrameDecoder::new(64 << 20),
+            buf: vec![0u8; 16 * 1024],
+        })
+    }
+
+    /// Sends one well-formed frame carrying `payload`.
+    pub fn send(&mut self, payload: &str) -> io::Result<()> {
+        self.stream.write_all(&encode(payload))
+    }
+
+    /// Sends raw bytes verbatim — the hostile-client primitive (garbage,
+    /// truncated frames, oversized prefixes...).
+    pub fn send_raw(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.stream.write_all(bytes)
+    }
+
+    /// Half-closes the write side (the server sees EOF but can still
+    /// flush responses to us).
+    pub fn finish_writing(&mut self) -> io::Result<()> {
+        self.stream.shutdown(std::net::Shutdown::Write)
+    }
+
+    /// Receives the next frame payload, blocking up to the read timeout.
+    pub fn recv(&mut self) -> io::Result<String> {
+        loop {
+            match self.decoder.next_event() {
+                Some(FrameEvent::Frame(payload)) => return Ok(payload),
+                Some(FrameEvent::Bad(reason)) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("server broke framing: {reason}"),
+                    ));
+                }
+                None => {}
+            }
+            let n = self.stream.read(&mut self.buf)?;
+            if n == 0 {
+                return Err(io::ErrorKind::UnexpectedEof.into());
+            }
+            let (buf, decoder) = (&self.buf[..n], &mut self.decoder);
+            decoder.push(buf);
+        }
+    }
+
+    /// One round trip: send `payload`, receive one response.
+    pub fn request(&mut self, payload: &str) -> io::Result<String> {
+        self.send(payload)?;
+        self.recv()
+    }
+
+    /// Opens a program on this connection and returns the raw response
+    /// document (callers check its `status`).
+    pub fn open(&mut self, trace_json: &str) -> io::Result<String> {
+        self.request(&open_request(trace_json, None))
+    }
+}
+
+/// Builds the `open` request document for a program, with an optional
+/// correlation id. The trace JSON travels as a JSON *string* so the exact
+/// bytes reach the server (no number round-tripping).
+pub fn open_request(trace_json: &str, id: Option<Value>) -> String {
+    let mut fields = Vec::new();
+    if let Some(id) = id {
+        fields.push(("id".to_owned(), id));
+    }
+    fields.push(("op".to_owned(), Value::Str("open".to_owned())));
+    fields.push(("program".to_owned(), Value::Str(trace_json.to_owned())));
+    Value::Obj(fields).to_json()
+}

@@ -1,0 +1,231 @@
+//! Per-connection state: an incremental frame decoder on the read side,
+//! a bounded frame queue with explicit load-shedding on the write side,
+//! and the activity clocks the reactor's timeout sweep reads.
+//!
+//! The write queue distinguishes *owed* frames (responses to well-formed
+//! requests — the exactly-one-response invariant lives or dies on these)
+//! from *droppable* ones (overload rejections, malformed-frame errors:
+//! best-effort courtesy to clients that are already misbehaving). When
+//! the queue exceeds its watermark the shedder removes the oldest
+//! droppable frame — never an owed frame, and never the head frame once
+//! any of its bytes have reached the socket (a torn frame would desync
+//! the client's decoder, turning our overload into their corruption). If
+//! nothing is droppable the queue simply grows and the write timeout
+//! eventually kills the stalled reader, which is the correct end for a
+//! client that asks questions and never reads answers.
+
+use super::frame::FrameDecoder;
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::time::Instant;
+
+struct OutFrame {
+    bytes: Vec<u8>,
+    droppable: bool,
+}
+
+/// What one read attempt produced.
+pub(crate) enum ReadOutcome {
+    /// Bytes arrived and were pushed into the decoder.
+    Data,
+    /// The peer closed its write side (EOF).
+    Closed,
+    /// Nothing available right now.
+    WouldBlock,
+}
+
+pub(crate) struct Conn {
+    pub stream: TcpStream,
+    pub decoder: FrameDecoder,
+    outq: VecDeque<OutFrame>,
+    /// Bytes of the head frame already written to the socket.
+    head_written: usize,
+    queued_bytes: usize,
+    /// Fingerprint of the program this connection has opened, if any.
+    pub attached: Option<u64>,
+    /// Requests routed to a worker and not yet answered.
+    pub inflight: usize,
+    /// Frames received so far; the next frame's 1-based sequence number
+    /// is `frames_seen + 1` (it doubles as the error-report `line`).
+    pub frames_seen: usize,
+    /// Last time any bytes arrived.
+    pub last_read: Instant,
+    /// Last time a *complete* frame was decoded — the slowloris clock: a
+    /// partial frame older than the read timeout kills the connection
+    /// however diligently its bytes trickle in.
+    pub last_frame: Instant,
+    /// Last time a write made progress (or the queue went non-empty).
+    pub last_write: Instant,
+    /// Peer sent EOF; the connection lingers only to flush owed frames.
+    pub read_closed: bool,
+}
+
+impl Conn {
+    pub fn new(stream: TcpStream, max_frame: usize, now: Instant) -> Conn {
+        Conn {
+            stream,
+            decoder: FrameDecoder::new(max_frame),
+            outq: VecDeque::new(),
+            head_written: 0,
+            queued_bytes: 0,
+            attached: None,
+            inflight: 0,
+            frames_seen: 0,
+            last_read: now,
+            last_frame: now,
+            last_write: now,
+            read_closed: false,
+        }
+    }
+
+    /// Queued frames not yet fully written.
+    pub fn queue_len(&self) -> usize {
+        self.outq.len()
+    }
+
+    /// Unwritten bytes across the queue (the backpressure measure: the
+    /// reactor stops *reading* a connection whose queue is over the high
+    /// watermark, which surfaces to the client as TCP backpressure).
+    pub fn queued_bytes(&self) -> usize {
+        self.queued_bytes
+    }
+
+    /// Nothing left to write.
+    pub fn is_flushed(&self) -> bool {
+        self.outq.is_empty()
+    }
+
+    /// Enqueues one encoded frame; returns how many frames were shed to
+    /// keep the queue at or under `max_queue` frames.
+    pub fn enqueue(&mut self, bytes: Vec<u8>, droppable: bool, max_queue: usize) -> u64 {
+        if self.outq.is_empty() {
+            // The write clock measures stall-while-pending, so it starts
+            // when the queue goes non-empty, not at the last old write.
+            self.last_write = Instant::now();
+        }
+        self.queued_bytes += bytes.len();
+        self.outq.push_back(OutFrame { bytes, droppable });
+        let mut shed = 0;
+        while self.queue_len() > max_queue {
+            let Some(victim) = self
+                .outq
+                .iter()
+                .enumerate()
+                // The head is off-limits once partially written.
+                .skip(if self.head_written > 0 { 1 } else { 0 })
+                .find(|(_, f)| f.droppable)
+                .map(|(i, _)| i)
+            else {
+                break; // everything is owed: let the queue grow
+            };
+            let f = self.outq.remove(victim).expect("index from enumerate");
+            self.queued_bytes -= f.bytes.len();
+            shed += 1;
+        }
+        shed
+    }
+
+    /// Writes as much queued data as the socket accepts. Returns whether
+    /// any bytes moved. Frames leave the queue only when fully written.
+    pub fn flush(&mut self, now: Instant) -> io::Result<bool> {
+        let mut progressed = false;
+        while let Some(head) = self.outq.front() {
+            let remaining = &head.bytes[self.head_written..];
+            match self.stream.write(remaining) {
+                Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
+                Ok(n) => {
+                    progressed = true;
+                    self.last_write = now;
+                    self.queued_bytes -= n;
+                    self.head_written += n;
+                    if self.head_written == head.bytes.len() {
+                        self.outq.pop_front();
+                        self.head_written = 0;
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(progressed)
+    }
+
+    /// Reads once into the decoder through `buf`.
+    pub fn read_some(&mut self, buf: &mut [u8], now: Instant) -> io::Result<ReadOutcome> {
+        match self.stream.read(buf) {
+            Ok(0) => Ok(ReadOutcome::Closed),
+            Ok(n) => {
+                self.last_read = now;
+                self.decoder.push(&buf[..n]);
+                Ok(ReadOutcome::Data)
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(ReadOutcome::WouldBlock),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => Ok(ReadOutcome::WouldBlock),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    fn pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let a = TcpStream::connect(addr).expect("connect");
+        let (b, _) = listener.accept().expect("accept");
+        (a, b)
+    }
+
+    #[test]
+    fn shedding_drops_oldest_droppable_and_never_owed_frames() {
+        let (a, _b) = pair();
+        let now = Instant::now();
+        let mut conn = Conn::new(a, 1024, now);
+        // Queue: owed, droppable(1), owed, droppable(2) — cap 3 forces one
+        // shed per overflow, oldest droppable first.
+        assert_eq!(conn.enqueue(b"owed-1".to_vec(), false, 3), 0);
+        assert_eq!(conn.enqueue(b"drop-1".to_vec(), true, 3), 0);
+        assert_eq!(conn.enqueue(b"owed-2".to_vec(), false, 3), 0);
+        assert_eq!(conn.enqueue(b"drop-2".to_vec(), true, 3), 1);
+        assert_eq!(conn.queue_len(), 3);
+        let kept: Vec<&[u8]> = conn.outq.iter().map(|f| f.bytes.as_slice()).collect();
+        assert_eq!(kept, [b"owed-1".as_slice(), b"owed-2", b"drop-2"]);
+        // All-owed overflow: nothing sheds, the queue grows past the cap.
+        assert_eq!(conn.enqueue(b"owed-3".to_vec(), false, 3), 1); // drop-2 goes
+        assert_eq!(conn.enqueue(b"owed-4".to_vec(), false, 3), 0);
+        assert_eq!(conn.queue_len(), 4);
+        assert!(conn.outq.iter().all(|f| !f.droppable));
+    }
+
+    #[test]
+    fn flush_tracks_partial_writes_and_byte_counts() {
+        let (a, mut b) = pair();
+        a.set_nonblocking(true).expect("nonblocking");
+        let now = Instant::now();
+        let mut conn = Conn::new(a, 1024, now);
+        let payload = vec![7u8; 64 * 1024];
+        let total = payload.len();
+        conn.enqueue(payload, false, 8);
+        assert_eq!(conn.queued_bytes(), total);
+        // Drain in lockstep until everything lands on the peer.
+        let mut received = 0usize;
+        let mut sink = vec![0u8; 128 * 1024];
+        for _ in 0..1000 {
+            let _ = conn.flush(Instant::now()).expect("flush");
+            if let Ok(n) = b.read(&mut sink) {
+                received += n;
+            }
+            if conn.is_flushed() && received == total {
+                break;
+            }
+        }
+        assert!(conn.is_flushed());
+        assert_eq!(received, total);
+        assert_eq!(conn.queued_bytes(), 0);
+    }
+}

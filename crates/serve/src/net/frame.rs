@@ -1,0 +1,244 @@
+//! Length-prefixed NDJSON framing for the network server.
+//!
+//! One frame is `<decimal-length>:<payload>\n` — the length counts the
+//! payload bytes only, the payload is one JSON document, and the trailing
+//! newline is mandatory. The redundancy is deliberate: the length prefix
+//! lets the decoder refuse oversized frames *before* buffering them, and
+//! the newline terminator gives it a resynchronization point after any
+//! malformed prefix, so one garbage frame costs one error response — not
+//! the connection, and never the process.
+//!
+//! Decoding is incremental and allocation-bounded: the decoder never
+//! buffers more than one frame's worth of bytes (`max_frame` plus the
+//! prefix), and while resynchronizing it discards garbage instead of
+//! accumulating it, so a client trickling junk forever cannot grow server
+//! memory.
+
+/// The widest accepted length prefix: 8 digits ⇒ frames under 100 MB even
+/// before the configured `max_frame` cap applies.
+const MAX_PREFIX_DIGITS: usize = 8;
+
+/// Encodes one payload as a wire frame.
+pub fn encode(payload: &str) -> Vec<u8> {
+    let mut out = Vec::with_capacity(payload.len() + 12);
+    out.extend_from_slice(payload.len().to_string().as_bytes());
+    out.push(b':');
+    out.extend_from_slice(payload.as_bytes());
+    out.push(b'\n');
+    out
+}
+
+/// One decoding step's outcome.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FrameEvent {
+    /// A complete, well-formed frame's payload.
+    Frame(String),
+    /// A malformed frame (bad prefix, oversized length, missing
+    /// terminator, or non-UTF-8 payload). The decoder has entered resync
+    /// mode: it silently discards bytes up to the next newline, then
+    /// resumes. Exactly one `Bad` is emitted per resynchronization.
+    Bad(String),
+}
+
+/// Incremental frame decoder: push bytes in, pump events out.
+#[derive(Debug)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    max_frame: usize,
+    /// Discarding until the next `\n` after a malformed frame.
+    skipping: bool,
+}
+
+impl FrameDecoder {
+    /// A decoder refusing payloads larger than `max_frame` bytes.
+    pub fn new(max_frame: usize) -> FrameDecoder {
+        FrameDecoder {
+            buf: Vec::new(),
+            max_frame,
+            skipping: false,
+        }
+    }
+
+    /// Appends raw bytes from the wire.
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+        if self.skipping {
+            self.discard_to_newline();
+        }
+    }
+
+    /// Bytes buffered but not yet decoded (partial frame in progress).
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Decodes the next event, or `None` when more bytes are needed.
+    pub fn next_event(&mut self) -> Option<FrameEvent> {
+        if self.skipping {
+            // `push` already discarded what it could; still mid-resync.
+            return None;
+        }
+        // Scan the decimal length prefix.
+        let mut idx = 0;
+        loop {
+            match self.buf.get(idx) {
+                None => return None, // prefix incomplete
+                Some(b':') if idx > 0 => break,
+                Some(b) if b.is_ascii_digit() && idx < MAX_PREFIX_DIGITS => idx += 1,
+                Some(_) => {
+                    return Some(self.resync("malformed frame: expected <length>:<payload>"));
+                }
+            }
+        }
+        // The prefix is ASCII digits only and at most 8 of them: parses.
+        let len: usize = std::str::from_utf8(&self.buf[..idx])
+            .expect("digits are UTF-8")
+            .parse()
+            .expect("at most 8 digits fit in usize");
+        if len > self.max_frame {
+            return Some(self.resync(&format!(
+                "frame of {len} bytes exceeds the {} byte limit",
+                self.max_frame
+            )));
+        }
+        let total = idx + 1 + len + 1; // prefix + ':' + payload + '\n'
+        if self.buf.len() < total {
+            return None;
+        }
+        if self.buf[total - 1] != b'\n' {
+            return Some(self.resync("malformed frame: payload not terminated by newline"));
+        }
+        let payload = match std::str::from_utf8(&self.buf[idx + 1..total - 1]) {
+            Ok(s) => s.to_owned(),
+            Err(_) => {
+                // The terminator was in place, so the frame boundary is
+                // trustworthy: consume it and resume cleanly (no resync).
+                self.buf.drain(..total);
+                return Some(FrameEvent::Bad(
+                    "malformed frame: payload is not UTF-8".to_owned(),
+                ));
+            }
+        };
+        self.buf.drain(..total);
+        Some(FrameEvent::Frame(payload))
+    }
+
+    /// Enters resync mode and reports why. Resynchronization is
+    /// best-effort by design: the next newline is *assumed* to end the
+    /// garbage (well-formed payloads in this protocol never contain raw
+    /// newlines), and everything up to it is discarded silently.
+    fn resync(&mut self, reason: &str) -> FrameEvent {
+        self.skipping = true;
+        self.discard_to_newline();
+        FrameEvent::Bad(reason.to_owned())
+    }
+
+    fn discard_to_newline(&mut self) {
+        match self.buf.iter().position(|&b| b == b'\n') {
+            Some(nl) => {
+                self.buf.drain(..=nl);
+                self.skipping = false;
+            }
+            None => self.buf.clear(), // garbage: drop it, stay in resync
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(d: &mut FrameDecoder) -> Vec<FrameEvent> {
+        std::iter::from_fn(|| d.next_event()).collect()
+    }
+
+    #[test]
+    fn round_trips_frames_across_arbitrary_chunk_boundaries() {
+        let payloads = ["{}", "{\"op\":\"ping\"}", "", "x"];
+        let wire: Vec<u8> = payloads.iter().flat_map(|p| encode(p)).collect();
+        for chunk in 1..=wire.len() {
+            let mut d = FrameDecoder::new(1024);
+            let mut got = Vec::new();
+            for piece in wire.chunks(chunk) {
+                d.push(piece);
+                got.extend(drain(&mut d));
+            }
+            let want: Vec<FrameEvent> = payloads
+                .iter()
+                .map(|p| FrameEvent::Frame((*p).to_owned()))
+                .collect();
+            assert_eq!(got, want, "chunk size {chunk}");
+            assert_eq!(d.buffered(), 0);
+        }
+    }
+
+    #[test]
+    fn a_malformed_prefix_costs_one_error_and_resyncs_at_newline() {
+        let mut d = FrameDecoder::new(1024);
+        d.push(b"garbage with no colon\n");
+        d.push(&encode("{\"ok\":true}"));
+        let events = drain(&mut d);
+        assert_eq!(events.len(), 2);
+        assert!(matches!(events[0], FrameEvent::Bad(_)));
+        assert_eq!(events[1], FrameEvent::Frame("{\"ok\":true}".to_owned()));
+    }
+
+    #[test]
+    fn an_oversized_length_is_refused_before_buffering() {
+        let mut d = FrameDecoder::new(64);
+        d.push(b"99999:");
+        let events = drain(&mut d);
+        assert_eq!(events.len(), 1);
+        assert!(
+            matches!(&events[0], FrameEvent::Bad(m) if m.contains("exceeds")),
+            "{events:?}"
+        );
+        // Resync: the payload bytes that follow are discarded, and the
+        // next newline restores framing.
+        d.push(b"lots of payload that never arrives in full\n");
+        assert_eq!(drain(&mut d), vec![]);
+        d.push(&encode("{}"));
+        assert_eq!(drain(&mut d), vec![FrameEvent::Frame("{}".to_owned())]);
+    }
+
+    #[test]
+    fn a_missing_terminator_is_malformed() {
+        let mut d = FrameDecoder::new(1024);
+        d.push(b"2:{}X"); // 'X' where '\n' must be
+        let events = drain(&mut d);
+        assert_eq!(events.len(), 1);
+        assert!(matches!(&events[0], FrameEvent::Bad(m) if m.contains("newline")));
+    }
+
+    #[test]
+    fn trickled_garbage_cannot_grow_the_buffer() {
+        let mut d = FrameDecoder::new(1024);
+        d.push(b"not a frame ");
+        assert!(matches!(d.next_event(), Some(FrameEvent::Bad(_))));
+        for _ in 0..10_000 {
+            d.push(b"junk junk junk ");
+            assert_eq!(d.next_event(), None);
+            assert_eq!(d.buffered(), 0, "resync discards unbounded garbage");
+        }
+    }
+
+    #[test]
+    fn non_utf8_payloads_are_one_error_not_a_desync() {
+        let mut d = FrameDecoder::new(1024);
+        d.push(b"2:\xff\xfe\n");
+        d.push(&encode("{}"));
+        let events = drain(&mut d);
+        assert_eq!(events.len(), 2);
+        assert!(matches!(&events[0], FrameEvent::Bad(m) if m.contains("UTF-8")));
+        assert_eq!(events[1], FrameEvent::Frame("{}".to_owned()));
+    }
+
+    #[test]
+    fn prefix_wider_than_eight_digits_is_malformed() {
+        let mut d = FrameDecoder::new(usize::MAX);
+        d.push(b"123456789:x\n");
+        let events = drain(&mut d);
+        assert_eq!(events.len(), 1);
+        assert!(matches!(events[0], FrameEvent::Bad(_)));
+    }
+}

@@ -1,0 +1,321 @@
+//! The multi-tenant session store: one worker thread per open program.
+//!
+//! An [`AnalysisSession`] borrows its `ProgramExecution`, which is exactly
+//! right for batch serving (the caller owns the program) and exactly wrong
+//! for a long-lived server that opens programs over the wire. The store
+//! resolves this without a scrap of unsafe: each entry is a dedicated
+//! worker *thread* whose closure owns the execution, builds the session
+//! borrowing from its own stack, and serves jobs from an mpsc queue. The
+//! reactor never touches a session — it only routes jobs by program
+//! fingerprint and counts what comes back.
+//!
+//! This shape buys three robustness properties at once:
+//!
+//! * **Panic isolation**: each request runs under `catch_unwind`; a panic
+//!   poisons only that worker's session, which is rebuilt in place from
+//!   the owned execution (caches are lost, correctness is not — a fresh
+//!   session answers every query identically). The request that tripped
+//!   the panic gets an error response, the connection lives on.
+//! * **Bounded admission**: the store holds at most `capacity` programs.
+//!   Opening a new one evicts the least-recently-used entry that has no
+//!   attached connections and no in-flight work; when every entry is
+//!   busy, the open is *rejected* (the caller answers `overloaded` with
+//!   `retry_after_ms`) rather than queued — so store memory is provably
+//!   bounded no matter how many tenants knock.
+//! * **Ordered responses**: one FIFO queue per program means a
+//!   connection's queries come back in submission order, which is what
+//!   makes a network replay byte-comparable to a batch run.
+
+use crate::protocol::{parse_one, render_error};
+use crate::server::{answer_one, Disposition};
+use crate::session::{fingerprint, AnalysisSession, SessionConfig};
+use eo_engine::Budget;
+use eo_model::Trace;
+use eo_obs::json::Value;
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{Receiver, Sender};
+use std::thread::JoinHandle;
+
+/// One unit of work routed to a session worker.
+pub(crate) struct Job {
+    /// The connection awaiting the response.
+    pub conn_id: u64,
+    /// The connection's frame sequence number (1-based), doubling as the
+    /// protocol's `line` position in error responses.
+    pub seq: usize,
+    /// The decoded request document.
+    pub request: Value,
+    /// The budget this request runs under — constructed fresh per request
+    /// by the reactor, which keeps the cancel handle for drain.
+    pub budget: Budget,
+}
+
+/// What a worker sends back to the reactor.
+pub(crate) struct Completion {
+    pub conn_id: u64,
+    pub seq: usize,
+    /// The program whose in-flight counter this completion releases.
+    pub fingerprint: u64,
+    /// The rendered response document (the same bytes `eo serve` emits).
+    pub rendered: String,
+    pub disposition: Disposition,
+    /// The worker panicked on this request and rebuilt its session.
+    pub rebuilt: bool,
+}
+
+/// Outcome of an `open` request.
+pub(crate) enum OpenOutcome {
+    /// The program is resident (now or already); the connection is
+    /// attached.
+    Opened {
+        fingerprint: u64,
+        events: usize,
+        /// False when the open reattached to an already-resident session
+        /// (its caches warm from earlier traffic).
+        fresh: bool,
+    },
+    /// The store is at capacity and every resident program is busy:
+    /// admission control rejects rather than queues.
+    Rejected,
+    /// The submitted program text does not parse or validate.
+    Invalid(String),
+}
+
+struct Entry {
+    jobs: Sender<Job>,
+    join: Option<JoinHandle<()>>,
+    /// Connections currently attached to this program.
+    refcount: usize,
+    /// Requests submitted but not yet completed.
+    inflight: usize,
+    /// Logical clock of the last submit/attach, for LRU eviction.
+    last_used: u64,
+}
+
+/// The store itself. Owned by the reactor thread; all methods are
+/// reactor-side (the workers only see their job queue and the completion
+/// sender).
+pub(crate) struct SessionStore {
+    entries: HashMap<u64, Entry>,
+    capacity: usize,
+    config: SessionConfig,
+    completions: Sender<Completion>,
+    clock: u64,
+    /// Idle sessions evicted to make room (monotonic).
+    pub evictions: u64,
+}
+
+impl SessionStore {
+    pub fn new(capacity: usize, config: SessionConfig, completions: Sender<Completion>) -> Self {
+        SessionStore {
+            entries: HashMap::new(),
+            capacity: capacity.max(1),
+            config,
+            completions,
+            clock: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Resident programs right now (bounded by `capacity` always).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    fn tick(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
+    }
+
+    /// Parses `trace_text`, admits (or rejects) the program, and attaches
+    /// the calling connection to it.
+    pub fn open(&mut self, trace_text: &str) -> OpenOutcome {
+        let trace = match Trace::from_json(trace_text) {
+            Ok(trace) => trace,
+            Err(e) => return OpenOutcome::Invalid(format!("invalid program: {e}")),
+        };
+        let exec = match trace.to_execution() {
+            Ok(exec) => exec,
+            Err(e) => return OpenOutcome::Invalid(format!("invalid program: {e}")),
+        };
+        let fp = fingerprint(&exec);
+        let events = exec.n_events();
+        let tick = self.tick();
+        if let Some(entry) = self.entries.get_mut(&fp) {
+            entry.refcount += 1;
+            entry.last_used = tick;
+            return OpenOutcome::Opened {
+                fingerprint: fp,
+                events,
+                fresh: false,
+            };
+        }
+        if self.entries.len() >= self.capacity && !self.evict_one_idle() {
+            return OpenOutcome::Rejected;
+        }
+        let (tx, rx) = std::sync::mpsc::channel::<Job>();
+        let completions = self.completions.clone();
+        let config = self.config.clone();
+        let join = std::thread::Builder::new()
+            .name(format!("eo-session-{fp:016x}"))
+            .spawn(move || worker_loop(exec, fp, config, rx, completions))
+            .expect("spawning a session worker");
+        self.entries.insert(
+            fp,
+            Entry {
+                jobs: tx,
+                join: Some(join),
+                refcount: 1,
+                inflight: 0,
+                last_used: tick,
+            },
+        );
+        OpenOutcome::Opened {
+            fingerprint: fp,
+            events,
+            fresh: true,
+        }
+    }
+
+    /// Detaches a connection (on close or re-open). The session stays
+    /// resident — warm caches are the point — until LRU pressure evicts
+    /// it.
+    pub fn detach(&mut self, fp: u64) {
+        if let Some(entry) = self.entries.get_mut(&fp) {
+            entry.refcount = entry.refcount.saturating_sub(1);
+        }
+    }
+
+    /// In-flight requests for one program (the per-tenant quota measure).
+    pub fn inflight(&self, fp: u64) -> usize {
+        self.entries.get(&fp).map_or(0, |e| e.inflight)
+    }
+
+    /// Routes a job to its program's worker. `false` means the worker is
+    /// gone (it died outside the per-request panic guard, or the program
+    /// was never opened) and the caller owes the client an error itself.
+    pub fn submit(&mut self, fp: u64, job: Job) -> bool {
+        let tick = self.tick();
+        match self.entries.get_mut(&fp) {
+            None => false,
+            Some(entry) => {
+                if entry.jobs.send(job).is_err() {
+                    return false;
+                }
+                entry.inflight += 1;
+                entry.last_used = tick;
+                true
+            }
+        }
+    }
+
+    /// Releases one in-flight slot (called per completion, whether or not
+    /// the destination connection still exists).
+    pub fn complete(&mut self, fp: u64) {
+        if let Some(entry) = self.entries.get_mut(&fp) {
+            entry.inflight = entry.inflight.saturating_sub(1);
+        }
+    }
+
+    /// Evicts the least-recently-used entry with no attachments and no
+    /// in-flight work. Returns whether anything could be evicted.
+    fn evict_one_idle(&mut self) -> bool {
+        let victim = self
+            .entries
+            .iter()
+            .filter(|(_, e)| e.refcount == 0 && e.inflight == 0)
+            .min_by_key(|(_, e)| e.last_used)
+            .map(|(&fp, _)| fp);
+        match victim {
+            None => false,
+            Some(fp) => {
+                if let Some(mut entry) = self.entries.remove(&fp) {
+                    // Dropping the sender ends the worker's recv loop; it
+                    // is idle (inflight == 0), so the join is prompt.
+                    drop(entry.jobs);
+                    if let Some(join) = entry.join.take() {
+                        let _ = join.join();
+                    }
+                }
+                self.evictions += 1;
+                true
+            }
+        }
+    }
+
+    /// Shuts every worker down and joins them. Called once at the end of
+    /// drain; outstanding jobs still produce completions first (the
+    /// channel is drained before the sender drops).
+    pub fn shutdown(&mut self) {
+        let entries: Vec<Entry> = self.entries.drain().map(|(_, e)| e).collect();
+        // Drop all senders first so every worker sees the hangup...
+        let joins: Vec<JoinHandle<()>> = entries
+            .into_iter()
+            .filter_map(|mut e| {
+                drop(e.jobs);
+                e.join.take()
+            })
+            .collect();
+        // ...then join them (any in-flight request finishes under its
+        // budget, whose cancel flag drain has already raised if the
+        // deadline passed).
+        for join in joins {
+            let _ = join.join();
+        }
+    }
+}
+
+/// The worker body: owns the execution, serves jobs until hangup.
+fn worker_loop(
+    exec: eo_model::ProgramExecution,
+    fp: u64,
+    config: SessionConfig,
+    jobs: Receiver<Job>,
+    completions: Sender<Completion>,
+) {
+    let mut session = AnalysisSession::with_config(&exec, config.clone());
+    while let Ok(job) = jobs.recv() {
+        let parsed = parse_one(&exec, &job.request, Some(job.seq));
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            // Deterministic worker-panic hook for the robustness tests:
+            // only compiled under the test-only feature, and it panics
+            // *inside* the guard so the rebuild path is what recovers.
+            #[cfg(feature = "fault-injection")]
+            if job.request.get("op").and_then(Value::as_str) == Some("__fault_panic") {
+                panic!("fault injection: __fault_panic op");
+            }
+            session.set_budget(job.budget.clone());
+            answer_one(&mut session, &parsed)
+        }));
+        let (rendered, disposition, rebuilt) = match outcome {
+            Ok((rendered, disposition)) => (rendered, disposition, false),
+            Err(_) => {
+                // The session's internal state is suspect after a panic:
+                // rebuild it from the owned execution. Everything cached
+                // was derived and is re-derivable; no other tenant shared
+                // this session, so nobody else observes the reset.
+                session = AnalysisSession::with_config(&exec, config.clone());
+                (
+                    render_error(
+                        &parsed.id,
+                        "internal error: analysis worker panicked; session rebuilt",
+                    ),
+                    Disposition::Error,
+                    true,
+                )
+            }
+        };
+        let sent = completions.send(Completion {
+            conn_id: job.conn_id,
+            seq: job.seq,
+            fingerprint: fp,
+            rendered,
+            disposition,
+            rebuilt,
+        });
+        if sent.is_err() {
+            return; // reactor is gone; nothing left to serve
+        }
+    }
+}

@@ -59,45 +59,64 @@ pub struct ParsedRequest {
     pub id: Option<Value>,
     /// The operation, or why the request line was rejected.
     pub op: Result<ServeOp, String>,
+    /// Where the request came from in its batch: the 1-based input line
+    /// for NDJSON streams, the 1-based entry index for `--batch` arrays.
+    /// Error responses echo it (`"line"`) so a client staring at a
+    /// malformed batch knows *which* line to fix; exact responses don't
+    /// carry it (the `id` echo already correlates those).
+    pub line: Option<usize>,
 }
 
 /// Parses a request stream: newline-delimited JSON objects, or a single
 /// JSON array of request objects. Blank lines are skipped. Malformed
-/// entries become `Err` items (one response is still owed per request),
-/// never a whole-batch failure.
+/// entries become `Err` items (one response is still owed per request,
+/// carrying the offending line number), never a whole-batch failure —
+/// requests after a malformed line are still parsed and answered.
 pub fn parse_requests(exec: &ProgramExecution, input: &str) -> Vec<ParsedRequest> {
     let trimmed = input.trim_start();
     if trimmed.starts_with('[') {
         return match json::parse(trimmed) {
-            Ok(Value::Arr(items)) => items.iter().map(|v| parse_one(exec, v)).collect(),
+            Ok(Value::Arr(items)) => items
+                .iter()
+                .enumerate()
+                .map(|(i, v)| parse_one(exec, v, Some(i + 1)))
+                .collect(),
             Ok(_) => vec![ParsedRequest {
                 id: None,
                 op: Err("batch file must be a JSON array of request objects".to_owned()),
+                line: Some(1),
             }],
             Err(e) => vec![ParsedRequest {
                 id: None,
                 op: Err(format!("invalid batch JSON: {e}")),
+                line: Some(1),
             }],
         };
     }
     input
         .lines()
-        .filter(|line| !line.trim().is_empty())
-        .map(|line| match json::parse(line) {
-            Ok(v) => parse_one(exec, &v),
+        .enumerate()
+        .filter(|(_, line)| !line.trim().is_empty())
+        .map(|(i, line)| match json::parse(line) {
+            Ok(v) => parse_one(exec, &v, Some(i + 1)),
             Err(e) => ParsedRequest {
                 id: None,
                 op: Err(format!("invalid request JSON: {e}")),
+                line: Some(i + 1),
             },
         })
         .collect()
 }
 
-fn parse_one(exec: &ProgramExecution, v: &Value) -> ParsedRequest {
+/// Parses one request value (already JSON-decoded) with its batch
+/// position. The network server uses this directly: each frame is one
+/// request, and `line` is the connection's frame sequence number.
+pub fn parse_one(exec: &ProgramExecution, v: &Value, line: Option<usize>) -> ParsedRequest {
     let id = v.get("id").cloned();
     ParsedRequest {
         id,
         op: parse_op(exec, v),
+        line,
     }
 }
 
@@ -274,7 +293,20 @@ pub fn render_degraded(id: &Option<Value>, op: &str, error: &EngineError) -> Str
 /// Renders a request-level error response (malformed request, unknown
 /// event, worker failure).
 pub fn render_error(id: &Option<Value>, message: &str) -> String {
+    render_error_at(id, message, None)
+}
+
+/// [`render_error`] with the offending batch position: parse failures
+/// carry the 1-based input line (NDJSON) or entry index (`--batch`
+/// array) as `"line"`, so `status:"error"` responses are attributable
+/// even when the malformed line had no parseable `id`. The field is
+/// additive — responses without a known position render exactly as
+/// before.
+pub fn render_error_at(id: &Option<Value>, message: &str, line: Option<usize>) -> String {
     let mut fields = base_fields(id, "error", "error");
+    if let Some(n) = line {
+        fields.push(("line".to_owned(), Value::Num(n as f64)));
+    }
     fields.push(("error".to_owned(), Value::Str(message.to_owned())));
     Value::Obj(fields).to_json()
 }
@@ -323,6 +355,38 @@ mod tests {
             .op
             .as_ref()
             .is_err_and(|e| e.contains("out of range")));
+    }
+
+    #[test]
+    fn parse_positions_point_at_the_offending_input_line() {
+        let exec = figure1();
+        // The blank first line still counts: positions are raw 1-based
+        // input lines, exactly what an editor shows.
+        let input = "\n{\"id\": 1, \"op\": \"mhb\", \"a\": 0, \"b\": 1}\n\
+                     not json\n\
+                     \n\
+                     {\"op\": \"nope\"}\n";
+        let reqs = parse_requests(&exec, input);
+        assert_eq!(reqs.len(), 3);
+        assert_eq!(reqs[0].line, Some(2));
+        assert_eq!(reqs[1].line, Some(3));
+        assert_eq!(reqs[2].line, Some(5));
+
+        let array = parse_requests(&exec, r#"[{"op": "summary"}, {"op": "nope"}]"#);
+        assert_eq!(array[0].line, Some(1), "array entries are 1-based indices");
+        assert_eq!(array[1].line, Some(2));
+
+        let rendered = render_error_at(&None, "bad", Some(3));
+        let v = eo_obs::json::parse(&rendered).expect("valid JSON");
+        assert_eq!(v.get("line").and_then(Value::as_i64), Some(3));
+        let plain = render_error(&None, "bad");
+        assert!(
+            eo_obs::json::parse(&plain)
+                .expect("valid JSON")
+                .get("line")
+                .is_none(),
+            "positionless errors render exactly as before"
+        );
     }
 
     #[test]

@@ -12,8 +12,8 @@
 //! `--timeout` stops every worker, exactly like the one-shot CLI paths.
 
 use crate::protocol::{
-    parse_requests, render_degraded, render_error, render_races, render_reply, ParsedRequest,
-    ServeOp,
+    parse_requests, render_degraded, render_error, render_error_at, render_races, render_reply,
+    ParsedRequest, ServeOp,
 };
 use crate::session::{AnalysisSession, SessionConfig, SessionStats};
 use eo_engine::run_tasks;
@@ -113,15 +113,32 @@ pub fn serve_requests(
     outcome
 }
 
-enum Disposition {
+/// How a request was answered; the network layer counts these per class.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Disposition {
     Exact,
     Degraded,
     Error,
 }
 
-fn answer_one(session: &mut AnalysisSession<'_>, request: &ParsedRequest) -> (String, Disposition) {
+/// Answers one parsed request against a session. This is the single
+/// render path for both `eo serve` and the network server — sharing it is
+/// what makes the network responses bit-identical to batch responses by
+/// construction rather than by testing alone.
+pub(crate) fn answer_one(
+    session: &mut AnalysisSession<'_>,
+    request: &ParsedRequest,
+) -> (String, Disposition) {
     let op = match &request.op {
-        Err(message) => return (render_error(&request.id, message), Disposition::Error),
+        Err(message) => {
+            // A malformed line is a *parse* failure, not a degradation:
+            // it gets its own status:"error" response pinpointing the
+            // offending input line, and the batch keeps going.
+            return (
+                render_error_at(&request.id, message, request.line),
+                Disposition::Error,
+            );
+        }
         Ok(op) => *op,
     };
     match op {
@@ -226,6 +243,32 @@ mod tests {
         );
         assert_eq!(out.stats.queries, 2);
         assert_eq!(out.stats.cache_hits, 1);
+    }
+
+    #[test]
+    fn a_malformed_line_reports_its_position_and_later_lines_still_answer() {
+        let exec = figure1();
+        let input = "{\"id\": 1, \"op\": \"mhb\", \"a\": 0, \"b\": 1}\n\
+                     this is not json\n\
+                     {\"id\": 3, \"op\": \"ccw\", \"a\": 0, \"b\": 1}\n";
+        let out = serve_batch(&exec, input, &ServeConfig::default());
+        assert_eq!(out.responses.len(), 3, "one response per input line");
+        let bad = json::parse(&out.responses[1]).expect("valid JSON");
+        assert_eq!(bad.get("status").and_then(Value::as_str), Some("error"));
+        assert_eq!(
+            bad.get("line").and_then(Value::as_i64),
+            Some(2),
+            "the error response names the offending input line"
+        );
+        let after = json::parse(&out.responses[2]).expect("valid JSON");
+        assert_eq!(
+            after.get("status").and_then(Value::as_str),
+            Some("exact"),
+            "lines after the malformed one are still answered"
+        );
+        assert_eq!(after.get("id").and_then(Value::as_i64), Some(3));
+        let ok = json::parse(&out.responses[0]).expect("valid JSON");
+        assert!(ok.get("line").is_none(), "exact responses carry no line");
     }
 
     #[test]

@@ -14,8 +14,8 @@
 use crate::cache::{FactKind, FactStore, WitnessCache};
 use eo_approx::{SafeOrderings, TaskGraph};
 use eo_engine::{
-    Answer, EngineError, EngineOptions, ExactEngine, FeasibilityMode, OrderingSummary, Query,
-    QueryMemo, Response, SearchCtx,
+    Answer, Budget, EngineError, EngineOptions, ExactEngine, FeasibilityMode, OrderingSummary,
+    Query, QueryMemo, Response, SearchCtx,
 };
 use eo_model::{EventId, ProgramExecution};
 use eo_race::Race;
@@ -186,6 +186,26 @@ impl<'e> AnalysisSession<'e> {
     /// Counters so far.
     pub fn stats(&self) -> SessionStats {
         self.stats
+    }
+
+    /// Replaces the budget every subsequent query runs under, leaving all
+    /// caches and interned state intact. Long-lived sessions need this:
+    /// a [`Budget`] deadline is absolute from construction and its cancel
+    /// flag is sticky, so a server that kept the opening budget would
+    /// eventually degrade every query. Renewing per request restores the
+    /// one-shot contract — each query sees a fresh clock — without
+    /// rebuilding the session.
+    pub fn set_budget(&mut self, budget: Budget) {
+        // `Query::Summary` builds a one-shot engine from these options, so
+        // they must carry the renewed budget too.
+        self.config.engine.budget = Some(budget);
+        // The memos take the *resolved* budget (unset caps filled from the
+        // engine limits), exactly as construction does.
+        let effective = self.config.engine.effective_budget();
+        self.memo.set_budget(effective.clone());
+        if let Some(memo) = &mut self.race_memo {
+            memo.set_budget(effective);
+        }
     }
 
     /// States interned in the session's main state arena so far.

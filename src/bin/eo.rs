@@ -23,9 +23,12 @@
 //!
 //! `analyze` runs under a supervisor budget: `--timeout`, `--max-mem` and
 //! `--max-states` bound the exact passes, and when a bound is hit the
-//! command prints the sound degraded report instead of failing. Exit
-//! codes: **0** exact answer, **2** degraded answer, **3** budget
-//! exceeded with `--no-degrade`, **1** usage or input errors.
+//! command prints the sound degraded report instead of failing. `^C` (or
+//! SIGTERM) cancels the same way: the engine stops at its next budget
+//! checkpoint and the command prints the degraded report for whatever
+//! was explored so far. Exit codes: **0** exact answer, **2** degraded
+//! answer (including interruption), **3** budget exceeded with
+//! `--no-degrade`, **1** usage or input errors.
 //!
 //! `--trace-out` writes a Chrome-trace JSON of the engine's spans,
 //! `--metrics-out` a flat metrics JSON, and `--profile` prints the top
@@ -404,6 +407,12 @@ fn analyze(args: &[String]) -> ExitCode {
     if let Some(n) = max_states {
         budget = budget.with_max_states(n as usize);
     }
+    // ^C / SIGTERM raise the budget's cancel flag; the supervisor notices
+    // at its next checkpoint and the run finishes as a *sound degraded
+    // report* (exit 2, reason `cancelled`) instead of a killed process.
+    // The guard keeps the poller alive across the whole analysis.
+    let cancel = budget.cancel_handle();
+    let _signal_watch = eo_signal::watch(move || cancel.cancel());
     let engine = ExactEngine::with_mode(&exec, mode)
         .with_budget(budget)
         .with_equiv(equiv);

@@ -1,0 +1,64 @@
+//! The interruption contract of `eo analyze`: ^C (SIGINT) or SIGTERM
+//! mid-analysis must produce the *sound degraded report* with reason
+//! `cancelled` and exit code 2 — never a killed process, never a
+//! corrupted or missing answer.
+
+#![cfg(unix)]
+
+use std::process::{Command, Stdio};
+use std::time::Duration;
+
+#[path = "support/mod.rs"]
+mod support;
+use support::slow_trace_json;
+
+#[test]
+fn sigint_mid_analysis_yields_a_sound_degraded_report_and_exit_2() {
+    let trace_path = std::env::temp_dir().join(format!(
+        "eo-analyze-interrupt-{}.trace.json",
+        std::process::id()
+    ));
+    std::fs::write(&trace_path, slow_trace_json()).expect("writing trace fixture");
+
+    let child = Command::new(env!("CARGO_BIN_EXE_eo"))
+        .arg("analyze")
+        .arg(&trace_path)
+        .args(["--ignore-deps", "--json"])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawning eo analyze");
+
+    // Let the run get past argument parsing and into exploration (the
+    // handler is installed before the engine starts, so any point after
+    // spawn is safe — the sleep just makes "mid-analysis" true).
+    std::thread::sleep(Duration::from_millis(600));
+    let status = Command::new("kill")
+        .args(["-INT", &child.id().to_string()])
+        .status()
+        .expect("running kill");
+    assert!(status.success(), "kill -INT failed");
+
+    let out = child.wait_with_output().expect("waiting for eo analyze");
+    let _ = std::fs::remove_file(&trace_path);
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "interrupted analyze must exit 2 (a degraded answer), not die on the signal; stdout: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    let stdout = String::from_utf8(out.stdout).expect("utf-8 stdout");
+    let report = stdout
+        .lines()
+        .last()
+        .expect("a report line on stdout")
+        .to_owned();
+    assert!(
+        report.contains(r#""status":"degraded""#),
+        "expected a degraded report, got: {report}"
+    );
+    assert!(
+        report.contains(r#""reason":{"kind":"cancelled"}"#),
+        "expected reason `cancelled`, got: {report}"
+    );
+}

@@ -1,0 +1,241 @@
+//! Binary-level tests for `eo-server`: boot the real binary, speak the
+//! frame protocol over real TCP, and pin the two contracts the network
+//! layer exists for — byte-identity with `eo serve` on a replayed batch,
+//! and graceful drain on SIGTERM (exit 0, every accepted request
+//! answered).
+
+#![cfg(unix)]
+
+use eo_obs::json::Value;
+use eo_serve::NetClient;
+use std::net::SocketAddr;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+#[path = "support/mod.rs"]
+mod support;
+use support::slow_trace_json;
+
+/// A running `eo-server` process, killed on drop if the test didn't
+/// already shut it down.
+struct ServerProc {
+    child: Child,
+    addr: SocketAddr,
+}
+
+impl ServerProc {
+    /// Spawns the binary with `--port-file` discovery and waits for it to
+    /// listen.
+    fn start(name: &str, extra_args: &[&str]) -> ServerProc {
+        let port_file = std::env::temp_dir().join(format!(
+            "eo-server-test-{}-{}.port",
+            std::process::id(),
+            name
+        ));
+        let _ = std::fs::remove_file(&port_file);
+        // Capture the server's stderr to a temp file instead of nulling
+        // it: when an assertion below trips, the server's own drain
+        // summary (or panic) is the difference between a diagnosis and a
+        // mystery.
+        let stderr_file = std::fs::File::create(std::env::temp_dir().join(format!(
+            "eo-server-stderr-{}-{}.log",
+            std::process::id(),
+            name
+        )))
+        .expect("stderr capture file");
+        let child = Command::new(env!("CARGO_BIN_EXE_eo-server"))
+            .arg("--port-file")
+            .arg(&port_file)
+            .args(extra_args)
+            .env("RUST_BACKTRACE", "1")
+            .stdout(Stdio::null())
+            .stderr(stderr_file)
+            .spawn()
+            .expect("spawning eo-server");
+        let deadline = Instant::now() + Duration::from_secs(20);
+        let addr = loop {
+            if let Ok(text) = std::fs::read_to_string(&port_file) {
+                if let Ok(addr) = text.trim().parse::<SocketAddr>() {
+                    break addr;
+                }
+            }
+            assert!(
+                Instant::now() < deadline,
+                "eo-server never wrote its port file"
+            );
+            std::thread::sleep(Duration::from_millis(10));
+        };
+        let _ = std::fs::remove_file(&port_file);
+        ServerProc { child, addr }
+    }
+
+    fn signal(&self, sig: &str) {
+        let status = Command::new("kill")
+            .args([sig, &self.child.id().to_string()])
+            .status()
+            .expect("running kill");
+        assert!(status.success(), "kill {sig} failed");
+    }
+}
+
+impl Drop for ServerProc {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+fn status_of(doc: &str) -> String {
+    eo_obs::json::parse(doc)
+        .ok()
+        .and_then(|v| v.get("status").and_then(Value::as_str).map(str::to_owned))
+        .unwrap_or_else(|| format!("unparseable: {doc}"))
+}
+
+#[test]
+fn tcp_replay_of_the_committed_batch_matches_the_stdin_golden() {
+    let server = ServerProc::start("replay", &[]);
+    let trace = std::fs::read_to_string("testdata/figure1.trace.json").expect("trace fixture");
+    let batch = std::fs::read_to_string("testdata/serve_batch_50.json").expect("batch fixture");
+    let golden =
+        std::fs::read_to_string("testdata/serve_batch_50.golden.ndjson").expect("golden fixture");
+
+    let mut client = NetClient::connect(server.addr).expect("connect");
+    let opened = client.open(&trace).expect("open response");
+    assert_eq!(status_of(&opened), "ok", "open failed: {opened}");
+
+    // Replay the committed batch, pipelined, exactly as CI replays it on
+    // stdin — the responses must be the same bytes in the same order.
+    let Value::Arr(requests) = eo_obs::json::parse(&batch).expect("batch parses") else {
+        panic!("batch fixture is not a JSON array");
+    };
+    let n = requests.len();
+    for request in &requests {
+        client.send(&request.to_json()).expect("send request");
+    }
+    let responses: Vec<String> = (0..n).map(|_| client.recv().expect("response")).collect();
+
+    for (i, (got, want)) in responses.iter().zip(golden.lines()).enumerate() {
+        assert_eq!(
+            got,
+            want,
+            "response {} over TCP diverges from the stdin golden",
+            i + 1
+        );
+    }
+    assert_eq!(responses.len(), golden.lines().count());
+
+    // Shut down gracefully and insist on the exit-0 contract even for
+    // the happy path.
+    server.signal("-TERM");
+    let mut server = server;
+    let status = server.child.wait().expect("waiting for eo-server");
+    assert_eq!(status.code(), Some(0), "graceful drain must exit 0");
+}
+
+#[test]
+fn sigterm_mid_batch_drains_gracefully_and_answers_every_accepted_request() {
+    // A roomy drain deadline: the test asserts the *clean* path where all
+    // in-flight work finishes.
+    let server = ServerProc::start("drain", &["--drain-deadline-ms", "20000"]);
+    let trace = std::fs::read_to_string("testdata/figure1.trace.json").expect("trace fixture");
+
+    let mut client =
+        NetClient::connect_with_timeout(server.addr, Duration::from_secs(30)).expect("connect");
+    let opened = client.open(&trace).expect("open response");
+    assert_eq!(status_of(&opened), "ok", "open failed: {opened}");
+
+    // Pipeline a burst of queries, then a ping barrier: pings are
+    // answered inline at read time in frame order, so the pong proves
+    // every query before it was read and routed — i.e. *accepted*.
+    let queries = 32usize;
+    for i in 0..queries {
+        let (a, b) = (i % 7, (i * 3 + 1) % 7);
+        client
+            .send(&format!(r#"{{"id":{i},"op":"mhb","a":{a},"b":{b}}}"#))
+            .expect("send query");
+    }
+    client
+        .send(r#"{"id":"sync","op":"ping"}"#)
+        .expect("send barrier ping");
+    let mut answered = 0usize;
+    loop {
+        let doc = client.recv().expect("response before barrier");
+        let v = eo_obs::json::parse(&doc).expect("response parses");
+        if v.get("op").and_then(Value::as_str) == Some("ping") {
+            break;
+        }
+        answered += 1;
+    }
+
+    // Mid-batch: some of the 32 queries are typically still in flight
+    // when the signal lands. The drain contract: exit 0, and every
+    // accepted query still gets exactly one response before EOF.
+    server.signal("-TERM");
+    loop {
+        match client.recv() {
+            Ok(doc) => {
+                let v = eo_obs::json::parse(&doc).expect("response parses");
+                assert_ne!(v.get("op").and_then(Value::as_str), Some("ping"));
+                answered += 1;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => break,
+            Err(e) => panic!("reading drain responses: {e}"),
+        }
+    }
+    assert_eq!(
+        answered, queries,
+        "drain must answer every accepted request exactly once"
+    );
+
+    let mut server = server;
+    let status = server.child.wait().expect("waiting for eo-server");
+    assert_eq!(status.code(), Some(0), "graceful drain must exit 0");
+}
+
+#[test]
+fn a_second_signal_exits_immediately_with_130() {
+    // Park a genuinely slow query in flight (the shared slow trace under
+    // `--ignore-deps` runs for minutes in a debug build), with a drain
+    // deadline and a query deadline both far beyond the test: the first
+    // signal starts a drain that cannot finish, the second must hard-exit
+    // with 130 instead of waiting it out.
+    let server = ServerProc::start(
+        "second-signal",
+        &[
+            "--ignore-deps",
+            "--no-prefilter",
+            "--no-cache",
+            "--drain-deadline-ms",
+            "600000",
+            "--timeout",
+            "600000",
+        ],
+    );
+    let mut client = NetClient::connect(server.addr).expect("connect");
+    let opened = client.open(&slow_trace_json()).expect("open response");
+    assert_eq!(status_of(&opened), "ok", "open failed: {opened}");
+    // `summary` forces full schedule enumeration — many seconds of work
+    // on this trace even in a release build.
+    client
+        .send(r#"{"id":1,"op":"summary"}"#)
+        .expect("send slow query");
+    // The ping barrier proves the slow query was read and routed before
+    // the signals land.
+    client
+        .send(r#"{"id":"sync","op":"ping"}"#)
+        .expect("send barrier ping");
+    let pong = client.recv().expect("pong");
+    assert_eq!(status_of(&pong), "ok");
+
+    server.signal("-TERM");
+    std::thread::sleep(Duration::from_millis(300));
+    server.signal("-TERM");
+    let mut server = server;
+    let status = server.child.wait().expect("waiting for eo-server");
+    assert_eq!(
+        status.code(),
+        Some(130),
+        "an impatient second signal must hard-exit with 130"
+    );
+}
