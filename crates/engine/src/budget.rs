@@ -129,6 +129,33 @@ impl Budget {
         CancelHandle(Arc::clone(&self.cancel))
     }
 
+    /// A per-request renewal of this budget: the same resource caps
+    /// (states, schedules, heap bytes) under a fresh unraised cancel flag
+    /// and no deadline — callers arm a new deadline per request.
+    ///
+    /// An ordinary `clone` is the wrong tool for a server: clones share
+    /// the cancel flag (cancelling one request would cancel every other
+    /// request and, since the flag is sticky, every future one too) and
+    /// keep the original's absolute deadline. `renewed` is what lets a
+    /// long-lived service hold one operator-configured budget and mint an
+    /// independent per-request budget from it without losing the caps.
+    pub fn renewed(&self) -> Budget {
+        Budget {
+            deadline: None,
+            deadline_ms: 0,
+            max_states: self.max_states,
+            max_schedules: self.max_schedules,
+            max_heap_bytes: self.max_heap_bytes,
+            cancel: Arc::new(AtomicBool::new(false)),
+            #[cfg(feature = "fault-injection")]
+            ticks: Arc::new(AtomicU64::new(0)),
+            #[cfg(feature = "fault-injection")]
+            worker_ticks: Arc::new(AtomicU64::new(0)),
+            #[cfg(feature = "fault-injection")]
+            fault: self.fault.clone(),
+        }
+    }
+
     /// Fills caps the budget leaves unset from the engine's [`Limits`]
     /// defaults (a budget cap always wins).
     ///
@@ -293,6 +320,32 @@ mod tests {
     fn zero_deadline_trips_immediately() {
         let b = Budget::unlimited().with_deadline(Duration::ZERO);
         assert_eq!(b.check(0), Err(EngineError::DeadlineExceeded { ms: 0 }));
+    }
+
+    #[test]
+    fn renewed_keeps_caps_but_not_cancel_or_deadline() {
+        let original = Budget::unlimited()
+            .with_max_states(7)
+            .with_max_schedules(11)
+            .with_max_heap_bytes(1024);
+        // Caps survive the renewal, and the flags are independent both
+        // ways: cancelling a renewal leaves the original untouched...
+        let renewed = original.renewed();
+        assert_eq!(renewed.max_states(), Some(7));
+        assert_eq!(renewed.schedules_cap(), 11);
+        assert_eq!(renewed.max_heap_bytes(), Some(1024));
+        renewed.cancel_handle().cancel();
+        assert_eq!(renewed.check(0), Err(EngineError::Cancelled));
+        assert_eq!(original.check(0), Ok(()));
+        // ...and renewing a cancelled, deadline-expired budget starts
+        // clean (fresh flag, no deadline) with the caps intact.
+        original.cancel_handle().cancel();
+        let expired = original.with_deadline(Duration::ZERO);
+        assert!(expired.check(0).is_err());
+        let fresh = expired.renewed();
+        assert_eq!(fresh.check(0), Ok(()));
+        assert_eq!(fresh.max_states(), Some(7));
+        assert_eq!(fresh.headroom_ms(), None);
     }
 
     #[test]

@@ -96,6 +96,15 @@ impl Conn {
         self.outq.is_empty()
     }
 
+    /// Whether the reactor has stopped reading this connection: at the
+    /// in-flight cap or over the write-queue high watermark. Shared by
+    /// the read sweep (which skips such connections) and the timeout
+    /// sweep (whose slowloris clock must not run while we are the ones
+    /// refusing to read).
+    pub fn backpressured(&self, per_conn_inflight: usize, write_high_watermark: usize) -> bool {
+        self.inflight >= per_conn_inflight || self.queued_bytes() >= write_high_watermark
+    }
+
     /// Enqueues one encoded frame; returns how many frames were shed to
     /// keep the queue at or under `max_queue` frames.
     pub fn enqueue(&mut self, bytes: Vec<u8>, droppable: bool, max_queue: usize) -> u64 {

@@ -292,7 +292,7 @@ impl Reactor {
                 progress |= self.sweep_reads(&mut buf, now);
             }
             progress |= self.sweep_writes(now);
-            self.sweep_timeouts(now);
+            self.sweep_timeouts(now, matches!(phase, Phase::Serving));
 
             if let Phase::Draining {
                 since,
@@ -410,7 +410,7 @@ impl Reactor {
             };
             let mut alive = true;
             let backpressured = |c: &Conn, cfg: &ServerConfig| {
-                c.inflight >= cfg.per_conn_inflight || c.queued_bytes() >= cfg.write_high_watermark
+                c.backpressured(cfg.per_conn_inflight, cfg.write_high_watermark)
             };
             if !conn.read_closed && !backpressured(&conn, &self.config) {
                 // A few reads per sweep per connection: drains fast
@@ -473,23 +473,41 @@ impl Reactor {
         progress
     }
 
-    fn sweep_timeouts(&mut self, now: Instant) {
+    /// `reading` is whether the reactor is in its serving phase at all
+    /// (drain stops reading every connection).
+    fn sweep_timeouts(&mut self, now: Instant, reading: bool) {
         let cfg = &self.config;
-        let expired: Vec<u64> = self
-            .conns
-            .iter()
-            .filter(|(_, c)| {
-                let since = |t: Instant| now.saturating_duration_since(t);
-                let stalled_writer = !c.is_flushed() && since(c.last_write) > cfg.write_timeout;
-                let slowloris = c.decoder.buffered() > 0 && since(c.last_frame) > cfg.read_timeout;
-                let idle = c.is_flushed()
-                    && c.inflight == 0
-                    && c.decoder.buffered() == 0
-                    && since(c.last_read) > cfg.idle_timeout;
-                stalled_writer || slowloris || idle
-            })
-            .map(|(&id, _)| id)
-            .collect();
+        let (read_timeout, write_timeout, idle_timeout) =
+            (cfg.read_timeout, cfg.write_timeout, cfg.idle_timeout);
+        let (per_conn_inflight, write_high_watermark) =
+            (cfg.per_conn_inflight, cfg.write_high_watermark);
+        let mut expired: Vec<u64> = Vec::new();
+        for (&id, c) in self.conns.iter_mut() {
+            let since = |t: Instant| now.saturating_duration_since(t);
+            let stalled_writer = !c.is_flushed() && since(c.last_write) > write_timeout;
+            // The slowloris clock only runs while the reactor is actually
+            // willing to read this connection. While *we* are the ones not
+            // reading — backpressure, drain, or a half-closed peer — a
+            // buffered partial frame is not the client's fault, so the
+            // clock is reset instead: once reading resumes the client gets
+            // a full fresh `read_timeout` window to finish the frame.
+            let willing = reading
+                && !c.read_closed
+                && !c.backpressured(per_conn_inflight, write_high_watermark);
+            let slowloris = if willing {
+                c.decoder.buffered() > 0 && since(c.last_frame) > read_timeout
+            } else {
+                c.last_frame = now;
+                false
+            };
+            let idle = c.is_flushed()
+                && c.inflight == 0
+                && c.decoder.buffered() == 0
+                && since(c.last_read) > idle_timeout;
+            if stalled_writer || slowloris || idle {
+                expired.push(id);
+            }
+        }
         for id in expired {
             if let Some(mut conn) = self.conns.remove(&id) {
                 self.report.timeout_kills += 1;
@@ -628,10 +646,21 @@ impl Reactor {
             self.enqueue(conn, &doc, true);
             return;
         }
-        // A fresh budget per request: the deadline clock starts now
-        // (queue wait counts — it is latency the client experiences) and
-        // the cancel handle stays with the reactor for drain/cleanup.
-        let budget = Budget::unlimited().with_deadline_ms(self.config.query_deadline_ms);
+        // A fresh budget per request, renewed from the operator's
+        // configured caps (`--max-mem`/`--max-states` must bound network
+        // queries exactly as they bound `eo serve`): `renewed` keeps the
+        // caps but gives this request its own deadline clock — started
+        // now, because queue wait is latency the client experiences — and
+        // its own cancel handle, which stays with the reactor for
+        // drain/cleanup without being able to cancel anyone else's work.
+        let budget = self
+            .config
+            .session
+            .engine
+            .budget
+            .as_ref()
+            .map_or_else(Budget::unlimited, Budget::renewed)
+            .with_deadline_ms(self.config.query_deadline_ms);
         let cancel = budget.cancel_handle();
         let routed = self.store.submit(
             fp,
@@ -665,10 +694,12 @@ impl Reactor {
     fn publish_obs(&self) {
         let r = &self.report;
         eo_obs::counter!("server.accepted", r.accepted);
+        eo_obs::counter!("server.refused_conns", r.refused_conns);
         eo_obs::counter!("server.frames", r.frames);
         eo_obs::counter!("server.bad_frames", r.bad_frames);
         eo_obs::counter!("server.requests", r.requests);
         eo_obs::counter!("server.responses", r.responses);
+        eo_obs::counter!("server.exact", r.exact);
         eo_obs::counter!("server.degraded", r.degraded);
         eo_obs::counter!("server.errors", r.errors);
         eo_obs::counter!("server.rejected", r.rejected);
@@ -676,6 +707,7 @@ impl Reactor {
         eo_obs::counter!("server.timeout_kills", r.timeout_kills);
         eo_obs::counter!("server.sessions_rebuilt", r.sessions_rebuilt);
         eo_obs::counter!("server.evictions", r.evictions);
+        eo_obs::counter!("server.orphaned", r.orphaned);
         eo_obs::gauge!("server.resident_programs", self.store.len() as i64);
     }
 }

@@ -220,6 +220,40 @@ fn a_zero_quota_tenant_gets_structured_overload_rejections() {
 }
 
 #[test]
+fn configured_engine_caps_bound_network_queries() {
+    // The operator's `--max-states`/`--max-mem` budget lives in
+    // `session.engine.budget`; the per-request budget is renewed from it,
+    // so a cap that would degrade an `eo serve` query must degrade the
+    // same query over the network — not silently run unbounded.
+    let mut config = test_config();
+    config.session.prefilter = false;
+    config.session.static_prefilter = false;
+    config.session.engine.budget = Some(eo_engine::Budget::unlimited().with_max_states(1));
+    let (addr, handle, join) = start(config);
+
+    let mut client = NetClient::connect(addr).expect("connect");
+    assert_eq!(
+        status_of(&client.open(&figure1_json()).expect("open")),
+        "ok"
+    );
+    // Every search-requiring query trips the one-state cap; later
+    // requests still get their own fresh deadline and cancel flag, so
+    // each degrades independently instead of failing harder.
+    for i in 0..3 {
+        let answer = client
+            .request(&format!(r#"{{"id": {i}, "op": "ccw", "a": 2, "b": 5}}"#))
+            .expect("query");
+        assert_eq!(status_of(&answer), "degraded", "{answer}");
+    }
+
+    drop(client);
+    handle.drain();
+    let report = join.join().expect("server thread");
+    assert_eq!(report.degraded, 3);
+    assert_eq!(report.exact, 0);
+}
+
+#[test]
 fn malformed_frames_cost_one_error_each_and_never_the_connection() {
     let (addr, handle, join) = start(test_config());
     let mut client = NetClient::connect(addr).expect("connect");
@@ -289,6 +323,83 @@ fn a_slowloris_connection_is_killed_without_harming_others() {
     handle.drain();
     let report = join.join().expect("server thread");
     assert!(report.timeout_kills >= 1);
+}
+
+#[test]
+fn a_backpressured_connection_is_exempt_from_the_slowloris_clock() {
+    // A pipelining client with a partial frame buffered must not be
+    // killed as a slowloris while the *reactor* is the one refusing to
+    // read (in-flight backpressure): the owed in-flight responses would
+    // be orphaned, breaking the exactly-one-response invariant.
+    let mut config = ServerConfig {
+        per_conn_inflight: 1,
+        read_timeout: Duration::from_millis(100),
+        query_deadline_ms: 250,
+        ..test_config()
+    };
+    config.session.cache = false;
+    config.session.prefilter = false;
+    // A wide program of mutually conflicting events under the
+    // ignore-dependences reading: ~10^48 Mazurkiewicz classes, so a
+    // summary enumeration cannot finish inside the deadline — each query
+    // deterministically occupies the worker for the full 250ms, far past
+    // `read_timeout`.
+    config.session.engine =
+        eo_engine::EngineOptions::with_mode(eo_engine::FeasibilityMode::IgnoreDependences);
+    config.session.engine.budget = Some(eo_engine::Budget::unlimited().with_max_states(1 << 30));
+    let (addr, handle, join) = start(config);
+
+    let mut tb = eo_model::TraceBuilder::new();
+    let shared = tb.variable("shared");
+    for p in 0..10 {
+        let pid = tb.process(&format!("p{p}"));
+        for e in 0..6 {
+            tb.push_full(
+                pid,
+                eo_model::Op::Compute,
+                &[shared],
+                &[shared],
+                Some(&format!("c{p}_{e}")),
+            );
+        }
+    }
+    let big = tb.build().expect("trace is valid").to_value().pretty();
+
+    let mut client =
+        NetClient::connect_with_timeout(addr, Duration::from_secs(30)).expect("connect");
+    assert_eq!(status_of(&client.open(&big).expect("open")), "ok");
+
+    // One write carrying two whole query frames plus the head of a third:
+    // the reactor decodes and routes both queries (going backpressured at
+    // per_conn_inflight = 1) and is left holding the partial frame for
+    // the whole ~500ms the worker needs — several read timeouts.
+    use eo_serve::net::encode;
+    let tail = encode(r#"{"id": "tail", "op": "ping"}"#);
+    let mut burst = encode(r#"{"id": 1, "op": "summary"}"#);
+    burst.extend_from_slice(&encode(r#"{"id": 2, "op": "summary"}"#));
+    burst.extend_from_slice(&tail[..5]);
+    client.send_raw(&burst).expect("send burst");
+
+    for i in 1..=2 {
+        let doc = client
+            .recv()
+            .expect("owed responses survive the stale partial frame");
+        let v = json::parse(&doc).expect("valid JSON");
+        assert_eq!(v.get("id").and_then(Value::as_i64), Some(i));
+        assert_eq!(status_of(&doc), "degraded", "{doc}");
+    }
+    // Backpressure has lifted; finishing the frame now proves the
+    // slowloris clock was reset while we were unreadable, not left to
+    // expire the instant reading resumed.
+    client.send_raw(&tail[5..]).expect("finish the tail frame");
+    let pong = client.recv().expect("tail frame answered");
+    assert_eq!(status_of(&pong), "ok");
+
+    drop(client);
+    handle.drain();
+    let report = join.join().expect("server thread");
+    assert_eq!(report.timeout_kills, 0, "{report:?}");
+    assert_eq!(report.responses, 2);
 }
 
 #[cfg(feature = "fault-injection")]

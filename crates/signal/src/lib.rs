@@ -19,12 +19,15 @@
 //! # The unsafe boundary
 //!
 //! The whole workspace builds with `forbid(unsafe_code)` except this
-//! crate, which is `deny(unsafe_code)` with exactly one scoped `allow`:
-//! the `signal(2)` FFI call below. The handler body is a single relaxed
-//! atomic increment — async-signal-safe by construction — and the
-//! installation is idempotent and race-free (guarded by `Once`). On
-//! non-unix targets installation is a no-op and the flag simply never
-//! fires, so callers need no platform gates of their own.
+//! crate, which is `deny(unsafe_code)` with one scoped `allow`: the
+//! handler-installation FFI below (`sigaction(2)` with `SA_RESTART`
+//! where the struct layout is known — Linux x86_64/aarch64, glibc and
+//! musl agree there — and `signal(2)` as the fallback elsewhere). The
+//! handler body is a single relaxed atomic increment —
+//! async-signal-safe by construction — and the installation is
+//! idempotent and race-free (guarded by `Once`). On non-unix targets
+//! installation is a no-op and the flag simply never fires, so callers
+//! need no platform gates of their own.
 
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
@@ -42,9 +45,18 @@ static INSTALL: Once = Once::new();
 #[cfg(unix)]
 mod imp {
     //! The single unsafe boundary of the workspace: registering an
-    //! async-signal-safe handler via POSIX `signal(2)`. Rust links libc
-    //! on every unix target, so the symbol is always present; no crate
+    //! async-signal-safe handler with the platform. Rust links libc on
+    //! every unix target, so the symbols are always present; no crate
     //! dependency is needed.
+    //!
+    //! Where we can state the ABI confidently — Linux on x86_64/aarch64,
+    //! where glibc and musl lay `struct sigaction` out identically — we
+    //! use `sigaction(2)` with `SA_RESTART`: the handler persists across
+    //! deliveries (so the "second signal hard-exits" contract cannot be
+    //! defeated by System V reset-to-default semantics) and interrupted
+    //! slow syscalls restart instead of surfacing spurious `EINTR`.
+    //! Elsewhere we fall back to `signal(2)`, which already has
+    //! BSD (persistent-handler) semantics on every modern libc.
 
     use std::sync::atomic::Ordering;
 
@@ -59,19 +71,72 @@ mod imp {
         super::SIGNALS.fetch_add(1, Ordering::Relaxed);
     }
 
+    #[cfg(all(
+        target_os = "linux",
+        any(target_arch = "x86_64", target_arch = "aarch64")
+    ))]
+    #[allow(unsafe_code)]
+    pub(super) fn install() {
+        /// Libc's `struct sigaction` as both glibc and musl define it on
+        /// x86_64/aarch64 Linux: handler at 0, a 128-byte `sigset_t`,
+        /// `int` flags, then the (unused without `SA_RESTORER`) restorer
+        /// pointer. `repr(C)` reproduces the padding between the 4-byte
+        /// flags and the 8-aligned restorer.
+        #[repr(C)]
+        struct Sigaction {
+            sa_handler: extern "C" fn(i32),
+            sa_mask: [u64; 16],
+            sa_flags: i32,
+            sa_restorer: usize,
+        }
+        /// Restart interruptible syscalls instead of failing with EINTR
+        /// (Linux value; this constant is arch-independent there).
+        const SA_RESTART: i32 = 0x1000_0000;
+        extern "C" {
+            /// POSIX `sigaction(2)`. The previous action (`oldact`) is
+            /// deliberately not requested: we install once per process
+            /// and never restore.
+            fn sigaction(signum: i32, act: *const Sigaction, oldact: *mut Sigaction) -> i32;
+        }
+        let act = Sigaction {
+            sa_handler: on_signal,
+            // An empty mask: no extra signals blocked during delivery
+            // (the handler is one relaxed atomic increment; nothing it
+            // does needs protection).
+            sa_mask: [0; 16],
+            sa_flags: SA_RESTART,
+            sa_restorer: 0,
+        };
+        // SAFETY: `sigaction` is the POSIX API for exactly this purpose;
+        // the struct layout matches the libc definition for the gated
+        // target triples, the handler only performs a relaxed atomic
+        // increment (async-signal-safe), and installation happens inside
+        // a `Once`, so there is no racing re-registration.
+        unsafe {
+            sigaction(SIGINT, &act, std::ptr::null_mut());
+            sigaction(SIGTERM, &act, std::ptr::null_mut());
+        }
+    }
+
+    #[cfg(not(all(
+        target_os = "linux",
+        any(target_arch = "x86_64", target_arch = "aarch64")
+    )))]
     #[allow(unsafe_code)]
     pub(super) fn install() {
         type Handler = extern "C" fn(i32);
         extern "C" {
-            /// POSIX `signal(2)`. The return value (the previous handler)
-            /// is deliberately ignored: we install once per process and
-            /// never restore.
+            /// POSIX `signal(2)`: the portable fallback where we cannot
+            /// vouch for the `struct sigaction` layout. Every modern
+            /// unix libc gives it BSD (persistent-handler) semantics, so
+            /// the handler survives the first delivery. The return value
+            /// (the previous handler) is deliberately ignored: we
+            /// install once per process and never restore.
             fn signal(signum: i32, handler: Handler) -> usize;
         }
-        // SAFETY: `signal` is the POSIX API for exactly this purpose; the
-        // handler we register only performs a relaxed atomic increment,
-        // which is async-signal-safe. Installation happens inside a
-        // `Once`, so there is no racing re-registration.
+        // SAFETY: the handler we register only performs a relaxed atomic
+        // increment, which is async-signal-safe. Installation happens
+        // inside a `Once`, so there is no racing re-registration.
         unsafe {
             signal(SIGINT, on_signal);
             signal(SIGTERM, on_signal);
