@@ -20,7 +20,11 @@
 //! (or `--server-baseline <file>` is given), it re-runs the E18 server
 //! load/fault harness at smoke scale and gates its robustness
 //! *invariants* — zero lost answers, byte parity with `eo serve`, total
-//! rejection under zero quota, sound degradation, clean drain.
+//! rejection under zero quota, sound degradation, clean drain. When a
+//! committed `BENCH_sat.json` is present (or `--sat-baseline <file>` is
+//! given), it re-measures the E19 enumeration-vs-symbolic study and
+//! gates its crossover (a workload the SAT backend won must stay won)
+//! and its incremental-vs-fresh speedup (>25% loss fails).
 
 use eo_bench::table::render;
 use eo_bench::*;
@@ -226,6 +230,74 @@ fn check_regression(args: &[String]) -> ! {
                 render(&["invariant", "committed", "measured", "verdict"], &srows)
             );
             gated += schecks.len();
+        }
+    }
+    let sat_baseline_path = match args.iter().position(|a| a == "--sat-baseline") {
+        None => "BENCH_sat.json".to_string(),
+        Some(i) => match args.get(i + 1) {
+            Some(p) => p.clone(),
+            None => {
+                eprintln!("check-regression: --sat-baseline takes a file path");
+                std::process::exit(1);
+            }
+        },
+    };
+    match std::fs::read_to_string(&sat_baseline_path) {
+        Err(e) => {
+            // Same contract as the equivalence gate: optional unless named.
+            if args.iter().any(|a| a == "--sat-baseline") {
+                eprintln!("check-regression: reading {sat_baseline_path}: {e}");
+                std::process::exit(1);
+            }
+            println!("(no {sat_baseline_path}; skipping the symbolic-backend gate)");
+        }
+        Ok(baseline) => {
+            println!("== symbolic-backend gate: re-measuring E19 against {sat_baseline_path} ==");
+            let current: Vec<_> = e19_workloads()
+                .iter()
+                .map(|(label, exec, mode)| e19_sat_point(label, exec, *mode))
+                .collect();
+            let satchecks = match check_sat_against(&baseline, &current) {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("check-regression: {e}");
+                    std::process::exit(1);
+                }
+            };
+            let mut satrows = Vec::new();
+            for c in &satchecks {
+                satrows.push(vec![
+                    c.workload.clone(),
+                    c.committed_sat_wins.to_string(),
+                    c.current_sat_wins.to_string(),
+                    format!("{:.2}x", c.committed_incremental_speedup),
+                    format!("{:.2}x", c.current_incremental_speedup),
+                    if c.failures.is_empty() {
+                        "ok".into()
+                    } else {
+                        "FAIL".into()
+                    },
+                ]);
+                for f in &c.failures {
+                    eprintln!("FAIL {}: {f}", c.workload);
+                    failed = true;
+                }
+            }
+            println!(
+                "{}",
+                render(
+                    &[
+                        "workload",
+                        "sat_won",
+                        "sat_wins",
+                        "committed",
+                        "measured",
+                        "verdict"
+                    ],
+                    &satrows
+                )
+            );
+            gated += satchecks.len();
         }
     }
     if failed {
@@ -1058,6 +1130,76 @@ fn main() {
         assert!(
             sem_static_refuted > 0,
             "the static MHP tier refuted no candidates on the E9-style semaphore workloads"
+        );
+    }
+
+    if want("e19") {
+        println!("== E19: enumeration vs symbolic — exact session vs incremental SAT session ==");
+        println!(
+            "(decisions asserted bit-identical across all three runs per row; \
+             best-of-3 timings; sweep ordered by state-space size)"
+        );
+        let mut rows = Vec::new();
+        let mut json_rows = Vec::new();
+        let mut best_incremental = 0.0f64;
+        for (label, exec, mode) in e19_workloads() {
+            let r = e19_sat_point(&label, &exec, mode);
+            best_incremental = best_incremental.max(r.incremental_speedup());
+            rows.push(vec![
+                r.workload.clone(),
+                r.events.to_string(),
+                r.queries.to_string(),
+                ms(r.exact_time),
+                ms(r.sat_batch_time),
+                ms(r.sat_fresh_time),
+                format!("{:.2}x", r.incremental_speedup()),
+                if r.sat_wins { "sat" } else { "exact" }.into(),
+            ]);
+            json_rows.push(format!(
+                concat!(
+                    "    {{\"workload\": \"{}\", \"events\": {}, \"queries\": {}, ",
+                    "\"exact_ms\": {:.3}, \"sat_batch_ms\": {:.3}, \"sat_fresh_ms\": {:.3}, ",
+                    "\"incremental_speedup\": {:.2}, \"sat_wins\": {}}}"
+                ),
+                r.workload,
+                r.events,
+                r.queries,
+                r.exact_time.as_secs_f64() * 1e3,
+                r.sat_batch_time.as_secs_f64() * 1e3,
+                r.sat_fresh_time.as_secs_f64() * 1e3,
+                r.incremental_speedup(),
+                r.sat_wins,
+            ));
+        }
+        println!(
+            "{}",
+            render(
+                &[
+                    "workload",
+                    "|E|",
+                    "queries",
+                    "exact_ms",
+                    "sat_batch_ms",
+                    "sat_fresh_ms",
+                    "incremental",
+                    "winner"
+                ],
+                &rows
+            )
+        );
+        let json = format!(
+            "{{\n  \"schema_version\": 1,\n  \"experiment\": \"e19_symbolic_backend\",\n  \
+             \"rows\": [\n{}\n  ]\n}}\n",
+            json_rows.join(",\n")
+        );
+        std::fs::write("BENCH_sat.json", &json).expect("write BENCH_sat.json");
+        println!("wrote BENCH_sat.json ({} workloads)", rows.len());
+        // The tentpole's acceptance bar: sharing one formula and its
+        // learned clauses across a batch must amortize at least 2x over
+        // re-encoding per query somewhere in the sweep.
+        assert!(
+            best_incremental >= 2.0,
+            "best incremental speedup {best_incremental:.2}x is below the 2x bar"
         );
     }
 

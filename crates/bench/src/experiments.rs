@@ -1753,6 +1753,265 @@ pub fn check_equiv_against(
     Ok(out)
 }
 
+// ---------------------------------------------------------------- E19 --
+
+/// One workload's measurement in the E19 enumeration-vs-symbolic study.
+#[derive(Clone, Debug)]
+pub struct SatBenchRow {
+    /// Workload label.
+    pub workload: String,
+    /// Events in the trace.
+    pub events: usize,
+    /// Decision queries in the batch (MHB/CHB/CCW over sampled pairs).
+    pub queries: usize,
+    /// Best-of-3 wall time for the exact witness-search session
+    /// answering the whole batch.
+    pub exact_time: Duration,
+    /// Best-of-3 wall time for ONE incremental SAT session answering the
+    /// whole batch (shared formula + learned-clause DB).
+    pub sat_batch_time: Duration,
+    /// Best-of-3 wall time answering the batch with a FRESH SAT session
+    /// per query (re-encode, empty clause DB every time).
+    pub sat_fresh_time: Duration,
+    /// Whether the symbolic batch beat the exact session on this
+    /// workload. The sweep is ordered by state-space size, so the
+    /// `false→true` transition is the enumeration↔symbolic crossover.
+    pub sat_wins: bool,
+}
+
+impl SatBenchRow {
+    /// How much the shared formula + learned clauses buy over re-encoding
+    /// per query: fresh time / batched time.
+    pub fn incremental_speedup(&self) -> f64 {
+        self.sat_fresh_time.as_secs_f64() / self.sat_batch_time.as_secs_f64().max(1e-12)
+    }
+}
+
+/// The fixed E19 sweep, ordered by exact-engine cost: the cut lattice
+/// grows exponentially in processes while the CNF encoding grows
+/// polynomially, so the tail of the sweep is where the symbolic backend
+/// must win.
+pub fn e19_workloads() -> Vec<(String, ProgramExecution, FeasibilityMode)> {
+    let mut out = Vec::new();
+    for (procs, epp) in [(2usize, 4usize), (3, 4), (4, 4), (5, 4), (6, 4), (7, 4)] {
+        let mut spec = WorkloadSpec::small_semaphore(7);
+        spec.processes = procs;
+        spec.events_per_process = epp;
+        spec.semaphores = (procs / 2).max(1);
+        let exec = generate_trace(&spec, 100)
+            .to_execution()
+            .expect("generated traces are valid");
+        out.push((
+            format!("e6-{procs}x{epp}"),
+            exec,
+            FeasibilityMode::PreserveDependences,
+        ));
+    }
+    out.push((
+        "e9-pitfall-6".to_string(),
+        pitfall_exec(6),
+        FeasibilityMode::IgnoreDependences,
+    ));
+    out
+}
+
+/// The deterministic decision batch E19 times: MHB, CHB, and CCW over a
+/// stride-sampled set of ordered pairs, capped so the batch size stays
+/// comparable across workloads.
+fn e19_batch(n_events: usize) -> Vec<(usize, EventId, EventId)> {
+    const MAX_PAIRS: usize = 60;
+    let total = n_events * n_events.saturating_sub(1);
+    let stride = total.div_ceil(MAX_PAIRS).max(1);
+    let mut batch = Vec::new();
+    let mut k = 0usize;
+    for a in 0..n_events {
+        for b in 0..n_events {
+            if a == b {
+                continue;
+            }
+            if k % stride == 0 {
+                for kind in 0..3usize {
+                    batch.push((kind, EventId::new(a), EventId::new(b)));
+                }
+            }
+            k += 1;
+        }
+    }
+    batch
+}
+
+/// Runs E19 on one execution under `mode`. Every decision is asserted
+/// bit-identical across the exact session, the incremental SAT session,
+/// and the per-query-fresh SAT sessions — the timings are only
+/// meaningful because all three compute the same answers.
+pub fn e19_sat_point(label: &str, exec: &ProgramExecution, mode: FeasibilityMode) -> SatBenchRow {
+    use eo_engine::{QuerySession, SatSession};
+    let ctx = SearchCtx::new(exec, mode);
+    let batch = e19_batch(exec.n_events());
+
+    let answer_exact =
+        |s: &mut QuerySession<'_, '_>, (kind, a, b): (usize, EventId, EventId)| match kind {
+            0 => s.must_happen_before(a, b),
+            1 => s.could_happen_before(a, b),
+            _ => s.could_be_concurrent(a, b),
+        };
+    let answer_sat = |s: &mut SatSession, (kind, a, b): (usize, EventId, EventId)| match kind {
+        0 => s.try_must_happen_before(a, b),
+        1 => s.try_could_happen_before(a, b),
+        _ => s.try_could_be_concurrent(a, b),
+    };
+
+    let (exact_answers, exact_time) = timed_best(3, || {
+        let mut session = QuerySession::new(&ctx);
+        batch
+            .iter()
+            .map(|&q| answer_exact(&mut session, q))
+            .collect::<Vec<bool>>()
+    });
+    let (batch_answers, sat_batch_time) = timed_best(3, || {
+        let mut session = SatSession::new(&ctx);
+        batch
+            .iter()
+            .map(|&q| answer_sat(&mut session, q).expect("unbudgeted"))
+            .collect::<Vec<bool>>()
+    });
+    let (fresh_answers, sat_fresh_time) = timed_best(3, || {
+        batch
+            .iter()
+            .map(|&q| answer_sat(&mut SatSession::new(&ctx), q).expect("unbudgeted"))
+            .collect::<Vec<bool>>()
+    });
+    assert_eq!(
+        exact_answers, batch_answers,
+        "{label}: incremental SAT diverged from the exact session"
+    );
+    assert_eq!(
+        batch_answers, fresh_answers,
+        "{label}: per-query-fresh SAT diverged from the incremental session"
+    );
+    SatBenchRow {
+        workload: label.to_string(),
+        events: exec.n_events(),
+        queries: batch.len(),
+        exact_time,
+        sat_batch_time,
+        sat_fresh_time,
+        sat_wins: sat_batch_time < exact_time,
+    }
+}
+
+/// Incremental-speedup loss above this fraction fails the symbolic gate:
+/// the ratio (fresh time / batched time) is measured in-process on the
+/// same machine, so a drop means the shared-formula path itself got
+/// slower relative to re-encoding, not that the machine changed.
+pub const MAX_SPEEDUP_REGRESSION: f64 = 0.25;
+
+/// One workload's verdict from the symbolic-backend gate.
+#[derive(Clone, Debug)]
+pub struct SatRegressionCheck {
+    /// Workload label.
+    pub workload: String,
+    /// Whether the committed baseline had the symbolic batch beating the
+    /// exact session on this workload.
+    pub committed_sat_wins: bool,
+    /// The same question measured by this run.
+    pub current_sat_wins: bool,
+    /// Incremental (fresh/batched) speedup recorded in the baseline.
+    pub committed_incremental_speedup: f64,
+    /// The same speedup measured by this run.
+    pub current_incremental_speedup: f64,
+    /// Human-readable failures; empty = the workload passed.
+    pub failures: Vec<String>,
+}
+
+/// Compares freshly measured E19 rows against a committed
+/// `BENCH_sat.json`: the enumeration↔symbolic crossover must not drift
+/// (a workload the symbolic backend won must still be won), and the
+/// incremental-vs-fresh speedup must not lose more than
+/// [`MAX_SPEEDUP_REGRESSION`]. Both verdicts compare same-machine
+/// ratios, so they are machine-independent.
+pub fn check_sat_against(
+    baseline_json: &str,
+    current: &[SatBenchRow],
+) -> Result<Vec<SatRegressionCheck>, String> {
+    let parsed = eo_obs::json::parse(baseline_json)
+        .map_err(|e| format!("sat baseline JSON at byte {}: {}", e.offset, e.message))?;
+    let rows = parsed
+        .get("rows")
+        .and_then(|r| r.as_array())
+        .ok_or("sat baseline JSON has no \"rows\" array")?;
+    let mut out = Vec::new();
+    for row in rows {
+        let workload = row
+            .get("workload")
+            .and_then(|v| v.as_str())
+            .ok_or("sat baseline row missing \"workload\"")?
+            .to_string();
+        let committed_sat_wins = match row.get("sat_wins") {
+            Some(eo_obs::json::Value::Bool(b)) => *b,
+            _ => return Err("sat baseline row missing \"sat_wins\"".to_string()),
+        };
+        let committed_speedup = row
+            .get("incremental_speedup")
+            .and_then(|v| v.as_f64())
+            .ok_or("sat baseline row missing numeric \"incremental_speedup\"")?;
+        let committed_exact_ms = row
+            .get("exact_ms")
+            .and_then(|v| v.as_f64())
+            .ok_or("sat baseline row missing numeric \"exact_ms\"")?;
+        let committed_batch_ms = row
+            .get("sat_batch_ms")
+            .and_then(|v| v.as_f64())
+            .ok_or("sat baseline row missing numeric \"sat_batch_ms\"")?;
+        let mut check = SatRegressionCheck {
+            workload: workload.clone(),
+            committed_sat_wins,
+            current_sat_wins: false,
+            committed_incremental_speedup: committed_speedup,
+            current_incremental_speedup: 0.0,
+            failures: Vec::new(),
+        };
+        match current.iter().find(|r| r.workload == workload) {
+            None => check
+                .failures
+                .push("baseline workload was not re-measured".to_string()),
+            Some(r) => {
+                check.current_sat_wins = r.sat_wins;
+                check.current_incremental_speedup = r.incremental_speedup();
+                // Crossover drift is one-sided (the symbolic backend
+                // losing a workload it used to win is a regression; newly
+                // winning one is progress) and only gated where the
+                // committed win was decisive: slow enough to time
+                // reliably and won by a clear margin. Near the crossover
+                // point the winner is a coin flip and must not flap CI.
+                let decisive =
+                    committed_exact_ms >= 20.0 && committed_exact_ms >= 1.5 * committed_batch_ms;
+                if committed_sat_wins && decisive && !r.sat_wins {
+                    check.failures.push(
+                        "crossover drifted: the symbolic backend lost a workload it won at commit time"
+                            .to_string(),
+                    );
+                }
+                let floor = committed_speedup / (1.0 + MAX_SPEEDUP_REGRESSION);
+                if check.current_incremental_speedup < floor {
+                    check.failures.push(format!(
+                        "incremental speedup loss > {:.0}%: {:.2}x fresh/batched (committed {:.2}x, floor {:.2}x)",
+                        MAX_SPEEDUP_REGRESSION * 100.0,
+                        check.current_incremental_speedup,
+                        committed_speedup,
+                        floor,
+                    ));
+                }
+            }
+        }
+        out.push(check);
+    }
+    if out.is_empty() {
+        return Err("sat baseline has no workload rows".to_string());
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

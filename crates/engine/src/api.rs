@@ -150,6 +150,47 @@ impl Response {
     }
 }
 
+/// Which decision procedure answers the point queries (MHB / CHB / CCW
+/// and the witness searches).
+///
+/// Both backends are exact and agree on every query; what differs is the
+/// cost profile. `Exact` explores the cut lattice with memoized witness
+/// searches; `Sat` encodes ⟨E, →T, →D⟩ as CNF once and answers each query
+/// with one incremental solve against a shared CDCL solver
+/// ([`crate::sat_backend::SatSession`]), amortizing learned clauses
+/// across a batch. Experiment E19 measures the crossover.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum QueryBackend {
+    /// The enumeration/state-space engines (the default).
+    #[default]
+    Exact,
+    /// The symbolic partial-order CNF backend.
+    Sat,
+}
+
+impl QueryBackend {
+    /// A short lowercase label (CLI flag values, protocol fields).
+    pub fn label(&self) -> &'static str {
+        match self {
+            QueryBackend::Exact => "exact",
+            QueryBackend::Sat => "sat",
+        }
+    }
+}
+
+impl std::str::FromStr for QueryBackend {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "exact" => Ok(QueryBackend::Exact),
+            "sat" => Ok(QueryBackend::Sat),
+            other => Err(format!("unknown backend `{other}` (expected exact|sat)")),
+        }
+    }
+}
+
 /// Everything configurable about an [`ExactEngine`](crate::ExactEngine),
 /// in one struct with a [`Default`]: the paper's dependence-preserving
 /// F(P), default [`Limits`], no supervisor budget.

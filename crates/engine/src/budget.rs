@@ -152,7 +152,7 @@ impl Budget {
             #[cfg(feature = "fault-injection")]
             worker_ticks: Arc::new(AtomicU64::new(0)),
             #[cfg(feature = "fault-injection")]
-            fault: self.fault.clone(),
+            fault: self.fault,
         }
     }
 

@@ -70,7 +70,7 @@ pub mod statespace;
 pub mod statetable;
 pub mod summary;
 
-pub use api::{Answer, EngineOptions, Query, Response};
+pub use api::{Answer, EngineOptions, Query, QueryBackend, Response};
 pub use budget::{Budget, CancelHandle};
 pub use ctx::{FeasibilityMode, SearchCtx};
 pub use degraded::{DegradedSummary, Fact};
@@ -84,6 +84,9 @@ pub use faultpoint::{Fault, FaultPlan};
 pub use parallel::{explore_statespace_parallel, explore_statespace_parallel_budgeted};
 pub use pool::run_tasks;
 pub use queries::{QueryMemo, QuerySession};
+pub use sat_backend::{
+    chb_via_sat, chb_via_sat_budgeted, mhb_via_sat, mhb_via_sat_budgeted, SatSession,
+};
 pub use statespace::{
     explore_statespace, explore_statespace_baseline, explore_statespace_budgeted, StateSpaceResult,
 };

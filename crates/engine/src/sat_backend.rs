@@ -1,280 +1,209 @@
-//! Deciding could-have-happened-before by SAT — the reduction run in
-//! reverse.
+//! Deciding ordering queries by SAT — the reduction run in reverse.
 //!
 //! Theorems 1–4 map SAT *to* ordering queries; this module maps an
-//! ordering query *back* to SAT and hands it to the in-repo DPLL solver,
-//! giving the workspace a third, independent decision procedure for CHB
-//! (besides the cut-lattice pass and the early-exit witness search). The
-//! three are cross-validated against each other in the property suites.
+//! ordering query *back* to SAT, giving the workspace an independent
+//! decision procedure for MHB/CHB/CCW (besides the cut-lattice pass and
+//! the early-exit witness search). The procedures are cross-validated
+//! against each other in the property suites and the nightly
+//! differential-fuzz lane.
 //!
-//! ## The encoding
+//! The encoding itself lives in [`eo_sym::PoEncoding`]: one Boolean
+//! variable per unordered event pair, transitivity over all triples, unit
+//! facts for →T and (mode permitting) →D, a token matching per semaphore,
+//! and trigger variables for event-variable causality. This module owns
+//! the *engine-facing* plumbing:
 //!
-//! A feasible execution is a total order of E respecting the
-//! synchronization semantics and →D. One Boolean variable per unordered
-//! event pair (`x_{a,b}` ⇔ "a executes before b", with `x_{b,a} = ¬x_{a,b}`
-//! by sign convention) plus:
+//! * [`SatSession`] — a long-lived query session over one encoding. Every
+//!   query is one (CCW: up to two) incremental `solve_assuming` call
+//!   against the shared CDCL solver, so conflict clauses learned by one
+//!   query prune the next. This is the `--backend sat` path of `eo serve`
+//!   and the subject of experiment E19.
+//! * the one-shot [`chb_via_sat`] / [`mhb_via_sat`] free functions and
+//!   their budgeted variants, which build a fresh encoding per call —
+//!   the historical cross-validation surface, kept verbatim.
 //!
-//! * **totality + transitivity** — `x_{i,j} ∧ x_{j,k} → x_{i,k}` for all
-//!   distinct triples. A transitive tournament is exactly a strict total
-//!   order, so any model *is* a schedule;
-//! * **base constraints** — unit clauses for program order, fork/join
-//!   edges, and (in dependence-preserving mode) every →D pair;
-//! * **semaphore tokens** — a matching variable `m_{t,p}` for every P
-//!   event `p` and every token source `t` (a V event or one of the
-//!   semaphore's initial tokens): each P claims at least one source, each
-//!   source serves at most one P, and claiming a V implies executing after
-//!   it. Any such matching makes every prefix token-sound (each executed
-//!   P's source is already executed and sources are distinct), and any
-//!   valid schedule admits one (FIFO), so the constraint is exact;
-//! * **event-variable causality** — a trigger variable `t_{p,w}` for every
-//!   Wait `w` and candidate Post `p` (plus an "initially set" trigger when
-//!   the flag starts true): some trigger holds; a triggering Post precedes
-//!   the Wait; and every Clear of the variable is ordered outside the
-//!   (trigger, Wait) window — before the trigger or after the Wait.
-//!
-//! The query `first CHB second` is one more unit clause. Satisfiable ⇔
-//! some feasible schedule runs `first` strictly before `second`; the model
-//! even decodes back into that schedule (`decode_schedule`).
-//!
-//! The encoding is cubic in |E| (the transitivity clauses), so this
-//! backend is for modest traces — which is fine: it exists for
-//! cross-validation and for exhibiting the SAT⇄ordering equivalence, not
-//! for scale.
+//! Budgets thread through the solver's stop callback: the supervisor
+//! [`Budget`] is polled before the (cubic) encoding is built and
+//! periodically *inside* unit propagation, so a deadline or cancellation
+//! interrupts even a pathological propagation cascade — not just the
+//! next decision.
 
 use crate::budget::Budget;
 use crate::ctx::SearchCtx;
 use crate::engine::EngineError;
-use eo_model::{EventId, Op};
-use eo_sat::{Clause, Formula, Lit, SolveOutcome, Solver, Var};
+use eo_model::EventId;
+use eo_sat::Solver;
+use eo_sym::{PoEncoding, SymOutcome};
 
-/// The variable bookkeeping of one encoding.
-pub struct OrderEncoding {
-    n: usize,
-    /// `pair_var[idx(a,b)]` for a < b; `x_{a,b}` positive means a-before-b.
-    pair_base: usize,
-    n_vars: usize,
-    clauses: Vec<Clause>,
+/// A long-lived SAT-backed query session over one execution.
+///
+/// Construction encodes the full feasibility theory of ⟨E, →T, →D⟩ once;
+/// each query then adds at most a handful of activation clauses and runs
+/// one incremental solve under assumptions. Learned clauses persist
+/// across queries — a batch against one session shares all refutation
+/// work, which is where the symbolic backend beats per-query-fresh
+/// solving (experiment E19 quantifies the gap).
+///
+/// Answers are exact and agree with the witness-search engine
+/// ([`crate::queries`]) on every query; the differential suites pin this.
+pub struct SatSession {
+    enc: PoEncoding,
+    budget: Budget,
+    /// Solver counters already surfaced through `eo_obs`, so repeated
+    /// queries against one incremental solver emit deltas, not totals.
+    emitted: (u64, u64, u64),
 }
 
-impl OrderEncoding {
-    /// Builds the feasibility encoding for `ctx`'s execution (without any
-    /// query clause).
-    pub fn build(ctx: &SearchCtx<'_>) -> OrderEncoding {
-        eo_obs::span!("sat.encode");
-        let n = ctx.n_events();
-        let trace = ctx.exec().trace();
-
-        let mut enc = OrderEncoding {
-            n,
-            pair_base: 0,
-            n_vars: n * n.saturating_sub(1) / 2,
-            clauses: Vec::new(),
-        };
-
-        // Totality is implicit (x or ¬x); transitivity over all distinct
-        // ordered triples.
-        for i in 0..n {
-            for j in 0..n {
-                if j == i {
-                    continue;
-                }
-                for k in 0..n {
-                    if k == i || k == j {
-                        continue;
-                    }
-                    // x_ij ∧ x_jk → x_ik
-                    enc.clauses.push(Clause(vec![
-                        enc.before(i, j).negated(),
-                        enc.before(j, k).negated(),
-                        enc.before(i, k),
-                    ]));
-                }
-            }
-        }
-
-        // Base constraints: program order, fork/join, dependences (per the
-        // context's feasibility mode).
-        let d = ctx.effective_d();
-        for (a, b) in eo_model::induce::base_edges(trace, &d).pairs() {
-            let lit = enc.before(a, b);
-            enc.clauses.push(Clause(vec![lit]));
-        }
-
-        // Semaphore token matching.
-        for s in 0..trace.semaphores.len() {
-            let vs: Vec<usize> = trace
-                .events
-                .iter()
-                .filter(|e| e.op == Op::SemV(eo_model::SemId::new(s)))
-                .map(|e| e.id.index())
-                .collect();
-            let ps: Vec<usize> = trace
-                .events
-                .iter()
-                .filter(|e| e.op == Op::SemP(eo_model::SemId::new(s)))
-                .map(|e| e.id.index())
-                .collect();
-            if ps.is_empty() {
-                continue;
-            }
-            let initial = trace.semaphores[s].initial as usize;
-            // Token sources: every V, plus `initial` anonymous tokens.
-            let n_sources = vs.len() + initial;
-            let m_base = enc.n_vars;
-            enc.n_vars += n_sources * ps.len();
-            let m = |src: usize, pi: usize| Var((m_base + src * ps.len() + pi) as u32);
-
-            for (pi, &p) in ps.iter().enumerate() {
-                // At least one source per P.
-                enc.clauses
-                    .push(Clause((0..n_sources).map(|t| Lit::pos(m(t, pi))).collect()));
-                // Claiming a V implies running after it.
-                for (vi, &v) in vs.iter().enumerate() {
-                    enc.clauses
-                        .push(Clause(vec![Lit::neg(m(vi, pi)), enc.before(v, p)]));
-                }
-            }
-            // Each source serves at most one P.
-            for t in 0..n_sources {
-                for pi in 0..ps.len() {
-                    for pj in (pi + 1)..ps.len() {
-                        enc.clauses
-                            .push(Clause(vec![Lit::neg(m(t, pi)), Lit::neg(m(t, pj))]));
-                    }
-                }
-            }
-        }
-
-        // Event-variable causality.
-        for u in 0..trace.event_vars.len() {
-            let uid = eo_model::EvVarId::new(u);
-            let posts: Vec<usize> = trace
-                .events
-                .iter()
-                .filter(|e| e.op == Op::Post(uid))
-                .map(|e| e.id.index())
-                .collect();
-            let waits: Vec<usize> = trace
-                .events
-                .iter()
-                .filter(|e| e.op == Op::Wait(uid))
-                .map(|e| e.id.index())
-                .collect();
-            let clears: Vec<usize> = trace
-                .events
-                .iter()
-                .filter(|e| e.op == Op::Clear(uid))
-                .map(|e| e.id.index())
-                .collect();
-            let initially = trace.event_vars[u].initially_set;
-
-            for &w in &waits {
-                let n_triggers = posts.len() + usize::from(initially);
-                let t_base = enc.n_vars;
-                enc.n_vars += n_triggers;
-                let t = |k: usize| Var((t_base + k) as u32);
-
-                // Some trigger explains the Wait.
-                enc.clauses
-                    .push(Clause((0..n_triggers).map(|k| Lit::pos(t(k))).collect()));
-                for (k, &p) in posts.iter().enumerate() {
-                    // Triggering post precedes the wait…
-                    enc.clauses
-                        .push(Clause(vec![Lit::neg(t(k)), enc.before(p, w)]));
-                    // …and no Clear sits between: each is before the post
-                    // or after the wait.
-                    for &c in &clears {
-                        enc.clauses.push(Clause(vec![
-                            Lit::neg(t(k)),
-                            enc.before(c, p),
-                            enc.before(w, c),
-                        ]));
-                    }
-                }
-                if initially {
-                    let k = posts.len();
-                    // The initial flag triggered it: every Clear is after
-                    // the wait.
-                    for &c in &clears {
-                        enc.clauses
-                            .push(Clause(vec![Lit::neg(t(k)), enc.before(w, c)]));
-                    }
-                }
-            }
-        }
-
-        eo_obs::counter!("sat.clauses", enc.clauses.len() as u64);
-        enc
+impl SatSession {
+    /// Opens an unbudgeted session for `ctx`'s execution (and feasibility
+    /// mode — the encoding bakes in `ctx.effective_d()`).
+    pub fn new(ctx: &SearchCtx<'_>) -> SatSession {
+        SatSession::with_budget(ctx, Budget::unlimited())
     }
 
-    /// The literal asserting "a executes before b".
+    /// Opens a session whose queries run under `budget`.
+    pub fn with_budget(ctx: &SearchCtx<'_>, budget: Budget) -> SatSession {
+        eo_obs::span!("sat.encode");
+        let enc = PoEncoding::new(ctx.exec().trace(), &ctx.effective_d());
+        eo_obs::counter!("sat.clauses", enc.core_clause_count() as u64);
+        SatSession {
+            enc,
+            budget,
+            emitted: (0, 0, 0),
+        }
+    }
+
+    /// Replaces the budget subsequent queries run under, keeping the
+    /// encoding and every learned clause intact (the serve layer renews
+    /// budgets per request).
+    pub fn set_budget(&mut self, budget: Budget) {
+        self.budget = budget;
+    }
+
+    /// The underlying encoding (diagnostics and tests).
+    pub fn encoding(&self) -> &PoEncoding {
+        &self.enc
+    }
+
+    /// Runs one solve under the session budget, mapping `Interrupted` to
+    /// the budget's error and surfacing solver-counter deltas.
+    fn solve(
+        &mut self,
+        run: impl FnOnce(&mut PoEncoding, &mut dyn FnMut(u64) -> bool) -> SymOutcome,
+    ) -> Result<Option<Vec<bool>>, EngineError> {
+        self.budget.check(0)?;
+        let mut stop_err: Option<EngineError> = None;
+        let outcome = {
+            let budget = &self.budget;
+            let mut stop = |_nodes: u64| match budget.check(0) {
+                Ok(()) => false,
+                Err(e) => {
+                    stop_err = Some(e);
+                    true
+                }
+            };
+            run(&mut self.enc, &mut stop)
+        };
+        self.surface_metrics();
+        match outcome {
+            SymOutcome::Sat(model) => Ok(Some(model)),
+            SymOutcome::Unsat => Ok(None),
+            SymOutcome::Interrupted => Err(stop_err.unwrap_or(EngineError::Cancelled)),
+        }
+    }
+
+    /// Emits the solver counters accrued since the last emission under
+    /// the historical `sat.dpll_*` metric names.
+    fn surface_metrics(&mut self) {
+        let s = self.enc.solver();
+        let (nodes, decisions, backtracks) = (s.nodes_visited, s.decisions, s.backtracks);
+        eo_obs::counter!("sat.dpll_nodes", nodes - self.emitted.0);
+        eo_obs::counter!("sat.dpll_decisions", decisions - self.emitted.1);
+        eo_obs::counter!("sat.dpll_backtracks", backtracks - self.emitted.2);
+        self.emitted = (nodes, decisions, backtracks);
+    }
+
+    /// A complete feasible schedule running `first` strictly before
+    /// `second`, or `None` when every feasible execution orders them the
+    /// other way. One incremental solve.
+    ///
+    /// # Panics
+    /// Panics if `first == second`.
+    pub fn try_witness_before(
+        &mut self,
+        first: EventId,
+        second: EventId,
+    ) -> Result<Option<Vec<EventId>>, EngineError> {
+        assert_ne!(first, second, "witness queries need two distinct events");
+        let model = self.solve(|enc, stop| enc.solve_before(first, second, stop))?;
+        Ok(model.map(|m| self.enc.decode_schedule(&m)))
+    }
+
+    /// A feasible schedule prefix reaching a state where `a` and `b` are
+    /// simultaneously enabled (and completion stays reachable), or `None`.
+    /// Up to two incremental solves (one per firing order).
     ///
     /// # Panics
     /// Panics if `a == b`.
-    pub fn before(&self, a: usize, b: usize) -> Lit {
-        assert_ne!(a, b, "no order literal for a pair of equal events");
-        if a < b {
-            Lit::pos(Var((self.pair_base + pair_index(self.n, a, b)) as u32))
-        } else {
-            Lit::neg(Var((self.pair_base + pair_index(self.n, b, a)) as u32))
-        }
+    pub fn try_witness_overlap(
+        &mut self,
+        a: EventId,
+        b: EventId,
+    ) -> Result<Option<Vec<EventId>>, EngineError> {
+        assert_ne!(a, b, "witness queries need two distinct events");
+        let model = self.solve(|enc, stop| enc.solve_overlap(a, b, stop))?;
+        Ok(model.map(|m| {
+            // The model schedules the pair back to back with both enabled
+            // at the state just before; the witness is the prefix up to
+            // that state, matching the search engine's contract.
+            let mut schedule = self.enc.decode_schedule(&m);
+            let overlap_at = schedule
+                .iter()
+                .position(|&e| e == a || e == b)
+                .expect("decoded schedule contains every event");
+            schedule.truncate(overlap_at);
+            schedule
+        }))
     }
 
-    /// The encoding as a formula, with `extra` clauses (the query)
-    /// appended.
-    pub fn to_formula(&self, extra: Vec<Clause>) -> Formula {
-        let mut clauses = self.clauses.clone();
-        clauses.extend(extra);
-        Formula::new(self.n_vars, clauses)
+    /// Decides `a MHB b`: no feasible schedule runs `b` before `a`.
+    pub fn try_must_happen_before(&mut self, a: EventId, b: EventId) -> Result<bool, EngineError> {
+        Ok(a != b && self.try_witness_before(b, a)?.is_none())
     }
 
-    /// Number of clauses in the feasibility core (diagnostics).
-    pub fn core_clause_count(&self) -> usize {
-        self.clauses.len()
+    /// Decides `a CHB b`: some feasible schedule runs `a` before `b`.
+    pub fn try_could_happen_before(&mut self, a: EventId, b: EventId) -> Result<bool, EngineError> {
+        Ok(a != b && self.try_witness_before(a, b)?.is_some())
     }
 
-    /// Reads the schedule out of a model: events sorted by how many other
-    /// events they precede.
-    pub fn decode_schedule(&self, model: &[bool]) -> Vec<EventId> {
-        let before = |a: usize, b: usize| {
-            let lit = self.before(a, b);
-            lit.satisfied_by(model[lit.var.index()])
-        };
-        let mut order: Vec<usize> = (0..self.n).collect();
-        order.sort_by_key(|&e| (0..self.n).filter(|&o| o != e && before(o, e)).count());
-        order.into_iter().map(EventId::new).collect()
+    /// Decides operational `a CCW b`: some feasible schedule reaches a
+    /// state with both enabled and still completes.
+    pub fn try_could_be_concurrent(&mut self, a: EventId, b: EventId) -> Result<bool, EngineError> {
+        Ok(a != b && self.try_witness_overlap(a, b)?.is_some())
     }
 }
 
-/// Surfaces the solver's work counters through the observability layer
-/// (`sat.dpll_nodes` / `sat.dpll_decisions` / `sat.dpll_backtracks`).
+/// Surfaces a one-shot solver's work counters through the observability
+/// layer (`sat.dpll_nodes` / `sat.dpll_decisions` / `sat.dpll_backtracks`
+/// — the names predate the CDCL rewrite and are part of the metrics
+/// schema).
 fn emit_solver_metrics(solver: &Solver) {
     eo_obs::counter!("sat.dpll_nodes", solver.nodes_visited);
     eo_obs::counter!("sat.dpll_decisions", solver.decisions);
     eo_obs::counter!("sat.dpll_backtracks", solver.backtracks);
 }
 
-#[inline]
-fn pair_index(n: usize, a: usize, b: usize) -> usize {
-    debug_assert!(a < b && b < n);
-    // Row-major upper triangle: offset of row a + (b - a - 1).
-    a * n - a * (a + 1) / 2 + (b - a - 1)
-}
-
 /// Decides `first CHB second` by SAT, returning the witness schedule on
-/// success. Exact for any trace the encoding covers (all of them — every
-/// operation kind is constrained above).
+/// success. One-shot: builds a fresh encoding per call — batching callers
+/// should hold a [`SatSession`] instead.
 pub fn chb_via_sat(ctx: &SearchCtx<'_>, first: EventId, second: EventId) -> Option<Vec<EventId>> {
     assert_ne!(first, second);
-    let enc = OrderEncoding::build(ctx);
-    let query = Clause(vec![enc.before(first.index(), second.index())]);
-    let formula = enc.to_formula(vec![query]);
-    let mut solver = Solver::new(formula);
-    let solve_span = eo_obs::span("sat.solve");
-    let model = solver.solve();
-    solve_span.end();
-    emit_solver_metrics(&solver);
-    model.map(|model| enc.decode_schedule(&model))
+    let mut session = SatSession::new(ctx);
+    let result = session
+        .try_witness_before(first, second)
+        .expect("an unlimited budget cannot interrupt the solver");
+    emit_solver_metrics(session.enc.solver());
+    result
 }
 
 /// Decides `a MHB b` by SAT: no feasible schedule runs `b` before `a`.
@@ -283,9 +212,9 @@ pub fn mhb_via_sat(ctx: &SearchCtx<'_>, a: EventId, b: EventId) -> bool {
 }
 
 /// [`chb_via_sat`] under a supervisor [`Budget`]: the budget is checked
-/// before the (cubic) encoding is built and at every DPLL node, so a
-/// deadline or cancellation interrupts even a pathological solve. Errors
-/// with the first exhausted resource.
+/// before the (cubic) encoding is built and periodically inside unit
+/// propagation, so a deadline or cancellation interrupts even a
+/// pathological solve. Errors with the first exhausted resource.
 pub fn chb_via_sat_budgeted(
     ctx: &SearchCtx<'_>,
     first: EventId,
@@ -294,27 +223,10 @@ pub fn chb_via_sat_budgeted(
 ) -> Result<Option<Vec<EventId>>, EngineError> {
     assert_ne!(first, second);
     budget.check(0)?;
-    let enc = OrderEncoding::build(ctx);
-    budget.check(0)?;
-    let query = Clause(vec![enc.before(first.index(), second.index())]);
-    let formula = enc.to_formula(vec![query]);
-    let mut solver = Solver::new(formula);
-    let mut stop_err: Option<EngineError> = None;
-    let solve_span = eo_obs::span("sat.solve");
-    let outcome = solver.solve_with_stop(&mut |_| match budget.check(0) {
-        Ok(()) => false,
-        Err(e) => {
-            stop_err = Some(e);
-            true
-        }
-    });
-    solve_span.end();
-    emit_solver_metrics(&solver);
-    match outcome {
-        SolveOutcome::Sat(model) => Ok(Some(enc.decode_schedule(&model))),
-        SolveOutcome::Unsat => Ok(None),
-        SolveOutcome::Interrupted => Err(stop_err.unwrap_or(EngineError::Cancelled)),
-    }
+    let mut session = SatSession::with_budget(ctx, budget.clone());
+    let result = session.try_witness_before(first, second);
+    emit_solver_metrics(session.enc.solver());
+    result
 }
 
 /// [`mhb_via_sat`] under a supervisor [`Budget`]; see
@@ -333,23 +245,22 @@ mod tests {
     use super::*;
     use crate::ctx::FeasibilityMode;
     use crate::queries;
-    use eo_model::fixtures;
+    use eo_model::{fixtures, Op};
 
     fn ctx_of(exec: &eo_model::ProgramExecution) -> SearchCtx<'_> {
         SearchCtx::new(exec, FeasibilityMode::PreserveDependences)
     }
 
-    #[test]
-    fn pair_index_is_a_bijection() {
-        let n = 7;
-        let mut seen = std::collections::HashSet::new();
-        for a in 0..n {
-            for b in (a + 1)..n {
-                assert!(seen.insert(pair_index(n, a, b)));
-            }
-        }
-        assert_eq!(seen.len(), n * (n - 1) / 2);
-        assert_eq!(seen.iter().max(), Some(&(n * (n - 1) / 2 - 1)));
+    fn all_fixtures() -> Vec<eo_model::Trace> {
+        vec![
+            fixtures::independent_pair().0,
+            fixtures::sem_handshake().0,
+            fixtures::fork_join_diamond().0,
+            fixtures::crossing().0,
+            fixtures::figure1().0,
+            fixtures::post_wait_clear_chain().0,
+            fixtures::shared_counter_race().0,
+        ]
     }
 
     #[test]
@@ -389,15 +300,7 @@ mod tests {
 
     #[test]
     fn sat_backend_agrees_with_witness_search_on_fixtures() {
-        for trace in [
-            fixtures::independent_pair().0,
-            fixtures::sem_handshake().0,
-            fixtures::fork_join_diamond().0,
-            fixtures::crossing().0,
-            fixtures::figure1().0,
-            fixtures::post_wait_clear_chain().0,
-            fixtures::shared_counter_race().0,
-        ] {
+        for trace in all_fixtures() {
             let exec = trace.to_execution().unwrap();
             let ctx = ctx_of(&exec);
             let n = exec.n_events();
@@ -412,6 +315,80 @@ mod tests {
                         queries::could_happen_before(&ctx, ea, eb),
                         "chb({a},{b}) disagrees"
                     );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sat_session_agrees_with_witness_search_on_all_queries() {
+        for trace in all_fixtures() {
+            for mode in [
+                FeasibilityMode::PreserveDependences,
+                FeasibilityMode::IgnoreDependences,
+            ] {
+                let exec = trace.to_execution().unwrap();
+                let ctx = SearchCtx::new(&exec, mode);
+                let mut session = SatSession::new(&ctx);
+                let n = exec.n_events();
+                for a in 0..n {
+                    for b in 0..n {
+                        if a == b {
+                            continue;
+                        }
+                        let (ea, eb) = (EventId::new(a), EventId::new(b));
+                        assert_eq!(
+                            session.try_must_happen_before(ea, eb).unwrap(),
+                            queries::must_happen_before(&ctx, ea, eb),
+                            "mhb({a},{b}) disagrees in {mode:?}"
+                        );
+                        assert_eq!(
+                            session.try_could_happen_before(ea, eb).unwrap(),
+                            queries::could_happen_before(&ctx, ea, eb),
+                            "chb({a},{b}) disagrees in {mode:?}"
+                        );
+                        assert_eq!(
+                            session.try_could_be_concurrent(ea, eb).unwrap(),
+                            queries::could_be_concurrent(&ctx, ea, eb),
+                            "ccw({a},{b}) disagrees in {mode:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn session_overlap_witness_is_a_replayable_prefix() {
+        for trace in all_fixtures() {
+            let exec = trace.to_execution().unwrap();
+            let ctx = ctx_of(&exec);
+            let mut session = SatSession::new(&ctx);
+            let n = exec.n_events();
+            for a in 0..n {
+                for b in (a + 1)..n {
+                    let (ea, eb) = (EventId::new(a), EventId::new(b));
+                    if let Some(prefix) = session.try_witness_overlap(ea, eb).unwrap() {
+                        assert!(
+                            !prefix.contains(&ea) && !prefix.contains(&eb),
+                            "the overlap prefix stops before the pair"
+                        );
+                        let m = ctx.machine();
+                        let mut st = m.initial_state();
+                        for &e in &prefix {
+                            assert!(
+                                m.enabled_events(&st).iter().any(|&(_, ev)| ev == e),
+                                "overlap prefix for ({a},{b}) replays"
+                            );
+                            m.step(&mut st, exec.trace().event(e).process);
+                        }
+                        let enabled = m.enabled_events(&st);
+                        assert!(
+                            enabled.iter().any(|&(_, ev)| ev == ea)
+                                && enabled.iter().any(|&(_, ev)| ev == eb),
+                            "both of ({a},{b}) enabled at the prefix state"
+                        );
+                    }
                 }
             }
         }
@@ -448,8 +425,59 @@ mod tests {
         let (trace, _) = fixtures::sem_handshake();
         let exec = trace.to_execution().unwrap();
         let ctx = ctx_of(&exec);
-        let enc = OrderEncoding::build(&ctx);
-        // 4 events: 4·3·2 = 24 transitivity clauses + base + sync.
-        assert!(enc.core_clause_count() >= 24);
+        let session = SatSession::new(&ctx);
+        // 4 events: C(4,3)·3 = 12 ordered transitivity clauses + base + sync.
+        assert!(session.encoding().core_clause_count() >= 12);
+    }
+
+    #[test]
+    fn session_reuses_learned_clauses_across_a_batch() {
+        let (trace, _, _) = fixtures::shared_counter_race();
+        let exec = trace.to_execution().unwrap();
+        let ctx = ctx_of(&exec);
+        let mut session = SatSession::new(&ctx);
+        let n = exec.n_events();
+        for a in 0..n {
+            for b in 0..n {
+                if a != b {
+                    let _ = session
+                        .try_could_happen_before(EventId::new(a), EventId::new(b))
+                        .unwrap();
+                }
+            }
+        }
+        let conflicts_first_sweep = session.encoding().solver().conflicts;
+        for a in 0..n {
+            for b in 0..n {
+                if a != b {
+                    let _ = session
+                        .try_could_happen_before(EventId::new(a), EventId::new(b))
+                        .unwrap();
+                }
+            }
+        }
+        let conflicts_second_sweep = session.encoding().solver().conflicts - conflicts_first_sweep;
+        assert!(
+            conflicts_second_sweep <= conflicts_first_sweep,
+            "a repeated batch must not fight the same conflicts again \
+             ({conflicts_second_sweep} > {conflicts_first_sweep})"
+        );
+    }
+
+    #[test]
+    fn exhausted_budget_interrupts_the_session() {
+        let (trace, ids) = fixtures::sem_handshake();
+        let exec = trace.to_execution().unwrap();
+        let ctx = ctx_of(&exec);
+        let budget = Budget::unlimited();
+        budget.cancel_handle().cancel();
+        let mut session = SatSession::with_budget(&ctx, budget);
+        assert!(matches!(
+            session.try_could_happen_before(ids.v, ids.p),
+            Err(EngineError::Cancelled)
+        ));
+        // Renewing the budget revives the session in place.
+        session.set_budget(Budget::unlimited());
+        assert!(session.try_could_happen_before(ids.v, ids.p).unwrap());
     }
 }

@@ -10,7 +10,7 @@
 
 #![cfg(feature = "fault-injection")]
 
-use eo_engine::sat_backend::{chb_via_sat, chb_via_sat_budgeted};
+use eo_engine::sat_backend::{chb_via_sat, chb_via_sat_budgeted, SatSession};
 use eo_engine::{
     explore_statespace_parallel_budgeted, AnalysisOutcome, Budget, EngineError, ExactEngine, Fault,
     FaultPlan, FeasibilityMode, QuerySession, SearchCtx,
@@ -188,4 +188,52 @@ fn sat_backend_honours_injected_faults() {
             .is_some(),
         chb_via_sat(&ctx, a, b).is_some()
     );
+}
+
+#[test]
+fn sat_session_cancellation_lands_mid_propagation() {
+    let (trace, ids) = fixtures::figure1();
+    let exec = trace.to_execution().unwrap();
+    let ctx = SearchCtx::new(&exec, FeasibilityMode::PreserveDependences);
+    let (a, b) = (ids.post_left, ids.post_right);
+
+    // Checkpoints 1–2 are the session's entry check and the solver's
+    // up-front stop poll; 3 lands on a poll *inside* the first unit
+    // propagation cascade (the encoding's base facts imply a cascade far
+    // longer than one poll interval), before any decision is made.
+    let mut session = SatSession::with_budget(&ctx, faulty(3, Fault::Cancel));
+    assert_eq!(
+        session.try_could_happen_before(a, b),
+        Err(EngineError::Cancelled)
+    );
+    let solver = session.encoding().solver();
+    assert_eq!(
+        solver.decisions, 0,
+        "the fault must trip before the first decision"
+    );
+    assert!(
+        solver.propagations > 0,
+        "the fault must trip inside propagation, not at entry"
+    );
+
+    // Renewing the budget revives the session in place, learned state
+    // intact, and the answer matches the one-shot oracle.
+    session.set_budget(Budget::unlimited());
+    assert_eq!(
+        session.try_could_happen_before(a, b).unwrap(),
+        chb_via_sat(&ctx, a, b).is_some()
+    );
+
+    // Deadline and memory faults surface as their own variants through
+    // the same mid-propagation poll.
+    let mut session = SatSession::with_budget(&ctx, faulty(3, Fault::Deadline));
+    assert!(matches!(
+        session.try_witness_before(a, b),
+        Err(EngineError::DeadlineExceeded { .. })
+    ));
+    let mut session = SatSession::with_budget(&ctx, faulty(3, Fault::Memory));
+    assert!(matches!(
+        session.try_witness_overlap(a, b),
+        Err(EngineError::MemoryExceeded { .. })
+    ));
 }

@@ -1,0 +1,1010 @@
+//! A CDCL satisfiability solver with incremental solving under
+//! assumptions.
+//!
+//! This is the production solver behind the symbolic ordering backend
+//! (ROADMAP item 1): two-watched-literal propagation, 1-UIP conflict
+//! analysis with clause learning, activity-based (VSIDS-style) branching
+//! with exponential decay, phase saving, Luby restarts, and learnt-clause
+//! database reduction. The piece the serve layer leans on is
+//! [`Solver::solve_assuming`]: assumptions are enqueued as pseudo-decision
+//! levels below the search proper, so every clause *learnt* during a call
+//! is derived by resolution from input clauses only and therefore remains
+//! a sound consequence of the formula when the next call arrives with
+//! different assumptions. One encoded formula plus one learned-clause
+//! database can thus serve an entire batch of ordering queries.
+//!
+//! When a `solve_assuming` call returns [`SolveOutcome::Unsat`], the
+//! subset of assumptions that were actually used in the refutation is
+//! available from [`Solver::unsat_core`] (MiniSat's `analyzeFinal`), so a
+//! caller can tell *which* ordering hypothesis failed.
+//!
+//! The cooperative stop callback is consulted both at decision points and
+//! inside the unit-propagation loop, so a long propagation cascade cannot
+//! overshoot a caller's deadline unboundedly (the fix pinned by
+//! `stop_fires_inside_propagation_cascade`).
+
+use crate::formula::{Formula, Lit, Var};
+use crate::solver::SolveOutcome;
+
+/// Index into the clause arena.
+type ClauseRef = usize;
+
+/// A clause in the arena. Deleted learnt clauses leave a tombstone so
+/// `ClauseRef`s stored as reasons stay valid.
+struct ClauseData {
+    lits: Vec<Lit>,
+    learnt: bool,
+    deleted: bool,
+    activity: f64,
+}
+
+/// Encodes a literal as a watch-list index: `2 * var + (negative ? 1 : 0)`.
+fn code(l: Lit) -> usize {
+    2 * l.var.index() + usize::from(!l.positive)
+}
+
+/// The `x`-th term of the Luby restart sequence (1, 1, 2, 1, 1, 2, 4, …),
+/// 0-indexed.
+fn luby(mut x: u64) -> u64 {
+    let mut size = 1u64;
+    let mut seq = 0u32;
+    while size < x + 1 {
+        seq += 1;
+        size = 2 * size + 1;
+    }
+    while size - 1 != x {
+        size = (size - 1) / 2;
+        seq -= 1;
+        x %= size;
+    }
+    1u64 << seq
+}
+
+/// Restart interval unit: the Luby term is multiplied by this many
+/// conflicts.
+const RESTART_BASE: u64 = 128;
+/// Variable-activity decay per conflict (MiniSat's 0.95).
+const VAR_DECAY: f64 = 0.95;
+/// Clause-activity decay per conflict.
+const CLAUSE_DECAY: f64 = 0.999;
+/// How often the stop callback is consulted inside the propagation loop.
+/// Low enough that even a level-0 unit cascade of a few dozen literals
+/// hits it; cheap enough to be noise at scale.
+const STOP_CHECK_INTERVAL: u64 = 16;
+
+/// A conflict-driven clause-learning (CDCL) satisfiability solver.
+///
+/// Drop-in replacement for the old DPLL solver's API ([`Solver::new`],
+/// [`Solver::solve`], [`Solver::solve_with_stop`], the public work
+/// counters) plus the incremental interface the symbolic backend needs:
+/// [`Solver::add_clause`] to grow the formula between calls and
+/// [`Solver::solve_assuming`] to solve under temporary assumptions while
+/// keeping every learnt clause for the next call. The old DPLL survives as
+/// [`crate::solver::ReferenceSolver`], the oracle this solver is
+/// differentially tested against.
+pub struct Solver {
+    /// Number of variables (watch lists etc. are sized to this).
+    n_vars: usize,
+    /// Clause arena: problem clauses first, learnt clauses appended.
+    clauses: Vec<ClauseData>,
+    /// For each literal code, the clauses currently watching that literal.
+    watches: Vec<Vec<ClauseRef>>,
+    /// Per-variable assignment (`None` = unassigned).
+    assign: Vec<Option<bool>>,
+    /// Decision level at which each variable was assigned.
+    level: Vec<u32>,
+    /// The clause that propagated each variable (`None` for decisions).
+    reason: Vec<Option<ClauseRef>>,
+    /// Assignment order; `trail_lim[i]` is where decision level `i + 1`
+    /// begins.
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    /// Next trail position to propagate from.
+    qhead: usize,
+    /// VSIDS activity per variable and the current bump amount.
+    activity: Vec<f64>,
+    var_inc: f64,
+    /// Current clause-activity bump amount.
+    clause_inc: f64,
+    /// Saved phase per variable (last assigned polarity; default `false`).
+    phase: Vec<bool>,
+    /// Scratch marker used by conflict analysis.
+    seen: Vec<bool>,
+    /// `false` once the formula is unsatisfiable independent of
+    /// assumptions (empty clause derived at level 0).
+    ok: bool,
+    /// Learnt clauses allowed before the database is reduced.
+    max_learnts: usize,
+    /// Live (non-deleted) learnt clause count.
+    n_learnts: usize,
+    /// Assumptions that refuted the last Unsat `solve_assuming` call
+    /// (empty when the formula is unsatisfiable on its own).
+    core: Vec<Lit>,
+    /// Decisions + propagations: the work measure reported to stop
+    /// callbacks and the benches (same role as the DPLL node count).
+    pub nodes_visited: u64,
+    /// Branch points (assumption pseudo-decisions excluded).
+    pub decisions: u64,
+    /// Non-chronological backjumps taken after conflicts.
+    pub backtracks: u64,
+    /// Conflicts analyzed.
+    pub conflicts: u64,
+    /// Literals propagated by the watched-literal loop.
+    pub propagations: u64,
+    /// Luby restarts performed.
+    pub restarts: u64,
+}
+
+impl Solver {
+    /// Creates a solver over `formula`'s variables and clauses.
+    ///
+    /// Returns a working solver even if the formula is trivially
+    /// unsatisfiable — the contradiction is discovered by `solve`.
+    pub fn new(formula: Formula) -> Self {
+        let mut s = Solver::with_vars(formula.n_vars);
+        for clause in &formula.clauses {
+            s.add_clause(&clause.0);
+        }
+        s
+    }
+
+    /// Creates an empty incremental solver over `n_vars` variables; grow
+    /// with [`Solver::add_var`] and [`Solver::add_clause`].
+    pub fn with_vars(n_vars: usize) -> Self {
+        Solver {
+            n_vars,
+            clauses: Vec::new(),
+            watches: vec![Vec::new(); 2 * n_vars],
+            assign: vec![None; n_vars],
+            level: vec![0; n_vars],
+            reason: vec![None; n_vars],
+            trail: Vec::new(),
+            trail_lim: Vec::new(),
+            qhead: 0,
+            activity: vec![0.0; n_vars],
+            var_inc: 1.0,
+            clause_inc: 1.0,
+            phase: vec![false; n_vars],
+            seen: vec![false; n_vars],
+            ok: true,
+            max_learnts: 0,
+            n_learnts: 0,
+            core: Vec::new(),
+            nodes_visited: 0,
+            decisions: 0,
+            backtracks: 0,
+            conflicts: 0,
+            propagations: 0,
+            restarts: 0,
+        }
+    }
+
+    /// Adds a fresh variable and returns it.
+    pub fn add_var(&mut self) -> Var {
+        let v = Var(self.n_vars as u32);
+        self.n_vars += 1;
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        self.assign.push(None);
+        self.level.push(0);
+        self.reason.push(None);
+        self.activity.push(0.0);
+        self.phase.push(false);
+        self.seen.push(false);
+        v
+    }
+
+    /// Number of variables currently known to the solver.
+    pub fn num_vars(&self) -> usize {
+        self.n_vars
+    }
+
+    /// Live learnt clauses currently in the database.
+    pub fn num_learnts(&self) -> usize {
+        self.n_learnts
+    }
+
+    /// Adds a clause to the formula (permanently — it participates in all
+    /// later `solve*` calls). Must be called between solves, not during
+    /// one. Returns `false` if the formula is now unsatisfiable regardless
+    /// of assumptions.
+    ///
+    /// # Panics
+    /// Panics on an empty clause or a literal over an unknown variable.
+    pub fn add_clause(&mut self, lits: &[Lit]) -> bool {
+        assert!(
+            self.trail_lim.is_empty(),
+            "add_clause is only valid between solves (decision level 0)"
+        );
+        assert!(!lits.is_empty(), "clauses must be non-empty");
+        if !self.ok {
+            return false;
+        }
+        // Simplify against the level-0 assignment: drop false literals,
+        // skip satisfied clauses and tautologies, deduplicate.
+        let mut simplified: Vec<Lit> = Vec::with_capacity(lits.len());
+        for &l in lits {
+            assert!(l.var.index() < self.n_vars, "literal over unknown variable");
+            match self.value(l) {
+                Some(true) => return true,
+                Some(false) => continue,
+                None => {
+                    if simplified.contains(&l.negated()) {
+                        return true; // tautology
+                    }
+                    if !simplified.contains(&l) {
+                        simplified.push(l);
+                    }
+                }
+            }
+        }
+        match simplified.len() {
+            0 => {
+                self.ok = false;
+                false
+            }
+            1 => {
+                // Enqueue but don't propagate: consequences are derived by
+                // the next solve, which keeps even a level-0 unit cascade
+                // under the stop callback's control.
+                self.unchecked_enqueue(simplified[0], None);
+                true
+            }
+            _ => {
+                self.attach_clause(simplified, false);
+                true
+            }
+        }
+    }
+
+    /// Decides satisfiability; returns a model if satisfiable.
+    pub fn solve(&mut self) -> Option<Vec<bool>> {
+        match self.solve_assuming(&[], &mut |_| false) {
+            SolveOutcome::Sat(model) => Some(model),
+            SolveOutcome::Unsat => None,
+            SolveOutcome::Interrupted => unreachable!("the never-stop callback fired"),
+        }
+    }
+
+    /// Decides satisfiability with a cooperative stop check: `stop`
+    /// receives the running work count (decisions + propagations) and a
+    /// `true` return abandons the search at the next opportunity. The
+    /// check runs inside the propagation loop as well as at decisions, so
+    /// even a single giant unit cascade honors the deadline.
+    pub fn solve_with_stop(&mut self, stop: &mut dyn FnMut(u64) -> bool) -> SolveOutcome {
+        self.solve_assuming(&[], stop)
+    }
+
+    /// Convenience: decide satisfiability of a formula.
+    pub fn satisfiable(formula: &Formula) -> bool {
+        Solver::new(formula.clone()).solve().is_some()
+    }
+
+    /// Decides satisfiability under temporary `assumptions` (literals
+    /// forced true for this call only). Learnt clauses are kept and remain
+    /// sound for later calls with different assumptions, because analysis
+    /// only ever resolves reason clauses — never the assumptions
+    /// themselves. On [`SolveOutcome::Unsat`], [`Solver::unsat_core`]
+    /// names the subset of assumptions the refutation used.
+    pub fn solve_assuming(
+        &mut self,
+        assumptions: &[Lit],
+        stop: &mut dyn FnMut(u64) -> bool,
+    ) -> SolveOutcome {
+        self.core.clear();
+        if !self.ok {
+            return SolveOutcome::Unsat;
+        }
+        // Consult the stop callback once up front so an already-exhausted
+        // deadline interrupts even a trivially small solve, matching the
+        // reference solver's first-node check.
+        if stop(self.nodes_visited) {
+            return SolveOutcome::Interrupted;
+        }
+        if self.max_learnts == 0 {
+            self.max_learnts = (self.clauses.len() / 3).max(100);
+        }
+        let mut restart_budget = RESTART_BASE * luby(self.restarts);
+        let mut conflicts_here: u64 = 0;
+
+        loop {
+            let confl = match self.propagate(stop) {
+                Ok(c) => c,
+                Err(Interrupted) => {
+                    self.cancel_until(0);
+                    return SolveOutcome::Interrupted;
+                }
+            };
+            if let Some(confl) = confl {
+                self.conflicts += 1;
+                conflicts_here += 1;
+                if self.decision_level() == 0 {
+                    // Contradiction below every assumption: unsatisfiable
+                    // outright, so the core is empty.
+                    self.ok = false;
+                    self.cancel_until(0);
+                    return SolveOutcome::Unsat;
+                }
+                let (learnt, bt_level) = self.analyze(confl);
+                self.cancel_until(bt_level);
+                self.backtracks += 1;
+                self.record_learnt(learnt);
+                self.decay_activities();
+            } else {
+                if conflicts_here >= restart_budget {
+                    self.restarts += 1;
+                    restart_budget = RESTART_BASE * luby(self.restarts);
+                    conflicts_here = 0;
+                    self.cancel_until(0);
+                    continue;
+                }
+                if self.n_learnts >= self.max_learnts {
+                    self.reduce_db();
+                }
+                // Re-establish assumptions (one pseudo-decision level
+                // each), then take a real decision.
+                let mut next: Option<Lit> = None;
+                while self.decision_level() < assumptions.len() as u32 {
+                    let p = assumptions[self.decision_level() as usize];
+                    match self.value(p) {
+                        Some(true) => {
+                            // Already implied: dummy level keeps the
+                            // level ↔ assumption-index alignment.
+                            self.trail_lim.push(self.trail.len());
+                        }
+                        Some(false) => {
+                            self.core = self.analyze_final(p);
+                            self.cancel_until(0);
+                            return SolveOutcome::Unsat;
+                        }
+                        None => {
+                            next = Some(p);
+                            break;
+                        }
+                    }
+                }
+                let next = match next {
+                    Some(p) => p,
+                    None => match self.pick_branch() {
+                        Some(p) => {
+                            self.decisions += 1;
+                            self.nodes_visited += 1;
+                            if stop(self.nodes_visited) {
+                                self.cancel_until(0);
+                                return SolveOutcome::Interrupted;
+                            }
+                            p
+                        }
+                        None => {
+                            // All variables assigned: model found.
+                            let model = self.assign.iter().map(|v| v.unwrap_or(false)).collect();
+                            self.cancel_until(0);
+                            return SolveOutcome::Sat(model);
+                        }
+                    },
+                };
+                self.trail_lim.push(self.trail.len());
+                self.unchecked_enqueue(next, None);
+            }
+        }
+    }
+
+    /// After an Unsat [`Solver::solve_assuming`], the subset of that
+    /// call's assumptions used by the refutation (empty when the formula
+    /// is unsatisfiable with no assumptions at all). Each returned literal
+    /// is one of the assumption literals as passed.
+    pub fn unsat_core(&self) -> &[Lit] {
+        &self.core
+    }
+
+    /// Current value of a literal under the partial assignment.
+    fn value(&self, l: Lit) -> Option<bool> {
+        self.assign[l.var.index()].map(|v| l.satisfied_by(v))
+    }
+
+    fn decision_level(&self) -> u32 {
+        self.trail_lim.len() as u32
+    }
+
+    /// Appends `lits` to the arena and hooks up its first two literals as
+    /// watches. Callers guarantee `lits.len() >= 2` and that watching the
+    /// first two literals is valid (for learnt clauses: lits[0] is the
+    /// asserting literal, lits[1] has the backjump level).
+    fn attach_clause(&mut self, lits: Vec<Lit>, learnt: bool) -> ClauseRef {
+        debug_assert!(lits.len() >= 2);
+        let cref = self.clauses.len();
+        self.watches[code(lits[0])].push(cref);
+        self.watches[code(lits[1])].push(cref);
+        if learnt {
+            self.n_learnts += 1;
+        }
+        self.clauses.push(ClauseData {
+            lits,
+            learnt,
+            deleted: false,
+            activity: 0.0,
+        });
+        cref
+    }
+
+    /// Assigns `p` true at the current decision level with an optional
+    /// reason clause, and queues it for propagation.
+    fn unchecked_enqueue(&mut self, p: Lit, reason: Option<ClauseRef>) {
+        let v = p.var.index();
+        debug_assert!(self.assign[v].is_none());
+        self.assign[v] = Some(p.positive);
+        self.level[v] = self.decision_level();
+        self.reason[v] = reason;
+        self.trail.push(p);
+    }
+
+    /// Unassigns everything above decision `level`, saving phases.
+    fn cancel_until(&mut self, level: u32) {
+        if self.decision_level() <= level {
+            return;
+        }
+        let keep = self.trail_lim[level as usize];
+        for i in (keep..self.trail.len()).rev() {
+            let v = self.trail[i].var.index();
+            self.phase[v] = self.assign[v].expect("on trail");
+            self.assign[v] = None;
+            self.reason[v] = None;
+        }
+        self.trail.truncate(keep);
+        self.trail_lim.truncate(level as usize);
+        self.qhead = self.trail.len();
+    }
+
+    /// Two-watched-literal unit propagation to fixpoint. Returns a
+    /// conflicting clause, or `None` at fixpoint. The stop callback is
+    /// consulted every [`STOP_CHECK_INTERVAL`] propagated literals so a
+    /// long cascade stays interruptible.
+    fn propagate(
+        &mut self,
+        stop: &mut dyn FnMut(u64) -> bool,
+    ) -> Result<Option<ClauseRef>, Interrupted> {
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            self.propagations += 1;
+            self.nodes_visited += 1;
+            if self.propagations % STOP_CHECK_INTERVAL == 0 && stop(self.nodes_visited) {
+                return Err(Interrupted);
+            }
+            // Clauses watching ¬p just lost that watch.
+            let false_lit = p.negated();
+            let widx = code(false_lit);
+            let mut ws = std::mem::take(&mut self.watches[widx]);
+            let mut i = 0;
+            let mut conflict: Option<ClauseRef> = None;
+            'clauses: while i < ws.len() {
+                let cref = ws[i];
+                let clause = &mut self.clauses[cref];
+                if clause.deleted {
+                    ws.swap_remove(i);
+                    continue;
+                }
+                // Normalize: the false watch sits at position 1.
+                if clause.lits[0] == false_lit {
+                    clause.lits.swap(0, 1);
+                }
+                debug_assert_eq!(clause.lits[1], false_lit);
+                let first = clause.lits[0];
+                if self.assign[first.var.index()].map(|v| first.satisfied_by(v)) == Some(true) {
+                    i += 1;
+                    continue;
+                }
+                // Look for a non-false literal to watch instead.
+                for k in 2..clause.lits.len() {
+                    let l = clause.lits[k];
+                    if self.assign[l.var.index()].map(|v| l.satisfied_by(v)) != Some(false) {
+                        clause.lits.swap(1, k);
+                        let new_watch = clause.lits[1];
+                        self.watches[code(new_watch)].push(cref);
+                        ws.swap_remove(i);
+                        continue 'clauses;
+                    }
+                }
+                // No replacement: clause is unit or conflicting.
+                if self.assign[first.var.index()].map(|v| first.satisfied_by(v)) == Some(false) {
+                    conflict = Some(cref);
+                    self.qhead = self.trail.len();
+                    break;
+                }
+                self.unchecked_enqueue(first, Some(cref));
+                i += 1;
+            }
+            self.watches[widx] = ws;
+            if conflict.is_some() {
+                return Ok(conflict);
+            }
+        }
+        Ok(None)
+    }
+
+    /// 1-UIP conflict analysis. Returns the learnt clause (asserting
+    /// literal first, a literal of the backjump level second when the
+    /// clause has ≥ 2 literals) and the level to backjump to.
+    fn analyze(&mut self, confl: ClauseRef) -> (Vec<Lit>, u32) {
+        let current = self.decision_level();
+        let mut learnt: Vec<Lit> = vec![Lit::pos(Var(0))]; // slot 0 = asserting lit
+        let mut path_count: u32 = 0;
+        let mut p: Option<Lit> = None;
+        let mut index = self.trail.len();
+        let mut confl = Some(confl);
+
+        loop {
+            let cref = confl.expect("resolved literal must have a reason");
+            self.bump_clause(cref);
+            // For reason clauses lits[0] is the propagated literal itself —
+            // skip it; for the seed conflict every literal participates.
+            let start = usize::from(p.is_some());
+            for k in start..self.clauses[cref].lits.len() {
+                let q = self.clauses[cref].lits[k];
+                let v = q.var.index();
+                if !self.seen[v] && self.level[v] > 0 {
+                    self.seen[v] = true;
+                    self.bump_var(v);
+                    if self.level[v] >= current {
+                        path_count += 1;
+                    } else {
+                        learnt.push(q);
+                    }
+                }
+            }
+            // Walk the trail backwards to the next marked literal.
+            loop {
+                index -= 1;
+                if self.seen[self.trail[index].var.index()] {
+                    break;
+                }
+            }
+            let pl = self.trail[index];
+            confl = self.reason[pl.var.index()];
+            self.seen[pl.var.index()] = false;
+            path_count -= 1;
+            p = Some(pl);
+            if path_count == 0 {
+                break;
+            }
+        }
+        learnt[0] = p.expect("loop ran").negated();
+
+        // Backjump level: highest level among the non-asserting literals.
+        let bt_level = if learnt.len() == 1 {
+            0
+        } else {
+            let mut max_i = 1;
+            for k in 2..learnt.len() {
+                if self.level[learnt[k].var.index()] > self.level[learnt[max_i].var.index()] {
+                    max_i = k;
+                }
+            }
+            learnt.swap(1, max_i);
+            self.level[learnt[1].var.index()]
+        };
+        for &l in &learnt[1..] {
+            self.seen[l.var.index()] = false;
+        }
+        (learnt, bt_level)
+    }
+
+    /// Installs a freshly learnt clause and enqueues its asserting
+    /// literal. Must run after `cancel_until(bt_level)`.
+    fn record_learnt(&mut self, learnt: Vec<Lit>) {
+        let asserting = learnt[0];
+        if learnt.len() == 1 {
+            self.unchecked_enqueue(asserting, None);
+        } else {
+            let cref = self.attach_clause(learnt, true);
+            self.bump_clause(cref);
+            self.unchecked_enqueue(asserting, Some(cref));
+        }
+    }
+
+    /// MiniSat's `analyzeFinal`: given an assumption `p` found false,
+    /// walks the implication graph of `¬p` down to the decisions (which
+    /// are all assumptions, since the conflict arose while re-asserting
+    /// them) and returns the responsible assumptions plus `p` itself.
+    fn analyze_final(&mut self, p: Lit) -> Vec<Lit> {
+        let mut out = vec![p];
+        if self.decision_level() == 0 {
+            return out;
+        }
+        self.seen[p.var.index()] = true;
+        let bottom = self.trail_lim[0];
+        for i in (bottom..self.trail.len()).rev() {
+            let x = self.trail[i];
+            let v = x.var.index();
+            if !self.seen[v] {
+                continue;
+            }
+            match self.reason[v] {
+                None => {
+                    debug_assert!(self.level[v] > 0);
+                    // A decision below the search proper is an assumption,
+                    // enqueued as itself.
+                    out.push(x);
+                }
+                Some(cref) => {
+                    for k in 1..self.clauses[cref].lits.len() {
+                        let q = self.clauses[cref].lits[k];
+                        if self.level[q.var.index()] > 0 {
+                            self.seen[q.var.index()] = true;
+                        }
+                    }
+                }
+            }
+            self.seen[v] = false;
+        }
+        self.seen[p.var.index()] = false;
+        out
+    }
+
+    /// The unassigned variable with the highest activity (linear scan —
+    /// the encodings here stay small enough that a heap buys nothing),
+    /// with its saved phase.
+    fn pick_branch(&mut self) -> Option<Lit> {
+        let mut best: Option<usize> = None;
+        for v in 0..self.n_vars {
+            if self.assign[v].is_none()
+                && best
+                    .map(|b| self.activity[v] > self.activity[b])
+                    .unwrap_or(true)
+            {
+                best = Some(v);
+            }
+        }
+        best.map(|v| {
+            if self.phase[v] {
+                Lit::pos(Var(v as u32))
+            } else {
+                Lit::neg(Var(v as u32))
+            }
+        })
+    }
+
+    fn bump_var(&mut self, v: usize) {
+        self.activity[v] += self.var_inc;
+        if self.activity[v] > 1e100 {
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+        }
+    }
+
+    fn bump_clause(&mut self, cref: ClauseRef) {
+        let c = &mut self.clauses[cref];
+        if !c.learnt {
+            return;
+        }
+        c.activity += self.clause_inc;
+        if c.activity > 1e20 {
+            for cl in &mut self.clauses {
+                cl.activity *= 1e-20;
+            }
+            self.clause_inc *= 1e-20;
+        }
+    }
+
+    fn decay_activities(&mut self) {
+        self.var_inc /= VAR_DECAY;
+        self.clause_inc /= CLAUSE_DECAY;
+    }
+
+    /// Halves the learnt-clause database: the lower-activity half is
+    /// tombstoned and detached, except binary clauses and clauses locked
+    /// as the reason of a current assignment. The allowance then grows so
+    /// reductions stay amortized.
+    fn reduce_db(&mut self) {
+        let mut learnt_refs: Vec<ClauseRef> = (0..self.clauses.len())
+            .filter(|&c| {
+                let cl = &self.clauses[c];
+                cl.learnt && !cl.deleted && cl.lits.len() > 2
+            })
+            .collect();
+        learnt_refs.sort_by(|&a, &b| {
+            self.clauses[a]
+                .activity
+                .partial_cmp(&self.clauses[b].activity)
+                .expect("activities are finite")
+        });
+        let target = learnt_refs.len() / 2;
+        let mut removed = 0;
+        for &cref in &learnt_refs {
+            if removed >= target {
+                break;
+            }
+            if self.is_locked(cref) {
+                continue;
+            }
+            self.delete_clause(cref);
+            removed += 1;
+        }
+        self.max_learnts = self.max_learnts + self.max_learnts / 10 + 1;
+    }
+
+    /// A clause is locked while it is the reason for a current assignment.
+    fn is_locked(&self, cref: ClauseRef) -> bool {
+        let first = self.clauses[cref].lits[0];
+        self.reason[first.var.index()] == Some(cref)
+            && self.assign[first.var.index()].map(|v| first.satisfied_by(v)) == Some(true)
+    }
+
+    /// Tombstones a clause and eagerly removes its two watch entries.
+    fn delete_clause(&mut self, cref: ClauseRef) {
+        let (w0, w1) = {
+            let c = &self.clauses[cref];
+            (code(c.lits[0]), code(c.lits[1]))
+        };
+        self.watches[w0].retain(|&c| c != cref);
+        self.watches[w1].retain(|&c| c != cref);
+        let c = &mut self.clauses[cref];
+        c.deleted = true;
+        c.lits.clear();
+        c.lits.shrink_to_fit();
+        self.n_learnts -= 1;
+    }
+}
+
+/// Private marker: the stop callback fired mid-search.
+#[derive(Debug)]
+struct Interrupted;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::formula::Clause;
+    use crate::solver::{brute_force_satisfiable, solve_reference};
+
+    fn never(_: u64) -> bool {
+        false
+    }
+
+    #[test]
+    fn solves_trivially_sat() {
+        let f = Formula::trivially_sat(5, 8);
+        let model = Solver::new(f.clone()).solve().expect("satisfiable");
+        assert!(f.satisfied_by(&model));
+    }
+
+    #[test]
+    fn rejects_unsat_families() {
+        assert!(Solver::new(Formula::unsat_tiny()).solve().is_none());
+        assert!(Solver::new(Formula::unsat_eight()).solve().is_none());
+    }
+
+    #[test]
+    fn unit_propagation_chains() {
+        let f = Formula::new(
+            3,
+            vec![
+                Clause(vec![Lit::pos(Var(0))]),
+                Clause(vec![Lit::neg(Var(0)), Lit::pos(Var(1))]),
+                Clause(vec![Lit::neg(Var(1)), Lit::pos(Var(2))]),
+            ],
+        );
+        let model = Solver::new(f).solve().unwrap();
+        assert_eq!(model, vec![true, true, true]);
+    }
+
+    #[test]
+    fn contradictory_units_are_unsat() {
+        let f = Formula::new(
+            1,
+            vec![
+                Clause(vec![Lit::pos(Var(0))]),
+                Clause(vec![Lit::neg(Var(0))]),
+            ],
+        );
+        assert!(Solver::new(f).solve().is_none());
+    }
+
+    #[test]
+    fn agrees_with_reference_dpll_near_threshold() {
+        // Clause/variable ratio near the hard threshold (~4.26), where
+        // both SAT and UNSAT instances occur.
+        for seed in 0..120 {
+            let f = Formula::random_3cnf(8, 34, seed);
+            let cdcl = Solver::new(f.clone()).solve();
+            let dpll = solve_reference(&f);
+            assert_eq!(
+                cdcl.is_some(),
+                dpll.is_some(),
+                "seed {seed}: {}",
+                f.display()
+            );
+            if let Some(model) = cdcl {
+                assert!(f.satisfied_by(&model), "seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn agrees_with_brute_force() {
+        for seed in 0..60 {
+            let f = Formula::random_3cnf(5, 21, seed);
+            let cdcl = Solver::new(f.clone()).solve().is_some();
+            let brute = brute_force_satisfiable(&f).is_some();
+            assert_eq!(cdcl, brute, "seed {seed}: {}", f.display());
+        }
+    }
+
+    #[test]
+    fn assumptions_flip_a_satisfiable_formula() {
+        // (x0 ∨ x1): satisfiable alone, and under each single assumption,
+        // but not under both negated.
+        let f = Formula::new(2, vec![Clause(vec![Lit::pos(Var(0)), Lit::pos(Var(1))])]);
+        let mut s = Solver::new(f);
+        assert!(matches!(
+            s.solve_assuming(&[], &mut never),
+            SolveOutcome::Sat(_)
+        ));
+        let a = [Lit::neg(Var(0))];
+        match s.solve_assuming(&a, &mut never) {
+            SolveOutcome::Sat(m) => assert!(!m[0] && m[1]),
+            o => panic!("expected Sat, got {o:?}"),
+        }
+        let both = [Lit::neg(Var(0)), Lit::neg(Var(1))];
+        assert!(matches!(
+            s.solve_assuming(&both, &mut never),
+            SolveOutcome::Unsat
+        ));
+        // And the solver is not poisoned: the unconstrained call still
+        // succeeds afterwards.
+        assert!(matches!(
+            s.solve_assuming(&[], &mut never),
+            SolveOutcome::Sat(_)
+        ));
+    }
+
+    #[test]
+    fn unsat_core_names_the_guilty_assumptions() {
+        // x0 ∧ x1 → x2 is forced; assuming ¬x2 alongside x3 (irrelevant)
+        // must produce a core that omits x3.
+        let f = Formula::new(
+            4,
+            vec![
+                Clause(vec![Lit::pos(Var(0))]),
+                Clause(vec![Lit::pos(Var(1))]),
+                Clause(vec![Lit::neg(Var(0)), Lit::neg(Var(1)), Lit::pos(Var(2))]),
+            ],
+        );
+        let mut s = Solver::new(f);
+        let assumptions = [Lit::pos(Var(3)), Lit::neg(Var(2))];
+        assert!(matches!(
+            s.solve_assuming(&assumptions, &mut never),
+            SolveOutcome::Unsat
+        ));
+        let core = s.unsat_core().to_vec();
+        assert!(
+            core.contains(&Lit::neg(Var(2))),
+            "core {core:?} must contain ¬x2"
+        );
+        assert!(
+            !core.contains(&Lit::pos(Var(3))),
+            "core {core:?} must omit x3"
+        );
+        // Core literals are always a subset of the assumptions passed.
+        assert!(core.iter().all(|l| assumptions.contains(l)));
+    }
+
+    #[test]
+    fn unsat_core_is_empty_once_formula_unsat_is_known() {
+        let mut s = Solver::new(Formula::unsat_tiny());
+        assert!(s.solve().is_none());
+        // The formula is refuted on its own; assumptions cannot be blamed.
+        assert!(matches!(
+            s.solve_assuming(&[Lit::pos(Var(0))], &mut never),
+            SolveOutcome::Unsat
+        ));
+        assert!(s.unsat_core().is_empty());
+    }
+
+    #[test]
+    fn learned_clauses_persist_across_assuming_calls() {
+        // A formula hard enough to force learning; the second identical
+        // call must reuse the learnt database (strictly fewer conflicts).
+        let f = Formula::random_3cnf(12, 51, 7);
+        let mut s = Solver::new(f);
+        let a = [Lit::pos(Var(0))];
+        let first = s.solve_assuming(&a, &mut never);
+        let conflicts_first = s.conflicts;
+        let second = s.solve_assuming(&a, &mut never);
+        let conflicts_second = s.conflicts - conflicts_first;
+        assert_eq!(
+            matches!(first, SolveOutcome::Sat(_)),
+            matches!(second, SolveOutcome::Sat(_))
+        );
+        assert!(
+            conflicts_second <= conflicts_first,
+            "second call must not re-learn everything: {conflicts_second} > {conflicts_first}"
+        );
+    }
+
+    #[test]
+    fn incremental_add_clause_narrows_models() {
+        let mut s = Solver::with_vars(3);
+        assert!(s.add_clause(&[Lit::pos(Var(0)), Lit::pos(Var(1))]));
+        assert!(matches!(
+            s.solve_assuming(&[], &mut never),
+            SolveOutcome::Sat(_)
+        ));
+        assert!(s.add_clause(&[Lit::neg(Var(0))]));
+        match s.solve_assuming(&[], &mut never) {
+            SolveOutcome::Sat(m) => assert!(!m[0] && m[1]),
+            o => panic!("expected Sat, got {o:?}"),
+        }
+        assert!(!s.add_clause(&[Lit::neg(Var(1))]) || s.solve().is_none());
+        assert!(matches!(
+            s.solve_assuming(&[], &mut never),
+            SolveOutcome::Unsat
+        ));
+    }
+
+    #[test]
+    fn stop_fires_inside_propagation_cascade() {
+        // A pure implication chain: solving it never makes a single
+        // decision, so the stop callback can only fire if the propagation
+        // loop checks it (the bug this pins: the old solver checked only
+        // at decision points).
+        let n = 4 * STOP_CHECK_INTERVAL as usize;
+        let mut clauses = vec![Clause(vec![Lit::pos(Var(0))])];
+        for v in 0..n - 1 {
+            clauses.push(Clause(vec![
+                Lit::neg(Var(v as u32)),
+                Lit::pos(Var(v as u32 + 1)),
+            ]));
+        }
+        let f = Formula::new(n, clauses);
+        let mut s = Solver::new(f);
+        let mut calls = 0u64;
+        let outcome = s.solve_with_stop(&mut |_| {
+            calls += 1;
+            true
+        });
+        assert_eq!(s.decisions, 0, "an implication chain needs no decisions");
+        assert!(calls > 0, "stop must be consulted inside propagation");
+        assert!(matches!(outcome, SolveOutcome::Interrupted));
+    }
+
+    #[test]
+    fn interrupted_solver_recovers() {
+        let f = Formula::random_3cnf(10, 42, 11);
+        let mut s = Solver::new(f.clone());
+        let _ = s.solve_with_stop(&mut |n| n > 8);
+        // After an interrupt the solver must still answer correctly.
+        let answer = s.solve();
+        assert_eq!(answer.is_some(), solve_reference(&f).is_some());
+    }
+
+    #[test]
+    fn db_reduction_does_not_change_answers() {
+        // Enough conflicts to trigger at least one reduce_db pass.
+        for seed in [3u64, 19, 42] {
+            let f = Formula::random_3cnf(14, 59, seed);
+            let mut s = Solver::new(f.clone());
+            s.max_learnts = 4; // force aggressive reduction
+            let cdcl = s.solve().is_some();
+            assert_eq!(cdcl, solve_reference(&f).is_some(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn luby_sequence_prefix() {
+        let prefix: Vec<u64> = (0..15).map(luby).collect();
+        assert_eq!(prefix, vec![1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8]);
+    }
+
+    #[test]
+    fn counters_move_and_relate() {
+        let f = Formula::random_3cnf(10, 42, 5);
+        let mut s = Solver::new(f);
+        s.solve();
+        assert!(s.nodes_visited > 0);
+        assert!(s.propagations > 0);
+        assert_eq!(s.nodes_visited, s.decisions + s.propagations);
+        assert!(s.backtracks <= s.conflicts);
+    }
+}

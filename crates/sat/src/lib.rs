@@ -1,17 +1,24 @@
-//! 3CNF formulas and a DPLL satisfiability solver.
+//! CNF formulas, a CDCL satisfiability solver, and a reference DPLL.
 //!
 //! The paper's Theorems 1–4 reduce **3CNFSAT** to event-ordering
 //! questions: a Boolean formula B is unsatisfiable iff `a MHB b` in the
 //! constructed program (and satisfiable iff `b CHB a`). To *verify* those
-//! reductions mechanically, the workspace needs an independent SAT
-//! decision procedure — this crate.
+//! reductions mechanically — and, since ROADMAP item 1, to answer
+//! ordering queries *symbolically* via a partial-order CNF encoding — the
+//! workspace needs its own SAT decision procedure: this crate.
 //!
 //! * [`formula`] — literals, clauses, 3CNF formulas, assignment
 //!   evaluation, random and structured instance generators, and a compact
 //!   DIMACS-style text form;
-//! * [`solver`] — a DPLL solver (unit propagation, pure-literal
-//!   elimination, most-occurring-variable branching) plus a brute-force
-//!   oracle used to test the solver itself.
+//! * [`cdcl`] — the production solver: conflict-driven clause learning
+//!   with two-watched-literal propagation, 1-UIP learning, VSIDS-style
+//!   branching, Luby restarts, clause-database reduction, and incremental
+//!   solving under assumptions with unsat-core extraction
+//!   ([`Solver::solve_assuming`], [`Solver::unsat_core`]);
+//! * [`solver`] — the old DPLL solver, retained verbatim as the
+//!   independent oracle ([`solve_reference`]) the CDCL solver is
+//!   differentially tested against, plus a brute-force oracle for tiny
+//!   formulas.
 //!
 //! Everything is deliberately self-contained: no third-party solver, so
 //! the reduction checks rest only on code proven by this repo's own tests.
@@ -29,8 +36,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cdcl;
 pub mod formula;
 pub mod solver;
 
+pub use cdcl::Solver;
 pub use formula::{Clause, Formula, Lit, Var};
-pub use solver::{brute_force_satisfiable, SolveOutcome, Solver};
+pub use solver::{brute_force_satisfiable, solve_reference, ReferenceSolver, SolveOutcome};

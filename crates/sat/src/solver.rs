@@ -1,4 +1,9 @@
-//! A DPLL solver and a brute-force oracle.
+//! The reference DPLL solver and a brute-force oracle.
+//!
+//! The production solver is the CDCL implementation in [`crate::cdcl`];
+//! the DPLL solver here is kept, verbatim, as the independent oracle the
+//! CDCL solver is differentially tested against (see
+//! [`solve_reference`]).
 
 use crate::formula::{Formula, Lit, Var};
 
@@ -9,8 +14,10 @@ use crate::formula::{Formula, Lit, Var};
 /// model on satisfiable inputs. Exponential in the worst case, of course —
 /// but vastly faster than the event-ordering route the paper proves
 /// equivalent, which is exactly the asymmetry the benchmark suite
-/// demonstrates.
-pub struct Solver {
+/// demonstrates. Retained as the oracle for the CDCL solver
+/// ([`crate::Solver`]); it shares no code with it, so agreement between
+/// the two is strong evidence for both.
+pub struct ReferenceSolver {
     formula: Formula,
     /// Branching decisions + propagations explored (a work measure for the
     /// benches).
@@ -25,7 +32,7 @@ pub struct Solver {
 /// Partial assignment: per-variable `Option<bool>`.
 type PartialAssignment = Vec<Option<bool>>;
 
-/// What an interruptible solve ended with ([`Solver::solve_with_stop`]).
+/// What an interruptible solve ended with ([`ReferenceSolver::solve_with_stop`]).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum SolveOutcome {
     /// Satisfiable, with a model.
@@ -39,10 +46,10 @@ pub enum SolveOutcome {
 /// Private marker: the stop callback fired mid-search.
 struct Interrupted;
 
-impl Solver {
+impl ReferenceSolver {
     /// Creates a solver for the given formula.
     pub fn new(formula: Formula) -> Self {
-        Solver {
+        ReferenceSolver {
             formula,
             nodes_visited: 0,
             decisions: 0,
@@ -78,7 +85,7 @@ impl Solver {
 
     /// Convenience: decide satisfiability of a formula.
     pub fn satisfiable(formula: &Formula) -> bool {
-        Solver::new(formula.clone()).solve().is_some()
+        ReferenceSolver::new(formula.clone()).solve().is_some()
     }
 
     fn dpll(
@@ -246,6 +253,13 @@ enum UnitScan {
     None,
 }
 
+/// Decides satisfiability with the reference DPLL solver; returns a model
+/// if satisfiable. This is the oracle the CDCL solver's proptest suite
+/// compares against.
+pub fn solve_reference(formula: &Formula) -> Option<Vec<bool>> {
+    ReferenceSolver::new(formula.clone()).solve()
+}
+
 /// Brute-force satisfiability by enumerating all 2ⁿ assignments — the
 /// oracle the solver is tested against. Only for small n.
 ///
@@ -271,21 +285,23 @@ mod tests {
     #[test]
     fn solves_trivially_sat() {
         let f = Formula::trivially_sat(5, 8);
-        let model = Solver::new(f.clone()).solve().expect("satisfiable");
+        let model = ReferenceSolver::new(f.clone())
+            .solve()
+            .expect("satisfiable");
         assert!(f.satisfied_by(&model));
     }
 
     #[test]
     fn rejects_unsat_eight() {
         let f = Formula::unsat_eight();
-        assert!(Solver::new(f).solve().is_none());
+        assert!(ReferenceSolver::new(f).solve().is_none());
     }
 
     #[test]
     fn rejects_unsat_tiny() {
         let f = Formula::unsat_tiny();
         assert!(f.is_3cnf());
-        assert!(Solver::new(f.clone()).solve().is_none());
+        assert!(ReferenceSolver::new(f.clone()).solve().is_none());
         assert!(brute_force_satisfiable(&f).is_none());
     }
 
@@ -300,7 +316,7 @@ mod tests {
                 Clause(vec![Lit::neg(Var(1)), Lit::pos(Var(2))]),
             ],
         );
-        let model = Solver::new(f).solve().unwrap();
+        let model = ReferenceSolver::new(f).solve().unwrap();
         assert_eq!(model, vec![true, true, true]);
     }
 
@@ -313,14 +329,14 @@ mod tests {
                 Clause(vec![Lit::neg(Var(0))]),
             ],
         );
-        assert!(Solver::new(f).solve().is_none());
+        assert!(ReferenceSolver::new(f).solve().is_none());
     }
 
     #[test]
     fn model_always_satisfies() {
         for seed in 0..40 {
             let f = Formula::random_3cnf(6, 15, seed);
-            if let Some(model) = Solver::new(f.clone()).solve() {
+            if let Some(model) = ReferenceSolver::new(f.clone()).solve() {
                 assert!(f.satisfied_by(&model), "seed {seed}");
             }
         }
@@ -331,7 +347,7 @@ mod tests {
         for seed in 0..60 {
             // Clause/variable ratio near the hard threshold (~4.26).
             let f = Formula::random_3cnf(5, 21, seed);
-            let dpll = Solver::new(f.clone()).solve().is_some();
+            let dpll = ReferenceSolver::new(f.clone()).solve().is_some();
             let brute = brute_force_satisfiable(&f).is_some();
             assert_eq!(dpll, brute, "seed {seed}: {}", f.display());
         }
@@ -341,11 +357,11 @@ mod tests {
     fn stop_callback_interrupts_the_search() {
         let f = Formula::random_3cnf(8, 34, 3);
         // Stop at the very first node: no answer can have been reached.
-        let mut s = Solver::new(f.clone());
+        let mut s = ReferenceSolver::new(f.clone());
         assert_eq!(s.solve_with_stop(&mut |_| true), SolveOutcome::Interrupted);
         // A never-firing stop reproduces the plain solve.
-        let plain = Solver::new(f.clone()).solve();
-        let mut s2 = Solver::new(f);
+        let plain = ReferenceSolver::new(f.clone()).solve();
+        let mut s2 = ReferenceSolver::new(f);
         match (plain, s2.solve_with_stop(&mut |_| false)) {
             (Some(_), SolveOutcome::Sat(_)) | (None, SolveOutcome::Unsat) => {}
             (p, o) => panic!("solve {p:?} disagrees with solve_with_stop {o:?}"),
@@ -355,7 +371,7 @@ mod tests {
     #[test]
     fn node_counter_moves() {
         let f = Formula::random_3cnf(6, 20, 1);
-        let mut s = Solver::new(f);
+        let mut s = ReferenceSolver::new(f);
         s.solve();
         assert!(s.nodes_visited > 0);
         // Decisions only happen at branch nodes, so they are bounded by the
@@ -366,7 +382,7 @@ mod tests {
 
     #[test]
     fn unsat_search_counts_backtracks() {
-        let mut s = Solver::new(Formula::unsat_eight());
+        let mut s = ReferenceSolver::new(Formula::unsat_eight());
         assert!(s.solve().is_none());
         assert!(s.decisions > 0, "UNSAT proof must branch");
         assert!(s.backtracks > 0, "UNSAT proof must backtrack");

@@ -1,0 +1,129 @@
+//! Differential property tests: the CDCL solver against the reference
+//! DPLL oracle (`solve_reference`), on random CNF, under assumptions, and
+//! for unsat-core validity. The two solvers share no search code, so
+//! agreement here vouches for both (DESIGN.md §14).
+
+use eo_sat::{solve_reference, Clause, Formula, Lit, SolveOutcome, Solver, Var};
+use proptest::prelude::*;
+
+/// All tests use formulas over this many variables so formula and
+/// assumption strategies can be drawn independently.
+const N_VARS: u32 = 7;
+
+fn lit() -> impl Strategy<Value = Lit> {
+    (0..N_VARS, prop::bool::ANY).prop_map(|(v, pos)| {
+        if pos {
+            Lit::pos(Var(v))
+        } else {
+            Lit::neg(Var(v))
+        }
+    })
+}
+
+fn formula(max_clauses: usize) -> impl Strategy<Value = Formula> {
+    prop::collection::vec(
+        prop::collection::vec(lit(), 1..=3).prop_map(Clause),
+        1..=max_clauses,
+    )
+    .prop_map(move |clauses| Formula::new(N_VARS as usize, clauses))
+}
+
+/// Assumption lists over distinct variables (repeated or contradictory
+/// assumptions are legal but make the tests less sharp).
+fn assumptions(max: usize) -> impl Strategy<Value = Vec<Lit>> {
+    prop::collection::vec(lit(), 0..=max).prop_map(|raw| {
+        let mut seen_vars = Vec::new();
+        let mut out = Vec::new();
+        for l in raw {
+            if !seen_vars.contains(&l.var) {
+                seen_vars.push(l.var);
+                out.push(l);
+            }
+        }
+        out
+    })
+}
+
+/// The oracle's view of "solve under assumptions": conjoin them as units.
+fn reference_assuming(f: &Formula, assumptions: &[Lit]) -> bool {
+    let mut g = f.clone();
+    for &a in assumptions {
+        g.clauses.push(Clause(vec![a]));
+    }
+    solve_reference(&g).is_some()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// CDCL and the reference DPLL agree on satisfiability of random CNF
+    /// (clause counts spanning the SAT/UNSAT threshold), and CDCL models
+    /// are real models.
+    #[test]
+    fn cdcl_matches_reference(f in formula(32)) {
+        let cdcl = Solver::new(f.clone()).solve();
+        let reference = solve_reference(&f);
+        prop_assert_eq!(cdcl.is_some(), reference.is_some(), "{}", f.display());
+        if let Some(model) = cdcl {
+            prop_assert!(f.satisfied_by(&model));
+        }
+    }
+
+    /// `solve_assuming` agrees with the oracle solving formula ∧ units,
+    /// and a Sat model satisfies every assumption.
+    #[test]
+    fn assumptions_match_reference(fa in (formula(24), assumptions(4))) {
+        let (f, a) = fa;
+        let mut s = Solver::new(f.clone());
+        let outcome = s.solve_assuming(&a, &mut |_| false);
+        let reference = reference_assuming(&f, &a);
+        match outcome {
+            SolveOutcome::Sat(model) => {
+                prop_assert!(reference, "CDCL Sat but oracle Unsat: {}", f.display());
+                prop_assert!(f.satisfied_by(&model));
+                for &l in &a {
+                    prop_assert!(model[l.var.index()] == l.positive, "assumption {} violated", l);
+                }
+            }
+            SolveOutcome::Unsat => {
+                prop_assert!(!reference, "CDCL Unsat but oracle Sat: {}", f.display());
+            }
+            SolveOutcome::Interrupted => prop_assert!(false, "never-stop callback fired"),
+        }
+    }
+
+    /// On Unsat-under-assumptions, the extracted core is (a) a subset of
+    /// the assumptions and (b) itself sufficient: formula ∧ core is
+    /// already unsatisfiable by the oracle's account.
+    #[test]
+    fn unsat_cores_are_sound(fa in (formula(28), assumptions(5))) {
+        let (f, a) = fa;
+        let mut s = Solver::new(f.clone());
+        if matches!(s.solve_assuming(&a, &mut |_| false), SolveOutcome::Unsat) {
+            let core = s.unsat_core().to_vec();
+            for &l in &core {
+                prop_assert!(a.contains(&l), "core literal {} not among assumptions", l);
+            }
+            prop_assert!(
+                !reference_assuming(&f, &core),
+                "core {:?} is not sufficient for unsatisfiability: {}", core, f.display()
+            );
+        }
+    }
+
+    /// A second `solve_assuming` call on the same solver still agrees
+    /// with the oracle — learnt clauses from the first call must not leak
+    /// assumption-specific facts into the clause database.
+    #[test]
+    fn learnt_clauses_stay_sound_across_calls(faa in (formula(26), assumptions(4), assumptions(4))) {
+        let (f, a1, a2) = faa;
+        let mut s = Solver::new(f.clone());
+        let _ = s.solve_assuming(&a1, &mut |_| false);
+        let second = s.solve_assuming(&a2, &mut |_| false);
+        prop_assert_eq!(
+            matches!(second, SolveOutcome::Sat(_)),
+            reference_assuming(&f, &a2),
+            "after assumptions {:?}, call with {:?} diverged on {}", a1, a2, f.display()
+        );
+    }
+}

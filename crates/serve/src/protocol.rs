@@ -24,7 +24,7 @@
 //! polynomial prefilter (`prefilter`).
 
 use crate::session::SessionReply;
-use eo_engine::{Answer, EngineError, Query};
+use eo_engine::{Answer, EngineError, Query, QueryBackend};
 use eo_model::{EventId, ProgramExecution};
 use eo_obs::json::{self, Value};
 use eo_obs::report::SCHEMA_VERSION;
@@ -227,6 +227,14 @@ pub fn render_reply(id: &Option<Value>, reply: &SessionReply) -> String {
     // static tier answered, so default-config responses are byte-stable.
     if reply.static_prefilter {
         fields.push(("prefilter_tier".to_owned(), Value::Str("static".to_owned())));
+    }
+    // Same additive pattern for the non-default backend: `--backend sat`
+    // sessions tag every reply, default sessions stay byte-stable.
+    if reply.backend != QueryBackend::Exact {
+        fields.push((
+            "backend".to_owned(),
+            Value::Str(reply.backend.label().to_owned()),
+        ));
     }
     match &reply.response.answer {
         Answer::Decided(v) => fields.push(("answer".to_owned(), Value::Bool(*v))),

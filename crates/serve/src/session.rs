@@ -10,12 +10,19 @@
 //! *cost*: repeated, symmetric, complementary, or transitively implied
 //! queries are answered from caches without touching the state space, and
 //! queries that do search reuse every state interned so far.
+//!
+//! With [`SessionConfig::backend`] set to [`QueryBackend::Sat`], the
+//! engine tier answers through the symbolic CNF backend instead of the
+//! witness search. Decisions stay bit-identical (both procedures are
+//! exact — `tests/backend_differential.rs` pins the agreement); witness
+//! *schedules* may legitimately differ, since any feasible schedule with
+//! the required property is a valid witness.
 
 use crate::cache::{FactKind, FactStore, WitnessCache};
 use eo_approx::{SafeOrderings, TaskGraph};
 use eo_engine::{
     Answer, Budget, EngineError, EngineOptions, ExactEngine, FeasibilityMode, OrderingSummary,
-    Query, QueryMemo, Response, SearchCtx,
+    Query, QueryBackend, QueryMemo, Response, SatSession, SearchCtx,
 };
 use eo_model::{EventId, ProgramExecution};
 use eo_race::Race;
@@ -47,6 +54,13 @@ pub struct SessionConfig {
     pub static_prefilter: bool,
     /// Capacity of the witness-schedule LRU (entries, not bytes).
     pub witness_capacity: usize,
+    /// Which decision procedure answers queries that reach the engine
+    /// tier (`eo serve --backend {exact,sat}`). Decided answers are
+    /// identical either way; witness *schedules* may differ (both are
+    /// valid witnesses). [`QueryBackend::Sat`] answers each query with
+    /// one incremental solve against a shared CNF encoding, amortizing
+    /// learned clauses across the batch.
+    pub backend: QueryBackend,
 }
 
 impl Default for SessionConfig {
@@ -57,6 +71,7 @@ impl Default for SessionConfig {
             prefilter: true,
             static_prefilter: false,
             witness_capacity: 256,
+            backend: QueryBackend::Exact,
         }
     }
 }
@@ -103,6 +118,10 @@ pub struct SessionReply {
     /// Decided by the whole-program MHP static prefilter (no trace-level
     /// analysis, no state-space exploration).
     pub static_prefilter: bool,
+    /// The backend configured for the engine tier of this session
+    /// (echoed on every reply; the protocol layer renders it additively
+    /// so default `exact` responses stay byte-stable).
+    pub backend: QueryBackend,
 }
 
 /// A long-lived analysis session over one program execution.
@@ -121,6 +140,11 @@ pub struct AnalysisSession<'e> {
     /// built lazily for it.
     race_ctx: Option<SearchCtx<'e>>,
     race_memo: Option<QueryMemo>,
+    /// The symbolic backend, built lazily on the first engine-tier query
+    /// when `config.backend` is [`QueryBackend::Sat`]. Owns its own CNF
+    /// encoding and learned-clause database, shared by every query of
+    /// the session.
+    sat: Option<SatSession>,
     facts: FactStore,
     witnesses: WitnessCache,
     summary: Option<Box<OrderingSummary>>,
@@ -163,6 +187,7 @@ impl<'e> AnalysisSession<'e> {
             memo,
             race_ctx: None,
             race_memo: None,
+            sat: None,
             facts: FactStore::new(n),
             summary: None,
             races: None,
@@ -204,8 +229,20 @@ impl<'e> AnalysisSession<'e> {
         let effective = self.config.engine.effective_budget();
         self.memo.set_budget(effective.clone());
         if let Some(memo) = &mut self.race_memo {
-            memo.set_budget(effective);
+            memo.set_budget(effective.clone());
         }
+        if let Some(sat) = &mut self.sat {
+            sat.set_budget(effective);
+        }
+    }
+
+    /// The symbolic backend, built on first use (its construction pays
+    /// the cubic encoding once; every query after that is incremental).
+    fn sat_session(&mut self) -> &mut SatSession {
+        let ctx = &self.ctx;
+        let budget = self.config.engine.effective_budget();
+        self.sat
+            .get_or_insert_with(|| SatSession::with_budget(ctx, budget))
     }
 
     /// States interned in the session's main state arena so far.
@@ -292,6 +329,7 @@ impl<'e> AnalysisSession<'e> {
             cached,
             prefilter,
             static_prefilter: false,
+            backend: self.config.backend,
         }
     }
 
@@ -344,10 +382,19 @@ impl<'e> AnalysisSession<'e> {
                 return Ok(self.reply(query, Answer::Decided(v), false, true));
             }
         }
-        let v = match kind {
-            FactKind::Mhb => self.memo.try_must_happen_before(&self.ctx, a, b)?,
-            FactKind::Chb => self.memo.try_could_happen_before(&self.ctx, a, b)?,
-            FactKind::Ccw => self.memo.try_could_be_concurrent(&self.ctx, a, b)?,
+        let v = if self.config.backend == QueryBackend::Sat {
+            let sat = self.sat_session();
+            match kind {
+                FactKind::Mhb => sat.try_must_happen_before(a, b)?,
+                FactKind::Chb => sat.try_could_happen_before(a, b)?,
+                FactKind::Ccw => sat.try_could_be_concurrent(a, b)?,
+            }
+        } else {
+            match kind {
+                FactKind::Mhb => self.memo.try_must_happen_before(&self.ctx, a, b)?,
+                FactKind::Chb => self.memo.try_could_happen_before(&self.ctx, a, b)?,
+                FactKind::Ccw => self.memo.try_could_be_concurrent(&self.ctx, a, b)?,
+            }
         };
         if self.config.cache {
             self.facts.record(kind, a, b, v);
@@ -441,7 +488,14 @@ impl<'e> AnalysisSession<'e> {
                 return Ok(self.reply(query, Answer::Witness(None), false, true));
             }
         }
-        let w = if overlap {
+        let w = if self.config.backend == QueryBackend::Sat {
+            let sat = self.sat_session();
+            if overlap {
+                sat.try_witness_overlap(a, b)?
+            } else {
+                sat.try_witness_before(a, b)?
+            }
+        } else if overlap {
             self.memo.try_witness_overlap(&self.ctx, a, b)?
         } else {
             self.memo.try_witness_before(&self.ctx, a, b)?

@@ -1,0 +1,219 @@
+//! The backend contract, pinned: a session answering through the
+//! symbolic CNF backend (`--backend sat`) decides every MHB/CHB/CCW
+//! instance bit-identically to the exact witness-search engine — on
+//! every fixture, on the E9 pairing-pitfall ladder, and on generated
+//! semaphore workloads, in both feasibility modes. Witness *schedules*
+//! may differ between backends (any feasible schedule with the required
+//! property is a valid witness), so witnesses are checked for presence
+//! parity and machine-replayability instead of byte equality.
+
+use eo_engine::{Answer, EngineOptions, FeasibilityMode, Query, QueryBackend, SearchCtx};
+use eo_model::{fixtures, EventId, Machine, ProgramExecution, Trace};
+use eo_serve::{AnalysisSession, SessionConfig};
+
+fn exec_of(trace: Trace) -> ProgramExecution {
+    trace.to_execution().expect("test traces are valid")
+}
+
+/// The E9 "pairing pitfall" family (mirrors `eo-bench`'s; rebuilt here
+/// because the bench crate depends on this one).
+fn pitfall_exec(decoys: usize) -> ProgramExecution {
+    let mut b = eo_lang::ProgramBuilder::new();
+    let s = b.semaphore("s");
+    let x = b.variable("x");
+    let w = b.process("writer");
+    b.compute_rw(w, &[], &[x], "write_x");
+    b.sem_v(w, s);
+    for k in 0..decoys {
+        let d = b.process(&format!("decoy_{k}"));
+        b.sem_v(d, s);
+    }
+    let r = b.process("reader");
+    b.sem_p(r, s);
+    b.compute_rw(r, &[x], &[], "read_x");
+    let program = b.build();
+    let trace = eo_lang::run_to_trace(&program, &mut eo_lang::Scheduler::deterministic())
+        .expect("pitfall program cannot deadlock");
+    exec_of(trace)
+}
+
+fn generated_exec(seed: u64) -> ProgramExecution {
+    let mut spec = eo_lang::generator::WorkloadSpec::small_semaphore(seed);
+    spec.variables = 3;
+    spec.write_fraction = 0.5;
+    exec_of(eo_lang::generator::generate_trace(&spec, 100))
+}
+
+/// Every program × feasibility mode the differential sweep covers.
+fn programs() -> Vec<(String, ProgramExecution, FeasibilityMode)> {
+    use FeasibilityMode::{IgnoreDependences, PreserveDependences};
+    let mut out: Vec<(String, ProgramExecution, FeasibilityMode)> = Vec::new();
+    for (name, trace) in [
+        ("independent_pair", fixtures::independent_pair().0),
+        ("sem_handshake", fixtures::sem_handshake().0),
+        ("fork_join_diamond", fixtures::fork_join_diamond().0),
+        ("crossing", fixtures::crossing().0),
+        ("figure1", fixtures::figure1().0),
+        ("post_wait_clear_chain", fixtures::post_wait_clear_chain().0),
+        ("shared_counter_race", fixtures::shared_counter_race().0),
+    ] {
+        for mode in [PreserveDependences, IgnoreDependences] {
+            out.push((format!("{name}-{mode:?}"), exec_of(trace.clone()), mode));
+        }
+    }
+    for decoys in [2, 4] {
+        out.push((
+            format!("e9-pitfall-{decoys}"),
+            pitfall_exec(decoys),
+            IgnoreDependences,
+        ));
+    }
+    for seed in [7, 11] {
+        out.push((
+            format!("e9-random-{seed}"),
+            generated_exec(seed),
+            PreserveDependences,
+        ));
+    }
+    out
+}
+
+fn batch_for(exec: &ProgramExecution) -> Vec<Query> {
+    let n = exec.n_events();
+    let mut batch = Vec::new();
+    for a in 0..n {
+        for b in 0..n {
+            let (ea, eb) = (EventId::new(a), EventId::new(b));
+            batch.push(Query::Mhb { a: ea, b: eb });
+            batch.push(Query::Chb { a: ea, b: eb });
+            batch.push(Query::Ccw { a: ea, b: eb });
+            if a != b {
+                batch.push(Query::WitnessBefore {
+                    first: ea,
+                    second: eb,
+                });
+                batch.push(Query::WitnessOverlap { a: ea, b: eb });
+            }
+        }
+    }
+    batch
+}
+
+/// A complete-schedule witness must replay to completion; an overlap
+/// witness is a prefix after which both events are simultaneously
+/// enabled.
+fn assert_witness_valid(label: &str, query: Query, machine: &Machine<'_>, w: &[EventId]) {
+    match query {
+        Query::WitnessBefore { first, second } => {
+            assert!(machine.replay(w).is_ok(), "{label} {query:?}: replay");
+            let pos = |e: EventId| w.iter().position(|&x| x == e).unwrap();
+            assert!(pos(first) < pos(second), "{label} {query:?}: order");
+        }
+        Query::WitnessOverlap { a, b } => {
+            let mut st = machine.initial_state();
+            for &e in w {
+                assert!(
+                    machine.enabled_events(&st).iter().any(|&(_, ev)| ev == e),
+                    "{label} {query:?}: prefix step {e:?} not enabled"
+                );
+                machine.step(&mut st, machine.trace().event(e).process);
+            }
+            let enabled = machine.enabled_events(&st);
+            for e in [a, b] {
+                assert!(
+                    enabled.iter().any(|&(_, ev)| ev == e),
+                    "{label} {query:?}: {e:?} not enabled at the overlap state"
+                );
+            }
+        }
+        _ => unreachable!("only witness queries carry schedules"),
+    }
+}
+
+#[test]
+fn sat_backend_sessions_agree_with_exact_sessions_everywhere() {
+    for (label, exec, mode) in programs() {
+        let opts = EngineOptions::with_mode(mode);
+        let batch = batch_for(&exec);
+        let mut exact = AnalysisSession::with_config(
+            &exec,
+            SessionConfig {
+                engine: opts.clone(),
+                ..Default::default()
+            },
+        );
+        // Caches and prefilters off on the SAT side, so every query
+        // actually exercises the solver.
+        let mut sat = AnalysisSession::with_config(
+            &exec,
+            SessionConfig {
+                engine: opts.clone(),
+                cache: false,
+                prefilter: false,
+                backend: QueryBackend::Sat,
+                ..Default::default()
+            },
+        );
+        let ctx = SearchCtx::new(&exec, mode);
+        let machine = ctx.machine();
+        for &query in &batch {
+            let e = exact
+                .query(query)
+                .expect("unbudgeted queries never degrade");
+            let s = sat.query(query).expect("unbudgeted queries never degrade");
+            assert_eq!(s.backend, QueryBackend::Sat, "{label}: reply tag");
+            match (&e.response.answer, &s.response.answer) {
+                (Answer::Decided(ev), Answer::Decided(sv)) => {
+                    assert_eq!(ev, sv, "{label} {query:?}: decisions differ");
+                }
+                (Answer::Witness(ew), Answer::Witness(sw)) => {
+                    assert_eq!(
+                        ew.is_some(),
+                        sw.is_some(),
+                        "{label} {query:?}: witness presence differs"
+                    );
+                    if let Some(w) = sw {
+                        assert_witness_valid(&label, query, machine, w);
+                    }
+                }
+                _ => panic!("{label} {query:?}: answer shapes differ"),
+            }
+        }
+    }
+}
+
+#[test]
+fn sat_backend_composes_with_caches_and_prefilters() {
+    let (trace, _) = fixtures::figure1();
+    let exec = exec_of(trace);
+    let batch = batch_for(&exec);
+    let mut plain = AnalysisSession::with_config(
+        &exec,
+        SessionConfig {
+            cache: false,
+            prefilter: false,
+            backend: QueryBackend::Sat,
+            ..Default::default()
+        },
+    );
+    let mut tiered = AnalysisSession::with_config(
+        &exec,
+        SessionConfig {
+            static_prefilter: true,
+            backend: QueryBackend::Sat,
+            ..Default::default()
+        },
+    );
+    for &query in &batch {
+        let p = plain.query(query).expect("no budget");
+        let t = tiered.query(query).expect("no budget");
+        if let (Answer::Decided(pv), Answer::Decided(tv)) = (&p.response.answer, &t.response.answer)
+        {
+            assert_eq!(pv, tv, "{query:?}: tiers changed a SAT answer");
+        }
+    }
+    assert!(
+        tiered.stats().cache_hits > 0,
+        "redundant batches hit the caches in front of the SAT backend"
+    );
+}

@@ -1,0 +1,618 @@
+//! The direct ⟨E, →T, →D⟩ → CNF partial-order encoding.
+//!
+//! A feasible execution is a total order of E respecting the
+//! synchronization semantics and →D. One Boolean variable per unordered
+//! event pair (`o(a,b)` ⇔ "a executes before b", with `o(b,a) = ¬o(a,b)`
+//! by sign convention) plus:
+//!
+//! * **totality + transitivity** — `o(i,j) ∧ o(j,k) → o(i,k)` for all
+//!   distinct triples. A transitive tournament is exactly a strict total
+//!   order, so any model *is* a schedule;
+//! * **base constraints** — unit clauses for program order, fork/join
+//!   edges, and (in dependence-preserving mode) every →D pair;
+//! * **semaphore tokens** — a matching variable `m_{t,p}` for every P
+//!   event `p` and every token source `t` (a V event or one of the
+//!   semaphore's initial tokens): each P claims at least one source, each
+//!   source serves at most one P, and claiming a V implies executing
+//!   after it. Any such matching makes every prefix token-sound (each
+//!   executed P's source is already executed and sources are distinct),
+//!   and any valid schedule admits one (FIFO), so the constraint is exact;
+//! * **event-variable causality** — a trigger variable `t_{p,w}` for
+//!   every Wait `w` and candidate Post `p` (plus an "initially set"
+//!   trigger when the flag starts true): some trigger holds; a triggering
+//!   Post precedes the Wait; and every Clear of the variable is ordered
+//!   outside the (trigger, Wait) window — before the trigger or after the
+//!   Wait.
+//!
+//! ## Queries as assumptions
+//!
+//! The encoding is built **once** into an incremental CDCL solver
+//! ([`eo_sat::Solver`]); every query is then a single
+//! [`eo_sat::Solver::solve_assuming`] call, so all clauses the solver
+//! learns while answering one query shorten the next:
+//!
+//! * `first` CHB `second` — assume the one literal `o(first, second)`;
+//! * `a` MHB `b` — the CHB query `b` before `a` is unsatisfiable;
+//! * `a` CCW `b` (operational could-be-concurrent) — two *activation
+//!   literals*, one per orientation. `act(a,b)` guards clauses asserting
+//!   the model schedules `a` and `b` back to back (every other event is
+//!   before `a` or after `b`) **and** that `b` was already enabled in the
+//!   state `S` = {e : o(e,a)} reached just before `a` fires (see below).
+//!   `a CCW b` iff assuming `act(a,b)` or assuming `act(b,a)` is
+//!   satisfiable — exactly the exact engine's witness-overlap search,
+//!   which looks for a reachable state with both events co-enabled and a
+//!   completable back-to-back firing in either order. Activation clauses
+//!   all contain `¬act`, so they are vacuous whenever the activation
+//!   literal is not assumed; they stay in the database and are reused
+//!   when the same pair is queried again.
+//!
+//! ## Enabledness of `b` at `S`
+//!
+//! `S` is a prefix of the model's schedule, so it is downward closed;
+//! `b`'s enabledness gates mirror the machine's (`eo_model::Machine`):
+//!
+//! * *next in process* — `b`'s immediate program-order predecessor is in
+//!   `S` (transitivity pulls in the rest of the chain);
+//! * *process started* — the fork that created `b`'s process is in `S`
+//!   (only needed explicitly when `b` is its process's first event);
+//! * *→D predecessors* — each is in `S` (dependence-preserving mode);
+//! * *`P(s)`* — `b`'s claimed token source is available at `S`: claiming
+//!   a V source implies that V is in `S` (anonymous initial tokens are
+//!   always available). Exclusivity of the matching then gives the
+//!   counter ≥ 1 at `S`: every P in `S` claims a distinct source in `S`,
+//!   and `b`'s source is yet another;
+//! * *`Wait(u)`* — `b`'s trigger Post is in `S`; the base clauses already
+//!   force every Clear outside the (trigger, Wait) window, and `b` runs
+//!   immediately after `a`, so no Clear can sit between the trigger and
+//!   `S`'s end;
+//! * *`Join(children)`* — each child's last event is in `S` (program
+//!   order pulls in the rest; the fork → first-event edge pulls in the
+//!   creation), or the child's fork is in `S` for eventless children.
+//!
+//! `a`'s own enabledness at `S`, `b`'s at `S·a`, and reachability of `S`
+//! need no extra clauses: the model is a feasible schedule that fires `a`
+//! and `b` right there.
+//!
+//! The encoding is cubic in |E| (the transitivity clauses), so the
+//! symbolic backend wins on query-heavy workloads over modest traces —
+//! E19 measures the crossover against the enumerating engine.
+
+use eo_model::{EventId, Op, Trace};
+use eo_relations::Relation;
+use eo_sat::{Lit, SolveOutcome, Solver, Var};
+use std::collections::HashMap;
+
+/// What a symbolic query ended with. Alias of the solver's outcome: a
+/// model (decodable into a schedule), unsatisfiability, or interruption
+/// by the caller's stop callback.
+pub type SymOutcome = SolveOutcome;
+
+/// A partial-order CNF encoding of one execution, with an embedded
+/// incremental CDCL solver shared by every query asked of it.
+pub struct PoEncoding {
+    n: usize,
+    solver: Solver,
+    /// For each SemP event: its matching variables, each paired with the
+    /// source's event id (`None` = an anonymous initial token).
+    sem_claims: HashMap<usize, Vec<(Var, Option<usize>)>>,
+    /// For each Wait event: its trigger variables, each paired with the
+    /// triggering Post's event id (`None` = the initially-set flag).
+    wait_triggers: HashMap<usize, Vec<(Var, Option<usize>)>>,
+    /// Immediate program-order predecessor of each event.
+    po_pred: Vec<Option<usize>>,
+    /// The fork event that created each event's process (`None` = root).
+    creator: Vec<Option<usize>>,
+    /// For each Join event: per child, the event that must be in `S` for
+    /// the child to count as complete (last event, or fork if eventless).
+    join_gates: HashMap<usize, Vec<usize>>,
+    /// →D predecessors of each event under the encoding's feasibility
+    /// mode (empty in dependence-ignoring mode).
+    d_preds: Vec<Vec<usize>>,
+    /// Lazily created activation literals for overlap queries, keyed by
+    /// the ordered pair (first-to-fire, second-to-fire).
+    overlap_acts: HashMap<(usize, usize), Lit>,
+    /// Clauses in the feasibility core (diagnostics).
+    core_clauses: usize,
+}
+
+impl PoEncoding {
+    /// Builds the feasibility encoding of `trace` under the effective
+    /// dependence relation `d` (pass the real →D for
+    /// dependence-preserving feasibility, an empty relation to ignore
+    /// dependences) and loads it into a fresh incremental solver.
+    pub fn new(trace: &Trace, d: &Relation) -> PoEncoding {
+        eo_obs::span!("sym.encode");
+        let n = trace.n_events();
+        let n_pairs = n * n.saturating_sub(1) / 2;
+        let mut solver = Solver::with_vars(n_pairs);
+        let mut clauses = 0usize;
+
+        let before = |a: usize, b: usize| before_lit(n, a, b);
+
+        // Totality is implicit (o or ¬o); transitivity over all distinct
+        // ordered triples: o(i,j) ∧ o(j,k) → o(i,k).
+        for i in 0..n {
+            for j in 0..n {
+                if j == i {
+                    continue;
+                }
+                for k in 0..n {
+                    if k == i || k == j {
+                        continue;
+                    }
+                    solver.add_clause(&[
+                        before(i, j).negated(),
+                        before(j, k).negated(),
+                        before(i, k),
+                    ]);
+                    clauses += 1;
+                }
+            }
+        }
+
+        // Base constraints: program order, fork/join, dependences.
+        for (a, b) in eo_model::induce::base_edges(trace, d).pairs() {
+            solver.add_clause(&[before(a, b)]);
+            clauses += 1;
+        }
+
+        // Semaphore token matching.
+        let mut sem_claims: HashMap<usize, Vec<(Var, Option<usize>)>> = HashMap::new();
+        for s in 0..trace.semaphores.len() {
+            let sid = eo_model::SemId::new(s);
+            let vs: Vec<usize> = trace
+                .events
+                .iter()
+                .filter(|e| e.op == Op::SemV(sid))
+                .map(|e| e.id.index())
+                .collect();
+            let ps: Vec<usize> = trace
+                .events
+                .iter()
+                .filter(|e| e.op == Op::SemP(sid))
+                .map(|e| e.id.index())
+                .collect();
+            if ps.is_empty() {
+                continue;
+            }
+            let initial = trace.semaphores[s].initial as usize;
+            // Token sources: every V, plus `initial` anonymous tokens.
+            let sources: Vec<Option<usize>> = vs
+                .iter()
+                .map(|&v| Some(v))
+                .chain((0..initial).map(|_| None))
+                .collect();
+            // m[src][pi]: source `src` serves P event `ps[pi]`.
+            let m: Vec<Vec<Var>> = sources
+                .iter()
+                .map(|_| ps.iter().map(|_| solver.add_var()).collect())
+                .collect();
+
+            for (pi, &p) in ps.iter().enumerate() {
+                // At least one source per P.
+                let at_least: Vec<Lit> = m.iter().map(|row| Lit::pos(row[pi])).collect();
+                solver.add_clause(&at_least);
+                clauses += 1;
+                // Claiming a V implies running after it.
+                for (src, source) in sources.iter().enumerate() {
+                    if let Some(v) = *source {
+                        solver.add_clause(&[Lit::neg(m[src][pi]), before(v, p)]);
+                        clauses += 1;
+                    }
+                }
+                sem_claims.insert(
+                    p,
+                    sources
+                        .iter()
+                        .enumerate()
+                        .map(|(src, &source)| (m[src][pi], source))
+                        .collect(),
+                );
+            }
+            // Each source serves at most one P.
+            for row in &m {
+                for pi in 0..ps.len() {
+                    for pj in (pi + 1)..ps.len() {
+                        solver.add_clause(&[Lit::neg(row[pi]), Lit::neg(row[pj])]);
+                        clauses += 1;
+                    }
+                }
+            }
+        }
+
+        // Event-variable causality.
+        let mut wait_triggers: HashMap<usize, Vec<(Var, Option<usize>)>> = HashMap::new();
+        for u in 0..trace.event_vars.len() {
+            let uid = eo_model::EvVarId::new(u);
+            let posts: Vec<usize> = trace
+                .events
+                .iter()
+                .filter(|e| e.op == Op::Post(uid))
+                .map(|e| e.id.index())
+                .collect();
+            let waits: Vec<usize> = trace
+                .events
+                .iter()
+                .filter(|e| e.op == Op::Wait(uid))
+                .map(|e| e.id.index())
+                .collect();
+            let clears: Vec<usize> = trace
+                .events
+                .iter()
+                .filter(|e| e.op == Op::Clear(uid))
+                .map(|e| e.id.index())
+                .collect();
+            let initially = trace.event_vars[u].initially_set;
+
+            for &w in &waits {
+                let triggers: Vec<(Var, Option<usize>)> = posts
+                    .iter()
+                    .map(|&p| Some(p))
+                    .chain(initially.then_some(None))
+                    .map(|p| (solver.add_var(), p))
+                    .collect();
+
+                // Some trigger explains the Wait.
+                let some: Vec<Lit> = triggers.iter().map(|&(t, _)| Lit::pos(t)).collect();
+                solver.add_clause(&some);
+                clauses += 1;
+                for &(t, post) in &triggers {
+                    match post {
+                        Some(p) => {
+                            // Triggering post precedes the wait…
+                            solver.add_clause(&[Lit::neg(t), before(p, w)]);
+                            clauses += 1;
+                            // …and no Clear sits between: each is before
+                            // the post or after the wait.
+                            for &c in &clears {
+                                solver.add_clause(&[Lit::neg(t), before(c, p), before(w, c)]);
+                                clauses += 1;
+                            }
+                        }
+                        None => {
+                            // The initial flag triggered it: every Clear
+                            // is after the wait.
+                            for &c in &clears {
+                                solver.add_clause(&[Lit::neg(t), before(w, c)]);
+                                clauses += 1;
+                            }
+                        }
+                    }
+                }
+                wait_triggers.insert(w, triggers);
+            }
+        }
+
+        // Per-event structural facts for the overlap (CCW) clauses.
+        let per_process = trace.per_process();
+        let mut po_pred: Vec<Option<usize>> = vec![None; n];
+        for list in &per_process {
+            for pair in list.windows(2) {
+                po_pred[pair[1].index()] = Some(pair[0].index());
+            }
+        }
+        let creator: Vec<Option<usize>> = trace
+            .events
+            .iter()
+            .map(|e| {
+                trace.processes[e.process.index()]
+                    .created_by
+                    .map(|f| f.index())
+            })
+            .collect();
+        let mut join_gates: HashMap<usize, Vec<usize>> = HashMap::new();
+        for e in &trace.events {
+            if let Op::Join(children) = &e.op {
+                let gates = children
+                    .iter()
+                    .filter_map(|c| match per_process[c.index()].last() {
+                        Some(&last) => Some(last.index()),
+                        None => trace.processes[c.index()].created_by.map(|f| f.index()),
+                    })
+                    .collect();
+                join_gates.insert(e.id.index(), gates);
+            }
+        }
+        let mut d_preds: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (a, b) in d.pairs() {
+            d_preds[b].push(a);
+        }
+
+        eo_obs::counter!("sym.clauses", clauses as u64);
+        PoEncoding {
+            n,
+            solver,
+            sem_claims,
+            wait_triggers,
+            po_pred,
+            creator,
+            join_gates,
+            d_preds,
+            overlap_acts: HashMap::new(),
+            core_clauses: clauses,
+        }
+    }
+
+    /// Number of events in the encoded execution.
+    pub fn n_events(&self) -> usize {
+        self.n
+    }
+
+    /// Number of clauses in the feasibility core (diagnostics).
+    pub fn core_clause_count(&self) -> usize {
+        self.core_clauses
+    }
+
+    /// The shared solver's work counters, for metrics emission.
+    pub fn solver(&self) -> &Solver {
+        &self.solver
+    }
+
+    /// The literal asserting "a executes before b".
+    ///
+    /// # Panics
+    /// Panics if `a == b`.
+    pub fn before(&self, a: usize, b: usize) -> Lit {
+        before_lit(self.n, a, b)
+    }
+
+    /// Decides "some feasible schedule runs `first` strictly before
+    /// `second`" (the CHB query) as one incremental solve. Returns the
+    /// witness schedule on success.
+    pub fn solve_before(
+        &mut self,
+        first: EventId,
+        second: EventId,
+        stop: &mut dyn FnMut(u64) -> bool,
+    ) -> SymOutcome {
+        assert_ne!(first, second, "order query needs two distinct events");
+        let assumption = self.before(first.index(), second.index());
+        let span = eo_obs::span("sym.solve");
+        let outcome = self.solver.solve_assuming(&[assumption], stop);
+        span.end();
+        outcome
+    }
+
+    /// Decides whether `a` and `b` can be concurrent in the operational
+    /// sense (the CCW query): some feasible schedule reaches a state
+    /// where both are enabled and fires them back to back, in either
+    /// order, and still completes. Two incremental solves, one per
+    /// orientation; the activation clauses are created on first use and
+    /// reused thereafter.
+    ///
+    /// `Sat` carries the witnessing schedule's model; `Interrupted` is
+    /// returned as soon as either orientation's solve is interrupted.
+    pub fn solve_overlap(
+        &mut self,
+        a: EventId,
+        b: EventId,
+        stop: &mut dyn FnMut(u64) -> bool,
+    ) -> SymOutcome {
+        assert_ne!(a, b, "overlap query needs two distinct events");
+        let span = eo_obs::span("sym.solve");
+        let mut last = SymOutcome::Unsat;
+        for (x, y) in [(a, b), (b, a)] {
+            let act = self.overlap_activation(x.index(), y.index());
+            match self.solver.solve_assuming(&[act], stop) {
+                SymOutcome::Sat(model) => {
+                    span.end();
+                    return SymOutcome::Sat(model);
+                }
+                SymOutcome::Unsat => {}
+                SymOutcome::Interrupted => {
+                    last = SymOutcome::Interrupted;
+                    break;
+                }
+            }
+        }
+        span.end();
+        last
+    }
+
+    /// The activation literal for "x fires, then y immediately after,
+    /// with y already enabled before x fired", creating its guarded
+    /// clauses on first use.
+    fn overlap_activation(&mut self, x: usize, y: usize) -> Lit {
+        if let Some(&act) = self.overlap_acts.get(&(x, y)) {
+            return act;
+        }
+        let act = Lit::pos(self.solver.add_var());
+        let nact = act.negated();
+        let n = self.n;
+
+        // x fires, then y: o(x, y) …
+        self.solver.add_clause(&[nact, before_lit(n, x, y)]);
+        // … immediately after — every other event is before x or after y.
+        for e in 0..n {
+            if e == x || e == y {
+                continue;
+            }
+            self.solver
+                .add_clause(&[nact, before_lit(n, e, x), before_lit(n, y, e)]);
+        }
+
+        // Enabledness of y at S = {e : o(e, x)}. Each gate is an "event
+        // in S" requirement; a gate on x or y itself can never hold (x
+        // and y are outside S), so the orientation is infeasible outright.
+        let mut gates: Vec<usize> = Vec::new();
+        match self.po_pred[y] {
+            Some(prev) => gates.push(prev),
+            // First event of its process: the creating fork must be in S.
+            None => gates.extend(self.creator[y]),
+        }
+        gates.extend(self.d_preds[y].iter().copied());
+        if let Some(join_gates) = self.join_gates.get(&y) {
+            gates.extend(join_gates.iter().copied());
+        }
+        let infeasible = gates.iter().any(|&g| g == x || g == y);
+        if infeasible {
+            self.solver.add_clause(&[nact]);
+        } else {
+            for g in gates {
+                self.solver.add_clause(&[nact, before_lit(n, g, x)]);
+            }
+            // P(s): the claimed V source must already be in S.
+            if let Some(claims) = self.sem_claims.get(&y).cloned() {
+                for &(m, source) in claims.iter() {
+                    if let Some(v) = source {
+                        if v == x {
+                            // Claiming x's own token means the counter was
+                            // not positive before x fired.
+                            self.solver.add_clause(&[nact, Lit::neg(m)]);
+                        } else {
+                            self.solver
+                                .add_clause(&[nact, Lit::neg(m), before_lit(n, v, x)]);
+                        }
+                    }
+                }
+            }
+            // Wait(u): the trigger post must already be in S.
+            if let Some(triggers) = self.wait_triggers.get(&y).cloned() {
+                for &(t, post) in triggers.iter() {
+                    if let Some(p) = post {
+                        if p == x {
+                            self.solver.add_clause(&[nact, Lit::neg(t)]);
+                        } else {
+                            self.solver
+                                .add_clause(&[nact, Lit::neg(t), before_lit(n, p, x)]);
+                        }
+                    }
+                }
+            }
+        }
+
+        self.overlap_acts.insert((x, y), act);
+        act
+    }
+
+    /// Reads the schedule out of a model: events sorted by how many other
+    /// events they precede.
+    pub fn decode_schedule(&self, model: &[bool]) -> Vec<EventId> {
+        let before = |a: usize, b: usize| {
+            let lit = self.before(a, b);
+            lit.satisfied_by(model[lit.var.index()])
+        };
+        let mut order: Vec<usize> = (0..self.n).collect();
+        order.sort_by_key(|&e| (0..self.n).filter(|&o| o != e && before(o, e)).count());
+        order.into_iter().map(EventId::new).collect()
+    }
+}
+
+/// The pair literal for "a before b" over `n` events (sign convention:
+/// the variable is allocated for the `a < b` orientation).
+fn before_lit(n: usize, a: usize, b: usize) -> Lit {
+    assert_ne!(a, b, "no order literal for a pair of equal events");
+    if a < b {
+        Lit::pos(Var(pair_index(n, a, b) as u32))
+    } else {
+        Lit::neg(Var(pair_index(n, b, a) as u32))
+    }
+}
+
+#[inline]
+fn pair_index(n: usize, a: usize, b: usize) -> usize {
+    debug_assert!(a < b && b < n);
+    // Row-major upper triangle: offset of row a + (b - a - 1).
+    a * n - a * (a + 1) / 2 + (b - a - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eo_model::fixtures;
+
+    fn never(_: u64) -> bool {
+        false
+    }
+
+    fn encoding_of(trace: &Trace) -> PoEncoding {
+        let exec = trace.to_execution().unwrap();
+        PoEncoding::new(exec.trace(), exec.d())
+    }
+
+    #[test]
+    fn pair_index_is_a_bijection() {
+        let n = 7;
+        let mut seen = std::collections::HashSet::new();
+        for a in 0..n {
+            for b in (a + 1)..n {
+                assert!(seen.insert(pair_index(n, a, b)));
+            }
+        }
+        assert_eq!(seen.len(), n * (n - 1) / 2);
+        assert_eq!(seen.iter().max(), Some(&(n * (n - 1) / 2 - 1)));
+    }
+
+    #[test]
+    fn handshake_orders() {
+        let (trace, ids) = fixtures::sem_handshake();
+        let mut enc = encoding_of(&trace);
+        // v before p is forced; p before v is infeasible.
+        assert!(matches!(
+            enc.solve_before(ids.v, ids.p, &mut never),
+            SymOutcome::Sat(_)
+        ));
+        assert!(matches!(
+            enc.solve_before(ids.p, ids.v, &mut never),
+            SymOutcome::Unsat
+        ));
+        // The tails can run in either order; the decoded witness replays.
+        match enc.solve_before(ids.after_p, ids.after_v, &mut never) {
+            SymOutcome::Sat(model) => {
+                let schedule = enc.decode_schedule(&model);
+                let exec = trace.to_execution().unwrap();
+                let machine = eo_model::Machine::new(exec.trace());
+                assert!(
+                    machine.replay(&schedule).is_ok(),
+                    "decoded schedule replays"
+                );
+            }
+            o => panic!("tails must reorder, got {o:?}"),
+        }
+    }
+
+    #[test]
+    fn overlap_on_independent_pair() {
+        let (trace, a, b) = fixtures::independent_pair();
+        let mut enc = encoding_of(&trace);
+        assert!(matches!(
+            enc.solve_overlap(a, b, &mut never),
+            SymOutcome::Sat(_)
+        ));
+    }
+
+    #[test]
+    fn overlap_rejects_handshake_order() {
+        let (trace, ids) = fixtures::sem_handshake();
+        let mut enc = encoding_of(&trace);
+        // v MHB p: they can never be co-enabled.
+        assert!(matches!(
+            enc.solve_overlap(ids.v, ids.p, &mut never),
+            SymOutcome::Unsat
+        ));
+    }
+
+    #[test]
+    fn overlap_activation_clauses_are_reused() {
+        let (trace, a, b) = fixtures::independent_pair();
+        let mut enc = encoding_of(&trace);
+        let _ = enc.solve_overlap(a, b, &mut never);
+        let acts_after_first = enc.overlap_acts.len();
+        let _ = enc.solve_overlap(a, b, &mut never);
+        assert_eq!(
+            enc.overlap_acts.len(),
+            acts_after_first,
+            "no fresh activations"
+        );
+    }
+
+    #[test]
+    fn interrupts_propagate() {
+        let (trace, a, b) = fixtures::independent_pair();
+        let mut enc = encoding_of(&trace);
+        assert!(matches!(
+            enc.solve_overlap(a, b, &mut |_| true),
+            SymOutcome::Interrupted
+        ));
+    }
+}

@@ -9,7 +9,8 @@
 //!           [--idle-timeout-ms <ms>] [--drain-deadline-ms <ms>]
 //!           [--drain-grace-ms <ms>] [--retry-after-ms <ms>]
 //!           [--no-cache] [--no-prefilter] [--static-prefilter]
-//!           [--ignore-deps] [--equiv <strategy>] [--metrics-out <file>]
+//!           [--ignore-deps] [--backend exact|sat] [--equiv <strategy>]
+//!           [--metrics-out <file>]
 //! ```
 //!
 //! The server speaks the `eo serve` request protocol over TCP, one
@@ -131,11 +132,16 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         }
         engine.budget = Some(budget);
     }
+    let backend = match str_flag(args, "--backend")? {
+        None => eo_engine::QueryBackend::Exact,
+        Some(v) => v.parse().map_err(|e| format!("--backend: {e}"))?,
+    };
     config.session = SessionConfig {
         engine,
         cache: !args.iter().any(|a| a == "--no-cache"),
         prefilter: !args.iter().any(|a| a == "--no-prefilter"),
         static_prefilter: args.iter().any(|a| a == "--static-prefilter"),
+        backend,
         ..SessionConfig::default()
     };
 

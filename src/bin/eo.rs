@@ -92,7 +92,8 @@ fn main() -> ExitCode {
                  eo serve <trace.json> [--batch <requests.json>] [--threads <n>]\n      \
                  [--timeout <ms>] [--max-mem <bytes>] [--max-states <n>]\n      \
                  [--no-cache] [--no-prefilter] [--static-prefilter] [--ignore-deps]\n      \
-                 [--equiv mazurkiewicz|normal-form|grain] [--metrics-out <file>]\n  \
+                 [--backend exact|sat] [--equiv mazurkiewicz|normal-form|grain]\n      \
+                 [--metrics-out <file>]\n  \
                  eo races <trace.json>\n  eo sat <n_vars> <n_clauses> <seed> [--events]\n  \
                  eo lint <trace.json>... [--json] [--mhp] [--deny error|warning|info] \
                  [--metrics-out <file>]\n  \
@@ -611,12 +612,27 @@ fn serve(args: &[String]) -> ExitCode {
         }
         engine.budget = Some(budget);
     }
+    let backend = match str_flag(args, "--backend") {
+        Ok(None) => eo_engine::QueryBackend::Exact,
+        Ok(Some(v)) => match v.parse() {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("serve: --backend: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
     let config = ServeConfig {
         session: SessionConfig {
             engine,
             cache: !args.iter().any(|a| a == "--no-cache"),
             prefilter: !args.iter().any(|a| a == "--no-prefilter"),
             static_prefilter: args.iter().any(|a| a == "--static-prefilter"),
+            backend,
             ..Default::default()
         },
         threads: threads.unwrap_or(1) as usize,

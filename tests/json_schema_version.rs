@@ -93,6 +93,8 @@ fn committed_bench_files_carry_schema_version_one() {
         "BENCH_serve.json",
         "BENCH_mhp.json",
         "BENCH_server.json",
+        "BENCH_equiv.json",
+        "BENCH_sat.json",
     ] {
         let text = std::fs::read_to_string(name)
             .unwrap_or_else(|e| panic!("{name} must be committed at the repo root: {e}"));
