@@ -259,22 +259,42 @@ fn pitfall_trace(decoys: usize) -> Trace {
 /// A random spec drawn small enough that the exact full-pair sweep stays
 /// fast (the cut lattice is exponential in processes).
 fn random_spec(rng: &mut SmallRng, seed: u64) -> WorkloadSpec {
-    let style = if rng.gen_bool(0.5) {
-        SyncStyle::Semaphores
-    } else {
-        SyncStyle::Events
+    // Every synchronization vocabulary the language offers, surface
+    // primitives included — their desugared core forms must agree across
+    // the three decision procedures exactly like native core programs.
+    let style = match rng.gen_range(0u32..5) {
+        0 => SyncStyle::Semaphores,
+        1 => SyncStyle::Events,
+        2 => SyncStyle::Monitors,
+        3 => SyncStyle::Channels,
+        _ => SyncStyle::Barriers,
     };
     let mut spec = match style {
         SyncStyle::Semaphores => WorkloadSpec::small_semaphore(seed),
         SyncStyle::Events => WorkloadSpec::small_events(seed),
+        SyncStyle::Monitors => WorkloadSpec::small_monitors(seed),
+        SyncStyle::Channels => WorkloadSpec::small_channels(seed),
+        SyncStyle::Barriers => WorkloadSpec::small_barriers(seed),
     };
     spec.processes = rng.gen_range(2usize..=4);
-    spec.events_per_process = rng.gen_range(2usize..=4);
+    // Surface slots expand (a monitor bracket is three statements, a
+    // barrier phase adds one per process), so keep those specs a notch
+    // smaller to hold the exact sweep's cut lattice in check.
+    let max_events = match style {
+        SyncStyle::Monitors | SyncStyle::Barriers => 3,
+        _ => 4,
+    };
+    spec.events_per_process = rng.gen_range(2usize..=max_events);
     spec.variables = rng.gen_range(1usize..=3);
-    spec.sync_density = rng.gen_range(0.3f64..=0.8);
+    if style != SyncStyle::Barriers {
+        spec.sync_density = rng.gen_range(0.3f64..=0.8);
+    }
     spec.write_fraction = rng.gen_range(0.2f64..=0.7);
     if style == SyncStyle::Events {
         spec.clears = rng.gen_bool(0.5);
+    }
+    if style == SyncStyle::Barriers {
+        spec.semaphores = rng.gen_range(1usize..=2); // phases
     }
     spec
 }
@@ -307,6 +327,24 @@ fn corpus(rounds: usize, base_seed: u64) -> Vec<CorpusItem> {
             mode: IgnoreDependences,
             spec: None,
         });
+    }
+    // One deterministic draw of each surface-primitive style, so even the
+    // PR `--smoke` slice exercises barrier/monitor/channel desugarings in
+    // both feasibility modes (the random rounds sample them too, but not
+    // guaranteed at 6 rounds).
+    for (name, spec) in [
+        ("monitors", WorkloadSpec::small_monitors(11)),
+        ("channels", WorkloadSpec::small_channels(11)),
+        ("barriers", WorkloadSpec::small_barriers(11)),
+    ] {
+        for mode in [PreserveDependences, IgnoreDependences] {
+            out.push(CorpusItem {
+                label: format!("surface-{name}-{mode:?}"),
+                trace: generate_trace(&spec, 100),
+                mode,
+                spec: Some(spec.clone()),
+            });
+        }
     }
     let mut rng = SmallRng::seed_from_u64(base_seed);
     for round in 0..rounds {

@@ -300,6 +300,62 @@ fn check_regression(args: &[String]) -> ! {
             gated += satchecks.len();
         }
     }
+    let prim_baseline_path = match args.iter().position(|a| a == "--primitives-baseline") {
+        None => "BENCH_primitives.json".to_string(),
+        Some(i) => match args.get(i + 1) {
+            Some(p) => p.clone(),
+            None => {
+                eprintln!("check-regression: --primitives-baseline takes a file path");
+                std::process::exit(1);
+            }
+        },
+    };
+    match std::fs::read_to_string(&prim_baseline_path) {
+        Err(e) => {
+            // Same contract as the other optional gates.
+            if args.iter().any(|a| a == "--primitives-baseline") {
+                eprintln!("check-regression: reading {prim_baseline_path}: {e}");
+                std::process::exit(1);
+            }
+            println!("(no {prim_baseline_path}; skipping the surface-primitive gate)");
+        }
+        Ok(baseline) => {
+            println!("== surface-primitive gate: re-measuring E20 against {prim_baseline_path} ==");
+            let current: Vec<_> = e20_workloads()
+                .iter()
+                .map(|(label, spec)| e20_point(label, spec))
+                .collect();
+            let pchecks = match check_primitives_against(&baseline, &current) {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("check-regression: {e}");
+                    std::process::exit(1);
+                }
+            };
+            let mut prows = Vec::new();
+            for c in &pchecks {
+                prows.push(vec![
+                    c.workload.clone(),
+                    c.committed_shape.clone(),
+                    c.current_shape.clone(),
+                    if c.failures.is_empty() {
+                        "ok".into()
+                    } else {
+                        "FAIL".into()
+                    },
+                ]);
+                for f in &c.failures {
+                    eprintln!("FAIL {}: {f}", c.workload);
+                    failed = true;
+                }
+            }
+            println!(
+                "{}",
+                render(&["workload", "committed", "measured", "verdict"], &prows)
+            );
+            gated += pchecks.len();
+        }
+    }
     if failed {
         eprintln!("perf-regression gate FAILED");
         std::process::exit(1);
@@ -1201,6 +1257,74 @@ fn main() {
             best_incremental >= 2.0,
             "best incremental speedup {best_incremental:.2}x is below the 2x bar"
         );
+    }
+
+    if want("e20") {
+        println!("== E20: surface primitives — desugaring overhead and backend agreement ==");
+        println!(
+            "(deterministic specs; order counts are exact; SAT answers asserted \
+             bit-identical to the exact session; best-of-3 timings)"
+        );
+        let mut rows = Vec::new();
+        let mut json_rows = Vec::new();
+        for (label, spec) in e20_workloads() {
+            let r = e20_point(&label, &spec);
+            rows.push(vec![
+                r.workload.clone(),
+                format!("{}\u{2192}{}", r.surface_stmts, r.core_stmts),
+                format!("{:.2}x", r.expansion()),
+                r.events.to_string(),
+                r.exact_orders.to_string(),
+                r.relaxed_orders.to_string(),
+                ms(r.exact_time),
+                ms(r.sat_time),
+            ]);
+            json_rows.push(format!(
+                concat!(
+                    "    {{\"workload\": \"{}\", \"surface_stmts\": {}, \"core_stmts\": {}, ",
+                    "\"expansion\": {:.2}, \"events\": {}, \"exact_orders\": {}, ",
+                    "\"relaxed_orders\": {}, \"exact_ms\": {:.3}, \"sat_ms\": {:.3}}}"
+                ),
+                r.workload,
+                r.surface_stmts,
+                r.core_stmts,
+                r.expansion(),
+                r.events,
+                r.exact_orders,
+                r.relaxed_orders,
+                r.exact_time.as_secs_f64() * 1e3,
+                r.sat_time.as_secs_f64() * 1e3,
+            ));
+            // The §5.3 relaxation can only grow the order space.
+            assert!(
+                r.relaxed_orders >= r.exact_orders,
+                "{}: ignoring dependences shrank F(P)",
+                r.workload
+            );
+        }
+        println!(
+            "{}",
+            render(
+                &[
+                    "workload",
+                    "stmts",
+                    "expansion",
+                    "|E|",
+                    "orders",
+                    "orders(no-D)",
+                    "exact_ms",
+                    "sat_ms"
+                ],
+                &rows
+            )
+        );
+        let json = format!(
+            "{{\n  \"schema_version\": 2,\n  \"experiment\": \"e20_surface_primitives\",\n  \
+             \"rows\": [\n{}\n  ]\n}}\n",
+            json_rows.join(",\n")
+        );
+        std::fs::write("BENCH_primitives.json", &json).expect("write BENCH_primitives.json");
+        println!("wrote BENCH_primitives.json ({} workloads)", rows.len());
     }
 
     if want("e18") {

@@ -305,6 +305,9 @@ pub fn e7_quality(style: SyncStyle, seeds: u64) -> Vec<QualityRow> {
     let style_name = match style {
         SyncStyle::Semaphores => "semaphores",
         SyncStyle::Events => "events",
+        SyncStyle::Monitors => "monitors",
+        SyncStyle::Channels => "channels",
+        SyncStyle::Barriers => "barriers",
     };
     let mut rows: Vec<QualityRow> = ["egp", "hmw", "phase1", "vc"]
         .into_iter()
@@ -326,6 +329,9 @@ pub fn e7_quality(style: SyncStyle, seeds: u64) -> Vec<QualityRow> {
                 s.clears = false;
                 s
             }
+            SyncStyle::Monitors => WorkloadSpec::small_monitors(seed),
+            SyncStyle::Channels => WorkloadSpec::small_channels(seed),
+            SyncStyle::Barriers => WorkloadSpec::small_barriers(seed),
         };
         let trace = generate_trace(&spec, 100);
         let exec = trace.to_execution().expect("generated traces are valid");
@@ -2008,6 +2014,232 @@ pub fn check_sat_against(
     }
     if out.is_empty() {
         return Err("sat baseline has no workload rows".to_string());
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------- E20 --
+
+/// One workload's measurement in the E20 surface-primitive study: how
+/// much program the desugaring to the semaphore core adds, what the
+/// order space of the desugared form looks like under both feasibility
+/// modes, and whether the exact and symbolic backends agree on it.
+#[derive(Clone, Debug)]
+pub struct PrimitiveBenchRow {
+    /// Workload label (`monitors-2x3` = style, processes × slots).
+    pub workload: String,
+    /// Top-level statements in the surface program.
+    pub surface_stmts: usize,
+    /// Top-level statements after desugaring to the semaphore core.
+    pub core_stmts: usize,
+    /// Events in the deterministic generated core trace.
+    pub events: usize,
+    /// |F(P)| with dependences preserved.
+    pub exact_orders: usize,
+    /// |F(P)| with dependences ignored (the §5.3 relaxation).
+    pub relaxed_orders: usize,
+    /// Best-of-3 wall time for the exact witness-search session on the
+    /// E19-style decision batch over the desugared trace.
+    pub exact_time: Duration,
+    /// Best-of-3 wall time for one incremental SAT session on the same
+    /// batch. Answers are asserted bit-identical to the exact session.
+    pub sat_time: Duration,
+}
+
+impl PrimitiveBenchRow {
+    /// Statement expansion factor of the desugaring.
+    pub fn expansion(&self) -> f64 {
+        self.core_stmts as f64 / self.surface_stmts.max(1) as f64
+    }
+}
+
+/// Top-level statement count (generator surface programs are flat, so
+/// this is the full program size for every E20 workload).
+fn stmt_count(program: &eo_lang::Program) -> usize {
+    program.processes.iter().map(|p| p.body.len()).sum()
+}
+
+/// The fixed E20 sweep: each surface primitive family at two sizes,
+/// deterministic seeds. Kept small enough that `enumerate_classes`
+/// never truncates — the order counts below are exact and the committed
+/// JSON gates them bit-for-bit.
+pub fn e20_workloads() -> Vec<(String, WorkloadSpec)> {
+    type SpecCtor = fn(u64) -> WorkloadSpec;
+    let styles: [(&str, SpecCtor); 3] = [
+        ("monitors", WorkloadSpec::small_monitors),
+        ("channels", WorkloadSpec::small_channels),
+        ("barriers", WorkloadSpec::small_barriers),
+    ];
+    let mut out = Vec::new();
+    for (style, make) in styles {
+        for (procs, epp) in [(2usize, 3usize), (3, 3)] {
+            let mut spec = make(7);
+            spec.processes = procs;
+            spec.events_per_process = epp;
+            if spec.style == SyncStyle::Barriers {
+                // One phase: an n-party round already adds 2(n-1)
+                // core statements per process.
+                spec.semaphores = 1;
+            }
+            out.push((format!("{style}-{procs}x{epp}"), spec));
+        }
+    }
+    out
+}
+
+/// Runs E20 on one workload. The exact and SAT sessions answer the same
+/// decision batch and every answer is asserted bit-identical, so the
+/// two timings are comparable; the structural counts are deterministic
+/// functions of the spec.
+pub fn e20_point(label: &str, spec: &WorkloadSpec) -> PrimitiveBenchRow {
+    use eo_engine::{QuerySession, SatSession};
+    let program = eo_lang::generator::random_program(spec);
+    let desugared = eo_lang::desugar(&program).expect("generator programs desugar");
+    let exec = generate_trace(spec, 100)
+        .to_execution()
+        .expect("generated traces are valid");
+
+    let mut orders = [0usize; 2];
+    let modes = [
+        FeasibilityMode::PreserveDependences,
+        FeasibilityMode::IgnoreDependences,
+    ];
+    for (slot, mode) in orders.iter_mut().zip(modes) {
+        let ctx = SearchCtx::new(&exec, mode);
+        let r = enumerate_classes(&ctx, 1 << 20);
+        assert!(!r.truncated, "{label}: E20 workloads must enumerate fully");
+        *slot = r.orders.len();
+    }
+
+    let ctx = SearchCtx::new(&exec, FeasibilityMode::PreserveDependences);
+    let batch = e19_batch(exec.n_events());
+    let (exact_answers, exact_time) = timed_best(3, || {
+        let mut session = QuerySession::new(&ctx);
+        batch
+            .iter()
+            .map(|&(kind, a, b)| match kind {
+                0 => session.must_happen_before(a, b),
+                1 => session.could_happen_before(a, b),
+                _ => session.could_be_concurrent(a, b),
+            })
+            .collect::<Vec<bool>>()
+    });
+    let (sat_answers, sat_time) = timed_best(3, || {
+        let mut session = SatSession::new(&ctx);
+        batch
+            .iter()
+            .map(|&(kind, a, b)| {
+                match kind {
+                    0 => session.try_must_happen_before(a, b),
+                    1 => session.try_could_happen_before(a, b),
+                    _ => session.try_could_be_concurrent(a, b),
+                }
+                .expect("unbudgeted")
+            })
+            .collect::<Vec<bool>>()
+    });
+    assert_eq!(
+        exact_answers, sat_answers,
+        "{label}: SAT diverged from the exact session on the desugared form"
+    );
+
+    PrimitiveBenchRow {
+        workload: label.to_string(),
+        surface_stmts: stmt_count(&program),
+        core_stmts: stmt_count(&desugared.program),
+        events: exec.n_events(),
+        exact_orders: orders[0],
+        relaxed_orders: orders[1],
+        exact_time,
+        sat_time,
+    }
+}
+
+/// One workload's verdict from the surface-primitive gate.
+#[derive(Clone, Debug)]
+pub struct PrimitiveRegressionCheck {
+    /// Workload label.
+    pub workload: String,
+    /// `surface→core` statement counts committed / measured.
+    pub committed_shape: String,
+    /// The same counts measured by this run.
+    pub current_shape: String,
+    /// Human-readable failures; empty = the workload passed.
+    pub failures: Vec<String>,
+}
+
+/// Compares freshly measured E20 rows against a committed
+/// `BENCH_primitives.json`. Everything gated here is a deterministic
+/// function of the fixed specs — statement counts, trace size, and the
+/// exact |F(P)| under both feasibility modes — so any drift means the
+/// desugaring or the engine changed meaning, not that the machine got
+/// slower. Timings are recorded in the JSON but deliberately not gated.
+pub fn check_primitives_against(
+    baseline_json: &str,
+    current: &[PrimitiveBenchRow],
+) -> Result<Vec<PrimitiveRegressionCheck>, String> {
+    let parsed = eo_obs::json::parse(baseline_json).map_err(|e| {
+        format!(
+            "primitives baseline JSON at byte {}: {}",
+            e.offset, e.message
+        )
+    })?;
+    let rows = parsed
+        .get("rows")
+        .and_then(|r| r.as_array())
+        .ok_or("primitives baseline JSON has no \"rows\" array")?;
+    let field = |row: &eo_obs::json::Value, key: &str| -> Result<usize, String> {
+        row.get(key)
+            .and_then(|v| v.as_f64())
+            .map(|v| v as usize)
+            .ok_or_else(|| format!("primitives baseline row missing numeric \"{key}\""))
+    };
+    let mut out = Vec::new();
+    for row in rows {
+        let workload = row
+            .get("workload")
+            .and_then(|v| v.as_str())
+            .ok_or("primitives baseline row missing \"workload\"")?
+            .to_string();
+        let committed = [
+            ("surface_stmts", field(row, "surface_stmts")?),
+            ("core_stmts", field(row, "core_stmts")?),
+            ("events", field(row, "events")?),
+            ("exact_orders", field(row, "exact_orders")?),
+            ("relaxed_orders", field(row, "relaxed_orders")?),
+        ];
+        let mut check = PrimitiveRegressionCheck {
+            workload: workload.clone(),
+            committed_shape: format!("{}→{}", committed[0].1, committed[1].1),
+            current_shape: "-".to_string(),
+            failures: Vec::new(),
+        };
+        match current.iter().find(|r| r.workload == workload) {
+            None => check
+                .failures
+                .push("baseline workload was not re-measured".to_string()),
+            Some(r) => {
+                check.current_shape = format!("{}→{}", r.surface_stmts, r.core_stmts);
+                let measured = [
+                    ("surface_stmts", r.surface_stmts),
+                    ("core_stmts", r.core_stmts),
+                    ("events", r.events),
+                    ("exact_orders", r.exact_orders),
+                    ("relaxed_orders", r.relaxed_orders),
+                ];
+                for ((key, want), (_, got)) in committed.iter().zip(measured) {
+                    if *want != got {
+                        check
+                            .failures
+                            .push(format!("{key} drifted: committed {want}, measured {got}"));
+                    }
+                }
+            }
+        }
+        out.push(check);
+    }
+    if out.is_empty() {
+        return Err("primitives baseline has no workload rows".to_string());
     }
     Ok(out)
 }

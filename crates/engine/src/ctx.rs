@@ -81,6 +81,17 @@ impl<'a> SearchCtx<'a> {
         }
     }
 
+    /// The **typed** dependence input in force ([`eo_model::Dependence`]):
+    /// the execution's per-class →D, or the empty dependence when
+    /// dependences are ignored. Its flat fold equals
+    /// [`Self::effective_d`].
+    pub fn effective_dependence(&self) -> eo_model::Dependence {
+        match self.mode {
+            FeasibilityMode::PreserveDependences => self.exec.dependence().clone(),
+            FeasibilityMode::IgnoreDependences => eo_model::Dependence::empty(self.n_events()),
+        }
+    }
+
     /// True iff all →D predecessors of `e` have executed at `st`.
     #[inline]
     pub fn deps_satisfied(&self, st: &MachState, e: EventId) -> bool {

@@ -55,6 +55,7 @@
 
 pub mod api;
 pub mod budget;
+pub mod config;
 pub mod ctx;
 pub mod degraded;
 pub mod engine;
@@ -72,6 +73,7 @@ pub mod summary;
 
 pub use api::{Answer, EngineOptions, Query, QueryBackend, Response};
 pub use budget::{Budget, CancelHandle};
+pub use config::EngineConfig;
 pub use ctx::{FeasibilityMode, SearchCtx};
 pub use degraded::{DegradedSummary, Fact};
 pub use engine::{AnalysisOutcome, EngineError, ExactEngine, Limits};

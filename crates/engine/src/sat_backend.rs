@@ -64,7 +64,7 @@ impl SatSession {
     /// Opens a session whose queries run under `budget`.
     pub fn with_budget(ctx: &SearchCtx<'_>, budget: Budget) -> SatSession {
         eo_obs::span!("sat.encode");
-        let enc = PoEncoding::new(ctx.exec().trace(), &ctx.effective_d());
+        let enc = PoEncoding::with_dependence(ctx.exec().trace(), &ctx.effective_dependence());
         eo_obs::counter!("sat.clauses", enc.core_clause_count() as u64);
         SatSession {
             enc,

@@ -18,6 +18,45 @@ impl ProcRef {
     }
 }
 
+/// Reference to a [`BarrierDef`] within a [`Program`]. Barriers are a
+/// *surface* primitive: they never reach a trace — [`crate::desugar`]
+/// lowers every wait to pairwise semaphore handshakes first.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BarrierId(u32);
+
+/// Reference to a [`MutexDef`] within a [`Program`] (surface primitive).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MutexId(u32);
+
+/// Reference to a [`CondvarDef`] within a [`Program`] (surface primitive).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CondId(u32);
+
+/// Reference to a [`ChannelDef`] within a [`Program`] (surface primitive).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ChanId(u32);
+
+macro_rules! surface_id {
+    ($t:ident) => {
+        impl $t {
+            /// Constructs from a dense index.
+            #[inline]
+            pub fn new(ix: u32) -> Self {
+                $t(ix)
+            }
+            /// Dense index into the corresponding declaration list.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+    };
+}
+surface_id!(BarrierId);
+surface_id!(MutexId);
+surface_id!(CondId);
+surface_id!(ChanId);
+
 /// A statement: an executable kind plus an optional label that flows into
 /// the emitted event (the reductions label their endpoints `"a"`/`"b"`).
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -89,6 +128,36 @@ pub enum StmtKind {
         /// Taken otherwise.
         else_branch: Vec<Stmt>,
     },
+    /// `barrier_wait(b)` — blocks until all `parties` participants of the
+    /// current generation have arrived, then all depart. Surface
+    /// primitive; desugared to pairwise semaphore handshakes. Barrier
+    /// waits must sit at the top level of a process body (not inside a
+    /// conditional) so generations are statically known.
+    BarrierWait(BarrierId),
+    /// `lock(m)` — blocks until the mutex token is available, then takes
+    /// it. Surface primitive; desugared to `P` on a binary semaphore.
+    Lock(MutexId),
+    /// `unlock(m)` — returns the mutex token. Surface primitive;
+    /// desugared to `V`. Token semantics: an unlock without a matching
+    /// lock mints an extra token (EO-L013 lints the misuse; the
+    /// semantics stay well-defined and match the desugaring).
+    Unlock(MutexId),
+    /// `cond_wait(c, m)` — atomically-in-three-steps: release `m`, block
+    /// for a wake token on `c`, re-acquire `m`. Wake tokens are counted
+    /// (a signal with no waiter is remembered), which is exactly what the
+    /// semaphore desugaring can express; DESIGN.md §15 spells out how
+    /// this differs from lost-wakeup condvars.
+    CondWait(CondId, MutexId),
+    /// `cond_signal(c)` — deposits one wake token on `c`.
+    CondSignal(CondId),
+    /// `send(ch)` — blocks while the bounded channel is full, then
+    /// deposits one item (two steps: reserve a slot, publish the item).
+    /// Channels carry synchronization only, not data — the calculus is
+    /// value-free.
+    Send(ChanId),
+    /// `recv(ch)` — blocks while the channel is empty, then removes one
+    /// item (two steps: take the item, release the slot).
+    Recv(ChanId),
 }
 
 /// One process definition.
@@ -121,6 +190,43 @@ pub struct EvVarDef {
     pub initially_set: bool,
 }
 
+/// Declaration of a barrier at the program level.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BarrierDef {
+    /// Name.
+    pub name: String,
+    /// Number of participating processes per generation. Validation
+    /// requires exactly this many processes to contain waits on the
+    /// barrier (and all of them to wait the same number of times).
+    pub parties: u32,
+}
+
+/// Declaration of a mutex at the program level. The token starts
+/// available (unlocked).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MutexDef {
+    /// Name.
+    pub name: String,
+}
+
+/// Declaration of a condition variable at the program level. Pairing
+/// with a mutex happens per `cond_wait` site, not at declaration.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CondvarDef {
+    /// Name.
+    pub name: String,
+}
+
+/// Declaration of a bounded channel at the program level.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ChannelDef {
+    /// Name.
+    pub name: String,
+    /// Buffer capacity; must be ≥ 1 (rendezvous channels are not
+    /// expressible as a sound semaphore desugaring in this calculus).
+    pub capacity: u32,
+}
+
 /// A complete program.
 #[derive(Clone, Debug, PartialEq, Eq, Default)]
 pub struct Program {
@@ -133,6 +239,14 @@ pub struct Program {
     /// Shared variables (all initially 0), indexed by [`VarId`]; the
     /// strings are names.
     pub variables: Vec<String>,
+    /// Barriers, indexed by [`BarrierId`] (surface primitive).
+    pub barriers: Vec<BarrierDef>,
+    /// Mutexes, indexed by [`MutexId`] (surface primitive).
+    pub mutexes: Vec<MutexDef>,
+    /// Condition variables, indexed by [`CondId`] (surface primitive).
+    pub condvars: Vec<CondvarDef>,
+    /// Bounded channels, indexed by [`ChanId`] (surface primitive).
+    pub channels: Vec<ChannelDef>,
 }
 
 /// Why a program is statically malformed.
@@ -171,6 +285,33 @@ pub enum ProgramError {
         /// The offender.
         process: ProcRef,
     },
+    /// A `barrier_wait` sits inside a conditional branch — generations
+    /// must be statically known for the desugaring to be sound.
+    BarrierInBranch {
+        /// The process whose branch contains the wait.
+        process: ProcRef,
+    },
+    /// A barrier's declared party count does not match the number of
+    /// processes that wait on it (or is zero while the barrier is used).
+    BarrierParties {
+        /// The barrier.
+        barrier: BarrierId,
+        /// Parties declared.
+        declared: u32,
+        /// Processes actually waiting.
+        waiting: u32,
+    },
+    /// The processes waiting on a barrier disagree on how many times
+    /// they wait — every participant must pass the same generations.
+    BarrierRounds {
+        /// The barrier.
+        barrier: BarrierId,
+    },
+    /// A channel is declared with capacity zero.
+    ChannelCapacity {
+        /// The channel.
+        channel: ChanId,
+    },
 }
 
 impl std::fmt::Display for ProgramError {
@@ -191,6 +332,34 @@ impl std::fmt::Display for ProgramError {
             ProgramError::SelfFork { process } => {
                 write!(f, "process #{} forks itself", process.0)
             }
+            ProgramError::BarrierInBranch { process } => {
+                write!(
+                    f,
+                    "process #{} waits on a barrier inside a conditional branch",
+                    process.0
+                )
+            }
+            ProgramError::BarrierParties {
+                barrier,
+                declared,
+                waiting,
+            } => {
+                write!(
+                    f,
+                    "barrier #{} declares {declared} parties but {waiting} processes wait on it",
+                    barrier.0
+                )
+            }
+            ProgramError::BarrierRounds { barrier } => {
+                write!(
+                    f,
+                    "the processes waiting on barrier #{} wait unequal numbers of times",
+                    barrier.0
+                )
+            }
+            ProgramError::ChannelCapacity { channel } => {
+                write!(f, "channel #{} has capacity zero", channel.0)
+            }
         }
     }
 }
@@ -199,12 +368,40 @@ impl std::error::Error for ProgramError {}
 
 impl Program {
     /// Static validation: references resolve, fork targets are non-root,
-    /// every non-root definition is forked exactly once, no self-forks.
+    /// every non-root definition is forked exactly once, no self-forks,
+    /// barrier waits are top-level with consistent party/round counts,
+    /// channels have nonzero capacity.
     pub fn validate(&self) -> Result<(), ProgramError> {
+        for (ci, ch) in self.channels.iter().enumerate() {
+            if ch.capacity == 0 {
+                return Err(ProgramError::ChannelCapacity {
+                    channel: ChanId::new(ci as u32),
+                });
+            }
+        }
         let mut fork_count = vec![0usize; self.processes.len()];
+        // bar_waits[barrier][process] = top-level waits in that process.
+        let mut bar_waits = vec![vec![0u32; self.processes.len()]; self.barriers.len()];
         for (pi, def) in self.processes.iter().enumerate() {
             let p = ProcRef(pi as u32);
-            self.check_block(p, &def.body, &mut fork_count)?;
+            self.check_block(p, &def.body, &mut fork_count, Some(&mut bar_waits))?;
+        }
+        for (bi, def) in self.barriers.iter().enumerate() {
+            let b = BarrierId::new(bi as u32);
+            let waiting: Vec<u32> = bar_waits[bi].iter().copied().filter(|&c| c > 0).collect();
+            if waiting.is_empty() {
+                continue; // declared but unused: fine, like an unused semaphore
+            }
+            if waiting.len() as u32 != def.parties {
+                return Err(ProgramError::BarrierParties {
+                    barrier: b,
+                    declared: def.parties,
+                    waiting: waiting.len() as u32,
+                });
+            }
+            if waiting.iter().any(|&c| c != waiting[0]) {
+                return Err(ProgramError::BarrierRounds { barrier: b });
+            }
         }
         for (ti, def) in self.processes.iter().enumerate() {
             let t = ProcRef(ti as u32);
@@ -227,11 +424,15 @@ impl Program {
         Ok(())
     }
 
+    /// `bar_waits` is `Some` at the top level of a process body and
+    /// `None` inside conditional branches, where barrier waits are
+    /// rejected outright.
     fn check_block(
         &self,
         p: ProcRef,
         block: &[Stmt],
         fork_count: &mut [usize],
+        mut bar_waits: Option<&mut Vec<Vec<u32>>>,
     ) -> Result<(), ProgramError> {
         for stmt in block {
             match &stmt.kind {
@@ -298,8 +499,58 @@ impl Program {
                     ..
                 } => {
                     self.check_var(p, *var)?;
-                    self.check_block(p, then_branch, fork_count)?;
-                    self.check_block(p, else_branch, fork_count)?;
+                    self.check_block(p, then_branch, fork_count, None)?;
+                    self.check_block(p, else_branch, fork_count, None)?;
+                }
+                StmtKind::BarrierWait(b) => {
+                    if b.index() >= self.barriers.len() {
+                        return Err(ProgramError::DanglingReference {
+                            process: p,
+                            what: "barrier",
+                        });
+                    }
+                    match bar_waits.as_deref_mut() {
+                        Some(w) => w[b.index()][p.index()] += 1,
+                        None => return Err(ProgramError::BarrierInBranch { process: p }),
+                    }
+                }
+                StmtKind::Lock(m) | StmtKind::Unlock(m) => {
+                    if m.index() >= self.mutexes.len() {
+                        return Err(ProgramError::DanglingReference {
+                            process: p,
+                            what: "mutex",
+                        });
+                    }
+                }
+                StmtKind::CondWait(c, m) => {
+                    if c.index() >= self.condvars.len() {
+                        return Err(ProgramError::DanglingReference {
+                            process: p,
+                            what: "condition variable",
+                        });
+                    }
+                    if m.index() >= self.mutexes.len() {
+                        return Err(ProgramError::DanglingReference {
+                            process: p,
+                            what: "mutex",
+                        });
+                    }
+                }
+                StmtKind::CondSignal(c) => {
+                    if c.index() >= self.condvars.len() {
+                        return Err(ProgramError::DanglingReference {
+                            process: p,
+                            what: "condition variable",
+                        });
+                    }
+                }
+                StmtKind::Send(ch) | StmtKind::Recv(ch) => {
+                    if ch.index() >= self.channels.len() {
+                        return Err(ProgramError::DanglingReference {
+                            process: p,
+                            what: "channel",
+                        });
+                    }
                 }
             }
         }
@@ -317,7 +568,10 @@ impl Program {
     }
 
     /// Upper bound on the number of events one execution of this program
-    /// can produce (counting the longer side of every conditional).
+    /// can produce under the direct interpretation (counting the longer
+    /// side of every conditional and every micro-step of the surface
+    /// primitives). The desugared core form has its own — possibly
+    /// larger — bound, computed on the desugared [`Program`].
     pub fn max_events(&self) -> usize {
         fn block(stmts: &[Stmt]) -> usize {
             stmts
@@ -328,11 +582,35 @@ impl Program {
                         else_branch,
                         ..
                     } => 1 + block(then_branch).max(block(else_branch)),
-                    _ => 1,
+                    other => crate::interp::micro_steps(other),
                 })
                 .sum()
         }
         self.processes.iter().map(|p| block(&p.body)).sum()
+    }
+
+    /// Whether the program uses any surface primitive (barriers,
+    /// mutexes/condvars, channels) and therefore needs
+    /// [`crate::desugar::desugar`] before trace-level analysis.
+    pub fn uses_surface_sync(&self) -> bool {
+        fn block(stmts: &[Stmt]) -> bool {
+            stmts.iter().any(|s| match &s.kind {
+                StmtKind::BarrierWait(_)
+                | StmtKind::Lock(_)
+                | StmtKind::Unlock(_)
+                | StmtKind::CondWait(..)
+                | StmtKind::CondSignal(_)
+                | StmtKind::Send(_)
+                | StmtKind::Recv(_) => true,
+                StmtKind::If {
+                    then_branch,
+                    else_branch,
+                    ..
+                } => block(then_branch) || block(else_branch),
+                _ => false,
+            })
+        }
+        self.processes.iter().any(|p| block(&p.body))
     }
 }
 
@@ -469,6 +747,7 @@ mod tests {
             semaphores: vec![],
             event_vars: vec![],
             variables: vec!["x".into()],
+            ..Default::default()
         };
         assert!(prog.validate().is_ok());
     }

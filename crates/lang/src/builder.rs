@@ -1,4 +1,4 @@
-//! Fluent construction of [`Program`]s.
+//! Imperative construction of [`Program`]s (compatibility surface).
 //!
 //! [`ProgramBuilder`] appends statements to named process definitions;
 //! nested blocks (conditional branches) are built through [`BlockBuilder`]
@@ -7,8 +7,20 @@
 //! thousands of programs this way and rely on validity), while
 //! [`ProgramBuilder::try_build`] returns the error for callers assembling
 //! programs from untrusted descriptions.
+//!
+//! **Deprecated in favor of [`crate::fluent`]**: new code should use the
+//! typed, scoped builder ([`ProgramScope`](crate::fluent::ProgramScope)),
+//! which keeps each
+//! thread's statements inside a scope closure and hands out typed handles
+//! for every sync object. This module is kept as a thin shim — every
+//! method forwards into the same [`Program`] representation — so the
+//! large existing fixture and reduction surface compiles unchanged. See
+//! README "Builder migration" for a side-by-side.
 
-use crate::ast::{EvVarDef, ProcDef, ProcRef, Program, ProgramError, SemDef, Stmt, StmtKind};
+use crate::ast::{
+    BarrierDef, BarrierId, ChanId, ChannelDef, CondId, CondvarDef, EvVarDef, MutexDef, MutexId,
+    ProcDef, ProcRef, Program, ProgramError, SemDef, Stmt, StmtKind,
+};
 use eo_model::{EvVarId, SemId, VarId};
 
 /// Builds a [`Program`] incrementally.
@@ -78,6 +90,44 @@ impl ProgramBuilder {
     pub fn variable(&mut self, name: &str) -> VarId {
         let id = VarId::new(self.program.variables.len());
         self.program.variables.push(name.to_string());
+        id
+    }
+
+    /// Declares a barrier for `parties` participating processes.
+    pub fn barrier(&mut self, name: &str, parties: u32) -> BarrierId {
+        let id = BarrierId::new(self.program.barriers.len() as u32);
+        self.program.barriers.push(BarrierDef {
+            name: name.to_string(),
+            parties,
+        });
+        id
+    }
+
+    /// Declares a mutex (initially unlocked).
+    pub fn mutex(&mut self, name: &str) -> MutexId {
+        let id = MutexId::new(self.program.mutexes.len() as u32);
+        self.program.mutexes.push(MutexDef {
+            name: name.to_string(),
+        });
+        id
+    }
+
+    /// Declares a condition variable.
+    pub fn condvar(&mut self, name: &str) -> CondId {
+        let id = CondId::new(self.program.condvars.len() as u32);
+        self.program.condvars.push(CondvarDef {
+            name: name.to_string(),
+        });
+        id
+    }
+
+    /// Declares a bounded channel with the given capacity (≥ 1).
+    pub fn channel(&mut self, name: &str, capacity: u32) -> ChanId {
+        let id = ChanId::new(self.program.channels.len() as u32);
+        self.program.channels.push(ChannelDef {
+            name: name.to_string(),
+            capacity,
+        });
         id
     }
 
@@ -161,6 +211,49 @@ impl ProgramBuilder {
     /// Appends `Clear(ev)`.
     pub fn clear(&mut self, p: ProcRef, ev: EvVarId) -> &mut Self {
         self.push(p, Stmt::new(StmtKind::Clear(ev)));
+        self
+    }
+
+    /// Appends `barrier_wait(b)` (top level only; see
+    /// [`StmtKind::BarrierWait`]).
+    pub fn barrier_wait(&mut self, p: ProcRef, b: BarrierId) -> &mut Self {
+        self.push(p, Stmt::new(StmtKind::BarrierWait(b)));
+        self
+    }
+
+    /// Appends `lock(m)`.
+    pub fn lock(&mut self, p: ProcRef, m: MutexId) -> &mut Self {
+        self.push(p, Stmt::new(StmtKind::Lock(m)));
+        self
+    }
+
+    /// Appends `unlock(m)`.
+    pub fn unlock(&mut self, p: ProcRef, m: MutexId) -> &mut Self {
+        self.push(p, Stmt::new(StmtKind::Unlock(m)));
+        self
+    }
+
+    /// Appends `cond_wait(c, m)`.
+    pub fn cond_wait(&mut self, p: ProcRef, c: CondId, m: MutexId) -> &mut Self {
+        self.push(p, Stmt::new(StmtKind::CondWait(c, m)));
+        self
+    }
+
+    /// Appends `cond_signal(c)`.
+    pub fn cond_signal(&mut self, p: ProcRef, c: CondId) -> &mut Self {
+        self.push(p, Stmt::new(StmtKind::CondSignal(c)));
+        self
+    }
+
+    /// Appends `send(ch)`.
+    pub fn send(&mut self, p: ProcRef, ch: ChanId) -> &mut Self {
+        self.push(p, Stmt::new(StmtKind::Send(ch)));
+        self
+    }
+
+    /// Appends `recv(ch)`.
+    pub fn recv(&mut self, p: ProcRef, ch: ChanId) -> &mut Self {
+        self.push(p, Stmt::new(StmtKind::Recv(ch)));
         self
     }
 
@@ -312,6 +405,42 @@ impl BlockBuilder {
     /// Appends `Clear(ev)`.
     pub fn clear_here(&mut self, ev: EvVarId) -> &mut Self {
         self.stmts.push(Stmt::new(StmtKind::Clear(ev)));
+        self
+    }
+
+    /// Appends `lock(m)`.
+    pub fn lock_here(&mut self, m: MutexId) -> &mut Self {
+        self.stmts.push(Stmt::new(StmtKind::Lock(m)));
+        self
+    }
+
+    /// Appends `unlock(m)`.
+    pub fn unlock_here(&mut self, m: MutexId) -> &mut Self {
+        self.stmts.push(Stmt::new(StmtKind::Unlock(m)));
+        self
+    }
+
+    /// Appends `cond_wait(c, m)`.
+    pub fn cond_wait_here(&mut self, c: CondId, m: MutexId) -> &mut Self {
+        self.stmts.push(Stmt::new(StmtKind::CondWait(c, m)));
+        self
+    }
+
+    /// Appends `cond_signal(c)`.
+    pub fn cond_signal_here(&mut self, c: CondId) -> &mut Self {
+        self.stmts.push(Stmt::new(StmtKind::CondSignal(c)));
+        self
+    }
+
+    /// Appends `send(ch)`.
+    pub fn send_here(&mut self, ch: ChanId) -> &mut Self {
+        self.stmts.push(Stmt::new(StmtKind::Send(ch)));
+        self
+    }
+
+    /// Appends `recv(ch)`.
+    pub fn recv_here(&mut self, ch: ChanId) -> &mut Self {
+        self.stmts.push(Stmt::new(StmtKind::Recv(ch)));
         self
     }
 

@@ -1,0 +1,600 @@
+//! Lowering surface synchronization to the paper's core calculus.
+//!
+//! The paper's complexity results (and every analysis layer in this
+//! repository — the exact engine, the CNF encoding, the MHP fixpoint,
+//! the HMW/EGP approximations) are stated over fork/join, counting
+//! semaphores, and Post/Wait/Clear. The surface primitives
+//! ([`StmtKind::BarrierWait`], [`StmtKind::Lock`]/[`StmtKind::Unlock`],
+//! [`StmtKind::CondWait`]/[`StmtKind::CondSignal`],
+//! [`StmtKind::Send`]/[`StmtKind::Recv`]) are each given meaning by a
+//! *sound desugaring* into that core:
+//!
+//! | surface                | core form (per statement)                        |
+//! |------------------------|--------------------------------------------------|
+//! | `lock(m)`              | `P(m.mtx)` — binary semaphore, initial 1         |
+//! | `unlock(m)`            | `V(m.mtx)`                                       |
+//! | `cond_signal(c)`       | `V(c.cv)` — counted wake tokens, initial 0       |
+//! | `cond_wait(c, m)`      | `V(m.mtx); P(c.cv); P(m.mtx)`                    |
+//! | `send(ch)` (cap k)     | `P(ch.slots); V(ch.items)` — slots init k        |
+//! | `recv(ch)`             | `P(ch.items); V(ch.slots)` — items init 0        |
+//! | `barrier_wait(b)`, round r, party i of n | `V(s[r][i][j])` for each j≠i, then `P(s[r][j][i])` for each j≠i |
+//!
+//! Each barrier generation gets its own pairwise handshake semaphores,
+//! so the *existing* semaphore meet rule in `eo-mhp` (intersect over all
+//! V suppliers) derives the all-to-all barrier ordering with no special
+//! case: every `P(s[r][j][i])` has exactly one supplier — party j's
+//! arrival — hence everything before any party's arrival is guaranteed
+//! before everything after any other party's departure. DESIGN.md §15
+//! gives the per-primitive soundness arguments.
+//!
+//! [`DesugarMap`] is the provenance side table: it names, for every core
+//! statement, the surface statement it implements and whether it is that
+//! statement's **commit** step (the single step that represents the
+//! statement in schedule projections — matching
+//! [`crate::interp::commit_step`] for the direct interpretation). Lints,
+//! MHP verdicts, and witness schedules computed on the core form travel
+//! back to surface statements through this map.
+
+use crate::ast::{Program, ProgramError, SemDef, Stmt, StmtKind};
+use crate::stmt::{StmtId, StmtMap};
+use eo_model::SemId;
+
+/// How one core statement relates to the surface statement it lowers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DesugarRole {
+    /// The single representative step: schedule projections keep exactly
+    /// the commit events, one per executed surface statement.
+    Commit,
+    /// Scaffolding (reservations, releases, handshake halves).
+    Aux,
+}
+
+/// Provenance from the desugared core program back to the surface
+/// program. Core statements are identified by their [`StmtId`] under
+/// `StmtMap::build(&desugared.program)`; surface statements by their
+/// [`StmtId`] under `StmtMap::build(&surface_program)`.
+#[derive(Clone, Debug)]
+pub struct DesugarMap {
+    /// Indexed by core [`StmtId`]: the originating surface statement and
+    /// this core statement's role in its lowering.
+    origin: Vec<(StmtId, DesugarRole)>,
+    /// Indexed by surface [`StmtId`]: the core commit statement.
+    commit: Vec<StmtId>,
+    /// Indexed by surface [`StmtId`]: all core statements lowering it,
+    /// in program order.
+    cores: Vec<Vec<StmtId>>,
+}
+
+impl DesugarMap {
+    /// The surface statement a core statement implements.
+    pub fn surface_of(&self, core: StmtId) -> StmtId {
+        self.origin[core.index()].0
+    }
+
+    /// The core statement's role in its surface statement's lowering.
+    pub fn role(&self, core: StmtId) -> DesugarRole {
+        self.origin[core.index()].1
+    }
+
+    /// Whether the core statement is its surface statement's commit step.
+    pub fn is_commit(&self, core: StmtId) -> bool {
+        self.origin[core.index()].1 == DesugarRole::Commit
+    }
+
+    /// The core commit statement of a surface statement.
+    pub fn commit_core(&self, surface: StmtId) -> StmtId {
+        self.commit[surface.index()]
+    }
+
+    /// All core statements lowering a surface statement, in order.
+    pub fn cores_of(&self, surface: StmtId) -> &[StmtId] {
+        &self.cores[surface.index()]
+    }
+
+    /// Number of surface statements.
+    pub fn surface_len(&self) -> usize {
+        self.commit.len()
+    }
+
+    /// Number of core statements.
+    pub fn core_len(&self) -> usize {
+        self.origin.len()
+    }
+
+    /// Projects a core run's per-event anchors (`stmt_of` from
+    /// [`crate::interp::run_to_trace_anchored`] on the **desugared**
+    /// program) onto the sequence of committed surface statements — the
+    /// object the desugar-vs-direct differential compares.
+    pub fn project_commits(&self, stmt_of: &[StmtId]) -> Vec<StmtId> {
+        stmt_of
+            .iter()
+            .filter(|sid| self.is_commit(**sid))
+            .map(|sid| self.surface_of(*sid))
+            .collect()
+    }
+}
+
+/// A desugared program plus the provenance map back to its surface form.
+#[derive(Clone, Debug)]
+pub struct Desugared {
+    /// The core-only program (no surface declarations or statements).
+    pub program: Program,
+    /// Core-to-surface provenance.
+    pub map: DesugarMap,
+}
+
+/// Projects a **direct** anchored run (of the surface program itself)
+/// onto its committed-statement sequence — the direct-side counterpart
+/// of [`DesugarMap::project_commits`].
+pub fn direct_commits(run: &crate::interp::AnchoredRun) -> Vec<StmtId> {
+    run.stmt_of
+        .iter()
+        .zip(&run.commit_of)
+        .filter(|(_, &c)| c)
+        .map(|(&sid, _)| sid)
+        .collect()
+}
+
+/// Lowers `program` to the core calculus. Validates first; programs
+/// already in core form come back as a clone with an identity map, so
+/// callers can desugar unconditionally.
+pub fn desugar(program: &Program) -> Result<Desugared, ProgramError> {
+    program.validate()?;
+    let surface = StmtMap::build(program);
+
+    // Participant lists (process indices, in ProcRef order) and round
+    // counts per barrier, from the same top-level walk validation does.
+    let n_procs = program.processes.len();
+    let mut waits = vec![vec![0u32; n_procs]; program.barriers.len()];
+    for (pi, def) in program.processes.iter().enumerate() {
+        for stmt in &def.body {
+            if let StmtKind::BarrierWait(b) = &stmt.kind {
+                waits[b.index()][pi] += 1;
+            }
+        }
+    }
+    let parts: Vec<Vec<usize>> = waits
+        .iter()
+        .map(|per_proc| {
+            (0..n_procs)
+                .filter(|&pi| per_proc[pi] > 0)
+                .collect::<Vec<_>>()
+        })
+        .collect();
+
+    // Generated semaphores are appended after the surface ones, so every
+    // surface SemId stays valid in the core program.
+    let mut sems: Vec<SemDef> = program.semaphores.clone();
+    let mut fresh = |name: String, initial: u32| -> SemId {
+        let id = SemId::new(sems.len());
+        sems.push(SemDef { name, initial });
+        id
+    };
+
+    // Per barrier: handshake semaphore ids, indexed [round][from][to]
+    // over participant indices (the [i][i] diagonal is unused padding).
+    let mut bar_sems: Vec<Vec<Vec<Vec<SemId>>>> = Vec::with_capacity(program.barriers.len());
+    for (bi, def) in program.barriers.iter().enumerate() {
+        let n = parts[bi].len();
+        let rounds = parts[bi]
+            .first()
+            .map(|&pi| waits[bi][pi] as usize)
+            .unwrap_or(0);
+        let mut per_round = Vec::with_capacity(rounds);
+        for k in 0..rounds {
+            let mut from = vec![vec![SemId::new(0); n]; n];
+            #[allow(clippy::needless_range_loop)] // i/j are matrix coordinates
+            for i in 0..n {
+                for j in 0..n {
+                    if i != j {
+                        from[i][j] = fresh(format!("{}.r{k}.{i}to{j}", def.name), 0);
+                    }
+                }
+            }
+            per_round.push(from);
+        }
+        bar_sems.push(per_round);
+    }
+    let mtx_sems: Vec<SemId> = program
+        .mutexes
+        .iter()
+        .map(|m| fresh(format!("{}.mtx", m.name), 1))
+        .collect();
+    let cond_sems: Vec<SemId> = program
+        .condvars
+        .iter()
+        .map(|c| fresh(format!("{}.cv", c.name), 0))
+        .collect();
+    let chan_slot_sems: Vec<SemId> = program
+        .channels
+        .iter()
+        .map(|c| fresh(format!("{}.slots", c.name), c.capacity))
+        .collect();
+    let chan_item_sems: Vec<SemId> = program
+        .channels
+        .iter()
+        .map(|c| fresh(format!("{}.items", c.name), 0))
+        .collect();
+
+    let mut lower = Lower {
+        parts: &parts,
+        bar_sems: &bar_sems,
+        mtx_sems: &mtx_sems,
+        cond_sems: &cond_sems,
+        chan_slot_sems: &chan_slot_sems,
+        chan_item_sems: &chan_item_sems,
+        wait_seen: vec![vec![0usize; n_procs]; program.barriers.len()],
+        origin: Vec::new(),
+        commit: vec![StmtId(0); surface.len()],
+        next_surface: 0,
+    };
+
+    let processes = program
+        .processes
+        .iter()
+        .enumerate()
+        .map(|(pi, def)| crate::ast::ProcDef {
+            name: def.name.clone(),
+            root: def.root,
+            body: lower.block(pi, &def.body),
+        })
+        .collect();
+
+    debug_assert_eq!(lower.next_surface as usize, surface.len());
+    let mut cores = vec![Vec::new(); surface.len()];
+    for (core_ix, (sid, _)) in lower.origin.iter().enumerate() {
+        cores[sid.index()].push(StmtId(core_ix as u32));
+    }
+    let map = DesugarMap {
+        origin: lower.origin,
+        commit: lower.commit,
+        cores,
+    };
+    let core = Program {
+        processes,
+        semaphores: sems,
+        event_vars: program.event_vars.clone(),
+        variables: program.variables.clone(),
+        barriers: Vec::new(),
+        mutexes: Vec::new(),
+        condvars: Vec::new(),
+        channels: Vec::new(),
+    };
+    debug_assert!(core.validate().is_ok(), "desugaring broke validity");
+    debug_assert_eq!(map.core_len(), StmtMap::build(&core).len());
+    Ok(Desugared { program: core, map })
+}
+
+struct Lower<'a> {
+    parts: &'a [Vec<usize>],
+    bar_sems: &'a [Vec<Vec<Vec<SemId>>>],
+    mtx_sems: &'a [SemId],
+    cond_sems: &'a [SemId],
+    chan_slot_sems: &'a [SemId],
+    chan_item_sems: &'a [SemId],
+    /// Per barrier per process: top-level waits lowered so far (= round).
+    wait_seen: Vec<Vec<usize>>,
+    /// Filled in core-StmtMap preorder: entry `k` describes core
+    /// statement `StmtId(k)`. This works because the lowering emits core
+    /// statements in exactly the preorder `StmtMap::build` numbers them.
+    origin: Vec<(StmtId, DesugarRole)>,
+    commit: Vec<StmtId>,
+    next_surface: u32,
+}
+
+impl Lower<'_> {
+    fn emit(&mut self, out: &mut Vec<Stmt>, surface: StmtId, role: DesugarRole, stmt: Stmt) {
+        let core = StmtId(self.origin.len() as u32);
+        self.origin.push((surface, role));
+        if role == DesugarRole::Commit {
+            self.commit[surface.index()] = core;
+        }
+        out.push(stmt);
+    }
+
+    fn block(&mut self, pi: usize, stmts: &[Stmt]) -> Vec<Stmt> {
+        let mut out = Vec::with_capacity(stmts.len());
+        for stmt in stmts {
+            self.stmt(pi, stmt, &mut out);
+        }
+        out
+    }
+
+    fn stmt(&mut self, pi: usize, stmt: &Stmt, out: &mut Vec<Stmt>) {
+        let sid = StmtId(self.next_surface);
+        self.next_surface += 1;
+        let label = stmt.label.clone();
+        match &stmt.kind {
+            StmtKind::If {
+                var,
+                equals,
+                then_branch,
+                else_branch,
+            } => {
+                // Preorder: the If itself, then its branches. Reserve the
+                // origin entry before recursing so core ids line up.
+                let core = StmtId(self.origin.len() as u32);
+                self.origin.push((sid, DesugarRole::Commit));
+                self.commit[sid.index()] = core;
+                let t = self.block(pi, then_branch);
+                let e = self.block(pi, else_branch);
+                out.push(Stmt {
+                    kind: StmtKind::If {
+                        var: *var,
+                        equals: *equals,
+                        then_branch: t,
+                        else_branch: e,
+                    },
+                    label,
+                });
+            }
+            StmtKind::BarrierWait(b) => {
+                let parts = &self.parts[b.index()];
+                let i = parts
+                    .iter()
+                    .position(|&p| p == pi)
+                    .expect("validated: waiting process is a participant");
+                let round = self.wait_seen[b.index()][pi];
+                self.wait_seen[b.index()][pi] += 1;
+                let n = parts.len();
+                if n == 1 {
+                    // A one-party barrier is a no-op; keep one event so
+                    // the statement still commits.
+                    self.emit(
+                        out,
+                        sid,
+                        DesugarRole::Commit,
+                        Stmt {
+                            kind: StmtKind::Skip,
+                            label,
+                        },
+                    );
+                    return;
+                }
+                let sems = &self.bar_sems[b.index()][round];
+                #[allow(clippy::needless_range_loop)] // j indexes peer columns
+                for j in 0..n {
+                    if j != i {
+                        self.emit(
+                            out,
+                            sid,
+                            DesugarRole::Aux,
+                            Stmt::new(StmtKind::SemV(sems[i][j])),
+                        );
+                    }
+                }
+                let others: Vec<usize> = (0..n).filter(|&j| j != i).collect();
+                for (ix, &j) in others.iter().enumerate() {
+                    let role = if ix + 1 == others.len() {
+                        DesugarRole::Commit
+                    } else {
+                        DesugarRole::Aux
+                    };
+                    let lbl = if role == DesugarRole::Commit {
+                        label.clone()
+                    } else {
+                        None
+                    };
+                    self.emit(
+                        out,
+                        sid,
+                        role,
+                        Stmt {
+                            kind: StmtKind::SemP(sems[j][i]),
+                            label: lbl,
+                        },
+                    );
+                }
+            }
+            StmtKind::Lock(m) => self.emit(
+                out,
+                sid,
+                DesugarRole::Commit,
+                Stmt {
+                    kind: StmtKind::SemP(self.mtx_sems[m.index()]),
+                    label,
+                },
+            ),
+            StmtKind::Unlock(m) => self.emit(
+                out,
+                sid,
+                DesugarRole::Commit,
+                Stmt {
+                    kind: StmtKind::SemV(self.mtx_sems[m.index()]),
+                    label,
+                },
+            ),
+            StmtKind::CondWait(c, m) => {
+                self.emit(
+                    out,
+                    sid,
+                    DesugarRole::Aux,
+                    Stmt::new(StmtKind::SemV(self.mtx_sems[m.index()])),
+                );
+                self.emit(
+                    out,
+                    sid,
+                    DesugarRole::Aux,
+                    Stmt::new(StmtKind::SemP(self.cond_sems[c.index()])),
+                );
+                self.emit(
+                    out,
+                    sid,
+                    DesugarRole::Commit,
+                    Stmt {
+                        kind: StmtKind::SemP(self.mtx_sems[m.index()]),
+                        label,
+                    },
+                );
+            }
+            StmtKind::CondSignal(c) => self.emit(
+                out,
+                sid,
+                DesugarRole::Commit,
+                Stmt {
+                    kind: StmtKind::SemV(self.cond_sems[c.index()]),
+                    label,
+                },
+            ),
+            StmtKind::Send(ch) => {
+                self.emit(
+                    out,
+                    sid,
+                    DesugarRole::Aux,
+                    Stmt::new(StmtKind::SemP(self.chan_slot_sems[ch.index()])),
+                );
+                self.emit(
+                    out,
+                    sid,
+                    DesugarRole::Commit,
+                    Stmt {
+                        kind: StmtKind::SemV(self.chan_item_sems[ch.index()]),
+                        label,
+                    },
+                );
+            }
+            StmtKind::Recv(ch) => {
+                self.emit(
+                    out,
+                    sid,
+                    DesugarRole::Commit,
+                    Stmt {
+                        kind: StmtKind::SemP(self.chan_item_sems[ch.index()]),
+                        label,
+                    },
+                );
+                self.emit(
+                    out,
+                    sid,
+                    DesugarRole::Aux,
+                    Stmt::new(StmtKind::SemV(self.chan_slot_sems[ch.index()])),
+                );
+            }
+            core_kind => self.emit(
+                out,
+                sid,
+                DesugarRole::Commit,
+                Stmt {
+                    kind: core_kind.clone(),
+                    label,
+                },
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::interp::{run_to_trace, run_to_trace_anchored};
+    use crate::scheduler::Scheduler;
+
+    #[test]
+    fn core_program_round_trips_identically() {
+        let mut b = ProgramBuilder::new();
+        let s = b.semaphore("s");
+        let p0 = b.process("p0");
+        b.sem_v(p0, s).compute(p0, "a");
+        let p1 = b.process("p1");
+        b.sem_p(p1, s).compute(p1, "b");
+        let prog = b.build();
+        let d = desugar(&prog).unwrap();
+        assert_eq!(d.program, prog, "core programs are fixed points");
+        for sid in StmtMap::build(&prog).ids() {
+            assert_eq!(d.map.surface_of(sid), sid);
+            assert!(d.map.is_commit(sid));
+            assert_eq!(d.map.commit_core(sid), sid);
+        }
+    }
+
+    #[test]
+    fn mutex_lowers_to_binary_semaphore() {
+        let mut b = ProgramBuilder::new();
+        let m = b.mutex("m");
+        let p0 = b.process("p0");
+        b.lock(p0, m).compute(p0, "cs0").unlock(p0, m);
+        let p1 = b.process("p1");
+        b.lock(p1, m).compute(p1, "cs1").unlock(p1, m);
+        let prog = b.build();
+        let d = desugar(&prog).unwrap();
+        assert_eq!(d.program.semaphores.len(), 1);
+        assert_eq!(d.program.semaphores[0].initial, 1);
+        assert_eq!(d.program.semaphores[0].name, "m.mtx");
+        // Every schedule of the core form keeps the critical sections
+        // disjoint; a quick run sanity-checks executability.
+        let t = run_to_trace(&d.program, &mut Scheduler::round_robin()).unwrap();
+        assert_eq!(t.n_events(), 6);
+    }
+
+    #[test]
+    fn barrier_round_uses_pairwise_handshakes() {
+        let mut b = ProgramBuilder::new();
+        let bar = b.barrier("bar", 3);
+        for i in 0..3 {
+            let p = b.process(&format!("p{i}"));
+            b.compute(p, &format!("before{i}"));
+            b.barrier_wait(p, bar);
+            b.compute(p, &format!("after{i}"));
+        }
+        let prog = b.build();
+        let d = desugar(&prog).unwrap();
+        // 3 parties, 1 round: 3·2 handshake semaphores.
+        assert_eq!(d.program.semaphores.len(), 6);
+        let run = run_to_trace_anchored(&d.program, &mut Scheduler::round_robin()).unwrap();
+        // Commit projection has one entry per surface statement executed.
+        let commits = d.map.project_commits(&run.stmt_of);
+        assert_eq!(commits.len(), 9);
+        // No "after" may commit before every "before" has committed.
+        let surface = StmtMap::build(&prog);
+        let first_after = commits
+            .iter()
+            .position(|&sid| {
+                surface
+                    .node(sid)
+                    .label
+                    .as_deref()
+                    .is_some_and(|l| l.starts_with("after"))
+            })
+            .unwrap();
+        for i in 0..3 {
+            let before = surface.labeled(&format!("before{i}")).unwrap();
+            let pos = commits.iter().position(|&s| s == before).unwrap();
+            assert!(
+                pos < first_after,
+                "barrier orders before{i} ahead of all afters"
+            );
+        }
+    }
+
+    #[test]
+    fn unequal_barrier_rounds_rejected() {
+        let mut b = ProgramBuilder::new();
+        let bar = b.barrier("bar", 2);
+        let p0 = b.process("p0");
+        b.barrier_wait(p0, bar).barrier_wait(p0, bar);
+        let p1 = b.process("p1");
+        b.barrier_wait(p1, bar);
+        assert!(matches!(
+            b.try_build(),
+            Err(ProgramError::BarrierRounds { .. })
+        ));
+    }
+
+    #[test]
+    fn channel_lowers_to_slot_item_semaphores() {
+        let mut b = ProgramBuilder::new();
+        let ch = b.channel("ch", 2);
+        let tx = b.process("tx");
+        b.send(tx, ch).send(tx, ch).send(tx, ch);
+        let rx = b.process("rx");
+        b.recv(rx, ch).recv(rx, ch).recv(rx, ch);
+        let prog = b.build();
+        let d = desugar(&prog).unwrap();
+        assert_eq!(d.program.semaphores.len(), 2);
+        assert_eq!(d.program.semaphores[0].initial, 2, "slots = capacity");
+        assert_eq!(d.program.semaphores[1].initial, 0, "items start empty");
+        let t = run_to_trace(&d.program, &mut Scheduler::round_robin()).unwrap();
+        assert_eq!(t.n_events(), 12, "2 core events per send/recv");
+    }
+}

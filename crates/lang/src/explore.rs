@@ -1,0 +1,186 @@
+//! Exhaustive schedule enumeration for small programs.
+//!
+//! The desugar-vs-direct differential (DESIGN.md §15) needs the *set of
+//! all schedules* a program admits, not a sample: soundness of a
+//! desugaring means the surface program and its core form agree on
+//! every committed-statement sequence and on every deadlock prefix.
+//! [`enumerate_schedules`] walks the full schedule tree by depth-first
+//! search over scheduler choices — [`Scheduler::scripted`] replays a
+//! choice prefix and records the branching factor at every step, which
+//! is exactly the information backtracking needs.
+//!
+//! This is exponential in program size by nature (it enumerates
+//! interleavings, not Mazurkiewicz classes — two schedules that swap
+//! independent steps are distinct here, as they must be for a
+//! projection-set comparison). Keep inputs tiny and set `max_runs`.
+
+use crate::ast::Program;
+use crate::desugar::{direct_commits, Desugared};
+use crate::interp::{run_to_trace_partial, RunError};
+use crate::scheduler::Scheduler;
+use crate::stmt::StmtId;
+use std::collections::BTreeSet;
+
+/// The schedule tree of one program, projected to committed surface
+/// statements.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ScheduleSet {
+    /// Commit projections of every completing schedule.
+    pub completed: BTreeSet<Vec<StmtId>>,
+    /// Commit projections of every deadlocking schedule (the prefix up
+    /// to the stuck point).
+    pub deadlocked: BTreeSet<Vec<StmtId>>,
+    /// Schedules (tree leaves) visited.
+    pub runs: usize,
+    /// True iff enumeration stopped at `max_runs`; the sets are then
+    /// incomplete and must not be compared for equality.
+    pub truncated: bool,
+}
+
+/// Enumerates every schedule of `program` and projects each onto its
+/// committed-statement sequence using `project`.
+fn enumerate_with(
+    program: &Program,
+    max_runs: usize,
+    project: impl Fn(&crate::interp::AnchoredRun) -> Vec<StmtId>,
+) -> Result<ScheduleSet, RunError> {
+    let mut set = ScheduleSet {
+        completed: BTreeSet::new(),
+        deadlocked: BTreeSet::new(),
+        runs: 0,
+        truncated: false,
+    };
+    // `script[k]` is the branch taken at depth `k` on the current path.
+    let mut script: Vec<usize> = Vec::new();
+    loop {
+        if set.runs >= max_runs {
+            set.truncated = true;
+            return Ok(set);
+        }
+        let mut sched = Scheduler::scripted(script.clone());
+        let partial = run_to_trace_partial(program, &mut sched)?;
+        set.runs += 1;
+        let projection = project(&partial.run);
+        if partial.completed {
+            set.completed.insert(projection);
+        } else {
+            set.deadlocked.insert(projection);
+        }
+        // Backtrack: deepest step with an untried sibling branch.
+        let factors = sched.branching();
+        let effective = |k: usize| -> usize {
+            script
+                .get(k)
+                .copied()
+                .unwrap_or(0)
+                .min(factors[k].saturating_sub(1))
+        };
+        let mut next = None;
+        for k in (0..factors.len()).rev() {
+            if effective(k) + 1 < factors[k] {
+                next = Some(k);
+                break;
+            }
+        }
+        match next {
+            None => return Ok(set),
+            Some(k) => {
+                let mut fresh: Vec<usize> = (0..k).map(effective).collect();
+                fresh.push(effective(k) + 1);
+                script = fresh;
+            }
+        }
+    }
+}
+
+/// Enumerates the **direct** schedule set of a (possibly surface)
+/// program: every interleaving of the reference interpretation,
+/// projected to committed statements.
+pub fn enumerate_schedules(program: &Program, max_runs: usize) -> Result<ScheduleSet, RunError> {
+    enumerate_with(program, max_runs, direct_commits)
+}
+
+/// Enumerates the schedule set of a **desugared** core program and
+/// projects every schedule back onto the *surface* statements through
+/// the provenance map — the object to compare bit-for-bit against
+/// [`enumerate_schedules`] of the surface program.
+pub fn enumerate_desugared_schedules(
+    d: &Desugared,
+    max_runs: usize,
+) -> Result<ScheduleSet, RunError> {
+    enumerate_with(&d.program, max_runs, |run| {
+        d.map.project_commits(&run.stmt_of)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::desugar::desugar;
+
+    #[test]
+    fn two_independent_events_have_two_schedules() {
+        let mut b = ProgramBuilder::new();
+        let p0 = b.process("p0");
+        b.compute(p0, "a");
+        let p1 = b.process("p1");
+        b.compute(p1, "b");
+        let prog = b.build();
+        let set = enumerate_schedules(&prog, 1000).unwrap();
+        assert_eq!(set.completed.len(), 2);
+        assert!(set.deadlocked.is_empty());
+        assert!(!set.truncated);
+    }
+
+    #[test]
+    fn semaphore_cuts_one_interleaving() {
+        // V(s) ; P(s): the P can never run first.
+        let mut b = ProgramBuilder::new();
+        let s = b.semaphore("s");
+        let p0 = b.process("p0");
+        b.sem_v(p0, s);
+        let p1 = b.process("p1");
+        b.sem_p(p1, s);
+        let prog = b.build();
+        let set = enumerate_schedules(&prog, 1000).unwrap();
+        assert_eq!(set.completed.len(), 1, "only V-then-P completes");
+        assert!(set.deadlocked.is_empty(), "P simply stays blocked until V");
+    }
+
+    #[test]
+    fn deadlock_prefixes_are_recorded() {
+        // Two processes P on never-supplied semaphores: every schedule
+        // deadlocks immediately with an empty commit prefix.
+        let mut b = ProgramBuilder::new();
+        let s = b.semaphore("s");
+        let p0 = b.process("p0");
+        b.sem_p(p0, s);
+        let prog = b.build();
+        let set = enumerate_schedules(&prog, 1000).unwrap();
+        assert!(set.completed.is_empty());
+        assert_eq!(set.deadlocked.len(), 1);
+        assert_eq!(set.deadlocked.iter().next().unwrap().len(), 0);
+    }
+
+    #[test]
+    fn mutex_direct_and_desugared_schedule_sets_agree() {
+        let mut b = ProgramBuilder::new();
+        let m = b.mutex("m");
+        let p0 = b.process("p0");
+        b.lock(p0, m).compute(p0, "cs0").unlock(p0, m);
+        let p1 = b.process("p1");
+        b.lock(p1, m).compute(p1, "cs1").unlock(p1, m);
+        let prog = b.build();
+        let direct = enumerate_schedules(&prog, 100_000).unwrap();
+        let d = desugar(&prog).unwrap();
+        let core = enumerate_desugared_schedules(&d, 100_000).unwrap();
+        assert!(!direct.truncated && !core.truncated);
+        assert_eq!(direct.completed, core.completed);
+        assert_eq!(direct.deadlocked, core.deadlocked);
+        // Critical sections never interleave: cs0 and cs1 appear in both
+        // orders across the set, but lock/unlock bracketing is preserved
+        // (checked implicitly by the equality above; sanity-check size).
+        assert_eq!(direct.completed.len(), 2);
+    }
+}

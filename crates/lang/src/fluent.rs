@@ -1,0 +1,478 @@
+//! The fluent, typed program builder.
+//!
+//! [`ProgramScope`] is the redesigned construction API: sync objects are
+//! declared up front and handed back as **typed handles** ([`SemId`],
+//! [`BarrierId`], [`MutexId`], [`CondId`], [`ChanId`], …), and each
+//! thread's statements live inside a scope closure, so a statement can
+//! never be appended to the wrong process by passing a stale `ProcRef`:
+//!
+//! ```
+//! use eo_lang::fluent::ProgramScope;
+//!
+//! let mut p = ProgramScope::new();
+//! let m = p.mutex("m");
+//! let done = p.event_var("done");
+//! p.thread("worker", |t| {
+//!     t.lock(m).compute("critical").unlock(m).post(done);
+//! });
+//! p.thread("main", |t| {
+//!     t.wait(done).compute("after");
+//! });
+//! let program = p.build();
+//! assert_eq!(program.processes.len(), 2);
+//! ```
+//!
+//! Conditional branches nest through [`BranchScope`] closures with the
+//! same statement vocabulary (minus barrier waits, which must stay
+//! top-level — see [`StmtKind::BarrierWait`]). The older imperative
+//! [`crate::builder::ProgramBuilder`] remains available as a
+//! compatibility shim over the same `Program` representation; new code
+//! should prefer this module (README "Builder migration").
+
+use crate::ast::{BarrierId, ChanId, CondId, MutexId, ProcRef, Program, ProgramError, StmtKind};
+use crate::builder::{BlockBuilder, ProgramBuilder};
+use eo_model::{EvVarId, SemId, VarId};
+
+/// Scoped construction of a whole [`Program`].
+#[derive(Default)]
+pub struct ProgramScope {
+    b: ProgramBuilder,
+}
+
+impl ProgramScope {
+    /// A fresh program scope with no declarations.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares a counting semaphore initialized to zero.
+    pub fn semaphore(&mut self, name: &str) -> SemId {
+        self.b.semaphore(name)
+    }
+
+    /// Declares a counting semaphore with an explicit initial value.
+    pub fn semaphore_init(&mut self, name: &str, initial: u32) -> SemId {
+        self.b.semaphore_init(name, initial)
+    }
+
+    /// Declares an event variable, initially clear.
+    pub fn event_var(&mut self, name: &str) -> EvVarId {
+        self.b.event_var(name)
+    }
+
+    /// Declares an event variable with an explicit initial flag.
+    pub fn event_var_init(&mut self, name: &str, initially_set: bool) -> EvVarId {
+        self.b.event_var_init(name, initially_set)
+    }
+
+    /// Declares a shared variable (initially 0).
+    pub fn variable(&mut self, name: &str) -> VarId {
+        self.b.variable(name)
+    }
+
+    /// Declares a barrier for `parties` participating processes.
+    pub fn barrier(&mut self, name: &str, parties: u32) -> BarrierId {
+        self.b.barrier(name, parties)
+    }
+
+    /// Declares a mutex (initially unlocked).
+    pub fn mutex(&mut self, name: &str) -> MutexId {
+        self.b.mutex(name)
+    }
+
+    /// Declares a condition variable.
+    pub fn condvar(&mut self, name: &str) -> CondId {
+        self.b.condvar(name)
+    }
+
+    /// Declares a bounded channel with the given capacity (≥ 1).
+    pub fn channel(&mut self, name: &str, capacity: u32) -> ChanId {
+        self.b.channel(name, capacity)
+    }
+
+    /// Declares a root thread (exists from the start) and builds its body
+    /// inside the scope closure. Returns the handle for `join`s.
+    pub fn thread(&mut self, name: &str, f: impl FnOnce(&mut ThreadScope<'_>)) -> ProcRef {
+        let p = self.b.process(name);
+        f(&mut ThreadScope { b: &mut self.b, p });
+        p
+    }
+
+    /// Declares a worker thread (must be forked exactly once) and builds
+    /// its body. Returns the handle for `fork`/`join`.
+    pub fn worker(&mut self, name: &str, f: impl FnOnce(&mut ThreadScope<'_>)) -> ProcRef {
+        let p = self.b.subprocess(name);
+        f(&mut ThreadScope { b: &mut self.b, p });
+        p
+    }
+
+    /// Finishes, panicking on a statically malformed program.
+    ///
+    /// # Panics
+    /// Panics if validation fails — see [`ProgramScope::try_build`].
+    pub fn build(self) -> Program {
+        self.b.build()
+    }
+
+    /// Finishes, returning the validation error if malformed.
+    pub fn try_build(self) -> Result<Program, ProgramError> {
+        self.b.try_build()
+    }
+}
+
+/// Statement scope of one thread. All appenders return `&mut Self` for
+/// chaining.
+pub struct ThreadScope<'a> {
+    b: &'a mut ProgramBuilder,
+    p: ProcRef,
+}
+
+impl ThreadScope<'_> {
+    /// This thread's process handle.
+    pub fn handle(&self) -> ProcRef {
+        self.p
+    }
+
+    /// Appends a labeled no-access computation event.
+    pub fn compute(&mut self, label: &str) -> &mut Self {
+        self.b.compute(self.p, label);
+        self
+    }
+
+    /// Appends an abstract computation with explicit read/write sets.
+    pub fn compute_rw(&mut self, reads: &[VarId], writes: &[VarId], label: &str) -> &mut Self {
+        self.b.compute_rw(self.p, reads, writes, label);
+        self
+    }
+
+    /// Appends an unlabeled skip.
+    pub fn skip(&mut self) -> &mut Self {
+        self.b.skip(self.p);
+        self
+    }
+
+    /// Appends `var := value`.
+    pub fn assign(&mut self, var: VarId, value: i64) -> &mut Self {
+        self.b.assign(self.p, var, value);
+        self
+    }
+
+    /// Appends `P(sem)`.
+    pub fn sem_p(&mut self, sem: SemId) -> &mut Self {
+        self.b.sem_p(self.p, sem);
+        self
+    }
+
+    /// Appends `V(sem)`.
+    pub fn sem_v(&mut self, sem: SemId) -> &mut Self {
+        self.b.sem_v(self.p, sem);
+        self
+    }
+
+    /// Appends `Post(ev)`.
+    pub fn post(&mut self, ev: EvVarId) -> &mut Self {
+        self.b.post(self.p, ev);
+        self
+    }
+
+    /// Appends `Wait(ev)`.
+    pub fn wait(&mut self, ev: EvVarId) -> &mut Self {
+        self.b.wait(self.p, ev);
+        self
+    }
+
+    /// Appends `Clear(ev)`.
+    pub fn clear(&mut self, ev: EvVarId) -> &mut Self {
+        self.b.clear(self.p, ev);
+        self
+    }
+
+    /// Appends `barrier_wait(b)` (top level only).
+    pub fn barrier_wait(&mut self, b: BarrierId) -> &mut Self {
+        self.b.barrier_wait(self.p, b);
+        self
+    }
+
+    /// Appends `lock(m)`.
+    pub fn lock(&mut self, m: MutexId) -> &mut Self {
+        self.b.lock(self.p, m);
+        self
+    }
+
+    /// Appends `unlock(m)`.
+    pub fn unlock(&mut self, m: MutexId) -> &mut Self {
+        self.b.unlock(self.p, m);
+        self
+    }
+
+    /// Appends `cond_wait(c, m)`.
+    pub fn cond_wait(&mut self, c: CondId, m: MutexId) -> &mut Self {
+        self.b.cond_wait(self.p, c, m);
+        self
+    }
+
+    /// Appends `cond_signal(c)`.
+    pub fn cond_signal(&mut self, c: CondId) -> &mut Self {
+        self.b.cond_signal(self.p, c);
+        self
+    }
+
+    /// Appends `send(ch)`.
+    pub fn send(&mut self, ch: ChanId) -> &mut Self {
+        self.b.send(self.p, ch);
+        self
+    }
+
+    /// Appends `recv(ch)`.
+    pub fn recv(&mut self, ch: ChanId) -> &mut Self {
+        self.b.recv(self.p, ch);
+        self
+    }
+
+    /// Appends a labeled statement of any kind.
+    pub fn stmt(&mut self, kind: StmtKind, label: &str) -> &mut Self {
+        self.b.labeled(self.p, kind, label);
+        self
+    }
+
+    /// Appends `fork {targets…}`.
+    pub fn fork(&mut self, targets: &[ProcRef]) -> &mut Self {
+        self.b.fork(self.p, targets);
+        self
+    }
+
+    /// Appends `join {targets…}`.
+    pub fn join(&mut self, targets: &[ProcRef]) -> &mut Self {
+        self.b.join(self.p, targets);
+        self
+    }
+
+    /// Appends `if var = value then … else …`, building both branches
+    /// with [`BranchScope`] closures.
+    pub fn branch_eq(
+        &mut self,
+        var: VarId,
+        value: i64,
+        then_f: impl FnOnce(&mut BranchScope<'_>),
+        else_f: impl FnOnce(&mut BranchScope<'_>),
+    ) -> &mut Self {
+        self.b.if_eq(
+            self.p,
+            var,
+            value,
+            |blk| then_f(&mut BranchScope { b: blk }),
+            |blk| else_f(&mut BranchScope { b: blk }),
+        );
+        self
+    }
+}
+
+/// Statement scope of one conditional branch (no barrier waits — those
+/// must be top-level).
+pub struct BranchScope<'a> {
+    b: &'a mut BlockBuilder,
+}
+
+impl BranchScope<'_> {
+    /// Appends a labeled computation event.
+    pub fn compute(&mut self, label: &str) -> &mut Self {
+        self.b.compute_here(label);
+        self
+    }
+
+    /// Appends `var := value`.
+    pub fn assign(&mut self, var: VarId, value: i64) -> &mut Self {
+        self.b.assign_here(var, value);
+        self
+    }
+
+    /// Appends `P(sem)`.
+    pub fn sem_p(&mut self, sem: SemId) -> &mut Self {
+        self.b.sem_p_here(sem);
+        self
+    }
+
+    /// Appends `V(sem)`.
+    pub fn sem_v(&mut self, sem: SemId) -> &mut Self {
+        self.b.sem_v_here(sem);
+        self
+    }
+
+    /// Appends `Post(ev)`.
+    pub fn post(&mut self, ev: EvVarId) -> &mut Self {
+        self.b.post_here(ev);
+        self
+    }
+
+    /// Appends `Wait(ev)`.
+    pub fn wait(&mut self, ev: EvVarId) -> &mut Self {
+        self.b.wait_here(ev);
+        self
+    }
+
+    /// Appends `Clear(ev)`.
+    pub fn clear(&mut self, ev: EvVarId) -> &mut Self {
+        self.b.clear_here(ev);
+        self
+    }
+
+    /// Appends `lock(m)`.
+    pub fn lock(&mut self, m: MutexId) -> &mut Self {
+        self.b.lock_here(m);
+        self
+    }
+
+    /// Appends `unlock(m)`.
+    pub fn unlock(&mut self, m: MutexId) -> &mut Self {
+        self.b.unlock_here(m);
+        self
+    }
+
+    /// Appends `cond_wait(c, m)`.
+    pub fn cond_wait(&mut self, c: CondId, m: MutexId) -> &mut Self {
+        self.b.cond_wait_here(c, m);
+        self
+    }
+
+    /// Appends `cond_signal(c)`.
+    pub fn cond_signal(&mut self, c: CondId) -> &mut Self {
+        self.b.cond_signal_here(c);
+        self
+    }
+
+    /// Appends `send(ch)`.
+    pub fn send(&mut self, ch: ChanId) -> &mut Self {
+        self.b.send_here(ch);
+        self
+    }
+
+    /// Appends `recv(ch)`.
+    pub fn recv(&mut self, ch: ChanId) -> &mut Self {
+        self.b.recv_here(ch);
+        self
+    }
+
+    /// Appends `fork {targets…}`.
+    pub fn fork(&mut self, targets: &[ProcRef]) -> &mut Self {
+        self.b.fork_here(targets);
+        self
+    }
+
+    /// Appends `join {targets…}`.
+    pub fn join(&mut self, targets: &[ProcRef]) -> &mut Self {
+        self.b.join_here(targets);
+        self
+    }
+
+    /// Appends a nested conditional.
+    pub fn branch_eq(
+        &mut self,
+        var: VarId,
+        value: i64,
+        then_f: impl FnOnce(&mut BranchScope<'_>),
+        else_f: impl FnOnce(&mut BranchScope<'_>),
+    ) -> &mut Self {
+        self.b.if_eq_here(
+            var,
+            value,
+            |blk| then_f(&mut BranchScope { b: blk }),
+            |blk| else_f(&mut BranchScope { b: blk }),
+        );
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::run_to_trace;
+    use crate::scheduler::Scheduler;
+
+    #[test]
+    fn fluent_and_imperative_builders_agree() {
+        let mut fluent = ProgramScope::new();
+        let s = fluent.semaphore("s");
+        let x = fluent.variable("x");
+        fluent.thread("p0", |t| {
+            t.assign(x, 1).sem_v(s);
+        });
+        fluent.thread("p1", |t| {
+            t.sem_p(s).branch_eq(
+                x,
+                1,
+                |then| {
+                    then.compute("saw_one");
+                },
+                |els| {
+                    els.compute("saw_other");
+                },
+            );
+        });
+        let a = fluent.build();
+
+        let mut b = ProgramBuilder::new();
+        let s = b.semaphore("s");
+        let x = b.variable("x");
+        let p0 = b.process("p0");
+        b.assign(p0, x, 1).sem_v(p0, s);
+        let p1 = b.process("p1");
+        b.sem_p(p1, s).if_eq(
+            p1,
+            x,
+            1,
+            |then| {
+                then.compute_here("saw_one");
+            },
+            |els| {
+                els.compute_here("saw_other");
+            },
+        );
+        assert_eq!(a, b.build(), "both builders produce the same Program");
+    }
+
+    #[test]
+    fn worker_fork_join_runs() {
+        let mut p = ProgramScope::new();
+        let w1 = p.worker("w1", |t| {
+            t.compute("work1");
+        });
+        let w2 = p.worker("w2", |t| {
+            t.compute("work2");
+        });
+        p.thread("main", |t| {
+            t.fork(&[w1, w2]).join(&[w1, w2]).compute("done");
+        });
+        let prog = p.build();
+        let t = run_to_trace(&prog, &mut Scheduler::round_robin()).unwrap();
+        assert_eq!(t.n_events(), 5);
+    }
+
+    #[test]
+    fn typed_handles_cover_all_sync_objects() {
+        let mut p = ProgramScope::new();
+        let bar = p.barrier("bar", 2);
+        let m = p.mutex("m");
+        let c = p.condvar("c");
+        let ch = p.channel("ch", 1);
+        p.thread("a", |t| {
+            t.lock(m)
+                .cond_signal(c)
+                .unlock(m)
+                .send(ch)
+                .barrier_wait(bar);
+        });
+        p.thread("b", |t| {
+            t.lock(m)
+                .cond_wait(c, m)
+                .unlock(m)
+                .recv(ch)
+                .barrier_wait(bar);
+        });
+        let prog = p.build();
+        assert!(prog.uses_surface_sync());
+        assert_eq!(prog.barriers.len(), 1);
+        assert_eq!(prog.mutexes.len(), 1);
+        assert_eq!(prog.condvars.len(), 1);
+        assert_eq!(prog.channels.len(), 1);
+    }
+}

@@ -25,6 +25,17 @@ pub enum SyncStyle {
     /// Event variables (`Post`/`Wait`, plus `Clear` when
     /// [`WorkloadSpec::clears`] is true).
     Events,
+    /// Mutex/condvar monitors (surface primitives: `lock`/`unlock`
+    /// brackets around computations, plus matched signal/wait pairs).
+    /// [`WorkloadSpec::semaphores`] counts mutexes.
+    Monitors,
+    /// Bounded channels (surface primitives: matched `send`/`recv`
+    /// pairs). [`WorkloadSpec::semaphores`] counts channels.
+    Channels,
+    /// Whole-program barrier phases (surface primitives: every process
+    /// participates in every phase, in the same phase order).
+    /// [`WorkloadSpec::semaphores`] counts phases.
+    Barriers,
 }
 
 /// Parameters of a random workload.
@@ -87,6 +98,35 @@ impl WorkloadSpec {
             seed,
         }
     }
+
+    /// A small monitor workload (surface mutexes/condvars; the program
+    /// desugars to semaphores before analysis).
+    pub fn small_monitors(seed: u64) -> Self {
+        WorkloadSpec {
+            semaphores: 1,
+            style: SyncStyle::Monitors,
+            ..WorkloadSpec::small_semaphore(seed)
+        }
+    }
+
+    /// A small bounded-channel workload.
+    pub fn small_channels(seed: u64) -> Self {
+        WorkloadSpec {
+            semaphores: 1,
+            style: SyncStyle::Channels,
+            ..WorkloadSpec::small_semaphore(seed)
+        }
+    }
+
+    /// A small barrier-phase workload.
+    pub fn small_barriers(seed: u64) -> Self {
+        WorkloadSpec {
+            semaphores: 2,
+            sync_density: 0.0, // phases are driven by `semaphores`, not density
+            style: SyncStyle::Barriers,
+            ..WorkloadSpec::small_semaphore(seed)
+        }
+    }
 }
 
 /// Generates a random program from the spec. The program is statically
@@ -102,6 +142,30 @@ pub fn random_program(spec: &WorkloadSpec) -> Program {
     let evs: Vec<_> = (0..spec.event_vars)
         .map(|i| b.event_var(&format!("ev{i}")))
         .collect();
+    // Surface styles reuse `semaphores` as the sync-object count so
+    // spec-space shrinking works unchanged across every style.
+    let n_objs = spec.semaphores.max(1);
+    let (mut mtxs, mut conds, mut chans, mut bars) = (vec![], vec![], vec![], vec![]);
+    match spec.style {
+        SyncStyle::Monitors => {
+            for i in 0..n_objs {
+                mtxs.push(b.mutex(&format!("m{i}")));
+                conds.push(b.condvar(&format!("c{i}")));
+            }
+        }
+        SyncStyle::Channels => {
+            for i in 0..n_objs {
+                let cap = 1 + (i as u32 % 2);
+                chans.push(b.channel(&format!("ch{i}"), cap));
+            }
+        }
+        SyncStyle::Barriers => {
+            for i in 0..n_objs {
+                bars.push(b.barrier(&format!("bar{i}"), spec.processes as u32));
+            }
+        }
+        SyncStyle::Semaphores | SyncStyle::Events => {}
+    }
     let vars: Vec<_> = (0..spec.variables)
         .map(|i| b.variable(&format!("x{i}")))
         .collect();
@@ -134,6 +198,41 @@ pub fn random_program(spec: &WorkloadSpec) -> Program {
                     emitted += 1;
                 }
             }
+            SyncStyle::Monitors => {
+                let i = rng.gen_range(0..mtxs.len());
+                let (m, c) = (mtxs[i], conds[i]);
+                if rng.gen_bool(0.3) {
+                    // A matched signal/wait pair on the monitor: the wait
+                    // can block until the signal, never forever — unless
+                    // the pair lands wait-first in one process, which
+                    // `generate_trace` handles by regeneration like any
+                    // other all-deadlocking draw.
+                    slots[rng.gen_range(0..spec.processes)].push(Slot::SignalBracket(m, c));
+                    slots[rng.gen_range(0..spec.processes)].push(Slot::WaitBracket(m, c));
+                } else {
+                    // Two critical sections contending for the same mutex,
+                    // each protecting a write to a shared variable — the
+                    // canonical monitor workload.
+                    for k in 0..2 {
+                        let var = (!vars.is_empty()).then(|| vars[rng.gen_range(0..vars.len())]);
+                        slots[rng.gen_range(0..spec.processes)].push(Slot::Bracket {
+                            m,
+                            var,
+                            label: format!("cs{}_{k}", emitted),
+                        });
+                    }
+                }
+                emitted += 2;
+            }
+            SyncStyle::Channels => {
+                let ch = chans[rng.gen_range(0..chans.len())];
+                slots[rng.gen_range(0..spec.processes)].push(Slot::Send(ch));
+                slots[rng.gen_range(0..spec.processes)].push(Slot::Recv(ch));
+                emitted += 2;
+            }
+            // Barrier phases are inserted after the shuffle (every process
+            // participates in every phase, in the same order).
+            SyncStyle::Barriers => break,
             _ => break,
         }
     }
@@ -163,6 +262,19 @@ pub fn random_program(spec: &WorkloadSpec) -> Program {
         }
     }
 
+    // Barrier phases go in *after* the shuffle: every process passes
+    // every barrier at a random position but in the same phase order —
+    // mismatched phase orders would deadlock by construction, not by
+    // schedule.
+    for proc_slots in slots.iter_mut() {
+        let mut at = 0usize;
+        for &bar in &bars {
+            at = rng.gen_range(at..=proc_slots.len());
+            proc_slots.insert(at, Slot::Barrier(bar));
+            at += 1;
+        }
+    }
+
     for (pi, proc_slots) in slots.into_iter().enumerate() {
         let p = procs[pi];
         for slot in proc_slots {
@@ -189,6 +301,27 @@ pub fn random_program(spec: &WorkloadSpec) -> Program {
                 } => {
                     b.compute_rw(p, &reads, &writes, &label);
                 }
+                Slot::Bracket { m, var, label } => {
+                    b.lock(p, m);
+                    let writes: Vec<_> = var.into_iter().collect();
+                    b.compute_rw(p, &[], &writes, &label);
+                    b.unlock(p, m);
+                }
+                Slot::SignalBracket(m, c) => {
+                    b.lock(p, m).cond_signal(p, c).unlock(p, m);
+                }
+                Slot::WaitBracket(m, c) => {
+                    b.lock(p, m).cond_wait(p, c, m).unlock(p, m);
+                }
+                Slot::Send(ch) => {
+                    b.send(p, ch);
+                }
+                Slot::Recv(ch) => {
+                    b.recv(p, ch);
+                }
+                Slot::Barrier(bar) => {
+                    b.barrier_wait(p, bar);
+                }
             }
         }
     }
@@ -206,6 +339,16 @@ enum Slot {
         writes: Vec<eo_model::VarId>,
         label: String,
     },
+    Bracket {
+        m: crate::ast::MutexId,
+        var: Option<eo_model::VarId>,
+        label: String,
+    },
+    SignalBracket(crate::ast::MutexId, crate::ast::CondId),
+    WaitBracket(crate::ast::MutexId, crate::ast::CondId),
+    Send(crate::ast::ChanId),
+    Recv(crate::ast::ChanId),
+    Barrier(crate::ast::BarrierId),
 }
 
 /// Generates a workload *trace*: repeatedly generates a program from the
@@ -220,7 +363,16 @@ enum Slot {
 pub fn generate_trace(spec: &WorkloadSpec, max_regenerations: u32) -> Trace {
     let mut spec = spec.clone();
     for _ in 0..max_regenerations {
-        let program = random_program(&spec);
+        let mut program = random_program(&spec);
+        // Surface-primitive workloads are desugared first: the analyses
+        // (and the trace format) speak the core vocabulary, and running
+        // the core form preserves exactly the schedules the surface
+        // program admits (the desugar-vs-direct differential pins this).
+        if program.uses_surface_sync() {
+            program = crate::desugar::desugar(&program)
+                .expect("generator built undesugarable program")
+                .program;
+        }
         match run_with_random_retries(&program, spec.seed, 32) {
             Ok((trace, _seed)) => return trace,
             Err(RunError::Invalid(e)) => unreachable!("generator built invalid program: {e}"),
@@ -497,6 +649,26 @@ mod tests {
         let exec = t.to_execution().unwrap();
         // The two workers of one phase conflict (write-write).
         assert_eq!(exec.d().pair_count(), 1);
+    }
+
+    #[test]
+    fn surface_styles_generate_completable_core_traces() {
+        for (name, spec) in [
+            ("monitors", WorkloadSpec::small_monitors(7)),
+            ("channels", WorkloadSpec::small_channels(7)),
+            ("barriers", WorkloadSpec::small_barriers(7)),
+        ] {
+            let t = generate_trace(&spec, 50);
+            assert!(t.validate().is_ok(), "{name}: invalid trace");
+            // Surface programs were desugared: the trace speaks the core
+            // vocabulary and actually synchronizes.
+            assert!(
+                t.events
+                    .iter()
+                    .any(|e| matches!(e.op, eo_model::Op::SemP(_) | eo_model::Op::SemV(_))),
+                "{name}: desugared trace must contain semaphore ops"
+            );
+        }
     }
 
     #[test]

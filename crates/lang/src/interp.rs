@@ -53,6 +53,36 @@ impl std::fmt::Display for RunError {
 
 impl std::error::Error for RunError {}
 
+/// Number of interpreter micro-steps (= emitted events) one execution of
+/// a statement of this kind takes under the **direct** interpretation.
+///
+/// Core kinds execute atomically (one step). The surface primitives
+/// deliberately mirror their desugaring's step structure so the
+/// desugar-vs-direct differential compares like with like: a blocking
+/// point in the core form is a blocking point here too.
+pub fn micro_steps(kind: &StmtKind) -> usize {
+    match kind {
+        StmtKind::BarrierWait(_) => 2, // arrive, depart
+        StmtKind::CondWait(..) => 3,   // release mutex, take wake token, relock
+        StmtKind::Send(_) => 2,        // reserve slot, publish item
+        StmtKind::Recv(_) => 2,        // take item, release slot
+        _ => 1,
+    }
+}
+
+/// Index of the micro-step at which a statement of this kind *commits* —
+/// the step whose event represents the statement in schedule
+/// projections ([`crate::desugar::DesugarMap`] marks the same step in
+/// the core form). For single-step kinds this is step 0.
+pub fn commit_step(kind: &StmtKind) -> usize {
+    match kind {
+        StmtKind::BarrierWait(_) => 1, // departing is what orders the generations
+        StmtKind::CondWait(..) => 2,   // the wait is over once the mutex is re-held
+        StmtKind::Send(_) => 1,        // publishing makes the item visible
+        _ => 0,                        // Recv commits on the take (step 0)
+    }
+}
+
 /// A frame of a process's continuation: a block, the parallel slice of
 /// the block's statement ids, and the index of the next statement.
 struct Frame<'p, 'm> {
@@ -65,6 +95,12 @@ struct Frame<'p, 'm> {
 struct ProcState<'p, 'm> {
     def: ProcRef,
     frames: Vec<Frame<'p, 'm>>,
+    /// Index of the next micro-step within the current statement (0 for
+    /// statements not yet started; only surface primitives have > 1).
+    micro: usize,
+    /// For an in-flight `BarrierWait` past its arrive step: the barrier
+    /// generation this process joined.
+    pending_gen: Option<u64>,
 }
 
 impl<'p, 'm> ProcState<'p, 'm> {
@@ -92,6 +128,22 @@ pub struct AnchoredRun {
     pub trace: Trace,
     /// Per event (by index): the static statement it instantiates.
     pub stmt_of: Vec<StmtId>,
+    /// Per event (by index): whether this event is its statement's
+    /// *commit* step (see [`commit_step`]). Always `true` for core
+    /// statements; surface primitives commit on exactly one of their
+    /// micro-steps.
+    pub commit_of: Vec<bool>,
+}
+
+/// An anchored run that may have ended in deadlock: the events up to the
+/// stuck point are still reported (the schedule enumerator in
+/// [`crate::explore`] compares deadlock *prefixes* between the direct
+/// and desugared forms, not just deadlock booleans).
+pub struct PartialRun {
+    /// The (possibly partial) observed run.
+    pub run: AnchoredRun,
+    /// `false` iff live processes remained but none could execute.
+    pub completed: bool,
 }
 
 /// Runs `program` under `scheduler` and returns the observed trace.
@@ -109,6 +161,27 @@ pub fn run_to_trace_anchored(
     program: &Program,
     scheduler: &mut Scheduler,
 ) -> Result<AnchoredRun, RunError> {
+    let partial = run_to_trace_partial(program, scheduler)?;
+    if partial.completed {
+        debug_assert!(
+            partial.run.trace.validate().is_ok(),
+            "interpreter emitted an invalid trace"
+        );
+        Ok(partial.run)
+    } else {
+        Err(RunError::Deadlock {
+            executed: partial.run.trace.n_events(),
+        })
+    }
+}
+
+/// Like [`run_to_trace_anchored`], but deadlock is not an error: the
+/// partial run up to the stuck point is returned with `completed:
+/// false`. Only static invalidity is an `Err`.
+pub fn run_to_trace_partial(
+    program: &Program,
+    scheduler: &mut Scheduler,
+) -> Result<PartialRun, RunError> {
     program.validate().map_err(RunError::Invalid)?;
     let map = StmtMap::build(program);
 
@@ -128,6 +201,8 @@ pub fn run_to_trace_anchored(
                     ids: map.body(ProcRef(di as u32)),
                     next: 0,
                 }],
+                micro: 0,
+                pending_gen: None,
             });
             decls.push(ProcessDecl {
                 name: def.name.clone(),
@@ -139,32 +214,55 @@ pub fn run_to_trace_anchored(
     let mut store: Vec<i64> = vec![0; program.variables.len()];
     let mut sem: Vec<u32> = program.semaphores.iter().map(|s| s.initial).collect();
     let mut flag: Vec<bool> = program.event_vars.iter().map(|v| v.initially_set).collect();
+    // Direct runtime state for the surface primitives (the desugared core
+    // form encodes the same state in semaphore counters; DESIGN.md §15
+    // maps each field to its desugaring).
+    let mut bar_arrivals: Vec<u64> = vec![0; program.barriers.len()];
+    let mut mtx: Vec<u32> = vec![1; program.mutexes.len()];
+    let mut cond: Vec<u32> = vec![0; program.condvars.len()];
+    let mut chan_free: Vec<u32> = program.channels.iter().map(|c| c.capacity).collect();
+    let mut chan_items: Vec<u32> = vec![0; program.channels.len()];
     let mut events: Vec<Event> = Vec::with_capacity(program.max_events());
     let mut stmt_of: Vec<StmtId> = Vec::with_capacity(program.max_events());
+    let mut commit_of: Vec<bool> = Vec::with_capacity(program.max_events());
+    let mut completed = true;
 
     loop {
         // Collect enabled processes (sorted by runtime id by construction).
         let mut enabled: Vec<(ProcessId, ProcRef)> = Vec::new();
         let mut anyone_live = false;
         for pi in 0..procs.len() {
-            let (def, stmt) = {
+            let (def, micro, pending_gen, stmt) = {
                 let p = &mut procs[pi];
                 match p.current() {
-                    Some(s) => (p.def, s),
+                    Some(s) => (p.def, p.micro, p.pending_gen, s),
                     None => continue,
                 }
             };
             anyone_live = true;
-            let ok = match &stmt.kind {
-                StmtKind::SemP(s) => sem[s.index()] > 0,
-                StmtKind::Wait(v) => flag[v.index()],
-                StmtKind::Join(targets) => targets.iter().all(|t| match instance[t.index()] {
+            let ok = match (&stmt.kind, micro) {
+                (StmtKind::SemP(s), _) => sem[s.index()] > 0,
+                (StmtKind::Wait(v), _) => flag[v.index()],
+                (StmtKind::Join(targets), _) => targets.iter().all(|t| match instance[t.index()] {
                     Some(pid) => procs[pid.index()]
                         .frames
                         .iter()
                         .all(|f| f.next >= f.block.len()),
                     None => false,
                 }),
+                // Surface primitives: step 0 of a barrier wait (arrive) is
+                // always enabled; the depart step waits for the joined
+                // generation to fill.
+                (StmtKind::BarrierWait(b), 1) => {
+                    let parties = u64::from(program.barriers[b.index()].parties);
+                    let gen = pending_gen.expect("arrived implies generation recorded");
+                    bar_arrivals[b.index()] >= (gen + 1) * parties
+                }
+                (StmtKind::Lock(m), _) => mtx[m.index()] > 0,
+                (StmtKind::CondWait(c, _), 1) => cond[c.index()] > 0,
+                (StmtKind::CondWait(_, m), 2) => mtx[m.index()] > 0,
+                (StmtKind::Send(ch), 0) => chan_free[ch.index()] > 0,
+                (StmtKind::Recv(ch), 0) => chan_items[ch.index()] > 0,
                 _ => true,
             };
             if ok {
@@ -176,19 +274,27 @@ pub fn run_to_trace_anchored(
             break;
         }
         if enabled.is_empty() {
-            return Err(RunError::Deadlock {
-                executed: events.len(),
-            });
+            completed = false;
+            break;
         }
 
         let (pid, _) = enabled[scheduler.pick(&enabled)];
         let stmt = procs[pid.index()].current().expect("enabled implies live");
+        let micro = procs[pid.index()].micro;
+        let last_micro = micro + 1 == micro_steps(&stmt.kind);
         // Advance the instruction pointer before executing (forked children
-        // must not confuse the current frame bookkeeping).
+        // must not confuse the current frame bookkeeping). Multi-step
+        // surface statements advance their micro counter instead until
+        // the final step.
         let sid = {
             let frame = procs[pid.index()].frames.last_mut().expect("live");
             let sid = frame.ids[frame.next];
-            frame.next += 1;
+            if last_micro {
+                frame.next += 1;
+                procs[pid.index()].micro = 0;
+            } else {
+                procs[pid.index()].micro += 1;
+            }
             sid
         };
 
@@ -239,6 +345,8 @@ pub fn run_to_trace_anchored(
                             ids: map.body(t),
                             next: 0,
                         }],
+                        micro: 0,
+                        pending_gen: None,
                     });
                     decls.push(ProcessDecl {
                         name: program.processes[t.index()].name.clone(),
@@ -275,17 +383,71 @@ pub fn run_to_trace_anchored(
                 }
                 Op::Compute
             }
+            // Surface primitives under the direct reference semantics.
+            // Each micro-step mutates the dedicated runtime state and
+            // emits a plain Compute event: the surface vocabulary never
+            // reaches the trace format (analyses consume the desugared
+            // core form; these traces exist for the desugar-vs-direct
+            // differential and for direct experimentation).
+            StmtKind::BarrierWait(b) => {
+                let parties = u64::from(program.barriers[b.index()].parties);
+                if micro == 0 {
+                    procs[pid.index()].pending_gen = Some(bar_arrivals[b.index()] / parties);
+                    bar_arrivals[b.index()] += 1;
+                } else {
+                    procs[pid.index()].pending_gen = None;
+                }
+                Op::Compute
+            }
+            StmtKind::Lock(m) => {
+                mtx[m.index()] -= 1;
+                Op::Compute
+            }
+            StmtKind::Unlock(m) => {
+                mtx[m.index()] += 1;
+                Op::Compute
+            }
+            StmtKind::CondWait(c, m) => {
+                match micro {
+                    0 => mtx[m.index()] += 1,  // release the monitor
+                    1 => cond[c.index()] -= 1, // consume a wake token
+                    _ => mtx[m.index()] -= 1,  // re-acquire the monitor
+                }
+                Op::Compute
+            }
+            StmtKind::CondSignal(c) => {
+                cond[c.index()] += 1;
+                Op::Compute
+            }
+            StmtKind::Send(ch) => {
+                if micro == 0 {
+                    chan_free[ch.index()] -= 1;
+                } else {
+                    chan_items[ch.index()] += 1;
+                }
+                Op::Compute
+            }
+            StmtKind::Recv(ch) => {
+                if micro == 0 {
+                    chan_items[ch.index()] -= 1;
+                } else {
+                    chan_free[ch.index()] += 1;
+                }
+                Op::Compute
+            }
         };
 
+        let committing = micro == commit_step(&stmt.kind);
         events.push(Event {
             id: eid,
             process: pid,
             op,
             reads,
             writes,
-            label: stmt.label.clone(),
+            label: if committing { stmt.label.clone() } else { None },
         });
         stmt_of.push(sid);
+        commit_of.push(committing);
     }
 
     let trace = Trace {
@@ -313,11 +475,14 @@ pub fn run_to_trace_anchored(
             .map(|name| VarDecl { name: name.clone() })
             .collect(),
     };
-    debug_assert!(
-        trace.validate().is_ok(),
-        "interpreter emitted an invalid trace"
-    );
-    Ok(AnchoredRun { trace, stmt_of })
+    Ok(PartialRun {
+        run: AnchoredRun {
+            trace,
+            stmt_of,
+            commit_of,
+        },
+        completed,
+    })
 }
 
 /// Runs `program` under up to `attempts` random seeds (starting at

@@ -20,6 +20,14 @@
 //! * abstract `compute` statements declare read/write sets without values
 //!   (for workload generation where only the conflict structure matters).
 //!
+//! On top of that core, three *surface* primitive families — barriers,
+//! mutex/condvar monitors, and bounded channels — are defined by sound
+//! desugaring into semaphores ([`desugar`]): the paper's Theorems 1–4
+//! and every analysis layer apply unchanged to the core form, while the
+//! interpreter also executes the surface form *directly* (a second,
+//! independent reference semantics) so the two can be differentially
+//! compared schedule-for-schedule ([`explore`]).
+//!
 //! There are no loops: the paper's model is about *finite executions*, and
 //! every construction in the paper (and reduction in `eo-reductions`) is
 //! loop-free. Bounded repetition is expressed by unrolling at build time.
@@ -45,14 +53,24 @@
 
 pub mod ast;
 pub mod builder;
+pub mod desugar;
+pub mod explore;
+pub mod fluent;
+pub mod gallery;
 pub mod generator;
 pub mod interp;
 pub mod reconstruct;
 pub mod scheduler;
 pub mod stmt;
 
-pub use ast::{EvVarDef, ProcDef, ProcRef, Program, ProgramError, SemDef, Stmt, StmtKind};
+pub use ast::{
+    BarrierDef, BarrierId, ChanId, ChannelDef, CondId, CondvarDef, EvVarDef, MutexDef, MutexId,
+    ProcDef, ProcRef, Program, ProgramError, SemDef, Stmt, StmtKind,
+};
 pub use builder::ProgramBuilder;
+pub use desugar::{desugar, DesugarMap, DesugarRole, Desugared};
+pub use explore::{enumerate_desugared_schedules, enumerate_schedules, ScheduleSet};
+pub use fluent::ProgramScope;
 pub use interp::{run_to_trace, run_to_trace_anchored, AnchoredRun, RunError};
 pub use reconstruct::program_from_trace;
 pub use scheduler::Scheduler;

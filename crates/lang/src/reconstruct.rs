@@ -72,6 +72,10 @@ pub fn program_from_trace(trace: &Trace) -> (Program, Vec<EventId>) {
             })
             .collect(),
         variables: trace.variables.iter().map(|v| v.name.clone()).collect(),
+        barriers: Vec::new(),
+        mutexes: Vec::new(),
+        condvars: Vec::new(),
+        channels: Vec::new(),
     };
     let event_of_stmt = events_of.into_iter().flatten().collect();
     (program, event_of_stmt)

@@ -27,9 +27,16 @@ pub struct Scheduler {
 
 enum Strategy {
     Deterministic,
-    RoundRobin { next: usize },
+    RoundRobin {
+        next: usize,
+    },
     Random(SmallRng),
     Priority(Vec<u32>),
+    Scripted {
+        script: Vec<usize>,
+        pos: usize,
+        factors: Vec<usize>,
+    },
 }
 
 impl Scheduler {
@@ -63,6 +70,30 @@ impl Scheduler {
         }
     }
 
+    /// Replays a fixed choice script: step `k` picks `script[k]` (clamped
+    /// to the enabled count), and steps beyond the script pick 0. Records
+    /// the branching factor (number of enabled processes) observed at
+    /// every step — [`Scheduler::branching`] exposes the record, which is
+    /// how [`crate::explore`] backtracks through the schedule tree.
+    pub fn scripted(script: Vec<usize>) -> Self {
+        Scheduler {
+            strategy: Strategy::Scripted {
+                script,
+                pos: 0,
+                factors: Vec::new(),
+            },
+        }
+    }
+
+    /// The branching factors recorded by a [`Scheduler::scripted`] run
+    /// (empty for every other strategy).
+    pub fn branching(&self) -> &[usize] {
+        match &self.strategy {
+            Strategy::Scripted { factors, .. } => factors,
+            _ => &[],
+        }
+    }
+
     /// Chooses an entry of `enabled` (pairs of runtime process and its
     /// definition). `enabled` is nonempty and sorted by runtime id.
     ///
@@ -82,6 +113,16 @@ impl Scheduler {
                 chosen
             }
             Strategy::Random(rng) => rng.gen_range(0..enabled.len()),
+            Strategy::Scripted {
+                script,
+                pos,
+                factors,
+            } => {
+                factors.push(enabled.len());
+                let raw = script.get(*pos).copied().unwrap_or(0);
+                *pos += 1;
+                raw.min(enabled.len() - 1)
+            }
             Strategy::Priority(per_def) => {
                 let prio = |r: ProcRef| per_def.get(r.index()).copied().unwrap_or(u32::MAX);
                 enabled

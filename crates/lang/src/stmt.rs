@@ -225,6 +225,13 @@ pub fn kind_name(kind: &StmtKind) -> &'static str {
         StmtKind::Fork(_) => "fork",
         StmtKind::Join(_) => "join",
         StmtKind::If { .. } => "if",
+        StmtKind::BarrierWait(_) => "barrier_wait",
+        StmtKind::Lock(_) => "lock",
+        StmtKind::Unlock(_) => "unlock",
+        StmtKind::CondWait(..) => "cond_wait",
+        StmtKind::CondSignal(_) => "cond_signal",
+        StmtKind::Send(_) => "send",
+        StmtKind::Recv(_) => "recv",
     }
 }
 

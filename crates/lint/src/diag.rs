@@ -187,7 +187,10 @@ impl LintReport {
             })
             .collect();
         Value::Object(vec![
-            ("schema_version".to_string(), Value::Int(1)),
+            (
+                "schema_version".to_string(),
+                Value::Int(eo_obs::report::SCHEMA_VERSION),
+            ),
             ("diagnostics".to_string(), Value::Array(diags)),
             (
                 "errors".to_string(),
@@ -246,6 +249,13 @@ pub mod codes {
     /// A blocking `Wait`/`P` the MHP analysis proves can never fire — its
     /// process hangs forever (opt-in, `LintOptions::mhp`).
     pub const MHP_BLOCKED_FOREVER: &str = "EO-L012";
+    /// Misuse of a surface primitive (barrier, mutex/condvar monitor,
+    /// bounded channel): unlocking a mutex the process does not hold,
+    /// `cond_wait` without the lock, relocking a held (non-reentrant)
+    /// mutex, receiving on a never-sent channel, over-sending past
+    /// capacity plus receives, or (style) signalling a condvar nothing
+    /// awaits.
+    pub const SURFACE_MISUSE: &str = "EO-L013";
 
     /// The codes that indicate a potential (or certain) permanent block —
     /// the "may deadlock" family used by the cross-checks against the

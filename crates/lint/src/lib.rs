@@ -33,6 +33,7 @@ mod analysis;
 mod deadlock;
 pub mod diag;
 mod lints;
+mod surface;
 pub mod trace_lint;
 
 pub use diag::{codes, Anchor, Diagnostic, LintReport, Severity};
@@ -91,10 +92,77 @@ pub fn lint_program(program: &Program, opts: &LintOptions) -> Result<LintReport,
 
 /// Lints an already-validated program.
 pub(crate) fn lint_validated(program: &Program, opts: &LintOptions) -> LintReport {
+    if program.uses_surface_sync() {
+        return lint_surface(program, opts);
+    }
     let ctx = analysis::Ctx::build(program);
     let mut out = Vec::new();
     lints::sync_lints(&ctx, opts, &mut out);
     deadlock::deadlock_lints(&ctx, &mut out);
+    LintReport { diagnostics: out }.finish()
+}
+
+/// Lints a program using surface primitives: desugar to the semaphore
+/// core, lint the core, remap every statement anchor back to the surface
+/// statement it came from (regenerating locations in surface terms),
+/// then add the surface-only `EO-L013` misuse lints the lowering erases.
+///
+/// Soundness carries over: the desugaring agrees with the direct surface
+/// semantics schedule-for-schedule (including deadlock prefixes — the
+/// `eo-lang` explore differential pins this), so a core finding is a
+/// surface finding. Several core statements of one surface statement can
+/// produce the same finding; those dedupe on (code, anchor, message).
+///
+/// One refinement keeps well-behaved monitor code from drowning in
+/// `EO-L007` noise: the wait-for deadlock pass runs on a variant of the
+/// core in which every *erasable* mutex — bracket-disciplined and never
+/// held across a potentially-blocking statement, see
+/// [`surface::erasable_mutexes`] — has its lock/unlock `P`/`V` pairs
+/// replaced by `Skip`. Such a mutex provably cannot cause a permanent
+/// block (every holder releases unconditionally), so dropping its edges
+/// is sound; everything uncertain stays in the graph.
+fn lint_surface(program: &Program, opts: &LintOptions) -> LintReport {
+    let lowered = eo_lang::desugar(program).expect("program was validated");
+    let map = eo_lang::stmt::StmtMap::build(program);
+    let mut core_diags: Vec<Diagnostic> = Vec::new();
+    {
+        let ctx = analysis::Ctx::build(&lowered.program);
+        lints::sync_lints(&ctx, opts, &mut core_diags);
+    }
+    {
+        let erasable = surface::erasable_mutexes(program, &map);
+        let deadlock_prog = surface::erase_mutexes(&lowered, &map, &erasable);
+        let ctx = analysis::Ctx::build(&deadlock_prog);
+        deadlock::deadlock_lints(&ctx, &mut core_diags);
+    }
+    let mut out: Vec<Diagnostic> = Vec::new();
+    let mut seen = std::collections::HashSet::new();
+    for d in core_diags {
+        let d = match d.anchor {
+            Anchor::Stmt(core_id) => {
+                let sid = lowered.map.surface_of(core_id);
+                Diagnostic {
+                    anchor: Anchor::Stmt(sid),
+                    location: map.describe(sid),
+                    ..d
+                }
+            }
+            _ => d,
+        };
+        let key = (
+            d.code,
+            match d.anchor {
+                Anchor::Program => (0u8, 0usize),
+                Anchor::Stmt(s) => (1, s.index()),
+                Anchor::Event(e) => (2, e.index()),
+            },
+            d.message.clone(),
+        );
+        if seen.insert(key) {
+            out.push(d);
+        }
+    }
+    surface::surface_lints(program, &map, opts, &mut out);
     LintReport { diagnostics: out }.finish()
 }
 
@@ -529,6 +597,193 @@ mod tests {
             "the assignment after the dead wait is poisoned: {}",
             report.render_text()
         );
+    }
+
+    // ---- surface primitives (EO-L013 + remapped core findings) --------
+
+    #[test]
+    fn clean_monitor_program_lints_clean() {
+        let mut b = ProgramBuilder::new();
+        let m = b.mutex("m");
+        let cv = b.condvar("cv");
+        let p0 = b.process("p0");
+        b.compute(p0, "work").cond_signal(p0, cv);
+        let p1 = b.process("p1");
+        b.lock(p1, m).cond_wait(p1, cv, m).unlock(p1, m);
+        let report = lint(&b.build());
+        assert!(report.is_clean(), "{}", report.render_text());
+    }
+
+    #[test]
+    fn unlock_without_lock_is_an_error() {
+        let mut b = ProgramBuilder::new();
+        let m = b.mutex("m");
+        let p = b.process("p");
+        b.unlock(p, m);
+        let report = lint(&b.build());
+        let l13 = report.with_code(codes::SURFACE_MISUSE);
+        assert!(!l13.is_empty(), "{}", report.render_text());
+        assert!(l13[0].message.contains("does not hold"));
+        assert!(report.has_errors());
+    }
+
+    #[test]
+    fn cond_wait_without_the_lock_is_an_error() {
+        let mut b = ProgramBuilder::new();
+        let m = b.mutex("m");
+        let cv = b.condvar("cv");
+        let p0 = b.process("p0");
+        b.cond_signal(p0, cv);
+        let p1 = b.process("p1");
+        b.cond_wait(p1, cv, m);
+        let report = lint(&b.build());
+        let l13 = report.with_code(codes::SURFACE_MISUSE);
+        assert!(
+            l13.iter().any(|d| d.message.contains("without holding")),
+            "{}",
+            report.render_text()
+        );
+    }
+
+    #[test]
+    fn relocking_a_held_mutex_is_an_error() {
+        let mut b = ProgramBuilder::new();
+        let m = b.mutex("m");
+        let p = b.process("p");
+        b.lock(p, m).lock(p, m).unlock(p, m).unlock(p, m);
+        let report = lint(&b.build());
+        let l13 = report.with_code(codes::SURFACE_MISUSE);
+        assert!(
+            l13.iter().any(|d| d.message.contains("relocking")),
+            "{}",
+            report.render_text()
+        );
+    }
+
+    #[test]
+    fn conditionally_held_lock_stays_silent() {
+        // One branch locks, the other does not: held ∈ {0, 1} at the
+        // unlock — uncertain, so no finding either way.
+        let mut b = ProgramBuilder::new();
+        let x = b.variable("x");
+        let m = b.mutex("m");
+        let p = b.process("p");
+        b.if_eq(
+            p,
+            x,
+            0,
+            |t| {
+                t.lock_here(m);
+            },
+            |_| {},
+        );
+        b.unlock(p, m);
+        let report = lint(&b.build());
+        assert!(
+            report.with_code(codes::SURFACE_MISUSE).is_empty(),
+            "{}",
+            report.render_text()
+        );
+    }
+
+    #[test]
+    fn recv_on_a_never_sent_channel_is_an_error() {
+        let mut b = ProgramBuilder::new();
+        let ch = b.channel("ch", 1);
+        let p = b.process("p");
+        b.recv(p, ch);
+        let report = lint(&b.build());
+        let l13 = report.with_code(codes::SURFACE_MISUSE);
+        assert!(
+            l13.iter().any(|d| d.message.contains("nothing ever sends")),
+            "{}",
+            report.render_text()
+        );
+        assert!(report.has_errors());
+    }
+
+    #[test]
+    fn over_sending_past_capacity_plus_receives_is_an_error() {
+        let mut b = ProgramBuilder::new();
+        let ch = b.channel("ch", 1);
+        let p0 = b.process("p0");
+        b.send(p0, ch).send(p0, ch).send(p0, ch);
+        let p1 = b.process("p1");
+        b.recv(p1, ch);
+        let report = lint(&b.build());
+        let l13 = report.with_code(codes::SURFACE_MISUSE);
+        assert!(
+            l13.iter().any(|d| d.message.contains("over-sent")),
+            "{}",
+            report.render_text()
+        );
+    }
+
+    #[test]
+    fn balanced_channel_traffic_is_clean() {
+        let mut b = ProgramBuilder::new();
+        let ch = b.channel("ch", 2);
+        let p0 = b.process("p0");
+        b.send(p0, ch).send(p0, ch);
+        let p1 = b.process("p1");
+        b.recv(p1, ch).recv(p1, ch);
+        let report = lint(&b.build());
+        assert!(report.is_clean(), "{}", report.render_text());
+    }
+
+    #[test]
+    fn unawaited_signal_is_style_info() {
+        let mut b = ProgramBuilder::new();
+        let _m = b.mutex("m");
+        let cv = b.condvar("cv");
+        let p = b.process("p");
+        b.cond_signal(p, cv);
+        let report = lint(&b.build());
+        let l13 = report.with_code(codes::SURFACE_MISUSE);
+        assert!(
+            l13.iter()
+                .any(|d| d.severity == Severity::Info && d.message.contains("nothing ever waits")),
+            "{}",
+            report.render_text()
+        );
+        assert!(report.is_clean(), "style finding only");
+    }
+
+    #[test]
+    fn core_findings_remap_to_surface_anchors() {
+        // A cond_wait nothing signals: the core lint flags the lowered
+        // `P(cv.cv)` as never-supplied; the anchor must point at the
+        // surface cond_wait statement and render in surface terms.
+        let mut b = ProgramBuilder::new();
+        let m = b.mutex("m");
+        let cv = b.condvar("cv");
+        let p = b.process("p");
+        b.lock(p, m).cond_wait(p, cv, m);
+        let prog = b.build();
+        let report = lint(&prog);
+        let never = report.with_code(codes::SEM_NEVER_SUPPLIED);
+        assert!(!never.is_empty(), "{}", report.render_text());
+        let map = eo_lang::stmt::StmtMap::build(&prog);
+        for d in never {
+            if let Anchor::Stmt(s) = d.anchor {
+                assert!(s.index() < map.len(), "surface numbering, not core");
+                assert_eq!(d.location, map.describe(s));
+            } else {
+                panic!("expected a statement anchor");
+            }
+        }
+    }
+
+    #[test]
+    fn barrier_program_with_surface_primitive_lints_clean() {
+        let mut b = ProgramBuilder::new();
+        let bar = b.barrier("bar", 2);
+        let p0 = b.process("p0");
+        b.compute(p0, "a").barrier_wait(p0, bar);
+        let p1 = b.process("p1");
+        b.compute(p1, "b").barrier_wait(p1, bar);
+        let report = lint(&b.build());
+        assert!(report.is_clean(), "{}", report.render_text());
     }
 
     #[test]

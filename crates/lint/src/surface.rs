@@ -1,0 +1,375 @@
+//! Surface-primitive misuse lints (`EO-L013`).
+//!
+//! Programs using barriers, mutex/condvar monitors, or bounded channels
+//! are linted by desugaring to the semaphore core and remapping every
+//! core diagnostic's anchor back through the provenance map (see
+//! `lint_validated`). That catches everything the core vocabulary can
+//! express — but some misuses only exist at the surface level, because
+//! the desugaring *erases* the discipline being violated:
+//!
+//! * **unlocking a mutex the process does not hold** — the lowering's
+//!   `V(m.mtx)` is a perfectly legal semaphore operation that mints an
+//!   extra token; only the surface knows it breaks mutual exclusion;
+//! * **`cond_wait` without holding the monitor lock** — the release step
+//!   `V(m.mtx)` mints a token exactly as above;
+//! * **relocking a held mutex** — the lowering's `P(m.mtx)` simply
+//!   self-deadlocks; the surface diagnosis ("mutexes here are not
+//!   reentrant") is the useful one;
+//! * **receiving on a channel nothing ever sends**, or **queuing more
+//!   sends than capacity plus receives can drain** — core lints flag the
+//!   lowered semaphores by their mangled names; the surface lint names
+//!   the channel;
+//! * **signalling a condvar nothing ever waits on** (style) — the
+//!   lowered `V(c.cv)` token is simply never consumed.
+//!
+//! The lock-discipline walk tracks, per mutex, the *(min, max)* number
+//! of holds along any path through the process body (branches meet by
+//! interval union) and reports only certainties: `max = 0` for
+//! "not held", `min > 0` for "already held". Uncertain states stay
+//! silent — these are lints, and a `Warning` here must mean a real
+//! possible misbehavior, not analysis imprecision.
+
+use crate::diag::{codes, Anchor, Diagnostic, Severity};
+use crate::LintOptions;
+use eo_lang::stmt::StmtMap;
+use eo_lang::{ProcRef, Program, StmtId, StmtKind};
+
+/// Runs every surface-level lint, appending findings to `out`.
+pub(crate) fn surface_lints(
+    program: &Program,
+    map: &StmtMap<'_>,
+    opts: &LintOptions,
+    out: &mut Vec<Diagnostic>,
+) {
+    lock_discipline(program, map, out);
+    channel_supply(program, map, out);
+    if opts.style {
+        unobserved_signals(program, map, out);
+    }
+}
+
+/// Per-mutex hold-count interval: (min, max) over all paths so far.
+type Holds = Vec<(u32, u32)>;
+
+fn lock_discipline(program: &Program, map: &StmtMap<'_>, out: &mut Vec<Diagnostic>) {
+    for pi in 0..program.processes.len() {
+        let body = map.body(ProcRef(pi as u32));
+        let holds: Holds = vec![(0, 0); program.mutexes.len()];
+        walk_locks(program, map, body, holds, out);
+    }
+}
+
+fn walk_locks(
+    program: &Program,
+    map: &StmtMap<'_>,
+    ids: &[StmtId],
+    mut holds: Holds,
+    out: &mut Vec<Diagnostic>,
+) -> Holds {
+    let diag = |id: StmtId, message: String, note: String| Diagnostic {
+        code: codes::SURFACE_MISUSE,
+        severity: Severity::Error,
+        anchor: Anchor::Stmt(id),
+        location: map.describe(id),
+        message,
+        notes: vec![note],
+    };
+    for &id in ids {
+        match map.kind(id) {
+            StmtKind::Lock(m) => {
+                let (min, max) = holds[m.index()];
+                if min > 0 {
+                    out.push(diag(
+                        id,
+                        format!(
+                            "relocking mutex `{}` already held by this process",
+                            program.mutexes[m.index()].name
+                        ),
+                        "mutexes are not reentrant: the second `lock` blocks forever".into(),
+                    ));
+                }
+                holds[m.index()] = (min + 1, max + 1);
+            }
+            StmtKind::Unlock(m) => {
+                let (min, max) = holds[m.index()];
+                if max == 0 {
+                    out.push(diag(
+                        id,
+                        format!(
+                            "unlocking mutex `{}` this process does not hold",
+                            program.mutexes[m.index()].name
+                        ),
+                        "the unlock mints an extra lock token, breaking mutual exclusion".into(),
+                    ));
+                }
+                holds[m.index()] = (min.saturating_sub(1), max.saturating_sub(1));
+            }
+            StmtKind::CondWait(c, m) => {
+                let (_, max) = holds[m.index()];
+                if max == 0 {
+                    out.push(diag(
+                        id,
+                        format!(
+                            "`cond_wait` on `{}` without holding mutex `{}`",
+                            program.condvars[c.index()].name,
+                            program.mutexes[m.index()].name
+                        ),
+                        "the wait's release step mints an extra lock token".into(),
+                    ));
+                }
+                // The wait releases and reacquires: net hold count unchanged.
+            }
+            StmtKind::If { .. } => {
+                let t = walk_locks(program, map, map.then_branch(id), holds.clone(), out);
+                let e = walk_locks(program, map, map.else_branch(id), holds.clone(), out);
+                holds = t
+                    .iter()
+                    .zip(&e)
+                    .map(|(&(tmin, tmax), &(emin, emax))| (tmin.min(emin), tmax.max(emax)))
+                    .collect();
+            }
+            _ => {}
+        }
+    }
+    holds
+}
+
+/// Mutexes provably incapable of causing a permanent block.
+///
+/// A mutex `m` is *erasable* from the deadlock analysis when, in every
+/// process, (a) its uses follow strict bracket discipline on **all**
+/// paths — never possibly relocked while held, never possibly unlocked
+/// or `cond_wait`ed while not held, never still held at process end —
+/// and (b) no potentially-blocking statement (`P`, `Wait`, `Join`,
+/// `lock` of any mutex, `barrier_wait`, `send`, `recv`, or a `cond_wait`
+/// on a *different* mutex) executes while `m` is possibly held. Then
+/// every holder of `m` completes its critical section unconditionally
+/// and releases, so no `P(m.mtx)` in the lowering can block forever —
+/// the classical argument that flat, non-blocking critical sections
+/// cannot deadlock. A `cond_wait` on `m` itself is exempt from (b): its
+/// release step gives `m` up before blocking.
+///
+/// Anything uncertain (conditional holds, nesting, blocking under the
+/// lock) keeps the mutex in the core wait-for analysis — conservative in
+/// the sound direction.
+pub(crate) fn erasable_mutexes(program: &Program, map: &StmtMap<'_>) -> Vec<bool> {
+    let mut erasable = vec![true; program.mutexes.len()];
+    for pi in 0..program.processes.len() {
+        let body = map.body(ProcRef(pi as u32));
+        let holds: Holds = vec![(0, 0); program.mutexes.len()];
+        let end = walk_erasable(map, body, holds, &mut erasable);
+        for (mi, &(_, max)) in end.iter().enumerate() {
+            if max > 0 {
+                erasable[mi] = false; // possibly held at process end
+            }
+        }
+    }
+    erasable
+}
+
+fn walk_erasable(
+    map: &StmtMap<'_>,
+    ids: &[StmtId],
+    mut holds: Holds,
+    erasable: &mut [bool],
+) -> Holds {
+    // Marks every possibly-held mutex (except `exempt`) non-erasable.
+    fn blocks_held(holds: &Holds, erasable: &mut [bool], exempt: Option<usize>) {
+        for (mi, &(_, max)) in holds.iter().enumerate() {
+            if max > 0 && Some(mi) != exempt {
+                erasable[mi] = false;
+            }
+        }
+    }
+    for &id in ids {
+        match map.kind(id) {
+            StmtKind::Lock(m) => {
+                let (min, max) = holds[m.index()];
+                if max > 0 {
+                    erasable[m.index()] = false; // possible relock
+                }
+                blocks_held(&holds, erasable, Some(m.index()));
+                holds[m.index()] = (min + 1, max + 1);
+            }
+            StmtKind::Unlock(m) => {
+                let (min, max) = holds[m.index()];
+                if min == 0 {
+                    erasable[m.index()] = false; // possibly not held
+                }
+                holds[m.index()] = (min.saturating_sub(1), max.saturating_sub(1));
+            }
+            StmtKind::CondWait(_, m) => {
+                let (min, _) = holds[m.index()];
+                if min == 0 {
+                    erasable[m.index()] = false; // possibly waiting unlocked
+                }
+                blocks_held(&holds, erasable, Some(m.index()));
+            }
+            StmtKind::SemP(_)
+            | StmtKind::Wait(_)
+            | StmtKind::Join(_)
+            | StmtKind::BarrierWait(_)
+            | StmtKind::Send(_)
+            | StmtKind::Recv(_) => {
+                blocks_held(&holds, erasable, None);
+            }
+            StmtKind::If { .. } => {
+                let t = walk_erasable(map, map.then_branch(id), holds.clone(), erasable);
+                let e = walk_erasable(map, map.else_branch(id), holds.clone(), erasable);
+                holds = t
+                    .iter()
+                    .zip(&e)
+                    .map(|(&(tmin, tmax), &(emin, emax))| (tmin.min(emin), tmax.max(emax)))
+                    .collect();
+            }
+            _ => {}
+        }
+    }
+    holds
+}
+
+/// Builds the deadlock-analysis variant of a lowered program: every
+/// `P`/`V` implementing an [erasable](erasable_mutexes) mutex's
+/// `lock`/`unlock` — and the release/reacquire halves of its
+/// `cond_wait`s — is replaced by `Skip`, *in place*, so core statement
+/// numbering (and therefore anchor remapping) is unchanged. The
+/// `cond_wait`'s blocking `P(c.cv)` stays: a never-signalled wait must
+/// still participate in wait-for cycles.
+pub(crate) fn erase_mutexes(
+    lowered: &eo_lang::Desugared,
+    map: &StmtMap<'_>,
+    erasable: &[bool],
+) -> Program {
+    let mut dead = std::collections::HashSet::new();
+    for id in map.ids() {
+        match map.kind(id) {
+            StmtKind::Lock(m) | StmtKind::Unlock(m) if erasable[m.index()] => {
+                dead.extend(lowered.map.cores_of(id).iter().map(|c| c.index()));
+            }
+            StmtKind::CondWait(_, m) if erasable[m.index()] => {
+                let cores = lowered.map.cores_of(id);
+                dead.insert(cores[0].index()); // release V(m.mtx)
+                dead.insert(cores[2].index()); // reacquire P(m.mtx)
+            }
+            _ => {}
+        }
+    }
+    let mut out = lowered.program.clone();
+    map_stmts_mut(&mut out, &mut |cid, s| {
+        if dead.contains(&cid.index()) {
+            s.kind = StmtKind::Skip;
+        }
+    });
+    out
+}
+
+/// Walks `program`'s statements in [`StmtMap`] preorder, mutably.
+pub(crate) fn map_stmts_mut(program: &mut Program, f: &mut impl FnMut(StmtId, &mut eo_lang::Stmt)) {
+    fn walk(
+        stmts: &mut [eo_lang::Stmt],
+        next: &mut u32,
+        f: &mut impl FnMut(StmtId, &mut eo_lang::Stmt),
+    ) {
+        for s in stmts {
+            let id = StmtId(*next);
+            *next += 1;
+            f(id, s);
+            if let StmtKind::If {
+                then_branch,
+                else_branch,
+                ..
+            } = &mut s.kind
+            {
+                walk(then_branch, next, f);
+                walk(else_branch, next, f);
+            }
+        }
+    }
+    let mut next = 0u32;
+    for def in &mut program.processes {
+        walk(&mut def.body, &mut next, f);
+    }
+}
+
+fn channel_supply(program: &Program, map: &StmtMap<'_>, out: &mut Vec<Diagnostic>) {
+    let n_ch = program.channels.len();
+    let mut sends = vec![0u32; n_ch];
+    let mut recvs = vec![0u32; n_ch];
+    let mut first_recv: Vec<Option<StmtId>> = vec![None; n_ch];
+    for id in map.ids() {
+        match map.kind(id) {
+            StmtKind::Send(ch) => sends[ch.index()] += 1,
+            StmtKind::Recv(ch) => {
+                recvs[ch.index()] += 1;
+                first_recv[ch.index()].get_or_insert(id);
+            }
+            _ => {}
+        }
+    }
+    for (ci, def) in program.channels.iter().enumerate() {
+        if recvs[ci] > 0 && sends[ci] == 0 {
+            let id = first_recv[ci].expect("counted a recv");
+            out.push(Diagnostic {
+                code: codes::SURFACE_MISUSE,
+                severity: Severity::Error,
+                anchor: Anchor::Stmt(id),
+                location: map.describe(id),
+                message: format!(
+                    "receiving on channel `{}` that nothing ever sends",
+                    def.name
+                ),
+                notes: vec![format!(
+                    "{} receive(s), 0 sends anywhere in the program",
+                    recvs[ci]
+                )],
+            });
+        }
+        if sends[ci] > def.capacity + recvs[ci] {
+            out.push(Diagnostic {
+                code: codes::SURFACE_MISUSE,
+                severity: Severity::Error,
+                anchor: Anchor::Program,
+                location: format!("channel `{}`", def.name),
+                message: format!(
+                    "channel `{}` is over-sent: {} send(s) but capacity {} + {} receive(s)",
+                    def.name, sends[ci], def.capacity, recvs[ci]
+                ),
+                notes: vec![
+                    "even if every receive runs, some send can never find a free slot".into(),
+                ],
+            });
+        }
+    }
+}
+
+fn unobserved_signals(program: &Program, map: &StmtMap<'_>, out: &mut Vec<Diagnostic>) {
+    let n_cv = program.condvars.len();
+    let mut waits = vec![0u32; n_cv];
+    let mut first_signal: Vec<Option<StmtId>> = vec![None; n_cv];
+    for id in map.ids() {
+        match map.kind(id) {
+            StmtKind::CondWait(c, _) => waits[c.index()] += 1,
+            StmtKind::CondSignal(c) => {
+                first_signal[c.index()].get_or_insert(id);
+            }
+            _ => {}
+        }
+    }
+    for (ci, def) in program.condvars.iter().enumerate() {
+        if let Some(id) = first_signal[ci] {
+            if waits[ci] == 0 {
+                out.push(Diagnostic {
+                    code: codes::SURFACE_MISUSE,
+                    severity: Severity::Info,
+                    anchor: Anchor::Stmt(id),
+                    location: map.describe(id),
+                    message: format!(
+                        "signalling condvar `{}` that nothing ever waits on",
+                        def.name
+                    ),
+                    notes: vec!["the wake token is never consumed".into()],
+                });
+            }
+        }
+    }
+}

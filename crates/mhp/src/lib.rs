@@ -128,6 +128,17 @@ pub struct MhpAnalysis {
 impl MhpAnalysis {
     /// Runs the dataflow fixpoint on `program`.
     ///
+    /// Programs using the surface primitives (barriers, mutex/condvar
+    /// monitors, bounded channels) are desugared to the semaphore core
+    /// first and the fixpoint runs there; verdicts are mapped back to
+    /// surface numbering through the provenance map (see
+    /// [`Self::analyze_surface`] for the mapping rules). Barrier
+    /// awareness falls out of the existing semaphore meet rule: every
+    /// handshake `P` in the lowering has exactly one `V` supplier, so the
+    /// intersection degenerates to that supplier and the fixpoint derives
+    /// the all-to-all pre-barrier → post-barrier guarantee with no
+    /// barrier-specific transfer function.
+    ///
     /// # Panics
     /// Panics if the program fails static validation.
     pub fn analyze(program: &Program) -> MhpAnalysis {
@@ -135,6 +146,9 @@ impl MhpAnalysis {
         program
             .validate()
             .expect("analyze requires a valid program");
+        if program.uses_surface_sync() {
+            return Self::analyze_surface(program);
+        }
         let map = StmtMap::build(program);
         let n = map.len();
 
@@ -266,6 +280,90 @@ impl MhpAnalysis {
             unreachable,
             candidates,
             rounds,
+        }
+    }
+
+    /// The surface path: desugar, analyze the core, map back.
+    ///
+    /// Mapping rules (each a sound consequence of the desugaring's
+    /// schedule-set agreement with the direct micro-step semantics):
+    ///
+    /// * **guaranteed(a, b)** ⇔ every core statement of `a` is
+    ///   core-guaranteed before every core statement of `b` — a surface
+    ///   statement spans all events its core statements produce, so the
+    ///   all-pairs condition is exactly "all of `a` completes before any
+    ///   of `b` begins, in every execution";
+    /// * **unreachable(a)** ⇔ the *first* core statement of `a` is
+    ///   core-unreachable — then no event of `a` ever happens. (A
+    ///   partially-executable statement, e.g. a `cond_wait` whose condvar
+    ///   is never signalled, stays reachable: its release step runs.)
+    /// * **mutex** and the race **candidates** come from the surface
+    ///   statement map directly — branch structure is preserved by the
+    ///   lowering and surface sync statements carry no variable
+    ///   footprint.
+    fn analyze_surface(program: &Program) -> MhpAnalysis {
+        let lowered = eo_lang::desugar(program).expect("program was validated");
+        let core = Self::analyze(&lowered.program);
+        let map = StmtMap::build(program);
+        let n = map.len();
+
+        let mut unreachable = BitSet::new(n);
+        for id in map.ids() {
+            let cores = lowered.map.cores_of(id);
+            if cores.first().is_some_and(|&c| core.unreachable(c)) {
+                unreachable.insert(id.index());
+            }
+        }
+
+        let mut guaranteed = Relation::new(n);
+        for a in map.ids() {
+            let ca = lowered.map.cores_of(a);
+            for b in map.ids() {
+                if a == b {
+                    continue;
+                }
+                let cb = lowered.map.cores_of(b);
+                let all = !ca.is_empty()
+                    && !cb.is_empty()
+                    && ca
+                        .iter()
+                        .all(|&x| cb.iter().all(|&y| core.guaranteed_before(x, y)));
+                if all {
+                    guaranteed.insert(a.index(), b.index());
+                }
+            }
+        }
+
+        let mut mutex = Relation::new(n);
+        for a in map.ids() {
+            for b in map.ids() {
+                if a < b && map.mutually_exclusive(a, b) {
+                    mutex.insert(a.index(), b.index());
+                    mutex.insert(b.index(), a.index());
+                }
+            }
+        }
+
+        let candidates = conflicting_pairs(&map);
+        let stmts: Vec<MhpStmt> = map
+            .ids()
+            .map(|id| MhpStmt {
+                process: map.process(id),
+                kind: map.kind_name(id),
+                label: map.node(id).label.clone(),
+                location: map.describe(id),
+            })
+            .collect();
+
+        eo_obs::counter!("mhp.surface_analyses", 1u64);
+
+        MhpAnalysis {
+            stmts,
+            guaranteed,
+            mutex,
+            unreachable,
+            candidates,
+            rounds: core.rounds,
         }
     }
 
@@ -796,6 +894,121 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn barrier_orders_pre_against_post_all_to_all() {
+        // p0: a ; barrier ; c        p1: b ; barrier ; d
+        // Everything before the barrier is guaranteed before everything
+        // after it, across processes — derived purely by the semaphore
+        // meet rule over the desugared pairwise handshakes.
+        let mut b = ProgramBuilder::new();
+        let bar = b.barrier("bar", 2);
+        let p0 = b.process("p0");
+        b.compute(p0, "a").barrier_wait(p0, bar).compute(p0, "c");
+        let p1 = b.process("p1");
+        b.compute(p1, "b").barrier_wait(p1, bar).compute(p1, "d");
+        let mhp = MhpAnalysis::analyze(&b.build());
+        let s = |l: &str| mhp.stmt_labeled(l).unwrap();
+        assert_eq!(mhp.verdict(s("a"), s("d")), Verdict::NeverConcurrent);
+        assert_eq!(mhp.verdict(s("b"), s("c")), Verdict::NeverConcurrent);
+        assert!(mhp.guaranteed_before(s("a"), s("d")));
+        assert!(mhp.guaranteed_before(s("b"), s("c")));
+        // The pre-barrier computations themselves stay concurrent…
+        assert_eq!(mhp.verdict(s("a"), s("b")), Verdict::MayBeConcurrent);
+        // …as do the two barrier_wait statements (arrival phases overlap).
+        let waits: Vec<StmtId> = (0..mhp.n_stmts())
+            .map(|i| StmtId(i as u32))
+            .filter(|&i| mhp.stmts()[i.index()].kind == "barrier_wait")
+            .collect();
+        assert_eq!(waits.len(), 2);
+        assert_eq!(mhp.verdict(waits[0], waits[1]), Verdict::MayBeConcurrent);
+    }
+
+    #[test]
+    fn condvar_signal_orders_its_prologue_before_the_woken_body() {
+        let mut b = ProgramBuilder::new();
+        let m = b.mutex("m");
+        let cv = b.condvar("cv");
+        let p0 = b.process("p0");
+        b.compute(p0, "produced").cond_signal(p0, cv);
+        let p1 = b.process("p1");
+        b.lock(p1, m)
+            .cond_wait(p1, cv, m)
+            .compute(p1, "consumed")
+            .unlock(p1, m);
+        let mhp = MhpAnalysis::analyze(&b.build());
+        let s = |l: &str| mhp.stmt_labeled(l).unwrap();
+        assert!(
+            mhp.guaranteed_before(s("produced"), s("consumed")),
+            "the only signal supplies the wait's token"
+        );
+        assert_eq!(
+            mhp.verdict(s("produced"), s("consumed")),
+            Verdict::NeverConcurrent
+        );
+    }
+
+    #[test]
+    fn channel_send_orders_against_the_sole_receive() {
+        let mut b = ProgramBuilder::new();
+        let ch = b.channel("ch", 1);
+        let p0 = b.process("p0");
+        b.compute(p0, "make").send(p0, ch);
+        let p1 = b.process("p1");
+        b.recv(p1, ch).compute(p1, "use");
+        let mhp = MhpAnalysis::analyze(&b.build());
+        let s = |l: &str| mhp.stmt_labeled(l).unwrap();
+        assert!(mhp.guaranteed_before(s("make"), s("use")));
+        assert_eq!(mhp.verdict(s("make"), s("use")), Verdict::NeverConcurrent);
+    }
+
+    #[test]
+    fn mutex_critical_sections_stay_may_be_concurrent() {
+        // Mutual exclusion is disjunctive ("one or the other first"), which
+        // prec sets cannot express — the sound answer is MayBeConcurrent.
+        let mut b = ProgramBuilder::new();
+        let m = b.mutex("m");
+        let p0 = b.process("p0");
+        b.lock(p0, m).compute(p0, "cs0").unlock(p0, m);
+        let p1 = b.process("p1");
+        b.lock(p1, m).compute(p1, "cs1").unlock(p1, m);
+        let mhp = MhpAnalysis::analyze(&b.build());
+        let s = |l: &str| mhp.stmt_labeled(l).unwrap();
+        assert_eq!(mhp.verdict(s("cs0"), s("cs1")), Verdict::MayBeConcurrent);
+    }
+
+    #[test]
+    fn never_signalled_cond_wait_blocks_its_successors_not_itself() {
+        // The wait's release step still runs (the statement begins), so
+        // the wait itself stays reachable; everything after it is not.
+        let mut b = ProgramBuilder::new();
+        let m = b.mutex("m");
+        let cv = b.condvar("cv");
+        let p = b.process("p");
+        b.lock(p, m).cond_wait(p, cv, m).compute(p, "after");
+        let q = b.process("q");
+        b.compute(q, "other");
+        let mhp = MhpAnalysis::analyze(&b.build());
+        let s = |l: &str| mhp.stmt_labeled(l).unwrap();
+        assert!(mhp.unreachable(s("after")), "past a wait that never wakes");
+        assert!(!mhp.unreachable(s("other")));
+        assert_eq!(mhp.verdict(s("after"), s("other")), Verdict::Unreachable);
+    }
+
+    #[test]
+    fn surface_numbering_matches_the_surface_stmt_map() {
+        let mut b = ProgramBuilder::new();
+        let bar = b.barrier("bar", 2);
+        let p0 = b.process("p0");
+        b.compute(p0, "a").barrier_wait(p0, bar);
+        let p1 = b.process("p1");
+        b.barrier_wait(p1, bar).compute(p1, "z");
+        let prog = b.build();
+        let mhp = MhpAnalysis::analyze(&prog);
+        let map = StmtMap::build(&prog);
+        assert_eq!(mhp.n_stmts(), map.len(), "surface numbering, not core");
+        assert_eq!(mhp.stmts()[1].kind, "barrier_wait");
     }
 
     #[test]

@@ -32,6 +32,10 @@ fn small_spec() -> impl Strategy<Value = WorkloadSpec> {
             match spec.style {
                 SyncStyle::Semaphores => spec.semaphores = syncs,
                 SyncStyle::Events => spec.event_vars = syncs,
+                // This strategy draws only the two core styles; the
+                // surface styles are covered by tests/properties.rs's
+                // dedicated MHP soundness sweep at the workspace root.
+                _ => unreachable!("core styles only"),
             }
             spec.sync_density = density;
             spec

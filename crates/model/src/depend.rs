@@ -1,0 +1,270 @@
+//! The typed shared-data dependence input: →D split into its classes.
+//!
+//! The paper folds flow-, anti- and output-dependences into the single
+//! relation →D, and every theorem downstream only ever consumes that
+//! fold. But the *input* side of the API benefits from types: race
+//! detectors want reads-from precisely, symbolic backends want per-class
+//! unit facts, and lints want to know whether an edge is coherence or
+//! communication. [`Dependence`] keeps the classes separate and caches
+//! the flattened union, which is **bit-identical** to the historical
+//! `compute_dependences` relation — [`crate::ProgramExecution::d`]
+//! returns exactly that cached fold, so every fixture, golden file and
+//! differential oracle built on the flat relation is unchanged.
+//!
+//! Classes (all over observed order, `a` first):
+//!
+//! * **co** — coherence (output) order: write→write on the same variable;
+//! * **wr** — flow: write→read on the same variable;
+//! * **fr** — from-read (anti): read→write on the same variable;
+//! * **rf** — reads-from: the *immediately preceding* write of each read,
+//!   per variable (a refinement, `rf ⊆ wr`);
+//! * **addr / data / ctrl** — address-, data- and control-dependence
+//!   classes in the style of hardware memory models. The language has no
+//!   computed addresses so `addr` is always empty; `data` is the
+//!   intra-process def-use subset of `wr`; `ctrl` must be supplied by a
+//!   layer that knows branch structure (see `eo_lang`'s anchored runs) —
+//!   it is empty unless [`Dependence::with_ctrl`] provides it.
+//!
+//! The fold is `co ∪ wr ∪ fr`; `rf`, `addr`, `data` and `ctrl` are
+//! refinements/annotations that never feed the flat relation (→D in the
+//! paper's model is exactly the conflicting-pair relation).
+
+use crate::trace::Trace;
+use eo_relations::Relation;
+
+/// The typed →D input: per-class dependence relations plus the cached
+/// flat fold the paper's model consumes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Dependence {
+    /// Coherence (output) order: write→write, same variable, observed order.
+    pub co: Relation,
+    /// Flow dependences: write→read, same variable, observed order.
+    pub wr: Relation,
+    /// From-read (anti) dependences: read→write, same variable.
+    pub fr: Relation,
+    /// Reads-from: each read paired with its immediately preceding write
+    /// of the same variable (`rf ⊆ wr`).
+    pub rf: Relation,
+    /// Address dependences — always empty (no computed addresses).
+    pub addr: Relation,
+    /// Intra-process def-use pairs (`data ⊆ wr`, same process).
+    pub data: Relation,
+    /// Control dependences; empty unless supplied via [`Dependence::with_ctrl`].
+    pub ctrl: Relation,
+    /// The flat fold `co ∪ wr ∪ fr` — the paper's →D.
+    flat: Relation,
+}
+
+impl Dependence {
+    /// Classifies every conflicting access pair of `trace` — the typed
+    /// equivalent of the historical flat computation. The [`Self::flat`]
+    /// fold of the result is bit-identical to it.
+    pub fn from_trace(trace: &Trace) -> Self {
+        let n = trace.n_events();
+        let mut co = Relation::new(n);
+        let mut wr = Relation::new(n);
+        let mut fr = Relation::new(n);
+        let mut rf = Relation::new(n);
+        let mut data = Relation::new(n);
+        for var_idx in 0..trace.variables.len() {
+            let vid = crate::ids::VarId::new(var_idx);
+            // Accesses in observed order: (event index, process, writes?, reads?).
+            let accesses: Vec<(usize, usize, bool, bool)> = trace
+                .events
+                .iter()
+                .filter_map(|e| {
+                    let w = e.writes.contains(&vid);
+                    let r = e.reads.contains(&vid);
+                    (w || r).then_some((e.id.index(), e.process.index(), w, r))
+                })
+                .collect();
+            for (i, &(a, pa, wa, ra)) in accesses.iter().enumerate() {
+                let mut rf_done = false;
+                for &(b, pb, wb, rb) in &accesses[i + 1..] {
+                    if wa && wb {
+                        co.insert(a, b);
+                    }
+                    if wa && rb {
+                        wr.insert(a, b);
+                        if pa == pb {
+                            data.insert(a, b);
+                        }
+                    }
+                    if ra && wb {
+                        fr.insert(a, b);
+                    }
+                    // a's write reaches b iff no write intervenes; the
+                    // scan is in observed order, so the first later
+                    // writer ends a's reads-from frontier.
+                    if wa && !rf_done {
+                        if rb {
+                            rf.insert(a, b);
+                        }
+                        if wb {
+                            rf_done = true;
+                        }
+                    }
+                }
+            }
+        }
+        let mut flat = co.clone();
+        flat.union_with(&wr);
+        flat.union_with(&fr);
+        Dependence {
+            co,
+            wr,
+            fr,
+            rf,
+            addr: Relation::new(n),
+            data,
+            ctrl: Relation::new(n),
+            flat,
+        }
+    }
+
+    /// Compatibility constructor: wraps an already-computed flat →D with
+    /// no class information (all class relations empty). [`Self::flat`]
+    /// returns `flat` unchanged, so analyses behave identically to the
+    /// pre-typed API.
+    pub fn from_flat(flat: Relation) -> Self {
+        let n = flat.len();
+        Dependence {
+            co: Relation::new(n),
+            wr: Relation::new(n),
+            fr: Relation::new(n),
+            rf: Relation::new(n),
+            addr: Relation::new(n),
+            data: Relation::new(n),
+            ctrl: Relation::new(n),
+            flat,
+        }
+    }
+
+    /// The empty dependence over `n` events (the Section 5.3 "ignore
+    /// dependences" variant).
+    pub fn empty(n: usize) -> Self {
+        Self::from_flat(Relation::new(n))
+    }
+
+    /// Attaches a control-dependence class computed by a layer that knows
+    /// branch structure. `ctrl` annotates; it does not enter the fold.
+    pub fn with_ctrl(mut self, ctrl: Relation) -> Self {
+        assert_eq!(ctrl.len(), self.flat.len(), "domain mismatch");
+        self.ctrl = ctrl;
+        self
+    }
+
+    /// The flat fold `co ∪ wr ∪ fr` — the paper's →D relation.
+    #[inline]
+    pub fn flat(&self) -> &Relation {
+        &self.flat
+    }
+
+    /// Number of events in the domain.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.flat.len()
+    }
+
+    /// True iff the domain is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.flat.len() == 0
+    }
+
+    /// Per-class `(name, relation)` pairs in a fixed order, for uniform
+    /// consumption (symbolic per-class facts, diagnostics).
+    pub fn classes(&self) -> [(&'static str, &Relation); 7] {
+        [
+            ("co", &self.co),
+            ("wr", &self.wr),
+            ("fr", &self.fr),
+            ("rf", &self.rf),
+            ("addr", &self.addr),
+            ("data", &self.data),
+            ("ctrl", &self.ctrl),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceBuilder;
+
+    #[test]
+    fn classes_partition_the_flat_relation() {
+        // w1(x) ; r(x) ; w2(x): flow, anti, output all present.
+        let mut tb = TraceBuilder::new();
+        let p0 = tb.process("p0");
+        let p1 = tb.process("p1");
+        let x = tb.variable("x");
+        let w1 = tb.write(p0, x, "w1");
+        let r = tb.read(p1, x, "r");
+        let w2 = tb.write(p0, x, "w2");
+        let dep = Dependence::from_trace(&tb.build().unwrap());
+        assert!(dep.wr.contains(w1.index(), r.index()), "flow");
+        assert!(dep.fr.contains(r.index(), w2.index()), "anti");
+        assert!(dep.co.contains(w1.index(), w2.index()), "output");
+        assert_eq!(dep.flat().pair_count(), 3);
+    }
+
+    #[test]
+    fn rf_is_the_immediate_write() {
+        // w1 ; w2 ; r — only w2 supplies the read.
+        let mut tb = TraceBuilder::new();
+        let p0 = tb.process("p0");
+        let p1 = tb.process("p1");
+        let x = tb.variable("x");
+        let w1 = tb.write(p0, x, "w1");
+        let w2 = tb.write(p0, x, "w2");
+        let r = tb.read(p1, x, "r");
+        let dep = Dependence::from_trace(&tb.build().unwrap());
+        assert!(!dep.rf.contains(w1.index(), r.index()), "overwritten");
+        assert!(dep.rf.contains(w2.index(), r.index()));
+        assert!(dep.wr.contains(w1.index(), r.index()), "wr keeps both");
+        assert!(dep.wr.contains(w2.index(), r.index()));
+    }
+
+    #[test]
+    fn data_is_intra_process_def_use() {
+        let mut tb = TraceBuilder::new();
+        let p0 = tb.process("p0");
+        let p1 = tb.process("p1");
+        let x = tb.variable("x");
+        let w = tb.write(p0, x, "w");
+        let r_same = tb.read(p0, x, "r0");
+        let r_other = tb.read(p1, x, "r1");
+        let dep = Dependence::from_trace(&tb.build().unwrap());
+        assert!(dep.data.contains(w.index(), r_same.index()));
+        assert!(!dep.data.contains(w.index(), r_other.index()));
+        assert!(dep.wr.contains(w.index(), r_other.index()));
+    }
+
+    #[test]
+    fn from_flat_round_trips_bit_identically() {
+        let mut flat = Relation::new(4);
+        flat.insert(0, 3);
+        flat.insert(1, 2);
+        let dep = Dependence::from_flat(flat.clone());
+        assert_eq!(dep.flat(), &flat);
+        assert_eq!(dep.flat().fingerprint128(), flat.fingerprint128());
+        assert_eq!(dep.co.pair_count(), 0, "classes unknown");
+    }
+
+    #[test]
+    fn rf_and_data_never_enter_the_fold_domain_check() {
+        let mut tb = TraceBuilder::new();
+        let p0 = tb.process("p0");
+        let x = tb.variable("x");
+        let _w = tb.write(p0, x, "w");
+        let _r = tb.read(p0, x, "r");
+        let dep = Dependence::from_trace(&tb.build().unwrap());
+        // Intra-process w→r: wr + data + rf all set, fold has the one pair.
+        assert_eq!(dep.flat().pair_count(), 1);
+        let mut refold = dep.co.clone();
+        refold.union_with(&dep.wr);
+        refold.union_with(&dep.fr);
+        assert_eq!(&refold, dep.flat());
+    }
+}

@@ -1,5 +1,6 @@
 //! The program-execution triple ⟨E, →T, →D⟩.
 
+use crate::depend::Dependence;
 use crate::event::Event;
 use crate::ids::EventId;
 use crate::induce;
@@ -24,21 +25,37 @@ use eo_relations::Relation;
 pub struct ProgramExecution {
     trace: Trace,
     per_process: Vec<Vec<EventId>>,
-    d: Relation,
+    dep: Dependence,
     t: Relation,
 }
 
 impl ProgramExecution {
-    /// Validates `trace` and derives ⟨E, →T, →D⟩ from it.
+    /// Validates `trace` and derives ⟨E, →T, →D⟩ from it. →D is computed
+    /// class-by-class ([`Dependence::from_trace`]); its flat fold is
+    /// bit-identical to the historical single-relation computation.
     pub fn from_trace(trace: Trace) -> Result<Self, TraceError> {
+        let dep = Dependence::from_trace(&trace);
+        Self::from_trace_with(trace, dep)
+    }
+
+    /// Validates `trace` and derives →T from it under a caller-supplied
+    /// typed →D — the input-side API redesign: callers with external
+    /// dependence knowledge (or only a flat relation, via
+    /// [`Dependence::from_flat`]) inject it here; everything downstream
+    /// consumes the flat fold exactly as before.
+    pub fn from_trace_with(trace: Trace, dep: Dependence) -> Result<Self, TraceError> {
         trace.validate()?;
-        let d = compute_dependences(&trace);
-        let t = induce::induced_order(&trace, &d, &trace.observed_order());
+        assert_eq!(
+            dep.len(),
+            trace.n_events(),
+            "dependence domain must match the event set"
+        );
+        let t = induce::induced_order(&trace, dep.flat(), &trace.observed_order());
         let per_process = trace.per_process();
         Ok(ProgramExecution {
             trace,
             per_process,
-            d,
+            dep,
             t,
         })
     }
@@ -80,10 +97,19 @@ impl ProgramExecution {
     }
 
     /// The shared-data dependence relation →D (all conflicting ordered
-    /// pairs, not just immediate ones).
+    /// pairs, not just immediate ones) — the flat fold of
+    /// [`Self::dependence`], bit-identical to the pre-typed API.
     #[inline]
     pub fn d(&self) -> &Relation {
-        &self.d
+        self.dep.flat()
+    }
+
+    /// The typed →D input: per-class relations (coherence, flow,
+    /// from-read, reads-from, address/data/control) whose fold is
+    /// [`Self::d`].
+    #[inline]
+    pub fn dependence(&self) -> &Dependence {
+        &self.dep
     }
 
     /// The temporal ordering →T induced by the observed schedule
@@ -110,13 +136,13 @@ impl ProgramExecution {
     /// the accesses being a write.
     #[inline]
     pub fn depends(&self, a: EventId, b: EventId) -> bool {
-        self.d.contains(a.index(), b.index())
+        self.dep.flat().contains(a.index(), b.index())
     }
 
     /// The schedule-independent constraint edges (program order, fork/join,
     /// →D) that every feasible execution of this P shares. Not closed.
     pub fn base_edges(&self) -> Relation {
-        induce::base_edges(&self.trace, &self.d)
+        induce::base_edges(&self.trace, self.dep.flat())
     }
 
     /// A copy of this execution's constraints with →D *emptied* — the
@@ -124,12 +150,12 @@ impl ProgramExecution {
     /// are considered feasible, regardless of the original shared-data
     /// dependences.
     pub fn without_dependences(&self) -> ProgramExecution {
-        let d = Relation::new(self.n_events());
-        let t = induce::induced_order(&self.trace, &d, &self.trace.observed_order());
+        let dep = Dependence::empty(self.n_events());
+        let t = induce::induced_order(&self.trace, dep.flat(), &self.trace.observed_order());
         ProgramExecution {
             trace: self.trace.clone(),
             per_process: self.per_process.clone(),
-            d,
+            dep,
             t,
         }
     }
@@ -137,13 +163,14 @@ impl ProgramExecution {
     /// The partial order an arbitrary valid schedule of this execution's
     /// events induces (→T′ of that feasible execution).
     pub fn induced_order_of(&self, order: &[EventId]) -> Relation {
-        induce::induced_order(&self.trace, &self.d, order)
+        induce::induced_order(&self.trace, self.dep.flat(), order)
     }
 
     /// All conflicting event pairs `(a, b)` with `a` observed first — i.e.
     /// the →D pairs, flattened for iteration.
     pub fn dependence_pairs(&self) -> Vec<(EventId, EventId)> {
-        self.d
+        self.dep
+            .flat()
             .pairs()
             .map(|(a, b)| (EventId::new(a), EventId::new(b)))
             .collect()
@@ -157,8 +184,11 @@ impl Trace {
     }
 }
 
-/// Computes →D: for every shared variable, each ordered pair of accesses
-/// with at least one write.
+/// Computes →D the historical way: for every shared variable, each
+/// ordered pair of accesses with at least one write, as one flat
+/// relation. Kept (test-only) as the oracle the typed
+/// [`Dependence::from_trace`] fold is checked bit-identical against.
+#[cfg(test)]
 fn compute_dependences(trace: &Trace) -> Relation {
     let n = trace.n_events();
     let mut d = Relation::new(n);
@@ -304,6 +334,47 @@ mod tests {
         let r = tb.read(p1, x, "r");
         let exec = tb.build().unwrap().to_execution().unwrap();
         assert_eq!(exec.dependence_pairs(), vec![(w, r)]);
+    }
+
+    #[test]
+    fn typed_fold_is_bit_identical_to_the_flat_oracle() {
+        // A trace exercising every conflict shape: w-w, w-r, r-w,
+        // read-modify-write events, multiple variables, same-process
+        // and cross-process pairs.
+        let mut tb = TraceBuilder::new();
+        let p0 = tb.process("p0");
+        let p1 = tb.process("p1");
+        let x = tb.variable("x");
+        let y = tb.variable("y");
+        tb.write(p0, x, "w1");
+        tb.read(p1, x, "r1");
+        tb.push_full(p0, Op::Compute, &[x], &[y], Some("xy"));
+        tb.write(p1, y, "wy");
+        tb.push_full(p1, Op::Compute, &[y], &[y], Some("inc"));
+        tb.write(p0, x, "w2");
+        let trace = tb.build().unwrap();
+        let oracle = compute_dependences(&trace);
+        let exec = trace.to_execution().unwrap();
+        assert_eq!(exec.d(), &oracle);
+        assert_eq!(exec.d().fingerprint128(), oracle.fingerprint128());
+    }
+
+    #[test]
+    fn from_trace_with_flat_compat_matches_from_trace() {
+        let mut tb = TraceBuilder::new();
+        let p0 = tb.process("p0");
+        let p1 = tb.process("p1");
+        let x = tb.variable("x");
+        tb.write(p0, x, "w");
+        tb.read(p1, x, "r");
+        let trace = tb.build().unwrap();
+        let typed = ProgramExecution::from_trace(trace.clone()).unwrap();
+        let flat = compute_dependences(&trace);
+        let compat =
+            ProgramExecution::from_trace_with(trace, crate::depend::Dependence::from_flat(flat))
+                .unwrap();
+        assert_eq!(typed.d(), compat.d());
+        assert_eq!(typed.t(), compat.t());
     }
 
     #[test]

@@ -38,6 +38,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod depend;
 pub mod event;
 pub mod execution;
 pub mod fixtures;
@@ -48,6 +49,7 @@ pub mod machine;
 pub mod render;
 pub mod trace;
 
+pub use depend::Dependence;
 pub use event::{Event, Op};
 pub use execution::ProgramExecution;
 pub use ids::{EvVarId, EventId, ProcessId, SemId, VarId};

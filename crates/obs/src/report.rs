@@ -58,7 +58,15 @@ pub struct Report {
 /// other `eo` JSON emitter — lint reports, degraded summaries, serve
 /// responses) as a top-level `"schema_version"` field, so downstream
 /// consumers can detect incompatible evolutions of the formats.
-pub const SCHEMA_VERSION: i64 = 1;
+///
+/// History: **1** — the original formats; **2** — serve responses gained
+/// the additive `config` echo (non-default [`EngineConfig`] fields) and
+/// the `primitives` vocabulary on summary replies, and every front end
+/// started accepting `--config <file.json>`. Version 2 documents are a
+/// superset of version 1: no field was renamed or removed.
+///
+/// [`EngineConfig`]: https://docs.rs/eo-engine
+pub const SCHEMA_VERSION: i64 = 2;
 
 /// The well-known engine metrics registry.
 ///

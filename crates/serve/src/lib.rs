@@ -16,7 +16,7 @@
 //!   without searching at all.
 //! * [`protocol`] is the JSON request/response vocabulary `eo serve`
 //!   speaks: NDJSON on stdin or a `--batch` array file in, one
-//!   `"schema_version": 1` response document per request out.
+//!   response document per request out, stamped with the current `SCHEMA_VERSION`.
 //! * [`server`] shards a batch across panic-isolated workers (one
 //!   session each) under one shared, cancellation-linked budget and
 //!   publishes `serve.*` cache counters through `eo-obs`.

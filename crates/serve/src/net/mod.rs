@@ -19,7 +19,7 @@
 //! what makes a network replay byte-identical to a batch run. Control
 //! responses (`open`, `ping`) and the structured `overloaded` rejection
 //! (`retry_after_ms` tells the client when to try again) are this
-//! module's own vocabulary, all `"schema_version": 1` documents.
+//! module's own vocabulary, all documents stamped with the current `SCHEMA_VERSION`.
 //!
 //! # Robustness contract
 //!
@@ -712,7 +712,7 @@ impl Reactor {
     }
 }
 
-/// Builds one `"schema_version": 1` response document with the shared
+/// Builds one response document (current `SCHEMA_VERSION`) with the shared
 /// header fields plus `extra`.
 fn render_doc(id: &Option<Value>, op: &str, status: &str, extra: Vec<(String, Value)>) -> String {
     let mut fields = vec![

@@ -16,7 +16,7 @@
 //! back verbatim (any JSON value) so clients can correlate out-of-order
 //! processing; it is optional.
 //!
-//! Every response is one JSON object carrying `"schema_version": 1` and a
+//! Every response is one JSON object carrying the current `SCHEMA_VERSION` and a
 //! `status` of `"exact"` (the answer is exact), `"degraded"` (a budget
 //! stopped the search; `cause` says which bound), or `"error"` (the
 //! request itself was malformed). Exact responses also say whether they
@@ -236,6 +236,36 @@ pub fn render_reply(id: &Option<Value>, reply: &SessionReply) -> String {
             Value::Str(reply.backend.label().to_owned()),
         ));
     }
+    // Additive engine-config echo: sessions opened from an explicit
+    // `EngineConfig` (`--config`) tag every reply with the non-default
+    // fields; default sessions carry no `config` object at all.
+    if !reply.config_echo.is_empty() {
+        fields.push((
+            "config".to_owned(),
+            Value::Obj(
+                reply
+                    .config_echo
+                    .iter()
+                    .map(|(k, v)| ((*k).to_owned(), Value::Str(v.clone())))
+                    .collect(),
+            ),
+        ));
+    }
+    // Whole-program summary replies also echo the primitive classes the
+    // analyzed trace uses (always the core calculus — surface primitives
+    // reach the engine desugared).
+    if !reply.primitives.is_empty() {
+        fields.push((
+            "primitives".to_owned(),
+            Value::Arr(
+                reply
+                    .primitives
+                    .iter()
+                    .map(|p| Value::Str((*p).to_owned()))
+                    .collect(),
+            ),
+        ));
+    }
     match &reply.response.answer {
         Answer::Decided(v) => fields.push(("answer".to_owned(), Value::Bool(*v))),
         Answer::Witness(w) => fields.push(("witness".to_owned(), witness_value(w))),
@@ -401,7 +431,10 @@ mod tests {
     fn responses_carry_schema_version_and_echo_ids() {
         let rendered = render_error(&Some(Value::Num(7.0)), "boom");
         let v = eo_obs::json::parse(&rendered).expect("valid JSON");
-        assert_eq!(v.get("schema_version").and_then(Value::as_i64), Some(1));
+        assert_eq!(
+            v.get("schema_version").and_then(Value::as_i64),
+            Some(eo_obs::report::SCHEMA_VERSION)
+        );
         assert_eq!(v.get("id").and_then(Value::as_i64), Some(7));
         assert_eq!(v.get("status").and_then(Value::as_str), Some("error"));
         assert_eq!(v.get("error").and_then(Value::as_str), Some("boom"));

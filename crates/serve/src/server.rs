@@ -219,7 +219,10 @@ mod tests {
             .map(|r| json::parse(r).expect("responses are valid JSON"))
             .collect();
         for (i, v) in parsed.iter().enumerate() {
-            assert_eq!(v.get("schema_version").and_then(Value::as_i64), Some(1));
+            assert_eq!(
+                v.get("schema_version").and_then(Value::as_i64),
+                Some(eo_obs::report::SCHEMA_VERSION)
+            );
             assert_eq!(
                 v.get("id").and_then(Value::as_i64),
                 Some(i as i64 + 1),

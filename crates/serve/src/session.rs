@@ -21,8 +21,8 @@
 use crate::cache::{FactKind, FactStore, WitnessCache};
 use eo_approx::{SafeOrderings, TaskGraph};
 use eo_engine::{
-    Answer, Budget, EngineError, EngineOptions, ExactEngine, FeasibilityMode, OrderingSummary,
-    Query, QueryBackend, QueryMemo, Response, SatSession, SearchCtx,
+    Answer, Budget, EngineConfig, EngineError, EngineOptions, ExactEngine, FeasibilityMode,
+    OrderingSummary, Query, QueryBackend, QueryMemo, Response, SatSession, SearchCtx,
 };
 use eo_model::{EventId, ProgramExecution};
 use eo_race::Race;
@@ -61,6 +61,12 @@ pub struct SessionConfig {
     /// one incremental solve against a shared CNF encoding, amortizing
     /// learned clauses across the batch.
     pub backend: QueryBackend,
+    /// The non-default [`EngineConfig`] fields this session was opened
+    /// with, echoed additively on every reply as a `config` object.
+    /// Empty (no echo, byte-stable responses) unless the session was
+    /// built from an explicit config via
+    /// [`SessionConfig::from_engine_config`].
+    pub config_echo: Vec<(&'static str, String)>,
 }
 
 impl Default for SessionConfig {
@@ -72,6 +78,23 @@ impl Default for SessionConfig {
             static_prefilter: false,
             witness_capacity: 256,
             backend: QueryBackend::Exact,
+            config_echo: Vec::new(),
+        }
+    }
+}
+
+impl SessionConfig {
+    /// A session config carrying every knob of one [`EngineConfig`]:
+    /// mode, equivalence, and budget caps into the engine options,
+    /// `backend` and `static_prefilter` into the serving layer, and the
+    /// config's non-default fields into the per-reply `config` echo.
+    pub fn from_engine_config(cfg: &EngineConfig) -> SessionConfig {
+        SessionConfig {
+            engine: cfg.engine_options(),
+            static_prefilter: cfg.static_prefilter,
+            backend: cfg.backend,
+            config_echo: cfg.non_default_fields(),
+            ..SessionConfig::default()
         }
     }
 }
@@ -122,6 +145,12 @@ pub struct SessionReply {
     /// (echoed on every reply; the protocol layer renders it additively
     /// so default `exact` responses stay byte-stable).
     pub backend: QueryBackend,
+    /// Non-default engine-config fields (additive `config` echo; empty
+    /// for sessions not built from an explicit [`EngineConfig`]).
+    pub config_echo: Vec<(&'static str, String)>,
+    /// The synchronization primitive classes present in this program's
+    /// trace, echoed on `summary` responses (stable order).
+    pub primitives: Vec<&'static str>,
 }
 
 /// A long-lived analysis session over one program execution.
@@ -330,6 +359,13 @@ impl<'e> AnalysisSession<'e> {
             prefilter,
             static_prefilter: false,
             backend: self.config.backend,
+            config_echo: self.config.config_echo.clone(),
+            // The primitive-set echo rides only on whole-program summary
+            // replies; point queries stay lean.
+            primitives: match query {
+                Query::Summary => primitive_set(self.exec),
+                _ => Vec::new(),
+            },
         }
     }
 
@@ -607,6 +643,35 @@ fn decide_from_guarantee(g: &Relation, kind: FactKind, a: EventId, b: EventId) -
         // A guaranteed order in either direction rules out overlap.
         FactKind::Ccw => (g.contains(ai, bi) || g.contains(bi, ai)).then_some(false),
     }
+}
+
+/// The synchronization primitive classes present in a program's trace,
+/// in a stable order. Traces are always in the core calculus (surface
+/// barriers/monitors/channels reach the engine desugared to semaphores),
+/// so the vocabulary here is the core one.
+pub fn primitive_set(exec: &ProgramExecution) -> Vec<&'static str> {
+    use eo_model::Op;
+    let (mut compute, mut sem, mut ev, mut fj) = (false, false, false, false);
+    for i in 0..exec.n_events() {
+        match &exec.trace().event(eo_model::EventId::new(i)).op {
+            Op::Compute => compute = true,
+            Op::SemP(_) | Op::SemV(_) => sem = true,
+            Op::Post(_) | Op::Wait(_) | Op::Clear(_) => ev = true,
+            Op::Fork(_) | Op::Join(_) => fj = true,
+        }
+    }
+    let mut out = Vec::new();
+    for (present, name) in [
+        (compute, "compute"),
+        (ev, "event-var"),
+        (fj, "fork-join"),
+        (sem, "semaphore"),
+    ] {
+        if present {
+            out.push(name);
+        }
+    }
+    out
 }
 
 /// Fingerprints a program execution by hashing its canonical trace JSON.

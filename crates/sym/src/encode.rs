@@ -333,6 +333,35 @@ impl PoEncoding {
         }
     }
 
+    /// Builds the encoding from a **typed** dependence input
+    /// ([`eo_model::Dependence`]): the →D unit facts asserted are the
+    /// per-class relations' fold, and per-class fact counts are published
+    /// through `eo_obs` (`sym.dep.co` / `.wr` / `.fr` / `.unclassified`;
+    /// a pair in several classes is attributed to the first of co, wr,
+    /// fr). The emitted CNF is **bit-identical** to
+    /// [`PoEncoding::new`] over `dep.flat()` — the classes refine the
+    /// input, never the theory — which the encoding tests pin.
+    pub fn with_dependence(trace: &Trace, dep: &eo_model::Dependence) -> PoEncoding {
+        let (mut co, mut wr, mut fr, mut other) = (0u64, 0u64, 0u64, 0u64);
+        for (a, b) in dep.flat().pairs() {
+            if dep.co.contains(a, b) {
+                co += 1;
+            } else if dep.wr.contains(a, b) {
+                wr += 1;
+            } else if dep.fr.contains(a, b) {
+                fr += 1;
+            } else {
+                // From-flat compatibility inputs carry no classes.
+                other += 1;
+            }
+        }
+        eo_obs::counter!("sym.dep.co", co);
+        eo_obs::counter!("sym.dep.wr", wr);
+        eo_obs::counter!("sym.dep.fr", fr);
+        eo_obs::counter!("sym.dep.unclassified", other);
+        PoEncoding::new(trace, dep.flat())
+    }
+
     /// Number of events in the encoded execution.
     pub fn n_events(&self) -> usize {
         self.n
@@ -528,6 +557,42 @@ mod tests {
     fn encoding_of(trace: &Trace) -> PoEncoding {
         let exec = trace.to_execution().unwrap();
         PoEncoding::new(exec.trace(), exec.d())
+    }
+
+    #[test]
+    fn typed_dependence_input_encodes_identically() {
+        // The typed path must assert exactly the facts of the flat path:
+        // same clause count, same verdicts on representative queries —
+        // for both a classified input and a from-flat compat input.
+        let (trace, _) = fixtures::figure1();
+        let exec = trace.to_execution().unwrap();
+        let mut flat_enc = PoEncoding::new(exec.trace(), exec.d());
+        let mut typed_enc = PoEncoding::with_dependence(exec.trace(), exec.dependence());
+        let compat = eo_model::Dependence::from_flat(exec.d().clone());
+        let mut compat_enc = PoEncoding::with_dependence(exec.trace(), &compat);
+        assert_eq!(
+            flat_enc.core_clause_count(),
+            typed_enc.core_clause_count(),
+            "typed input must add no clause beyond the flat fold"
+        );
+        assert_eq!(flat_enc.core_clause_count(), compat_enc.core_clause_count());
+        let n = trace.n_events();
+        for a in 0..n {
+            for b in 0..n {
+                if a == b {
+                    continue;
+                }
+                let (x, y) = (eo_model::EventId::new(a), eo_model::EventId::new(b));
+                let f = matches!(flat_enc.solve_before(x, y, &mut never), SymOutcome::Sat(_));
+                let t = matches!(typed_enc.solve_before(x, y, &mut never), SymOutcome::Sat(_));
+                let c = matches!(
+                    compat_enc.solve_before(x, y, &mut never),
+                    SymOutcome::Sat(_)
+                );
+                assert_eq!(f, t, "typed verdict diverges on ({a}, {b})");
+                assert_eq!(f, c, "compat verdict diverges on ({a}, {b})");
+            }
+        }
     }
 
     #[test]

@@ -4,6 +4,7 @@
 //! ```text
 //! eo-server [--addr <host:port>] [--port-file <path>]
 //!           [--max-programs <n>] [--max-conns <n>] [--max-frame <bytes>]
+//!           [--config <file.json>]
 //!           [--timeout <ms>] [--max-mem <bytes>] [--max-states <n>]
 //!           [--read-timeout-ms <ms>] [--write-timeout-ms <ms>]
 //!           [--idle-timeout-ms <ms>] [--drain-deadline-ms <ms>]
@@ -12,6 +13,12 @@
 //!           [--ignore-deps] [--backend exact|sat] [--equiv <strategy>]
 //!           [--metrics-out <file>]
 //! ```
+//!
+//! Engine knobs (`--config` base plus the `--ignore-deps`/`--equiv`/
+//! `--backend`/`--static-prefilter`/cap flag overrides) are parsed by the
+//! same `EngineConfig::from_cli` as `eo analyze` and `eo serve`, so one
+//! config file means the same analysis everywhere; non-default settings
+//! are echoed in every response's additive `config` object.
 //!
 //! The server speaks the `eo serve` request protocol over TCP, one
 //! length-prefixed frame (`<len>:<payload>\n`) per request, multiplexing
@@ -87,9 +94,6 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
     if let Some(n) = num_flag(args, "--max-frame")? {
         config.max_frame = n as usize;
     }
-    if let Some(ms) = num_flag(args, "--timeout")? {
-        config.query_deadline_ms = ms;
-    }
     if let Some(ms) = num_flag(args, "--read-timeout-ms")? {
         config.read_timeout = Duration::from_millis(ms);
     }
@@ -110,40 +114,27 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
     }
 
     // Session knobs mirror `eo serve` so a replayed batch answers
-    // byte-identically over the wire and over stdin.
-    let mut engine = eo_engine::EngineOptions::default();
-    if args.iter().any(|a| a == "--ignore-deps") {
-        engine = eo_engine::EngineOptions::with_mode(eo_engine::FeasibilityMode::IgnoreDependences);
+    // byte-identically over the wire and over stdin: `--config
+    // <file.json>` plus flag overrides go through the same
+    // `EngineConfig::from_cli` all front ends share.
+    let cfg = eo_engine::EngineConfig::from_cli(args).map_err(|e| format!("eo-server: {e}"))?;
+    // In the network server the timeout is the per-request deadline the
+    // reactor enforces (renewed per query), not a session-lifetime budget
+    // cap, so it is routed to the server config and stripped from the
+    // session's engine budget.
+    if let Some(ms) = cfg.timeout_ms {
+        config.query_deadline_ms = ms;
     }
-    if let Some(v) = str_flag(args, "--equiv")? {
-        engine.equiv = v.parse().map_err(|e| format!("--equiv: {e}"))?;
-    }
-    let (max_mem, max_states) = (
-        num_flag(args, "--max-mem")?,
-        num_flag(args, "--max-states")?,
-    );
-    if max_mem.is_some() || max_states.is_some() {
-        let mut budget = eo_engine::Budget::unlimited();
-        if let Some(bytes) = max_mem {
-            budget = budget.with_max_heap_bytes(bytes as usize);
-        }
-        if let Some(n) = max_states {
-            budget = budget.with_max_states(n as usize);
-        }
-        engine.budget = Some(budget);
-    }
-    let backend = match str_flag(args, "--backend")? {
-        None => eo_engine::QueryBackend::Exact,
-        Some(v) => v.parse().map_err(|e| format!("--backend: {e}"))?,
+    let session_cfg = eo_engine::EngineConfig {
+        timeout_ms: None,
+        ..cfg.clone()
     };
-    config.session = SessionConfig {
-        engine,
-        cache: !args.iter().any(|a| a == "--no-cache"),
-        prefilter: !args.iter().any(|a| a == "--no-prefilter"),
-        static_prefilter: args.iter().any(|a| a == "--static-prefilter"),
-        backend,
-        ..SessionConfig::default()
-    };
+    config.session = SessionConfig::from_engine_config(&session_cfg);
+    // The protocol echo still reports the *full* effective config,
+    // including the timeout the reactor took over.
+    config.session.config_echo = cfg.non_default_fields();
+    config.session.cache = !args.iter().any(|a| a == "--no-cache");
+    config.session.prefilter = !args.iter().any(|a| a == "--no-prefilter");
 
     // The handler must be live before the server is observable (port file,
     // accepting socket): once a client can see us, an operator can signal

@@ -1,23 +1,27 @@
 //! `eo` — command-line front end to the event-ordering analyses.
 //!
 //! ```text
-//! eo analyze <trace.json> [--ignore-deps] [--matrix] [--json] [--equiv <strategy>]
+//! eo analyze <trace.json> [--config <file.json>] [--ignore-deps] [--matrix]
+//!            [--fixture <name>] [--json] [--equiv <strategy>]
 //!            [--timeout <ms>] [--max-mem <bytes>] [--max-states <n>]
 //!            [--no-degrade] [--static-prefilter]
 //!            [--trace-out <f>] [--metrics-out <f>]
 //!            [--profile]                            six relations of a trace
 //! eo serve   <trace.json> [--batch <req.json>] [--threads <n>]
+//!            [--config <file.json>]
 //!            [--timeout <ms>] [--max-mem <bytes>] [--max-states <n>]
 //!            [--no-cache] [--no-prefilter] [--static-prefilter]
-//!            [--ignore-deps] [--equiv <strategy>]
+//!            [--ignore-deps] [--equiv <strategy>] [--backend exact|sat]
 //!            [--metrics-out <f>]                    batched query sessions
 //! eo races   <trace.json>                           exact vs clock race report
 //! eo sat     <n_vars> <n_clauses> <seed> [--events] SAT via Theorem 1/2 (or 3/4)
 //! eo lint    <trace.json>... [--json] [--mhp] [--deny <level>]
 //!            [--metrics-out <f>]                    static synchronization lints
 //! eo lint    --theorem3 [n m seed] [--json]         lint the Theorem 3 program
+//! eo lint    --fixture <name> [--json] [--mhp]      lint a gallery fixture
 //! eo mhp     <trace.json> [--json] [--metrics-out <f>]
 //! eo mhp     --figure1 [--json]                     static MHP verdict report
+//! eo mhp     --fixture <name> [--json]              MHP on a gallery fixture
 //! eo figure1                                        the paper's Figure 1 demo
 //! ```
 //!
@@ -56,6 +60,13 @@
 //! can only gain decided facts, and the `mhp.*` / `serve.*` metrics
 //! expose how much work the static tier absorbed.
 //!
+//! `--config <file.json>` seeds every engine knob (feasibility mode,
+//! equivalence, backend, static prefilter, budget caps) from one
+//! serializable `EngineConfig` document; explicit flags override
+//! individual fields. The same file is accepted identically by `eo
+//! analyze`, `eo serve`, and `eo-server`, and serve responses echo the
+//! non-default settings in an additive `config` object.
+//!
 //! `serve` answers a batch of ordering queries against one program in one
 //! long-lived session (shared interned state space, cross-query caches):
 //! newline-delimited JSON requests on stdin, or a JSON array via
@@ -68,6 +79,7 @@ use eo_engine::{
     OrderingSummary,
 };
 use eo_model::{render, EventId, ProgramExecution, Trace};
+use eo_obs::report::SCHEMA_VERSION;
 use eo_sat::Formula;
 use std::process::ExitCode;
 
@@ -85,12 +97,12 @@ fn main() -> ExitCode {
         Some("figure1") => figure1(),
         _ => {
             eprintln!(
-                "usage:\n  eo analyze <trace.json> [--ignore-deps] [--matrix] [--json]\n      \
-                 [--timeout <ms>] [--max-mem <bytes>] [--max-states <n>] [--no-degrade]\n      \
-                 [--static-prefilter] [--equiv <strategy>] [--trace-out <file>]\n      \
-                 [--metrics-out <file>] [--profile]\n  \
+                "usage:\n  eo analyze <trace.json> [--config <file.json>] [--ignore-deps] [--matrix]\n      \
+                 [--fixture <name>] [--json] [--timeout <ms>] [--max-mem <bytes>] [--max-states <n>]\n      \
+                 [--no-degrade] [--static-prefilter] [--equiv <strategy>]\n      \
+                 [--trace-out <file>] [--metrics-out <file>] [--profile]\n  \
                  eo serve <trace.json> [--batch <requests.json>] [--threads <n>]\n      \
-                 [--timeout <ms>] [--max-mem <bytes>] [--max-states <n>]\n      \
+                 [--config <file.json>] [--timeout <ms>] [--max-mem <bytes>] [--max-states <n>]\n      \
                  [--no-cache] [--no-prefilter] [--static-prefilter] [--ignore-deps]\n      \
                  [--backend exact|sat] [--equiv mazurkiewicz|normal-form|grain]\n      \
                  [--metrics-out <file>]\n  \
@@ -98,8 +110,9 @@ fn main() -> ExitCode {
                  eo lint <trace.json>... [--json] [--mhp] [--deny error|warning|info] \
                  [--metrics-out <file>]\n  \
                  eo lint --theorem3 [n m seed] [--json] [--deny <level>]\n  \
+                 eo lint --fixture <name> [--json] [--mhp] [--deny <level>]\n  \
                  eo mhp <trace.json> [--json] [--metrics-out <file>]\n  \
-                 eo mhp --figure1 [--json]\n  \
+                 eo mhp --figure1 | --fixture <name> [--json]\n  \
                  eo figure1"
             );
             ExitCode::FAILURE
@@ -113,6 +126,30 @@ fn load(path: &str) -> Result<ProgramExecution, String> {
     trace
         .to_execution()
         .map_err(|e| format!("validating {path}: {e}"))
+}
+
+/// Resolves a `--fixture <name>` gallery program, with the available
+/// names in the error message.
+fn fixture_program(name: &str) -> Result<eo_lang::Program, String> {
+    eo_lang::gallery::fixture(name).ok_or_else(|| {
+        format!(
+            "unknown fixture `{name}`; available: {}",
+            eo_lang::gallery::names().join(", ")
+        )
+    })
+}
+
+/// Builds the execution for a named gallery fixture: desugars the
+/// surface program to core form and records one deterministic complete
+/// run as the analyzed trace.
+fn fixture_exec(name: &str) -> Result<ProgramExecution, String> {
+    let program = fixture_program(name)?;
+    let desugared = eo_lang::desugar(&program).map_err(|e| format!("fixture {name}: {e}"))?;
+    let trace = eo_lang::run_to_trace(&desugared.program, &mut eo_lang::Scheduler::round_robin())
+        .map_err(|e| format!("fixture {name} did not complete: {e:?}"))?;
+    trace
+        .to_execution()
+        .map_err(|e| format!("fixture {name}: {e}"))
 }
 
 /// Parses `--<name> <number>` anywhere in `args`.
@@ -137,13 +174,12 @@ fn str_flag(args: &[String], name: &str) -> Result<Option<String>, String> {
     }
 }
 
-/// Parses `--equiv <strategy>` anywhere in `args` (the trace equivalence
-/// the enumeration quotients by; see `eo_engine::EquivStrategy`).
-fn equiv_flag(args: &[String]) -> Result<eo_engine::EquivStrategy, String> {
-    match str_flag(args, "--equiv")? {
-        None => Ok(eo_engine::EquivStrategy::default()),
-        Some(v) => v.parse().map_err(|e| format!("--equiv: {e}")),
-    }
+/// The effective engine config for a subcommand: the `--config` file (or
+/// the default) with explicit engine-knob flags folded over it. Shared
+/// verbatim with `eo-server` via [`eo_engine::EngineConfig::from_cli`],
+/// so the three front ends accept one config file identically.
+fn engine_config(args: &[String]) -> Result<eo_engine::EngineConfig, String> {
+    eo_engine::EngineConfig::from_cli(args)
 }
 
 /// The observability outputs one `eo analyze` run was asked for.
@@ -315,30 +351,34 @@ fn print_degraded_report(exec: &ProgramExecution, d: &DegradedSummary) {
 }
 
 fn analyze(args: &[String]) -> ExitCode {
-    let Some(path) = args.first() else {
-        eprintln!("analyze: missing trace path");
-        return ExitCode::FAILURE;
-    };
-    let ignore = args.iter().any(|a| a == "--ignore-deps");
-    let matrix = args.iter().any(|a| a == "--matrix");
-    let json = args.iter().any(|a| a == "--json");
-    let no_degrade = args.iter().any(|a| a == "--no-degrade");
-    let static_prefilter = args.iter().any(|a| a == "--static-prefilter");
-    let (timeout, max_mem, max_states) = match (
-        num_flag(args, "--timeout"),
-        num_flag(args, "--max-mem"),
-        num_flag(args, "--max-states"),
-    ) {
-        (Ok(t), Ok(m), Ok(s)) => (t, m, s),
-        (t, m, s) => {
-            for r in [t, m, s] {
-                if let Err(e) = r {
-                    eprintln!("{e}");
-                }
-            }
+    let fixture = match str_flag(args, "--fixture") {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("{e}");
             return ExitCode::FAILURE;
         }
     };
+    let path = match (args.first(), &fixture) {
+        (Some(p), _) => p.clone(),
+        (None, Some(_)) => String::new(),
+        (None, None) => {
+            eprintln!("analyze: missing trace path (or pass --fixture <name>)");
+            return ExitCode::FAILURE;
+        }
+    };
+    let matrix = args.iter().any(|a| a == "--matrix");
+    let json = args.iter().any(|a| a == "--json");
+    let no_degrade = args.iter().any(|a| a == "--no-degrade");
+    // `--config <file.json>` seeds every engine knob; explicit flags
+    // override individual fields.
+    let cfg = match engine_config(args) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let static_prefilter = cfg.static_prefilter;
     let obs = match (
         str_flag(args, "--trace-out"),
         str_flag(args, "--metrics-out"),
@@ -357,14 +397,11 @@ fn analyze(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let equiv = match equiv_flag(args) {
-        Ok(e) => e,
-        Err(e) => {
-            eprintln!("{e}");
-            return ExitCode::FAILURE;
-        }
+    let exec = match &fixture {
+        Some(name) => fixture_exec(name),
+        None => load(&path),
     };
-    let exec = match load(path) {
+    let exec = match exec {
         Ok(e) => e,
         Err(e) => {
             eprintln!("{e}");
@@ -379,7 +416,7 @@ fn analyze(args: &[String]) -> ExitCode {
         obs.begin();
         if json {
             println!(
-                r#"{{"schema_version":1,"status":"exact","classes":1,"states":1,"note":"no events"}}"#
+                r#"{{"schema_version":{SCHEMA_VERSION},"status":"exact","classes":1,"states":1,"note":"no events"}}"#
             );
         } else {
             println!("no events: the trace is empty; all six ordering relations are empty");
@@ -393,21 +430,8 @@ fn analyze(args: &[String]) -> ExitCode {
         print!("{}", render::render_trace(exec.trace()));
     }
 
-    let mode = if ignore {
-        FeasibilityMode::IgnoreDependences
-    } else {
-        FeasibilityMode::PreserveDependences
-    };
-    let mut budget = Budget::unlimited();
-    if let Some(ms) = timeout {
-        budget = budget.with_deadline_ms(ms);
-    }
-    if let Some(bytes) = max_mem {
-        budget = budget.with_max_heap_bytes(bytes as usize);
-    }
-    if let Some(n) = max_states {
-        budget = budget.with_max_states(n as usize);
-    }
+    let mode = cfg.mode;
+    let budget = cfg.budget().unwrap_or_else(Budget::unlimited);
     // ^C / SIGTERM raise the budget's cancel flag; the supervisor notices
     // at its next checkpoint and the run finishes as a *sound degraded
     // report* (exit 2, reason `cancelled`) instead of a killed process.
@@ -416,7 +440,7 @@ fn analyze(args: &[String]) -> ExitCode {
     let _signal_watch = eo_signal::watch(move || cancel.cancel());
     let engine = ExactEngine::with_mode(&exec, mode)
         .with_budget(budget)
-        .with_equiv(equiv);
+        .with_equiv(cfg.equiv);
     obs.begin();
     // The static tier never changes an exact answer (its refutations are
     // a subset of what exploration proves), so exact runs are
@@ -430,7 +454,7 @@ fn analyze(args: &[String]) -> ExitCode {
             Ok(summary) => {
                 if json {
                     println!(
-                        r#"{{"schema_version":1,"status":"exact","classes":{},"states":{}}}"#,
+                        r#"{{"schema_version":{SCHEMA_VERSION},"status":"exact","classes":{},"states":{}}}"#,
                         summary.class_count(),
                         summary.state_count()
                     );
@@ -449,7 +473,7 @@ fn analyze(args: &[String]) -> ExitCode {
                 eo_obs::gauge_str(eo_obs::report::DEGRADATION_CAUSE, e.cause_label());
                 if json {
                     println!(
-                        r#"{{"schema_version":1,"status":"error","error":{}}}"#,
+                        r#"{{"schema_version":{SCHEMA_VERSION},"status":"error","error":{}}}"#,
                         error_json(&e)
                     );
                 } else {
@@ -466,7 +490,7 @@ fn analyze(args: &[String]) -> ExitCode {
         AnalysisOutcome::Exact(summary) => {
             if json {
                 println!(
-                    r#"{{"schema_version":1,"status":"exact","classes":{},"states":{}}}"#,
+                    r#"{{"schema_version":{SCHEMA_VERSION},"status":"exact","classes":{},"states":{}}}"#,
                     summary.class_count(),
                     summary.state_count()
                 );
@@ -491,7 +515,7 @@ fn analyze(args: &[String]) -> ExitCode {
                 let (ce, cb, cu) = d.chb_counts();
                 let (oe, ob, ou) = d.ccw_counts();
                 println!(
-                    r#"{{"schema_version":1,"status":"degraded","reason":{},"states_explored":{},"completable_states":{},"space_complete":{},"orders_found":{},"decided_fraction":{:.4},"mhb":{{"exact":{me},"bounded":{mb},"unknown":{mu}}},"chb":{{"exact":{ce},"bounded":{cb},"unknown":{cu}}},"ccw":{{"exact":{oe},"bounded":{ob},"unknown":{ou}}}}}"#,
+                    r#"{{"schema_version":{SCHEMA_VERSION},"status":"degraded","reason":{},"states_explored":{},"completable_states":{},"space_complete":{},"orders_found":{},"decided_fraction":{:.4},"mhb":{{"exact":{me},"bounded":{mb},"unknown":{mu}}},"chb":{{"exact":{ce},"bounded":{cb},"unknown":{cu}}},"ccw":{{"exact":{oe},"bounded":{ob},"unknown":{ou}}}}}"#,
                     error_json(d.reason()),
                     d.states_explored(),
                     d.completable_states(),
@@ -525,7 +549,6 @@ fn static_event_orderings(exec: &ProgramExecution) -> eo_relations::Relation {
 }
 
 fn serve(args: &[String]) -> ExitCode {
-    use eo_engine::EngineOptions;
     use eo_serve::{serve_batch, ServeConfig, SessionConfig};
 
     let Some(path) = args.first().filter(|a| !a.starts_with("--")) else {
@@ -543,19 +566,19 @@ fn serve(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let (threads, timeout, max_mem, max_states) = match (
-        num_flag(args, "--threads"),
-        num_flag(args, "--timeout"),
-        num_flag(args, "--max-mem"),
-        num_flag(args, "--max-states"),
-    ) {
-        (Ok(n), Ok(t), Ok(m), Ok(s)) => (n, t, m, s),
-        (n, t, m, s) => {
-            for r in [n, t, m, s] {
-                if let Err(e) = r {
-                    eprintln!("{e}");
-                }
-            }
+    let threads = match num_flag(args, "--threads") {
+        Ok(n) => n,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // `--config <file.json>` seeds every engine knob; explicit flags
+    // override individual fields — identically to `eo analyze`.
+    let cfg = match engine_config(args) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("{e}");
             return ExitCode::FAILURE;
         }
     };
@@ -583,58 +606,14 @@ fn serve(args: &[String]) -> ExitCode {
         },
     };
 
-    let mode = if args.iter().any(|a| a == "--ignore-deps") {
-        FeasibilityMode::IgnoreDependences
-    } else {
-        FeasibilityMode::PreserveDependences
-    };
-    // Same budget construction as `analyze`: unset caps fall back to the
-    // engine's default limits, so a served query and a one-shot query are
-    // stopped by identical bounds.
-    let mut engine = EngineOptions::with_mode(mode);
-    engine.equiv = match equiv_flag(args) {
-        Ok(e) => e,
-        Err(e) => {
-            eprintln!("{e}");
-            return ExitCode::FAILURE;
-        }
-    };
-    if timeout.is_some() || max_mem.is_some() || max_states.is_some() {
-        let mut budget = Budget::unlimited();
-        if let Some(ms) = timeout {
-            budget = budget.with_deadline_ms(ms);
-        }
-        if let Some(bytes) = max_mem {
-            budget = budget.with_max_heap_bytes(bytes as usize);
-        }
-        if let Some(n) = max_states {
-            budget = budget.with_max_states(n as usize);
-        }
-        engine.budget = Some(budget);
-    }
-    let backend = match str_flag(args, "--backend") {
-        Ok(None) => eo_engine::QueryBackend::Exact,
-        Ok(Some(v)) => match v.parse() {
-            Ok(b) => b,
-            Err(e) => {
-                eprintln!("serve: --backend: {e}");
-                return ExitCode::FAILURE;
-            }
-        },
-        Err(e) => {
-            eprintln!("{e}");
-            return ExitCode::FAILURE;
-        }
-    };
+    // The effective EngineConfig drives the whole session (same budget
+    // semantics as `analyze`: unset caps fall back to the engine's default
+    // limits) and its non-default fields are echoed in every response.
+    let mut session = SessionConfig::from_engine_config(&cfg);
+    session.cache = !args.iter().any(|a| a == "--no-cache");
+    session.prefilter = !args.iter().any(|a| a == "--no-prefilter");
     let config = ServeConfig {
-        session: SessionConfig {
-            engine,
-            cache: !args.iter().any(|a| a == "--no-cache"),
-            prefilter: !args.iter().any(|a| a == "--no-prefilter"),
-            static_prefilter: args.iter().any(|a| a == "--static-prefilter"),
-            backend,
-            ..Default::default()
-        },
+        session,
         threads: threads.unwrap_or(1) as usize,
     };
 
@@ -820,6 +799,51 @@ fn lint(args: &[String]) -> ExitCode {
         };
     }
 
+    if let Some(name) = match str_flag(args, "--fixture") {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    } {
+        // Lint a gallery fixture as a surface *program*: the EO-L013
+        // misuse lints and the provenance-remapped core findings only
+        // exist at this level (a trace has already been desugared).
+        let program = match fixture_program(&name) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        obs.begin();
+        let report = match lint_program(
+            &program,
+            &LintOptions {
+                mhp: opts.mhp,
+                ..LintOptions::default()
+            },
+        ) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("lint: fixture {name} invalid: {e}");
+                obs.flush();
+                return ExitCode::FAILURE;
+            }
+        };
+        if json {
+            println!("{}", report.to_json().pretty());
+        } else {
+            print!("{}", report.render_text());
+        }
+        obs.flush();
+        return if report.worst_at_least(deny) {
+            ExitCode::FAILURE
+        } else {
+            ExitCode::SUCCESS
+        };
+    }
+
     let paths = positional_args(args, &["--deny", "--metrics-out"]);
     if paths.is_empty() {
         eprintln!("lint: missing trace path");
@@ -867,7 +891,7 @@ fn lint(args: &[String]) -> ExitCode {
             .collect();
         let count = |sev| -> i64 { reports.iter().map(|(_, r)| r.count(sev) as i64).sum() };
         let doc = Value::Object(vec![
-            ("schema_version".to_string(), Value::Int(1)),
+            ("schema_version".to_string(), Value::Int(SCHEMA_VERSION)),
             ("files".to_string(), Value::Array(files)),
             ("errors".to_string(), Value::Int(count(Severity::Error))),
             ("warnings".to_string(), Value::Int(count(Severity::Warning))),
@@ -920,11 +944,29 @@ fn mhp(args: &[String]) -> ExitCode {
         }
     };
 
+    let fixture = match str_flag(args, "--fixture") {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
     let program = if args.iter().any(|a| a == "--figure1") {
         // The live Figure 1 *program* (with its branch), not a trace of
         // one observed execution: this is the one input where the static
         // analysis sees strictly more than any single trace.
         eo_lang::generator::figure1_program()
+    } else if let Some(name) = &fixture {
+        // A gallery fixture is analyzed as the surface *program*: the
+        // fixpoint desugars it internally and maps verdicts back, so
+        // barrier/monitor/channel separation shows up here directly.
+        match fixture_program(name) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        }
     } else {
         let paths = positional_args(args, &["--metrics-out"]);
         let Some(path) = paths.first() else {
@@ -964,7 +1006,7 @@ fn mhp(args: &[String]) -> ExitCode {
 
     if json {
         let doc = Value::Object(vec![
-            ("schema_version".to_string(), Value::Int(1)),
+            ("schema_version".to_string(), Value::Int(SCHEMA_VERSION)),
             ("stmts".to_string(), Value::Int(n as i64)),
             ("rounds".to_string(), Value::Int(analysis.rounds() as i64)),
             (

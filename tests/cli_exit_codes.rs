@@ -161,7 +161,7 @@ fn empty_program_reports_no_events_explicitly() {
     assert_eq!(json.status.code(), Some(0));
     let stdout = String::from_utf8_lossy(&json.stdout);
     assert!(
-        stdout.contains(r#""note":"no events""#) && stdout.contains(r#""schema_version":1"#),
+        stdout.contains(r#""note":"no events""#) && stdout.contains(r#""schema_version":2"#),
         "stdout: {stdout}"
     );
 }
@@ -184,7 +184,7 @@ fn serve_exit_codes_follow_the_worst_response() {
     );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert_eq!(stdout.lines().count(), 2, "one response per request");
-    assert!(stdout.lines().all(|l| l.contains(r#""schema_version":1"#)));
+    assert!(stdout.lines().all(|l| l.contains(r#""schema_version":2"#)));
 
     // A malformed request degrades the batch exit to 2 but the other
     // responses still come back.

@@ -1,0 +1,122 @@
+//! The surface-primitive fixture gallery (`eo_lang::gallery`) is pinned
+//! end to end: for every fixture the `eo analyze --fixture`,
+//! `eo mhp --fixture`, and `eo lint --fixture` JSON output must match
+//! the committed goldens under `testdata/gallery/` byte-for-byte.
+//!
+//! Regenerate after an intentional change with:
+//!
+//! ```text
+//! cargo build --release
+//! for f in barrier-pipeline monitor-handoff channel-pipeline; do
+//!   target/release/eo analyze --fixture $f --json \
+//!     > testdata/gallery/$f.analyze.golden.json
+//! done
+//! for f in barrier-pipeline monitor-handoff channel-pipeline channel-starved; do
+//!   target/release/eo mhp --fixture $f --json \
+//!     > testdata/gallery/$f.mhp.golden.json
+//!   target/release/eo lint --fixture $f --json \
+//!     > testdata/gallery/$f.lint.golden.json || true
+//! done
+//! ```
+
+use std::process::Command;
+
+fn eo(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_eo"))
+        .args(args)
+        .output()
+        .expect("spawning eo")
+}
+
+fn assert_golden(out: &std::process::Output, name: &str, kind: &str) {
+    let golden_path = format!("testdata/gallery/{name}.{kind}.golden.json");
+    let golden = std::fs::read_to_string(&golden_path)
+        .unwrap_or_else(|e| panic!("committed golden {golden_path} must exist: {e}"));
+    assert_eq!(
+        String::from_utf8_lossy(&out.stdout),
+        golden,
+        "{name}: eo {kind} --fixture diverges from {golden_path}"
+    );
+}
+
+/// `channel-starved` wedges by design, so it has no analyze golden; the
+/// other three fixtures complete deterministically.
+const COMPLETING: [&str; 3] = ["barrier-pipeline", "monitor-handoff", "channel-pipeline"];
+const ALL: [&str; 4] = [
+    "barrier-pipeline",
+    "monitor-handoff",
+    "channel-pipeline",
+    "channel-starved",
+];
+
+#[test]
+fn analyze_matches_the_committed_goldens() {
+    for name in COMPLETING {
+        let out = eo(&["analyze", "--fixture", name, "--json"]);
+        assert_eq!(
+            out.status.code(),
+            Some(0),
+            "{name} stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        assert_golden(&out, name, "analyze");
+    }
+}
+
+#[test]
+fn mhp_matches_the_committed_goldens() {
+    for name in ALL {
+        let out = eo(&["mhp", "--fixture", name, "--json"]);
+        assert_eq!(
+            out.status.code(),
+            Some(0),
+            "{name} stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        assert_golden(&out, name, "mhp");
+    }
+}
+
+#[test]
+fn lint_matches_the_committed_goldens() {
+    for name in ALL {
+        let out = eo(&["lint", "--fixture", name, "--json"]);
+        // The misuse fixture carries an error-severity EO-L013, which
+        // the default deny level turns into exit 1; the clean fixtures
+        // lint clean.
+        let want = if name == "channel-starved" { 1 } else { 0 };
+        assert_eq!(
+            out.status.code(),
+            Some(want),
+            "{name} stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        assert_golden(&out, name, "lint");
+    }
+}
+
+#[test]
+fn barrier_separation_shows_up_in_mhp() {
+    // The gallery's point in one assertion: barrier-pipeline's produce/
+    // consume statements conflict on the same variables, yet the static
+    // races list is empty because the barrier separates the phases.
+    let out = eo(&["mhp", "--fixture", "barrier-pipeline", "--json"]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains(r#""may_races": []"#),
+        "barrier must make the pipeline race-free: {stdout}"
+    );
+}
+
+#[test]
+fn unknown_fixture_is_a_usage_error() {
+    for cmd in ["analyze", "mhp", "lint"] {
+        let out = eo(&[cmd, "--fixture", "no-such"]);
+        assert_eq!(out.status.code(), Some(1), "{cmd}");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains("unknown fixture") && stderr.contains("barrier-pipeline"),
+            "{cmd} must list the gallery: {stderr}"
+        );
+    }
+}

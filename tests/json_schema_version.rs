@@ -1,12 +1,23 @@
-//! Pins `"schema_version": 1` on every JSON document the toolchain emits:
+//! Pins `"schema_version": 2` on every JSON document the toolchain emits:
 //! `eo analyze --json`, `eo lint --json`, `eo serve` responses, the
-//! metrics and Chrome-trace exports, and the committed BENCH files.
+//! metrics and Chrome-trace exports, and the newly committed BENCH files.
 //! Consumers key parsers on this field; bumping it is an API change and
 //! must be deliberate (this test is the tripwire).
+//!
+//! Version history: **1** was the original formats; **2** added the
+//! additive `config` echo and `primitives` vocabulary to serve responses
+//! (see `eo_obs::report::SCHEMA_VERSION`). BENCH files committed before
+//! the bump legitimately still carry the version that produced them, so
+//! they are pinned per-file below rather than uniformly.
 
 use std::process::Command;
 
 const FIGURE1: &str = "testdata/figure1.trace.json";
+
+/// The version every *newly emitted* document must carry. Kept equal to
+/// the library const by the assertion in
+/// `current_version_matches_library_const`.
+const CURRENT: i64 = 2;
 
 fn eo(args: &[&str]) -> String {
     let out = Command::new(env!("CARGO_BIN_EXE_eo"))
@@ -16,23 +27,36 @@ fn eo(args: &[&str]) -> String {
     String::from_utf8_lossy(&out.stdout).into_owned()
 }
 
-fn assert_version_one(doc: &str, what: &str) {
+fn assert_version(doc: &str, what: &str, expect: i64) {
     let v = eo_obs::json::parse(doc).unwrap_or_else(|e| panic!("{what}: invalid JSON: {e}"));
     assert_eq!(
         v.get("schema_version").and_then(|s| s.as_i64()),
-        Some(1),
-        "{what} must carry schema_version 1: {doc}"
+        Some(expect),
+        "{what} must carry schema_version {expect}: {doc}"
+    );
+}
+
+fn assert_current(doc: &str, what: &str) {
+    assert_version(doc, what, CURRENT);
+}
+
+#[test]
+fn current_version_matches_library_const() {
+    assert_eq!(
+        eo_obs::report::SCHEMA_VERSION,
+        CURRENT,
+        "bumping SCHEMA_VERSION must update this tripwire deliberately"
     );
 }
 
 #[test]
-fn cli_json_documents_carry_schema_version_one() {
-    assert_version_one(&eo(&["analyze", FIGURE1, "--json"]), "analyze exact");
-    assert_version_one(
+fn cli_json_documents_carry_current_schema_version() {
+    assert_current(&eo(&["analyze", FIGURE1, "--json"]), "analyze exact");
+    assert_current(
         &eo(&["analyze", FIGURE1, "--json", "--timeout", "0"]),
         "analyze degraded",
     );
-    assert_version_one(
+    assert_current(
         &eo(&[
             "analyze",
             FIGURE1,
@@ -43,16 +67,16 @@ fn cli_json_documents_carry_schema_version_one() {
         ]),
         "analyze --no-degrade error",
     );
-    assert_version_one(&eo(&["lint", FIGURE1, "--json"]), "lint report");
-    assert_version_one(
+    assert_current(&eo(&["lint", FIGURE1, "--json"]), "lint report");
+    assert_current(
         &eo(&["lint", FIGURE1, FIGURE1, "--json"]),
         "multi-file lint report",
     );
-    assert_version_one(&eo(&["mhp", FIGURE1, "--json"]), "mhp report");
+    assert_current(&eo(&["mhp", FIGURE1, "--json"]), "mhp report");
 }
 
 #[test]
-fn serve_responses_carry_schema_version_one() {
+fn serve_responses_carry_current_schema_version() {
     let (trace, _) = eo_model::fixtures::figure1();
     let exec = trace.to_execution().expect("fixture is valid");
     let input = "{\"op\": \"mhb\", \"a\": 0, \"b\": 1}\n\
@@ -62,19 +86,19 @@ fn serve_responses_carry_schema_version_one() {
     let out = eo_serve::serve_batch(&exec, input, &eo_serve::ServeConfig::default());
     assert_eq!(out.responses.len(), 4);
     for (i, response) in out.responses.iter().enumerate() {
-        assert_version_one(response, &format!("serve response {i}"));
+        assert_current(response, &format!("serve response {i}"));
     }
 }
 
 #[test]
-fn observability_exports_carry_schema_version_one() {
+fn observability_exports_carry_current_schema_version() {
     let run = eo_obs::finish();
     let report = eo_obs::report::aggregate(&run);
-    assert_version_one(
+    assert_current(
         &eo_obs::report::metrics_to_json(&report.metrics_with_defaults()),
         "metrics export",
     );
-    assert_version_one(&eo_obs::report::trace_to_json(&report), "trace export");
+    assert_current(&eo_obs::report::trace_to_json(&report), "trace export");
     // Round-tripping must not resurrect the version field as a metric.
     let text = eo_obs::report::metrics_to_json(&report.metrics_with_defaults());
     let parsed = eo_obs::report::metrics_from_json(&text).expect("metrics parse");
@@ -85,19 +109,24 @@ fn observability_exports_carry_schema_version_one() {
 }
 
 #[test]
-fn committed_bench_files_carry_schema_version_one() {
-    for name in [
-        "BENCH_engine.json",
-        "BENCH_degradation.json",
-        "BENCH_obs.json",
-        "BENCH_serve.json",
-        "BENCH_mhp.json",
-        "BENCH_server.json",
-        "BENCH_equiv.json",
-        "BENCH_sat.json",
-    ] {
+fn committed_bench_files_carry_their_pinned_schema_version() {
+    // Files measured before the v2 bump stay at 1 (re-measuring them
+    // would churn unrelated numbers); everything committed after the
+    // bump must carry the current version.
+    let pinned: &[(&str, i64)] = &[
+        ("BENCH_engine.json", 1),
+        ("BENCH_degradation.json", 1),
+        ("BENCH_obs.json", 1),
+        ("BENCH_serve.json", 1),
+        ("BENCH_mhp.json", 1),
+        ("BENCH_server.json", 1),
+        ("BENCH_equiv.json", 1),
+        ("BENCH_sat.json", 1),
+        ("BENCH_primitives.json", CURRENT),
+    ];
+    for (name, version) in pinned {
         let text = std::fs::read_to_string(name)
             .unwrap_or_else(|e| panic!("{name} must be committed at the repo root: {e}"));
-        assert_version_one(&text, name);
+        assert_version(&text, name, *version);
     }
 }

@@ -36,8 +36,37 @@ fn small_spec() -> impl Strategy<Value = WorkloadSpec> {
             match spec.style {
                 SyncStyle::Semaphores => spec.semaphores = syncs,
                 SyncStyle::Events => spec.event_vars = syncs,
+                // This strategy draws only the two core styles; the
+                // surface styles get their own strategy below.
+                _ => unreachable!("small_spec draws core styles only"),
             }
             spec.sync_density = density;
+            spec
+        })
+}
+
+/// Strategy: a tiny surface-primitive spec (monitors, channels, or
+/// barrier phases). Kept *very* small — the desugar-vs-direct
+/// differential enumerates raw interleavings, which is worse than
+/// exponential in program size.
+fn surface_spec() -> impl Strategy<Value = WorkloadSpec> {
+    (
+        0u32..3,    // style: monitors / channels / barriers
+        2usize..=3, // processes
+        2usize..=3, // slots per process
+        0u64..1000, // seed
+    )
+        .prop_map(|(style, procs, epp, seed)| {
+            let mut spec = match style {
+                0 => WorkloadSpec::small_monitors(seed),
+                1 => WorkloadSpec::small_channels(seed),
+                _ => WorkloadSpec::small_barriers(seed),
+            };
+            spec.processes = procs;
+            spec.events_per_process = epp;
+            if spec.style == SyncStyle::Barriers {
+                spec.semaphores = 1; // one phase keeps the product space small
+            }
             spec
         })
 }
@@ -252,5 +281,90 @@ proptest! {
         prop_assert_eq!(cmp.agreed.len() + cmp.missed_by_vc.len(), exact);
         prop_assert_eq!(cmp.agreed.len() + cmp.spurious_in_vc.len(), vc);
         prop_assert!(exact <= cmp.candidates);
+    }
+}
+
+// Surface-primitive properties: every new `eo_lang` primitive (barriers,
+// mutex/condvar monitors, bounded channels) is pinned three ways —
+// desugar-vs-direct schedule-set bit-identity, engine order-set
+// bit-identity across enumeration algorithms in both feasibility modes,
+// and static-MHP soundness against the exact concurrency relation.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Soundness of the desugaring itself: the surface program under the
+    /// direct reference interpretation and its desugared core form admit
+    /// *bit-identical* schedule sets — the same committed-statement
+    /// sequences for completing schedules and the same deadlock prefixes.
+    #[test]
+    fn desugared_and_direct_schedule_sets_agree(spec in surface_spec()) {
+        let program = eo_lang::generator::random_program(&spec);
+        let direct = eo_lang::explore::enumerate_schedules(&program, 200_000).unwrap();
+        let lowered = eo_lang::desugar(&program).unwrap();
+        let core = eo_lang::explore::enumerate_desugared_schedules(&lowered, 200_000).unwrap();
+        prop_assume!(!direct.truncated && !core.truncated);
+        prop_assert_eq!(&direct.completed, &core.completed);
+        prop_assert_eq!(&direct.deadlocked, &core.deadlocked);
+    }
+
+    /// On desugared surface workloads the engine's induced order set is
+    /// bit-identical between naive enumeration and the sleep-set pruned
+    /// pass, in both feasibility modes.
+    #[test]
+    fn surface_order_sets_bit_identical_in_both_modes(spec in surface_spec()) {
+        let exec = exec_of(&spec);
+        for mode in [FeasibilityMode::PreserveDependences, FeasibilityMode::IgnoreDependences] {
+            let ctx = SearchCtx::new(&exec, mode);
+            let naive = enumerate_naive(&ctx, 1 << 20);
+            let pruned = enumerate_classes(&ctx, 1 << 20);
+            prop_assume!(!naive.truncated && !pruned.truncated);
+            prop_assert_eq!(&naive.orders, &pruned.orders, "{:?}", mode);
+        }
+    }
+
+    /// Static MHP is sound on surface programs: no pair of events the
+    /// exact engine proves could execute concurrently maps to surface
+    /// statements the fixpoint claims are never concurrent. Checked in
+    /// both feasibility modes (ignore-D yields the larger concurrent set).
+    #[test]
+    fn mhp_never_refutes_exactly_concurrent_surface_pairs(spec in surface_spec()) {
+        let program = eo_lang::generator::random_program(&spec);
+        let mhp = eo_mhp::MhpAnalysis::analyze(&program);
+        let lowered = eo_lang::desugar(&program).unwrap();
+        // An anchored run of the core form ties every event to its core
+        // statement, and the provenance map lifts that to the surface.
+        let mut anchored = None;
+        for seed in 0..64u64 {
+            let mut sched = eo_lang::Scheduler::random(spec.seed.wrapping_add(seed));
+            if let Ok(run) = eo_lang::run_to_trace_anchored(&lowered.program, &mut sched) {
+                anchored = Some(run);
+                break;
+            }
+        }
+        prop_assume!(anchored.is_some());
+        let run = anchored.unwrap();
+        let exec = run.trace.to_execution().unwrap();
+        for mode in [FeasibilityMode::PreserveDependences, FeasibilityMode::IgnoreDependences] {
+            let summary = ExactEngine::with_mode(&exec, mode).summary();
+            let ccw = summary.ccw_relation();
+            for a in 0..exec.n_events() {
+                for b in (a + 1)..exec.n_events() {
+                    if !ccw.contains(a, b) {
+                        continue;
+                    }
+                    let sa = lowered.map.surface_of(run.stmt_of[a]);
+                    let sb = lowered.map.surface_of(run.stmt_of[b]);
+                    if sa == sb {
+                        continue; // micro-steps of one surface statement
+                    }
+                    prop_assert!(
+                        !mhp.never_concurrent(sa, sb),
+                        "{:?}: events {a}/{b} are exactly concurrent but MHP \
+                         claims surface statements {sa:?}/{sb:?} never are",
+                        mode
+                    );
+                }
+            }
+        }
     }
 }
